@@ -1,0 +1,153 @@
+(* Benchmark harness regenerating every table and figure of the paper.
+
+   Usage:
+     dune exec bench/main.exe                -- run everything
+     dune exec bench/main.exe -- fig2        -- one experiment
+     dune exec bench/main.exe -- list        -- list experiment names
+     dune exec bench/main.exe -- bechamel    -- bechamel timing of the
+                                                partitioning passes
+
+   Experiments: table1 fig2 fig7 fig8a fig8b fig9a fig9b fig10
+   compile-time ablate-merge ablate-imbalance ablate-clusters *)
+
+open Gdp_core
+
+let ppf = Fmt.stdout
+
+let fig2 () = Experiments.render_figure2 ppf (Experiments.figure2 ())
+
+let fig7 () =
+  Experiments.render_performance ppf
+    (Experiments.performance ~move_latency:1 ())
+    ~figure_name:"Figure 7"
+
+let fig8a () =
+  Experiments.render_performance ppf
+    (Experiments.performance ~move_latency:5 ())
+    ~figure_name:"Figure 8(a)"
+
+let fig8b () =
+  Experiments.render_performance ppf
+    (Experiments.performance ~move_latency:10 ())
+    ~figure_name:"Figure 8(b)"
+
+let fig9 which () =
+  let bench = Benchsuite.Suite.find which in
+  Exhaustive.render ppf (Exhaustive.run bench)
+
+let fig10 () =
+  Experiments.render_figure10 ppf (Experiments.performance ~move_latency:5 ())
+
+let table1 () = Experiments.render_table1 ppf ()
+
+let compile_time () =
+  Experiments.render_compile_time ppf (Experiments.compile_time ())
+
+let ablate_merge () =
+  Ablations.render_merge_ablation ppf (Ablations.merge_ablation ())
+
+let ablate_imbalance () =
+  Ablations.render_imbalance ppf (Ablations.imbalance_sweep ())
+
+let ablate_clusters () =
+  Ablations.render_four_clusters ppf (Ablations.four_clusters ())
+
+let ablate_bug () = Ablations.render_bug ppf (Ablations.bug_comparison ())
+
+let ablate_hetero () =
+  Ablations.render_heterogeneous ppf (Ablations.heterogeneous ())
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-timing of the partitioning passes (Section 4.5's
+   claim is about compile time, so we measure the compiler, not the
+   simulated program).                                                 *)
+
+let bechamel () =
+  let open Bechamel in
+  let machine = Vliw_machine.paper_machine ~move_latency:5 () in
+  let prepared =
+    List.map
+      (fun name -> (name, Pipeline.prepare (Benchsuite.Suite.find name)))
+      [ "rawcaudio"; "fir"; "mpeg2enc" ]
+  in
+  let tests =
+    List.concat_map
+      (fun (name, p) ->
+        let ctx = Pipeline.context ~machine p in
+        List.map
+          (fun m ->
+            Test.make
+              ~name:(Fmt.str "%s/%s" name (Partition.Methods.name m))
+              (Staged.stage (fun () -> ignore (Partition.Methods.run m ctx))))
+          Partition.Methods.all)
+      prepared
+  in
+  let test = Test.make_grouped ~name:"partitioning" ~fmt:"%s %s" tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Bechamel.Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances test in
+  let results = List.map (fun i -> Analyze.all ols i raw) instances in
+  let merged = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun measure tbl ->
+      Fmt.pr "@.measure: %s@." measure;
+      let rows =
+        Hashtbl.fold (fun name v acc -> (name, v) :: acc) tbl []
+        |> List.sort compare
+      in
+      List.iter
+        (fun (name, ols_result) ->
+          match Bechamel.Analyze.OLS.estimates ols_result with
+          | Some (est :: _) -> Fmt.pr "  %-36s %12.0f ns/run@." name est
+          | Some [] | None -> Fmt.pr "  %-36s (no estimate)@." name)
+        rows)
+    merged
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("table1", table1);
+    ("fig2", fig2);
+    ("fig7", fig7);
+    ("fig8a", fig8a);
+    ("fig8b", fig8b);
+    ("fig9a", fig9 "rawcaudio");
+    ("fig9b", fig9 "rawdaudio");
+    ("fig10", fig10);
+    ("compile-time", compile_time);
+    ("ablate-merge", ablate_merge);
+    ("ablate-imbalance", ablate_imbalance);
+    ("ablate-clusters", ablate_clusters);
+    ("ablate-bug", ablate_bug);
+    ("ablate-hetero", ablate_hetero);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] ->
+      Fmt.pr
+        "Reproducing: Chu & Mahlke, Compiler-directed Data Partitioning for \
+         Multicluster Processors (CGO 2006)@.";
+      List.iter
+        (fun (name, f) ->
+          Fmt.pr "@.===================== %s =====================@." name;
+          f ())
+        experiments
+  | [ "list" ] ->
+      List.iter (fun (n, _) -> Fmt.pr "%s@." n) experiments;
+      Fmt.pr "bechamel@."
+  | [ "bechamel" ] -> bechamel ()
+  | names ->
+      List.iter
+        (fun n ->
+          match List.assoc_opt n experiments with
+          | Some f -> f ()
+          | None ->
+              Fmt.epr "unknown experiment %s (try: list)@." n;
+              exit 1)
+        names

@@ -1,0 +1,289 @@
+(* gdpc: command-line driver for the GDP compiler pipeline.
+
+   Subcommands:
+     gdpc compile FILE        compile MiniC and print the IR
+     gdpc run FILE            compile and interpret
+     gdpc partition FILE      full pipeline: partition, schedule, report
+     gdpc bench [NAME]        evaluate suite benchmarks (all methods)
+     gdpc list                list suite benchmarks *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let parse_input s =
+  if String.trim s = "" then [||]
+  else
+    String.split_on_char ',' s
+    |> List.map (fun x -> int_of_string (String.trim x))
+    |> Array.of_list
+
+(* ------------------------------------------------------------------ *)
+(* Common arguments                                                    *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniC source file.")
+
+let input_arg =
+  Arg.(
+    value
+    & opt string ""
+    & info [ "i"; "input" ] ~docv:"WORDS"
+        ~doc:"Workload input vector: comma-separated integers read by in(i).")
+
+let no_unroll =
+  Arg.(value & flag & info [ "no-unroll" ] ~doc:"Disable loop unrolling.")
+
+let no_promote =
+  Arg.(value & flag & info [ "no-promote" ] ~doc:"Disable scalar promotion.")
+
+let no_ifconvert =
+  Arg.(value & flag & info [ "no-ifconvert" ] ~doc:"Disable if-conversion.")
+
+let latency_arg =
+  Arg.(
+    value
+    & opt int 5
+    & info [ "l"; "latency" ] ~docv:"CYCLES"
+        ~doc:"Intercluster move latency (the paper uses 1, 5 or 10).")
+
+let method_arg =
+  let method_conv =
+    Arg.enum
+      (List.map
+         (fun m -> (Partition.Methods.name m, m))
+         Partition.Methods.all)
+  in
+  Arg.(
+    value
+    & opt method_conv Partition.Methods.Gdp
+    & info [ "m"; "method" ] ~docv:"METHOD"
+        ~doc:"Partitioning method: gdp, profile-max, naive or unified.")
+
+let clusters_arg =
+  Arg.(
+    value
+    & opt int 2
+    & info [ "c"; "clusters" ] ~docv:"N" ~doc:"Number of clusters (power of two).")
+
+let build_prog ~unroll ~promote ~ifconvert path =
+  let src = read_file path in
+  let prog = Minic.compile ~unroll src in
+  let prog = if promote then Vliw_opt.Promote.run prog else prog in
+  if ifconvert then Vliw_opt.Ifconvert.run prog else prog
+
+let handle_errors f =
+  try f () with
+  | Minic.Compile_error _ as e ->
+      Fmt.epr "error: %a@." Minic.pp_error e;
+      exit 1
+  | Vliw_interp.Interp.Runtime_error m ->
+      Fmt.epr "runtime error: %s@." m;
+      exit 1
+  | Sys_error m | Invalid_argument m | Failure m ->
+      Fmt.epr "error: %s@." m;
+      exit 1
+
+(* ------------------------------------------------------------------ *)
+(* compile                                                             *)
+
+let compile_cmd =
+  let run file nu np ni =
+    handle_errors (fun () ->
+        let prog =
+          build_prog ~unroll:(not nu) ~promote:(not np) ~ifconvert:(not ni)
+            file
+        in
+        Fmt.pr "%a@." Vliw_ir.Prog.pp prog)
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile MiniC to the VLIW IR and print it.")
+    Term.(const run $ file_arg $ no_unroll $ no_promote $ no_ifconvert)
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+
+let run_cmd =
+  let run file input nu np ni =
+    handle_errors (fun () ->
+        let prog =
+          build_prog ~unroll:(not nu) ~promote:(not np) ~ifconvert:(not ni)
+            file
+        in
+        let res = Vliw_interp.Interp.run prog ~input:(parse_input input) in
+        List.iter
+          (fun v -> Fmt.pr "%a@." Vliw_interp.Interp.pp_value v)
+          res.Vliw_interp.Interp.outputs;
+        Fmt.epr "(%d interpreter steps)@." res.Vliw_interp.Interp.steps)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Compile and interpret a MiniC program.")
+    Term.(
+      const run $ file_arg $ input_arg $ no_unroll $ no_promote $ no_ifconvert)
+
+(* ------------------------------------------------------------------ *)
+(* partition                                                           *)
+
+let schedule_flag =
+  Arg.(
+    value & flag
+    & info [ "s"; "schedule" ] ~doc:"Print the per-block VLIW schedules.")
+
+let verify_flag =
+  Arg.(
+    value & flag
+    & info [ "verify" ]
+        ~doc:
+          "Cross-check the result: clustered interpretation and cycle-level \
+           simulation must reproduce the reference outputs and the static \
+           cycle model.")
+
+let partition_cmd =
+  let run file input method_ latency clusters show_sched verify =
+    handle_errors (fun () ->
+        let bench =
+          {
+            Benchsuite.Bench_intf.name = Filename.basename file;
+            description = "command-line program";
+            source = read_file file;
+            input = parse_input input;
+            exhaustive_ok = false;
+          }
+        in
+        let prepared = Gdp_core.Pipeline.prepare bench in
+        let machine =
+          if clusters = 2 then Vliw_machine.paper_machine ~move_latency:latency ()
+          else Vliw_machine.scaled_machine ~clusters ~move_latency:latency ()
+        in
+        let ctx = Gdp_core.Pipeline.context ~machine prepared in
+        let e = Gdp_core.Pipeline.evaluate ctx method_ in
+        Fmt.pr "method: %s@."
+          e.Gdp_core.Pipeline.outcome.Partition.Methods.method_name;
+        Fmt.pr "%a@." Vliw_machine.pp machine;
+        (match e.Gdp_core.Pipeline.outcome.Partition.Methods.obj_home with
+        | [] -> Fmt.pr "object homes: (unified memory, none)@."
+        | homes ->
+            Fmt.pr "object homes:@.";
+            List.iter
+              (fun (obj, c) ->
+                Fmt.pr "  %a -> cluster %d@." Vliw_ir.Data.pp_obj obj c)
+              (List.sort compare homes));
+        Fmt.pr "%a@." Vliw_sched.Perf.pp e.Gdp_core.Pipeline.report;
+        if show_sched then begin
+          let c = e.Gdp_core.Pipeline.outcome.Partition.Methods.clustered in
+          let total_occ = ref None in
+          List.iter
+            (fun f ->
+              List.iter
+                (fun b ->
+                  let s =
+                    Vliw_sched.List_sched.schedule_block ~machine
+                      ~assign:c.Vliw_sched.Move_insert.cassign
+                      ~move_routes:c.Vliw_sched.Move_insert.move_routes
+                      ~objects_of:(Partition.Methods.objects_of ctx)
+                      b
+                  in
+                  let weight =
+                    Vliw_interp.Profile.block_count ctx.Partition.Methods.profile
+                      ~func:(Vliw_ir.Func.name f)
+                      ~label:(Vliw_ir.Block.label b)
+                  in
+                  let occ = Vliw_sched.Occupancy.of_schedule ~machine s in
+                  total_occ :=
+                    Some (Vliw_sched.Occupancy.accumulate occ ~weight !total_occ);
+                  Fmt.pr "@.%s/%s (executed %d time(s)):@.%a@."
+                    (Vliw_ir.Func.name f)
+                    (Vliw_ir.Label.to_string (Vliw_ir.Block.label b))
+                    weight Vliw_sched.List_sched.pp s)
+                (Vliw_ir.Func.blocks f))
+            (Vliw_ir.Prog.funcs c.Vliw_sched.Move_insert.cprog);
+          match !total_occ with
+          | Some occ ->
+              Fmt.pr "@.whole-program %a@." Vliw_sched.Occupancy.pp occ;
+              let shares = Vliw_sched.Occupancy.cluster_shares occ in
+              Fmt.pr "cluster workload shares: %a@."
+                Fmt.(array ~sep:sp (fmt "%.2f"))
+                shares
+          | None -> ()
+        end;
+        if verify then
+          match Gdp_core.Pipeline.verify prepared ctx e with
+          | Ok () -> Fmt.pr "verification: OK@."
+          | Error m ->
+              Fmt.epr "verification FAILED: %s@." m;
+              exit 1)
+  in
+  Cmd.v
+    (Cmd.info "partition"
+       ~doc:
+         "Run the full pipeline: compile, profile, partition data and \
+          computation, insert intercluster moves, schedule, and report \
+          cycles.")
+    Term.(
+      const run $ file_arg $ input_arg $ method_arg $ latency_arg
+      $ clusters_arg $ schedule_flag $ verify_flag)
+
+(* ------------------------------------------------------------------ *)
+(* bench                                                               *)
+
+let bench_cmd =
+  let run name latency =
+    handle_errors (fun () ->
+        let benches =
+          match name with
+          | Some n -> [ Benchsuite.Suite.find n ]
+          | None -> Benchsuite.Suite.all
+        in
+        let rows =
+          Gdp_core.Experiments.run_all ~benches ~move_latency:latency ()
+        in
+        Fmt.pr "%-12s %10s %12s %10s %10s@." "benchmark" "gdp" "profile-max"
+          "naive" "unified";
+        List.iter
+          (fun r ->
+            Fmt.pr "%-12s %10d %12d %10d %10d@." r.Gdp_core.Experiments.bench
+              (Gdp_core.Experiments.cycles_of r "gdp")
+              (Gdp_core.Experiments.cycles_of r "profile-max")
+              (Gdp_core.Experiments.cycles_of r "naive")
+              (Gdp_core.Experiments.cycles_of r "unified"))
+          rows)
+  in
+  let name_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME" ~doc:"Benchmark name (default: all).")
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Evaluate suite benchmarks under all methods.")
+    Term.(const run $ name_arg $ latency_arg)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (b : Benchsuite.Bench_intf.t) ->
+        Fmt.pr "%-12s %s%s@." b.Benchsuite.Bench_intf.name
+          b.Benchsuite.Bench_intf.description
+          (if b.Benchsuite.Bench_intf.exhaustive_ok then
+             " [exhaustive-search capable]"
+           else ""))
+      Benchsuite.Suite.all
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the benchmark suite.")
+    Term.(const run $ const ())
+
+let () =
+  let doc =
+    "compiler-directed data partitioning for multicluster processors \
+     (Chu & Mahlke, CGO 2006)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "gdpc" ~version:"1.0.0" ~doc)
+          [ compile_cmd; run_cmd; partition_cmd; bench_cmd; list_cmd ]))

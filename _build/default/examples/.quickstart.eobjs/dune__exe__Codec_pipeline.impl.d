@@ -1,0 +1,1 @@
+examples/codec_pipeline.ml: Benchsuite Fmt Gdp_core List Partition Vliw_ir Vliw_machine Vliw_sched

@@ -1,0 +1,1 @@
+examples/codec_pipeline.mli:

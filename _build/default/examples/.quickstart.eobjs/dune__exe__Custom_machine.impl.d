@@ -1,0 +1,1 @@
+examples/custom_machine.ml: Array Benchsuite Fmt Gdp_core List Partition Vliw_ir Vliw_machine Vliw_sched

@@ -1,0 +1,1 @@
+examples/explore_mappings.ml: Array Benchsuite Fmt Gdp_core List Printf Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Benchsuite Fmt Gdp_core List Partition Vliw_interp Vliw_ir Vliw_machine Vliw_sched

@@ -1,0 +1,40 @@
+(* Exhaustive exploration of data-object mappings (the paper's Figure 9
+   experiment) on any small benchmark, with a CSV dump for plotting.
+
+   Run with: dune exec examples/explore_mappings.exe [-- benchmark]
+   (defaults to fir; try rawcaudio, rawdaudio, fsed, sobel, iirflt) *)
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "fir" in
+  let bench = Benchsuite.Suite.find name in
+  if not bench.Benchsuite.Bench_intf.exhaustive_ok then begin
+    Fmt.epr "%s has too many object groups for exhaustive search@." name;
+    exit 1
+  end;
+  let result = Gdp_core.Exhaustive.run ~move_latency:5 bench in
+  Gdp_core.Exhaustive.render Fmt.stdout result;
+
+  (* dump all points for external plotting *)
+  let csv = Gdp_core.Exhaustive.to_csv result in
+  let path = Printf.sprintf "fig9_%s.csv" name in
+  let oc = open_out path in
+  output_string oc csv;
+  close_out oc;
+  Fmt.pr "@.wrote %s (%d mappings)@." path
+    (List.length result.Gdp_core.Exhaustive.points);
+
+  (* how good are the methods' picks, as percentiles of the search space? *)
+  let percentile (p : Gdp_core.Exhaustive.point) =
+    let worse =
+      List.length
+        (List.filter
+           (fun (q : Gdp_core.Exhaustive.point) -> q.cycles > p.cycles)
+           result.Gdp_core.Exhaustive.points)
+    in
+    100. *. float worse
+    /. float (List.length result.Gdp_core.Exhaustive.points)
+  in
+  Fmt.pr "GDP's mapping beats %.0f%% of all mappings@."
+    (percentile result.Gdp_core.Exhaustive.gdp);
+  Fmt.pr "Profile Max's mapping beats %.0f%% of all mappings@."
+    (percentile result.Gdp_core.Exhaustive.profile_max)

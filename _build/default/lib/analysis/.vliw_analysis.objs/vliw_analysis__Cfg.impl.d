@@ -1,0 +1,1 @@
+lib/analysis/cfg.ml: Array Block Fmt Func Hashtbl Label List Vliw_ir

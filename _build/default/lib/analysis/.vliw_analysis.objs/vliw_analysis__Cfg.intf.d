@@ -1,0 +1,1 @@
+lib/analysis/cfg.mli: Block Func Hashtbl Label Vliw_ir

@@ -1,0 +1,1 @@
+lib/analysis/liveness.ml: Array Block Cfg List Op Reg Vliw_ir

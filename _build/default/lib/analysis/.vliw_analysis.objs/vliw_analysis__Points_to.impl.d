@@ -1,0 +1,1 @@
+lib/analysis/points_to.ml: Data Func Hashtbl List Op Option Prog Queue Reg Vliw_ir

@@ -1,0 +1,1 @@
+lib/analysis/points_to.mli: Data Prog Reg Vliw_ir

@@ -1,0 +1,1 @@
+lib/analysis/prog_dfg.ml: Cfg Func Hashtbl List Op Option Prog Reaching Vliw_ir

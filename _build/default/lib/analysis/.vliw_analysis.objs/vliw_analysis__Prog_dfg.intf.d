@@ -1,0 +1,1 @@
+lib/analysis/prog_dfg.mli: Prog Vliw_ir

@@ -1,0 +1,1 @@
+lib/analysis/reaching.ml: Array Block Cfg Func Hashtbl Int List Op Option Reg Set Vliw_ir

@@ -1,0 +1,1 @@
+lib/analysis/reaching.mli: Cfg Reg Set Vliw_ir

@@ -1,0 +1,135 @@
+(** Control-flow graph of a function, with blocks densely indexed for the
+    dataflow analyses.  Index 0 is the entry block. *)
+
+open Vliw_ir
+
+type t = {
+  func : Func.t;
+  blocks : Block.t array;
+  index_of : (Label.t, int) Hashtbl.t;
+  succs : int list array;
+  preds : int list array;
+  rpo : int array;  (** reverse postorder of reachable blocks *)
+}
+
+let block_index t l =
+  match Hashtbl.find_opt t.index_of l with
+  | Some i -> i
+  | None -> invalid_arg (Fmt.str "Cfg.block_index: unknown label %a" Label.pp l)
+
+let of_func (f : Func.t) : t =
+  let blocks = Array.of_list (Func.blocks f) in
+  let n = Array.length blocks in
+  let index_of = Hashtbl.create (2 * n) in
+  Array.iteri (fun i b -> Hashtbl.replace index_of (Block.label b) i) blocks;
+  let succs =
+    Array.map
+      (fun b -> List.map (Hashtbl.find index_of) (Block.successors b))
+      blocks
+  in
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun i ss -> List.iter (fun s -> preds.(s) <- i :: preds.(s)) ss)
+    succs;
+  (* reverse postorder from the entry *)
+  let visited = Array.make n false in
+  let order = ref [] in
+  let rec dfs i =
+    if not visited.(i) then begin
+      visited.(i) <- true;
+      List.iter dfs succs.(i);
+      order := i :: !order
+    end
+  in
+  dfs 0;
+  { func = f; blocks; index_of; succs; preds; rpo = Array.of_list !order }
+
+let num_blocks t = Array.length t.blocks
+let block t i = t.blocks.(i)
+let successors t i = t.succs.(i)
+let predecessors t i = t.preds.(i)
+let reverse_postorder t = t.rpo
+
+(** Iterate blocks in reverse postorder (good order for forward
+    dataflow). *)
+let iter_rpo fn t = Array.iter (fun i -> fn i t.blocks.(i)) t.rpo
+
+(* ------------------------------------------------------------------ *)
+(* Dominators (Cooper-Harvey-Kennedy) and natural loops.               *)
+
+(** [idom.(i)] is the immediate dominator of block [i]; the entry block
+    is its own idom.  Unreachable blocks get [-1]. *)
+let dominators t : int array =
+  let n = num_blocks t in
+  let rpo_number = Array.make n (-1) in
+  Array.iteri (fun k i -> rpo_number.(i) <- k) t.rpo;
+  let idom = Array.make n (-1) in
+  idom.(0) <- 0;
+  let intersect a b =
+    let a = ref a and b = ref b in
+    while !a <> !b do
+      while rpo_number.(!a) > rpo_number.(!b) do
+        a := idom.(!a)
+      done;
+      while rpo_number.(!b) > rpo_number.(!a) do
+        b := idom.(!b)
+      done
+    done;
+    !a
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun i ->
+        if i <> 0 then begin
+          let processed =
+            List.filter (fun p -> idom.(p) <> -1) (predecessors t i)
+          in
+          match processed with
+          | [] -> ()
+          | p0 :: rest ->
+              let new_idom = List.fold_left intersect p0 rest in
+              if idom.(i) <> new_idom then begin
+                idom.(i) <- new_idom;
+                changed := true
+              end
+        end)
+      t.rpo
+  done;
+  idom
+
+let dominates idom a b =
+  (* walk up from b *)
+  let rec go x = if x = a then true else if x = 0 then a = 0 else go idom.(x) in
+  if idom.(b) = -1 then false else go b
+
+(** Natural loops: for every back edge [t -> h] where [h] dominates [t],
+    the loop body is the set of blocks that can reach [t] without passing
+    through [h].  Returns a loop-nesting depth per block (0 = not in a
+    loop). *)
+let loop_depths t : int array =
+  let n = num_blocks t in
+  let idom = dominators t in
+  let depth = Array.make n 0 in
+  for tail = 0 to n - 1 do
+    List.iter
+      (fun head ->
+        if idom.(tail) <> -1 && dominates idom head tail then begin
+          (* collect the natural loop of back edge tail -> head *)
+          let in_loop = Array.make n false in
+          in_loop.(head) <- true;
+          let rec mark x =
+            if not in_loop.(x) then begin
+              in_loop.(x) <- true;
+              List.iter mark (predecessors t x)
+            end
+          in
+          mark tail;
+          for i = 0 to n - 1 do
+            if in_loop.(i) then depth.(i) <- depth.(i) + 1
+          done
+        end)
+      (successors t tail)
+  done;
+  depth

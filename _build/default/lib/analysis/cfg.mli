@@ -1,0 +1,37 @@
+(** Control-flow graph of a function with densely indexed blocks (index
+    0 is the entry), plus dominators and natural-loop depths. *)
+
+open Vliw_ir
+
+type t = {
+  func : Func.t;
+  blocks : Block.t array;
+  index_of : (Label.t, int) Hashtbl.t;
+  succs : int list array;
+  preds : int list array;
+  rpo : int array;
+}
+
+val of_func : Func.t -> t
+
+(** Raises [Invalid_argument] on unknown labels. *)
+val block_index : t -> Label.t -> int
+
+val num_blocks : t -> int
+val block : t -> int -> Block.t
+val successors : t -> int -> int list
+val predecessors : t -> int -> int list
+
+(** Reverse postorder of reachable blocks. *)
+val reverse_postorder : t -> int array
+
+val iter_rpo : (int -> Block.t -> unit) -> t -> unit
+
+(** Immediate dominators (Cooper-Harvey-Kennedy); the entry is its own
+    idom, unreachable blocks get -1. *)
+val dominators : t -> int array
+
+val dominates : int array -> int -> int -> bool
+
+(** Loop-nesting depth per block (0 = not in a loop). *)
+val loop_depths : t -> int array

@@ -1,0 +1,70 @@
+(** Classic backward liveness over registers.
+
+    Used by the move-insertion pass (a value crossing clusters must be
+    live) and by tests checking that lowering never reads a register with
+    no reaching definition. *)
+
+open Vliw_ir
+
+type t = {
+  live_in : Reg.Set.t array;  (** per block index of the cfg *)
+  live_out : Reg.Set.t array;
+}
+
+(** use/def sets of a block: [use] is registers read before any write in
+    the block. *)
+let block_use_def (b : Block.t) =
+  let use = ref Reg.Set.empty and def = ref Reg.Set.empty in
+  List.iter
+    (fun op ->
+      List.iter
+        (fun r -> if not (Reg.Set.mem r !def) then use := Reg.Set.add r !use)
+        (Op.uses op);
+      (* a guarded definition may not execute: it does not kill, and the
+         incoming value may flow through, so it counts as a use too *)
+      if Op.is_guarded op then
+        List.iter
+          (fun r -> if not (Reg.Set.mem r !def) then use := Reg.Set.add r !use)
+          (Op.defs op)
+      else List.iter (fun r -> def := Reg.Set.add r !def) (Op.defs op))
+    (Block.ops b);
+  (!use, !def)
+
+let compute (cfg : Cfg.t) : t =
+  let n = Cfg.num_blocks cfg in
+  let use = Array.make n Reg.Set.empty in
+  let def = Array.make n Reg.Set.empty in
+  for i = 0 to n - 1 do
+    let u, d = block_use_def (Cfg.block cfg i) in
+    use.(i) <- u;
+    def.(i) <- d
+  done;
+  let live_in = Array.make n Reg.Set.empty in
+  let live_out = Array.make n Reg.Set.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* iterate in postorder (reverse of rpo) for fast convergence *)
+    let rpo = Cfg.reverse_postorder cfg in
+    for k = Array.length rpo - 1 downto 0 do
+      let i = rpo.(k) in
+      let out =
+        List.fold_left
+          (fun acc s -> Reg.Set.union acc live_in.(s))
+          Reg.Set.empty (Cfg.successors cfg i)
+      in
+      let inn = Reg.Set.union use.(i) (Reg.Set.diff out def.(i)) in
+      if
+        (not (Reg.Set.equal out live_out.(i)))
+        || not (Reg.Set.equal inn live_in.(i))
+      then begin
+        live_out.(i) <- out;
+        live_in.(i) <- inn;
+        changed := true
+      end
+    done
+  done;
+  { live_in; live_out }
+
+let live_in t i = t.live_in.(i)
+let live_out t i = t.live_out.(i)

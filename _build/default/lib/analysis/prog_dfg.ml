@@ -1,0 +1,91 @@
+(** Program-level data-flow graph (paper Section 3.3).
+
+    Nodes are all operations of the program (by op id).  Edges are
+    data-dependent flow edges: register def-use pairs within functions
+    (through reaching definitions, so edges cross basic blocks), plus
+    interprocedural edges through call arguments and returned values.
+    Edge weights count the number of distinct def-use relations between
+    the two operations.
+
+    This is the "simplistic view of the computation" the first-pass data
+    partitioner works on: no resources, no schedule, only who feeds
+    whom. *)
+
+open Vliw_ir
+
+module Edge_key = struct
+  type t = int * int
+
+  let equal (a, b) (c, d) = a = c && b = d
+  let hash = Hashtbl.hash
+end
+
+module Edge_tbl = Hashtbl.Make (Edge_key)
+
+type t = {
+  nodes : int list;  (** op ids *)
+  edges : int Edge_tbl.t;  (** (src, dst) -> weight; src < dst not implied *)
+}
+
+let add_edge t a b =
+  if a <> b then begin
+    let k = (a, b) in
+    let cur = Option.value ~default:0 (Edge_tbl.find_opt t.edges k) in
+    Edge_tbl.replace t.edges k (cur + 1)
+  end
+
+let compute (prog : Prog.t) : t =
+  let nodes = Prog.fold_ops (fun acc op -> Op.id op :: acc) [] prog in
+  let t = { nodes = List.rev nodes; edges = Edge_tbl.create 1024 } in
+  (* per-function def-use edges; remember call sites for param flow *)
+  let call_sites : (string, int list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      Func.iter_ops
+        (fun op ->
+          match Op.kind op with
+          | Op.Call { callee; _ } ->
+              Hashtbl.replace call_sites callee
+                (Op.id op
+                :: Option.value ~default:[]
+                     (Hashtbl.find_opt call_sites callee))
+          | _ -> ())
+        f)
+    (Prog.funcs prog);
+  List.iter
+    (fun f ->
+      let cfg = Cfg.of_func f in
+      let reaching = Reaching.compute cfg in
+      Func.iter_ops
+        (fun op ->
+          List.iter
+            (fun r ->
+              let defs = Reaching.defs_of_use reaching ~op_id:(Op.id op) ~reg:r in
+              Reaching.Int_set.iter
+                (fun d ->
+                  if Reaching.is_param_def d then
+                    (* value arrives from every call site of this function *)
+                    List.iter
+                      (fun c -> add_edge t c (Op.id op))
+                      (Option.value ~default:[]
+                         (Hashtbl.find_opt call_sites (Func.name f)))
+                  else add_edge t d (Op.id op))
+                defs)
+            (Op.uses op);
+          (* returned values flow into the call sites *)
+          match Op.kind op with
+          | Op.Ret (Some _) ->
+              List.iter
+                (fun c -> add_edge t (Op.id op) c)
+                (Option.value ~default:[]
+                   (Hashtbl.find_opt call_sites (Func.name f)))
+          | _ -> ())
+        f)
+    (Prog.funcs prog);
+  t
+
+let nodes t = t.nodes
+let num_edges t = Edge_tbl.length t.edges
+let iter_edges f t = Edge_tbl.iter (fun (a, b) w -> f a b w) t.edges
+let fold_edges f acc t =
+  Edge_tbl.fold (fun (a, b) w acc -> f acc a b w) t.edges acc

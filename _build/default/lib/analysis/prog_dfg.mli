@@ -1,0 +1,15 @@
+(** Program-level data-flow graph (paper Section 3.3): nodes are all
+    operations (by op id); edges are register def-use flow (through
+    reaching definitions, crossing blocks) plus interprocedural flow
+    through call arguments and returns.  Edge weights count def-use
+    multiplicity. *)
+
+open Vliw_ir
+
+type t
+
+val compute : Prog.t -> t
+val nodes : t -> int list
+val num_edges : t -> int
+val iter_edges : (int -> int -> int -> unit) -> t -> unit
+val fold_edges : ('a -> int -> int -> int -> 'a) -> 'a -> t -> 'a

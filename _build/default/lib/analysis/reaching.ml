@@ -1,0 +1,113 @@
+(** Reaching definitions and def-use chains.
+
+    A definition is identified by the id of the defining operation.
+    Function parameters are treated as definitions by the pseudo-id
+    [param_def] (negative), so every use has at least one reaching
+    definition in a well-formed program. *)
+
+open Vliw_ir
+
+module Int_set = Set.Make (Int)
+
+(** Pseudo def id for parameter [r] (distinct from all op ids, which are
+    non-negative). *)
+let param_def (r : Reg.t) = -1 - Reg.to_int r
+
+let is_param_def id = id < 0
+let param_of_def id = Reg.of_int (-1 - id)
+
+type t = {
+  cfg : Cfg.t;
+  reach_in : Int_set.t Reg.Map.t array;  (** per block: reg -> def ids *)
+  def_use : (int, (int * Reg.t) list) Hashtbl.t;
+      (** def id -> uses (op id, reg) it reaches *)
+  use_def : (int * Reg.t, Int_set.t) Hashtbl.t;
+      (** (use op id, reg) -> reaching def ids *)
+}
+
+let reg_defs_of_op op = Op.defs op
+
+(** Transfer one op over the reg -> defs map.  A guarded (predicated)
+    definition may not execute, so it accumulates instead of killing the
+    previous definitions. *)
+let transfer_op map op =
+  let guarded = Op.is_guarded op in
+  List.fold_left
+    (fun m r ->
+      if guarded then
+        let prev = Option.value ~default:Int_set.empty (Reg.Map.find_opt r m) in
+        Reg.Map.add r (Int_set.add (Op.id op) prev) m
+      else Reg.Map.add r (Int_set.singleton (Op.id op)) m)
+    map (reg_defs_of_op op)
+
+let union_maps a b =
+  Reg.Map.union (fun _ x y -> Some (Int_set.union x y)) a b
+
+let equal_maps a b = Reg.Map.equal Int_set.equal a b
+
+let compute (cfg : Cfg.t) : t =
+  let n = Cfg.num_blocks cfg in
+  let entry_map =
+    List.fold_left
+      (fun m r -> Reg.Map.add r (Int_set.singleton (param_def r)) m)
+      Reg.Map.empty
+      (Func.params cfg.Cfg.func)
+  in
+  let reach_in = Array.make n Reg.Map.empty in
+  reach_in.(0) <- entry_map;
+  let block_out = Array.make n Reg.Map.empty in
+  let transfer i =
+    List.fold_left transfer_op reach_in.(i) (Block.ops (Cfg.block cfg i))
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun i ->
+        let inn =
+          List.fold_left
+            (fun acc p -> union_maps acc block_out.(p))
+            (if i = 0 then entry_map else Reg.Map.empty)
+            (Cfg.predecessors cfg i)
+        in
+        if not (equal_maps inn reach_in.(i)) then begin
+          reach_in.(i) <- inn;
+          changed := true
+        end;
+        let out = transfer i in
+        if not (equal_maps out block_out.(i)) then begin
+          block_out.(i) <- out;
+          changed := true
+        end)
+      (Cfg.reverse_postorder cfg)
+  done;
+  (* def-use chains: walk each block with its reach_in *)
+  let def_use = Hashtbl.create 64 in
+  let use_def = Hashtbl.create 64 in
+  let add_def_use d u = Hashtbl.replace def_use d (u :: Option.value ~default:[] (Hashtbl.find_opt def_use d)) in
+  for i = 0 to n - 1 do
+    let map = ref reach_in.(i) in
+    List.iter
+      (fun op ->
+        List.iter
+          (fun r ->
+            let defs =
+              Option.value ~default:Int_set.empty (Reg.Map.find_opt r !map)
+            in
+            Hashtbl.replace use_def (Op.id op, r) defs;
+            Int_set.iter (fun d -> add_def_use d (Op.id op, r)) defs)
+          (Op.uses op);
+        map := transfer_op !map op)
+      (Block.ops (Cfg.block cfg i))
+  done;
+  { cfg; reach_in; def_use; use_def }
+
+(** Reaching definitions of register [r] at use site [op_id]. *)
+let defs_of_use t ~op_id ~reg =
+  Option.value ~default:Int_set.empty (Hashtbl.find_opt t.use_def (op_id, reg))
+
+(** Uses reached by definition [def_id]. *)
+let uses_of_def t ~def_id =
+  Option.value ~default:[] (Hashtbl.find_opt t.def_use def_id)
+
+let reach_in t i = t.reach_in.(i)

@@ -1,0 +1,1 @@
+lib/benchsuite/bench_intf.ml: Array

@@ -1,0 +1,1 @@
+lib/benchsuite/cjpeg.ml: Bench_intf

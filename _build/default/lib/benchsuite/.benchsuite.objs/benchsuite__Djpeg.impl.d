@@ -1,0 +1,1 @@
+lib/benchsuite/djpeg.ml: Bench_intf

@@ -1,0 +1,1 @@
+lib/benchsuite/epic.ml: Bench_intf

@@ -1,0 +1,1 @@
+lib/benchsuite/fir.ml: Bench_intf

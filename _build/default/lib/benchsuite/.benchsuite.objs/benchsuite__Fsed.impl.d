@@ -1,0 +1,1 @@
+lib/benchsuite/fsed.ml: Bench_intf

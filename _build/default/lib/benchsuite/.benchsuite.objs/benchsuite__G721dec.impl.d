@@ -1,0 +1,1 @@
+lib/benchsuite/g721dec.ml: Bench_intf

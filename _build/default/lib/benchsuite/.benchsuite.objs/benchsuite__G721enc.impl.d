@@ -1,0 +1,1 @@
+lib/benchsuite/g721enc.ml: Bench_intf

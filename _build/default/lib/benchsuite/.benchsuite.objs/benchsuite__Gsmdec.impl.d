@@ -1,0 +1,1 @@
+lib/benchsuite/gsmdec.ml: Bench_intf

@@ -1,0 +1,1 @@
+lib/benchsuite/gsmenc.ml: Bench_intf

@@ -1,0 +1,1 @@
+lib/benchsuite/iirflt.ml: Bench_intf

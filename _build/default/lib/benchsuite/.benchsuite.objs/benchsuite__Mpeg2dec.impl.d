@@ -1,0 +1,1 @@
+lib/benchsuite/mpeg2dec.ml: Bench_intf

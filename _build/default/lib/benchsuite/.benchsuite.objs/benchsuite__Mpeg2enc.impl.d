@@ -1,0 +1,1 @@
+lib/benchsuite/mpeg2enc.ml: Bench_intf

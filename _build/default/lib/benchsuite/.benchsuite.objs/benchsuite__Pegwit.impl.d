@@ -1,0 +1,1 @@
+lib/benchsuite/pegwit.ml: Bench_intf

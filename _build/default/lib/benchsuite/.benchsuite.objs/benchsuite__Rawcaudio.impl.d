@@ -1,0 +1,1 @@
+lib/benchsuite/rawcaudio.ml: Bench_intf

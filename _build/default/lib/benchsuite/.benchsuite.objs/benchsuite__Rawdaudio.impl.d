@@ -1,0 +1,1 @@
+lib/benchsuite/rawdaudio.ml: Bench_intf

@@ -1,0 +1,1 @@
+lib/benchsuite/sobel.ml: Bench_intf

@@ -1,0 +1,1 @@
+lib/benchsuite/suite.ml: Bench_intf Cjpeg Djpeg Epic Fir Fsed G721dec G721enc Gsmdec Gsmenc Iirflt List Minic Mpeg2dec Mpeg2enc Pegwit Rawcaudio Rawdaudio Sobel String Unepic Viterbi

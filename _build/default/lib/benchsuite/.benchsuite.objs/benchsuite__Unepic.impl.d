@@ -1,0 +1,1 @@
+lib/benchsuite/unepic.ml: Bench_intf

@@ -1,0 +1,1 @@
+lib/benchsuite/viterbi.ml: Bench_intf

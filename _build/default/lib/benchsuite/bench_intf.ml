@@ -1,0 +1,28 @@
+(** A benchmark: a MiniC program plus its deterministic workload.
+
+    The suite mirrors the paper's evaluation set (Mediabench programs and
+    DSP kernels, Section 4.1) with rewrites of the same computational
+    structure; see DESIGN.md for the substitution rationale. *)
+
+type t = {
+  name : string;
+  description : string;
+  source : string;  (** MiniC source *)
+  input : int array;  (** workload input vector, read via [in(i)] *)
+  exhaustive_ok : bool;
+      (** few enough merged object groups for the Figure 9 exhaustive
+          search *)
+}
+
+(** Deterministic pseudo-random workload words (a small LCG; the same
+    stream on every run). *)
+let workload ?(seed = 12345) ~n ~range () =
+  let state = ref seed in
+  Array.init n (fun _ ->
+      state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+      !state mod range)
+
+(** Signed variant centered on zero. *)
+let workload_signed ?(seed = 9876) ~n ~range () =
+  let w = workload ~seed ~n ~range:(2 * range) () in
+  Array.map (fun x -> x - range) w

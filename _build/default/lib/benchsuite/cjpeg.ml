@@ -1,0 +1,87 @@
+(** cjpeg kernel: JPEG compression front end — RGB to YCbCr color
+    conversion with fixed-point coefficient tables, 2x2 chroma
+    subsampling, and a level shift.  The three per-channel coefficient
+    tables and four image planes give the data partitioner a rich object
+    mix (Mediabench cjpeg's hottest non-DCT loop). *)
+
+let source =
+  {|
+/* fixed-point color conversion coefficients, Q16, indexed by value */
+int r_y[64];
+int g_y[64];
+int b_y[64];
+
+int width = 16;
+int height = 16;
+
+void main() {
+  int w = width;
+  int h = height;
+  int *rgb = malloc(768);     /* w * h * 3 */
+  int *yplane = malloc(256);
+  int *cb = malloc(64);       /* subsampled 2x2 */
+  int *cr = malloc(64);
+
+  /* table setup: scaled coefficients per 6-bit sample value */
+  for (int v = 0; v < 64; v = v + 1) {
+    r_y[v] = v * 19595;
+    g_y[v] = v * 38470;
+    b_y[v] = v * 7471;
+  }
+
+  for (int i = 0; i < 768; i = i + 1) {
+    rgb[i] = in(i % 512) & 63;
+  }
+
+  /* luma plane with table lookups */
+  for (int y = 0; y < h; y = y + 1) {
+    for (int x = 0; x < w; x = x + 1) {
+      int p = (y * w + x) * 3;
+      int r = rgb[p];
+      int g = rgb[p + 1];
+      int b = rgb[p + 2];
+      int luma = (r_y[r] + g_y[g] + b_y[b]) >> 16;
+      yplane[y * w + x] = luma - 32;
+    }
+  }
+
+  /* chroma, subsampled 2x2 with averaging */
+  int w2 = w / 2;
+  for (int y = 0; y < h; y = y + 2) {
+    for (int x = 0; x < w; x = x + 2) {
+      int sr = 0;
+      int sg = 0;
+      int sb = 0;
+      for (int dy = 0; dy < 2; dy = dy + 1) {
+        for (int dx = 0; dx < 2; dx = dx + 1) {
+          int p = ((y + dy) * w + (x + dx)) * 3;
+          sr = sr + rgb[p];
+          sg = sg + rgb[p + 1];
+          sb = sb + rgb[p + 2];
+        }
+      }
+      sr = sr / 4; sg = sg / 4; sb = sb / 4;
+      int pos = (y / 2) * w2 + (x / 2);
+      cb[pos] = ((0 - 11056) * sr - 21712 * sg + 32768 * sb) >> 16;
+      cr[pos] = (32768 * sr - 27440 * sg - 5328 * sb) >> 16;
+    }
+  }
+
+  int check = 0;
+  for (int i = 0; i < 256; i = i + 1) { check = check + yplane[i]; }
+  for (int i = 0; i < 64; i = i + 1) { check = check + 3 * cb[i] - 2 * cr[i]; }
+  out(check);
+  out(yplane[0]);
+  out(cb[0]);
+  out(cr[63]);
+}
+|}
+
+let bench : Bench_intf.t =
+  {
+    name = "cjpeg";
+    description = "JPEG encoder kernel: RGB->YCbCr + chroma subsampling";
+    source;
+    input = Bench_intf.workload ~seed:44401 ~n:512 ~range:256 ();
+    exhaustive_ok = false;
+  }

@@ -1,0 +1,75 @@
+(** djpeg kernel: JPEG decompression back end — chroma upsampling and
+    YCbCr to RGB conversion with range-limit (saturation) tables, the
+    hottest non-IDCT loop of Mediabench djpeg. *)
+
+let source =
+  {|
+/* range-limit table: clamp(v - 128) to [0, 63] over 0..255 */
+int range_limit[256];
+
+/* Cr->R and Cb->B scaled factors per chroma value (biased by 32) */
+int crtab[64];
+int cbtab[64];
+
+int width = 16;
+int height = 16;
+
+void main() {
+  int w = width;
+  int h = height;
+  int w2 = w / 2;
+  int *yplane = malloc(256);
+  int *cb = malloc(64);
+  int *cr = malloc(64);
+  int *rgb = malloc(768);
+
+  for (int i = 0; i < 256; i = i + 1) {
+    int v = i - 128;
+    if (v < 0) { v = 0; }
+    if (v > 63) { v = 63; }
+    range_limit[i] = v;
+  }
+  for (int i = 0; i < 64; i = i + 1) {
+    crtab[i] = ((i - 32) * 91881) >> 16;
+    cbtab[i] = ((i - 32) * 116130) >> 16;
+  }
+
+  for (int i = 0; i < 256; i = i + 1) { yplane[i] = in(i) & 63; }
+  for (int i = 0; i < 64; i = i + 1) {
+    cb[i] = in(i + 256) & 63;
+    cr[i] = in(i + 384) & 63;
+  }
+
+  for (int y = 0; y < h; y = y + 1) {
+    for (int x = 0; x < w; x = x + 1) {
+      int luma = yplane[y * w + x];
+      int cpos = (y / 2) * w2 + (x / 2);
+      int cbv = cb[cpos];
+      int crv = cr[cpos];
+      int r = luma + crtab[crv];
+      int g = luma - ((crtab[crv] * 26 + cbtab[cbv] * 13) >> 6);
+      int b = luma + cbtab[cbv];
+      int p = (y * w + x) * 3;
+      rgb[p] = range_limit[(r + 128) & 255];
+      rgb[p + 1] = range_limit[(g + 128) & 255];
+      rgb[p + 2] = range_limit[(b + 128) & 255];
+    }
+  }
+
+  int check = 0;
+  for (int i = 0; i < 768; i = i + 1) {
+    check = check + rgb[i];
+    if (i % 96 == 0) { out(rgb[i]); }
+  }
+  out(check);
+}
+|}
+
+let bench : Bench_intf.t =
+  {
+    name = "djpeg";
+    description = "JPEG decoder kernel: chroma upsampling + YCbCr->RGB";
+    source;
+    input = Bench_intf.workload ~seed:44402 ~n:448 ~range:256 ();
+    exhaustive_ok = false;
+  }

@@ -1,0 +1,92 @@
+(** epic kernel: separable wavelet analysis filter bank (the pyramid
+    construction at the heart of Mediabench epic).
+
+    One level of a 2-D biorthogonal decomposition: low-pass and high-pass
+    FIR filters over rows then columns, producing four subbands.  Two
+    filter-tap tables and several heap images. *)
+
+let source =
+  {|
+int lofilt[5] = {3, 6, 10, 6, 3};
+int hifilt[5] = {-1, -2, 6, -2, -1};
+
+int width = 32;
+int height = 16;
+
+void main() {
+  int w = width;
+  int h = height;
+  int *image = malloc(512);    /* w * h */
+  int *lorow = malloc(512);
+  int *hirow = malloc(512);
+  int *ll = malloc(128);       /* (w/2) * (h/2) */
+  int *lh = malloc(128);
+  int *hl = malloc(128);
+  int *hh = malloc(128);
+
+  for (int i = 0; i < 512; i = i + 1) {
+    image[i] = in(i);
+  }
+
+  /* horizontal pass: filter each row with both filters */
+  for (int y = 0; y < h; y = y + 1) {
+    for (int x = 0; x < w; x = x + 1) {
+      int lo = 0;
+      int hi = 0;
+      for (int t = 0; t < 5; t = t + 1) {
+        int xx = x + t - 2;
+        if (xx < 0) { xx = 0 - xx; }
+        if (xx >= w) { xx = 2 * w - 2 - xx; }
+        int px = image[y * w + xx];
+        lo = lo + lofilt[t] * px;
+        hi = hi + hifilt[t] * px;
+      }
+      lorow[y * w + x] = lo >> 5;
+      hirow[y * w + x] = hi >> 3;
+    }
+  }
+
+  /* vertical pass on both half-bands, subsampled 2x2 */
+  int w2 = w / 2;
+  for (int y = 0; y < h; y = y + 2) {
+    for (int x = 0; x < w; x = x + 2) {
+      int sll = 0;
+      int slh = 0;
+      int shl = 0;
+      int shh = 0;
+      for (int t = 0; t < 5; t = t + 1) {
+        int yy = y + t - 2;
+        if (yy < 0) { yy = 0 - yy; }
+        if (yy >= h) { yy = 2 * h - 2 - yy; }
+        int lopx = lorow[yy * w + x];
+        int hipx = hirow[yy * w + x];
+        sll = sll + lofilt[t] * lopx;
+        slh = slh + hifilt[t] * lopx;
+        shl = shl + lofilt[t] * hipx;
+        shh = shh + hifilt[t] * hipx;
+      }
+      int pos = (y / 2) * w2 + (x / 2);
+      ll[pos] = sll >> 5;
+      lh[pos] = slh >> 3;
+      hl[pos] = shl >> 5;
+      hh[pos] = shh >> 3;
+    }
+  }
+
+  int check = 0;
+  for (int i = 0; i < 128; i = i + 1) {
+    check = check + ll[i] + 2 * lh[i] + 3 * hl[i] + 5 * hh[i];
+    if (i % 16 == 0) { out(ll[i]); out(hh[i]); }
+  }
+  out(check);
+}
+|}
+
+let bench : Bench_intf.t =
+  {
+    name = "epic";
+    description = "EPIC kernel: one level of a 2-D wavelet filter bank";
+    source;
+    input = Bench_intf.workload ~seed:60601 ~n:512 ~range:256 ();
+    exhaustive_ok = false;
+  }

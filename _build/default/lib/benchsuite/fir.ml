@@ -1,0 +1,59 @@
+(** fir: 16-tap FIR filter with a symmetric twin — the classic DSP
+    kernel.  Two coefficient tables applied to the same delayed input
+    stream produce two output channels per sample, giving the scheduler
+    plenty of independent multiply-accumulate work. *)
+
+let source =
+  {|
+int coef_a[16] = {
+  -6, 14, 28, -40, 63, -89, 120, 510,
+  510, 120, -89, 63, -40, 28, 14, -6
+};
+
+int coef_b[16] = {
+  3, -9, 17, -29, 44, -61, 79, -96,
+  96, -79, 61, -44, 29, -17, 9, -3
+};
+
+int nsamples = 600;
+
+void main() {
+  int n = nsamples;
+  int *x = malloc(616);        /* n + 16 taps of history */
+  int *ya = malloc(600);
+  int *yb = malloc(600);
+
+  for (int i = 0; i < 16; i = i + 1) { x[i] = 0; }
+  for (int i = 0; i < n; i = i + 1) {
+    x[i + 16] = in(i);
+  }
+
+  for (int i = 0; i < n; i = i + 1) {
+    int sa = 0;
+    int sb = 0;
+    for (int t = 0; t < 16; t = t + 1) {
+      int v = x[i + 16 - t];
+      sa = sa + coef_a[t] * v;
+      sb = sb + coef_b[t] * v;
+    }
+    ya[i] = sa >> 10;
+    yb[i] = sb >> 10;
+  }
+
+  int check = 0;
+  for (int i = 0; i < n; i = i + 1) {
+    check = check + ya[i] - yb[i];
+    if (i % 75 == 0) { out(ya[i]); out(yb[i]); }
+  }
+  out(check);
+}
+|}
+
+let bench : Bench_intf.t =
+  {
+    name = "fir";
+    description = "dual-channel 16-tap FIR filter (DSP kernel)";
+    source;
+    input = Bench_intf.workload_signed ~seed:90901 ~n:600 ~range:2048 ();
+    exhaustive_ok = true;
+  }

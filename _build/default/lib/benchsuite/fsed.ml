@@ -1,0 +1,78 @@
+(** fsed: Floyd-Steinberg error diffusion dithering (DSP kernel).
+
+    Binarizes an image while diffusing quantization error to four
+    neighbors through two line buffers.  The tight producer-consumer
+    chains between the image, the current-line and next-line error
+    buffers make it the hardest benchmark to partition — the paper
+    singles fsed out as the case with the largest move increase and
+    performance loss (Sections 4.2 and 4.4). *)
+
+let source =
+  {|
+int threshold;
+
+int width = 48;
+int height = 12;
+
+void main() {
+  int w = width;
+  int h = height;
+  int *image = malloc(576);    /* w * h */
+  int *cur_err = malloc(50);   /* w + guard */
+  int *next_err = malloc(50);
+  int *outbits = malloc(576);
+
+  threshold = 128;
+
+  for (int i = 0; i < 576; i = i + 1) {
+    image[i] = in(i);
+  }
+  for (int i = 0; i < 50; i = i + 1) {
+    cur_err[i] = 0;
+    next_err[i] = 0;
+  }
+
+  for (int y = 0; y < h; y = y + 1) {
+    for (int x = 0; x < w; x = x + 1) {
+      int px = image[y * w + x] + (cur_err[x + 1] >> 4);
+      int bit = 0;
+      int err = px;
+      if (px >= threshold) { bit = 1; err = px - 255; }
+      outbits[y * w + x] = bit;
+
+      /* diffuse: 7/16 right, 3/16 below-left, 5/16 below, 1/16 below-right */
+      cur_err[x + 2] = cur_err[x + 2] + err * 7;
+      next_err[x] = next_err[x] + err * 3;
+      next_err[x + 1] = next_err[x + 1] + err * 5;
+      next_err[x + 2] = next_err[x + 2] + err;
+    }
+    for (int x = 0; x < 50; x = x + 1) {
+      cur_err[x] = next_err[x];
+      next_err[x] = 0;
+    }
+  }
+
+  int check = 0;
+  for (int i = 0; i < 576; i = i + 1) {
+    check = check * 2 + outbits[i];
+    check = check % 1000003;
+  }
+  out(check);
+  for (int y = 0; y < h; y = y + 4) {
+    int rowsum = 0;
+    for (int x = 0; x < w; x = x + 1) {
+      rowsum = rowsum + outbits[y * w + x];
+    }
+    out(rowsum);
+  }
+}
+|}
+
+let bench : Bench_intf.t =
+  {
+    name = "fsed";
+    description = "Floyd-Steinberg error diffusion (DSP kernel)";
+    source;
+    input = Bench_intf.workload ~seed:13131 ~n:576 ~range:256 ();
+    exhaustive_ok = true;
+  }

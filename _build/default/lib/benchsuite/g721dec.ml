@@ -1,0 +1,83 @@
+(** g721dec: simplified G.721 ADPCM decoder kernel, the inverse of
+    [G721enc]: reconstructs samples from 4-bit codes with the same
+    adaptive predictor and scale-factor machinery. *)
+
+let source =
+  {|
+int iquan_table[8] = {0, 132, 198, 264, 330, 396, 462, 528};
+
+int witab[8] = {-12, 18, 41, 64, 112, 198, 355, 1122};
+
+int fitab[8] = {0, 0, 0, 512, 512, 512, 1536, 3584};
+
+int y_state;
+int yl_state;
+
+int ncodes = 400;
+
+void main() {
+  int *codes = malloc(400);
+  int *pcm = malloc(400);
+  int *sr_hist = malloc(2);
+  int *dq_hist = malloc(6);
+  int n = ncodes;
+
+  for (int i = 0; i < n; i = i + 1) {
+    codes[i] = in(i) & 15;
+  }
+  sr_hist[0] = 32; sr_hist[1] = 32;
+  for (int k = 0; k < 6; k = k + 1) { dq_hist[k] = 32; }
+
+  y_state = 544;
+  yl_state = 34816;
+
+  for (int i = 0; i < n; i = i + 1) {
+    int code = codes[i];
+    int mag = code & 7;
+
+    int sezi = 0;
+    for (int k = 0; k < 6; k = k + 1) {
+      sezi = sezi + dq_hist[k];
+    }
+    int se = (sezi + sr_hist[0] + sr_hist[1]) >> 3;
+
+    int y = y_state >> 2;
+    int dq = (iquan_table[mag] * (y + 1)) / 4096;
+    if (code >= 8) { dq = 0 - dq; }
+
+    int sr = se + dq;
+    sr_hist[1] = sr_hist[0];
+    sr_hist[0] = sr;
+
+    for (int k = 5; k > 0; k = k - 1) {
+      dq_hist[k] = dq_hist[k - 1];
+    }
+    dq_hist[0] = dq;
+
+    int wi = witab[mag];
+    int fi = fitab[mag];
+    y_state = y_state + ((wi - (y_state >> 5)) >> 5);
+    if (y_state < 544) { y_state = 544; }
+    yl_state = yl_state + ((fi - (yl_state >> 6)) >> 6);
+
+    pcm[i] = sr;
+  }
+
+  int check = 0;
+  for (int i = 0; i < n; i = i + 1) {
+    check = check + pcm[i];
+    if (i % 50 == 0) { out(pcm[i]); }
+  }
+  out(check);
+  out(y_state);
+}
+|}
+
+let bench : Bench_intf.t =
+  {
+    name = "g721dec";
+    description = "simplified G.721 ADPCM decoder kernel";
+    source;
+    input = Bench_intf.workload ~seed:22222 ~n:400 ~range:16 ();
+    exhaustive_ok = false;
+  }

@@ -1,0 +1,109 @@
+(** g721enc: simplified G.721 ADPCM encoder kernel (Mediabench g721).
+
+    Adaptive quantization against a short adaptive predictor: quantizer
+    decision levels, inverse-quantizer table, scale-factor adaptation
+    table, and two heap-allocated predictor histories.  More data
+    objects and more ILP per iteration than rawcaudio (two filter
+    accumulators per sample). *)
+
+let source =
+  {|
+int quan_levels[8] = {-124, 80, 178, 246, 300, 349, 400, 460};
+
+int iquan_table[8] = {0, 132, 198, 264, 330, 396, 462, 528};
+
+int witab[8] = {-12, 18, 41, 64, 112, 198, 355, 1122};
+
+int fitab[8] = {0, 0, 0, 512, 512, 512, 1536, 3584};
+
+int y_state;
+int yl_state;
+
+int nsamples = 400;
+
+void main() {
+  int *inbuf = malloc(400);
+  int *codes = malloc(400);
+  int *sr_hist = malloc(2);
+  int *dq_hist = malloc(6);
+  int n = nsamples;
+
+  for (int i = 0; i < n; i = i + 1) {
+    inbuf[i] = in(i);
+  }
+  sr_hist[0] = 32; sr_hist[1] = 32;
+  for (int k = 0; k < 6; k = k + 1) { dq_hist[k] = 32; }
+
+  y_state = 544;
+  yl_state = 34816;
+
+  for (int i = 0; i < n; i = i + 1) {
+    int sl = inbuf[i];
+
+    /* short-term predictor: two pole taps + six zero taps */
+    int sezi = 0;
+    for (int k = 0; k < 6; k = k + 1) {
+      sezi = sezi + dq_hist[k];
+    }
+    int sez = sezi >> 3;
+    int se = (sezi + sr_hist[0] + sr_hist[1]) >> 3;
+
+    int d = sl - se;
+
+    /* log quantization against scaled decision levels */
+    int y = y_state >> 2;
+    int dqm = d;
+    if (d < 0) { dqm = 0 - d; }
+    int dl = (dqm * 4096) / (y + 1);
+
+    int code = 0;
+    for (int q = 0; q < 8; q = q + 1) {
+      if (dl >= quan_levels[q]) { code = q; }
+    }
+    if (d < 0) { code = code + 8; }
+
+    /* inverse quantize and update state */
+    int mag = code & 7;
+    int dq = (iquan_table[mag] * (y + 1)) / 4096;
+    if (code >= 8) { dq = 0 - dq; }
+
+    int sr = se + dq;
+    sr_hist[1] = sr_hist[0];
+    sr_hist[0] = sr;
+
+    for (int k = 5; k > 0; k = k - 1) {
+      dq_hist[k] = dq_hist[k - 1];
+    }
+    dq_hist[0] = dq;
+
+    /* scale factor adaptation */
+    int wi = witab[mag];
+    int fi = fitab[mag];
+    y_state = y_state + ((wi - (y_state >> 5)) >> 5);
+    if (y_state < 544) { y_state = 544; }
+    yl_state = yl_state + ((fi - (yl_state >> 6)) >> 6);
+
+    codes[i] = code;
+    int unused = sez;
+    unused = unused + 0;
+  }
+
+  int check = 0;
+  for (int i = 0; i < n; i = i + 1) {
+    check = check + codes[i] * (1 + (i & 7));
+    if (i % 50 == 0) { out(codes[i]); }
+  }
+  out(check);
+  out(y_state);
+  out(yl_state);
+}
+|}
+
+let bench : Bench_intf.t =
+  {
+    name = "g721enc";
+    description = "simplified G.721 ADPCM encoder kernel";
+    source;
+    input = Bench_intf.workload_signed ~seed:11111 ~n:400 ~range:8000 ();
+    exhaustive_ok = false;
+  }

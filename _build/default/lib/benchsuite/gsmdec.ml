@@ -1,0 +1,70 @@
+(** gsmdec kernel: GSM 06.10 short-term synthesis — the decoder-side
+    inverse of [Gsmenc].  Reflection coefficients drive a lattice
+    synthesis filter over the residual, followed by a de-emphasis
+    post-filter. *)
+
+let source =
+  {|
+/* quantized reflection coefficients per frame, Q8 */
+int refc_table[32] = {
+  26, -52, 77, -26, 13, -13, 26, -39,
+  52, -26, 13, -52, 77, -13, 26, -26,
+  39, -52, 26, -13, 52, -26, 13, -77,
+  26, -39, 52, -13, 26, -52, 13, -26
+};
+
+int deemph;
+
+int nframes = 10;
+
+void main() {
+  int *residual = malloc(400);  /* 10 frames x 40 */
+  int *speech = malloc(400);
+  int *v = malloc(9);           /* lattice state */
+  int nf = nframes;
+
+  for (int i = 0; i < 400; i = i + 1) {
+    residual[i] = in(i) - 128;
+  }
+  for (int k = 0; k < 9; k = k + 1) { v[k] = 0; }
+
+  deemph = 0;
+  int check = 0;
+  for (int f = 0; f < nf; f = f + 1) {
+    int base = f * 40;
+    int rbase = (f % 4) * 8;
+
+    for (int i = 0; i < 40; i = i + 1) {
+      /* lattice synthesis: 8 sections */
+      int sri = residual[base + i];
+      for (int s = 0; s < 8; s = s + 1) {
+        int rc = refc_table[rbase + (7 - s)];
+        sri = sri - ((rc * v[7 - s]) >> 8);
+        v[8 - s] = v[7 - s] + ((rc * sri) >> 8);
+      }
+      v[0] = sri;
+
+      /* de-emphasis */
+      deemph = sri + ((deemph * 220) >> 8);
+      int sample = deemph;
+      if (sample > 32767) { sample = 32767; }
+      if (sample < -32768) { sample = -32768; }
+      speech[base + i] = sample;
+    }
+
+    check = check + speech[base + 39];
+    out(speech[base]);
+  }
+  out(check);
+  out(deemph);
+}
+|}
+
+let bench : Bench_intf.t =
+  {
+    name = "gsmdec";
+    description = "GSM decoder kernel: lattice synthesis + de-emphasis";
+    source;
+    input = Bench_intf.workload ~seed:71717 ~n:400 ~range:256 ();
+    exhaustive_ok = false;
+  }

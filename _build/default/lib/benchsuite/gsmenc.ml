@@ -1,0 +1,85 @@
+(** gsmenc kernel: GSM 06.10 short-term analysis front end —
+    Hann-style windowing, autocorrelation, and Schur-like reflection
+    coefficient recursion (fixed point, integer). *)
+
+let source =
+  {|
+/* raised-cosine analysis window, Q8 */
+int window[40] = {
+  13, 18, 25, 33, 42, 53, 66, 80,
+  95, 111, 128, 145, 162, 179, 195, 210,
+  223, 234, 243, 250, 254, 255, 254, 250,
+  243, 234, 223, 210, 195, 179, 162, 145,
+  128, 111, 95, 80, 66, 53, 42, 33
+};
+
+int acf[9];
+int refc[8];
+
+int nframes = 12;
+
+void main() {
+  int *speech = malloc(480);   /* 12 frames x 40 */
+  int *windowed = malloc(40);
+  int *p = malloc(9);
+  int *k = malloc(9);
+  int nf = nframes;
+
+  for (int i = 0; i < 480; i = i + 1) {
+    speech[i] = in(i) - 500;
+  }
+
+  int check = 0;
+  for (int f = 0; f < nf; f = f + 1) {
+    int base = f * 40;
+
+    for (int i = 0; i < 40; i = i + 1) {
+      windowed[i] = (speech[base + i] * window[i]) >> 8;
+    }
+
+    /* autocorrelation lags 0..8 */
+    for (int lag = 0; lag < 9; lag = lag + 1) {
+      int s = 0;
+      for (int i = lag; i < 40; i = i + 1) {
+        s = s + windowed[i] * windowed[i - lag];
+      }
+      acf[lag] = s >> 4;
+    }
+
+    /* Schur recursion for 8 reflection coefficients */
+    for (int i = 0; i < 9; i = i + 1) {
+      p[i] = acf[i];
+      k[i] = acf[i];
+    }
+    for (int r = 0; r < 8; r = r + 1) {
+      int denom = p[0];
+      if (denom < 1) { denom = 1; }
+      int rc = (0 - (p[r + 1] * 256)) / denom;
+      if (rc > 255) { rc = 255; }
+      if (rc < -255) { rc = -255; }
+      refc[r] = rc;
+      for (int i = 0; i + r + 1 < 9; i = i + 1) {
+        int pi = p[i + r + 1] + ((rc * k[i + 1]) >> 8);
+        int ki = k[i + 1] + ((rc * p[i + r + 1]) >> 8);
+        p[i + r + 1] = pi;
+        k[i + 1] = ki;
+      }
+    }
+
+    for (int r = 0; r < 8; r = r + 1) {
+      check = check + refc[r] * (r + 1);
+    }
+    out(refc[0]);
+  }
+  out(check);
+}
+|}
+
+let bench : Bench_intf.t =
+  {
+    name = "gsmenc";
+    description = "GSM encoder kernel: windowing + autocorrelation + Schur";
+    source;
+    input = Bench_intf.workload ~seed:70707 ~n:480 ~range:1000 ();
+    exhaustive_ok = false;
+  }

@@ -1,0 +1,59 @@
+(** iirflt: cascaded biquad IIR filter in floating point (DSP kernel).
+    Exercises the float function units: two second-order sections with
+    float coefficient tables and float state, plus an energy meter. *)
+
+let source =
+  {|
+float coefs1[5] = {0.2929, 0.5858, 0.2929, -0.0000, 0.1716};
+float coefs2[5] = {0.2065, 0.4131, 0.2065, -0.3695, 0.1958};
+
+float energy;
+
+int nsamples = 300;
+
+void main() {
+  int n = nsamples;
+  float *x = malloc(300);
+  float *y = malloc(300);
+  float *state1 = malloc(2);
+  float *state2 = malloc(2);
+
+  for (int i = 0; i < n; i = i + 1) {
+    x[i] = itof(in(i)) / 1024.0;
+  }
+  state1[0] = 0.0; state1[1] = 0.0;
+  state2[0] = 0.0; state2[1] = 0.0;
+
+  energy = 0.0;
+  for (int i = 0; i < n; i = i + 1) {
+    float xin = x[i];
+
+    /* first biquad, direct form II transposed */
+    float w1 = xin * coefs1[0] + state1[0];
+    state1[0] = xin * coefs1[1] - coefs1[3] * w1 + state1[1];
+    state1[1] = xin * coefs1[2] - coefs1[4] * w1;
+
+    /* second biquad */
+    float w2 = w1 * coefs2[0] + state2[0];
+    state2[0] = w1 * coefs2[1] - coefs2[3] * w2 + state2[1];
+    state2[1] = w1 * coefs2[2] - coefs2[4] * w2;
+
+    y[i] = w2;
+    energy = energy + w2 * w2;
+  }
+
+  for (int i = 0; i < n; i = i + 37) {
+    outf(y[i]);
+  }
+  outf(energy);
+}
+|}
+
+let bench : Bench_intf.t =
+  {
+    name = "iirflt";
+    description = "cascaded float biquad IIR filter (DSP kernel)";
+    source;
+    input = Bench_intf.workload_signed ~seed:16161 ~n:300 ~range:1024 ();
+    exhaustive_ok = true;
+  }

@@ -1,0 +1,118 @@
+(** mpeg2dec kernel: dequantization + 8x8 IDCT + saturation (the hot
+    loop of Mediabench mpeg2dec).  Inverse of [Mpeg2enc]: inverse zigzag,
+    inverse quantizer, two basis multiplies, then clamping through a
+    saturation table. *)
+
+let source =
+  {|
+int dctbasis[64] = {
+  2048, 2048, 2048, 2048, 2048, 2048, 2048, 2048,
+  2009, 1703, 1138, 400, -400, -1138, -1703, -2009,
+  1892, 784, -784, -1892, -1892, -784, 784, 1892,
+  1703, -400, -2009, -1138, 1138, 2009, 400, -1703,
+  1448, -1448, -1448, 1448, 1448, -1448, -1448, 1448,
+  1138, -2009, 400, 1703, -1703, -400, 2009, -1138,
+  784, -1892, 1892, -784, -784, 1892, -1892, 784,
+  400, -1138, 1703, -2009, 2009, -1703, 1138, -400
+};
+
+int qmatrix[64] = {
+  8, 16, 19, 22, 26, 27, 29, 34,
+  16, 16, 22, 24, 27, 29, 34, 37,
+  19, 22, 26, 27, 29, 34, 34, 38,
+  22, 22, 26, 27, 29, 34, 37, 40,
+  22, 26, 27, 29, 32, 35, 40, 48,
+  26, 27, 29, 32, 35, 40, 48, 58,
+  26, 27, 29, 34, 38, 46, 56, 69,
+  27, 29, 35, 38, 46, 56, 69, 83
+};
+
+int zigzag[64] = {
+  0, 1, 8, 16, 9, 2, 3, 10,
+  17, 24, 32, 25, 18, 11, 4, 5,
+  12, 19, 26, 33, 40, 48, 41, 34,
+  27, 20, 13, 6, 7, 14, 21, 28,
+  35, 42, 49, 56, 57, 50, 43, 36,
+  29, 22, 15, 23, 30, 37, 44, 51,
+  58, 59, 52, 45, 38, 31, 39, 46,
+  53, 60, 61, 54, 47, 55, 62, 63
+};
+
+/* clamp(i - 256) to [-256, 255] precomputed over 0..511 */
+int satlut[512];
+
+int nblocks = 6;
+
+void main() {
+  int *levels = malloc(384);
+  int *coefs = malloc(64);
+  int *tmp = malloc(64);
+  int *pixels = malloc(384);
+  int nb = nblocks;
+
+  for (int i = 0; i < 512; i = i + 1) {
+    int v = i - 256;
+    if (v > 255) { v = 255; }
+    if (v < -256) { v = -256; }
+    satlut[i] = v;
+  }
+
+  for (int i = 0; i < 384; i = i + 1) {
+    levels[i] = in(i) - 8;
+  }
+
+  int check = 0;
+  for (int b = 0; b < nb; b = b + 1) {
+    int base = b * 64;
+
+    /* inverse zigzag + dequantize */
+    for (int k = 0; k < 64; k = k + 1) {
+      int pos = zigzag[k];
+      int lev = levels[base + k];
+      coefs[pos] = (lev * qmatrix[pos] * 2) / 16;
+    }
+
+    /* columns then rows: transpose of the forward pass */
+    for (int x = 0; x < 8; x = x + 1) {
+      for (int y = 0; y < 8; y = y + 1) {
+        int s = 0;
+        for (int u = 0; u < 8; u = u + 1) {
+          s = s + dctbasis[u * 8 + x] * coefs[u * 8 + y];
+        }
+        tmp[x * 8 + y] = s >> 11;
+      }
+    }
+    for (int y = 0; y < 8; y = y + 1) {
+      for (int x = 0; x < 8; x = x + 1) {
+        int s = 0;
+        for (int v = 0; v < 8; v = v + 1) {
+          s = s + dctbasis[v * 8 + y] * tmp[x * 8 + v];
+        }
+        int px = s >> 11;
+        int idx = px + 256;
+        if (idx < 0) { idx = 0; }
+        if (idx > 511) { idx = 511; }
+        pixels[base + y * 8 + x] = satlut[idx];
+      }
+    }
+
+    for (int k = 0; k < 64; k = k + 8) {
+      check = check + pixels[base + k];
+    }
+  }
+
+  for (int i = 0; i < 384; i = i + 16) {
+    out(pixels[i]);
+  }
+  out(check);
+}
+|}
+
+let bench : Bench_intf.t =
+  {
+    name = "mpeg2dec";
+    description = "MPEG-2 decoder kernel: dequantization + 8x8 IDCT + saturation";
+    source;
+    input = Bench_intf.workload ~seed:55502 ~n:384 ~range:16 ();
+    exhaustive_ok = false;
+  }

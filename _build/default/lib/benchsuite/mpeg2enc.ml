@@ -1,0 +1,108 @@
+(** mpeg2enc kernel: forward 8x8 DCT + quantization (the hot loop of
+    Mediabench mpeg2enc's intra coding path).
+
+    Integer DCT via a precomputed scaled cosine basis, followed by
+    quantization with the intra quantizer matrix and zigzag reordering.
+    Three sizable read-only tables plus heap block storage give the data
+    partitioner real choices; inner products give the scheduler ILP. *)
+
+let source =
+  {|
+/* round(cos((2x+1)u pi/16) * 2048) for u,x in 0..7, row-major by u */
+int dctbasis[64] = {
+  2048, 2048, 2048, 2048, 2048, 2048, 2048, 2048,
+  2009, 1703, 1138, 400, -400, -1138, -1703, -2009,
+  1892, 784, -784, -1892, -1892, -784, 784, 1892,
+  1703, -400, -2009, -1138, 1138, 2009, 400, -1703,
+  1448, -1448, -1448, 1448, 1448, -1448, -1448, 1448,
+  1138, -2009, 400, 1703, -1703, -400, 2009, -1138,
+  784, -1892, 1892, -784, -784, 1892, -1892, 784,
+  400, -1138, 1703, -2009, 2009, -1703, 1138, -400
+};
+
+int qmatrix[64] = {
+  8, 16, 19, 22, 26, 27, 29, 34,
+  16, 16, 22, 24, 27, 29, 34, 37,
+  19, 22, 26, 27, 29, 34, 34, 38,
+  22, 22, 26, 27, 29, 34, 37, 40,
+  22, 26, 27, 29, 32, 35, 40, 48,
+  26, 27, 29, 32, 35, 40, 48, 58,
+  26, 27, 29, 34, 38, 46, 56, 69,
+  27, 29, 35, 38, 46, 56, 69, 83
+};
+
+int zigzag[64] = {
+  0, 1, 8, 16, 9, 2, 3, 10,
+  17, 24, 32, 25, 18, 11, 4, 5,
+  12, 19, 26, 33, 40, 48, 41, 34,
+  27, 20, 13, 6, 7, 14, 21, 28,
+  35, 42, 49, 56, 57, 50, 43, 36,
+  29, 22, 15, 23, 30, 37, 44, 51,
+  58, 59, 52, 45, 38, 31, 39, 46,
+  53, 60, 61, 54, 47, 55, 62, 63
+};
+
+int nblocks = 6;
+
+void main() {
+  int *pixels = malloc(384);   /* 6 blocks x 64 */
+  int *tmp = malloc(64);
+  int *coefs = malloc(64);
+  int *bitstream = malloc(384);
+  int nb = nblocks;
+
+  for (int i = 0; i < 384; i = i + 1) {
+    pixels[i] = in(i) - 128;
+  }
+
+  int check = 0;
+  for (int b = 0; b < nb; b = b + 1) {
+    int base = b * 64;
+
+    /* rows: tmp = basis . pixels^T */
+    for (int u = 0; u < 8; u = u + 1) {
+      for (int y = 0; y < 8; y = y + 1) {
+        int s = 0;
+        for (int x = 0; x < 8; x = x + 1) {
+          s = s + dctbasis[u * 8 + x] * pixels[base + y * 8 + x];
+        }
+        tmp[y * 8 + u] = s >> 8;
+      }
+    }
+    /* columns: coefs = basis . tmp */
+    for (int u = 0; u < 8; u = u + 1) {
+      for (int v = 0; v < 8; v = v + 1) {
+        int s = 0;
+        for (int y = 0; y < 8; y = y + 1) {
+          s = s + dctbasis[v * 8 + y] * tmp[y * 8 + u];
+        }
+        coefs[v * 8 + u] = s >> 11;
+      }
+    }
+
+    /* quantize + zigzag into the bitstream */
+    for (int k = 0; k < 64; k = k + 1) {
+      int pos = zigzag[k];
+      int c = coefs[pos];
+      int q = qmatrix[pos];
+      int lev = (c * 16) / (q * 2);
+      bitstream[base + k] = lev;
+      check = check + lev * (k + 1);
+    }
+  }
+
+  for (int i = 0; i < 384; i = i + 16) {
+    out(bitstream[i]);
+  }
+  out(check);
+}
+|}
+
+let bench : Bench_intf.t =
+  {
+    name = "mpeg2enc";
+    description = "MPEG-2 encoder kernel: 8x8 DCT + quantization + zigzag";
+    source;
+    input = Bench_intf.workload ~seed:55501 ~n:384 ~range:256 ();
+    exhaustive_ok = false;
+  }

@@ -1,0 +1,74 @@
+(** pegwit kernel: substitution-permutation block transform standing in
+    for Mediabench pegwit's symmetric cipher core.
+
+    Four rounds of s-box lookup, byte permutation and key mixing over
+    64-bit words, with two 256-entry tables and a round-key schedule —
+    table-heavy code with abundant independent byte lanes per round. *)
+
+let source =
+  {|
+int sbox[256];
+int pbox[256];
+int roundkeys[32];
+
+int nwords = 128;
+
+void main() {
+  int *data = malloc(128);
+  int *outw = malloc(128);
+  int n = nwords;
+
+  /* key-dependent table setup (deterministic) */
+  int acc = 0x9E37;
+  for (int i = 0; i < 256; i = i + 1) {
+    acc = (acc * 229 + 41) & 255;
+    sbox[i] = acc ^ (i * 167 & 255);
+    pbox[i] = (i * 149 + 73) & 255;
+  }
+  for (int i = 0; i < 32; i = i + 1) {
+    roundkeys[i] = (i * 2654435761) & 0xFFFFFF;
+  }
+
+  for (int i = 0; i < n; i = i + 1) {
+    data[i] = in(i);
+  }
+
+  for (int i = 0; i < n; i = i + 1) {
+    int w = data[i];
+    for (int r = 0; r < 4; r = r + 1) {
+      int b0 = w & 255;
+      int b1 = (w >> 8) & 255;
+      int b2 = (w >> 16) & 255;
+      int b3 = (w >> 24) & 255;
+      b0 = sbox[b0];
+      b1 = sbox[b1];
+      b2 = sbox[b2];
+      b3 = sbox[b3];
+      b0 = pbox[b0];
+      b1 = pbox[b1];
+      b2 = pbox[b2];
+      b3 = pbox[b3];
+      w = b0 + (b1 << 8) + (b2 << 16) + (b3 << 24);
+      w = w ^ roundkeys[(r * 8 + (i & 7))];
+      w = ((w << 5) | ((w >> 27) & 31)) & 0xFFFFFFFF;
+    }
+    outw[i] = w;
+  }
+
+  int check = 0;
+  for (int i = 0; i < n; i = i + 1) {
+    check = check ^ outw[i];
+    if (i % 16 == 0) { out(outw[i]); }
+  }
+  out(check);
+}
+|}
+
+let bench : Bench_intf.t =
+  {
+    name = "pegwit";
+    description = "pegwit kernel: substitution-permutation cipher rounds";
+    source;
+    input = Bench_intf.workload ~seed:80808 ~n:128 ~range:0x3FFFFFF ();
+    exhaustive_ok = false;
+  }

@@ -1,0 +1,105 @@
+(** rawcaudio: IMA ADPCM speech encoder (Mediabench adpcm/rawcaudio).
+
+    Encodes 16-bit PCM samples into 4-bit ADPCM codes.  Data objects: the
+    two codec tables ([stepsizeTable], [indexTable]), the predictor state
+    globals, and heap input/output buffers — few enough for the
+    exhaustive mapping search of Figure 9. *)
+
+let source =
+  {|
+int indexTable[16] = {
+  -1, -1, -1, -1, 2, 4, 6, 8,
+  -1, -1, -1, -1, 2, 4, 6, 8
+};
+
+int stepsizeTable[89] = {
+  7, 8, 9, 10, 11, 12, 13, 14, 16, 17,
+  19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+  50, 55, 60, 66, 73, 80, 88, 97, 107, 118,
+  130, 143, 157, 173, 190, 209, 230, 253, 279, 307,
+  337, 371, 408, 449, 494, 544, 598, 658, 724, 796,
+  876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+  2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
+  5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899,
+  15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767
+};
+
+int valpred;
+int index;
+
+int nsamples = 512;
+
+void main() {
+  int *inbuf = malloc(512);
+  int *outbuf = malloc(512);
+  int n = nsamples;
+
+  for (int i = 0; i < n; i = i + 1) {
+    inbuf[i] = in(i);
+  }
+
+  valpred = 0;
+  index = 0;
+  int step = stepsizeTable[0];
+
+  for (int i = 0; i < n; i = i + 1) {
+    int val = inbuf[i];
+    int diff = val - valpred;
+    int sign = 0;
+    if (diff < 0) { sign = 8; diff = 0 - diff; }
+
+    int delta = 0;
+    int vpdiff = step >> 3;
+
+    if (diff >= step) {
+      delta = 4;
+      diff = diff - step;
+      vpdiff = vpdiff + step;
+    }
+    step = step >> 1;
+    if (diff >= step) {
+      delta = delta + 2;
+      diff = diff - step;
+      vpdiff = vpdiff + step;
+    }
+    step = step >> 1;
+    if (diff >= step) {
+      delta = delta + 1;
+      vpdiff = vpdiff + step;
+    }
+
+    if (sign > 0) { valpred = valpred - vpdiff; }
+    else { valpred = valpred + vpdiff; }
+
+    if (valpred > 32767) { valpred = 32767; }
+    else { if (valpred < -32768) { valpred = -32768; } }
+
+    delta = delta + sign;
+
+    index = index + indexTable[delta];
+    if (index < 0) { index = 0; }
+    if (index > 88) { index = 88; }
+    step = stepsizeTable[index];
+
+    outbuf[i] = delta;
+  }
+
+  int check = 0;
+  for (int i = 0; i < n; i = i + 1) {
+    out(outbuf[i]);
+    check = check + outbuf[i] * (i + 1);
+  }
+  out(check);
+  out(valpred);
+  out(index);
+}
+|}
+
+let bench : Bench_intf.t =
+  {
+    name = "rawcaudio";
+    description = "IMA ADPCM speech encoder (Mediabench rawcaudio)";
+    source;
+    input = Bench_intf.workload_signed ~seed:31415 ~n:512 ~range:28000 ();
+    exhaustive_ok = true;
+  }

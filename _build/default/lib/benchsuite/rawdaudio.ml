@@ -1,0 +1,89 @@
+(** rawdaudio: IMA ADPCM speech decoder (Mediabench adpcm/rawdaudio).
+
+    Decodes 4-bit ADPCM codes back into 16-bit PCM.  Like the encoder it
+    has a small object set (the two tables, predictor state, heap
+    buffers), which is what makes the paper's Figure 9 exhaustive
+    search feasible. *)
+
+let source =
+  {|
+int indexTable[16] = {
+  -1, -1, -1, -1, 2, 4, 6, 8,
+  -1, -1, -1, -1, 2, 4, 6, 8
+};
+
+int stepsizeTable[89] = {
+  7, 8, 9, 10, 11, 12, 13, 14, 16, 17,
+  19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+  50, 55, 60, 66, 73, 80, 88, 97, 107, 118,
+  130, 143, 157, 173, 190, 209, 230, 253, 279, 307,
+  337, 371, 408, 449, 494, 544, 598, 658, 724, 796,
+  876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+  2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
+  5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899,
+  15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767
+};
+
+int valpred;
+int index;
+
+int ncodes = 1024;
+
+void main() {
+  int *codes = malloc(1024);
+  int *pcm = malloc(1024);
+  int n = ncodes;
+
+  for (int i = 0; i < n; i = i + 1) {
+    codes[i] = in(i) & 15;
+  }
+
+  valpred = 0;
+  index = 0;
+  int step = stepsizeTable[0];
+
+  for (int i = 0; i < n; i = i + 1) {
+    int delta = codes[i];
+
+    index = index + indexTable[delta];
+    if (index < 0) { index = 0; }
+    if (index > 88) { index = 88; }
+
+    int sign = delta & 8;
+    delta = delta & 7;
+
+    int vpdiff = step >> 3;
+    if (delta >= 4) { vpdiff = vpdiff + step; }
+    int d2 = delta & 3;
+    if (d2 >= 2) { vpdiff = vpdiff + (step >> 1); }
+    if ((delta & 1) == 1) { vpdiff = vpdiff + (step >> 2); }
+
+    if (sign > 0) { valpred = valpred - vpdiff; }
+    else { valpred = valpred + vpdiff; }
+
+    if (valpred > 32767) { valpred = 32767; }
+    else { if (valpred < -32768) { valpred = -32768; } }
+
+    step = stepsizeTable[index];
+
+    pcm[i] = valpred;
+  }
+
+  int check = 0;
+  for (int i = 0; i < n; i = i + 1) {
+    check = check + pcm[i];
+    if (i % 64 == 0) { out(pcm[i]); }
+  }
+  out(check);
+  out(index);
+}
+|}
+
+let bench : Bench_intf.t =
+  {
+    name = "rawdaudio";
+    description = "IMA ADPCM speech decoder (Mediabench rawdaudio)";
+    source;
+    input = Bench_intf.workload ~seed:27182 ~n:1024 ~range:16 ();
+    exhaustive_ok = true;
+  }

@@ -1,0 +1,70 @@
+(** sobel: 3x3 edge detection (DSP kernel).  Horizontal and vertical
+    gradient convolutions over an image with a magnitude lookup table —
+    eight neighbor loads per pixel feed two independent accumulator
+    trees. *)
+
+let source =
+  {|
+int gx_kernel[9] = {-1, 0, 1, -2, 0, 2, -1, 0, 1};
+int gy_kernel[9] = {-1, -2, -1, 0, 0, 0, 1, 2, 1};
+
+/* sqrt-ish compression lut over 0..255 */
+int maglut[256];
+
+int width = 32;
+int height = 18;
+
+void main() {
+  int w = width;
+  int h = height;
+  int *image = malloc(576);
+  int *edges = malloc(576);
+
+  for (int i = 0; i < 256; i = i + 1) {
+    int v = i * 4;
+    if (v > 255) { v = 255; }
+    maglut[i] = v;
+  }
+
+  for (int i = 0; i < 576; i = i + 1) {
+    image[i] = in(i);
+  }
+
+  for (int y = 1; y < h - 1; y = y + 1) {
+    for (int x = 1; x < w - 1; x = x + 1) {
+      int gx = 0;
+      int gy = 0;
+      for (int ky = 0; ky < 3; ky = ky + 1) {
+        for (int kx = 0; kx < 3; kx = kx + 1) {
+          int px = image[(y + ky - 1) * w + (x + kx - 1)];
+          gx = gx + gx_kernel[ky * 3 + kx] * px;
+          gy = gy + gy_kernel[ky * 3 + kx] * px;
+        }
+      }
+      if (gx < 0) { gx = 0 - gx; }
+      if (gy < 0) { gy = 0 - gy; }
+      int mag = (gx + gy) >> 3;
+      if (mag > 255) { mag = 255; }
+      edges[y * w + x] = maglut[mag];
+    }
+  }
+
+  int check = 0;
+  for (int i = 0; i < 576; i = i + 1) {
+    check = check + edges[i];
+  }
+  out(check);
+  for (int y = 1; y < h - 1; y = y + 5) {
+    out(edges[y * w + w / 2]);
+  }
+}
+|}
+
+let bench : Bench_intf.t =
+  {
+    name = "sobel";
+    description = "Sobel 3x3 edge detection (DSP kernel)";
+    source;
+    input = Bench_intf.workload ~seed:14141 ~n:576 ~range:256 ();
+    exhaustive_ok = true;
+  }

@@ -1,0 +1,40 @@
+(** The benchmark suite: Mediabench-style programs and DSP kernels
+    (paper Section 4.1). *)
+
+let all : Bench_intf.t list =
+  [
+    Rawcaudio.bench;
+    Rawdaudio.bench;
+    G721enc.bench;
+    G721dec.bench;
+    Cjpeg.bench;
+    Djpeg.bench;
+    Mpeg2enc.bench;
+    Mpeg2dec.bench;
+    Epic.bench;
+    Unepic.bench;
+    Gsmenc.bench;
+    Gsmdec.bench;
+    Pegwit.bench;
+    Fir.bench;
+    Fsed.bench;
+    Sobel.bench;
+    Viterbi.bench;
+    Iirflt.bench;
+  ]
+
+let find name =
+  match
+    List.find_opt (fun (b : Bench_intf.t) -> String.equal b.name name) all
+  with
+  | Some b -> b
+  | None -> invalid_arg ("Suite.find: unknown benchmark " ^ name)
+
+let names = List.map (fun (b : Bench_intf.t) -> b.Bench_intf.name) all
+
+(** Benchmarks small enough for the exhaustive object-mapping search. *)
+let exhaustive = List.filter (fun b -> b.Bench_intf.exhaustive_ok) all
+
+(** Compile a benchmark to IR (raises on frontend errors — the suite is
+    expected to always compile). *)
+let compile (b : Bench_intf.t) = Minic.compile b.Bench_intf.source

@@ -1,0 +1,92 @@
+(** unepic kernel: wavelet synthesis filter bank — the inverse of
+    [Epic].  Reconstructs an image from four subbands by upsampling and
+    filtering with the synthesis taps, vertically then horizontally. *)
+
+let source =
+  {|
+int slofilt[5] = {-1, 2, 6, 2, -1};
+int shifilt[5] = {-3, 6, -10, 6, -3};
+
+int width = 32;
+int height = 16;
+
+void main() {
+  int w = width;
+  int h = height;
+  int w2 = w / 2;
+  int *ll = malloc(128);
+  int *lh = malloc(128);
+  int *hl = malloc(128);
+  int *hh = malloc(128);
+  int *locol = malloc(512);
+  int *hicol = malloc(512);
+  int *image = malloc(512);
+
+  for (int i = 0; i < 128; i = i + 1) {
+    ll[i] = in(i);
+    lh[i] = in(i + 128) - 128;
+    hl[i] = in(i + 256) - 128;
+    hh[i] = in(i + 384) - 128;
+  }
+
+  /* vertical synthesis: upsample rows 2x and filter */
+  for (int y = 0; y < h; y = y + 1) {
+    for (int x = 0; x < w2; x = x + 1) {
+      int lo = 0;
+      int hi = 0;
+      for (int t = 0; t < 5; t = t + 1) {
+        int yy = y + t - 2;
+        if (yy < 0) { yy = 0 - yy; }
+        if (yy >= h) { yy = 2 * h - 2 - yy; }
+        int ys = yy / 2;
+        if (ys >= h / 2) { ys = h / 2 - 1; }
+        if ((yy & 1) == 0) {
+          lo = lo + slofilt[t] * ll[ys * w2 + x];
+          hi = hi + slofilt[t] * hl[ys * w2 + x];
+        } else {
+          lo = lo + shifilt[t] * lh[ys * w2 + x];
+          hi = hi + shifilt[t] * hh[ys * w2 + x];
+        }
+      }
+      locol[y * w2 + x] = lo >> 3;
+      hicol[y * w2 + x] = hi >> 3;
+    }
+  }
+
+  /* horizontal synthesis: upsample columns 2x and filter */
+  for (int y = 0; y < h; y = y + 1) {
+    for (int x = 0; x < w; x = x + 1) {
+      int acc = 0;
+      for (int t = 0; t < 5; t = t + 1) {
+        int xx = x + t - 2;
+        if (xx < 0) { xx = 0 - xx; }
+        if (xx >= w) { xx = 2 * w - 2 - xx; }
+        int xs = xx / 2;
+        if (xs >= w2) { xs = w2 - 1; }
+        if ((xx & 1) == 0) {
+          acc = acc + slofilt[t] * locol[y * w2 + xs];
+        } else {
+          acc = acc + shifilt[t] * hicol[y * w2 + xs];
+        }
+      }
+      image[y * w + x] = acc >> 3;
+    }
+  }
+
+  int check = 0;
+  for (int i = 0; i < 512; i = i + 1) {
+    check = check + image[i];
+    if (i % 64 == 0) { out(image[i]); }
+  }
+  out(check);
+}
+|}
+
+let bench : Bench_intf.t =
+  {
+    name = "unepic";
+    description = "unepic kernel: wavelet synthesis (inverse of epic)";
+    source;
+    input = Bench_intf.workload ~seed:60602 ~n:512 ~range:256 ();
+    exhaustive_ok = false;
+  }

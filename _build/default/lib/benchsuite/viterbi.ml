@@ -1,0 +1,94 @@
+(** viterbi: convolutional-code decoder kernel (DSP).  Add-compare-select
+    over a 16-state trellis with ping-pong path metric arrays, a branch
+    metric table and survivor storage. *)
+
+let source =
+  {|
+/* expected (I, Q) symbol per state-transition parity, Q4 */
+int bmetric[4] = {-12, -4, 4, 12};
+
+/* next-state table: nxt[state*2 + bit] for a K=5-ish code */
+int nxt[32] = {
+  0, 8, 0, 8, 1, 9, 1, 9,
+  2, 10, 2, 10, 3, 11, 3, 11,
+  4, 12, 4, 12, 5, 13, 5, 13,
+  6, 14, 6, 14, 7, 15, 7, 15
+};
+
+/* output parity per transition */
+int par[32] = {
+  0, 3, 3, 0, 1, 2, 2, 1,
+  3, 0, 0, 3, 2, 1, 1, 2,
+  0, 3, 3, 0, 1, 2, 2, 1,
+  3, 0, 0, 3, 2, 1, 1, 2
+};
+
+int nsyms = 256;
+
+void main() {
+  int n = nsyms;
+  int *symbols = malloc(256);
+  int *pm_a = malloc(16);
+  int *pm_b = malloc(16);
+  int *survivors = malloc(4096);   /* n * 16 */
+  int *decoded = malloc(256);
+
+  for (int i = 0; i < n; i = i + 1) {
+    symbols[i] = in(i) & 3;
+  }
+  pm_a[0] = 0;
+  for (int s = 1; s < 16; s = s + 1) { pm_a[s] = 100000; }
+
+  for (int t = 0; t < n; t = t + 1) {
+    int sym = symbols[t];
+    for (int s = 0; s < 16; s = s + 1) { pm_b[s] = 1000000; }
+    for (int s = 0; s < 16; s = s + 1) {
+      int m = pm_a[s];
+      for (int bit = 0; bit < 2; bit = bit + 1) {
+        int ns = nxt[s * 2 + bit];
+        int p = par[s * 2 + bit];
+        int d = sym - p;
+        if (d < 0) { d = 0 - d; }
+        int metric = m + bmetric[d];
+        if (metric < pm_b[ns]) {
+          pm_b[ns] = metric;
+          survivors[t * 16 + ns] = s * 2 + bit;
+        }
+      }
+    }
+    for (int s = 0; s < 16; s = s + 1) {
+      pm_a[s] = pm_b[s];
+    }
+  }
+
+  /* traceback from the best final state */
+  int best = 0;
+  for (int s = 1; s < 16; s = s + 1) {
+    if (pm_a[s] < pm_a[best]) { best = s; }
+  }
+  int state = best;
+  for (int t = n - 1; t >= 0; t = t - 1) {
+    int sb = survivors[t * 16 + state];
+    decoded[t] = sb & 1;
+    state = sb / 2;
+  }
+
+  int check = 0;
+  for (int t = 0; t < n; t = t + 1) {
+    check = check * 2 + decoded[t];
+    check = check % 1000003;
+  }
+  out(check);
+  out(best);
+  out(pm_a[best]);
+}
+|}
+
+let bench : Bench_intf.t =
+  {
+    name = "viterbi";
+    description = "Viterbi decoder: 16-state add-compare-select + traceback";
+    source;
+    input = Bench_intf.workload ~seed:15151 ~n:256 ~range:4 ();
+    exhaustive_ok = false;
+  }

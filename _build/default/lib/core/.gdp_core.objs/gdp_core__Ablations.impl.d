@@ -1,0 +1,1 @@
+lib/core/ablations.ml: Benchsuite Fmt Hashtbl List Option Partition Pipeline Report Vliw_ir Vliw_machine Vliw_sched

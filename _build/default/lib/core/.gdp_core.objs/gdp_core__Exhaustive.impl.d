@@ -1,0 +1,1 @@
+lib/core/exhaustive.ml: Array Benchsuite Buffer Float Fmt List Partition Pipeline Vliw_machine Vliw_sched

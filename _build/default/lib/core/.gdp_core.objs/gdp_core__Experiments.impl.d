@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Benchsuite Float Fmt Hashtbl List Partition Pipeline Report Unix Vliw_machine Vliw_sched

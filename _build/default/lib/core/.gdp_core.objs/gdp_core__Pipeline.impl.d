@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Benchsuite Fmt List Minic Partition Prog Vliw_interp Vliw_ir Vliw_machine Vliw_opt Vliw_sched

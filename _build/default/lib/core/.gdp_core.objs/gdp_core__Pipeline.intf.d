@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Benchsuite Partition Vliw_interp Vliw_ir Vliw_machine Vliw_opt Vliw_sched

@@ -1,0 +1,171 @@
+(** Figure 9: exhaustive search over all data-object mappings.
+
+    For a benchmark with few merged object groups, enumerate every
+    assignment of groups to the two clusters (fixing the first group to
+    cluster 0 — mappings are symmetric), run the locked computation
+    partitioner for each, and record the cycle count and the data-size
+    balance.  The paper plots performance normalized to the worst mapping
+    with shading by balance, and marks where GDP and Profile Max landed. *)
+
+module Methods = Partition.Methods
+module Merge = Partition.Merge
+
+type point = {
+  mapping : int;  (** bit [i] = cluster of data group [i] *)
+  cycles : int;
+  balance : float;
+      (** size of the smaller side / half the total: 1.0 = perfectly
+          balanced, 0.0 = everything on one cluster *)
+}
+
+type result = {
+  bench_name : string;
+  group_bytes : int array;  (** per data group *)
+  points : point list;
+  best : point;
+  worst : point;
+  gdp : point;
+  profile_max : point;
+}
+
+let too_many_groups = 14
+
+(** Canonical mapping key for a homes list: bit per data group, with the
+    first group on cluster 0. *)
+let mapping_of_homes ~(groups : Merge.group list) homes =
+  let bit g =
+    let o = List.hd g.Merge.objects in
+    match List.assoc_opt o homes with Some c -> c land 1 | None -> 0
+  in
+  let raw =
+    List.fold_left
+      (fun (i, acc) g -> (i + 1, acc lor (bit g lsl i)))
+      (0, 0) groups
+    |> snd
+  in
+  if raw land 1 = 1 then lnot raw land ((1 lsl List.length groups) - 1)
+  else raw
+
+let balance_of ~group_bytes mapping =
+  let total = Array.fold_left ( + ) 0 group_bytes in
+  let side1 = ref 0 in
+  Array.iteri
+    (fun i b -> if (mapping lsr i) land 1 = 1 then side1 := !side1 + b)
+    group_bytes;
+  let smaller = min !side1 (total - !side1) in
+  if total = 0 then 1.0 else float smaller /. (float total /. 2.)
+
+let run ?(move_latency = 5) (bench : Benchsuite.Bench_intf.t) : result =
+  let machine = Vliw_machine.paper_machine ~move_latency () in
+  let p = Pipeline.prepare bench in
+  let ctx = Pipeline.context ~machine p in
+  let groups = Merge.data_groups ctx.Methods.merge in
+  let k = List.length groups in
+  if k > too_many_groups then
+    invalid_arg
+      (Fmt.str "Exhaustive.run: %s has %d object groups (max %d)"
+         bench.Benchsuite.Bench_intf.name k too_many_groups);
+  let group_bytes =
+    Array.of_list (List.map (fun g -> g.Merge.bytes) groups)
+  in
+  let homes_of_mapping m =
+    List.concat
+      (List.mapi
+         (fun i g ->
+           let c = (m lsr i) land 1 in
+           List.map (fun o -> (o, c)) g.Merge.objects)
+         groups)
+  in
+  let eval_mapping m =
+    let homes = homes_of_mapping m in
+    let outcome =
+      Methods.clustered_with_homes ctx ~method_name:"exhaustive" ~rhop_runs:1
+        homes
+    in
+    let report = Methods.evaluate ctx outcome in
+    {
+      mapping = m;
+      cycles = report.Vliw_sched.Perf.total_cycles;
+      balance = balance_of ~group_bytes m;
+    }
+  in
+  (* first group fixed on cluster 0: 2^(k-1) mappings *)
+  let n = 1 lsl max 0 (k - 1) in
+  let points = List.init n (fun i -> eval_mapping (i * 2)) in
+  let best =
+    List.fold_left (fun a p -> if p.cycles < a.cycles then p else a)
+      (List.hd points) points
+  in
+  let worst =
+    List.fold_left (fun a p -> if p.cycles > a.cycles then p else a)
+      (List.hd points) points
+  in
+  let find_method m =
+    let o = Methods.run m ctx in
+    let mapping = mapping_of_homes ~groups o.Methods.obj_home in
+    match List.find_opt (fun p -> p.mapping = mapping) points with
+    | Some p -> p
+    | None -> eval_mapping mapping
+  in
+  {
+    bench_name = bench.Benchsuite.Bench_intf.name;
+    group_bytes;
+    points;
+    best;
+    worst;
+    gdp = find_method Methods.Gdp;
+    profile_max = find_method Methods.Profile_max;
+  }
+
+let norm (r : result) (p : point) = float r.worst.cycles /. float p.cycles
+
+let render ppf (r : result) =
+  Fmt.pf ppf
+    "@.Figure 9 (%s): exhaustive search over %d data-object mappings@."
+    r.bench_name (List.length r.points);
+  Fmt.pf ppf "  data groups: %d, bytes per group: [%a]@."
+    (Array.length r.group_bytes)
+    Fmt.(array ~sep:sp int)
+    r.group_bytes;
+  (* scatter rendered as a balance-bucketed summary: each row is a
+     balance band with the range of normalized performance inside it *)
+  let bands = 5 in
+  Fmt.pf ppf "  balance band      points  perf (normalized to worst)@.";
+  for band = bands - 1 downto 0 do
+    let lo = float band /. float bands and hi = float (band + 1) /. float bands in
+    let inside =
+      List.filter (fun p -> p.balance >= lo && (p.balance < hi || band = bands - 1))
+        r.points
+    in
+    if inside <> [] then begin
+      let perfs = List.map (norm r) inside in
+      let pmin = List.fold_left Float.min infinity perfs in
+      let pmax = List.fold_left Float.max neg_infinity perfs in
+      Fmt.pf ppf "  [%.1f, %.1f%s  %6d  %.3f .. %.3f@." lo hi
+        (if band = bands - 1 then "]" else ")")
+        (List.length inside) pmin pmax
+    end
+  done;
+  Fmt.pf ppf "  best mapping:  perf %.3f, balance %.2f@." (norm r r.best)
+    r.best.balance;
+  Fmt.pf ppf "  worst mapping: perf 1.000, balance %.2f@." r.worst.balance;
+  Fmt.pf ppf "  GDP:           perf %.3f, balance %.2f@." (norm r r.gdp)
+    r.gdp.balance;
+  Fmt.pf ppf "  Profile Max:   perf %.3f, balance %.2f@."
+    (norm r r.profile_max) r.profile_max.balance;
+  let spread =
+    (float r.worst.cycles -. float r.best.cycles) /. float r.worst.cycles *. 100.
+  in
+  Fmt.pf ppf "  best-vs-worst spread: %.1f%%@." spread
+
+(** Raw points in CSV form (mapping, cycles, balance, norm_perf) for
+    external plotting. *)
+let to_csv (r : result) : string =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "mapping,cycles,balance,norm_perf\n";
+  List.iter
+    (fun p ->
+      Buffer.add_string b
+        (Fmt.str "%d,%d,%.4f,%.4f\n" p.mapping p.cycles p.balance (norm r p)))
+    r.points;
+  Buffer.contents b

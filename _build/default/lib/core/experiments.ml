@@ -1,0 +1,256 @@
+(** Drivers reproducing every table and figure of the paper's evaluation
+    (Section 4).  Each driver returns plain data and can render itself;
+    `bench/main.exe` and EXPERIMENTS.md are generated from these. *)
+
+module Methods = Partition.Methods
+
+type row = {
+  bench : string;
+  cycles : (string * int) list;  (** method name -> total cycles *)
+  moves : (string * int) list;  (** method name -> dynamic moves *)
+}
+
+let default_benches () = Benchsuite.Suite.all
+
+let cycles_of row name = List.assoc name row.cycles
+let moves_of row name = List.assoc name row.moves
+
+let run_all_uncached ~benches ~move_latency : row list =
+  let machine = Vliw_machine.paper_machine ~move_latency () in
+  List.map
+    (fun b ->
+      let p = Pipeline.prepare b in
+      let ctx = Pipeline.context ~machine p in
+      let evals =
+        List.map
+          (fun m ->
+            let e = Pipeline.evaluate ctx m in
+            (Methods.name m, e))
+          Methods.all
+      in
+      {
+        bench = b.Benchsuite.Bench_intf.name;
+        cycles =
+          List.map
+            (fun (n, e) -> (n, e.Pipeline.report.Vliw_sched.Perf.total_cycles))
+            evals;
+        moves =
+          List.map
+            (fun (n, e) ->
+              (n, e.Pipeline.report.Vliw_sched.Perf.dynamic_moves))
+            evals;
+      })
+    benches
+
+(* several figures share the same sweep; cache by latency *)
+let run_all_cache : (int * string list, row list) Hashtbl.t = Hashtbl.create 8
+
+(** Run all four methods on every benchmark at one intercluster latency.
+    Results are memoized per (latency, benchmark set). *)
+let run_all ?(benches = default_benches ()) ~move_latency () : row list =
+  let key =
+    (move_latency, List.map (fun b -> b.Benchsuite.Bench_intf.name) benches)
+  in
+  match Hashtbl.find_opt run_all_cache key with
+  | Some rows -> rows
+  | None ->
+      let rows = run_all_uncached ~benches ~move_latency in
+      Hashtbl.replace run_all_cache key rows;
+      rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2: cycle increase of the Naive method vs unified memory.     *)
+
+type figure2_result = {
+  f2_benches : string list;
+  f2_increase : (int * (string * float) list) list;
+      (** latency -> per-bench % increase *)
+}
+
+let figure2 ?benches () : figure2_result =
+  let latencies = [ 1; 5; 10 ] in
+  let per_lat =
+    List.map
+      (fun lat ->
+        let rows = run_all ?benches ~move_latency:lat () in
+        ( lat,
+          List.map
+            (fun r ->
+              ( r.bench,
+                Report.percent ~base:(cycles_of r "unified")
+                  (cycles_of r "naive") ))
+            rows ))
+      latencies
+  in
+  let f2_benches = List.map fst (snd (List.hd per_lat)) in
+  { f2_benches; f2_increase = per_lat }
+
+let render_figure2 ppf (r : figure2_result) =
+  Fmt.pf ppf
+    "@.Figure 2: %% increase in cycles when data is naively partitioned \
+     across clusters@.";
+  let header =
+    "benchmark" :: List.map (fun (l, _) -> Fmt.str "lat=%d" l) r.f2_increase
+  in
+  let rows =
+    List.map
+      (fun b ->
+        ( b,
+          List.map
+            (fun (_, per_bench) -> Fmt.str "%.1f%%" (List.assoc b per_bench))
+            r.f2_increase ))
+      r.f2_benches
+  in
+  let avg per_bench =
+    List.fold_left (fun a (_, v) -> a +. v) 0. per_bench
+    /. float (List.length per_bench)
+  in
+  let rows =
+    rows
+    @ [
+        ( "AVERAGE",
+          List.map (fun (_, pb) -> Fmt.str "%.1f%%" (avg pb)) r.f2_increase );
+      ]
+  in
+  Report.table ppf ~header rows
+
+(* ------------------------------------------------------------------ *)
+(* Figures 7 and 8: GDP and Profile Max relative to unified memory.    *)
+
+type perf_result = {
+  latency : int;
+  rows : row list;
+}
+
+let performance ?benches ~move_latency () : perf_result =
+  { latency = move_latency; rows = run_all ?benches ~move_latency () }
+
+let relative r method_name =
+  Report.ratio ~base:(cycles_of r "unified") (cycles_of r method_name)
+
+let render_performance ppf (p : perf_result) ~figure_name =
+  Fmt.pf ppf
+    "@.%s: performance relative to unified memory (1.0 = unified), %d-cycle \
+     intercluster moves@."
+    figure_name p.latency;
+  let header = [ "benchmark"; "GDP"; "ProfileMax"; "Naive" ] in
+  let rows =
+    List.map
+      (fun r ->
+        ( r.bench,
+          [
+            Fmt.str "%.3f" (relative r "gdp");
+            Fmt.str "%.3f" (relative r "profile-max");
+            Fmt.str "%.3f" (relative r "naive");
+          ] ))
+      p.rows
+  in
+  let avg f =
+    List.fold_left (fun a r -> a +. f r) 0. p.rows /. float (List.length p.rows)
+  in
+  let rows =
+    rows
+    @ [
+        ( "AVERAGE",
+          [
+            Fmt.str "%.3f" (avg (fun r -> relative r "gdp"));
+            Fmt.str "%.3f" (avg (fun r -> relative r "profile-max"));
+            Fmt.str "%.3f" (avg (fun r -> relative r "naive"));
+          ] );
+      ]
+  in
+  Report.table ppf ~header rows;
+  Report.bar_chart ppf
+    ~title:(figure_name ^ " (bars: GDP relative performance)")
+    ~unit:""
+    (List.map (fun r -> (r.bench, relative r "gdp")) p.rows)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10: increase in dynamic intercluster moves at 5-cycle latency *)
+
+let render_figure10 ppf (p : perf_result) =
+  Fmt.pf ppf
+    "@.Figure 10: %% increase in dynamic intercluster moves over unified \
+     memory (%d-cycle latency)@."
+    p.latency;
+  let header = [ "benchmark"; "unified moves"; "GDP"; "ProfileMax" ] in
+  let pct r name =
+    let u = moves_of r "unified" in
+    if u = 0 then Fmt.str "+%d" (moves_of r name)
+    else Fmt.str "%.1f%%" (Report.percent ~base:u (moves_of r name))
+  in
+  let rows =
+    List.map
+      (fun r ->
+        ( r.bench,
+          [
+            string_of_int (moves_of r "unified");
+            pct r "gdp";
+            pct r "profile-max";
+          ] ))
+      p.rows
+  in
+  Report.table ppf ~header rows
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: the method taxonomy.                                       *)
+
+let render_table1 ppf () =
+  Fmt.pf ppf "@.Table 1: object and computation partitioning methods@.";
+  Report.table ppf
+    ~header:[ "Algorithm"; "Object partitioner"; "Object assignment"; "Computation" ]
+    [
+      ("GDP", [ "Global Data Partitioning"; "graph partition"; "RHOP" ]);
+      ( "Profile Max",
+        [ "RHOP (unified pass)"; "greedy by dynamic frequency"; "RHOP" ] );
+      ("Naive", [ "none (post-pass)"; "max-frequency, no balance"; "RHOP" ]);
+      ("Unified", [ "n/a (shared memory)"; "n/a"; "RHOP" ]);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Section 4.5: compile time.                                          *)
+
+type compile_time_result = {
+  ct_rows : (string * (string * float) list) list;
+      (** bench -> method -> seconds *)
+}
+
+let compile_time ?(benches = default_benches ()) ?(move_latency = 5) () :
+    compile_time_result =
+  let machine = Vliw_machine.paper_machine ~move_latency () in
+  let rows =
+    List.map
+      (fun b ->
+        let p = Pipeline.prepare b in
+        let ctx = Pipeline.context ~machine p in
+        let time m =
+          let t0 = Unix.gettimeofday () in
+          let (_ : Methods.outcome) = Methods.run m ctx in
+          Unix.gettimeofday () -. t0
+        in
+        ( b.Benchsuite.Bench_intf.name,
+          List.map (fun m -> (Methods.name m, time m)) Methods.all ))
+      benches
+  in
+  { ct_rows = rows }
+
+let render_compile_time ppf (r : compile_time_result) =
+  Fmt.pf ppf
+    "@.Section 4.5: partitioning time per method (seconds; Profile Max runs \
+     the detailed partitioner twice)@.";
+  let header = [ "benchmark"; "GDP"; "ProfileMax"; "Naive"; "Unified"; "PM/GDP" ] in
+  let rows =
+    List.map
+      (fun (b, times) ->
+        let t n = List.assoc n times in
+        ( b,
+          [
+            Fmt.str "%.4f" (t "gdp");
+            Fmt.str "%.4f" (t "profile-max");
+            Fmt.str "%.4f" (t "naive");
+            Fmt.str "%.4f" (t "unified");
+            Fmt.str "%.2fx" (t "profile-max" /. Float.max 1e-9 (t "gdp"));
+          ] ))
+      r.ct_rows
+  in
+  Report.table ppf ~header rows

@@ -1,0 +1,110 @@
+(** The end-to-end GDP pipeline: MiniC source -> IR -> profile ->
+    partitioning context -> method outcome -> cycle report.
+
+    This is the library's main entry point; the experiment drivers and
+    the examples are thin layers over it. *)
+
+open Vliw_ir
+module Methods = Partition.Methods
+
+type prepared = {
+  bench : Benchsuite.Bench_intf.t;
+  prog : Prog.t;
+  reference : Vliw_interp.Interp.result;
+}
+
+(** Compile a benchmark, form predicated hyperblocks (Trimaran-style
+    if-conversion; pass [~if_convert:false] to keep raw basic blocks),
+    and collect the reference run and profile. *)
+let prepare ?(unroll = true) ?(promote = true) ?(simplify = true)
+    ?(if_convert = true) ?ifconvert_config
+    (bench : Benchsuite.Bench_intf.t) : prepared =
+  let prog = Minic.compile ~unroll bench.Benchsuite.Bench_intf.source in
+  let prog = if promote then Vliw_opt.Promote.run prog else prog in
+  let prog =
+    if simplify then Vliw_opt.Dce.run (Vliw_opt.Simplify.run prog) else prog
+  in
+  let prog =
+    if if_convert then Vliw_opt.Ifconvert.run ?config:ifconvert_config prog
+    else prog
+  in
+  let prog = if simplify then Vliw_opt.Dce.run prog else prog in
+  let reference =
+    Vliw_interp.Interp.run prog ~input:bench.Benchsuite.Bench_intf.input
+  in
+  { bench; prog; reference }
+
+let context ?machine ?merge_low_slack (p : prepared) : Methods.context =
+  let machine =
+    match machine with Some m -> m | None -> Vliw_machine.paper_machine ()
+  in
+  Methods.make_context ?merge_low_slack ~machine ~prog:p.prog
+    ~profile:p.reference.Vliw_interp.Interp.profile ()
+
+type evaluation = {
+  outcome : Methods.outcome;
+  report : Vliw_sched.Perf.report;
+}
+
+(** Run one method and price it under the cycle model. *)
+let evaluate ?rhop_config ?gdp_config (ctx : Methods.context) method_ :
+    evaluation =
+  let outcome = Methods.run ?rhop_config ?gdp_config method_ ctx in
+  let report = Methods.evaluate ctx outcome in
+  { outcome; report }
+
+(** Functional correctness: the clustered program must produce the
+    reference outputs both under plain interpretation and under
+    cycle-level simulation (which also checks resource legality).
+    Returns an error message instead of raising so tests can assert. *)
+let verify (p : prepared) (ctx : Methods.context) (e : evaluation) :
+    (unit, string) result =
+  let expected = p.reference.Vliw_interp.Interp.outputs in
+  let input = p.bench.Benchsuite.Bench_intf.input in
+  let check_outputs what got =
+    if
+      List.length got = List.length expected
+      && List.for_all2 Vliw_interp.Interp.equal_value got expected
+    then Ok ()
+    else Error (Fmt.str "%s outputs differ from the reference run" what)
+  in
+  match
+    Vliw_interp.Interp.run
+      e.outcome.Methods.clustered.Vliw_sched.Move_insert.cprog ~input
+  with
+  | exception Vliw_interp.Interp.Runtime_error m ->
+      Error ("clustered interpretation failed: " ^ m)
+  | re -> (
+      match check_outputs "clustered interpretation" re.Vliw_interp.Interp.outputs with
+      | Error _ as err -> err
+      | Ok () -> (
+          match
+            Vliw_sched.Vliw_sim.run e.outcome.Methods.clustered
+              ~machine:ctx.Methods.machine
+              ~objects_of:(Methods.objects_of ctx) ~input ()
+          with
+          | exception Vliw_sched.Vliw_sim.Sim_error m ->
+              Error ("cycle simulation failed: " ^ m)
+          | sim -> (
+              match check_outputs "cycle simulation" sim.Vliw_sched.Vliw_sim.outputs with
+              | Error _ as err -> err
+              | Ok () ->
+                  if sim.Vliw_sched.Vliw_sim.cycles <> e.report.Vliw_sched.Perf.total_cycles
+                  then
+                    Error
+                      (Fmt.str
+                         "simulated cycles (%d) disagree with the static \
+                          model (%d)"
+                         sim.Vliw_sched.Vliw_sim.cycles
+                         e.report.Vliw_sched.Perf.total_cycles)
+                  else if
+                    sim.Vliw_sched.Vliw_sim.dynamic_moves
+                    <> e.report.Vliw_sched.Perf.dynamic_moves
+                  then
+                    Error
+                      (Fmt.str
+                         "simulated moves (%d) disagree with the static \
+                          model (%d)"
+                         sim.Vliw_sched.Vliw_sim.dynamic_moves
+                         e.report.Vliw_sched.Perf.dynamic_moves)
+                  else Ok ())))

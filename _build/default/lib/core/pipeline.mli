@@ -1,0 +1,50 @@
+(** The end-to-end GDP pipeline: MiniC source -> optimized IR -> profile
+    -> partitioning context -> method outcome -> cycle report, plus
+    full verification. *)
+
+type prepared = {
+  bench : Benchsuite.Bench_intf.t;
+  prog : Vliw_ir.Prog.t;
+  reference : Vliw_interp.Interp.result;
+}
+
+(** Compile a benchmark (unrolling, scalar promotion, simplification,
+    if-conversion — each individually togglable) and collect the
+    reference run and profile. *)
+val prepare :
+  ?unroll:bool ->
+  ?promote:bool ->
+  ?simplify:bool ->
+  ?if_convert:bool ->
+  ?ifconvert_config:Vliw_opt.Ifconvert.config ->
+  Benchsuite.Bench_intf.t ->
+  prepared
+
+(** Partitioning context on a machine (default: the paper's 2-cluster
+    machine at 5-cycle move latency). *)
+val context :
+  ?machine:Vliw_machine.t ->
+  ?merge_low_slack:bool ->
+  prepared ->
+  Partition.Methods.context
+
+type evaluation = {
+  outcome : Partition.Methods.outcome;
+  report : Vliw_sched.Perf.report;
+}
+
+val evaluate :
+  ?rhop_config:Partition.Rhop.config ->
+  ?gdp_config:Partition.Gdp.config ->
+  Partition.Methods.context ->
+  Partition.Methods.t ->
+  evaluation
+
+(** Full verification: the clustered program's interpretation and its
+    cycle-level simulation must reproduce the reference outputs, and the
+    simulator's cycle/move counts must equal the static model's. *)
+val verify :
+  prepared ->
+  Partition.Methods.context ->
+  evaluation ->
+  (unit, string) result

@@ -1,0 +1,1 @@
+lib/graphpart/graph.ml: Array Fmt Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/graphpart/graph.mli: Fmt

@@ -1,0 +1,1 @@
+lib/graphpart/partitioner.ml: Array Float Fun Graph Hashtbl List Random

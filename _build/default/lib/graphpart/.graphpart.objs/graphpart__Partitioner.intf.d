@@ -1,0 +1,1 @@
+lib/graphpart/partitioner.mli: Graph

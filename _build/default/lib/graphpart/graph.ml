@@ -1,0 +1,82 @@
+(** Undirected weighted graphs with vector (multi-constraint) node
+    weights, in adjacency-list form.
+
+    This is the input format of the multilevel partitioner ([Partitioner]),
+    our stand-in for METIS: the paper partitions its program-level graph
+    with METIS using "multiple node weights" (Section 3.3.2). *)
+
+type t = {
+  n : int;
+  ncon : int;  (** number of node-weight constraints *)
+  vwgt : int array array;  (** [vwgt.(v).(c)] = weight of [v] under [c] *)
+  adj : (int * int) list array;  (** neighbor, edge weight; symmetric *)
+}
+
+let num_nodes g = g.n
+let num_constraints g = g.ncon
+let node_weight g v c = g.vwgt.(v).(c)
+let neighbors g v = g.adj.(v)
+
+(** Total weight under constraint [c]. *)
+let total_weight g c =
+  let s = ref 0 in
+  for v = 0 to g.n - 1 do
+    s := !s + g.vwgt.(v).(c)
+  done;
+  !s
+
+let num_edges g =
+  Array.fold_left (fun acc l -> acc + List.length l) 0 g.adj / 2
+
+(** Build a graph.  [edges] are (u, v, w) triples with [u <> v]; parallel
+    edges are merged by summing weights.  Node weights must all have
+    length [ncon]. *)
+let create ~ncon ~weights ~edges =
+  let n = Array.length weights in
+  Array.iteri
+    (fun v w ->
+      if Array.length w <> ncon then
+        invalid_arg
+          (Fmt.str "Graph.create: node %d has %d weights, expected %d" v
+             (Array.length w) ncon))
+    weights;
+  let tbl = Hashtbl.create (List.length edges * 2) in
+  List.iter
+    (fun (u, v, w) ->
+      if u = v then invalid_arg "Graph.create: self edge";
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Graph.create: edge endpoint out of range";
+      if w < 0 then invalid_arg "Graph.create: negative edge weight";
+      let key = if u < v then (u, v) else (v, u) in
+      Hashtbl.replace tbl key
+        (w + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+    edges;
+  let adj = Array.make n [] in
+  Hashtbl.iter
+    (fun (u, v) w ->
+      adj.(u) <- (v, w) :: adj.(u);
+      adj.(v) <- (u, w) :: adj.(v))
+    tbl;
+  { n; ncon; vwgt = Array.map Array.copy weights; adj }
+
+(** Weight of edges crossing the partition. *)
+let edge_cut g (part : int array) =
+  let cut = ref 0 in
+  for v = 0 to g.n - 1 do
+    List.iter
+      (fun (u, w) -> if v < u && part.(v) <> part.(u) then cut := !cut + w)
+      g.adj.(v)
+  done;
+  !cut
+
+(** Per-part weight sums under constraint [c]. *)
+let part_weights g (part : int array) ~nparts c =
+  let w = Array.make nparts 0 in
+  for v = 0 to g.n - 1 do
+    w.(part.(v)) <- w.(part.(v)) + g.vwgt.(v).(c)
+  done;
+  w
+
+let pp ppf g =
+  Fmt.pf ppf "@[<v>graph: %d nodes, %d edges, %d constraint(s)@]" g.n
+    (num_edges g) g.ncon

@@ -1,0 +1,31 @@
+(** Undirected weighted graphs with vector (multi-constraint) node
+    weights — the input format of the multilevel partitioner, our METIS
+    stand-in. *)
+
+type t
+
+val num_nodes : t -> int
+val num_constraints : t -> int
+
+(** [node_weight g v c] is node [v]'s weight under constraint [c]. *)
+val node_weight : t -> int -> int -> int
+
+(** Neighbors of a node with edge weights; symmetric. *)
+val neighbors : t -> int -> (int * int) list
+
+val total_weight : t -> int -> int
+val num_edges : t -> int
+
+(** Build a graph from per-node weight vectors (all of length [ncon])
+    and [(u, v, w)] edges.  Parallel edges are merged by summing their
+    weights; self edges and out-of-range endpoints are rejected. *)
+val create :
+  ncon:int -> weights:int array array -> edges:(int * int * int) list -> t
+
+(** Total weight of edges crossing the partition. *)
+val edge_cut : t -> int array -> int
+
+(** Per-part weight sums under one constraint. *)
+val part_weights : t -> int array -> nparts:int -> int -> int array
+
+val pp : t Fmt.t

@@ -1,0 +1,420 @@
+(** Multilevel multi-constraint graph bisection (METIS stand-in).
+
+    Pipeline: heavy-edge-matching coarsening, greedy-growing initial
+    bisection on the coarsest graph, then Fiduccia-Mattheyses refinement
+    with rollback at every uncoarsening level.  Balance is enforced per
+    constraint: part weights must not exceed [(1 + imbalance.(c)) / 2] of
+    the total.  K-way partitioning (for the cluster-count ablation) is
+    recursive bisection, powers of two only.
+
+    All randomness is seeded; results are deterministic for a given
+    [seed]. *)
+
+type config = {
+  imbalance : float array;  (** per-constraint tolerance, e.g. 0.1 = 10% *)
+  targets : float array option;
+      (** per-constraint share of part 0, default 0.5 everywhere; used
+          for machines whose clusters have asymmetric memories or
+          datapaths (the paper parameterizes the memory balance for this
+          case, Section 3.3.2) *)
+  seed : int;
+  coarsen_until : int;  (** stop coarsening below this many nodes *)
+  initial_tries : int;  (** greedy-growing attempts on the coarsest graph *)
+  fm_max_bad_moves : int;  (** FM hill-climbing patience *)
+}
+
+let default_config ~ncon =
+  {
+    imbalance = Array.make ncon 0.15;
+    targets = None;
+    seed = 42;
+    coarsen_until = 24;
+    initial_tries = 8;
+    fm_max_bad_moves = 32;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Balance bookkeeping                                                 *)
+
+let share (cfg : config) c part =
+  match cfg.targets with
+  | None -> 0.5
+  | Some t ->
+      let s = Float.max 0.05 (Float.min 0.95 t.(c)) in
+      if part = 0 then s else 1. -. s
+
+(** [caps.(c).(part)]: max allowed weight of [part] under constraint
+    [c]. *)
+let caps (g : Graph.t) (cfg : config) =
+  Array.init (Graph.num_constraints g) (fun c ->
+      let total = Graph.total_weight g c in
+      Array.init 2 (fun part ->
+          let s = share cfg c part in
+          let lim =
+            int_of_float (ceil ((1. +. cfg.imbalance.(c)) *. s *. float total))
+          in
+          (* never tighter than a perfect split would need *)
+          max lim (int_of_float (ceil (s *. float total)))))
+
+(** How much the partition violates the caps (0 when feasible). *)
+let infeasibility ~caps (pw : int array array) =
+  let v = ref 0 in
+  Array.iteri
+    (fun c per_part ->
+      Array.iteri
+        (fun part cap ->
+          if pw.(c).(part) > cap then v := !v + (pw.(c).(part) - cap))
+        per_part)
+    caps;
+  !v
+
+(* ------------------------------------------------------------------ *)
+(* Coarsening                                                          *)
+
+type level = {
+  graph : Graph.t;
+  coarse_of : int array;  (** fine node -> coarse node of the next level *)
+}
+
+(** One round of heavy-edge matching.  Returns the coarse graph and the
+    fine->coarse map, or [None] if matching cannot shrink the graph. *)
+let coarsen_once rng (g : Graph.t) : (Graph.t * int array) option =
+  let n = Graph.num_nodes g in
+  let matched = Array.make n (-1) in
+  let order = Array.init n Fun.id in
+  (* random visit order avoids pathological matchings *)
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- t
+  done;
+  Array.iter
+    (fun v ->
+      if matched.(v) = -1 then begin
+        let best = ref (-1) and best_w = ref (-1) in
+        List.iter
+          (fun (u, w) ->
+            if matched.(u) = -1 && u <> v && w > !best_w then begin
+              best := u;
+              best_w := w
+            end)
+          (Graph.neighbors g v);
+        if !best >= 0 then begin
+          matched.(v) <- !best;
+          matched.(!best) <- v
+        end
+        else matched.(v) <- v (* unmatched: singleton *)
+      end)
+    order;
+  (* assign coarse ids *)
+  let coarse_of = Array.make n (-1) in
+  let next = ref 0 in
+  for v = 0 to n - 1 do
+    if coarse_of.(v) = -1 then begin
+      let m = matched.(v) in
+      coarse_of.(v) <- !next;
+      if m <> v then coarse_of.(m) <- !next;
+      incr next
+    end
+  done;
+  let cn = !next in
+  if cn >= n then None
+  else begin
+    let ncon = Graph.num_constraints g in
+    let weights = Array.init cn (fun _ -> Array.make ncon 0) in
+    for v = 0 to n - 1 do
+      let cv = coarse_of.(v) in
+      for c = 0 to ncon - 1 do
+        weights.(cv).(c) <- weights.(cv).(c) + Graph.node_weight g v c
+      done
+    done;
+    let edges = ref [] in
+    for v = 0 to n - 1 do
+      List.iter
+        (fun (u, w) ->
+          if v < u then begin
+            let cv = coarse_of.(v) and cu = coarse_of.(u) in
+            if cv <> cu then edges := (cv, cu, w) :: !edges
+          end)
+        (Graph.neighbors g v)
+    done;
+    Some (Graph.create ~ncon ~weights ~edges:!edges, coarse_of)
+  end
+
+(** Coarsen down to [cfg.coarsen_until] nodes; returns the levels from
+    finest to coarsest (each with the map into the next) and the coarsest
+    graph. *)
+let coarsen rng cfg (g : Graph.t) : level list * Graph.t =
+  let rec go acc g =
+    if Graph.num_nodes g <= cfg.coarsen_until then (List.rev acc, g)
+    else
+      match coarsen_once rng g with
+      | None -> (List.rev acc, g)
+      | Some (cg, map) -> go ({ graph = g; coarse_of = map } :: acc) cg
+  in
+  go [] g
+
+(* ------------------------------------------------------------------ *)
+(* FM refinement                                                       *)
+
+(** Refine a bisection in place.  Classic FM with rollback: repeatedly
+    move the best-gain movable node, lock it, and finally keep the best
+    prefix of the move sequence (considering feasibility first, then cut).
+    Repeated for up to [passes] passes or until a pass yields no
+    improvement. *)
+let fm_refine ?(passes = 4) (cfg : config) (g : Graph.t) (part : int array) :
+    unit =
+  let n = Graph.num_nodes g in
+  let ncon = Graph.num_constraints g in
+  let caps = caps g cfg in
+  let pw =
+    Array.init ncon (fun c -> Graph.part_weights g part ~nparts:2 c)
+  in
+  let gain = Array.make n 0 in
+  let compute_gain v =
+    let s = part.(v) in
+    let x = ref 0 in
+    List.iter
+      (fun (u, w) -> if part.(u) = s then x := !x - w else x := !x + w)
+      (Graph.neighbors g v);
+    gain.(v) <- !x
+  in
+  let move v =
+    let s = part.(v) in
+    part.(v) <- 1 - s;
+    for c = 0 to ncon - 1 do
+      let w = Graph.node_weight g v c in
+      pw.(c).(s) <- pw.(c).(s) - w;
+      pw.(c).(1 - s) <- pw.(c).(1 - s) + w
+    done;
+    gain.(v) <- -gain.(v);
+    List.iter
+      (fun (u, w) ->
+        if part.(u) = part.(v) then gain.(u) <- gain.(u) - (2 * w)
+        else gain.(u) <- gain.(u) + (2 * w))
+      (Graph.neighbors g v)
+  in
+  (* moving v to the other side keeps (or strictly improves) balance *)
+  let move_ok v =
+    let s = part.(v) in
+    let cur_inf = infeasibility ~caps pw in
+    let new_inf = ref 0 in
+    for c = 0 to ncon - 1 do
+      let w = Graph.node_weight g v c in
+      let a = pw.(c).(s) - w and b = pw.(c).(1 - s) + w in
+      if a > caps.(c).(s) then new_inf := !new_inf + (a - caps.(c).(s));
+      if b > caps.(c).(1 - s) then
+        new_inf := !new_inf + (b - caps.(c).(1 - s))
+    done;
+    if cur_inf > 0 then !new_inf < cur_inf else !new_inf = 0
+  in
+  let pass () =
+    for v = 0 to n - 1 do
+      compute_gain v
+    done;
+    let locked = Array.make n false in
+    let moves = ref [] in
+    let cur_cut = ref (Graph.edge_cut g part) in
+    let best_cut = ref !cur_cut in
+    let best_inf = ref (infeasibility ~caps pw) in
+    let best_len = ref 0 in
+    let len = ref 0 in
+    let bad = ref 0 in
+    let improved = ref false in
+    (try
+       while !bad < cfg.fm_max_bad_moves do
+         (* pick the best-gain movable unlocked node *)
+         let best_v = ref (-1) in
+         for v = 0 to n - 1 do
+           if
+             (not locked.(v))
+             && move_ok v
+             && (!best_v = -1 || gain.(v) > gain.(!best_v))
+           then best_v := v
+         done;
+         if !best_v = -1 then raise Exit;
+         let v = !best_v in
+         cur_cut := !cur_cut - gain.(v);
+         move v;
+         locked.(v) <- true;
+         moves := v :: !moves;
+         incr len;
+         let inf = infeasibility ~caps pw in
+         if
+           inf < !best_inf
+           || (inf = !best_inf && !cur_cut < !best_cut)
+         then begin
+           best_inf := inf;
+           best_cut := !cur_cut;
+           best_len := !len;
+           bad := 0;
+           improved := true
+         end
+         else incr bad
+       done
+     with Exit -> ());
+    (* roll back to the best prefix *)
+    let rec rollback k ms =
+      if k > 0 then
+        match ms with
+        | [] -> ()
+        | v :: rest ->
+            move v;
+            rollback (k - 1) rest
+    in
+    rollback (!len - !best_len) !moves;
+    !improved
+  in
+  let continue_ = ref true in
+  let p = ref 0 in
+  while !continue_ && !p < passes do
+    continue_ := pass ();
+    incr p
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Initial partition                                                   *)
+
+(** Greedy graph growing: grow part 1 from a random seed node by best
+    gain until half of constraint-0's weight has been captured. *)
+let grow_bisection rng cfg (g : Graph.t) : int array =
+  let n = Graph.num_nodes g in
+  let part = Array.make n 0 in
+  if n <= 1 then part
+  else begin
+    let total0 = Graph.total_weight g 0 in
+    let target = int_of_float (share cfg 0 1 *. float total0) in
+    let seed = Random.State.int rng n in
+    let in1 = Array.make n false in
+    let grown = ref 0 in
+    let add v =
+      part.(v) <- 1;
+      in1.(v) <- true;
+      grown := !grown + Graph.node_weight g v 0
+    in
+    add seed;
+    (* frontier-driven growth: prefer the neighbor with the heaviest
+       connection into part 1 *)
+    let continue_ = ref true in
+    while !grown < target && !continue_ do
+      let best = ref (-1) and best_w = ref min_int in
+      for v = 0 to n - 1 do
+        if not in1.(v) then begin
+          let conn = ref 0 in
+          List.iter
+            (fun (u, w) -> if in1.(u) then conn := !conn + w)
+            (Graph.neighbors g v);
+          (* nodes with no connection get a penalty so connected growth
+             is preferred, but isolated nodes can still be taken *)
+          let score = if !conn = 0 then -1 else !conn in
+          if score > !best_w then begin
+            best := v;
+            best_w := score
+          end
+        end
+      done;
+      if !best = -1 then continue_ := false else add !best
+    done;
+    part
+  end
+
+let evaluate cfg g part =
+  let ncon = Graph.num_constraints g in
+  let pw = Array.init ncon (fun c -> Graph.part_weights g part ~nparts:2 c) in
+  let caps = caps g cfg in
+  (infeasibility ~caps pw, Graph.edge_cut g part)
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+
+(** Bisect [g]; returns a 0/1 assignment per node. *)
+let bisect ?(config : config option) (g : Graph.t) : int array =
+  let cfg =
+    match config with
+    | Some c -> c
+    | None -> default_config ~ncon:(Graph.num_constraints g)
+  in
+  if Array.length cfg.imbalance <> Graph.num_constraints g then
+    invalid_arg "Partitioner.bisect: imbalance arity mismatch";
+  let rng = Random.State.make [| cfg.seed |] in
+  let levels, coarsest = coarsen rng cfg g in
+  (* initial: several greedy growings + FM, keep the best *)
+  let best = ref None in
+  for _try = 1 to cfg.initial_tries do
+    let part = grow_bisection rng cfg coarsest in
+    fm_refine cfg coarsest part;
+    let score = evaluate cfg coarsest part in
+    match !best with
+    | Some (bscore, _) when compare bscore score <= 0 -> ()
+    | _ -> best := Some (score, Array.copy part)
+  done;
+  let part = match !best with Some (_, p) -> p | None -> assert false in
+  (* uncoarsen: project through the levels (finest first in [levels]) *)
+  let project (levels : level list) coarse_part =
+    match levels with
+    | [] -> coarse_part
+    | _ ->
+        (* walk from coarsest to finest: process the list in reverse *)
+        let rev = List.rev levels in
+        List.fold_left
+          (fun cpart (lvl : level) ->
+            let n = Graph.num_nodes lvl.graph in
+            let fine = Array.make n 0 in
+            for v = 0 to n - 1 do
+              fine.(v) <- cpart.(lvl.coarse_of.(v))
+            done;
+            fm_refine cfg lvl.graph fine;
+            fine)
+          coarse_part rev
+  in
+  project levels part
+
+(** Recursive bisection into [nparts] (a power of two).  Imbalance is
+    applied at every level, so the final tolerance compounds slightly. *)
+let rec kway ?config (g : Graph.t) ~nparts : int array =
+  if nparts < 1 || nparts land (nparts - 1) <> 0 then
+    invalid_arg "Partitioner.kway: nparts must be a positive power of two";
+  if nparts = 1 then Array.make (Graph.num_nodes g) 0
+  else begin
+    let half = bisect ?config g in
+    if nparts = 2 then half
+    else begin
+      (* split each side into an induced subgraph and recurse *)
+      let n = Graph.num_nodes g in
+      let ncon = Graph.num_constraints g in
+      let result = Array.make n 0 in
+      List.iter
+        (fun side ->
+          let ids = ref [] in
+          for v = n - 1 downto 0 do
+            if half.(v) = side then ids := v :: !ids
+          done;
+          let ids = Array.of_list !ids in
+          let index_of = Hashtbl.create (Array.length ids * 2) in
+          Array.iteri (fun i v -> Hashtbl.replace index_of v i) ids;
+          let weights =
+            Array.map
+              (fun v -> Array.init ncon (Graph.node_weight g v))
+              ids
+          in
+          let edges = ref [] in
+          Array.iteri
+            (fun i v ->
+              List.iter
+                (fun (u, w) ->
+                  match Hashtbl.find_opt index_of u with
+                  | Some j when i < j -> edges := (i, j, w) :: !edges
+                  | _ -> ())
+                (Graph.neighbors g v))
+            ids;
+          let sub = Graph.create ~ncon ~weights ~edges:!edges in
+          let sub_part = kway ?config sub ~nparts:(nparts / 2) in
+          Array.iteri
+            (fun i v ->
+              result.(v) <- (side * nparts / 2) + sub_part.(i))
+            ids)
+        [ 0; 1 ];
+      result
+    end
+  end

@@ -1,0 +1,26 @@
+(** Multilevel multi-constraint graph bisection (METIS stand-in):
+    heavy-edge-matching coarsening, greedy-growing initial bisection,
+    Fiduccia-Mattheyses refinement with rollback at every uncoarsening
+    level.  Deterministic for a given seed. *)
+
+type config = {
+  imbalance : float array;
+      (** per-constraint balance tolerance, e.g. 0.1 = 10% *)
+  targets : float array option;
+      (** per-constraint share of part 0 (default 0.5 everywhere); for
+          machines with asymmetric memories or datapaths *)
+  seed : int;
+  coarsen_until : int;  (** stop coarsening below this many nodes *)
+  initial_tries : int;  (** greedy-growing attempts on the coarsest graph *)
+  fm_max_bad_moves : int;  (** FM hill-climbing patience *)
+}
+
+val default_config : ncon:int -> config
+
+(** Bisect a graph; returns a 0/1 part per node.  Balance caps apply per
+    constraint; when exact feasibility is impossible (bin-packing), the
+    result is as close as FM gets. *)
+val bisect : ?config:config -> Graph.t -> int array
+
+(** Recursive bisection into a power-of-two number of parts. *)
+val kway : ?config:config -> Graph.t -> nparts:int -> int array

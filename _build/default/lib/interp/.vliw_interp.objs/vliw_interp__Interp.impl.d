@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Block Bool Data Fmt Func Hashtbl Int Int64 List Op Profile Prog Reg Vliw_ir

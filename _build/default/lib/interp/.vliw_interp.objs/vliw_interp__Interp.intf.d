@@ -1,0 +1,1 @@
+lib/interp/interp.mli: Fmt Op Profile Prog Vliw_ir

@@ -1,0 +1,1 @@
+lib/interp/profile.ml: Data Fmt Hashtbl Int Label List Option Prog Vliw_ir

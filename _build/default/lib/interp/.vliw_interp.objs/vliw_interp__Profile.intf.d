@@ -1,0 +1,1 @@
+lib/interp/profile.mli: Data Fmt Label Prog Vliw_ir

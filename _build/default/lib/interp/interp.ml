@@ -1,0 +1,295 @@
+(** Reference interpreter for the VLIW IR.
+
+    Serves three roles:
+    - functional semantics: computing the observable output of a program
+      on a workload input (the oracle for semantic-preservation tests);
+    - the profiler of the paper's framework: block execution counts,
+      per-operation object access counts, heap allocation sizes;
+    - a dynamic checker: every executed memory access must fall inside a
+      live data object (there is no undefined-behaviour escape hatch).
+
+    Memory is a flat byte-addressed space holding 8-byte words.  Globals
+    are laid out at increasing addresses from [global_base] with guard
+    gaps; the heap bump-allocates from [heap_base]. *)
+
+open Vliw_ir
+
+exception Runtime_error of string
+
+let runtime_error fmt = Fmt.kstr (fun s -> raise (Runtime_error s)) fmt
+
+type value = VInt of int | VFloat of float
+
+let pp_value ppf = function
+  | VInt i -> Fmt.int ppf i
+  | VFloat f -> Fmt.pf ppf "%.6g" f
+
+let equal_value a b =
+  match (a, b) with
+  | VInt x, VInt y -> Int.equal x y
+  | VFloat x, VFloat y ->
+      (* exact comparison: the pipelines must preserve bit-identical
+         results, both sides run the same float ops in the same order *)
+      Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | VInt _, VFloat _ | VFloat _, VInt _ -> false
+
+let to_int = function
+  | VInt i -> i
+  | VFloat f -> runtime_error "expected an int value, found float %g" f
+
+(* Words read from zero-initialized storage are VInt 0; float code may
+   legitimately read them, so ints promote to floats silently. *)
+let to_float = function VFloat f -> f | VInt i -> float_of_int i
+
+let global_base = 0x1000
+let heap_base = 0x1000000
+let word = Data.word_bytes
+
+(* ------------------------------------------------------------------ *)
+(* Machine state                                                       *)
+
+type state = {
+  prog : Prog.t;
+  memory : (int, value) Hashtbl.t;
+  mutable ranges : (int * int * Data.obj) list;
+      (** (start, past-end, object), most recent first; addresses are
+          assigned in increasing order so lookup scans a short list (the
+          object count is small in the paper's benchmarks) *)
+  global_addrs : (string, int) Hashtbl.t;
+  mutable heap_next : int;
+  input : int array;
+  mutable outputs_rev : value list;
+  mutable steps : int;
+  fuel : int;
+  profile : Profile.t;
+}
+
+let object_of_addr st addr =
+  let rec go = function
+    | [] -> None
+    | (lo, hi, obj) :: rest ->
+        if addr >= lo && addr < hi then Some obj else go rest
+  in
+  go st.ranges
+
+let check_access st addr =
+  if addr mod word <> 0 then
+    runtime_error "misaligned access at address 0x%x" addr;
+  match object_of_addr st addr with
+  | Some obj -> obj
+  | None -> runtime_error "wild memory access at address 0x%x" addr
+
+let load_word st addr =
+  match Hashtbl.find_opt st.memory addr with
+  | Some v -> v
+  | None -> VInt 0
+
+let store_word st addr v = Hashtbl.replace st.memory addr v
+
+let init_state prog ~input ~fuel =
+  let st =
+    {
+      prog;
+      memory = Hashtbl.create 1024;
+      ranges = [];
+      global_addrs = Hashtbl.create 16;
+      heap_next = heap_base;
+      input;
+      outputs_rev = [];
+      steps = 0;
+      fuel;
+      profile = Profile.create ();
+    }
+  in
+  let next = ref global_base in
+  List.iter
+    (fun (g : Data.global) ->
+      let base = !next in
+      Hashtbl.replace st.global_addrs g.Data.g_name base;
+      let bytes = Data.global_bytes g in
+      st.ranges <- (base, base + bytes, Data.Global g.Data.g_name) :: st.ranges;
+      (match g.Data.g_init with
+      | Data.Zero -> ()
+      | Data.Words ws ->
+          Array.iteri
+            (fun i w ->
+              let v =
+                if g.Data.g_is_float then VFloat (Int64.float_of_bits w)
+                else VInt (Int64.to_int w)
+              in
+              store_word st (base + (i * word)) v)
+            ws);
+      (* 64-byte guard gap keeps out-of-bounds walks detectable *)
+      next := base + bytes + 64)
+    (Prog.globals prog);
+  st
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+
+let eval_ibin op a b =
+  let a = to_int a and b = to_int b in
+  let bool_ c = VInt (if c then 1 else 0) in
+  match (op : Op.ibinop) with
+  | Op.Add -> VInt (a + b)
+  | Op.Sub -> VInt (a - b)
+  | Op.Mul -> VInt (a * b)
+  | Op.Div -> if b = 0 then runtime_error "division by zero" else VInt (a / b)
+  | Op.Rem -> if b = 0 then runtime_error "remainder by zero" else VInt (a mod b)
+  | Op.And -> VInt (a land b)
+  | Op.Or -> VInt (a lor b)
+  | Op.Xor -> VInt (a lxor b)
+  | Op.Shl -> VInt (a lsl b)
+  | Op.Shr -> VInt (a asr b)
+  | Op.Icmp Op.Ceq -> bool_ (a = b)
+  | Op.Icmp Op.Cne -> bool_ (a <> b)
+  | Op.Icmp Op.Clt -> bool_ (a < b)
+  | Op.Icmp Op.Cle -> bool_ (a <= b)
+  | Op.Icmp Op.Cgt -> bool_ (a > b)
+  | Op.Icmp Op.Cge -> bool_ (a >= b)
+
+let eval_fbin op a b =
+  let a = to_float a and b = to_float b in
+  let bool_ c = VInt (if c then 1 else 0) in
+  match (op : Op.fbinop) with
+  | Op.Fadd -> VFloat (a +. b)
+  | Op.Fsub -> VFloat (a -. b)
+  | Op.Fmul -> VFloat (a *. b)
+  | Op.Fdiv -> VFloat (a /. b)
+  | Op.Fcmp Op.Ceq -> bool_ (a = b)
+  | Op.Fcmp Op.Cne -> bool_ (a <> b)
+  | Op.Fcmp Op.Clt -> bool_ (a < b)
+  | Op.Fcmp Op.Cle -> bool_ (a <= b)
+  | Op.Fcmp Op.Cgt -> bool_ (a > b)
+  | Op.Fcmp Op.Cge -> bool_ (a >= b)
+
+let eval_un op a =
+  match (op : Op.unop) with
+  | Op.Neg -> VInt (-to_int a)
+  | Op.Not -> VInt (if to_int a = 0 then 1 else 0)
+  | Op.Copy -> a
+  | Op.Itof -> VFloat (to_float a)
+  | Op.Ftoi -> VInt (int_of_float (to_float a))
+
+
+type frame = { func : Func.t; regs : value array }
+
+let operand_value frame = function
+  | Op.Reg r -> frame.regs.(Reg.to_int r)
+  | Op.Imm i -> VInt i
+  | Op.Fimm f -> VFloat f
+
+let set_reg frame r v = frame.regs.(Reg.to_int r) <- v
+
+let rec exec_func st (f : Func.t) (args : value list) : value option =
+  let frame = { func = f; regs = Array.make (Func.reg_count f) (VInt 0) } in
+  (try
+     List.iter2 (fun p a -> set_reg frame p a) (Func.params f) args
+   with Invalid_argument _ ->
+     runtime_error "arity mismatch calling %s" (Func.name f));
+  let rec run_block (b : Block.t) : value option =
+    Profile.record_block st.profile ~func:(Func.name f)
+      ~label:(Block.label b);
+    match List.iter (exec_op st frame) (Block.body b) with
+    | () -> (
+        let term = Block.term b in
+        st.steps <- st.steps + 1;
+        if st.steps > st.fuel then runtime_error "out of fuel";
+        Profile.record_op st.profile ~op_id:(Op.id term);
+        match Op.kind term with
+        | Op.Jmp l -> run_block (Func.find_block f l)
+        | Op.Cbr { cond; if_true; if_false } ->
+            let c = to_int (operand_value frame cond) in
+            run_block
+              (Func.find_block f (if c <> 0 then if_true else if_false))
+        | Op.Ret v -> (
+            match v with
+            | None -> None
+            | Some o -> Some (operand_value frame o))
+        | _ -> assert false)
+  in
+  run_block (Func.entry f)
+
+and exec_op st frame (op : Op.t) : unit =
+  st.steps <- st.steps + 1;
+  if st.steps > st.fuel then runtime_error "out of fuel";
+  let guard_passes =
+    match Op.guard op with
+    | None -> true
+    | Some { Op.greg; gsense } ->
+        let nz = to_int frame.regs.(Reg.to_int greg) <> 0 in
+        Bool.equal nz gsense
+  in
+  if not guard_passes then () (* nullified: no effect, not profiled *)
+  else begin
+  Profile.record_op st.profile ~op_id:(Op.id op);
+  let v = operand_value frame in
+  match Op.kind op with
+  | Op.Ibin (o, d, a, b) -> set_reg frame d (eval_ibin o (v a) (v b))
+  | Op.Fbin (o, d, a, b) -> set_reg frame d (eval_fbin o (v a) (v b))
+  | Op.Un (o, d, a) -> set_reg frame d (eval_un o (v a))
+  | Op.Load { dst; base; offset } ->
+      let addr = to_int (v base) + to_int (v offset) in
+      let obj = check_access st addr in
+      Profile.record_access st.profile ~op_id:(Op.id op) obj;
+      set_reg frame dst (load_word st addr)
+  | Op.Store { src; base; offset } ->
+      let addr = to_int (v base) + to_int (v offset) in
+      let obj = check_access st addr in
+      Profile.record_access st.profile ~op_id:(Op.id op) obj;
+      store_word st addr (v src)
+  | Op.Addr { dst; obj } ->
+      set_reg frame dst (VInt (Hashtbl.find st.global_addrs obj))
+  | Op.Alloc { dst; size; site } ->
+      let bytes = to_int (v size) in
+      if bytes < 0 then runtime_error "negative allocation";
+      let rounded = (bytes + word - 1) / word * word in
+      let base = st.heap_next in
+      st.heap_next <- base + rounded + 64;
+      st.ranges <- (base, base + rounded, Data.Heap site) :: st.ranges;
+      Profile.record_alloc st.profile ~site bytes;
+      set_reg frame dst (VInt base)
+  | Op.Call { dst; callee; args } -> (
+      let f = Prog.find_func st.prog callee in
+      let vals = List.map v args in
+      match (exec_func st f vals, dst) with
+      | Some r, Some d -> set_reg frame d r
+      | _, None -> ()
+      | None, Some _ ->
+          runtime_error "call to %s expected a result but none returned"
+            callee)
+  | Op.In { dst; index } ->
+      let i = to_int (v index) in
+      if i < 0 || i >= Array.length st.input then
+        runtime_error "input index %d out of bounds (input has %d words)" i
+          (Array.length st.input);
+      set_reg frame dst (VInt st.input.(i))
+  | Op.Out a -> st.outputs_rev <- v a :: st.outputs_rev
+  | Op.Move { dst; src } -> set_reg frame dst frame.regs.(Reg.to_int src)
+  | Op.Cbr _ | Op.Jmp _ | Op.Ret _ ->
+      assert false (* terminators handled by run_block *)
+  end
+
+(* ------------------------------------------------------------------ *)
+
+type result = {
+  outputs : value list;
+  steps : int;
+  profile : Profile.t;
+  return_value : value option;
+}
+
+let default_fuel = 50_000_000
+
+(** Run [prog] on workload [input].  Raises [Runtime_error] on dynamic
+    errors (wild access, division by zero, fuel exhaustion). *)
+let run ?(fuel = default_fuel) prog ~input : result =
+  let st = init_state prog ~input ~fuel in
+  let main = Prog.main prog in
+  let ret = exec_func st main [] in
+  {
+    outputs = List.rev st.outputs_rev;
+    steps = st.steps;
+    profile = st.profile;
+    return_value = ret;
+  }

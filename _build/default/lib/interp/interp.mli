@@ -1,0 +1,45 @@
+(** Reference interpreter for the VLIW IR: functional semantics (the
+    oracle for semantic-preservation tests), the profiler of the
+    paper's framework, and a dynamic checker (every access must fall
+    inside a live data object).
+
+    Memory is flat and byte-addressed with 8-byte words; globals are
+    laid out from a fixed base with guard gaps; the heap bump-allocates.
+    Guarded (predicated) operations are nullified when their guard
+    fails. *)
+
+open Vliw_ir
+
+exception Runtime_error of string
+
+type value = VInt of int | VFloat of float
+
+val pp_value : value Fmt.t
+
+(** Exact equality (floats compared bit-for-bit: both sides of a
+    comparison run the same operations in the same order). *)
+val equal_value : value -> value -> bool
+
+val to_int : value -> int
+val to_float : value -> float
+
+(** {2 Evaluation primitives} (shared with the cycle-level simulator) *)
+
+val eval_ibin : Op.ibinop -> value -> value -> value
+val eval_fbin : Op.fbinop -> value -> value -> value
+val eval_un : Op.unop -> value -> value
+
+(** {2 Running programs} *)
+
+type result = {
+  outputs : value list;
+  steps : int;
+  profile : Profile.t;
+  return_value : value option;
+}
+
+val default_fuel : int
+
+(** Raises [Runtime_error] on wild accesses, division by zero,
+    out-of-range input reads, or fuel exhaustion. *)
+val run : ?fuel:int -> Prog.t -> input:int array -> result

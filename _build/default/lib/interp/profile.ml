@@ -1,0 +1,88 @@
+(** Execution profile gathered by the interpreter.
+
+    The paper's framework needs three things from profiling (Sections 3.2
+    and 4.1): how often each block executes (to weigh schedule lengths),
+    how much heap each malloc site allocates (object sizes), and how often
+    each memory operation touches each object (for the Profile Max and
+    Naive baselines). *)
+
+open Vliw_ir
+
+type t = {
+  block_counts : (string * Label.t, int) Hashtbl.t;
+  op_counts : (int, int) Hashtbl.t;  (** op id -> executions *)
+  access_counts : (int, (Data.obj, int) Hashtbl.t) Hashtbl.t;
+      (** memory op id -> object -> dynamic accesses *)
+  heap_sizes : (int, int) Hashtbl.t;  (** malloc site -> total bytes *)
+}
+
+let create () =
+  {
+    block_counts = Hashtbl.create 64;
+    op_counts = Hashtbl.create 256;
+    access_counts = Hashtbl.create 64;
+    heap_sizes = Hashtbl.create 16;
+  }
+
+let bump tbl key n =
+  Hashtbl.replace tbl key (n + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let record_block t ~func ~label = bump t.block_counts (func, label) 1
+let record_op t ~op_id = bump t.op_counts op_id 1
+
+let record_access t ~op_id obj =
+  let per_obj =
+    match Hashtbl.find_opt t.access_counts op_id with
+    | Some tbl -> tbl
+    | None ->
+        let tbl = Hashtbl.create 4 in
+        Hashtbl.replace t.access_counts op_id tbl;
+        tbl
+  in
+  bump per_obj obj 1
+
+let record_alloc t ~site bytes = bump t.heap_sizes site bytes
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+
+let block_count t ~func ~label =
+  Option.value ~default:0 (Hashtbl.find_opt t.block_counts (func, label))
+
+let op_count t ~op_id =
+  Option.value ~default:0 (Hashtbl.find_opt t.op_counts op_id)
+
+(** Dynamic accesses of [op_id] broken down by object. *)
+let accesses_of t ~op_id : (Data.obj * int) list =
+  match Hashtbl.find_opt t.access_counts op_id with
+  | None -> []
+  | Some tbl -> Hashtbl.fold (fun o n acc -> (o, n) :: acc) tbl []
+
+(** Total bytes allocated per malloc site, as an assoc list sorted by
+    site id (the object-table input). *)
+let heap_sizes t =
+  Hashtbl.fold (fun s b acc -> (s, b) :: acc) t.heap_sizes []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+(** Object sizes table for a program under this profile.  Heap sites that
+    never executed get size 0 so they still appear as objects. *)
+let object_table prog t =
+  let profiled = heap_sizes t in
+  let all_sites = Prog.alloc_sites prog in
+  let sizes =
+    List.map
+      (fun s -> (s, Option.value ~default:0 (List.assoc_opt s profiled)))
+      all_sites
+  in
+  Data.table_of ~globals:(Prog.globals prog) ~heap_sizes:sizes
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>profile:@,";
+  let blocks =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.block_counts []
+    |> List.sort compare
+  in
+  List.iter
+    (fun ((f, l), n) -> Fmt.pf ppf "  %s/%a: %d@," f Label.pp l n)
+    blocks;
+  Fmt.pf ppf "@]"

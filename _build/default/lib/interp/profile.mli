@@ -1,0 +1,31 @@
+(** Execution profile gathered by the interpreter: block execution
+    counts, per-operation object access counts, and heap allocation
+    sizes per malloc site (paper Sections 3.2 and 4.1). *)
+
+open Vliw_ir
+
+type t
+
+val create : unit -> t
+
+(** {2 Recording (used by the interpreter)} *)
+
+val record_block : t -> func:string -> label:Label.t -> unit
+val record_op : t -> op_id:int -> unit
+val record_access : t -> op_id:int -> Data.obj -> unit
+val record_alloc : t -> site:int -> int -> unit
+
+(** {2 Queries} *)
+
+val block_count : t -> func:string -> label:Label.t -> int
+val op_count : t -> op_id:int -> int
+val accesses_of : t -> op_id:int -> (Data.obj * int) list
+
+(** Total bytes per malloc site, sorted by site. *)
+val heap_sizes : t -> (int * int) list
+
+(** Object table of a program under this profile (heap sites that never
+    executed get size 0). *)
+val object_table : Prog.t -> t -> Data.table
+
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/ir/block.mli: Fmt Label Op Reg

@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Block Data Fmt Func Label List Op Option Prog Reg

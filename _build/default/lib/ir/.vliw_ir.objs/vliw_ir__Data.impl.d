@@ -1,0 +1,1 @@
+lib/ir/data.ml: Array Fmt Hashtbl Int List Map Set String

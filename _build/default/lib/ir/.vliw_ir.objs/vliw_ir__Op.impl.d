@@ -1,0 +1,1 @@
+lib/ir/op.ml: Fmt Int Label List Option Reg Vliw_machine

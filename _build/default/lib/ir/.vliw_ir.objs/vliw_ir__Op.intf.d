@@ -1,0 +1,1 @@
+lib/ir/op.mli: Fmt Label Reg Vliw_machine

@@ -1,0 +1,1 @@
+lib/ir/prog.ml: Block Data Fmt Func Hashtbl Int List Op String

@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Block Data Fmt Func Hashtbl Label List Op Option Prog Reg String

@@ -1,0 +1,172 @@
+(** Imperative construction of programs.
+
+    The builder hands out program-unique op ids, per-function registers
+    and labels, and assembles blocks in layout order.  It is used by the
+    MiniC lowering and by tests that construct IR directly. *)
+
+type t = {
+  mutable next_op : int;
+  mutable next_site : int;
+  mutable globals_rev : Data.global list;
+  mutable funcs_rev : Func.t list;
+}
+
+let create () =
+  { next_op = 0; next_site = 0; globals_rev = []; funcs_rev = [] }
+
+let add_global t g = t.globals_rev <- g :: t.globals_rev
+
+let fresh_site t =
+  let s = t.next_site in
+  t.next_site <- s + 1;
+  s
+
+let fresh_op_id t =
+  let i = t.next_op in
+  t.next_op <- i + 1;
+  i
+
+(** A function under construction. *)
+type fb = {
+  parent : t;
+  fname : string;
+  fparams : Reg.t list;
+  regs : Reg.Gen.t;
+  labels : Label.Gen.t;
+  mutable cur_label : Label.t option;
+  mutable cur_body_rev : Op.t list;
+  mutable blocks_rev : Block.t list;
+}
+
+let start_func t ~name ~nparams =
+  let regs = Reg.Gen.make () in
+  let params = List.init nparams (fun _ -> Reg.Gen.fresh regs) in
+  let fb =
+    {
+      parent = t;
+      fname = name;
+      fparams = params;
+      regs;
+      labels = Label.Gen.make ();
+      cur_label = None;
+      cur_body_rev = [];
+      blocks_rev = [];
+    }
+  in
+  (fb, params)
+
+let fresh_reg fb = Reg.Gen.fresh fb.regs
+let fresh_label fb = Label.Gen.fresh fb.labels
+
+let start_block fb label =
+  (match fb.cur_label with
+  | Some l ->
+      invalid_arg
+        (Fmt.str "Builder.start_block: block %a not terminated" Label.pp l)
+  | None -> ());
+  fb.cur_label <- Some label;
+  fb.cur_body_rev <- []
+
+(** Append a non-terminator operation to the current block. *)
+let emit fb kind =
+  (match fb.cur_label with
+  | None -> invalid_arg "Builder.emit: no current block"
+  | Some _ -> ());
+  let op = Op.make ~id:(fresh_op_id fb.parent) kind in
+  if Op.is_terminator op then
+    invalid_arg "Builder.emit: use terminate for terminators";
+  fb.cur_body_rev <- op :: fb.cur_body_rev;
+  op
+
+(** Terminate the current block. *)
+let terminate fb kind =
+  match fb.cur_label with
+  | None -> invalid_arg "Builder.terminate: no current block"
+  | Some label ->
+      let term = Op.make ~id:(fresh_op_id fb.parent) kind in
+      if not (Op.is_terminator term) then
+        invalid_arg "Builder.terminate: not a terminator";
+      let body = List.rev fb.cur_body_rev in
+      fb.blocks_rev <- Block.v ~label ~body ~term :: fb.blocks_rev;
+      fb.cur_label <- None;
+      fb.cur_body_rev <- []
+
+let in_block fb = Option.is_some fb.cur_label
+
+let finish_func fb =
+  (match fb.cur_label with
+  | Some l ->
+      invalid_arg
+        (Fmt.str "Builder.finish_func: block %a not terminated" Label.pp l)
+  | None -> ());
+  let f =
+    Func.v ~name:fb.fname ~params:fb.fparams
+      ~blocks:(List.rev fb.blocks_rev)
+      ~reg_count:(Reg.Gen.count fb.regs)
+  in
+  fb.parent.funcs_rev <- f :: fb.parent.funcs_rev;
+  f
+
+let finish t =
+  Prog.v
+    ~globals:(List.rev t.globals_rev)
+    ~funcs:(List.rev t.funcs_rev)
+    ~op_count:t.next_op
+
+(* ------------------------------------------------------------------ *)
+(* Convenience emitters, each returning the destination register.      *)
+
+let ibin fb o a b =
+  let d = fresh_reg fb in
+  let (_ : Op.t) = emit fb (Op.Ibin (o, d, a, b)) in
+  d
+
+let fbin fb o a b =
+  let d = fresh_reg fb in
+  let (_ : Op.t) = emit fb (Op.Fbin (o, d, a, b)) in
+  d
+
+let un fb o a =
+  let d = fresh_reg fb in
+  let (_ : Op.t) = emit fb (Op.Un (o, d, a)) in
+  d
+
+let load fb ~base ~offset =
+  let d = fresh_reg fb in
+  let (_ : Op.t) = emit fb (Op.Load { dst = d; base; offset }) in
+  d
+
+let store fb ~src ~base ~offset =
+  let (_ : Op.t) = emit fb (Op.Store { src; base; offset }) in
+  ()
+
+let addr fb obj =
+  let d = fresh_reg fb in
+  let (_ : Op.t) = emit fb (Op.Addr { dst = d; obj }) in
+  d
+
+let alloc fb size =
+  let d = fresh_reg fb in
+  let site = fresh_site fb.parent in
+  let (_ : Op.t) = emit fb (Op.Alloc { dst = d; size; site }) in
+  d
+
+let call fb ~callee ~args ~wants_result =
+  if wants_result then begin
+    let d = fresh_reg fb in
+    let (_ : Op.t) = emit fb (Op.Call { dst = Some d; callee; args }) in
+    Some d
+  end
+  else begin
+    let (_ : Op.t) = emit fb (Op.Call { dst = None; callee; args }) in
+    None
+  end
+
+let input fb index =
+  let d = fresh_reg fb in
+  let (_ : Op.t) = emit fb (Op.In { dst = d; index }) in
+  d
+
+let output fb a =
+  let (_ : Op.t) = emit fb (Op.Out a) in
+  ()

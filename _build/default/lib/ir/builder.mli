@@ -1,0 +1,52 @@
+(** Imperative construction of programs: program-unique op ids,
+    per-function registers and labels, blocks assembled in layout
+    order. *)
+
+type t
+
+val create : unit -> t
+val add_global : t -> Data.global -> unit
+val fresh_site : t -> int
+val fresh_op_id : t -> int
+
+(** A function under construction. *)
+type fb
+
+(** Returns the builder and the parameter registers. *)
+val start_func : t -> name:string -> nparams:int -> fb * Reg.t list
+
+val fresh_reg : fb -> Reg.t
+val fresh_label : fb -> Label.t
+
+(** Raises when the previous block is unterminated. *)
+val start_block : fb -> Label.t -> unit
+
+(** Append a non-terminator to the current block; raises otherwise. *)
+val emit : fb -> Op.kind -> Op.t
+
+(** Terminate the current block; raises on non-terminators. *)
+val terminate : fb -> Op.kind -> unit
+
+val in_block : fb -> bool
+
+(** Raises when the last block is unterminated. *)
+val finish_func : fb -> Func.t
+
+val finish : t -> Prog.t
+
+(** {2 Convenience emitters} (each returns the destination register) *)
+
+val ibin : fb -> Op.ibinop -> Op.operand -> Op.operand -> Reg.t
+val fbin : fb -> Op.fbinop -> Op.operand -> Op.operand -> Reg.t
+val un : fb -> Op.unop -> Op.operand -> Reg.t
+val load : fb -> base:Op.operand -> offset:Op.operand -> Reg.t
+val store : fb -> src:Op.operand -> base:Op.operand -> offset:Op.operand -> unit
+val addr : fb -> string -> Reg.t
+val alloc : fb -> Op.operand -> Reg.t
+
+val call :
+  fb -> callee:string -> args:Op.operand list -> wants_result:bool ->
+  Reg.t option
+
+val input : fb -> Op.operand -> Reg.t
+val output : fb -> Op.operand -> unit

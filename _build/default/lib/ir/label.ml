@@ -1,0 +1,26 @@
+(** Basic-block labels.  Labels are function-local strings; the builders
+    generate fresh ones of the form ["bbN"]. *)
+
+type t = string
+
+let compare = String.compare
+let equal = String.equal
+let hash = Hashtbl.hash
+let of_string s = s
+let to_string l = l
+let pp = Fmt.string
+
+module Set = Set.Make (String)
+module Map = Map.Make (String)
+
+module Gen = struct
+  type nonrec gen = { prefix : string; mutable next : int }
+  type nonrec t = gen
+
+  let make ?(prefix = "bb") () = { prefix; next = 0 }
+
+  let fresh g =
+    let l = Printf.sprintf "%s%d" g.prefix g.next in
+    g.next <- g.next + 1;
+    l
+end

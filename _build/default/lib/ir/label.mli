@@ -1,0 +1,22 @@
+(** Basic-block labels (function-local). *)
+
+type t = string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val of_string : string -> t
+val to_string : t -> string
+val pp : t Fmt.t
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+(** Fresh-label generator (["bb0"], ["bb1"], ...). *)
+module Gen : sig
+  type gen
+  type t = gen
+
+  val make : ?prefix:string -> unit -> t
+  val fresh : t -> string
+end

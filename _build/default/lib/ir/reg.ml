@@ -1,0 +1,36 @@
+(** Virtual registers.
+
+    Registers are function-local and unbounded: the machine's register
+    files are assumed large enough (the paper evaluates partitioning, not
+    register allocation).  A register may have several defining operations
+    (the IR is not SSA); the analyses in [Vliw_analysis] recover def-use
+    chains where needed. *)
+
+type t = int
+
+let compare = Int.compare
+let equal = Int.equal
+let hash = Fun.id
+let to_int r = r
+let of_int r = if r < 0 then invalid_arg "Reg.of_int: negative" else r
+let pp ppf r = Fmt.pf ppf "r%d" r
+let to_string r = Fmt.str "%a" pp r
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)
+
+(** A fresh-register generator.  [make ()] starts at 0; [fresh] returns a
+    new register; [count] is the number generated so far. *)
+module Gen = struct
+  type nonrec gen = { mutable next : t }
+  type nonrec t = gen
+
+  let make ?(start = 0) () = { next = start }
+
+  let fresh g =
+    let r = g.next in
+    g.next <- r + 1;
+    r
+
+  let count g = g.next
+end

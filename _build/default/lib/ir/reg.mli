@@ -1,0 +1,27 @@
+(** Virtual registers: function-local, unbounded, non-SSA. *)
+
+type t = int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val to_int : t -> int
+
+(** Raises [Invalid_argument] on negative input. *)
+val of_int : int -> t
+
+val pp : t Fmt.t
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+(** Fresh-register generator. *)
+module Gen : sig
+  type gen
+  type t = gen
+
+  val make : ?start:int -> unit -> t
+  val fresh : t -> int
+  val count : t -> int
+end

@@ -1,0 +1,85 @@
+(** Structural well-formedness checks for programs.
+
+    [check] raises [Invalid of message] describing the first violation, or
+    returns unit.  The checks are structural (ids, labels, references);
+    possibly-uninitialized registers are a dataflow property checked by
+    [Vliw_analysis]. *)
+
+exception Invalid of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Invalid s)) fmt
+
+let check_func (p : Prog.t) (f : Func.t) =
+  let labels = Label.Set.of_list (List.map Block.label (Func.blocks f)) in
+  List.iter
+    (fun b ->
+      (* branch targets exist *)
+      List.iter
+        (fun l ->
+          if not (Label.Set.mem l labels) then
+            fail "%s/%a: branch to unknown label %a" (Func.name f) Label.pp
+              (Block.label b) Label.pp l)
+        (Block.successors b);
+      List.iter
+        (fun op ->
+          (* registers in range *)
+          let check_reg r =
+            if Reg.to_int r < 0 || Reg.to_int r >= Func.reg_count f then
+              fail "%s/%a: op %d references out-of-range register %a"
+                (Func.name f) Label.pp (Block.label b) (Op.id op) Reg.pp r
+          in
+          List.iter check_reg (Op.defs op);
+          List.iter check_reg (Op.uses op);
+          (* op ids in range *)
+          if Op.id op < 0 || Op.id op >= Prog.op_count p then
+            fail "%s: op id %d out of range" (Func.name f) (Op.id op);
+          (* references resolve *)
+          (match Op.kind op with
+          | Op.Addr { obj; _ } ->
+              if
+                not
+                  (List.exists
+                     (fun g -> String.equal g.Data.g_name obj)
+                     (Prog.globals p))
+              then fail "%s: addr of unknown global %s" (Func.name f) obj
+          | Op.Call { callee; _ } ->
+              if Option.is_none (Prog.find_func_opt p callee) then
+                fail "%s: call to unknown function %s" (Func.name f) callee
+          | _ -> ()))
+        (Block.ops b))
+    (Func.blocks f);
+  (* params in range *)
+  List.iter
+    (fun r ->
+      if Reg.to_int r < 0 || Reg.to_int r >= Func.reg_count f then
+        fail "%s: parameter %a out of range" (Func.name f) Reg.pp r)
+    (Func.params f)
+
+let check (p : Prog.t) =
+  (* op ids unique *)
+  let seen = Hashtbl.create (Prog.op_count p * 2) in
+  Prog.iter_ops
+    (fun op ->
+      let i = Op.id op in
+      if Hashtbl.mem seen i then fail "duplicate op id %d" i;
+      Hashtbl.replace seen i ())
+    p;
+  (* alloc sites unique *)
+  let sites = Hashtbl.create 16 in
+  Prog.iter_ops
+    (fun op ->
+      match Op.kind op with
+      | Op.Alloc { site; _ } ->
+          if Hashtbl.mem sites site then fail "duplicate alloc site %d" site;
+          Hashtbl.replace sites site ()
+      | _ -> ())
+    p;
+  List.iter (check_func p) (Prog.funcs p);
+  (* entry point *)
+  match Prog.find_func_opt p "main" with
+  | None -> fail "program has no main function"
+  | Some m ->
+      if Func.params m <> [] then fail "main must take no parameters"
+
+let is_valid p =
+  match check p with () -> true | exception Invalid _ -> false

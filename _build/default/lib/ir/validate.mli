@@ -1,0 +1,10 @@
+(** Structural well-formedness checks: unique op ids and alloc sites,
+    resolvable labels/globals/callees, registers in range, a
+    parameterless [main]. *)
+
+exception Invalid of string
+
+(** Raises [Invalid] on the first violation. *)
+val check : Prog.t -> unit
+
+val is_valid : Prog.t -> bool

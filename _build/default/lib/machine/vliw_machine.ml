@@ -1,0 +1,158 @@
+(** Clustered-VLIW machine description.
+
+    The model follows Section 4.1 of Chu & Mahlke, CGO 2006: a multicluster
+    VLIW in which each cluster owns a register file, a set of function units
+    and (optionally) a private data memory, connected by an intercluster bus
+    of fixed bandwidth and latency.  The reference machine is homogeneous
+    with two clusters, each having 2 integer, 1 float, 1 memory and 1 branch
+    unit, Itanium-like operation latencies, and an intercluster network that
+    accepts one move per cycle with a latency of 1, 5 or 10 cycles. *)
+
+(** Kinds of function units.  Every operation executes on exactly one kind;
+    intercluster moves use the bus, which is modelled separately. *)
+type fu_kind =
+  | FU_int
+  | FU_float
+  | FU_memory
+  | FU_branch
+
+let all_fu_kinds = [ FU_int; FU_float; FU_memory; FU_branch ]
+
+let fu_kind_index = function
+  | FU_int -> 0
+  | FU_float -> 1
+  | FU_memory -> 2
+  | FU_branch -> 3
+
+let fu_kind_count = 4
+
+let fu_kind_name = function
+  | FU_int -> "int"
+  | FU_float -> "float"
+  | FU_memory -> "memory"
+  | FU_branch -> "branch"
+
+let pp_fu_kind ppf k = Fmt.string ppf (fu_kind_name k)
+
+(** A single cluster: how many units of each kind it has and the capacity
+    of its local data memory in bytes.  [memory_bytes] only constrains the
+    data partitioner's balance objective; it is not a hard limit enforced
+    by the simulator (the paper balances sizes rather than enforcing
+    capacities). *)
+type cluster = {
+  fu_counts : int array;  (** indexed by [fu_kind_index] *)
+  memory_bytes : int;
+}
+
+let cluster ?(memory_bytes = 32768) ~ints ~floats ~mems ~branches () =
+  if ints < 0 || floats < 0 || mems < 0 || branches < 0 then
+    invalid_arg "Vliw_machine.cluster: negative unit count";
+  { fu_counts = [| ints; floats; mems; branches |]; memory_bytes }
+
+let fu_count c k = c.fu_counts.(fu_kind_index k)
+
+(** Intercluster communication network: a shared bus that can initiate
+    [moves_per_cycle] transfers per cycle, each completing after
+    [move_latency] cycles. *)
+type network = {
+  move_latency : int;
+  moves_per_cycle : int;
+}
+
+(** Operation latencies, in cycles from issue to availability of the
+    result.  Values are "similar to the Itanium" per the paper. *)
+type latencies = {
+  int_alu : int;
+  int_mul : int;
+  int_div : int;
+  float_alu : int;
+  float_mul : int;
+  float_div : int;
+  load : int;
+  store : int;
+  branch : int;
+  compare : int;
+  local_move : int;  (** register-to-register copy within a cluster *)
+}
+
+let itanium_latencies =
+  {
+    int_alu = 1;
+    int_mul = 3;
+    int_div = 8;
+    float_alu = 4;
+    float_mul = 4;
+    float_div = 12;
+    load = 2;
+    store = 1;
+    branch = 1;
+    compare = 1;
+    local_move = 1;
+  }
+
+type t = {
+  name : string;
+  clusters : cluster array;
+  network : network;
+  latencies : latencies;
+}
+
+let v ~name ~clusters ~network ~latencies =
+  if Array.length clusters = 0 then
+    invalid_arg "Vliw_machine.v: machine needs at least one cluster";
+  if network.move_latency < 0 || network.moves_per_cycle < 1 then
+    invalid_arg "Vliw_machine.v: invalid network parameters";
+  { name; clusters; network; latencies }
+
+let num_clusters m = Array.length m.clusters
+let cluster_of m i = m.clusters.(i)
+let move_latency m = m.network.move_latency
+let moves_per_cycle m = m.network.moves_per_cycle
+
+(** Total units of a given kind across all clusters. *)
+let total_fu m k =
+  Array.fold_left (fun acc c -> acc + fu_count c k) 0 m.clusters
+
+let is_homogeneous m =
+  let c0 = m.clusters.(0) in
+  Array.for_all (fun c -> c.fu_counts = c0.fu_counts) m.clusters
+
+(** The paper's reference machine: 2 homogeneous clusters, each with
+    2 integer / 1 float / 1 memory / 1 branch unit, Itanium-like latencies,
+    bus bandwidth of one move per cycle. *)
+let paper_machine ?(move_latency = 5) () =
+  let c = cluster ~ints:2 ~floats:1 ~mems:1 ~branches:1 () in
+  v
+    ~name:(Fmt.str "2cluster-2i1f1m1b-lat%d" move_latency)
+    ~clusters:[| c; c |]
+    ~network:{ move_latency; moves_per_cycle = 1 }
+    ~latencies:itanium_latencies
+
+(** A wider machine used by the cluster-count ablation: [n] homogeneous
+    clusters of the paper's shape. *)
+let scaled_machine ?(move_latency = 5) ~clusters:n () =
+  if n < 1 then invalid_arg "Vliw_machine.scaled_machine";
+  let c = cluster ~ints:2 ~floats:1 ~mems:1 ~branches:1 () in
+  v
+    ~name:(Fmt.str "%dcluster-2i1f1m1b-lat%d" n move_latency)
+    ~clusters:(Array.make n c)
+    ~network:{ move_latency; moves_per_cycle = 1 }
+    ~latencies:itanium_latencies
+
+(** A unified-memory twin of [m]: same datapath, but the performance model
+    treats all memories as one multiported memory (no data homes).  The
+    machine description itself is unchanged; this is just a convenient
+    alias used by drivers for labelling. *)
+let unified_twin m = { m with name = m.name ^ "-unified" }
+
+let pp ppf m =
+  Fmt.pf ppf "@[<v>machine %s:@," m.name;
+  Array.iteri
+    (fun i c ->
+      Fmt.pf ppf "  cluster %d: %a, %d B memory@," i
+        Fmt.(list ~sep:(any " ") (fun ppf k ->
+          Fmt.pf ppf "%d%s" (fu_count c k) (fu_kind_name k)))
+        all_fu_kinds c.memory_bytes)
+    m.clusters;
+  Fmt.pf ppf "  network: %d move(s)/cycle, latency %d@]"
+    m.network.moves_per_cycle m.network.move_latency

@@ -1,0 +1,87 @@
+(** Clustered-VLIW machine description.
+
+    The model follows Section 4.1 of Chu & Mahlke (CGO 2006): a
+    multicluster VLIW in which each cluster owns a register file, a set
+    of function units and a private data memory, connected by an
+    intercluster bus of fixed bandwidth and latency. *)
+
+(** Kinds of function units.  Every operation executes on exactly one
+    kind; intercluster moves use the bus, modelled separately. *)
+type fu_kind = FU_int | FU_float | FU_memory | FU_branch
+
+val all_fu_kinds : fu_kind list
+val fu_kind_index : fu_kind -> int
+val fu_kind_count : int
+val fu_kind_name : fu_kind -> string
+val pp_fu_kind : fu_kind Fmt.t
+
+(** A single cluster: function-unit counts and local memory capacity in
+    bytes (the capacity steers the data partitioner's balance objective;
+    it is not a hard simulator limit). *)
+type cluster = { fu_counts : int array; memory_bytes : int }
+
+val cluster :
+  ?memory_bytes:int ->
+  ints:int ->
+  floats:int ->
+  mems:int ->
+  branches:int ->
+  unit ->
+  cluster
+
+val fu_count : cluster -> fu_kind -> int
+
+(** Intercluster bus: [moves_per_cycle] transfers may start per cycle,
+    each completing after [move_latency] cycles (pipelined). *)
+type network = { move_latency : int; moves_per_cycle : int }
+
+(** Operation latencies in cycles from issue to result availability. *)
+type latencies = {
+  int_alu : int;
+  int_mul : int;
+  int_div : int;
+  float_alu : int;
+  float_mul : int;
+  float_div : int;
+  load : int;
+  store : int;
+  branch : int;
+  compare : int;
+  local_move : int;
+}
+
+(** "Similar to the Itanium" per the paper. *)
+val itanium_latencies : latencies
+
+type t = {
+  name : string;
+  clusters : cluster array;
+  network : network;
+  latencies : latencies;
+}
+
+(** Build a machine; raises [Invalid_argument] on empty cluster arrays
+    or nonsensical network parameters. *)
+val v :
+  name:string ->
+  clusters:cluster array ->
+  network:network ->
+  latencies:latencies ->
+  t
+
+val num_clusters : t -> int
+val cluster_of : t -> int -> cluster
+val move_latency : t -> int
+val moves_per_cycle : t -> int
+val total_fu : t -> fu_kind -> int
+val is_homogeneous : t -> bool
+
+(** The paper's reference machine: 2 homogeneous clusters with 2 integer
+    / 1 float / 1 memory / 1 branch unit each and a 1-move/cycle bus. *)
+val paper_machine : ?move_latency:int -> unit -> t
+
+(** [n] homogeneous clusters of the paper's shape. *)
+val scaled_machine : ?move_latency:int -> clusters:int -> unit -> t
+
+val unified_twin : t -> t
+val pp : t Fmt.t

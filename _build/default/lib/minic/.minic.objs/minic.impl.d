@@ -1,0 +1,1 @@
+lib/minic/minic.ml: Ast Fmt Lexer Lower Parser Printexc Sema Token Unroll Vliw_ir

@@ -1,0 +1,1 @@
+lib/minic/lower.ml: Ast Block Builder Data Func Hashtbl Label List Op Option Prog Reg Sema Vliw_ir

@@ -1,0 +1,1 @@
+lib/minic/sema.ml: Array Ast Data Fmt Hashtbl Int64 List Printf Token Vliw_ir

@@ -1,0 +1,1 @@
+lib/minic/unroll.ml: Ast List Option String

@@ -1,0 +1,142 @@
+(** Abstract syntax of MiniC.
+
+    MiniC is a small C dialect sufficient for writing the benchmark
+    kernels the paper evaluates on:
+
+    - types: [int] (64-bit), [float] (64-bit), pointers [int*]/[float*],
+      [void] (function results only);
+    - globals: scalars and one-dimensional arrays, with optional
+      initializers;
+    - locals: scalar and pointer variables only (arrays live in global
+      memory or on the heap, as in the paper's object model);
+    - statements: blocks, [if]/[else], [while], [for], [return],
+      expression/assignment statements;
+    - expressions: C operator set with C precedence, short-circuit
+      [&&]/[||], array indexing on pointers and global arrays, [&g]
+      address-of on globals;
+    - builtins: [malloc(n)] allocates [n] 8-byte words and returns a
+      pointer; [in(i)] reads word [i] of the workload input vector;
+      [out(v)]/[outf(v)] append to the observable output; [itof]/[ftoi]
+      convert.
+
+    Every node carries the source position of its first token. *)
+
+type pos = Token.pos
+
+type ty =
+  | Tint
+  | Tfloat
+  | Tptr of ty  (** pointee is [Tint] or [Tfloat] *)
+  | Tvoid
+
+let rec ty_to_string = function
+  | Tint -> "int"
+  | Tfloat -> "float"
+  | Tptr t -> ty_to_string t ^ "*"
+  | Tvoid -> "void"
+
+let pp_ty ppf t = Fmt.string ppf (ty_to_string t)
+
+type binop =
+  | Badd
+  | Bsub
+  | Bmul
+  | Bdiv
+  | Brem
+  | Band
+  | Bor
+  | Bxor
+  | Bshl
+  | Bshr
+  | Beq
+  | Bne
+  | Blt
+  | Ble
+  | Bgt
+  | Bge
+  | Bland  (** short-circuit && *)
+  | Blor  (** short-circuit || *)
+
+type unop = Uneg | Unot
+
+type expr = { edesc : edesc; epos : pos }
+
+and edesc =
+  | Eint of int
+  | Efloat of float
+  | Eident of string
+  | Ebin of binop * expr * expr
+  | Eun of unop * expr
+  | Eindex of expr * expr  (** a[i] *)
+  | Ecall of string * expr list  (** includes builtins *)
+  | Eaddr of string  (** &g *)
+
+type stmt = { sdesc : sdesc; spos : pos }
+
+and sdesc =
+  | Sdecl of ty * string * expr option
+  | Sassign of lvalue * expr
+  | Sexpr of expr
+  | Sif of expr * stmt * stmt option
+  | Swhile of expr * stmt
+  | Sfor of stmt option * expr option * stmt option * stmt
+      (** init and step are [Sdecl]/[Sassign]/[Sexpr] statements *)
+  | Sreturn of expr option
+  | Sblock of stmt list
+
+and lvalue =
+  | Lident of string
+  | Lindex of expr * expr  (** a[i] = ... *)
+
+type global_decl = {
+  gd_name : string;
+  gd_ty : ty;  (** element type: [Tint] or [Tfloat] *)
+  gd_is_array : bool;
+  gd_elems : int;  (** 1 for scalars *)
+  gd_init : init option;
+  gd_pos : pos;
+}
+
+and init =
+  | Iscalar of expr  (** constant expression *)
+  | Ilist of expr list
+
+type param = { p_name : string; p_ty : ty }
+
+type func_decl = {
+  fd_name : string;
+  fd_ret : ty;
+  fd_params : param list;
+  fd_body : stmt list;
+  fd_pos : pos;
+}
+
+type decl = Dglobal of global_decl | Dfunc of func_decl
+
+type program = decl list
+
+(* ------------------------------------------------------------------ *)
+
+let binop_name = function
+  | Badd -> "+"
+  | Bsub -> "-"
+  | Bmul -> "*"
+  | Bdiv -> "/"
+  | Brem -> "%"
+  | Band -> "&"
+  | Bor -> "|"
+  | Bxor -> "^"
+  | Bshl -> "<<"
+  | Bshr -> ">>"
+  | Beq -> "=="
+  | Bne -> "!="
+  | Blt -> "<"
+  | Ble -> "<="
+  | Bgt -> ">"
+  | Bge -> ">="
+  | Bland -> "&&"
+  | Blor -> "||"
+
+let is_comparison = function
+  | Beq | Bne | Blt | Ble | Bgt | Bge -> true
+  | _ -> false

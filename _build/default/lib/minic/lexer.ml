@@ -1,0 +1,198 @@
+(** Hand-written lexer for MiniC.
+
+    Supports decimal and hexadecimal integer literals, float literals
+    (digits '.' digits, with optional exponent), identifiers, keywords,
+    line ([//]) and block ([/* */]) comments. *)
+
+exception Error of Token.pos * string
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (** offset of the beginning of the current line *)
+}
+
+let make src = { src; pos = 0; line = 1; bol = 0 }
+
+let position lx : Token.pos = { line = lx.line; col = lx.pos - lx.bol + 1 }
+
+let error lx fmt =
+  Fmt.kstr (fun s -> raise (Error (position lx, s))) fmt
+
+let peek lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let peek2 lx =
+  if lx.pos + 1 < String.length lx.src then Some lx.src.[lx.pos + 1] else None
+
+let advance lx =
+  (match peek lx with
+  | Some '\n' ->
+      lx.line <- lx.line + 1;
+      lx.bol <- lx.pos + 1
+  | _ -> ());
+  lx.pos <- lx.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_ws lx =
+  match peek lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance lx;
+      skip_ws lx
+  | Some '/' when peek2 lx = Some '/' ->
+      while peek lx <> None && peek lx <> Some '\n' do
+        advance lx
+      done;
+      skip_ws lx
+  | Some '/' when peek2 lx = Some '*' ->
+      advance lx;
+      advance lx;
+      let rec loop () =
+        match (peek lx, peek2 lx) with
+        | Some '*', Some '/' ->
+            advance lx;
+            advance lx
+        | Some _, _ ->
+            advance lx;
+            loop ()
+        | None, _ -> error lx "unterminated block comment"
+      in
+      loop ();
+      skip_ws lx
+  | _ -> ()
+
+let keyword_of_string = function
+  | "int" -> Some Token.KW_INT
+  | "float" -> Some Token.KW_FLOAT
+  | "void" -> Some Token.KW_VOID
+  | "if" -> Some Token.KW_IF
+  | "else" -> Some Token.KW_ELSE
+  | "while" -> Some Token.KW_WHILE
+  | "for" -> Some Token.KW_FOR
+  | "return" -> Some Token.KW_RETURN
+  | _ -> None
+
+let lex_number lx =
+  let start = lx.pos in
+  if peek lx = Some '0' && (peek2 lx = Some 'x' || peek2 lx = Some 'X') then begin
+    advance lx;
+    advance lx;
+    while (match peek lx with Some c -> is_hex c | None -> false) do
+      advance lx
+    done;
+    let s = String.sub lx.src start (lx.pos - start) in
+    match int_of_string_opt s with
+    | Some i -> Token.INT_LIT i
+    | None -> error lx "invalid hexadecimal literal %s" s
+  end
+  else begin
+    while (match peek lx with Some c -> is_digit c | None -> false) do
+      advance lx
+    done;
+    let is_float =
+      match (peek lx, peek2 lx) with
+      | Some '.', Some c when is_digit c -> true
+      | Some ('e' | 'E'), _ -> true
+      | _ -> false
+    in
+    if is_float then begin
+      if peek lx = Some '.' then begin
+        advance lx;
+        while (match peek lx with Some c -> is_digit c | None -> false) do
+          advance lx
+        done
+      end;
+      (match peek lx with
+      | Some ('e' | 'E') ->
+          advance lx;
+          (match peek lx with
+          | Some ('+' | '-') -> advance lx
+          | _ -> ());
+          while (match peek lx with Some c -> is_digit c | None -> false) do
+            advance lx
+          done
+      | _ -> ());
+      let s = String.sub lx.src start (lx.pos - start) in
+      match float_of_string_opt s with
+      | Some f -> Token.FLOAT_LIT f
+      | None -> error lx "invalid float literal %s" s
+    end
+    else
+      let s = String.sub lx.src start (lx.pos - start) in
+      match int_of_string_opt s with
+      | Some i -> Token.INT_LIT i
+      | None -> error lx "invalid integer literal %s" s
+  end
+
+let lex_ident lx =
+  let start = lx.pos in
+  while (match peek lx with Some c -> is_ident_char c | None -> false) do
+    advance lx
+  done;
+  let s = String.sub lx.src start (lx.pos - start) in
+  match keyword_of_string s with Some k -> k | None -> Token.IDENT s
+
+(** Return the next token and its starting position. *)
+let next lx : Token.t * Token.pos =
+  skip_ws lx;
+  let pos = position lx in
+  let two tok =
+    advance lx;
+    advance lx;
+    tok
+  in
+  let one tok =
+    advance lx;
+    tok
+  in
+  let tok =
+    match peek lx with
+    | None -> Token.EOF
+    | Some c when is_digit c -> lex_number lx
+    | Some c when is_ident_start c -> lex_ident lx
+    | Some '(' -> one Token.LPAREN
+    | Some ')' -> one Token.RPAREN
+    | Some '{' -> one Token.LBRACE
+    | Some '}' -> one Token.RBRACE
+    | Some '[' -> one Token.LBRACKET
+    | Some ']' -> one Token.RBRACKET
+    | Some ';' -> one Token.SEMI
+    | Some ',' -> one Token.COMMA
+    | Some '+' -> one Token.PLUS
+    | Some '-' -> one Token.MINUS
+    | Some '*' -> one Token.STAR
+    | Some '/' -> one Token.SLASH
+    | Some '%' -> one Token.PERCENT
+    | Some '^' -> one Token.CARET
+    | Some '&' -> if peek2 lx = Some '&' then two Token.AMPAMP else one Token.AMP
+    | Some '|' -> if peek2 lx = Some '|' then two Token.BARBAR else one Token.BAR
+    | Some '!' -> if peek2 lx = Some '=' then two Token.NE else one Token.BANG
+    | Some '=' -> if peek2 lx = Some '=' then two Token.EQ else one Token.ASSIGN
+    | Some '<' ->
+        if peek2 lx = Some '=' then two Token.LE
+        else if peek2 lx = Some '<' then two Token.SHL
+        else one Token.LT
+    | Some '>' ->
+        if peek2 lx = Some '=' then two Token.GE
+        else if peek2 lx = Some '>' then two Token.SHR
+        else one Token.GT
+    | Some c -> error lx "unexpected character %C" c
+  in
+  (tok, pos)
+
+(** Tokenize the whole input (including the final [EOF]). *)
+let tokenize src =
+  let lx = make src in
+  let rec loop acc =
+    let tok, pos = next lx in
+    let acc = (tok, pos) :: acc in
+    match tok with Token.EOF -> List.rev acc | _ -> loop acc
+  in
+  loop []

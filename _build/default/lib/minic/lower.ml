@@ -1,0 +1,269 @@
+(** Lowering from the typed AST to the VLIW IR.
+
+    Conventions:
+    - every local variable gets one virtual register (the IR is not SSA);
+    - all data elements are 8-byte words; array indexing scales by 8
+      ([shl 3] for dynamic indices);
+    - [malloc(n)] allocates [8 * n] bytes;
+    - short-circuit [&&]/[||] lower to control flow producing 0/1;
+    - unreachable blocks created by code after [return] are pruned. *)
+
+open Vliw_ir
+module B = Builder
+
+type env = {
+  fb : B.fb;
+  regs : (string, Reg.t) Hashtbl.t;  (** unique local name -> register *)
+}
+
+let reg_of env name =
+  match Hashtbl.find_opt env.regs name with
+  | Some r -> r
+  | None -> invalid_arg ("Lower.reg_of: unbound local " ^ name)
+
+(** Multiply a word index by 8 to get a byte offset. *)
+let scaled_offset env (idx : Op.operand) : Op.operand =
+  match idx with
+  | Op.Imm i -> Op.Imm (i * 8)
+  | v -> Op.Reg (B.ibin env.fb Op.Shl v (Op.Imm 3))
+
+let icmp_of_binop = function
+  | Ast.Beq -> Op.Ceq
+  | Ast.Bne -> Op.Cne
+  | Ast.Blt -> Op.Clt
+  | Ast.Ble -> Op.Cle
+  | Ast.Bgt -> Op.Cgt
+  | Ast.Bge -> Op.Cge
+  | _ -> assert false
+
+let ibin_of_binop = function
+  | Ast.Badd -> Op.Add
+  | Ast.Bsub -> Op.Sub
+  | Ast.Bmul -> Op.Mul
+  | Ast.Bdiv -> Op.Div
+  | Ast.Brem -> Op.Rem
+  | Ast.Band -> Op.And
+  | Ast.Bor -> Op.Or
+  | Ast.Bxor -> Op.Xor
+  | Ast.Bshl -> Op.Shl
+  | Ast.Bshr -> Op.Shr
+  | op -> Op.Icmp (icmp_of_binop op)
+
+let fbin_of_binop = function
+  | Ast.Badd -> Op.Fadd
+  | Ast.Bsub -> Op.Fsub
+  | Ast.Bmul -> Op.Fmul
+  | Ast.Bdiv -> Op.Fdiv
+  | op -> Op.Fcmp (icmp_of_binop op)
+
+let rec lower_expr env (e : Sema.texpr) : Op.operand =
+  match e.Sema.tdesc with
+  | Sema.Tint_lit i -> Op.Imm i
+  | Sema.Tfloat_lit f -> Op.Fimm f
+  | Sema.Tlocal name -> Op.Reg (reg_of env name)
+  | Sema.Tglobal_scalar g ->
+      let a = B.addr env.fb g in
+      Op.Reg (B.load env.fb ~base:(Op.Reg a) ~offset:(Op.Imm 0))
+  | Sema.Tglobal_addr g -> Op.Reg (B.addr env.fb g)
+  | Sema.Tbin ((Ast.Bland | Ast.Blor) as op, a, b) ->
+      lower_shortcircuit env op a b
+  | Sema.Tbin (op, a, b) -> lower_binop env op a b
+  | Sema.Tun (Ast.Uneg, a) -> (
+      let va = lower_expr env a in
+      match a.Sema.tty with
+      | Ast.Tfloat -> Op.Reg (B.fbin env.fb Op.Fsub (Op.Fimm 0.0) va)
+      | _ -> Op.Reg (B.un env.fb Op.Neg va))
+  | Sema.Tun (Ast.Unot, a) ->
+      let va = lower_expr env a in
+      Op.Reg (B.ibin env.fb (Op.Icmp Op.Ceq) va (Op.Imm 0))
+  | Sema.Tindex (base, idx) ->
+      let vb = lower_expr env base in
+      let vi = lower_expr env idx in
+      Op.Reg (B.load env.fb ~base:vb ~offset:(scaled_offset env vi))
+  | Sema.Tcall (callee, args) ->
+      let vargs = List.map (lower_expr env) args in
+      let r =
+        B.call env.fb ~callee ~args:vargs ~wants_result:true |> Option.get
+      in
+      Op.Reg r
+  | Sema.Tmalloc words -> (
+      let vw = lower_expr env words in
+      let bytes =
+        match vw with
+        | Op.Imm i -> Op.Imm (i * 8)
+        | v -> Op.Reg (B.ibin env.fb Op.Shl v (Op.Imm 3))
+      in
+      Op.Reg (B.alloc env.fb bytes))
+  | Sema.Tinput idx ->
+      let vi = lower_expr env idx in
+      Op.Reg (B.input env.fb vi)
+  | Sema.Titof a ->
+      let va = lower_expr env a in
+      Op.Reg (B.un env.fb Op.Itof va)
+  | Sema.Tftoi a ->
+      let va = lower_expr env a in
+      Op.Reg (B.un env.fb Op.Ftoi va)
+
+and lower_binop env op (a : Sema.texpr) (b : Sema.texpr) : Op.operand =
+  let va = lower_expr env a in
+  let vb = lower_expr env b in
+  match (a.Sema.tty, b.Sema.tty) with
+  | Ast.Tptr _, Ast.Tint ->
+      (* pointer arithmetic: scale the integer side *)
+      let o = ibin_of_binop op in
+      Op.Reg (B.ibin env.fb o va (scaled_offset env vb))
+  | Ast.Tptr _, Ast.Tptr _ ->
+      (* pointer comparison *)
+      Op.Reg (B.ibin env.fb (ibin_of_binop op) va vb)
+  | Ast.Tfloat, _ | _, Ast.Tfloat ->
+      Op.Reg (B.fbin env.fb (fbin_of_binop op) va vb)
+  | _ -> Op.Reg (B.ibin env.fb (ibin_of_binop op) va vb)
+
+and lower_shortcircuit env op a b : Op.operand =
+  let fb = env.fb in
+  let result = B.fresh_reg fb in
+  let l_eval_b = B.fresh_label fb in
+  let l_done = B.fresh_label fb in
+  let va = lower_expr env a in
+  (match op with
+  | Ast.Bland ->
+      (* result = 0; if a then result = (b != 0) *)
+      let (_ : Op.t) = B.emit fb (Op.Un (Op.Copy, result, Op.Imm 0)) in
+      B.terminate fb (Op.Cbr { cond = va; if_true = l_eval_b; if_false = l_done })
+  | Ast.Blor ->
+      let (_ : Op.t) = B.emit fb (Op.Un (Op.Copy, result, Op.Imm 1)) in
+      B.terminate fb (Op.Cbr { cond = va; if_true = l_done; if_false = l_eval_b })
+  | _ -> assert false);
+  B.start_block fb l_eval_b;
+  let vb = lower_expr env b in
+  let nz = B.ibin fb (Op.Icmp Op.Cne) vb (Op.Imm 0) in
+  let (_ : Op.t) = B.emit fb (Op.Un (Op.Copy, result, Op.Reg nz)) in
+  B.terminate fb (Op.Jmp l_done);
+  B.start_block fb l_done;
+  Op.Reg result
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+
+(** Ensure there is a current block; code after [return] opens a fresh,
+    unreachable block that is pruned afterwards. *)
+let ensure_block env =
+  if not (B.in_block env.fb) then B.start_block env.fb (B.fresh_label env.fb)
+
+let rec lower_stmt env (s : Sema.tstmt) : unit =
+  ensure_block env;
+  let fb = env.fb in
+  match s with
+  | Sema.TSassign (lv, e) -> (
+      match lv with
+      | Sema.TLlocal (name, _) ->
+          let v = lower_expr env e in
+          let r = reg_of env name in
+          let (_ : Op.t) = B.emit fb (Op.Un (Op.Copy, r, v)) in
+          ()
+      | Sema.TLglobal (g, _) ->
+          let v = lower_expr env e in
+          let a = B.addr fb g in
+          B.store fb ~src:v ~base:(Op.Reg a) ~offset:(Op.Imm 0)
+      | Sema.TLindex (base, idx, _) ->
+          let vb = lower_expr env base in
+          let vi = lower_expr env idx in
+          let off = scaled_offset env vi in
+          let v = lower_expr env e in
+          B.store fb ~src:v ~base:vb ~offset:off)
+  | Sema.TSexpr e ->
+      (* evaluate for side effects; void calls have no destination *)
+      (match e.Sema.tdesc with
+      | Sema.Tcall (callee, args) when e.Sema.tty = Ast.Tvoid ->
+          let vargs = List.map (lower_expr env) args in
+          let (_ : Reg.t option) =
+            B.call fb ~callee ~args:vargs ~wants_result:false
+          in
+          ()
+      | _ ->
+          let (_ : Op.operand) = lower_expr env e in
+          ())
+  | Sema.TSout e ->
+      let v = lower_expr env e in
+      B.output fb v
+  | Sema.TSif (cond, then_, else_) ->
+      let vc = lower_expr env cond in
+      let l_then = B.fresh_label fb in
+      let l_else = B.fresh_label fb in
+      let l_end = B.fresh_label fb in
+      B.terminate fb
+        (Op.Cbr { cond = vc; if_true = l_then; if_false = l_else });
+      B.start_block fb l_then;
+      List.iter (lower_stmt env) then_;
+      if B.in_block fb then B.terminate fb (Op.Jmp l_end);
+      B.start_block fb l_else;
+      List.iter (lower_stmt env) else_;
+      if B.in_block fb then B.terminate fb (Op.Jmp l_end);
+      B.start_block fb l_end
+  | Sema.TSwhile (cond, body) ->
+      let l_cond = B.fresh_label fb in
+      let l_body = B.fresh_label fb in
+      let l_end = B.fresh_label fb in
+      B.terminate fb (Op.Jmp l_cond);
+      B.start_block fb l_cond;
+      let vc = lower_expr env cond in
+      B.terminate fb (Op.Cbr { cond = vc; if_true = l_body; if_false = l_end });
+      B.start_block fb l_body;
+      List.iter (lower_stmt env) body;
+      if B.in_block fb then B.terminate fb (Op.Jmp l_cond);
+      B.start_block fb l_end
+  | Sema.TSreturn e ->
+      let v = Option.map (lower_expr env) e in
+      B.terminate fb (Op.Ret v)
+
+(* ------------------------------------------------------------------ *)
+(* Functions and programs                                              *)
+
+(** Remove blocks unreachable from the entry. *)
+let prune_unreachable (f : Func.t) : Func.t =
+  let succ = Func.successor_map f in
+  let reachable = Hashtbl.create 16 in
+  let rec visit l =
+    if not (Hashtbl.mem reachable l) then begin
+      Hashtbl.replace reachable l ();
+      List.iter visit (Option.value ~default:[] (Label.Map.find_opt l succ))
+    end
+  in
+  visit (Block.label (Func.entry f));
+  Func.with_blocks f
+    (List.filter (fun b -> Hashtbl.mem reachable (Block.label b)) (Func.blocks f))
+
+let lower_func builder (tf : Sema.tfunc) : unit =
+  let fb, params = B.start_func builder ~name:tf.Sema.tf_name
+      ~nparams:(List.length tf.Sema.tf_params)
+  in
+  let regs = Hashtbl.create 16 in
+  List.iter2
+    (fun (name, _) r -> Hashtbl.replace regs name r)
+    tf.Sema.tf_params params;
+  List.iter
+    (fun (name, _) -> Hashtbl.replace regs name (B.fresh_reg fb))
+    tf.Sema.tf_locals;
+  let env = { fb; regs } in
+  B.start_block fb (B.fresh_label fb);
+  List.iter (lower_stmt env) tf.Sema.tf_body;
+  (* implicit return *)
+  if B.in_block fb then
+    B.terminate fb
+      (Op.Ret (if tf.Sema.tf_ret = Ast.Tvoid then None else Some (Op.Imm 0)));
+  let (_ : Func.t) = B.finish_func fb in
+  ()
+
+let lower_program (tp : Sema.tprogram) : Prog.t =
+  let builder = B.create () in
+  List.iter
+    (fun (g : Sema.tglobal) ->
+      B.add_global builder
+        (Data.global
+           ~is_float:(g.Sema.tg_ty = Ast.Tfloat)
+           ~init:g.Sema.tg_init g.Sema.tg_name g.Sema.tg_elems))
+    tp.Sema.tp_globals;
+  List.iter (lower_func builder) tp.Sema.tp_funcs;
+  let p = B.finish builder in
+  let funcs = List.map prune_unreachable (Prog.funcs p) in
+  Prog.v ~globals:(Prog.globals p) ~funcs ~op_count:(Prog.op_count p)

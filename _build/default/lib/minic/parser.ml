@@ -1,0 +1,424 @@
+(** Recursive-descent parser for MiniC.
+
+    Operator precedence (loosest to tightest), following C:
+    [||]  [&&]  [|]  [^]  [&]  [== !=]  [< <= > >=]  [<< >>]  [+ -]
+    [* / %]  unary [- !]  postfix (call, index). *)
+
+exception Error of Token.pos * string
+
+type t = {
+  toks : (Token.t * Token.pos) array;
+  mutable idx : int;
+}
+
+let make src = { toks = Array.of_list (Lexer.tokenize src); idx = 0 }
+
+let peek p = fst p.toks.(p.idx)
+let pos p = snd p.toks.(p.idx)
+
+let error p fmt = Fmt.kstr (fun s -> raise (Error (pos p, s))) fmt
+
+let advance p = if p.idx < Array.length p.toks - 1 then p.idx <- p.idx + 1
+
+let expect p tok =
+  if peek p = tok then advance p
+  else
+    error p "expected %s but found %s" (Token.to_string tok)
+      (Token.to_string (peek p))
+
+let accept p tok =
+  if peek p = tok then begin
+    advance p;
+    true
+  end
+  else false
+
+let expect_ident p =
+  match peek p with
+  | Token.IDENT s ->
+      advance p;
+      s
+  | t -> error p "expected identifier but found %s" (Token.to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+
+let base_type p : Ast.ty option =
+  match peek p with
+  | Token.KW_INT ->
+      advance p;
+      Some Ast.Tint
+  | Token.KW_FLOAT ->
+      advance p;
+      Some Ast.Tfloat
+  | Token.KW_VOID ->
+      advance p;
+      Some Ast.Tvoid
+  | _ -> None
+
+(** Parse a type: base type followed by zero or more [*]. *)
+let parse_type p =
+  match base_type p with
+  | None -> error p "expected a type but found %s" (Token.to_string (peek p))
+  | Some t ->
+      let rec stars t =
+        if accept p Token.STAR then stars (Ast.Tptr t) else t
+      in
+      stars t
+
+let looks_like_type p =
+  match peek p with
+  | Token.KW_INT | Token.KW_FLOAT | Token.KW_VOID -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+
+let rec parse_expr p = parse_lor p
+
+and parse_lor p =
+  let rec loop lhs =
+    let epos = pos p in
+    if accept p Token.BARBAR then
+      loop { Ast.edesc = Ast.Ebin (Ast.Blor, lhs, parse_land p); epos }
+    else lhs
+  in
+  loop (parse_land p)
+
+and parse_land p =
+  let rec loop lhs =
+    let epos = pos p in
+    if accept p Token.AMPAMP then
+      loop { Ast.edesc = Ast.Ebin (Ast.Bland, lhs, parse_bitor p); epos }
+    else lhs
+  in
+  loop (parse_bitor p)
+
+and parse_bitor p =
+  let rec loop lhs =
+    let epos = pos p in
+    if accept p Token.BAR then
+      loop { Ast.edesc = Ast.Ebin (Ast.Bor, lhs, parse_bitxor p); epos }
+    else lhs
+  in
+  loop (parse_bitxor p)
+
+and parse_bitxor p =
+  let rec loop lhs =
+    let epos = pos p in
+    if accept p Token.CARET then
+      loop { Ast.edesc = Ast.Ebin (Ast.Bxor, lhs, parse_bitand p); epos }
+    else lhs
+  in
+  loop (parse_bitand p)
+
+and parse_bitand p =
+  let rec loop lhs =
+    let epos = pos p in
+    if accept p Token.AMP then
+      loop { Ast.edesc = Ast.Ebin (Ast.Band, lhs, parse_equality p); epos }
+    else lhs
+  in
+  loop (parse_equality p)
+
+and parse_equality p =
+  let rec loop lhs =
+    let epos = pos p in
+    match peek p with
+    | Token.EQ ->
+        advance p;
+        loop { Ast.edesc = Ast.Ebin (Ast.Beq, lhs, parse_relational p); epos }
+    | Token.NE ->
+        advance p;
+        loop { Ast.edesc = Ast.Ebin (Ast.Bne, lhs, parse_relational p); epos }
+    | _ -> lhs
+  in
+  loop (parse_relational p)
+
+and parse_relational p =
+  let rec loop lhs =
+    let epos = pos p in
+    match peek p with
+    | Token.LT ->
+        advance p;
+        loop { Ast.edesc = Ast.Ebin (Ast.Blt, lhs, parse_shift p); epos }
+    | Token.LE ->
+        advance p;
+        loop { Ast.edesc = Ast.Ebin (Ast.Ble, lhs, parse_shift p); epos }
+    | Token.GT ->
+        advance p;
+        loop { Ast.edesc = Ast.Ebin (Ast.Bgt, lhs, parse_shift p); epos }
+    | Token.GE ->
+        advance p;
+        loop { Ast.edesc = Ast.Ebin (Ast.Bge, lhs, parse_shift p); epos }
+    | _ -> lhs
+  in
+  loop (parse_shift p)
+
+and parse_shift p =
+  let rec loop lhs =
+    let epos = pos p in
+    match peek p with
+    | Token.SHL ->
+        advance p;
+        loop { Ast.edesc = Ast.Ebin (Ast.Bshl, lhs, parse_additive p); epos }
+    | Token.SHR ->
+        advance p;
+        loop { Ast.edesc = Ast.Ebin (Ast.Bshr, lhs, parse_additive p); epos }
+    | _ -> lhs
+  in
+  loop (parse_additive p)
+
+and parse_additive p =
+  let rec loop lhs =
+    let epos = pos p in
+    match peek p with
+    | Token.PLUS ->
+        advance p;
+        loop { Ast.edesc = Ast.Ebin (Ast.Badd, lhs, parse_multiplicative p); epos }
+    | Token.MINUS ->
+        advance p;
+        loop { Ast.edesc = Ast.Ebin (Ast.Bsub, lhs, parse_multiplicative p); epos }
+    | _ -> lhs
+  in
+  loop (parse_multiplicative p)
+
+and parse_multiplicative p =
+  let rec loop lhs =
+    let epos = pos p in
+    match peek p with
+    | Token.STAR ->
+        advance p;
+        loop { Ast.edesc = Ast.Ebin (Ast.Bmul, lhs, parse_unary p); epos }
+    | Token.SLASH ->
+        advance p;
+        loop { Ast.edesc = Ast.Ebin (Ast.Bdiv, lhs, parse_unary p); epos }
+    | Token.PERCENT ->
+        advance p;
+        loop { Ast.edesc = Ast.Ebin (Ast.Brem, lhs, parse_unary p); epos }
+    | _ -> lhs
+  in
+  loop (parse_unary p)
+
+and parse_unary p =
+  let epos = pos p in
+  match peek p with
+  | Token.MINUS ->
+      advance p;
+      { Ast.edesc = Ast.Eun (Ast.Uneg, parse_unary p); epos }
+  | Token.BANG ->
+      advance p;
+      { Ast.edesc = Ast.Eun (Ast.Unot, parse_unary p); epos }
+  | Token.AMP ->
+      advance p;
+      let name = expect_ident p in
+      { Ast.edesc = Ast.Eaddr name; epos }
+  | _ -> parse_postfix p
+
+and parse_postfix p =
+  let rec loop e =
+    let epos = pos p in
+    if accept p Token.LBRACKET then begin
+      let idx = parse_expr p in
+      expect p Token.RBRACKET;
+      loop { Ast.edesc = Ast.Eindex (e, idx); epos }
+    end
+    else e
+  in
+  loop (parse_primary p)
+
+and parse_primary p =
+  let epos = pos p in
+  match peek p with
+  | Token.INT_LIT i ->
+      advance p;
+      { Ast.edesc = Ast.Eint i; epos }
+  | Token.FLOAT_LIT f ->
+      advance p;
+      { Ast.edesc = Ast.Efloat f; epos }
+  | Token.IDENT name ->
+      advance p;
+      if accept p Token.LPAREN then begin
+        let args =
+          if peek p = Token.RPAREN then []
+          else
+            let rec more acc =
+              let acc = parse_expr p :: acc in
+              if accept p Token.COMMA then more acc else List.rev acc
+            in
+            more []
+        in
+        expect p Token.RPAREN;
+        { Ast.edesc = Ast.Ecall (name, args); epos }
+      end
+      else { Ast.edesc = Ast.Eident name; epos }
+  | Token.LPAREN ->
+      advance p;
+      let e = parse_expr p in
+      expect p Token.RPAREN;
+      e
+  | t -> error p "expected expression but found %s" (Token.to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+
+(** Parse an expression that may be the left-hand side of an assignment,
+    producing either an assignment or an expression statement. *)
+let rec parse_simple p : Ast.stmt =
+  let spos = pos p in
+  if looks_like_type p then begin
+    let ty = parse_type p in
+    let name = expect_ident p in
+    let init = if accept p Token.ASSIGN then Some (parse_expr p) else None in
+    { Ast.sdesc = Ast.Sdecl (ty, name, init); spos }
+  end
+  else
+    let e = parse_expr p in
+    if accept p Token.ASSIGN then begin
+      let rhs = parse_expr p in
+      let lv =
+        match e.Ast.edesc with
+        | Ast.Eident name -> Ast.Lident name
+        | Ast.Eindex (a, i) -> Ast.Lindex (a, i)
+        | _ -> raise (Error (spos, "invalid assignment target"))
+      in
+      { Ast.sdesc = Ast.Sassign (lv, rhs); spos }
+    end
+    else { Ast.sdesc = Ast.Sexpr e; spos }
+
+and parse_stmt p : Ast.stmt =
+  let spos = pos p in
+  match peek p with
+  | Token.LBRACE ->
+      advance p;
+      let rec body acc =
+        if accept p Token.RBRACE then List.rev acc
+        else body (parse_stmt p :: acc)
+      in
+      { Ast.sdesc = Ast.Sblock (body []); spos }
+  | Token.KW_IF ->
+      advance p;
+      expect p Token.LPAREN;
+      let cond = parse_expr p in
+      expect p Token.RPAREN;
+      let then_ = parse_stmt p in
+      let else_ = if accept p Token.KW_ELSE then Some (parse_stmt p) else None in
+      { Ast.sdesc = Ast.Sif (cond, then_, else_); spos }
+  | Token.KW_WHILE ->
+      advance p;
+      expect p Token.LPAREN;
+      let cond = parse_expr p in
+      expect p Token.RPAREN;
+      let body = parse_stmt p in
+      { Ast.sdesc = Ast.Swhile (cond, body); spos }
+  | Token.KW_FOR ->
+      advance p;
+      expect p Token.LPAREN;
+      let init = if peek p = Token.SEMI then None else Some (parse_simple p) in
+      expect p Token.SEMI;
+      let cond = if peek p = Token.SEMI then None else Some (parse_expr p) in
+      expect p Token.SEMI;
+      let step = if peek p = Token.RPAREN then None else Some (parse_simple p) in
+      expect p Token.RPAREN;
+      let body = parse_stmt p in
+      { Ast.sdesc = Ast.Sfor (init, cond, step, body); spos }
+  | Token.KW_RETURN ->
+      advance p;
+      let e = if peek p = Token.SEMI then None else Some (parse_expr p) in
+      expect p Token.SEMI;
+      { Ast.sdesc = Ast.Sreturn e; spos }
+  | Token.SEMI ->
+      advance p;
+      { Ast.sdesc = Ast.Sblock []; spos }
+  | _ ->
+      let s = parse_simple p in
+      expect p Token.SEMI;
+      s
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+
+let parse_const_expr p = parse_expr p
+
+let parse_global p ty name : Ast.global_decl =
+  let gd_pos = pos p in
+  let is_array, elems =
+    if accept p Token.LBRACKET then begin
+      match peek p with
+      | Token.INT_LIT n ->
+          advance p;
+          expect p Token.RBRACKET;
+          (true, n)
+      | t ->
+          error p "expected array size literal but found %s"
+            (Token.to_string t)
+    end
+    else (false, 1)
+  in
+  let init =
+    if accept p Token.ASSIGN then
+      if accept p Token.LBRACE then begin
+        let rec elems acc =
+          let acc = parse_const_expr p :: acc in
+          if accept p Token.COMMA then
+            if peek p = Token.RBRACE then List.rev acc else elems acc
+          else List.rev acc
+        in
+        let es = if peek p = Token.RBRACE then [] else elems [] in
+        expect p Token.RBRACE;
+        Some (Ast.Ilist es)
+      end
+      else Some (Ast.Iscalar (parse_const_expr p))
+    else None
+  in
+  expect p Token.SEMI;
+  {
+    Ast.gd_name = name;
+    gd_ty = ty;
+    gd_is_array = is_array;
+    gd_elems = elems;
+    gd_init = init;
+    gd_pos;
+  }
+
+let parse_func p ret name : Ast.func_decl =
+  let fd_pos = pos p in
+  let params =
+    if peek p = Token.RPAREN then []
+    else
+      let rec more acc =
+        let ty = parse_type p in
+        let pname = expect_ident p in
+        let acc = { Ast.p_name = pname; p_ty = ty } :: acc in
+        if accept p Token.COMMA then more acc else List.rev acc
+      in
+      more []
+  in
+  expect p Token.RPAREN;
+  expect p Token.LBRACE;
+  let rec body acc =
+    if accept p Token.RBRACE then List.rev acc
+    else body (parse_stmt p :: acc)
+  in
+  let stmts = body [] in
+  { Ast.fd_name = name; fd_ret = ret; fd_params = params; fd_body = stmts; fd_pos }
+
+let parse_decl p : Ast.decl =
+  let ty = parse_type p in
+  let name = expect_ident p in
+  if accept p Token.LPAREN then Ast.Dfunc (parse_func p ty name)
+  else begin
+    (match ty with
+    | Ast.Tvoid -> error p "global %s cannot have type void" name
+    | Ast.Tptr _ -> error p "global %s cannot have pointer type" name
+    | Ast.Tint | Ast.Tfloat -> ());
+    Ast.Dglobal (parse_global p ty name)
+  end
+
+(** Parse a complete MiniC program. *)
+let parse_program src : Ast.program =
+  let p = make src in
+  let rec loop acc =
+    if peek p = Token.EOF then List.rev acc else loop (parse_decl p :: acc)
+  in
+  loop []

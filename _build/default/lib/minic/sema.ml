@@ -1,0 +1,490 @@
+(** Semantic analysis: scoping, type checking and implicit conversions.
+
+    Produces a typed AST in which every identifier is resolved (locals get
+    unique names, so lowering needs no scope handling), every expression
+    carries its type, and implicit int->float promotions are explicit
+    [Titof] nodes.  Builtins ([malloc], [in], [out], [outf], [itof],
+    [ftoi]) are recognized here and become dedicated node kinds. *)
+
+open Vliw_ir
+
+exception Error of Token.pos * string
+
+let error pos fmt = Fmt.kstr (fun s -> raise (Error (pos, s))) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Typed AST                                                           *)
+
+type ty = Ast.ty
+
+type texpr = { tdesc : tdesc; tty : ty }
+
+and tdesc =
+  | Tint_lit of int
+  | Tfloat_lit of float
+  | Tlocal of string  (** unique name *)
+  | Tglobal_scalar of string  (** load of a global scalar *)
+  | Tglobal_addr of string  (** array decay or address-of *)
+  | Tbin of Ast.binop * texpr * texpr
+  | Tun of Ast.unop * texpr
+  | Tindex of texpr * texpr  (** base pointer, integer index *)
+  | Tcall of string * texpr list
+  | Tmalloc of texpr  (** size in 8-byte words *)
+  | Tinput of texpr
+  | Titof of texpr
+  | Tftoi of texpr
+
+type tlvalue =
+  | TLlocal of string * ty
+  | TLglobal of string * ty  (** global scalar *)
+  | TLindex of texpr * texpr * ty  (** base, index, element type *)
+
+type tstmt =
+  | TSassign of tlvalue * texpr
+  | TSexpr of texpr
+  | TSif of texpr * tstmt list * tstmt list
+  | TSwhile of texpr * tstmt list
+  | TSreturn of texpr option
+  | TSout of texpr
+      (** [out]/[outf] statement (expression statements calling them are
+          normalized to this) *)
+
+type tglobal = {
+  tg_name : string;
+  tg_ty : ty;  (** element type *)
+  tg_elems : int;
+  tg_init : Data.init;
+}
+
+type tfunc = {
+  tf_name : string;
+  tf_ret : ty;
+  tf_params : (string * ty) list;
+  tf_locals : (string * ty) list;  (** all locals, uniquely named *)
+  tf_body : tstmt list;
+}
+
+type tprogram = { tp_globals : tglobal list; tp_funcs : tfunc list }
+
+(* ------------------------------------------------------------------ *)
+(* Environments                                                        *)
+
+type gkind = Gscalar of ty | Garray of ty * int
+
+type env = {
+  globals : (string, gkind) Hashtbl.t;
+  funcs : (string, ty * ty list) Hashtbl.t;  (** ret, param types *)
+  mutable scopes : (string, string * ty) Hashtbl.t list;
+      (** source name -> unique name, type *)
+  mutable locals_acc : (string * ty) list;  (** collected, reversed *)
+  mutable unique : int;
+}
+
+let push_scope env = env.scopes <- Hashtbl.create 8 :: env.scopes
+let pop_scope env =
+  match env.scopes with
+  | [] -> assert false
+  | _ :: rest -> env.scopes <- rest
+
+let lookup_local env name =
+  let rec go = function
+    | [] -> None
+    | s :: rest -> (
+        match Hashtbl.find_opt s name with Some v -> Some v | None -> go rest)
+  in
+  go env.scopes
+
+let declare_local env pos name ty =
+  match env.scopes with
+  | [] -> assert false
+  | s :: _ ->
+      if Hashtbl.mem s name then
+        error pos "variable %s already declared in this scope" name;
+      let uname = Printf.sprintf "%s.%d" name env.unique in
+      env.unique <- env.unique + 1;
+      Hashtbl.replace s name (uname, ty);
+      env.locals_acc <- (uname, ty) :: env.locals_acc;
+      uname
+
+(* ------------------------------------------------------------------ *)
+(* Types and conversions                                               *)
+
+let is_int ty = ty = Ast.Tint
+let is_float ty = ty = Ast.Tfloat
+let is_ptr = function Ast.Tptr _ -> true | _ -> false
+
+let elem_ty pos = function
+  | Ast.Tptr t -> t
+  | ty -> error pos "expected a pointer but found %s" (Ast.ty_to_string ty)
+
+(** Coerce [e] to type [want], inserting an int->float promotion if needed. *)
+let coerce pos want (e : texpr) =
+  if e.tty = want then e
+  else if is_float want && is_int e.tty then
+    { tdesc = Titof e; tty = Ast.Tfloat }
+  else
+    error pos "expected %s but found %s" (Ast.ty_to_string want)
+      (Ast.ty_to_string e.tty)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+
+let rec check_expr env (e : Ast.expr) : texpr =
+  let pos = e.Ast.epos in
+  match e.Ast.edesc with
+  | Ast.Eint i -> { tdesc = Tint_lit i; tty = Ast.Tint }
+  | Ast.Efloat f -> { tdesc = Tfloat_lit f; tty = Ast.Tfloat }
+  | Ast.Eident name -> (
+      match lookup_local env name with
+      | Some (uname, ty) -> { tdesc = Tlocal uname; tty = ty }
+      | None -> (
+          match Hashtbl.find_opt env.globals name with
+          | Some (Gscalar ty) -> { tdesc = Tglobal_scalar name; tty = ty }
+          | Some (Garray (ty, _)) ->
+              (* array-to-pointer decay *)
+              { tdesc = Tglobal_addr name; tty = Ast.Tptr ty }
+          | None -> error pos "unknown variable %s" name))
+  | Ast.Eaddr name -> (
+      match Hashtbl.find_opt env.globals name with
+      | Some (Gscalar ty) | Some (Garray (ty, _)) ->
+          { tdesc = Tglobal_addr name; tty = Ast.Tptr ty }
+      | None -> error pos "cannot take the address of unknown global %s" name)
+  | Ast.Eun (Ast.Uneg, a) ->
+      let ta = check_expr env a in
+      if is_int ta.tty || is_float ta.tty then
+        { tdesc = Tun (Ast.Uneg, ta); tty = ta.tty }
+      else error pos "cannot negate a %s" (Ast.ty_to_string ta.tty)
+  | Ast.Eun (Ast.Unot, a) ->
+      let ta = check_expr env a in
+      if is_int ta.tty then { tdesc = Tun (Ast.Unot, ta); tty = Ast.Tint }
+      else error pos "! expects an int"
+  | Ast.Ebin (op, a, b) -> check_binop env pos op a b
+  | Ast.Eindex (base, idx) ->
+      let tbase = check_expr env base in
+      let tidx = check_expr env idx in
+      if not (is_int tidx.tty) then error pos "array index must be an int";
+      let elem = elem_ty pos tbase.tty in
+      { tdesc = Tindex (tbase, tidx); tty = elem }
+  | Ast.Ecall (name, args) -> check_call env pos name args
+
+and check_binop env pos op a b =
+  let ta = check_expr env a in
+  let tb = check_expr env b in
+  match op with
+  | Ast.Bland | Ast.Blor ->
+      if is_int ta.tty && is_int tb.tty then
+        { tdesc = Tbin (op, ta, tb); tty = Ast.Tint }
+      else error pos "%s expects ints" (Ast.binop_name op)
+  | Ast.Band | Ast.Bor | Ast.Bxor | Ast.Bshl | Ast.Bshr | Ast.Brem ->
+      if is_int ta.tty && is_int tb.tty then
+        { tdesc = Tbin (op, ta, tb); tty = Ast.Tint }
+      else error pos "%s expects ints" (Ast.binop_name op)
+  | Ast.Beq | Ast.Bne | Ast.Blt | Ast.Ble | Ast.Bgt | Ast.Bge ->
+      if is_ptr ta.tty && is_ptr tb.tty then
+        { tdesc = Tbin (op, ta, tb); tty = Ast.Tint }
+      else if is_float ta.tty || is_float tb.tty then
+        let ta = coerce pos Ast.Tfloat ta and tb = coerce pos Ast.Tfloat tb in
+        { tdesc = Tbin (op, ta, tb); tty = Ast.Tint }
+      else if is_int ta.tty && is_int tb.tty then
+        { tdesc = Tbin (op, ta, tb); tty = Ast.Tint }
+      else
+        error pos "cannot compare %s with %s" (Ast.ty_to_string ta.tty)
+          (Ast.ty_to_string tb.tty)
+  | Ast.Badd | Ast.Bsub | Ast.Bmul | Ast.Bdiv -> (
+      match (ta.tty, tb.tty) with
+      | Ast.Tptr _, Ast.Tint when op = Ast.Badd || op = Ast.Bsub ->
+          { tdesc = Tbin (op, ta, tb); tty = ta.tty }
+      | Ast.Tint, Ast.Tptr _ when op = Ast.Badd ->
+          { tdesc = Tbin (op, tb, ta); tty = tb.tty }
+      | _ ->
+          if is_float ta.tty || is_float tb.tty then
+            let ta = coerce pos Ast.Tfloat ta
+            and tb = coerce pos Ast.Tfloat tb in
+            { tdesc = Tbin (op, ta, tb); tty = Ast.Tfloat }
+          else if is_int ta.tty && is_int tb.tty then
+            { tdesc = Tbin (op, ta, tb); tty = Ast.Tint }
+          else
+            error pos "invalid operands to %s: %s and %s" (Ast.binop_name op)
+              (Ast.ty_to_string ta.tty) (Ast.ty_to_string tb.tty))
+
+and check_call env pos name args =
+  let nargs = List.length args in
+  let arity n =
+    if nargs <> n then error pos "%s expects %d argument(s), got %d" name n nargs
+  in
+  match name with
+  | "malloc" ->
+      arity 1;
+      let size = coerce pos Ast.Tint (check_expr env (List.nth args 0)) in
+      { tdesc = Tmalloc size; tty = Ast.Tptr Ast.Tint }
+  | "in" ->
+      arity 1;
+      let idx = coerce pos Ast.Tint (check_expr env (List.nth args 0)) in
+      { tdesc = Tinput idx; tty = Ast.Tint }
+  | "itof" ->
+      arity 1;
+      let a = coerce pos Ast.Tint (check_expr env (List.nth args 0)) in
+      { tdesc = Titof a; tty = Ast.Tfloat }
+  | "ftoi" ->
+      arity 1;
+      let a = coerce pos Ast.Tfloat (check_expr env (List.nth args 0)) in
+      { tdesc = Tftoi a; tty = Ast.Tint }
+  | "out" | "outf" ->
+      error pos "%s is a statement, not an expression" name
+  | _ -> (
+      match Hashtbl.find_opt env.funcs name with
+      | None -> error pos "unknown function %s" name
+      | Some (ret, ptys) ->
+          if List.length ptys <> nargs then
+            error pos "%s expects %d argument(s), got %d" name
+              (List.length ptys) nargs;
+          let targs =
+            List.map2
+              (fun pty arg -> coerce pos pty (check_expr env arg))
+              ptys args
+          in
+          if ret = Ast.Tvoid then
+            error pos "void function %s used as an expression" name;
+          { tdesc = Tcall (name, targs); tty = ret })
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+
+(** Allow [float* p = malloc(n)]: retype a malloc result to the target
+    pointer type. *)
+let retype_malloc want (e : texpr) =
+  match (e.tdesc, want) with
+  | Tmalloc _, Ast.Tptr _ -> { e with tty = want }
+  | _ -> e
+
+let rec check_stmt env ret (s : Ast.stmt) : tstmt list =
+  let pos = s.Ast.spos in
+  match s.Ast.sdesc with
+  | Ast.Sdecl (ty, name, init) -> (
+      (match ty with
+      | Ast.Tvoid -> error pos "variable %s cannot have type void" name
+      | Ast.Tptr (Ast.Tptr _) ->
+          error pos "pointer-to-pointer types are not supported"
+      | _ -> ());
+      match init with
+      | None ->
+          let (_ : string) = declare_local env pos name ty in
+          []
+      | Some e ->
+          let te = retype_malloc ty (check_expr env e) in
+          let te = coerce pos ty te in
+          let uname = declare_local env pos name ty in
+          [ TSassign (TLlocal (uname, ty), te) ])
+  | Ast.Sassign (lv, e) -> (
+      match lv with
+      | Ast.Lident name -> (
+          match lookup_local env name with
+          | Some (uname, ty) ->
+              let te = retype_malloc ty (check_expr env e) in
+              [ TSassign (TLlocal (uname, ty), coerce pos ty te) ]
+          | None -> (
+              match Hashtbl.find_opt env.globals name with
+              | Some (Gscalar ty) ->
+                  let te = check_expr env e in
+                  [ TSassign (TLglobal (name, ty), coerce pos ty te) ]
+              | Some (Garray _) ->
+                  error pos "cannot assign to array %s" name
+              | None -> error pos "unknown variable %s" name))
+      | Ast.Lindex (base, idx) ->
+          let tbase = check_expr env base in
+          let tidx = coerce pos Ast.Tint (check_expr env idx) in
+          let elem = elem_ty pos tbase.tty in
+          let te = coerce pos elem (check_expr env e) in
+          [ TSassign (TLindex (tbase, tidx, elem), te) ])
+  | Ast.Sexpr e -> (
+      (* normalize out/outf calls into TSout *)
+      match e.Ast.edesc with
+      | Ast.Ecall ("out", [ arg ]) ->
+          let ta = coerce pos Ast.Tint (check_expr env arg) in
+          [ TSout ta ]
+      | Ast.Ecall ("outf", [ arg ]) ->
+          let ta = coerce pos Ast.Tfloat (check_expr env arg) in
+          [ TSout ta ]
+      | Ast.Ecall (("out" | "outf"), _) ->
+          error pos "out/outf expect exactly one argument"
+      | Ast.Ecall (name, args)
+        when (not (Hashtbl.mem env.funcs name))
+             || fst (Hashtbl.find env.funcs name) = Ast.Tvoid -> (
+          (* void call or builtin-with-effect as a statement *)
+          match name with
+          | "malloc" | "in" | "itof" | "ftoi" ->
+              let te = check_expr env e in
+              [ TSexpr te ]
+          | _ -> (
+              match Hashtbl.find_opt env.funcs name with
+              | None -> error pos "unknown function %s" name
+              | Some (_, ptys) ->
+                  if List.length ptys <> List.length args then
+                    error pos "%s expects %d argument(s), got %d" name
+                      (List.length ptys) (List.length args);
+                  let targs =
+                    List.map2
+                      (fun pty arg -> coerce pos pty (check_expr env arg))
+                      ptys args
+                  in
+                  [ TSexpr { tdesc = Tcall (name, targs); tty = Ast.Tvoid } ]))
+      | _ ->
+          let te = check_expr env e in
+          [ TSexpr te ])
+  | Ast.Sif (cond, then_, else_) ->
+      let tc = coerce pos Ast.Tint (check_expr env cond) in
+      let tt = check_block env ret [ then_ ] in
+      let te =
+        match else_ with None -> [] | Some s -> check_block env ret [ s ]
+      in
+      [ TSif (tc, tt, te) ]
+  | Ast.Swhile (cond, body) ->
+      let tc = coerce pos Ast.Tint (check_expr env cond) in
+      let tb = check_block env ret [ body ] in
+      [ TSwhile (tc, tb) ]
+  | Ast.Sfor (init, cond, step, body) ->
+      push_scope env;
+      let ti = match init with None -> [] | Some s -> check_stmt env ret s in
+      let tc =
+        match cond with
+        | None -> { tdesc = Tint_lit 1; tty = Ast.Tint }
+        | Some c -> coerce pos Ast.Tint (check_expr env c)
+      in
+      let ts = match step with None -> [] | Some s -> check_stmt env ret s in
+      let tb = check_block env ret [ body ] in
+      pop_scope env;
+      ti @ [ TSwhile (tc, tb @ ts) ]
+  | Ast.Sreturn e -> (
+      match (e, ret) with
+      | None, Ast.Tvoid -> [ TSreturn None ]
+      | None, _ -> error pos "missing return value"
+      | Some _, Ast.Tvoid -> error pos "void function cannot return a value"
+      | Some e, _ ->
+          let te = coerce pos ret (check_expr env e) in
+          [ TSreturn (Some te) ])
+  | Ast.Sblock stmts -> check_block env ret stmts
+
+and check_block env ret stmts =
+  push_scope env;
+  let out = List.concat_map (check_stmt env ret) stmts in
+  pop_scope env;
+  out
+
+(* ------------------------------------------------------------------ *)
+(* Globals and programs                                                *)
+
+(** Evaluate a constant initializer expression. *)
+let rec const_eval (e : Ast.expr) : [ `Int of int | `Float of float ] =
+  match e.Ast.edesc with
+  | Ast.Eint i -> `Int i
+  | Ast.Efloat f -> `Float f
+  | Ast.Eun (Ast.Uneg, a) -> (
+      match const_eval a with
+      | `Int i -> `Int (-i)
+      | `Float f -> `Float (-.f))
+  | _ -> error e.Ast.epos "global initializers must be constants"
+
+let const_word ty e =
+  match (ty, const_eval e) with
+  | Ast.Tint, `Int i -> Int64.of_int i
+  | Ast.Tfloat, `Float f -> Int64.bits_of_float f
+  | Ast.Tfloat, `Int i -> Int64.bits_of_float (float_of_int i)
+  | Ast.Tint, `Float _ ->
+      error e.Ast.epos "float initializer for an int global"
+  | (Ast.Tvoid | Ast.Tptr _), _ -> assert false
+
+let check_global (g : Ast.global_decl) : tglobal =
+  if g.Ast.gd_elems <= 0 then
+    error g.Ast.gd_pos "global %s must have positive size" g.Ast.gd_name;
+  let init =
+    match g.Ast.gd_init with
+    | None -> Data.Zero
+    | Some (Ast.Iscalar e) ->
+        if g.Ast.gd_is_array then
+          error g.Ast.gd_pos "array %s needs a {...} initializer" g.Ast.gd_name;
+        Data.Words [| const_word g.Ast.gd_ty e |]
+    | Some (Ast.Ilist es) ->
+        if List.length es > g.Ast.gd_elems then
+          error g.Ast.gd_pos "too many initializers for %s" g.Ast.gd_name;
+        Data.Words (Array.of_list (List.map (const_word g.Ast.gd_ty) es))
+  in
+  {
+    tg_name = g.Ast.gd_name;
+    tg_ty = g.Ast.gd_ty;
+    tg_elems = g.Ast.gd_elems;
+    tg_init = init;
+  }
+
+let reserved = [ "malloc"; "in"; "out"; "outf"; "itof"; "ftoi" ]
+
+let check_program (prog : Ast.program) : tprogram =
+  let globals = Hashtbl.create 16 in
+  let funcs = Hashtbl.create 16 in
+  (* first pass: declare all globals and function signatures *)
+  List.iter
+    (function
+      | Ast.Dglobal g ->
+          if Hashtbl.mem globals g.Ast.gd_name then
+            error g.Ast.gd_pos "duplicate global %s" g.Ast.gd_name;
+          let kind =
+            if g.Ast.gd_is_array then Garray (g.Ast.gd_ty, g.Ast.gd_elems)
+            else Gscalar g.Ast.gd_ty
+          in
+          Hashtbl.replace globals g.Ast.gd_name kind
+      | Ast.Dfunc f ->
+          if List.mem f.Ast.fd_name reserved then
+            error f.Ast.fd_pos "%s is a reserved builtin name" f.Ast.fd_name;
+          if Hashtbl.mem funcs f.Ast.fd_name then
+            error f.Ast.fd_pos "duplicate function %s" f.Ast.fd_name;
+          List.iter
+            (fun (p : Ast.param) ->
+              match p.Ast.p_ty with
+              | Ast.Tvoid ->
+                  error f.Ast.fd_pos "parameter %s cannot be void" p.Ast.p_name
+              | Ast.Tptr (Ast.Tptr _) ->
+                  error f.Ast.fd_pos "pointer-to-pointer parameters unsupported"
+              | _ -> ())
+            f.Ast.fd_params;
+          Hashtbl.replace funcs f.Ast.fd_name
+            ( f.Ast.fd_ret,
+              List.map (fun (p : Ast.param) -> p.Ast.p_ty) f.Ast.fd_params ))
+    prog;
+  (* second pass: check bodies *)
+  let tglobals =
+    List.filter_map
+      (function Ast.Dglobal g -> Some (check_global g) | Ast.Dfunc _ -> None)
+      prog
+  in
+  let tfuncs =
+    List.filter_map
+      (function
+        | Ast.Dglobal _ -> None
+        | Ast.Dfunc f ->
+            let env =
+              { globals; funcs; scopes = []; locals_acc = []; unique = 0 }
+            in
+            push_scope env;
+            let tparams =
+              List.map
+                (fun (p : Ast.param) ->
+                  let uname =
+                    declare_local env f.Ast.fd_pos p.Ast.p_name p.Ast.p_ty
+                  in
+                  (uname, p.Ast.p_ty))
+                f.Ast.fd_params
+            in
+            (* params are not locals needing separate storage *)
+            env.locals_acc <- [];
+            let body = check_block env f.Ast.fd_ret f.Ast.fd_body in
+            pop_scope env;
+            Some
+              {
+                tf_name = f.Ast.fd_name;
+                tf_ret = f.Ast.fd_ret;
+                tf_params = tparams;
+                tf_locals = List.rev env.locals_acc;
+                tf_body = body;
+              })
+      prog
+  in
+  { tp_globals = tglobals; tp_funcs = tfuncs }

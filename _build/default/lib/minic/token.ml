@@ -1,0 +1,95 @@
+(** Tokens of the MiniC language, with source positions for error
+    reporting. *)
+
+type pos = { line : int; col : int }
+
+let pp_pos ppf p = Fmt.pf ppf "%d:%d" p.line p.col
+
+type t =
+  | INT_LIT of int
+  | FLOAT_LIT of float
+  | IDENT of string
+  (* keywords *)
+  | KW_INT
+  | KW_FLOAT
+  | KW_VOID
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_FOR
+  | KW_RETURN
+  (* punctuation *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  (* operators *)
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | AMP
+  | BAR
+  | CARET
+  | SHL
+  | SHR
+  | AMPAMP
+  | BARBAR
+  | BANG
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+let to_string = function
+  | INT_LIT i -> string_of_int i
+  | FLOAT_LIT f -> string_of_float f
+  | IDENT s -> s
+  | KW_INT -> "int"
+  | KW_FLOAT -> "float"
+  | KW_VOID -> "void"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_WHILE -> "while"
+  | KW_FOR -> "for"
+  | KW_RETURN -> "return"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | ASSIGN -> "="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | AMP -> "&"
+  | BAR -> "|"
+  | CARET -> "^"
+  | SHL -> "<<"
+  | SHR -> ">>"
+  | AMPAMP -> "&&"
+  | BARBAR -> "||"
+  | BANG -> "!"
+  | EQ -> "=="
+  | NE -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EOF -> "<eof>"
+
+let pp ppf t = Fmt.string ppf (to_string t)

@@ -1,0 +1,1 @@
+lib/opt/dce.ml: Block Func Hashtbl List Op Prog Reg Validate Vliw_ir

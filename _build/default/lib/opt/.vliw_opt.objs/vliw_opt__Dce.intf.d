@@ -1,0 +1,1 @@
+lib/opt/dce.mli: Prog Vliw_ir

@@ -1,0 +1,1 @@
+lib/opt/ifconvert.ml: Block Func Label List Op Option Prog Reg Straighten Validate Vliw_ir

@@ -1,0 +1,1 @@
+lib/opt/ifconvert.mli: Prog Vliw_ir

@@ -1,0 +1,1 @@
+lib/opt/promote.ml: Block Data Func Hashtbl Label List Op Option Prog Reg String Validate Vliw_ir

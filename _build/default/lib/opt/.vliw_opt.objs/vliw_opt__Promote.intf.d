@@ -1,0 +1,1 @@
+lib/opt/promote.mli: Prog Vliw_ir

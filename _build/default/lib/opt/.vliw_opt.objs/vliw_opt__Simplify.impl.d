@@ -1,0 +1,1 @@
+lib/opt/simplify.ml: Block Fmt Func Hashtbl List Op Option Prog Reg Validate Vliw_ir

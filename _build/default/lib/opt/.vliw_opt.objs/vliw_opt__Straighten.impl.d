@@ -1,0 +1,1 @@
+lib/opt/straighten.ml: Block Func Label List Op Option Prog Vliw_ir

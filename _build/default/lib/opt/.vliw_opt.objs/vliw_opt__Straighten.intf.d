@@ -1,0 +1,1 @@
+lib/opt/straighten.mli: Func Prog Vliw_ir

@@ -1,0 +1,7 @@
+(** Dead-code elimination: drops operations that neither produce an
+    observable effect (stores, I/O, calls, allocations, terminators) nor
+    transitively feed one, using conservative register-level liveness. *)
+
+open Vliw_ir
+
+val run : Prog.t -> Prog.t

@@ -1,0 +1,203 @@
+(** Register promotion of global scalars.
+
+    The MiniC lowering materializes every access to a global scalar as an
+    address + load/store pair, which threads kernel recurrences (like the
+    ADPCM predictor state) through the memory unit and serializes them on
+    the scalar's home cluster.  The paper's compiler (IMPACT) promotes
+    such scalars to registers; this pass replays that: a global scalar
+    [g] accessed by exactly one call-free function is loaded into a fresh
+    register at function entry, all loads/stores become register copies,
+    and the register is written back before every return.
+
+    Must run before if-conversion in principle it also works on guarded
+    code: a guarded store becomes a guarded copy with identical
+    semantics (no write when nullified). *)
+
+open Vliw_ir
+
+(** Global scalars and the single function allowed to touch them. *)
+let promotable (prog : Prog.t) : (string * string) list =
+  let accessors : (string, string list) Hashtbl.t = Hashtbl.create 16 in
+  let direct_only : (string, bool) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      (* address registers produced by Addr, and how they are used *)
+      let addr_regs : (Reg.t, string) Hashtbl.t = Hashtbl.create 16 in
+      Func.iter_ops
+        (fun op ->
+          match Op.kind op with
+          | Op.Addr { dst; obj } -> Hashtbl.replace addr_regs dst obj
+          | _ -> ())
+        f;
+      let record g =
+        let cur = Option.value ~default:[] (Hashtbl.find_opt accessors g) in
+        if not (List.mem (Func.name f) cur) then
+          Hashtbl.replace accessors g (Func.name f :: cur)
+      in
+      let mark_indirect g = Hashtbl.replace direct_only g false in
+      Func.iter_ops
+        (fun op ->
+          let check_use operand ~direct_base =
+            match operand with
+            | Op.Reg r -> (
+                match Hashtbl.find_opt addr_regs r with
+                | Some g ->
+                    record g;
+                    if not direct_base then mark_indirect g
+                | None -> ())
+            | Op.Imm _ | Op.Fimm _ -> ()
+          in
+          match Op.kind op with
+          | Op.Addr _ -> ()
+          | Op.Load { base; offset = Op.Imm 0; _ } ->
+              check_use base ~direct_base:true
+          | Op.Store { src; base; offset = Op.Imm 0 } ->
+              check_use base ~direct_base:true;
+              check_use src ~direct_base:false
+          | _ ->
+              (* the address escapes into arbitrary computation *)
+              List.iter
+                (fun operand -> check_use operand ~direct_base:false)
+                (Op.use_operands op))
+        f)
+    (Prog.funcs prog);
+  let scalar g =
+    match
+      List.find_opt
+        (fun (d : Data.global) -> String.equal d.Data.g_name g)
+        (Prog.globals prog)
+    with
+    | Some d -> d.Data.g_elems = 1
+    | None -> false
+  in
+  let call_free fname =
+    let f = Prog.find_func prog fname in
+    not (Func.fold_ops (fun acc op -> acc || Op.is_call op) false f)
+  in
+  Hashtbl.fold
+    (fun g fns acc ->
+      match fns with
+      | [ fname ]
+        when scalar g
+             && Option.value ~default:true (Hashtbl.find_opt direct_only g)
+             && call_free fname ->
+          (g, fname) :: acc
+      | _ -> acc)
+    accessors []
+  |> List.sort compare
+
+let promote_in_func ~next_op (f : Func.t)
+    (globals : string list) : Func.t =
+  if globals = [] then f
+  else begin
+    let next_reg = ref (Func.reg_count f) in
+    let fresh_reg () =
+      let r = Reg.of_int !next_reg in
+      incr next_reg;
+      r
+    in
+    let fresh_op ?guard kind =
+      let id = !next_op in
+      next_op := id + 1;
+      Op.make ?guard ~id kind
+    in
+    let reg_of_global =
+      List.map (fun g -> (g, fresh_reg ())) globals
+    in
+    (* address registers for the promoted globals *)
+    let promoted_addr : (Reg.t, string) Hashtbl.t = Hashtbl.create 16 in
+    Func.iter_ops
+      (fun op ->
+        match Op.kind op with
+        | Op.Addr { dst; obj } when List.mem_assoc obj reg_of_global ->
+            Hashtbl.replace promoted_addr dst obj
+        | _ -> ())
+      f;
+    let rewrite_op (op : Op.t) : Op.t list =
+      let guard = Op.guard op in
+      match Op.kind op with
+      | Op.Addr { dst; _ } when Hashtbl.mem promoted_addr dst ->
+          (* keep the address materialization: entry/exit accesses use it;
+             dead ones cost one int slot, matching a conservative compiler *)
+          [ op ]
+      | Op.Load { dst; base = Op.Reg r; offset = Op.Imm 0 }
+        when Hashtbl.mem promoted_addr r ->
+          let g = Hashtbl.find promoted_addr r in
+          [
+            Op.make ?guard ~id:(Op.id op)
+              (Op.Un (Op.Copy, dst, Op.Reg (List.assoc g reg_of_global)));
+          ]
+      | Op.Store { src; base = Op.Reg r; offset = Op.Imm 0 }
+        when Hashtbl.mem promoted_addr r ->
+          let g = Hashtbl.find promoted_addr r in
+          [
+            Op.make ?guard ~id:(Op.id op)
+              (Op.Un (Op.Copy, List.assoc g reg_of_global, src));
+          ]
+      | _ -> [ op ]
+    in
+    let entry_label = Block.label (Func.entry f) in
+    let blocks =
+      List.map
+        (fun b ->
+          let body = List.concat_map rewrite_op (Block.body b) in
+          (* entry: load every promoted global once *)
+          let body =
+            if Label.equal (Block.label b) entry_label then
+              List.concat_map
+                (fun (g, rg) ->
+                  let a = fresh_reg () in
+                  [
+                    fresh_op (Op.Addr { dst = a; obj = g });
+                    fresh_op
+                      (Op.Load { dst = rg; base = Op.Reg a; offset = Op.Imm 0 });
+                  ])
+                reg_of_global
+              @ body
+            else body
+          in
+          (* returns: write every promoted global back *)
+          match Op.kind (Block.term b) with
+          | Op.Ret _ ->
+              let writeback =
+                List.concat_map
+                  (fun (g, rg) ->
+                    let a = fresh_reg () in
+                    [
+                      fresh_op (Op.Addr { dst = a; obj = g });
+                      fresh_op
+                        (Op.Store
+                           { src = Op.Reg rg; base = Op.Reg a; offset = Op.Imm 0 });
+                    ])
+                  reg_of_global
+              in
+              Block.v ~label:(Block.label b) ~body:(body @ writeback)
+                ~term:(Block.term b)
+          | _ -> Block.v ~label:(Block.label b) ~body ~term:(Block.term b))
+        (Func.blocks f)
+    in
+    Func.v ~name:(Func.name f) ~params:(Func.params f) ~blocks
+      ~reg_count:!next_reg
+  end
+
+(** Promote all eligible global scalars. *)
+let run (prog : Prog.t) : Prog.t =
+  let pairs = promotable prog in
+  let next_op = ref (Prog.op_count prog) in
+  let funcs =
+    List.map
+      (fun f ->
+        let mine =
+          List.filter_map
+            (fun (g, fname) ->
+              if String.equal fname (Func.name f) then Some g else None)
+            pairs
+        in
+        promote_in_func ~next_op f mine)
+      (Prog.funcs prog)
+  in
+  let p = Prog.v ~globals:(Prog.globals prog) ~funcs ~op_count:!next_op in
+  (try Validate.check p
+   with Validate.Invalid m ->
+     invalid_arg ("Promote.run produced invalid IR: " ^ m));
+  p

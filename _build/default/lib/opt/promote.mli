@@ -1,0 +1,11 @@
+(** Register promotion of global scalars accessed by exactly one
+    call-free function through direct loads/stores: one load at entry,
+    register copies in the body, write-back before every return
+    (IMPACT-style). *)
+
+open Vliw_ir
+
+(** (global, function) pairs eligible for promotion. *)
+val promotable : Prog.t -> (string * string) list
+
+val run : Prog.t -> Prog.t

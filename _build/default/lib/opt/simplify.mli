@@ -1,0 +1,8 @@
+(** Constant folding and conservative copy propagation (single,
+    unguarded definitions only), iterated to a bounded fixpoint.
+    Division/remainder by a zero literal is never folded away — it must
+    still trap. *)
+
+open Vliw_ir
+
+val run : Prog.t -> Prog.t

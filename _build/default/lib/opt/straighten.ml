@@ -1,0 +1,55 @@
+(** Control-flow straightening: merge a block ending in an unconditional
+    jump with its target when the target has no other predecessors.
+    Grows the hyperblocks formed by [Ifconvert] and cleans up the join
+    blocks the MiniC lowering creates. *)
+
+open Vliw_ir
+
+(** Merge once; [None] at fixpoint. *)
+let merge_one ~max_ops (f : Func.t) : Func.t option =
+  let preds = Func.predecessor_map f in
+  let entry_label = Block.label (Func.entry f) in
+  let rec scan = function
+    | [] -> None
+    | (a : Block.t) :: rest -> (
+        match Op.kind (Block.term a) with
+        | Op.Jmp target
+          when (not (Label.equal target (Block.label a)))
+               && (not (Label.equal target entry_label))
+               && List.length
+                    (Option.value ~default:[]
+                       (Label.Map.find_opt target preds))
+                  = 1 ->
+            let b = Func.find_block f target in
+            if Block.num_ops a + Block.num_ops b - 1 > max_ops then scan rest
+            else begin
+              let merged =
+                Block.v ~label:(Block.label a)
+                  ~body:(Block.body a @ Block.body b)
+                  ~term:(Block.term b)
+              in
+              let blocks =
+                List.filter_map
+                  (fun blk ->
+                    if Label.equal (Block.label blk) (Block.label a) then
+                      Some merged
+                    else if Label.equal (Block.label blk) target then None
+                    else Some blk)
+                  (Func.blocks f)
+              in
+              Some (Func.with_blocks f blocks)
+            end
+        | _ -> scan rest)
+  in
+  scan (Func.blocks f)
+
+let rec merge_func ?(max_ops = max_int) (f : Func.t) : Func.t =
+  match merge_one ~max_ops f with
+  | Some f' -> merge_func ~max_ops f'
+  | None -> f
+
+let run ?max_ops (prog : Prog.t) : Prog.t =
+  Prog.v
+    ~globals:(Prog.globals prog)
+    ~funcs:(List.map (merge_func ?max_ops) (Prog.funcs prog))
+    ~op_count:(Prog.op_count prog)

@@ -1,0 +1,7 @@
+(** Control-flow straightening: merge a block ending in an unconditional
+    jump with its sole-predecessor target. *)
+
+open Vliw_ir
+
+val merge_func : ?max_ops:int -> Func.t -> Func.t
+val run : ?max_ops:int -> Prog.t -> Prog.t

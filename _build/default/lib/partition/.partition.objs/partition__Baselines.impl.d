@@ -1,0 +1,1 @@
+lib/partition/baselines.ml: Array Data List Merge Vliw_interp Vliw_ir Vliw_sched

@@ -1,0 +1,1 @@
+lib/partition/baselines.mli: Data Merge Vliw_interp Vliw_ir Vliw_sched

@@ -1,0 +1,1 @@
+lib/partition/bug.ml: Array Block Data Func Hashtbl List Op Prog Reg Vliw_ir Vliw_machine Vliw_sched

@@ -1,0 +1,1 @@
+lib/partition/bug.mli: Data Prog Vliw_ir Vliw_machine Vliw_sched

@@ -1,0 +1,1 @@
+lib/partition/est.ml: Array Hashtbl List Vliw_ir Vliw_machine Vliw_sched

@@ -1,0 +1,1 @@
+lib/partition/est.mli: Vliw_ir Vliw_machine Vliw_sched

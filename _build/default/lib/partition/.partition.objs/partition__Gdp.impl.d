@@ -1,0 +1,1 @@
+lib/partition/gdp.ml: Array Data Float Graphpart Hashtbl List Merge Op Prog Vliw_analysis Vliw_interp Vliw_ir Vliw_machine

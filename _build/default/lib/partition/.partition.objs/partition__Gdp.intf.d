@@ -1,0 +1,1 @@
+lib/partition/gdp.mli: Data Hashtbl Merge Prog Vliw_analysis Vliw_interp Vliw_ir Vliw_machine

@@ -1,0 +1,1 @@
+lib/partition/merge.ml: Array Data Fmt Func Hashtbl List Op Prog Union_find Vliw_analysis Vliw_ir Vliw_machine Vliw_sched

@@ -1,0 +1,1 @@
+lib/partition/merge.mli: Data Fmt Hashtbl Prog Vliw_analysis Vliw_ir Vliw_machine

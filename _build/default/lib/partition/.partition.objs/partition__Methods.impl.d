@@ -1,0 +1,1 @@
+lib/partition/methods.ml: Baselines Data Func Gdp Hashtbl Int List Merge Op Option Prog Reg Rhop Vliw_analysis Vliw_interp Vliw_ir Vliw_machine Vliw_sched

@@ -1,0 +1,1 @@
+lib/partition/methods.mli: Data Gdp Merge Prog Rhop Vliw_analysis Vliw_interp Vliw_ir Vliw_machine Vliw_sched

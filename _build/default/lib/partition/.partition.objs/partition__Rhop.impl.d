@@ -1,0 +1,1 @@
+lib/partition/rhop.ml: Array Block Data Est Fun Func Hashtbl List Op Option Prog Reg Union_find Vliw_analysis Vliw_ir Vliw_machine Vliw_sched

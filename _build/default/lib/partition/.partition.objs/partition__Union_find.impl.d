@@ -1,0 +1,1 @@
+lib/partition/union_find.ml: Array Fun

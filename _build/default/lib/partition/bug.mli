@@ -1,0 +1,14 @@
+(** Bottom-Up Greedy (BUG) computation partitioning (Ellis'85, the
+    Bulldog compiler) — the greedy baseline lineage the paper cites.
+    Drop-in replacement for [Rhop.partition] used by the `ablate-bug`
+    experiment. *)
+
+open Vliw_ir
+
+val partition :
+  machine:Vliw_machine.t ->
+  objects_of:(int -> Data.Obj_set.t) ->
+  lock_of:(int -> int option) ->
+  Prog.t ->
+  Vliw_sched.Assignment.t ->
+  unit

@@ -1,0 +1,129 @@
+(** Schedule-length estimation for RHOP (paper Section 3.4).
+
+    RHOP's defining feature is steering cluster assignment with cheap
+    schedule estimates instead of running the scheduler.  For a candidate
+    cluster assignment of one block the estimate combines:
+
+    - a resource bound: per cluster, ops of each FU kind divided by the
+      unit count, and intercluster moves divided by bus bandwidth;
+    - a dependence bound: the critical path where every cut register-flow
+      edge is stretched by the move latency;
+    - a cross-block term: uses of values homed on another cluster (and
+      loop-carried couplings) will force a move in the producer block;
+      they are charged [xmove_weight] cycles each, additively.
+
+    The final cost is lexicographic-ish: [100 * (bound + xmove term) +
+    in-block move count] so move count breaks ties. *)
+
+module M = Vliw_machine
+module D = Vliw_sched.Deps
+
+type t = {
+  machine : M.t;
+  deps : D.t;
+  n : int;
+  fu_of : int array;  (** FU kind index per node *)
+  lat : int array;
+  is_flow : (int * int, unit) Hashtbl.t;
+  pins : (int * int) list;  (** (node, home cluster of a live-in value) *)
+  couplings : (int * int) list;
+      (** (use node, def node) for loop-carried same-register pairs *)
+  drains : bool array;
+      (** nodes defining a live-out value pay their full latency in the
+          block's length (live-out drain, like [List_sched]) *)
+  xmove_weight : int;
+}
+
+let make ~machine ~deps ~pins ~couplings ~live_out ~xmove_weight =
+  let n = D.num_ops deps in
+  let fu_of =
+    Array.init n (fun i -> M.fu_kind_index (Vliw_ir.Op.fu_kind (D.op deps i)))
+  in
+  let lat = Array.init n (D.op_latency deps) in
+  let is_flow = Hashtbl.create (2 * n) in
+  List.iter (fun (d, u, _) -> Hashtbl.replace is_flow (d, u) ()) (D.flow_edges deps);
+  let drains =
+    Array.init n (fun i ->
+        List.exists
+          (fun r -> Vliw_ir.Reg.Set.mem r live_out)
+          (Vliw_ir.Op.defs (D.op deps i)))
+  in
+  { machine; deps; n; fu_of; lat; is_flow; pins; couplings; drains; xmove_weight }
+
+(** In-block intercluster moves implied by [cluster]: one per unique
+    (producer, consumer cluster) pair over cut flow edges. *)
+let count_moves t (cluster : int array) =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (d, u, _) ->
+      if cluster.(d) <> cluster.(u) then
+        Hashtbl.replace seen (d, cluster.(u)) ())
+    (D.flow_edges t.deps);
+  Hashtbl.length seen
+
+let cost t (cluster : int array) : int =
+  let nclusters = M.num_clusters t.machine in
+  (* resource bound *)
+  let usage = Array.make_matrix nclusters M.fu_kind_count 0 in
+  for i = 0 to t.n - 1 do
+    let c = cluster.(i) in
+    usage.(c).(t.fu_of.(i)) <- usage.(c).(t.fu_of.(i)) + 1
+  done;
+  let res = ref 0 in
+  (* [graded]: per-FU-kind worst-cluster pressure, summed.  Unlike the
+     max bound it decreases a little with every op moved off the binding
+     cluster, giving hill-climbing refinement a gradient across the
+     plateaus of the max. *)
+  let graded = ref 0 in
+  for c = 0 to nclusters - 1 do
+    List.iter
+      (fun k ->
+        let cap = M.fu_count (M.cluster_of t.machine c) k in
+        let u = usage.(c).(M.fu_kind_index k) in
+        if u > 0 then
+          res := max !res (if cap = 0 then 1_000_000 else (u + cap - 1) / cap))
+      M.all_fu_kinds
+  done;
+  List.iter
+    (fun k ->
+      let worst = ref 0 in
+      for c = 0 to nclusters - 1 do
+        let cap = M.fu_count (M.cluster_of t.machine c) k in
+        let u = usage.(c).(M.fu_kind_index k) in
+        if u > 0 then
+          worst :=
+            max !worst (if cap = 0 then 1_000_000 else (u + cap - 1) / cap)
+      done;
+      graded := !graded + !worst)
+    M.all_fu_kinds;
+  let moves = count_moves t cluster in
+  let bus = (moves + M.moves_per_cycle t.machine - 1) / M.moves_per_cycle t.machine in
+  (* dependence bound with stretched cut edges *)
+  let ml = M.move_latency t.machine in
+  let level = Array.make t.n 0 in
+  let dep = ref 0 in
+  for i = 0 to t.n - 1 do
+    List.iter
+      (fun (p, lat) ->
+        let eff =
+          if Hashtbl.mem t.is_flow (p, i) && cluster.(p) <> cluster.(i) then
+            lat + ml
+          else lat
+        in
+        level.(i) <- max level.(i) (level.(p) + eff))
+      (D.preds t.deps i);
+    (* issue bound for everyone; full-latency drain for live-out defs *)
+    dep := max !dep (level.(i) + if t.drains.(i) then t.lat.(i) else 1)
+  done;
+  (* cross-block move pressure *)
+  let xmoves = ref 0 in
+  List.iter
+    (fun (node, home) -> if cluster.(node) <> home then incr xmoves)
+    t.pins;
+  List.iter
+    (fun (u, d) -> if cluster.(u) <> cluster.(d) then incr xmoves)
+    t.couplings;
+  let bound = max !res (max bus !dep) in
+  (10_000 * (bound + (t.xmove_weight * !xmoves)))
+  + (100 * (!graded + bus))
+  + moves

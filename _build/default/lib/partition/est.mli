@@ -1,0 +1,22 @@
+(** Schedule-length estimation for RHOP (paper Section 3.4): resource,
+    bus and stretched-critical-path bounds for a candidate cluster
+    assignment of one block, plus a graded resource term that gives
+    hill-climbing refinement a gradient, and an additive charge for
+    cross-block move pressure.  Lower cost is better. *)
+
+type t
+
+val make :
+  machine:Vliw_machine.t ->
+  deps:Vliw_sched.Deps.t ->
+  pins:(int * int) list ->
+  couplings:(int * int) list ->
+  live_out:Vliw_ir.Reg.Set.t ->
+  xmove_weight:int ->
+  t
+
+(** In-block intercluster moves implied by the assignment (unique
+    (producer, consumer-cluster) pairs over cut flow edges). *)
+val count_moves : t -> int array -> int
+
+val cost : t -> int array -> int

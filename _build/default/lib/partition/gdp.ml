@@ -1,0 +1,118 @@
+(** Global Data Partitioning — first pass (paper Section 3.3).
+
+    Works on the program-level data-flow graph: every operation is a
+    node; access-pattern merging collapses memory operations with the
+    objects they touch into group nodes carrying the group's data size;
+    the multilevel graph partitioner ([Graphpart], our METIS) splits the
+    graph minimizing cut flow edges while balancing two node-weight
+    constraints — data bytes (tight) and operation count (loose).  The
+    cluster of each group node becomes the home of its data objects. *)
+
+open Vliw_ir
+module An = Vliw_analysis
+
+type config = {
+  data_imbalance : float;  (** tolerance on per-cluster data bytes *)
+  op_imbalance : float;  (** tolerance on per-cluster op counts *)
+  seed : int;
+}
+
+let default_config = { data_imbalance = 0.25; op_imbalance = 0.8; seed = 42 }
+
+type result = {
+  obj_home : (Data.obj * int) list;
+  edgecut : int;
+  num_units : int;  (** nodes of the collapsed graph *)
+  unit_of_op : (int, int) Hashtbl.t;
+  part_of_unit : int array;
+}
+
+let partition_objects ?(config = default_config)
+    ~(machine : Vliw_machine.t) ~(prog : Prog.t) ~(merge : Merge.t)
+    ~(dfg : An.Prog_dfg.t) ~(profile : Vliw_interp.Profile.t) () : result =
+  let num_clusters = Vliw_machine.num_clusters machine in
+  let ngroups = Merge.num_groups merge in
+  (* units: one per merge group, then one per remaining operation *)
+  let unit_of_op = Hashtbl.create 256 in
+  let next_unit = ref ngroups in
+  Prog.iter_ops
+    (fun op ->
+      match Merge.group_of_op merge (Op.id op) with
+      | Some g -> Hashtbl.replace unit_of_op (Op.id op) g
+      | None ->
+          Hashtbl.replace unit_of_op (Op.id op) !next_unit;
+          incr next_unit)
+    prog;
+  let nunits = !next_unit in
+  let weights = Array.init nunits (fun _ -> [| 0; 0 |]) in
+  for g = 0 to ngroups - 1 do
+    weights.(g).(0) <- (Merge.group merge g).Merge.bytes
+  done;
+  Prog.iter_ops
+    (fun op ->
+      let u = Hashtbl.find unit_of_op (Op.id op) in
+      weights.(u).(1) <- weights.(u).(1) + 1)
+    prog;
+  (* flow edges are weighted by how often they are traversed at run time
+     (the consumer's execution count): the first pass's "high-level model
+     of the required intercluster communication traffic" (Section 3.3) *)
+  let dyn_weight a b =
+    let ca = Vliw_interp.Profile.op_count profile ~op_id:a in
+    let cb = Vliw_interp.Profile.op_count profile ~op_id:b in
+    1 + min 100_000 (min ca cb)
+  in
+  let edges = ref [] in
+  An.Prog_dfg.iter_edges
+    (fun a b w ->
+      let ua = Hashtbl.find unit_of_op a and ub = Hashtbl.find unit_of_op b in
+      if ua <> ub then edges := (ua, ub, w * dyn_weight a b) :: !edges)
+    dfg;
+  let graph = Graphpart.Graph.create ~ncon:2 ~weights ~edges:!edges in
+  (* asymmetric machines get proportional balance targets: data bytes
+     follow the clusters' memory sizes, operation counts follow their
+     total function-unit counts (the paper parameterizes the memory
+     balance for this case, Section 3.3.2) *)
+  let targets =
+    if num_clusters <> 2 then None
+    else begin
+      let cl i = Vliw_machine.cluster_of machine i in
+      let mem i = float (cl i).Vliw_machine.memory_bytes in
+      let fus i =
+        float
+          (List.fold_left
+             (fun acc k -> acc + Vliw_machine.fu_count (cl i) k)
+             0 Vliw_machine.all_fu_kinds)
+      in
+      let data_share = mem 0 /. (mem 0 +. mem 1) in
+      let op_share = fus 0 /. (fus 0 +. fus 1) in
+      if Float.abs (data_share -. 0.5) < 0.01 && Float.abs (op_share -. 0.5) < 0.01
+      then None
+      else Some [| data_share; op_share |]
+    end
+  in
+  let pcfg =
+    {
+      (Graphpart.Partitioner.default_config ~ncon:2) with
+      Graphpart.Partitioner.imbalance =
+        [| config.data_imbalance; config.op_imbalance |];
+      targets;
+      seed = config.seed;
+    }
+  in
+  let part =
+    if num_clusters = 2 then Graphpart.Partitioner.bisect ~config:pcfg graph
+    else Graphpart.Partitioner.kway ~config:pcfg graph ~nparts:num_clusters
+  in
+  let obj_home =
+    List.concat_map
+      (fun (g : Merge.group) ->
+        List.map (fun o -> (o, part.(g.Merge.id))) g.Merge.objects)
+      (Array.to_list merge.Merge.groups)
+  in
+  {
+    obj_home;
+    edgecut = Graphpart.Graph.edge_cut graph part;
+    num_units = nunits;
+    unit_of_op;
+    part_of_unit = part;
+  }

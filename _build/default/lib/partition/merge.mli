@@ -1,0 +1,40 @@
+(** Access-pattern merging (paper Section 3.3.1): partitions
+    {objects} u {memory-touching ops} into groups — a group is the
+    atomic unit of data placement.  Objects reachable from one operation
+    merge; operations sharing an object merge (transitively). *)
+
+open Vliw_ir
+
+type group = {
+  id : int;
+  objects : Data.obj list;
+  mem_ops : int list;  (** op ids *)
+  bytes : int;
+}
+
+type t = {
+  groups : group array;
+  group_of_obj : (Data.obj, int) Hashtbl.t;
+  group_of_op : (int, int) Hashtbl.t;
+}
+
+(** [merge_low_slack] additionally merges dependent low-slack memory
+    operations — the variant the paper evaluated and rejected; it
+    requires [~machine]. *)
+val compute :
+  ?merge_low_slack:bool ->
+  ?machine:Vliw_machine.t ->
+  Prog.t ->
+  Data.table ->
+  Vliw_analysis.Points_to.t ->
+  t
+
+val num_groups : t -> int
+val group : t -> int -> group
+
+(** Groups that contain data objects. *)
+val data_groups : t -> group list
+
+val group_of_obj : t -> Data.obj -> int option
+val group_of_op : t -> int -> int option
+val pp : t Fmt.t

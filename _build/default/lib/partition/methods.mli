@@ -1,0 +1,73 @@
+(** End-to-end partitioning methods (paper Table 1): GDP, Profile Max,
+    Naive and the unified-memory upper bound, each producing a clustered
+    program ready for the scheduler and the cycle model. *)
+
+open Vliw_ir
+
+type t = Gdp | Profile_max | Naive | Unified
+
+val all : t list
+val name : t -> string
+
+(** Raises [Invalid_argument] on unknown names. *)
+val of_name : string -> t
+
+(** Everything the methods need, computed once per (program, workload,
+    machine). *)
+type context = {
+  prog : Prog.t;
+  machine : Vliw_machine.t;
+  profile : Vliw_interp.Profile.t;
+  pt : Vliw_analysis.Points_to.t;
+  objtab : Data.table;
+  merge : Merge.t;
+  dfg : Vliw_analysis.Prog_dfg.t;
+}
+
+val make_context :
+  ?merge_low_slack:bool ->
+  machine:Vliw_machine.t ->
+  prog:Prog.t ->
+  profile:Vliw_interp.Profile.t ->
+  unit ->
+  context
+
+val objects_of : context -> int -> Data.Obj_set.t
+
+type outcome = {
+  method_name : string;
+  clustered : Vliw_sched.Move_insert.clustered;
+  obj_home : (Data.obj * int) list;  (** empty for unified memory *)
+  rhop_runs : int;  (** detailed-partitioner invocations (Section 4.5) *)
+}
+
+(** Run the computation partitioner with the given object homes locked
+    and insert moves — the shared second pass of GDP and Profile Max,
+    and the whole story for the Figure 9 exhaustive search. *)
+val clustered_with_homes :
+  ?rhop_config:Rhop.config ->
+  context ->
+  method_name:string ->
+  rhop_runs:int ->
+  (Data.obj * int) list ->
+  outcome
+
+val run_gdp :
+  ?rhop_config:Rhop.config -> ?gdp_config:Gdp.config -> context -> outcome
+
+val run_profile_max :
+  ?rhop_config:Rhop.config -> ?balance_tol:float -> context -> outcome
+
+val run_naive : ?rhop_config:Rhop.config -> context -> outcome
+val run_unified : ?rhop_config:Rhop.config -> context -> outcome
+
+val run :
+  ?rhop_config:Rhop.config ->
+  ?gdp_config:Gdp.config ->
+  ?balance_tol:float ->
+  t ->
+  context ->
+  outcome
+
+(** Price an outcome under the static cycle model. *)
+val evaluate : context -> outcome -> Vliw_sched.Perf.report

@@ -1,0 +1,42 @@
+(** Union-find with path compression and union by rank, over dense int
+    keys.  Used by the access-pattern merging passes. *)
+
+type t = { parent : int array; rank : int array }
+
+let create n = { parent = Array.init n Fun.id; rank = Array.make n 0 }
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find t p in
+    t.parent.(x) <- root;
+    root
+  end
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra <> rb then
+    if t.rank.(ra) < t.rank.(rb) then t.parent.(ra) <- rb
+    else if t.rank.(ra) > t.rank.(rb) then t.parent.(rb) <- ra
+    else begin
+      t.parent.(rb) <- ra;
+      t.rank.(ra) <- t.rank.(ra) + 1
+    end
+
+let same t a b = find t a = find t b
+
+(** Dense group ids: returns (group id per element, number of groups). *)
+let groups t =
+  let n = Array.length t.parent in
+  let gid = Array.make n (-1) in
+  let next = ref 0 in
+  for i = 0 to n - 1 do
+    let r = find t i in
+    if gid.(r) = -1 then begin
+      gid.(r) <- !next;
+      incr next
+    end;
+    gid.(i) <- gid.(r)
+  done;
+  (gid, !next)

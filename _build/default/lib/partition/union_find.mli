@@ -1,0 +1,12 @@
+(** Union-find with path compression and union by rank over dense int
+    keys. *)
+
+type t
+
+val create : int -> t
+val find : t -> int -> int
+val union : t -> int -> int -> unit
+val same : t -> int -> int -> bool
+
+(** Dense group ids: (group id per element, number of groups). *)
+val groups : t -> int array * int

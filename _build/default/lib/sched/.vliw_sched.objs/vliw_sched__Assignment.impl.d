@@ -1,0 +1,1 @@
+lib/sched/assignment.ml: Array Data Fmt Func Hashtbl List Op Prog Reg Vliw_ir

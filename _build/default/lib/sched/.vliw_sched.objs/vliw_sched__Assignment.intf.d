@@ -1,0 +1,1 @@
+lib/sched/assignment.mli: Data Fmt Func Hashtbl Prog Reg Vliw_ir

@@ -1,0 +1,1 @@
+lib/sched/deps.ml: Array Block Data Hashtbl List Op Option Reg Vliw_ir Vliw_machine

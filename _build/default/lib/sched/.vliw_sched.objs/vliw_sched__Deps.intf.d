@@ -1,0 +1,1 @@
+lib/sched/deps.mli: Block Data Op Reg Vliw_ir Vliw_machine

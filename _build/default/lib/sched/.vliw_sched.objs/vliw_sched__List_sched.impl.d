@@ -1,0 +1,1 @@
+lib/sched/list_sched.ml: Array Assignment Block Data Deps Fmt Hashtbl List Op Reg Vliw_ir Vliw_machine

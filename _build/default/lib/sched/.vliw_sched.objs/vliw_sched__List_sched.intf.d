@@ -1,0 +1,1 @@
+lib/sched/list_sched.mli: Assignment Block Data Fmt Hashtbl Op Reg Vliw_ir Vliw_machine

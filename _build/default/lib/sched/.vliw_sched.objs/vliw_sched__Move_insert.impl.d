@@ -1,0 +1,1 @@
+lib/sched/move_insert.ml: Assignment Block Func Hashtbl Int Label List Op Option Prog Reg Validate Vliw_analysis Vliw_ir

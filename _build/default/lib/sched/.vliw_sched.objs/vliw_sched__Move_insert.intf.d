@@ -1,0 +1,1 @@
+lib/sched/move_insert.mli: Assignment Hashtbl Prog Vliw_ir

@@ -1,0 +1,1 @@
+lib/sched/occupancy.ml: Array Fmt List List_sched Op Vliw_ir Vliw_machine

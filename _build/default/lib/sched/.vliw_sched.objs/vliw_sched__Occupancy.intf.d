@@ -1,0 +1,1 @@
+lib/sched/occupancy.mli: Fmt List_sched Vliw_machine

@@ -1,0 +1,1 @@
+lib/sched/perf.ml: Block Data Fmt Func Hashtbl Label List List_sched Move_insert Op Prog Vliw_analysis Vliw_interp Vliw_ir Vliw_machine

@@ -1,0 +1,1 @@
+lib/sched/perf.mli: Data Fmt Label Move_insert Vliw_interp Vliw_ir Vliw_machine

@@ -1,0 +1,1 @@
+lib/sched/vliw_sim.ml: Array Block Bool Data Fmt Func Hashtbl Int64 Label List List_sched Move_insert Op Option Prog Reg Vliw_analysis Vliw_interp Vliw_ir Vliw_machine

@@ -1,0 +1,1 @@
+lib/sched/vliw_sim.mli: Data Move_insert Vliw_interp Vliw_ir Vliw_machine

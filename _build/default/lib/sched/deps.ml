@@ -1,0 +1,207 @@
+(** Block-local dependence graphs for scheduling.
+
+    Nodes are the operations of one basic block in program order (the
+    terminator last).  Edges carry the minimum issue distance in cycles:
+    [succ.issue >= pred.issue + lat].
+
+    Edge kinds:
+    - flow (register def -> use): lat = latency of the producer;
+    - anti (use -> redefinition): lat 0 (reads happen at issue, writes
+      at completion, so same-cycle is safe);
+    - output (def -> def): lat = latency of the first producer;
+    - memory: store->load and store->store on possibly-aliasing objects,
+      lat = store latency; load->store, lat 1 (conservative);
+    - side effects: [Out]s are totally ordered; [Call]s and [Alloc]s are
+      barriers for memory, I/O and allocation order;
+    - control: every op must issue no later than the terminator (lat 0
+      edges into it; data feeding the terminator keeps its flow
+      latency). *)
+
+open Vliw_ir
+
+type edge = { src : int; dst : int; lat : int }
+(** indices into the block's op array *)
+
+type t = {
+  ops : Op.t array;
+  preds : (int * int) list array;  (** (pred index, lat) per node *)
+  succs : (int * int) list array;
+  latency : int array;  (** operation latency of each node *)
+  flow : (int * int * Reg.t) list;
+      (** register flow edges (def index, use index, register): the edges
+          whose cutting across clusters requires an intercluster move *)
+}
+
+let num_ops t = Array.length t.ops
+let op t i = t.ops.(i)
+
+(** Do two memory ops possibly touch a common object?  With no points-to
+    information ([objects_of] returning empty sets) everything aliases. *)
+let may_alias objs_a objs_b =
+  if Data.Obj_set.is_empty objs_a || Data.Obj_set.is_empty objs_b then true
+  else not (Data.Obj_set.is_empty (Data.Obj_set.inter objs_a objs_b))
+
+let build ?(objects_of = fun _ -> Data.Obj_set.empty) ?latency_of
+    ~(machine : Vliw_machine.t) (block : Block.t) : t =
+  let latency_of =
+    match latency_of with
+    | Some f -> f
+    | None -> Op.latency machine.Vliw_machine.latencies
+  in
+  let ops = Array.of_list (Block.ops block) in
+  let n = Array.length ops in
+  let lats = Array.map latency_of ops in
+  let edges = ref [] in
+  let add src dst lat =
+    if src <> dst then edges := { src; dst; lat } :: !edges
+  in
+  (* register dependences: scan backwards remembering last def/uses *)
+  let last_def : (Reg.t, int) Hashtbl.t = Hashtbl.create 32 in
+  let uses_since_def : (Reg.t, int list) Hashtbl.t = Hashtbl.create 32 in
+  let flow = ref [] in
+  for i = 0 to n - 1 do
+    let o = ops.(i) in
+    (* flow: def -> this use *)
+    List.iter
+      (fun r ->
+        match Hashtbl.find_opt last_def r with
+        | Some d ->
+            add d i lats.(d);
+            flow := (d, i, r) :: !flow
+        | None -> ())
+      (Op.uses o);
+    (* record this op as a use *)
+    List.iter
+      (fun r ->
+        Hashtbl.replace uses_since_def r
+          (i :: Option.value ~default:[] (Hashtbl.find_opt uses_since_def r)))
+      (Op.uses o);
+    List.iter
+      (fun r ->
+        (* output: previous def -> this def *)
+        (match Hashtbl.find_opt last_def r with
+        | Some d -> add d i lats.(d)
+        | None -> ());
+        (* anti: uses since the previous def -> this def *)
+        List.iter
+          (fun u -> add u i 0)
+          (Option.value ~default:[] (Hashtbl.find_opt uses_since_def r));
+        Hashtbl.replace last_def r i;
+        Hashtbl.replace uses_since_def r [])
+      (Op.defs o)
+  done;
+  (* memory and side-effect ordering *)
+  let mem_ops = ref [] in
+  let last_out = ref (-1) in
+  let last_barrier = ref (-1) in
+  let last_alloc = ref (-1) in
+  for i = 0 to n - 1 do
+    let o = ops.(i) in
+    (match Op.kind o with
+    | Op.Load _ ->
+        let objs = objects_of (Op.id o) in
+        List.iter
+          (fun (j, was_store, objs_j) ->
+            if was_store && may_alias objs objs_j then add j i lats.(j))
+          !mem_ops;
+        mem_ops := (i, false, objs) :: !mem_ops
+    | Op.Store _ ->
+        let objs = objects_of (Op.id o) in
+        List.iter
+          (fun (j, was_store, objs_j) ->
+            if may_alias objs objs_j then
+              add j i (if was_store then lats.(j) else 1))
+          !mem_ops;
+        mem_ops := (i, true, objs) :: !mem_ops
+    | Op.Out _ ->
+        if !last_out >= 0 then add !last_out i 1;
+        last_out := i
+    | Op.In _ -> () (* input reads are pure *)
+    | Op.Alloc _ ->
+        (* allocation order determines heap addresses *)
+        if !last_alloc >= 0 then add !last_alloc i 1;
+        last_alloc := i
+    | Op.Call _ ->
+        (* full barrier: after all prior memory, I/O and allocs *)
+        List.iter (fun (j, _, _) -> add j i lats.(j)) !mem_ops;
+        if !last_out >= 0 then add !last_out i 1;
+        if !last_alloc >= 0 then add !last_alloc i 1;
+        if !last_barrier >= 0 then add !last_barrier i 1;
+        mem_ops := [ (i, true, Data.Obj_set.empty) ];
+        (* empty set = aliases everything *)
+        last_out := i;
+        last_alloc := i;
+        last_barrier := i
+    | _ -> ());
+    ()
+  done;
+  (* everything issues no later than the terminator *)
+  for i = 0 to n - 2 do
+    add i (n - 1) 0
+  done;
+  let preds = Array.make n [] in
+  let succs = Array.make n [] in
+  (* deduplicate keeping the max latency per (src,dst) *)
+  let best = Hashtbl.create (List.length !edges * 2) in
+  List.iter
+    (fun { src; dst; lat } ->
+      match Hashtbl.find_opt best (src, dst) with
+      | Some l when l >= lat -> ()
+      | _ -> Hashtbl.replace best (src, dst) lat)
+    !edges;
+  Hashtbl.iter
+    (fun (src, dst) lat ->
+      preds.(dst) <- (src, lat) :: preds.(dst);
+      succs.(src) <- (dst, lat) :: succs.(src))
+    best;
+  { ops; preds; succs; latency = lats; flow = !flow }
+
+let preds t i = t.preds.(i)
+let succs t i = t.succs.(i)
+let op_latency t i = t.latency.(i)
+let flow_edges t = t.flow
+
+(** Longest path from each node to the end of the block (critical-path
+    priority for list scheduling), measured in cycles including the
+    node's own latency. *)
+let heights t : int array =
+  let n = num_ops t in
+  let h = Array.make n 0 in
+  for i = n - 1 downto 0 do
+    let succ_max =
+      List.fold_left (fun acc (j, lat) -> max acc (lat + h.(j))) 0 t.succs.(i)
+    in
+    h.(i) <- max t.latency.(i) succ_max
+  done;
+  h
+
+(** Critical-path length of the whole block in cycles. *)
+let critical_path t =
+  let h = heights t in
+  Array.fold_left max 0 h
+
+(** Slack of each edge given an ASAP/ALAP analysis: used by the RHOP
+    coarsening weights.  Returns per-node (asap, alap) with the block
+    critical path as the horizon. *)
+let asap_alap t : (int * int) array =
+  let n = num_ops t in
+  let asap = Array.make n 0 in
+  for i = 0 to n - 1 do
+    List.iter
+      (fun (p, lat) -> asap.(i) <- max asap.(i) (asap.(p) + lat))
+      t.preds.(i)
+  done;
+  let horizon =
+    Array.fold_left max 0 (Array.mapi (fun i a -> a + t.latency.(i)) asap)
+  in
+  let alap = Array.make n max_int in
+  for i = n - 1 downto 0 do
+    let from_succs =
+      List.fold_left
+        (fun acc (j, lat) -> min acc (alap.(j) - lat))
+        (horizon - t.latency.(i))
+        t.succs.(i)
+    in
+    alap.(i) <- from_succs
+  done;
+  Array.init n (fun i -> (asap.(i), alap.(i)))

@@ -1,0 +1,44 @@
+(** Block-local dependence graphs for scheduling.
+
+    Nodes are one block's operations in program order (terminator last);
+    edges carry minimum issue distances ([succ.issue >= pred.issue +
+    lat]).  Covers register flow/anti/output dependences, memory
+    ordering with points-to disambiguation, side-effect ordering
+    ([Out]s totally ordered, [Call]s as barriers, [Alloc]s serialized),
+    and lat-0 edges into the terminator. *)
+
+open Vliw_ir
+
+type t
+
+(** [objects_of] disambiguates memory operations (everything aliases
+    without it); [latency_of] overrides per-op latencies (used for
+    intercluster moves). *)
+val build :
+  ?objects_of:(int -> Data.Obj_set.t) ->
+  ?latency_of:(Op.t -> int) ->
+  machine:Vliw_machine.t ->
+  Block.t ->
+  t
+
+val num_ops : t -> int
+val op : t -> int -> Op.t
+val preds : t -> int -> (int * int) list
+val succs : t -> int -> (int * int) list
+val op_latency : t -> int -> int
+
+(** Register flow edges (def index, use index, register): the edges
+    whose cutting across clusters requires an intercluster move. *)
+val flow_edges : t -> (int * int * Reg.t) list
+
+val may_alias : Data.Obj_set.t -> Data.Obj_set.t -> bool
+
+(** Longest path to the end of the block including each node's own
+    latency (list-scheduling priority). *)
+val heights : t -> int array
+
+val critical_path : t -> int
+
+(** Per-node (asap, alap) issue times with the block critical path as
+    horizon; used for the RHOP slack weights. *)
+val asap_alap : t -> (int * int) array

@@ -1,0 +1,40 @@
+(** Cluster-aware list scheduler.
+
+    Non-move operations occupy one slot of their FU kind on their
+    assigned cluster per issue (fully pipelined units); intercluster
+    moves occupy bus slots and take the machine's move latency.
+    Priorities are critical-path heights.  Block length uses live-out
+    drain semantics: the branch has issued and every in-flight result
+    that a later block consumes has committed. *)
+
+open Vliw_ir
+
+type entry = { op : Op.t; cycle : int; cluster : int option }
+(** [cluster = None] for bus moves *)
+
+type t
+
+val length : t -> int
+val entries : t -> entry array
+
+val schedule_block :
+  machine:Vliw_machine.t ->
+  assign:Assignment.t ->
+  move_routes:(int, int * int) Hashtbl.t ->
+  ?objects_of:(int -> Data.Obj_set.t) ->
+  ?live_out:Reg.Set.t ->
+  Block.t ->
+  t
+
+(** A valid schedule is never shorter than this (resource, bus and
+    live-out-drain critical-path bounds). *)
+val lower_bound :
+  machine:Vliw_machine.t ->
+  assign:Assignment.t ->
+  move_routes:(int, int * int) Hashtbl.t ->
+  ?objects_of:(int -> Data.Obj_set.t) ->
+  ?live_out:Reg.Set.t ->
+  Block.t ->
+  int
+
+val pp : t Fmt.t

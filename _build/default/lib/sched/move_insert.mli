@@ -1,0 +1,24 @@
+(** Intercluster move insertion.
+
+    Rewrites a program under a complete assignment so cross-cluster
+    register flow goes through explicit [Move] operations: consumers on
+    a foreign cluster read fresh shadow registers fed by a move placed
+    after each reaching definition.  The result is semantically
+    equivalent (the interpreter can run it) and its executed [Move]
+    count is the paper's dynamic intercluster traffic metric. *)
+
+open Vliw_ir
+
+type clustered = {
+  cprog : Prog.t;
+  cassign : Assignment.t;
+  move_routes : (int, int * int) Hashtbl.t;
+      (** move op id -> (source cluster, destination cluster) *)
+}
+
+(** Raises [Invalid_argument] if the program already contains moves or
+    the assignment is incomplete/inconsistent. *)
+val apply : Prog.t -> Assignment.t -> clustered
+
+val move_ids : clustered -> int list
+val route_of : clustered -> op_id:int -> (int * int) option

@@ -1,0 +1,24 @@
+(** Schedule occupancy statistics: function-unit and bus utilization per
+    cluster, per block or aggregated over a whole profiled run. *)
+
+type t = {
+  cycles : int;
+  fu_issues : int array array;
+  bus_issues : int;
+  fu_capacity : int array array;
+  bus_capacity : int;
+}
+
+val of_schedule : machine:Vliw_machine.t -> List_sched.t -> t
+
+(** Fold a block's occupancy, weighted by its execution count, into an
+    accumulator. *)
+val accumulate : t -> weight:int -> t option -> t
+
+val fu_utilization : t -> int -> int -> float
+val bus_utilization : t -> float
+
+(** Share of issued (non-move) operations per cluster. *)
+val cluster_shares : t -> float array
+
+val pp : t Fmt.t

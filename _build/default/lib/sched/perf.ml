@@ -1,0 +1,81 @@
+(** Static performance model (the paper's methodology, Section 4.1).
+
+    With 100%-hit partitioned memories, a program's cycle count is the
+    sum over basic blocks of (schedule length x dynamic execution count),
+    with the profile collected by the reference interpreter.  Dynamic
+    intercluster traffic is the number of executed [Move] operations
+    (Figure 10's metric). *)
+
+open Vliw_ir
+
+type block_report = {
+  br_func : string;
+  br_label : Label.t;
+  br_length : int;  (** schedule length in cycles *)
+  br_count : int;  (** dynamic executions *)
+  br_moves : int;  (** static moves in the block *)
+}
+
+type report = {
+  total_cycles : int;
+  dynamic_moves : int;
+  static_moves : int;
+  blocks : block_report list;
+}
+
+let evaluate ~(machine : Vliw_machine.t) (c : Move_insert.clustered)
+    ~(profile : Vliw_interp.Profile.t)
+    ?(objects_of = fun _ -> Data.Obj_set.empty) () : report =
+  let blocks = ref [] in
+  let total = ref 0 in
+  let dyn_moves = ref 0 in
+  let static_moves = ref 0 in
+  List.iter
+    (fun f ->
+      let cfg = Vliw_analysis.Cfg.of_func f in
+      let liveness = Vliw_analysis.Liveness.compute cfg in
+      List.iter
+        (fun b ->
+          let live_out =
+            Vliw_analysis.Liveness.live_out liveness
+              (Vliw_analysis.Cfg.block_index cfg (Block.label b))
+          in
+          let sched =
+            List_sched.schedule_block ~machine ~assign:c.Move_insert.cassign
+              ~move_routes:c.Move_insert.move_routes ~objects_of ~live_out b
+          in
+          let count =
+            Vliw_interp.Profile.block_count profile ~func:(Func.name f)
+              ~label:(Block.label b)
+          in
+          let moves =
+            List.length
+              (List.filter
+                 (fun op -> Hashtbl.mem c.Move_insert.move_routes (Op.id op))
+                 (Block.ops b))
+          in
+          total := !total + (List_sched.length sched * count);
+          dyn_moves := !dyn_moves + (moves * count);
+          static_moves := !static_moves + moves;
+          blocks :=
+            {
+              br_func = Func.name f;
+              br_label = Block.label b;
+              br_length = List_sched.length sched;
+              br_count = count;
+              br_moves = moves;
+            }
+            :: !blocks)
+        (Func.blocks f))
+    (Prog.funcs c.Move_insert.cprog);
+  {
+    total_cycles = !total;
+    dynamic_moves = !dyn_moves;
+    static_moves = !static_moves;
+    blocks = List.rev !blocks;
+  }
+
+let pp ppf r =
+  Fmt.pf ppf
+    "@[<v>total cycles: %d@,dynamic intercluster moves: %d (static %d)@]"
+    r.total_cycles r.dynamic_moves r.static_moves

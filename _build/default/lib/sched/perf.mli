@@ -1,0 +1,31 @@
+(** Static performance model (paper Section 4.1): with 100%-hit
+    partitioned memories, total cycles = sum over blocks of schedule
+    length x dynamic execution count; dynamic intercluster traffic =
+    executed [Move] operations. *)
+
+open Vliw_ir
+
+type block_report = {
+  br_func : string;
+  br_label : Label.t;
+  br_length : int;
+  br_count : int;
+  br_moves : int;
+}
+
+type report = {
+  total_cycles : int;
+  dynamic_moves : int;
+  static_moves : int;
+  blocks : block_report list;
+}
+
+val evaluate :
+  machine:Vliw_machine.t ->
+  Move_insert.clustered ->
+  profile:Vliw_interp.Profile.t ->
+  ?objects_of:(int -> Data.Obj_set.t) ->
+  unit ->
+  report
+
+val pp : report Fmt.t

@@ -1,0 +1,295 @@
+(** Cycle-level simulator for scheduled, clustered programs.
+
+    Executes the VLIW schedules produced by [List_sched] with explicit
+    timing: an operation issued at cycle [t] reads its registers as of
+    [t] and commits its result at [t + latency].  The simulator is the
+    validation substrate for the whole pipeline:
+
+    - if move insertion or the scheduler breaks a dependence, the stale
+      read changes the program's observable output (compared against the
+      reference interpreter) or trips the latency checker;
+    - function-unit and bus over-subscription is detected per cycle;
+    - the accumulated cycle count must equal the static model's
+      [Perf.total_cycles] (same schedules, same profile weights).
+
+    Cross-block and cross-call in-flight latencies are cut: pending
+    writes commit when the block ends (the static model makes the same
+    approximation; see DESIGN.md). *)
+
+open Vliw_ir
+module I = Vliw_interp.Interp
+
+exception Sim_error of string
+
+let sim_error fmt = Fmt.kstr (fun s -> raise (Sim_error s)) fmt
+
+type result = {
+  outputs : I.value list;
+  cycles : int;  (** sum of block schedule lengths over the execution *)
+  dynamic_moves : int;
+}
+
+type pending = { reg : Reg.t; value : I.value; ready : int; issued : int }
+
+type state = {
+  prog : Prog.t;
+  machine : Vliw_machine.t;
+  memory : (int, I.value) Hashtbl.t;
+  global_addrs : (string, int) Hashtbl.t;
+  mutable ranges : (int * int * Data.obj) list;
+  mutable heap_next : int;
+  input : int array;
+  mutable outputs_rev : I.value list;
+  mutable cycles : int;
+  mutable moves : int;
+  schedules : (string * Label.t, List_sched.t) Hashtbl.t;
+  mutable fuel : int;
+}
+
+let word = Data.word_bytes
+
+let init prog machine ~input ~fuel =
+  let st =
+    {
+      prog;
+      machine;
+      memory = Hashtbl.create 1024;
+      global_addrs = Hashtbl.create 16;
+      ranges = [];
+      heap_next = 0x1000000;
+      input;
+      outputs_rev = [];
+      cycles = 0;
+      moves = 0;
+      schedules = Hashtbl.create 64;
+      fuel;
+    }
+  in
+  (* identical layout to the reference interpreter so addresses match *)
+  let next = ref 0x1000 in
+  List.iter
+    (fun (g : Data.global) ->
+      let base = !next in
+      Hashtbl.replace st.global_addrs g.Data.g_name base;
+      let bytes = Data.global_bytes g in
+      st.ranges <- (base, base + bytes, Data.Global g.Data.g_name) :: st.ranges;
+      (match g.Data.g_init with
+      | Data.Zero -> ()
+      | Data.Words ws ->
+          Array.iteri
+            (fun i w ->
+              let v =
+                if g.Data.g_is_float then I.VFloat (Int64.float_of_bits w)
+                else I.VInt (Int64.to_int w)
+              in
+              Hashtbl.replace st.memory (base + (i * word)) v)
+            ws);
+      next := base + bytes + 64)
+    (Prog.globals prog);
+  st
+
+(** Check a block schedule statically: per-cycle resource legality. *)
+let check_resources (machine : Vliw_machine.t) (s : List_sched.t) =
+  let by_cycle = Hashtbl.create 32 in
+  Array.iter
+    (fun (e : List_sched.entry) ->
+      Hashtbl.replace by_cycle e.List_sched.cycle
+        (e
+        :: Option.value ~default:[]
+             (Hashtbl.find_opt by_cycle e.List_sched.cycle)))
+    (List_sched.entries s);
+  Hashtbl.iter
+    (fun cycle entries ->
+      let nclusters = Vliw_machine.num_clusters machine in
+      let used = Array.make_matrix nclusters Vliw_machine.fu_kind_count 0 in
+      let bus = ref 0 in
+      List.iter
+        (fun (e : List_sched.entry) ->
+          match e.List_sched.cluster with
+          | None -> incr bus
+          | Some c ->
+              let k = Vliw_machine.fu_kind_index (Op.fu_kind e.List_sched.op) in
+              used.(c).(k) <- used.(c).(k) + 1)
+        entries;
+      if !bus > Vliw_machine.moves_per_cycle machine then
+        sim_error "cycle %d: bus oversubscribed (%d moves)" cycle !bus;
+      for c = 0 to nclusters - 1 do
+        List.iter
+          (fun k ->
+            let i = Vliw_machine.fu_kind_index k in
+            let cap = Vliw_machine.fu_count (Vliw_machine.cluster_of machine c) k in
+            if used.(c).(i) > cap then
+              sim_error "cycle %d: cluster %d %s units oversubscribed (%d > %d)"
+                cycle c (Vliw_machine.fu_kind_name k) used.(c).(i) cap)
+          Vliw_machine.all_fu_kinds
+      done)
+    by_cycle
+
+let schedule_for st ~assign ~move_routes ~objects_of (f : Func.t) (b : Block.t) =
+  let key = (Func.name f, Block.label b) in
+  match Hashtbl.find_opt st.schedules key with
+  | Some s -> s
+  | None ->
+      let cfg = Vliw_analysis.Cfg.of_func f in
+      let liveness = Vliw_analysis.Liveness.compute cfg in
+      let live_out =
+        Vliw_analysis.Liveness.live_out liveness
+          (Vliw_analysis.Cfg.block_index cfg (Block.label b))
+      in
+      let s =
+        List_sched.schedule_block ~machine:st.machine ~assign ~move_routes
+          ~objects_of ~live_out b
+      in
+      check_resources st.machine s;
+      Hashtbl.replace st.schedules key s;
+      s
+
+let object_of_addr st addr =
+  let rec go = function
+    | [] -> None
+    | (lo, hi, obj) :: rest -> if addr >= lo && addr < hi then Some obj else go rest
+  in
+  go st.ranges
+
+exception Branch_to of Label.t
+exception Return_value of I.value option
+
+let rec exec_func st ~assign ~move_routes ~objects_of (f : Func.t)
+    (args : I.value list) : I.value option =
+  let regs = Array.make (Func.reg_count f) (I.VInt 0) in
+  (try List.iter2 (fun p a -> regs.(Reg.to_int p) <- a) (Func.params f) args
+   with Invalid_argument _ -> sim_error "arity mismatch calling %s" (Func.name f));
+  let rec run_block (b : Block.t) : I.value option =
+    st.fuel <- st.fuel - 1;
+    if st.fuel <= 0 then sim_error "out of fuel";
+    let sched = schedule_for st ~assign ~move_routes ~objects_of f b in
+    st.cycles <- st.cycles + List_sched.length sched;
+    let pending : pending list ref = ref [] in
+    let commit_due t =
+      let due, rest = List.partition (fun p -> p.ready <= t) !pending in
+      (* commit in issue order so output dependences resolve correctly *)
+      List.iter
+        (fun p -> regs.(Reg.to_int p.reg) <- p.value)
+        (List.sort (fun a b -> compare (a.ready, a.issued) (b.ready, b.issued)) due);
+      pending := rest
+    in
+    let read t r =
+      List.iter
+        (fun p ->
+          if Reg.equal p.reg r && p.issued < t && p.ready > t then
+            sim_error
+              "latency violation: %s/%a reads %a at cycle %d but a write \
+               issued at %d completes at %d"
+              (Func.name f) Label.pp (Block.label b) Reg.pp r t p.issued
+              p.ready)
+        !pending;
+      regs.(Reg.to_int r)
+    in
+    let value t = function
+      | Op.Reg r -> read t r
+      | Op.Imm i -> I.VInt i
+      | Op.Fimm fl -> I.VFloat fl
+    in
+    let write t op reg v =
+      let lat =
+        if Hashtbl.mem move_routes (Op.id op) then
+          Vliw_machine.move_latency st.machine
+        else Op.latency st.machine.Vliw_machine.latencies op
+      in
+      pending := { reg; value = v; ready = t + lat; issued = t } :: !pending
+    in
+    let outcome = ref None in
+    (try
+       Array.iter
+         (fun (e : List_sched.entry) ->
+           let t = e.List_sched.cycle in
+           commit_due t;
+           let op = e.List_sched.op in
+           let v = value t in
+           let guard_passes =
+             match Op.guard op with
+             | None -> true
+             | Some { Op.greg; gsense } ->
+                 Bool.equal (I.to_int (read t greg) <> 0) gsense
+           in
+           if not guard_passes then () (* nullified in its slot *)
+           else
+           match Op.kind op with
+           | Op.Ibin (o, d, a, b') -> write t op d (I.eval_ibin o (v a) (v b'))
+           | Op.Fbin (o, d, a, b') -> write t op d (I.eval_fbin o (v a) (v b'))
+           | Op.Un (o, d, a) -> write t op d (I.eval_un o (v a))
+           | Op.Move { dst; src } ->
+               st.moves <- st.moves + 1;
+               write t op dst (read t src)
+           | Op.Load { dst; base; offset } ->
+               let addr = I.to_int (v base) + I.to_int (v offset) in
+               (match object_of_addr st addr with
+               | Some _ -> ()
+               | None -> sim_error "wild load at 0x%x" addr);
+               write t op dst
+                 (Option.value ~default:(I.VInt 0)
+                    (Hashtbl.find_opt st.memory addr))
+           | Op.Store { src; base; offset } ->
+               let addr = I.to_int (v base) + I.to_int (v offset) in
+               (match object_of_addr st addr with
+               | Some _ -> ()
+               | None -> sim_error "wild store at 0x%x" addr);
+               (* stores commit at t + 1; loads are ordered >= t+1 by deps,
+                  so committing into memory immediately is equivalent *)
+               Hashtbl.replace st.memory addr (v src)
+           | Op.Addr { dst; obj } ->
+               write t op dst (I.VInt (Hashtbl.find st.global_addrs obj))
+           | Op.Alloc { dst; size; site } ->
+               let bytes = I.to_int (v size) in
+               let rounded = (bytes + word - 1) / word * word in
+               let base = st.heap_next in
+               st.heap_next <- base + rounded + 64;
+               st.ranges <- (base, base + rounded, Data.Heap site) :: st.ranges;
+               write t op dst (I.VInt base)
+           | Op.In { dst; index } ->
+               let i = I.to_int (v index) in
+               if i < 0 || i >= Array.length st.input then
+                 sim_error "input index %d out of bounds" i;
+               write t op dst (I.VInt st.input.(i))
+           | Op.Out a -> st.outputs_rev <- v a :: st.outputs_rev
+           | Op.Call { dst; callee; args } -> (
+               let g = Prog.find_func st.prog callee in
+               let vals = List.map v args in
+               match
+                 (exec_func st ~assign ~move_routes ~objects_of g vals, dst)
+               with
+               | Some r, Some d -> write t op d r
+               | _, None -> ()
+               | None, Some _ ->
+                   sim_error "call to %s returned no value" callee)
+           | Op.Jmp l -> outcome := Some (Branch_to l)
+           | Op.Cbr { cond; if_true; if_false } ->
+               let c = I.to_int (v cond) in
+               outcome := Some (Branch_to (if c <> 0 then if_true else if_false))
+           | Op.Ret r -> outcome := Some (Return_value (Option.map v r)))
+         (List_sched.entries sched)
+     with I.Runtime_error m -> sim_error "runtime error: %s" m);
+    (* cut in-flight latencies at the block boundary *)
+    commit_due max_int;
+    match !outcome with
+    | Some (Branch_to l) -> run_block (Func.find_block f l)
+    | Some (Return_value v) -> v
+    | Some _ | None -> sim_error "block fell through without a terminator"
+  in
+  run_block (Func.entry f)
+
+(** Simulate a clustered program on [input]. *)
+let run ?(fuel = 5_000_000) (c : Move_insert.clustered)
+    ~(machine : Vliw_machine.t) ?(objects_of = fun _ -> Data.Obj_set.empty)
+    ~input () : result =
+  let st = init c.Move_insert.cprog machine ~input ~fuel in
+  let main = Prog.main c.Move_insert.cprog in
+  let (_ : I.value option) =
+    exec_func st ~assign:c.Move_insert.cassign
+      ~move_routes:c.Move_insert.move_routes ~objects_of main []
+  in
+  {
+    outputs = List.rev st.outputs_rev;
+    cycles = st.cycles;
+    dynamic_moves = st.moves;
+  }

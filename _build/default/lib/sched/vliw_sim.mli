@@ -1,0 +1,27 @@
+(** Cycle-level simulator for scheduled, clustered programs.
+
+    Executes the VLIW schedules with explicit timing (reads at issue,
+    commits at issue + latency), checks per-cycle function-unit and bus
+    legality, flags latency violations, and reproduces the reference
+    interpreter's observable outputs when the pipeline is correct.  Its
+    cycle and move counts must equal [Perf]'s (same schedules, same
+    drain rule). *)
+
+open Vliw_ir
+
+exception Sim_error of string
+
+type result = {
+  outputs : Vliw_interp.Interp.value list;
+  cycles : int;
+  dynamic_moves : int;
+}
+
+val run :
+  ?fuel:int ->
+  Move_insert.clustered ->
+  machine:Vliw_machine.t ->
+  ?objects_of:(int -> Data.Obj_set.t) ->
+  input:int array ->
+  unit ->
+  result

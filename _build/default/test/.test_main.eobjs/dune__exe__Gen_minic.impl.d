@@ -1,0 +1,1 @@
+test/gen_minic.ml: Array Buffer List Printf QCheck Random String

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Fmt List Minic Partition QCheck QCheck_alcotest Vliw_interp Vliw_machine

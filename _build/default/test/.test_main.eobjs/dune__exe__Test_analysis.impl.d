@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Block Data Func Gen_minic Hashtbl Helpers List Minic Op Prog Reg String Vliw_analysis Vliw_interp Vliw_ir Vliw_opt

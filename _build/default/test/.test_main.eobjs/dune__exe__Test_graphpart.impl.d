@@ -1,0 +1,1 @@
+test/test_graphpart.ml: Alcotest Array Fun Graphpart Helpers List Printf QCheck Random

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Benchsuite Fmt Gen_minic Helpers List Minic String Vliw_interp Vliw_ir

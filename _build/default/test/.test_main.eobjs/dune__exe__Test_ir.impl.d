@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Block Builder Data Func Hashtbl List Op Prog Reg Validate Vliw_ir Vliw_machine

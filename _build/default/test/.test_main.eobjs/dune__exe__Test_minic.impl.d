@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Fmt Gen_minic Helpers List Minic Vliw_interp Vliw_ir

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Func Gen_minic Helpers List Minic Op Prog Vliw_interp Vliw_ir Vliw_opt

@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Array Benchsuite Block Data Gdp_core Hashtbl Helpers List Minic Op Partition Prog Reg Vliw_interp Vliw_ir Vliw_machine Vliw_sched

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Benchsuite Gdp_core Gen_minic Helpers List Partition Vliw_interp Vliw_machine Vliw_sched

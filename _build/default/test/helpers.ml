@@ -1,0 +1,43 @@
+(** Shared helpers for the test suites. *)
+
+let qcheck ?(count = 100) name prop arb =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+(** Compile MiniC source, failing the test on frontend errors. *)
+let compile ?(unroll = false) src =
+  try Minic.compile ~unroll src
+  with Minic.Compile_error _ as e ->
+    Alcotest.failf "compilation failed: %a" Minic.pp_error e
+
+let run ?(input = [||]) prog = Vliw_interp.Interp.run prog ~input
+
+(** Observable outputs as plain ints (fails on float outputs). *)
+let int_outputs ?input prog =
+  List.map
+    (function
+      | Vliw_interp.Interp.VInt i -> i
+      | Vliw_interp.Interp.VFloat f ->
+          Alcotest.failf "unexpected float output %g" f)
+    (run ?input prog).Vliw_interp.Interp.outputs
+
+let equal_outputs a b =
+  List.length a = List.length b
+  && List.for_all2 Vliw_interp.Interp.equal_value a b
+
+let check_outputs what expected got =
+  if not (equal_outputs expected got) then
+    Alcotest.failf "%s: outputs differ (%a vs %a)" what
+      Fmt.(list ~sep:sp Vliw_interp.Interp.pp_value)
+      expected
+      Fmt.(list ~sep:sp Vliw_interp.Interp.pp_value)
+      got
+
+let machine ?(move_latency = 5) () = Vliw_machine.paper_machine ~move_latency ()
+
+(** Full context for a compiled program on a given input. *)
+let context ?move_latency ?(input = [||]) prog =
+  let reference = Vliw_interp.Interp.run prog ~input in
+  ( reference,
+    Partition.Methods.make_context
+      ~machine:(machine ?move_latency ())
+      ~prog ~profile:reference.Vliw_interp.Interp.profile () )

@@ -1,0 +1,210 @@
+(** Graph partitioner tests: construction, edge cut, balance, multilevel
+    bisection, k-way, determinism — with qcheck properties on random
+    graphs. *)
+
+module G = Graphpart.Graph
+module P = Graphpart.Partitioner
+
+let simple_graph () =
+  (* two 4-cliques joined by one light edge: the obvious bisection cuts
+     only the bridge *)
+  let weights = Array.init 8 (fun _ -> [| 1 |]) in
+  let clique base =
+    List.concat_map
+      (fun i ->
+        List.filter_map
+          (fun j -> if i < j then Some (base + i, base + j, 10) else None)
+          [ 0; 1; 2; 3 ])
+      [ 0; 1; 2; 3 ]
+  in
+  G.create ~ncon:1 ~weights ~edges:(clique 0 @ clique 4 @ [ (0, 4, 1) ])
+
+let test_graph_basics () =
+  let g = simple_graph () in
+  Alcotest.(check int) "nodes" 8 (G.num_nodes g);
+  Alcotest.(check int) "edges" 13 (G.num_edges g);
+  Alcotest.(check int) "total weight" 8 (G.total_weight g 0)
+
+let test_graph_merges_parallel_edges () =
+  let g =
+    G.create ~ncon:1
+      ~weights:[| [| 1 |]; [| 1 |] |]
+      ~edges:[ (0, 1, 2); (1, 0, 3) ]
+  in
+  Alcotest.(check int) "one edge" 1 (G.num_edges g);
+  Alcotest.(check int) "summed weight" 5
+    (G.edge_cut g [| 0; 1 |])
+
+let test_graph_rejects () =
+  Alcotest.check_raises "self edge" (Invalid_argument "Graph.create: self edge")
+    (fun () ->
+      ignore (G.create ~ncon:1 ~weights:[| [| 1 |] |] ~edges:[ (0, 0, 1) ]));
+  Alcotest.check_raises "bad endpoint"
+    (Invalid_argument "Graph.create: edge endpoint out of range") (fun () ->
+      ignore (G.create ~ncon:1 ~weights:[| [| 1 |] |] ~edges:[ (0, 3, 1) ]))
+
+let test_bisect_cliques () =
+  let g = simple_graph () in
+  let part = P.bisect g in
+  Alcotest.(check int) "cuts only the bridge" 1 (G.edge_cut g part);
+  let w = G.part_weights g part ~nparts:2 0 in
+  Alcotest.(check int) "balanced" 4 w.(0);
+  Alcotest.(check int) "balanced" 4 w.(1)
+
+let test_bisect_deterministic () =
+  let g = simple_graph () in
+  let p1 = P.bisect g and p2 = P.bisect g in
+  Alcotest.(check (array int)) "same result" p1 p2
+
+let test_kway () =
+  (* four cliques in a ring; 4-way should isolate them *)
+  let weights = Array.init 16 (fun _ -> [| 1 |]) in
+  let clique base =
+    List.concat_map
+      (fun i ->
+        List.filter_map
+          (fun j -> if i < j then Some (base + i, base + j, 10) else None)
+          [ 0; 1; 2; 3 ])
+      [ 0; 1; 2; 3 ]
+  in
+  let bridges = [ (0, 4, 1); (4, 8, 1); (8, 12, 1); (12, 0, 1) ] in
+  let g =
+    G.create ~ncon:1 ~weights
+      ~edges:(clique 0 @ clique 4 @ clique 8 @ clique 12 @ bridges)
+  in
+  let part = P.kway g ~nparts:4 in
+  (* each clique uniform *)
+  List.iter
+    (fun base ->
+      let p = part.(base) in
+      List.iter
+        (fun i -> Alcotest.(check int) "clique uniform" p part.(base + i))
+        [ 1; 2; 3 ])
+    [ 0; 4; 8; 12 ];
+  (* all four parts used *)
+  let used = Array.make 4 false in
+  Array.iter (fun p -> used.(p) <- true) part;
+  Alcotest.(check bool) "all parts used" true (Array.for_all Fun.id used)
+
+let test_asymmetric_targets () =
+  (* 10 unit-weight nodes, no edges; a 70/30 target must land ~7 on part 0 *)
+  let weights = Array.init 10 (fun _ -> [| 1 |]) in
+  let g = G.create ~ncon:1 ~weights ~edges:[] in
+  let cfg =
+    {
+      (P.default_config ~ncon:1) with
+      P.targets = Some [| 0.7 |];
+      imbalance = [| 0.05 |];
+    }
+  in
+  let part = P.bisect ~config:cfg g in
+  let w = G.part_weights g part ~nparts:2 0 in
+  Alcotest.(check bool) "part 0 gets the 70% share" true
+    (w.(0) >= 6 && w.(0) <= 8)
+
+let test_kway_rejects_non_power_of_two () =
+  let g = simple_graph () in
+  Alcotest.check_raises "nparts=3"
+    (Invalid_argument "Partitioner.kway: nparts must be a positive power of two")
+    (fun () -> ignore (P.kway g ~nparts:3))
+
+(* ------------------------------------------------------------------ *)
+(* Random graph properties                                             *)
+
+let arbitrary_graph =
+  let gen st =
+    let n = 2 + Random.State.int st 40 in
+    let ncon = 1 + Random.State.int st 2 in
+    let weights =
+      Array.init n (fun _ ->
+          Array.init ncon (fun _ -> 1 + Random.State.int st 20))
+    in
+    let nedges = Random.State.int st (3 * n) in
+    let edges =
+      List.init nedges (fun _ ->
+          let a = Random.State.int st n in
+          let b = Random.State.int st n in
+          (a, b, 1 + Random.State.int st 10))
+      |> List.filter (fun (a, b, _) -> a <> b)
+    in
+    (n, ncon, weights, edges)
+  in
+  QCheck.make
+    ~print:(fun (n, ncon, _, edges) ->
+      Printf.sprintf "n=%d ncon=%d edges=%d" n ncon (List.length edges))
+    gen
+
+let prop_bisect_valid =
+  Helpers.qcheck ~count:100 "bisection assigns every node to 0 or 1"
+    (fun (_, ncon, weights, edges) ->
+      let g = G.create ~ncon ~weights ~edges in
+      let part = P.bisect g in
+      Array.length part = G.num_nodes g
+      && Array.for_all (fun p -> p = 0 || p = 1) part)
+    arbitrary_graph
+
+let prop_bisect_balanced =
+  Helpers.qcheck ~count:100
+    "bisection is never worse than the cap plus one node (bin-packing \
+     slack)"
+    (fun (_, ncon, weights, edges) ->
+      let g = G.create ~ncon ~weights ~edges in
+      let cfg = P.default_config ~ncon in
+      let part = P.bisect ~config:cfg g in
+      (* exact feasibility is a bin-packing question, so allow one
+         heaviest-node of slack beyond the configured cap *)
+      List.for_all
+        (fun c ->
+          let total = G.total_weight g c in
+          let cap =
+            max
+              (int_of_float
+                 (ceil ((1. +. cfg.P.imbalance.(c)) /. 2. *. float total)))
+              ((total + 1) / 2)
+          in
+          let heaviest = ref 0 in
+          for v = 0 to G.num_nodes g - 1 do
+            heaviest := max !heaviest (G.node_weight g v c)
+          done;
+          let w = G.part_weights g part ~nparts:2 c in
+          max w.(0) w.(1) <= cap + !heaviest)
+        (List.init ncon Fun.id))
+    arbitrary_graph
+
+let prop_cut_nonnegative_and_bounded =
+  Helpers.qcheck ~count:100 "edge cut is between 0 and the total edge weight"
+    (fun (_, ncon, weights, edges) ->
+      let g = G.create ~ncon ~weights ~edges in
+      let part = P.bisect g in
+      let cut = G.edge_cut g part in
+      let total =
+        List.fold_left (fun acc (_, _, w) -> acc + w) 0 edges
+      in
+      cut >= 0 && cut <= total)
+    arbitrary_graph
+
+let prop_deterministic =
+  Helpers.qcheck ~count:50 "bisection is deterministic"
+    (fun (_, ncon, weights, edges) ->
+      let g = G.create ~ncon ~weights ~edges in
+      P.bisect g = P.bisect g)
+    arbitrary_graph
+
+let suite =
+  [
+    Alcotest.test_case "graph basics" `Quick test_graph_basics;
+    Alcotest.test_case "parallel edges merge" `Quick
+      test_graph_merges_parallel_edges;
+    Alcotest.test_case "invalid graphs rejected" `Quick test_graph_rejects;
+    Alcotest.test_case "bisect cliques" `Quick test_bisect_cliques;
+    Alcotest.test_case "bisect deterministic" `Quick test_bisect_deterministic;
+    Alcotest.test_case "kway ring of cliques" `Quick test_kway;
+    Alcotest.test_case "asymmetric balance targets" `Quick
+      test_asymmetric_targets;
+    Alcotest.test_case "kway validates nparts" `Quick
+      test_kway_rejects_non_power_of_two;
+    prop_bisect_valid;
+    prop_bisect_balanced;
+    prop_cut_nonnegative_and_bounded;
+    prop_deterministic;
+  ]

@@ -1,0 +1,172 @@
+(** IR structure tests: operations, blocks, functions, programs, the
+    builder and the validator. *)
+
+open Vliw_ir
+
+let mk ?guard id kind = Op.make ?guard ~id kind
+let r = Reg.of_int
+
+let test_defs_uses () =
+  let check op defs uses =
+    Alcotest.(check (list int)) "defs" defs (List.map Reg.to_int (Op.defs op));
+    Alcotest.(check (list int)) "uses" uses (List.map Reg.to_int (Op.uses op))
+  in
+  check (mk 0 (Op.Ibin (Op.Add, r 2, Op.Reg (r 0), Op.Reg (r 1)))) [ 2 ] [ 0; 1 ];
+  check (mk 1 (Op.Ibin (Op.Add, r 2, Op.Reg (r 0), Op.Imm 3))) [ 2 ] [ 0 ];
+  check (mk 2 (Op.Load { dst = r 4; base = Op.Reg (r 1); offset = Op.Imm 0 }))
+    [ 4 ] [ 1 ];
+  check
+    (mk 3
+       (Op.Store { src = Op.Reg (r 2); base = Op.Reg (r 1); offset = Op.Reg (r 0) }))
+    [] [ 2; 1; 0 ];
+  check (mk 4 (Op.Cbr { cond = Op.Reg (r 5); if_true = "a"; if_false = "b" }))
+    [] [ 5 ];
+  check (mk 5 (Op.Ret None)) [] [];
+  check (mk 6 (Op.Move { dst = r 7; src = r 6 })) [ 7 ] [ 6 ];
+  check (mk 7 (Op.Call { dst = Some (r 1); callee = "f"; args = [ Op.Reg (r 0) ] }))
+    [ 1 ] [ 0 ]
+
+let test_guard_uses () =
+  let g = { Op.greg = r 9; gsense = true } in
+  let op = mk ~guard:g 0 (Op.Un (Op.Copy, r 1, Op.Reg (r 0))) in
+  Alcotest.(check (list int)) "guard reg is a use" [ 9; 0 ]
+    (List.map Reg.to_int (Op.uses op));
+  Alcotest.(check bool) "guarded" true (Op.is_guarded op)
+
+let test_guarded_terminator_rejected () =
+  let g = { Op.greg = r 0; gsense = true } in
+  Alcotest.check_raises "guarded jmp"
+    (Invalid_argument "Op.with_guard: guarded terminator") (fun () ->
+      ignore (Op.with_guard (mk 0 (Op.Jmp "x")) g))
+
+let test_classification () =
+  Alcotest.(check bool) "load is mem" true
+    (Op.is_mem (mk 0 (Op.Load { dst = r 0; base = Op.Imm 0; offset = Op.Imm 0 })));
+  Alcotest.(check bool) "alloc touches object" true
+    (Op.touches_object (mk 1 (Op.Alloc { dst = r 0; size = Op.Imm 8; site = 0 })));
+  Alcotest.(check bool) "add not mem" false
+    (Op.is_mem (mk 2 (Op.Ibin (Op.Add, r 0, Op.Imm 1, Op.Imm 2))));
+  Alcotest.(check bool) "ret is terminator" true (Op.is_terminator (mk 3 (Op.Ret None)))
+
+let test_fu_kinds () =
+  let fu op = Op.fu_kind op in
+  Alcotest.(check bool) "load on mem unit" true
+    (fu (mk 0 (Op.Load { dst = r 0; base = Op.Imm 0; offset = Op.Imm 0 }))
+    = Vliw_machine.FU_memory);
+  Alcotest.(check bool) "fadd on float unit" true
+    (fu (mk 1 (Op.Fbin (Op.Fadd, r 0, Op.Fimm 1., Op.Fimm 2.)))
+    = Vliw_machine.FU_float);
+  Alcotest.(check bool) "branch on branch unit" true
+    (fu (mk 2 (Op.Jmp "x")) = Vliw_machine.FU_branch);
+  Alcotest.(check bool) "add on int unit" true
+    (fu (mk 3 (Op.Ibin (Op.Add, r 0, Op.Imm 1, Op.Imm 2))) = Vliw_machine.FU_int)
+
+let test_latencies () =
+  let l = Vliw_machine.itanium_latencies in
+  let lat k = Op.latency l (mk 0 k) in
+  Alcotest.(check int) "load latency" 2
+    (lat (Op.Load { dst = r 0; base = Op.Imm 0; offset = Op.Imm 0 }));
+  Alcotest.(check int) "mul latency" 3
+    (lat (Op.Ibin (Op.Mul, r 0, Op.Imm 1, Op.Imm 2)));
+  Alcotest.(check int) "add latency" 1
+    (lat (Op.Ibin (Op.Add, r 0, Op.Imm 1, Op.Imm 2)))
+
+let test_block_invariants () =
+  let term = mk 2 (Op.Ret None) in
+  let body = [ mk 0 (Op.Ibin (Op.Add, r 0, Op.Imm 1, Op.Imm 2)) ] in
+  let b = Block.v ~label:"bb0" ~body ~term in
+  Alcotest.(check int) "num ops" 2 (Block.num_ops b);
+  Alcotest.check_raises "non-terminator as term"
+    (Invalid_argument "Block.v: terminator operation expected") (fun () ->
+      ignore (Block.v ~label:"x" ~body:[] ~term:(List.hd body)));
+  Alcotest.check_raises "terminator in body"
+    (Invalid_argument "Block.v: terminator in block body") (fun () ->
+      ignore (Block.v ~label:"x" ~body:[ term ] ~term))
+
+let test_func_invariants () =
+  let block label = Block.v ~label ~body:[] ~term:(mk (Hashtbl.hash label) (Op.Ret None)) in
+  Alcotest.check_raises "empty function"
+    (Invalid_argument "Func.v: function with no blocks") (fun () ->
+      ignore (Func.v ~name:"f" ~params:[] ~blocks:[] ~reg_count:0));
+  Alcotest.check_raises "duplicate labels"
+    (Invalid_argument "Func.v: duplicate label a") (fun () ->
+      ignore
+        (Func.v ~name:"f" ~params:[] ~blocks:[ block "a"; block "a" ]
+           ~reg_count:0))
+
+let test_builder_roundtrip () =
+  let b = Builder.create () in
+  Builder.add_global b (Data.global "g" 4);
+  let fb, params = Builder.start_func b ~name:"main" ~nparams:0 in
+  Alcotest.(check int) "no params" 0 (List.length params);
+  Builder.start_block fb (Builder.fresh_label fb);
+  let a = Builder.addr fb "g" in
+  let v = Builder.load fb ~base:(Op.Reg a) ~offset:(Op.Imm 0) in
+  let s = Builder.ibin fb Op.Add (Op.Reg v) (Op.Imm 1) in
+  Builder.store fb ~src:(Op.Reg s) ~base:(Op.Reg a) ~offset:(Op.Imm 8);
+  Builder.terminate fb (Op.Ret None);
+  let (_ : Func.t) = Builder.finish_func fb in
+  let prog = Builder.finish b in
+  Validate.check prog;
+  Alcotest.(check int) "op count" 5 (Prog.op_count prog);
+  Alcotest.(check int) "num ops" 5 (Prog.num_ops prog)
+
+let test_builder_misuse () =
+  let b = Builder.create () in
+  let fb, _ = Builder.start_func b ~name:"main" ~nparams:0 in
+  Alcotest.check_raises "emit without block"
+    (Invalid_argument "Builder.emit: no current block") (fun () ->
+      ignore (Builder.emit fb (Op.Ret None)));
+  Builder.start_block fb "bb0";
+  Alcotest.check_raises "emit terminator"
+    (Invalid_argument "Builder.emit: use terminate for terminators") (fun () ->
+      ignore (Builder.emit fb (Op.Ret None)))
+
+let test_validate_catches () =
+  let b = Builder.create () in
+  let fb, _ = Builder.start_func b ~name:"main" ~nparams:0 in
+  Builder.start_block fb "bb0";
+  Builder.terminate fb (Op.Jmp "nowhere");
+  let (_ : Func.t) = Builder.finish_func fb in
+  let prog = Builder.finish b in
+  Alcotest.(check bool) "invalid" false (Validate.is_valid prog)
+
+let test_validate_missing_main () =
+  let b = Builder.create () in
+  let fb, _ = Builder.start_func b ~name:"not_main" ~nparams:0 in
+  Builder.start_block fb "bb0";
+  Builder.terminate fb (Op.Ret None);
+  let (_ : Func.t) = Builder.finish_func fb in
+  Alcotest.(check bool) "no main" false (Validate.is_valid (Builder.finish b))
+
+let test_data_objects () =
+  let tab =
+    Data.table_of
+      ~globals:[ Data.global "a" 4; Data.global "b" 1 ]
+      ~heap_sizes:[ (0, 100) ]
+  in
+  Alcotest.(check int) "objects" 3 (Data.table_length tab);
+  Alcotest.(check int) "array bytes" 32 (Data.size_of_obj tab (Data.Global "a"));
+  Alcotest.(check int) "scalar bytes" 8 (Data.size_of_obj tab (Data.Global "b"));
+  Alcotest.(check int) "heap bytes" 100 (Data.size_of_obj tab (Data.Heap 0));
+  Alcotest.(check int) "total" 140 (Data.total_bytes tab);
+  Alcotest.(check bool) "ordering" true
+    (Data.compare_obj (Data.Global "a") (Data.Heap 0) < 0)
+
+let suite =
+  [
+    Alcotest.test_case "defs and uses" `Quick test_defs_uses;
+    Alcotest.test_case "guard registers are uses" `Quick test_guard_uses;
+    Alcotest.test_case "guarded terminators rejected" `Quick
+      test_guarded_terminator_rejected;
+    Alcotest.test_case "op classification" `Quick test_classification;
+    Alcotest.test_case "fu kinds" `Quick test_fu_kinds;
+    Alcotest.test_case "latencies" `Quick test_latencies;
+    Alcotest.test_case "block invariants" `Quick test_block_invariants;
+    Alcotest.test_case "func invariants" `Quick test_func_invariants;
+    Alcotest.test_case "builder roundtrip" `Quick test_builder_roundtrip;
+    Alcotest.test_case "builder misuse" `Quick test_builder_misuse;
+    Alcotest.test_case "validator catches bad labels" `Quick test_validate_catches;
+    Alcotest.test_case "validator requires main" `Quick test_validate_missing_main;
+    Alcotest.test_case "data object table" `Quick test_data_objects;
+  ]

@@ -1,0 +1,64 @@
+(** Machine-description tests. *)
+
+module M = Vliw_machine
+
+let test_paper_machine () =
+  let m = M.paper_machine () in
+  Alcotest.(check int) "clusters" 2 (M.num_clusters m);
+  Alcotest.(check int) "move latency" 5 (M.move_latency m);
+  Alcotest.(check int) "bus bandwidth" 1 (M.moves_per_cycle m);
+  Alcotest.(check bool) "homogeneous" true (M.is_homogeneous m);
+  let c = M.cluster_of m 0 in
+  Alcotest.(check int) "int units" 2 (M.fu_count c M.FU_int);
+  Alcotest.(check int) "float units" 1 (M.fu_count c M.FU_float);
+  Alcotest.(check int) "memory units" 1 (M.fu_count c M.FU_memory);
+  Alcotest.(check int) "branch units" 1 (M.fu_count c M.FU_branch)
+
+let test_latency_variants () =
+  List.iter
+    (fun lat ->
+      let m = M.paper_machine ~move_latency:lat () in
+      Alcotest.(check int) "latency" lat (M.move_latency m))
+    [ 1; 5; 10 ]
+
+let test_totals () =
+  let m = M.paper_machine () in
+  Alcotest.(check int) "total ints" 4 (M.total_fu m M.FU_int);
+  Alcotest.(check int) "total mems" 2 (M.total_fu m M.FU_memory)
+
+let test_scaled () =
+  let m = M.scaled_machine ~clusters:4 () in
+  Alcotest.(check int) "clusters" 4 (M.num_clusters m);
+  Alcotest.(check bool) "homogeneous" true (M.is_homogeneous m)
+
+let test_invalid () =
+  Alcotest.check_raises "no clusters" (Invalid_argument
+    "Vliw_machine.v: machine needs at least one cluster") (fun () ->
+      ignore
+        (M.v ~name:"x" ~clusters:[||]
+           ~network:{ M.move_latency = 1; moves_per_cycle = 1 }
+           ~latencies:M.itanium_latencies));
+  Alcotest.check_raises "bad network" (Invalid_argument
+    "Vliw_machine.v: invalid network parameters") (fun () ->
+      ignore
+        (M.v ~name:"x"
+           ~clusters:[| M.cluster ~ints:1 ~floats:0 ~mems:1 ~branches:1 () |]
+           ~network:{ M.move_latency = 1; moves_per_cycle = 0 }
+           ~latencies:M.itanium_latencies))
+
+let test_itanium_latencies () =
+  let l = M.itanium_latencies in
+  Alcotest.(check int) "load" 2 l.M.load;
+  Alcotest.(check bool) "mul longer than alu" true (l.M.int_mul > l.M.int_alu);
+  Alcotest.(check bool) "fdiv longest" true
+    (l.M.float_div >= l.M.float_mul && l.M.float_div >= l.M.int_div)
+
+let suite =
+  [
+    Alcotest.test_case "paper machine shape" `Quick test_paper_machine;
+    Alcotest.test_case "latency variants" `Quick test_latency_variants;
+    Alcotest.test_case "fu totals" `Quick test_totals;
+    Alcotest.test_case "scaled machine" `Quick test_scaled;
+    Alcotest.test_case "invalid machines rejected" `Quick test_invalid;
+    Alcotest.test_case "itanium-like latencies" `Quick test_itanium_latencies;
+  ]

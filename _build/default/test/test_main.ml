@@ -1,0 +1,16 @@
+(* Test runner: one Alcotest section per library. *)
+
+let () =
+  Alcotest.run "gdp"
+    [
+      ("machine", Test_machine.suite);
+      ("ir", Test_ir.suite);
+      ("minic", Test_minic.suite);
+      ("interp", Test_interp.suite);
+      ("analysis", Test_analysis.suite);
+      ("graphpart", Test_graphpart.suite);
+      ("opt", Test_opt.suite);
+      ("sched", Test_sched.suite);
+      ("partition", Test_partition.suite);
+      ("pipeline", Test_pipeline.suite);
+    ]

@@ -1,0 +1,233 @@
+(** Frontend tests: lexer, parser, typechecker, lowering, unrolling. *)
+
+let lex src =
+  List.map fst (Minic.Lexer.tokenize src)
+
+let test_lexer_basics () =
+  Alcotest.(check int) "token count" 6
+    (List.length (lex "int x = 42 ;"));
+  (match lex "0x10 3.5 1e3 a_b" with
+  | [ Minic.Token.INT_LIT 16; FLOAT_LIT 3.5; FLOAT_LIT 1000.; IDENT "a_b"; EOF ]
+    ->
+      ()
+  | _ -> Alcotest.fail "unexpected tokens");
+  match lex "<<>><= >= == != && || & |" with
+  | [ Minic.Token.SHL; SHR; LE; GE; EQ; NE; AMPAMP; BARBAR; AMP; BAR; EOF ] -> ()
+  | _ -> Alcotest.fail "operator lexing"
+
+let test_lexer_comments () =
+  Alcotest.(check int) "line comment" 1 (List.length (lex "// hi\n"));
+  Alcotest.(check int) "block comment" 1 (List.length (lex "/* a\nb */"));
+  Alcotest.check_raises "unterminated"
+    (Minic.Lexer.Error ({ Minic.Token.line = 1; col = 8 }, "unterminated block comment"))
+    (fun () -> ignore (lex "/* oops"))
+
+let test_lexer_positions () =
+  let toks = Minic.Lexer.tokenize "int\n  x;" in
+  match toks with
+  | [ (_, p1); (_, p2); (_, p3); _ ] ->
+      Alcotest.(check int) "line 1" 1 p1.Minic.Token.line;
+      Alcotest.(check int) "line 2" 2 p2.Minic.Token.line;
+      Alcotest.(check int) "col 3" 3 p2.Minic.Token.col;
+      Alcotest.(check int) "semi col" 4 p3.Minic.Token.col
+  | _ -> Alcotest.fail "token shape"
+
+let parses src =
+  match Minic.parse src with _ -> true | exception Minic.Compile_error _ -> false
+
+let test_parser_shapes () =
+  Alcotest.(check bool) "global scalar" true (parses "int x = 3;");
+  Alcotest.(check bool) "global array" true (parses "int a[4] = {1, 2, 3, 4};");
+  Alcotest.(check bool) "function" true (parses "int f(int x) { return x; }");
+  Alcotest.(check bool) "control" true
+    (parses
+       "void main() { for (int i = 0; i < 3; i = i + 1) { if (i > 1) { out(i); } } }");
+  Alcotest.(check bool) "missing semi" false (parses "int x = 3");
+  Alcotest.(check bool) "bad token" false (parses "int $ = 3;");
+  Alcotest.(check bool) "unclosed brace" false (parses "void main() {")
+
+let test_precedence () =
+  (* 2 + 3 * 4 = 14, (2 + 3) * 4 = 20, shifts bind tighter than compare *)
+  let prog = Helpers.compile
+    "void main() { out(2 + 3 * 4); out((2 + 3) * 4); out(1 << 2 + 1); out(7 & 3 | 4); }" in
+  Alcotest.(check (list int)) "values" [ 14; 20; 8; 7 ] (Helpers.int_outputs prog)
+
+let test_short_circuit () =
+  (* the right operand must not be evaluated: division by zero guarded *)
+  let prog =
+    Helpers.compile
+      {|
+int zero;
+void main() {
+  int x = 3;
+  if (zero != 0 && (x / zero) > 0) { out(1); } else { out(2); }
+  if (zero == 0 || (x / zero) > 0) { out(3); } else { out(4); }
+}
+|}
+  in
+  Alcotest.(check (list int)) "short circuit" [ 2; 3 ] (Helpers.int_outputs prog)
+
+let typechecks src =
+  match Minic.compile ~unroll:false src with
+  | _ -> true
+  | exception Minic.Compile_error _ -> false
+
+let test_type_errors () =
+  Alcotest.(check bool) "unknown var" false (typechecks "void main() { out(x); }");
+  Alcotest.(check bool) "float to int" false
+    (typechecks "void main() { int x = 1.5; }");
+  Alcotest.(check bool) "int to float promotes" true
+    (typechecks "void main() { float x = 1; outf(x); }");
+  Alcotest.(check bool) "void misuse" false
+    (typechecks "void f() { } void main() { int x = f(); }");
+  Alcotest.(check bool) "arity" false
+    (typechecks "int f(int a) { return a; } void main() { out(f(1, 2)); }");
+  Alcotest.(check bool) "index non-pointer" false
+    (typechecks "void main() { int x = 1; out(x[0]); }");
+  Alcotest.(check bool) "assign to array" false
+    (typechecks "int a[4]; void main() { a = 3; }");
+  Alcotest.(check bool) "duplicate local" false
+    (typechecks "void main() { int x = 1; int x = 2; }");
+  Alcotest.(check bool) "shadow in inner scope ok" true
+    (typechecks "void main() { int x = 1; if (x) { int x = 2; out(x); } }");
+  Alcotest.(check bool) "reserved name" false
+    (typechecks "int malloc(int n) { return n; } void main() { }");
+  Alcotest.(check bool) "modulo on float" false
+    (typechecks "void main() { float x = 1.0; outf(x % 2.0); }")
+
+let test_pointer_types () =
+  Alcotest.(check bool) "malloc into int*" true
+    (typechecks "void main() { int *p = malloc(4); p[0] = 1; out(p[0]); }");
+  Alcotest.(check bool) "malloc into float*" true
+    (typechecks "void main() { float *p = malloc(4); p[0] = 1.5; outf(p[0]); }");
+  Alcotest.(check bool) "pointer arithmetic" true
+    (typechecks "int a[8]; void main() { int *p = a + 2; out(p[0]); }");
+  Alcotest.(check bool) "pointer + pointer rejected" false
+    (typechecks "int a[8]; void main() { int *p = a + a; }");
+  Alcotest.(check bool) "pointer-to-pointer rejected" false
+    (typechecks "void main() { int **p = malloc(4); }")
+
+let test_globals_init () =
+  let prog =
+    Helpers.compile
+      {|
+int a[4] = {10, 20, 30, 40};
+int partial[4] = {7};
+int zero[3];
+float f = 2.5;
+void main() {
+  out(a[0] + a[3]);
+  out(partial[0] + partial[3]);
+  out(zero[2]);
+  outf(f);
+}
+|}
+  in
+  match (Helpers.run prog).Vliw_interp.Interp.outputs with
+  | [ VInt 50; VInt 7; VInt 0; VFloat 2.5 ] -> ()
+  | outs ->
+      Alcotest.failf "bad outputs %a"
+        Fmt.(list ~sep:sp Vliw_interp.Interp.pp_value)
+        outs
+
+let test_lowering_structure () =
+  let prog =
+    Helpers.compile "int g; void main() { g = 1 + 2; out(g); }"
+  in
+  Vliw_ir.Validate.check prog;
+  (* one store and one load of @g *)
+  let stores = ref 0 and loads = ref 0 in
+  Vliw_ir.Prog.iter_ops
+    (fun op ->
+      if Vliw_ir.Op.is_store op then incr stores;
+      if Vliw_ir.Op.is_load op then incr loads)
+    prog;
+  Alcotest.(check int) "stores" 1 !stores;
+  Alcotest.(check int) "loads" 1 !loads
+
+let test_unroll_semantics () =
+  let src =
+    {|
+int a[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+void main() {
+  int s = 0;
+  for (int i = 0; i < 8; i = i + 1) { s = s + a[i] * i; }
+  for (int i = 7; i >= 0; i = i - 1) { s = s + a[i]; }
+  for (int i = 0; i <= 6; i = i + 2) { s = s * 2 + i; }
+  out(s);
+}
+|}
+  in
+  let plain = Helpers.int_outputs (Helpers.compile ~unroll:false src) in
+  let unrolled = Helpers.int_outputs (Helpers.compile ~unroll:true src) in
+  Alcotest.(check (list int)) "same result" plain unrolled
+
+let test_unroll_eliminates_loops () =
+  let src =
+    "int a[4]; void main() { for (int i = 0; i < 4; i = i + 1) { a[i] = i; } out(a[3]); }"
+  in
+  let unrolled = Helpers.compile ~unroll:true src in
+  (* a fully unrolled main has no conditional branches *)
+  let branches = ref 0 in
+  Vliw_ir.Prog.iter_ops
+    (fun op ->
+      match Vliw_ir.Op.kind op with Vliw_ir.Op.Cbr _ -> incr branches | _ -> ())
+    unrolled;
+  Alcotest.(check int) "no branches left" 0 !branches
+
+let test_unroll_respects_limits () =
+  let src =
+    "void main() { int s = 0; for (int i = 0; i < 1000; i = i + 1) { s = s + i; } out(s); }"
+  in
+  let prog = Helpers.compile ~unroll:true src in
+  let branches = ref 0 in
+  Vliw_ir.Prog.iter_ops
+    (fun op ->
+      match Vliw_ir.Op.kind op with Vliw_ir.Op.Cbr _ -> incr branches | _ -> ())
+    prog;
+  Alcotest.(check bool) "loop kept" true (!branches > 0);
+  Alcotest.(check (list int)) "value" [ 499500 ] (Helpers.int_outputs prog)
+
+let prop_generated_compile =
+  Helpers.qcheck ~count:100 "generated programs compile and validate"
+    (fun seed ->
+      let src = Gen_minic.gen_program_with_seed seed in
+      let prog = Minic.compile src in
+      Vliw_ir.Validate.check prog;
+      true)
+    Gen_minic.arbitrary_program
+
+let prop_unroll_preserves =
+  Helpers.qcheck ~count:60 "unrolling preserves semantics"
+    (fun seed ->
+      let src = Gen_minic.gen_program_with_seed seed in
+      let a =
+        (Vliw_interp.Interp.run (Minic.compile ~unroll:false src)
+           ~input:Gen_minic.input).outputs
+      in
+      let b =
+        (Vliw_interp.Interp.run (Minic.compile ~unroll:true src)
+           ~input:Gen_minic.input).outputs
+      in
+      Helpers.equal_outputs a b)
+    Gen_minic.arbitrary_program
+
+let suite =
+  [
+    Alcotest.test_case "lexer basics" `Quick test_lexer_basics;
+    Alcotest.test_case "lexer comments" `Quick test_lexer_comments;
+    Alcotest.test_case "lexer positions" `Quick test_lexer_positions;
+    Alcotest.test_case "parser shapes" `Quick test_parser_shapes;
+    Alcotest.test_case "operator precedence" `Quick test_precedence;
+    Alcotest.test_case "short-circuit evaluation" `Quick test_short_circuit;
+    Alcotest.test_case "type errors" `Quick test_type_errors;
+    Alcotest.test_case "pointer types" `Quick test_pointer_types;
+    Alcotest.test_case "global initializers" `Quick test_globals_init;
+    Alcotest.test_case "lowering structure" `Quick test_lowering_structure;
+    Alcotest.test_case "unroll semantics" `Quick test_unroll_semantics;
+    Alcotest.test_case "unroll eliminates small loops" `Quick
+      test_unroll_eliminates_loops;
+    Alcotest.test_case "unroll respects limits" `Quick test_unroll_respects_limits;
+    prop_generated_compile;
+    prop_unroll_preserves;
+  ]
