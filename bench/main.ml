@@ -7,6 +7,10 @@
      dune exec bench/main.exe -- bechamel    -- bechamel timing of the
                                                 partitioning passes
 
+   Flags (before experiment names):
+     --timings       print a per-experiment wall-time table at the end
+     --trace FILE    record telemetry and write a Chrome trace
+
    Experiments: table1 fig2 fig7 fig8a fig8b fig9a fig9b fig10
    compile-time ablate-merge ablate-imbalance ablate-clusters *)
 
@@ -126,28 +130,60 @@ let experiments =
     ("ablate-hetero", ablate_hetero);
   ]
 
+(* each experiment runs under a telemetry span so the timing table, the
+   trace and the Section-4.5 numbers all come from one clock *)
+let run_timed name f =
+  let (), secs = Telemetry.timed ("experiment:" ^ name) f in
+  (name, secs)
+
+let render_timings rows =
+  Fmt.pr "@.Per-experiment wall time (telemetry clock)@.";
+  Fmt.pr "%-18s %10s@." "experiment" "seconds";
+  List.iter (fun (n, s) -> Fmt.pr "%-18s %10.3f@." n s) rows;
+  Fmt.pr "%-18s %10.3f@." "TOTAL"
+    (List.fold_left (fun a (_, s) -> a +. s) 0. rows)
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let rec parse_flags timings trace = function
+    | "--timings" :: rest -> parse_flags true trace rest
+    | "--trace" :: file :: rest -> parse_flags timings (Some file) rest
+    | [ "--trace" ] ->
+        Fmt.epr "--trace needs a file argument@.";
+        exit 1
+    | rest -> (timings, trace, rest)
+  in
+  let timings, trace, args = parse_flags false None args in
+  if timings || trace <> None then Telemetry.enable ();
+  let finish rows =
+    if timings then render_timings rows;
+    match trace with
+    | Some path ->
+        Telemetry.Sink.write_chrome_trace path (Telemetry.snapshot ())
+    | None -> ()
+  in
   match args with
   | [] ->
       Fmt.pr
         "Reproducing: Chu & Mahlke, Compiler-directed Data Partitioning for \
          Multicluster Processors (CGO 2006)@.";
-      List.iter
-        (fun (name, f) ->
-          Fmt.pr "@.===================== %s =====================@." name;
-          f ())
-        experiments
+      finish
+        (List.map
+           (fun (name, f) ->
+             Fmt.pr "@.===================== %s =====================@." name;
+             run_timed name f)
+           experiments)
   | [ "list" ] ->
       List.iter (fun (n, _) -> Fmt.pr "%s@." n) experiments;
       Fmt.pr "bechamel@."
   | [ "bechamel" ] -> bechamel ()
   | names ->
-      List.iter
-        (fun n ->
-          match List.assoc_opt n experiments with
-          | Some f -> f ()
-          | None ->
-              Fmt.epr "unknown experiment %s (try: list)@." n;
-              exit 1)
-        names
+      finish
+        (List.map
+           (fun n ->
+             match List.assoc_opt n experiments with
+             | Some f -> run_timed n f
+             | None ->
+                 Fmt.epr "unknown experiment %s (try: list)@." n;
+                 exit 1)
+           names)

@@ -71,11 +71,73 @@ let clusters_arg =
     & opt int 2
     & info [ "c"; "clusters" ] ~docv:"N" ~doc:"Number of clusters (power of two).")
 
+(* ------------------------------------------------------------------ *)
+(* Observability: telemetry flags and log verbosity, shared by every
+   subcommand                                                          *)
+
+type obs = { trace : string option; stats : bool }
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record telemetry and write a Chrome trace-event JSON file \
+           (open it in chrome://tracing or https://ui.perfetto.dev).")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Record telemetry and print a span-tree summary (total/self \
+           times) and the metric counters when the command finishes.")
+
+let verbose_arg =
+  Arg.(
+    value & flag_all
+    & info [ "v"; "verbose" ]
+        ~doc:"Increase log verbosity (repeat for debug output).")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only log errors.")
+
+let setup_obs trace stats verbose quiet =
+  let level =
+    if quiet then Some Logs.Error
+    else
+      match List.length verbose with
+      | 0 -> Some Logs.Warning
+      | 1 -> Some Logs.Info
+      | _ -> Some Logs.Debug
+  in
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level level;
+  if trace <> None || stats then Telemetry.enable ();
+  { trace; stats }
+
+let obs_term =
+  Term.(const setup_obs $ trace_arg $ stats_arg $ verbose_arg $ quiet_arg)
+
+(** Flush recorded telemetry to the requested sinks. *)
+let finish_obs obs =
+  if obs.trace <> None || obs.stats then begin
+    let snap = Telemetry.snapshot () in
+    (match obs.trace with
+    | Some path -> Telemetry.Sink.write_chrome_trace path snap
+    | None -> ());
+    if obs.stats then Fmt.pr "@.%a" Telemetry.Sink.summary snap
+  end
+
 let build_prog ~unroll ~promote ~ifconvert path =
   let src = read_file path in
-  let prog = Minic.compile ~unroll src in
-  let prog = if promote then Vliw_opt.Promote.run prog else prog in
-  if ifconvert then Vliw_opt.Ifconvert.run prog else prog
+  let prog =
+    Telemetry.with_span "parse" (fun () -> Minic.compile ~unroll src)
+  in
+  Telemetry.with_span "optimize" (fun () ->
+      let prog = if promote then Vliw_opt.Promote.run prog else prog in
+      if ifconvert then Vliw_opt.Ifconvert.run prog else prog)
 
 let handle_errors f =
   try f () with
@@ -93,38 +155,46 @@ let handle_errors f =
 (* compile                                                             *)
 
 let compile_cmd =
-  let run file nu np ni =
+  let run obs file nu np ni =
     handle_errors (fun () ->
         let prog =
-          build_prog ~unroll:(not nu) ~promote:(not np) ~ifconvert:(not ni)
-            file
+          Telemetry.with_span "compile" (fun () ->
+              build_prog ~unroll:(not nu) ~promote:(not np)
+                ~ifconvert:(not ni) file)
         in
-        Fmt.pr "%a@." Vliw_ir.Prog.pp prog)
+        Fmt.pr "%a@." Vliw_ir.Prog.pp prog;
+        finish_obs obs)
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile MiniC to the VLIW IR and print it.")
-    Term.(const run $ file_arg $ no_unroll $ no_promote $ no_ifconvert)
+    Term.(
+      const run $ obs_term $ file_arg $ no_unroll $ no_promote $ no_ifconvert)
 
 (* ------------------------------------------------------------------ *)
 (* run                                                                 *)
 
 let run_cmd =
-  let run file input nu np ni =
+  let run obs file input nu np ni =
     handle_errors (fun () ->
         let prog =
           build_prog ~unroll:(not nu) ~promote:(not np) ~ifconvert:(not ni)
             file
         in
-        let res = Vliw_interp.Interp.run prog ~input:(parse_input input) in
+        let res =
+          Telemetry.with_span "interpret" (fun () ->
+              Vliw_interp.Interp.run prog ~input:(parse_input input))
+        in
         List.iter
           (fun v -> Fmt.pr "%a@." Vliw_interp.Interp.pp_value v)
           res.Vliw_interp.Interp.outputs;
-        Fmt.epr "(%d interpreter steps)@." res.Vliw_interp.Interp.steps)
+        Fmt.epr "(%d interpreter steps)@." res.Vliw_interp.Interp.steps;
+        finish_obs obs)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and interpret a MiniC program.")
     Term.(
-      const run $ file_arg $ input_arg $ no_unroll $ no_promote $ no_ifconvert)
+      const run $ obs_term $ file_arg $ input_arg $ no_unroll $ no_promote
+      $ no_ifconvert)
 
 (* ------------------------------------------------------------------ *)
 (* partition                                                           *)
@@ -144,7 +214,7 @@ let verify_flag =
            cycle model.")
 
 let partition_cmd =
-  let run file input method_ latency clusters show_sched verify =
+  let run obs file input method_ latency clusters show_sched verify =
     handle_errors (fun () ->
         let bench =
           {
@@ -211,12 +281,13 @@ let partition_cmd =
                 shares
           | None -> ()
         end;
-        if verify then
-          match Gdp_core.Pipeline.verify prepared ctx e with
-          | Ok () -> Fmt.pr "verification: OK@."
-          | Error m ->
-              Fmt.epr "verification FAILED: %s@." m;
-              exit 1)
+        (if verify then
+           match Gdp_core.Pipeline.verify prepared ctx e with
+           | Ok () -> Fmt.pr "verification: OK@."
+           | Error m ->
+               Fmt.epr "verification FAILED: %s@." m;
+               exit 1);
+        finish_obs obs)
   in
   Cmd.v
     (Cmd.info "partition"
@@ -225,14 +296,14 @@ let partition_cmd =
           computation, insert intercluster moves, schedule, and report \
           cycles.")
     Term.(
-      const run $ file_arg $ input_arg $ method_arg $ latency_arg
+      const run $ obs_term $ file_arg $ input_arg $ method_arg $ latency_arg
       $ clusters_arg $ schedule_flag $ verify_flag)
 
 (* ------------------------------------------------------------------ *)
 (* bench                                                               *)
 
 let bench_cmd =
-  let run name latency =
+  let run obs name latency =
     handle_errors (fun () ->
         let benches =
           match name with
@@ -251,7 +322,8 @@ let bench_cmd =
               (Gdp_core.Experiments.cycles_of r "profile-max")
               (Gdp_core.Experiments.cycles_of r "naive")
               (Gdp_core.Experiments.cycles_of r "unified"))
-          rows)
+          rows;
+        finish_obs obs)
   in
   let name_arg =
     Arg.(
@@ -261,10 +333,10 @@ let bench_cmd =
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Evaluate suite benchmarks under all methods.")
-    Term.(const run $ name_arg $ latency_arg)
+    Term.(const run $ obs_term $ name_arg $ latency_arg)
 
 let list_cmd =
-  let run () =
+  let run obs =
     List.iter
       (fun (b : Benchsuite.Bench_intf.t) ->
         Fmt.pr "%-12s %s%s@." b.Benchsuite.Bench_intf.name
@@ -272,11 +344,12 @@ let list_cmd =
           (if b.Benchsuite.Bench_intf.exhaustive_ok then
              " [exhaustive-search capable]"
            else ""))
-      Benchsuite.Suite.all
+      Benchsuite.Suite.all;
+    finish_obs obs
   in
   Cmd.v
     (Cmd.info "list" ~doc:"List the benchmark suite.")
-    Term.(const run $ const ())
+    Term.(const run $ obs_term)
 
 let () =
   let doc =

@@ -210,11 +210,20 @@ let render_table1 ppf () =
 (* ------------------------------------------------------------------ *)
 (* Section 4.5: compile time.                                          *)
 
+(** Pipeline stages whose per-method cost the Section-4.5 table breaks
+    out (the telemetry span names recorded by the partitioners). *)
+let ct_stage_names = [ "graph-partition"; "rhop"; "move-insert" ]
+
 type compile_time_result = {
   ct_rows : (string * (string * float) list) list;
       (** bench -> method -> seconds *)
+  ct_stages : (string * (string * float) list) list;
+      (** bench -> stage -> seconds, for the GDP method *)
 }
 
+(** Times come from telemetry spans — the same clock as every trace and
+    [--stats] report — captured on a private recording so an enclosing
+    recording (e.g. [gdpc --trace]) is unaffected. *)
 let compile_time ?(benches = default_benches ()) ?(move_latency = 5) () :
     compile_time_result =
   let machine = Vliw_machine.paper_machine ~move_latency () in
@@ -224,20 +233,33 @@ let compile_time ?(benches = default_benches ()) ?(move_latency = 5) () :
         let p = Pipeline.prepare b in
         let ctx = Pipeline.context ~machine p in
         let time m =
-          let t0 = Unix.gettimeofday () in
-          let (_ : Methods.outcome) = Methods.run m ctx in
-          Unix.gettimeofday () -. t0
+          let (_ : Methods.outcome), snap =
+            Telemetry.capture (fun () ->
+                Telemetry.with_span "partition" (fun () -> Methods.run m ctx))
+          in
+          let total = Telemetry.Snapshot.total_seconds snap "partition" in
+          let stages =
+            List.map
+              (fun s -> (s, Telemetry.Snapshot.total_seconds snap s))
+              ct_stage_names
+          in
+          (total, stages)
         in
+        let timed = List.map (fun m -> (Methods.name m, time m)) Methods.all in
         ( b.Benchsuite.Bench_intf.name,
-          List.map (fun m -> (Methods.name m, time m)) Methods.all ))
+          List.map (fun (n, (total, _)) -> (n, total)) timed,
+          snd (List.assoc (Methods.name Methods.Gdp) timed) ))
       benches
   in
-  { ct_rows = rows }
+  {
+    ct_rows = List.map (fun (b, totals, _) -> (b, totals)) rows;
+    ct_stages = List.map (fun (b, _, stages) -> (b, stages)) rows;
+  }
 
 let render_compile_time ppf (r : compile_time_result) =
   Fmt.pf ppf
-    "@.Section 4.5: partitioning time per method (seconds; Profile Max runs \
-     the detailed partitioner twice)@.";
+    "@.Section 4.5: partitioning time per method (seconds, telemetry spans; \
+     Profile Max runs the detailed partitioner twice)@.";
   let header = [ "benchmark"; "GDP"; "ProfileMax"; "Naive"; "Unified"; "PM/GDP" ] in
   let rows =
     List.map
@@ -252,5 +274,19 @@ let render_compile_time ppf (r : compile_time_result) =
             Fmt.str "%.2fx" (t "profile-max" /. Float.max 1e-9 (t "gdp"));
           ] ))
       r.ct_rows
+  in
+  Report.table ppf ~header rows;
+  Fmt.pf ppf
+    "@.GDP per-stage partitioning time (seconds, telemetry spans)@.";
+  let header = "benchmark" :: ct_stage_names @ [ "other" ] in
+  let rows =
+    List.map
+      (fun (b, stages) ->
+        let total = List.assoc b r.ct_rows |> List.assoc "gdp" in
+        let staged = List.fold_left (fun a (_, s) -> a +. s) 0. stages in
+        ( b,
+          List.map (fun (_, s) -> Fmt.str "%.4f" s) stages
+          @ [ Fmt.str "%.4f" (Float.max 0. (total -. staged)) ] ))
+      r.ct_stages
   in
   Report.table ppf ~header rows

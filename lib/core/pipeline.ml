@@ -19,27 +19,42 @@ type prepared = {
 let prepare ?(unroll = true) ?(promote = true) ?(simplify = true)
     ?(if_convert = true) ?ifconvert_config
     (bench : Benchsuite.Bench_intf.t) : prepared =
-  let prog = Minic.compile ~unroll bench.Benchsuite.Bench_intf.source in
-  let prog = if promote then Vliw_opt.Promote.run prog else prog in
-  let prog =
-    if simplify then Vliw_opt.Dce.run (Vliw_opt.Simplify.run prog) else prog
-  in
-  let prog =
-    if if_convert then Vliw_opt.Ifconvert.run ?config:ifconvert_config prog
-    else prog
-  in
-  let prog = if simplify then Vliw_opt.Dce.run prog else prog in
-  let reference =
-    Vliw_interp.Interp.run prog ~input:bench.Benchsuite.Bench_intf.input
-  in
-  { bench; prog; reference }
+  Telemetry.with_span "prepare"
+    ~args:[ ("bench", bench.Benchsuite.Bench_intf.name) ]
+    (fun () ->
+      let prog =
+        Telemetry.with_span "parse" (fun () ->
+            Minic.compile ~unroll bench.Benchsuite.Bench_intf.source)
+      in
+      let prog =
+        Telemetry.with_span "optimize" (fun () ->
+            let prog = if promote then Vliw_opt.Promote.run prog else prog in
+            let prog =
+              if simplify then Vliw_opt.Dce.run (Vliw_opt.Simplify.run prog)
+              else prog
+            in
+            let prog =
+              if if_convert then
+                Vliw_opt.Ifconvert.run ?config:ifconvert_config prog
+              else prog
+            in
+            if simplify then Vliw_opt.Dce.run prog else prog)
+      in
+      Telemetry.set_gauge "ir.ops" (float (Vliw_ir.Prog.op_count prog));
+      let reference =
+        Telemetry.with_span "profile" (fun () ->
+            Vliw_interp.Interp.run prog
+              ~input:bench.Benchsuite.Bench_intf.input)
+      in
+      { bench; prog; reference })
 
 let context ?machine ?merge_low_slack (p : prepared) : Methods.context =
   let machine =
     match machine with Some m -> m | None -> Vliw_machine.paper_machine ()
   in
-  Methods.make_context ?merge_low_slack ~machine ~prog:p.prog
-    ~profile:p.reference.Vliw_interp.Interp.profile ()
+  Telemetry.with_span "context" (fun () ->
+      Methods.make_context ?merge_low_slack ~machine ~prog:p.prog
+        ~profile:p.reference.Vliw_interp.Interp.profile ())
 
 type evaluation = {
   outcome : Methods.outcome;
@@ -49,15 +64,17 @@ type evaluation = {
 (** Run one method and price it under the cycle model. *)
 let evaluate ?rhop_config ?gdp_config (ctx : Methods.context) method_ :
     evaluation =
-  let outcome = Methods.run ?rhop_config ?gdp_config method_ ctx in
-  let report = Methods.evaluate ctx outcome in
-  { outcome; report }
+  Telemetry.with_span "evaluate" ~args:[ ("method", Methods.name method_) ]
+    (fun () ->
+      let outcome = Methods.run ?rhop_config ?gdp_config method_ ctx in
+      let report = Methods.evaluate ctx outcome in
+      { outcome; report })
 
 (** Functional correctness: the clustered program must produce the
     reference outputs both under plain interpretation and under
     cycle-level simulation (which also checks resource legality).
     Returns an error message instead of raising so tests can assert. *)
-let verify (p : prepared) (ctx : Methods.context) (e : evaluation) :
+let verify_body (p : prepared) (ctx : Methods.context) (e : evaluation) :
     (unit, string) result =
   let expected = p.reference.Vliw_interp.Interp.outputs in
   let input = p.bench.Benchsuite.Bench_intf.input in
@@ -69,8 +86,9 @@ let verify (p : prepared) (ctx : Methods.context) (e : evaluation) :
     else Error (Fmt.str "%s outputs differ from the reference run" what)
   in
   match
-    Vliw_interp.Interp.run
-      e.outcome.Methods.clustered.Vliw_sched.Move_insert.cprog ~input
+    Telemetry.with_span "interpret-clustered" (fun () ->
+        Vliw_interp.Interp.run
+          e.outcome.Methods.clustered.Vliw_sched.Move_insert.cprog ~input)
   with
   | exception Vliw_interp.Interp.Runtime_error m ->
       Error ("clustered interpretation failed: " ^ m)
@@ -108,3 +126,5 @@ let verify (p : prepared) (ctx : Methods.context) (e : evaluation) :
                          sim.Vliw_sched.Vliw_sim.dynamic_moves
                          e.report.Vliw_sched.Perf.dynamic_moves)
                   else Ok ())))
+
+let verify p ctx e = Telemetry.with_span "verify" (fun () -> verify_body p ctx e)

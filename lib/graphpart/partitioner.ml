@@ -146,14 +146,22 @@ let coarsen_once rng (g : Graph.t) : (Graph.t * int array) option =
     finest to coarsest (each with the map into the next) and the coarsest
     graph. *)
 let coarsen rng cfg (g : Graph.t) : level list * Graph.t =
-  let rec go acc g =
+  let rec go lvl acc g =
     if Graph.num_nodes g <= cfg.coarsen_until then (List.rev acc, g)
     else
-      match coarsen_once rng g with
+      match
+        Telemetry.with_span "coarsen-level"
+          ~args:
+            [
+              ("level", string_of_int lvl);
+              ("nodes", string_of_int (Graph.num_nodes g));
+            ]
+          (fun () -> coarsen_once rng g)
+      with
       | None -> (List.rev acc, g)
-      | Some (cg, map) -> go ({ graph = g; coarse_of = map } :: acc) cg
+      | Some (cg, map) -> go (lvl + 1) ({ graph = g; coarse_of = map } :: acc) cg
   in
-  go [] g
+  go 0 [] g
 
 (* ------------------------------------------------------------------ *)
 (* FM refinement                                                       *)
@@ -269,6 +277,7 @@ let fm_refine ?(passes = 4) (cfg : config) (g : Graph.t) (part : int array) :
   let continue_ = ref true in
   let p = ref 0 in
   while !continue_ && !p < passes do
+    Telemetry.incr "graphpart.fm_passes";
     continue_ := pass ();
     incr p
   done
@@ -340,16 +349,21 @@ let bisect ?(config : config option) (g : Graph.t) : int array =
   let rng = Random.State.make [| cfg.seed |] in
   let levels, coarsest = coarsen rng cfg g in
   (* initial: several greedy growings + FM, keep the best *)
-  let best = ref None in
-  for _try = 1 to cfg.initial_tries do
-    let part = grow_bisection rng cfg coarsest in
-    fm_refine cfg coarsest part;
-    let score = evaluate cfg coarsest part in
-    match !best with
-    | Some (bscore, _) when compare bscore score <= 0 -> ()
-    | _ -> best := Some (score, Array.copy part)
-  done;
-  let part = match !best with Some (_, p) -> p | None -> assert false in
+  let part =
+    Telemetry.with_span "initial-partition"
+      ~args:[ ("nodes", string_of_int (Graph.num_nodes coarsest)) ]
+      (fun () ->
+        let best = ref None in
+        for _try = 1 to cfg.initial_tries do
+          let part = grow_bisection rng cfg coarsest in
+          fm_refine cfg coarsest part;
+          let score = evaluate cfg coarsest part in
+          match !best with
+          | Some (bscore, _) when compare bscore score <= 0 -> ()
+          | _ -> best := Some (score, Array.copy part)
+        done;
+        match !best with Some (_, p) -> p | None -> assert false)
+  in
   (* uncoarsen: project through the levels (finest first in [levels]) *)
   let project (levels : level list) coarse_part =
     match levels with
@@ -358,15 +372,26 @@ let bisect ?(config : config option) (g : Graph.t) : int array =
         (* walk from coarsest to finest: process the list in reverse *)
         let rev = List.rev levels in
         List.fold_left
-          (fun cpart (lvl : level) ->
+          (fun (lvl_idx, cpart) (lvl : level) ->
             let n = Graph.num_nodes lvl.graph in
-            let fine = Array.make n 0 in
-            for v = 0 to n - 1 do
-              fine.(v) <- cpart.(lvl.coarse_of.(v))
-            done;
-            fm_refine cfg lvl.graph fine;
-            fine)
-          coarse_part rev
+            let fine =
+              Telemetry.with_span "refine-level"
+                ~args:
+                  [
+                    ("level", string_of_int lvl_idx);
+                    ("nodes", string_of_int n);
+                  ]
+                (fun () ->
+                  let fine = Array.make n 0 in
+                  for v = 0 to n - 1 do
+                    fine.(v) <- cpart.(lvl.coarse_of.(v))
+                  done;
+                  fm_refine cfg lvl.graph fine;
+                  fine)
+            in
+            (lvl_idx + 1, fine))
+          (0, coarse_part) rev
+        |> snd
   in
   project levels part
 

@@ -30,6 +30,7 @@ type result = {
 let partition_objects ?(config = default_config)
     ~(machine : Vliw_machine.t) ~(prog : Prog.t) ~(merge : Merge.t)
     ~(dfg : An.Prog_dfg.t) ~(profile : Vliw_interp.Profile.t) () : result =
+  Telemetry.with_span "graph-partition" @@ fun () ->
   let num_clusters = Vliw_machine.num_clusters machine in
   let ngroups = Merge.num_groups merge in
   (* units: one per merge group, then one per remaining operation *)
@@ -109,9 +110,23 @@ let partition_objects ?(config = default_config)
         List.map (fun o -> (o, part.(g.Merge.id))) g.Merge.objects)
       (Array.to_list merge.Merge.groups)
   in
+  let edgecut = Graphpart.Graph.edge_cut graph part in
+  if Telemetry.is_enabled () then begin
+    Telemetry.set_gauge "gdp.units" (float nunits);
+    Telemetry.set_gauge "gdp.cut_edges" (float edgecut);
+    (* achieved data-byte balance: heaviest cluster's share of the total,
+       1/num_clusters = perfect *)
+    let pw =
+      Graphpart.Graph.part_weights graph part ~nparts:num_clusters 0
+    in
+    let total = Array.fold_left ( + ) 0 pw in
+    if total > 0 then
+      Telemetry.set_gauge "gdp.data_balance_ratio"
+        (float (Array.fold_left max 0 pw) /. float total)
+  end;
   {
     obj_home;
-    edgecut = Graphpart.Graph.edge_cut graph part;
+    edgecut;
     num_units = nunits;
     unit_of_op;
     part_of_unit = part;

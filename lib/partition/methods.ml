@@ -44,10 +44,34 @@ type context = {
 
 let make_context ?(merge_low_slack = false) ~(machine : Vliw_machine.t)
     ~(prog : Prog.t) ~(profile : Vliw_interp.Profile.t) () : context =
-  let pt = An.Points_to.compute prog in
+  let pt =
+    Telemetry.with_span "points-to" (fun () -> An.Points_to.compute prog)
+  in
   let objtab = Vliw_interp.Profile.object_table prog profile in
-  let merge = Merge.compute ~merge_low_slack ~machine prog objtab pt in
-  let dfg = An.Prog_dfg.compute prog in
+  let merge =
+    Telemetry.with_span "access-merge" (fun () ->
+        Merge.compute ~merge_low_slack ~machine prog objtab pt)
+  in
+  if Telemetry.is_enabled () then begin
+    let groups = Merge.num_groups merge in
+    let members =
+      Array.fold_left
+        (fun acc (g : Merge.group) ->
+          acc + List.length g.Merge.objects + List.length g.Merge.mem_ops)
+        0 merge.Merge.groups
+    in
+    Telemetry.set_gauge "merge.groups" (float groups);
+    (* each union that collapsed two elements into one group is a merge *)
+    Telemetry.set_gauge "merge.merges_applied" (float (members - groups))
+  end;
+  let dfg =
+    Telemetry.with_span "prog-dfg" (fun () -> An.Prog_dfg.compute prog)
+  in
+  if Telemetry.is_enabled () then begin
+    let edges = ref 0 in
+    An.Prog_dfg.iter_edges (fun _ _ _ -> incr edges) dfg;
+    Telemetry.set_gauge "dfg.edges" (float !edges)
+  end;
   { prog; machine; profile; pt; objtab; merge; dfg }
 
 let objects_of ctx op_id = An.Points_to.objects_of ctx.pt op_id

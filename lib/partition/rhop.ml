@@ -172,6 +172,7 @@ let refine_level (est : Est.t) ~num_clusters ~max_passes
   while !changed && !pass < max_passes do
     changed := false;
     incr pass;
+    Telemetry.incr "rhop.iterations";
     Array.iter
       (fun gi ->
         let g = groups.(gi) in
@@ -257,6 +258,10 @@ let partition_block ~(machine : Vliw_machine.t) ~config ~objects_of
       | Some next -> build_levels (groups :: acc) next
   in
   let levels = build_levels [] level0 in
+  if Telemetry.is_enabled () then begin
+    Telemetry.span_arg "ops" (string_of_int n);
+    Telemetry.span_arg "levels" (string_of_int (List.length levels))
+  end;
   (* coarsest first *)
   let cluster = Array.make n 0 in
   Array.iter
@@ -282,6 +287,7 @@ let partition_block ~(machine : Vliw_machine.t) ~config ~objects_of
 let partition ?(config = default_config) ~(machine : Vliw_machine.t)
     ~(objects_of : int -> Data.Obj_set.t) ~(lock_of : int -> int option)
     (prog : Prog.t) (assign : A.t) : unit =
+  Telemetry.with_span "rhop" @@ fun () ->
   List.iter
     (fun f ->
       let cfg = Vliw_analysis.Cfg.of_func f in
@@ -320,8 +326,18 @@ let partition ?(config = default_config) ~(machine : Vliw_machine.t)
               (Vliw_analysis.Cfg.block_index cfg (Block.label b))
           in
           let result =
-            partition_block ~machine ~config ~objects_of
-              ~lock_of:lock_with_reg ~reg_home ~live_out b
+            Telemetry.incr "rhop.regions";
+            let args =
+              if Telemetry.is_enabled () then
+                [
+                  ("func", Func.name f);
+                  ("label", Label.to_string (Block.label b));
+                ]
+              else []
+            in
+            Telemetry.with_span "rhop-region" ~args (fun () ->
+                partition_block ~machine ~config ~objects_of
+                  ~lock_of:lock_with_reg ~reg_home ~live_out b)
           in
           List.iter
             (fun (op_id, c) -> A.set_cluster assign ~op_id c)

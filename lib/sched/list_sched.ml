@@ -40,6 +40,13 @@ let schedule_block ~(machine : Vliw_machine.t) ~(assign : Assignment.t)
     ~(move_routes : (int, int * int) Hashtbl.t)
     ?(objects_of = fun _ -> Data.Obj_set.empty)
     ?(live_out = Reg.Set.empty) (block : Block.t) : t =
+  let args =
+    if Telemetry.is_enabled () then
+      [ ("label", Label.to_string (Block.label block)) ]
+    else []
+  in
+  Telemetry.with_span "schedule-block" ~args @@ fun () ->
+  Telemetry.incr "sched.blocks_scheduled";
   let is_icm op_id = Hashtbl.mem move_routes op_id in
   let lat_of = latency_of ~machine ~is_intercluster_move:is_icm in
   let deps = Deps.build ~objects_of ~latency_of:lat_of ~machine block in

@@ -28,6 +28,7 @@ type clustered = {
 }
 
 let apply (prog : Prog.t) (assign : Assignment.t) : clustered =
+  Telemetry.with_span "move-insert" @@ fun () ->
   Prog.iter_ops
     (fun op ->
       if Op.is_move op then
@@ -182,6 +183,7 @@ let apply (prog : Prog.t) (assign : Assignment.t) : clustered =
   (try Validate.check cprog
    with Validate.Invalid m ->
      invalid_arg ("Move_insert.apply produced invalid IR: " ^ m));
+  Telemetry.incr "moves.inserted" ~by:(Hashtbl.length move_routes);
   { cprog; cassign; move_routes }
 
 (** Ids of all inserted moves. *)

@@ -26,6 +26,7 @@ type report = {
 let evaluate ~(machine : Vliw_machine.t) (c : Move_insert.clustered)
     ~(profile : Vliw_interp.Profile.t)
     ?(objects_of = fun _ -> Data.Obj_set.empty) () : report =
+  Telemetry.with_span "schedule" @@ fun () ->
   let blocks = ref [] in
   let total = ref 0 in
   let dyn_moves = ref 0 in
@@ -68,6 +69,14 @@ let evaluate ~(machine : Vliw_machine.t) (c : Move_insert.clustered)
             :: !blocks)
         (Func.blocks f))
     (Prog.funcs c.Move_insert.cprog);
+  if Telemetry.is_enabled () then begin
+    Telemetry.set_gauge "sched.total_cycles" (float !total);
+    Telemetry.set_gauge "sched.dynamic_moves" (float !dyn_moves);
+    let len =
+      List.fold_left (fun a br -> a + br.br_length) 0 !blocks
+    in
+    Telemetry.set_gauge "sched.static_schedule_length" (float len)
+  end;
   {
     total_cycles = !total;
     dynamic_moves = !dyn_moves;

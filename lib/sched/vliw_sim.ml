@@ -282,12 +282,18 @@ let rec exec_func st ~assign ~move_routes ~objects_of (f : Func.t)
 let run ?(fuel = 5_000_000) (c : Move_insert.clustered)
     ~(machine : Vliw_machine.t) ?(objects_of = fun _ -> Data.Obj_set.empty)
     ~input () : result =
+  Telemetry.with_span "simulate" @@ fun () ->
   let st = init c.Move_insert.cprog machine ~input ~fuel in
   let main = Prog.main c.Move_insert.cprog in
   let (_ : I.value option) =
     exec_func st ~assign:c.Move_insert.cassign
       ~move_routes:c.Move_insert.move_routes ~objects_of main []
   in
+  if Telemetry.is_enabled () then begin
+    Telemetry.incr "sim.blocks_executed" ~by:(fuel - st.fuel);
+    Telemetry.set_gauge "sim.cycles" (float st.cycles);
+    Telemetry.set_gauge "sim.dynamic_moves" (float st.moves)
+  end;
   {
     outputs = List.rev st.outputs_rev;
     cycles = st.cycles;

@@ -1,0 +1,395 @@
+(** See telemetry.mli.  Single-threaded by design: the whole pipeline is
+    sequential, so the registry is a plain mutable record and the open
+    spans a plain stack. *)
+
+let log_src = Logs.Src.create "telemetry" ~doc:"GDP telemetry subsystem"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type span = {
+  id : int;
+  parent : int option;
+  name : string;
+  start_us : float;
+  dur_us : float;
+  args : (string * string) list;
+}
+
+type metric = Counter of int | Gauge of float
+
+type snapshot = {
+  spans : span list;
+  metrics : (string * metric) list;
+}
+
+type open_span = {
+  o_id : int;
+  o_parent : int option;
+  o_name : string;
+  o_start : float;
+  mutable o_args : (string * string) list;
+}
+
+type state = {
+  mutable enabled : bool;
+  mutable completed : span list;  (** reverse completion order *)
+  mutable stack : open_span list;  (** innermost first *)
+  mutable next_id : int;
+  table : (string, metric) Hashtbl.t;
+}
+
+let fresh_state () =
+  {
+    enabled = false;
+    completed = [];
+    stack = [];
+    next_id = 0;
+    table = Hashtbl.create 32;
+  }
+
+let st = ref (fresh_state ())
+
+let default_clock () = Unix.gettimeofday () *. 1e6
+let clock = ref default_clock
+let set_clock = function
+  | Some f -> clock := f
+  | None -> clock := default_clock
+
+let is_enabled () = !st.enabled
+
+let enable () =
+  if not !st.enabled then Log.debug (fun m -> m "recording enabled");
+  !st.enabled <- true
+
+let disable () = !st.enabled <- false
+
+let reset () =
+  let s = !st in
+  s.completed <- [];
+  s.next_id <- 0;
+  Hashtbl.reset s.table
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+
+let close_span (s : state) (o : open_span) ~end_us =
+  s.completed <-
+    {
+      id = o.o_id;
+      parent = o.o_parent;
+      name = o.o_name;
+      start_us = o.o_start;
+      dur_us = Float.max 0. (end_us -. o.o_start);
+      args = List.rev o.o_args;
+    }
+    :: s.completed
+
+let with_span ?(args = []) name f =
+  let s = !st in
+  if not s.enabled then f ()
+  else begin
+    let id = s.next_id in
+    s.next_id <- id + 1;
+    let parent = match s.stack with [] -> None | o :: _ -> Some o.o_id in
+    let o =
+      {
+        o_id = id;
+        o_parent = parent;
+        o_name = name;
+        o_start = !clock ();
+        o_args = List.rev args;
+      }
+    in
+    s.stack <- o :: s.stack;
+    Fun.protect
+      ~finally:(fun () ->
+        let end_us = !clock () in
+        (* pop back to (and through) our frame; anything above it was
+           left open by an escaping exception and closes at our end time *)
+        let rec pop () =
+          match s.stack with
+          | [] -> ()
+          | top :: rest ->
+              s.stack <- rest;
+              close_span s top ~end_us;
+              if top.o_id <> id then pop ()
+        in
+        pop ())
+      f
+  end
+
+let span_arg key value =
+  let s = !st in
+  if s.enabled then
+    match s.stack with
+    | [] -> ()
+    | o :: _ -> o.o_args <- (key, value) :: o.o_args
+
+let timed name f =
+  let t0 = !clock () in
+  let r = with_span name f in
+  (r, (!clock () -. t0) /. 1e6)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+
+let incr ?(by = 1) name =
+  if by < 0 then
+    invalid_arg
+      (Printf.sprintf "Telemetry.incr: negative increment %d of %s" by name);
+  let s = !st in
+  if s.enabled then
+    match Hashtbl.find_opt s.table name with
+    | None -> Hashtbl.replace s.table name (Counter by)
+    | Some (Counter v) -> Hashtbl.replace s.table name (Counter (v + by))
+    | Some (Gauge _) ->
+        invalid_arg ("Telemetry.incr: " ^ name ^ " is a gauge")
+
+let set_gauge name v =
+  let s = !st in
+  if s.enabled then
+    match Hashtbl.find_opt s.table name with
+    | None | Some (Gauge _) -> Hashtbl.replace s.table name (Gauge v)
+    | Some (Counter _) ->
+        invalid_arg ("Telemetry.set_gauge: " ^ name ^ " is a counter")
+
+let counter_value name =
+  match Hashtbl.find_opt !st.table name with
+  | Some (Counter v) -> v
+  | Some (Gauge _) | None -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+
+let snapshot () : snapshot =
+  let s = !st in
+  let spans =
+    List.sort
+      (fun a b ->
+        match compare a.start_us b.start_us with 0 -> compare a.id b.id | c -> c)
+      s.completed
+  in
+  let metrics =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) s.table []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  { spans; metrics }
+
+let capture f =
+  let saved = !st in
+  st := fresh_state ();
+  !st.enabled <- true;
+  Fun.protect
+    ~finally:(fun () -> st := saved)
+    (fun () ->
+      let r = f () in
+      (r, snapshot ()))
+
+module Snapshot = struct
+  let spans_named snap name =
+    List.filter (fun sp -> String.equal sp.name name) snap.spans
+
+  let total_seconds snap name =
+    List.fold_left (fun a sp -> a +. sp.dur_us) 0. (spans_named snap name)
+    /. 1e6
+
+  let find_counter snap name =
+    match List.assoc_opt name snap.metrics with
+    | Some (Counter v) -> Some v
+    | _ -> None
+
+  let find_gauge snap name =
+    match List.assoc_opt name snap.metrics with
+    | Some (Gauge v) -> Some v
+    | _ -> None
+
+  let children snap sp =
+    List.filter (fun c -> c.parent = Some sp.id) snap.spans
+end
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                               *)
+
+module Sink = struct
+  let add_json_string buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | '\b' -> Buffer.add_string buf "\\b"
+        | '\012' -> Buffer.add_string buf "\\f"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  (* Chrome's trace viewer rejects NaN/inf; clamp them to 0. *)
+  let add_json_float buf v =
+    if Float.is_nan v || Float.abs v = Float.infinity then
+      Buffer.add_char buf '0'
+    else Buffer.add_string buf (Printf.sprintf "%.3f" v)
+
+  let chrome_trace ppf (snap : snapshot) =
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "{\"traceEvents\":[";
+    Buffer.add_string buf
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"gdp\"}}";
+    let end_ts = ref 0. in
+    List.iter
+      (fun (sp : span) ->
+        end_ts := Float.max !end_ts (sp.start_us +. sp.dur_us);
+        Buffer.add_string buf ",\n{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"name\":";
+        add_json_string buf sp.name;
+        Buffer.add_string buf ",\"cat\":\"gdp\",\"ts\":";
+        add_json_float buf sp.start_us;
+        Buffer.add_string buf ",\"dur\":";
+        add_json_float buf sp.dur_us;
+        if sp.args <> [] then begin
+          Buffer.add_string buf ",\"args\":{";
+          List.iteri
+            (fun i (k, v) ->
+              if i > 0 then Buffer.add_char buf ',';
+              add_json_string buf k;
+              Buffer.add_char buf ':';
+              add_json_string buf v)
+            sp.args;
+          Buffer.add_char buf '}'
+        end;
+        Buffer.add_char buf '}')
+      snap.spans;
+    List.iter
+      (fun (name, m) ->
+        Buffer.add_string buf ",\n{\"ph\":\"C\",\"pid\":1,\"name\":";
+        add_json_string buf name;
+        Buffer.add_string buf ",\"ts\":";
+        add_json_float buf !end_ts;
+        Buffer.add_string buf ",\"args\":{\"value\":";
+        (match m with
+        | Counter v -> Buffer.add_string buf (string_of_int v)
+        | Gauge v -> add_json_float buf v);
+        Buffer.add_string buf "}}")
+      snap.metrics;
+    Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}\n";
+    Format.pp_print_string ppf (Buffer.contents buf)
+
+  let with_out_file path f =
+    let oc = open_out path in
+    let ppf = Format.formatter_of_out_channel oc in
+    Fun.protect
+      ~finally:(fun () ->
+        Format.pp_print_flush ppf ();
+        close_out oc)
+      (fun () -> f ppf)
+
+  let write_chrome_trace path snap =
+    with_out_file path (fun ppf -> chrome_trace ppf snap);
+    Log.info (fun m ->
+        m "wrote Chrome trace (%d spans, %d metrics) to %s"
+          (List.length snap.spans)
+          (List.length snap.metrics)
+          path)
+
+  (* ---------------------------------------------------------------- *)
+  (* Span tree                                                         *)
+
+  type agg = {
+    a_name : string;
+    a_count : int;
+    a_total : float;  (** microseconds *)
+    a_children : agg list;
+  }
+
+  (** Group sibling spans by name (first-seen order) and aggregate
+      recursively. *)
+  let rec aggregate (snap : snapshot) (siblings : span list) : agg list =
+    let order = ref [] in
+    let by_name = Hashtbl.create 8 in
+    List.iter
+      (fun sp ->
+        if not (Hashtbl.mem by_name sp.name) then begin
+          Hashtbl.replace by_name sp.name [];
+          order := sp.name :: !order
+        end;
+        Hashtbl.replace by_name sp.name (sp :: Hashtbl.find by_name sp.name))
+      siblings;
+    List.rev_map
+      (fun name ->
+        let sps = List.rev (Hashtbl.find by_name name) in
+        let kids =
+          List.concat_map (fun sp -> Snapshot.children snap sp) sps
+        in
+        {
+          a_name = name;
+          a_count = List.length sps;
+          a_total = List.fold_left (fun a sp -> a +. sp.dur_us) 0. sps;
+          a_children = aggregate snap kids;
+        })
+      (List.rev !order)
+    |> List.rev
+
+  let span_tree ppf (snap : snapshot) =
+    let roots =
+      List.filter (fun (sp : span) -> sp.parent = None) snap.spans
+    in
+    if roots = [] then Fmt.pf ppf "no spans recorded@."
+    else begin
+      Fmt.pf ppf "%-42s %12s %12s %8s@." "span" "total (ms)" "self (ms)"
+        "calls";
+      let rec render depth (a : agg) =
+        let child_total =
+          List.fold_left (fun acc c -> acc +. c.a_total) 0. a.a_children
+        in
+        let self = Float.max 0. (a.a_total -. child_total) in
+        let label =
+          Printf.sprintf "%s%s" (String.make (2 * depth) ' ') a.a_name
+        in
+        Fmt.pf ppf "%-42s %12.3f %12.3f %8d@." label (a.a_total /. 1e3)
+          (self /. 1e3) a.a_count;
+        List.iter (render (depth + 1)) a.a_children
+      in
+      List.iter (render 0) (aggregate snap roots)
+    end
+
+  let metrics_table ppf (snap : snapshot) =
+    if snap.metrics <> [] then begin
+      Fmt.pf ppf "%-42s %12s@." "metric" "value";
+      List.iter
+        (fun (name, m) ->
+          match m with
+          | Counter v -> Fmt.pf ppf "%-42s %12d@." name v
+          | Gauge v -> Fmt.pf ppf "%-42s %12.4f@." name v)
+        snap.metrics
+    end
+
+  let summary ppf snap =
+    span_tree ppf snap;
+    if snap.metrics <> [] then Fmt.pf ppf "@.";
+    metrics_table ppf snap
+
+  let metrics_csv ppf (snap : snapshot) =
+    Fmt.pf ppf "name,kind,value@.";
+    List.iter
+      (fun (name, m) ->
+        let quote s =
+          if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+            "\""
+            ^ String.concat "\"\"" (String.split_on_char '"' s)
+            ^ "\""
+          else s
+        in
+        match m with
+        | Counter v -> Fmt.pf ppf "%s,counter,%d@." (quote name) v
+        | Gauge v -> Fmt.pf ppf "%s,gauge,%.6f@." (quote name) v)
+      snap.metrics
+
+  let write_metrics_csv path snap =
+    with_out_file path (fun ppf -> metrics_csv ppf snap);
+    Log.info (fun m ->
+        m "wrote %d metrics to %s" (List.length snap.metrics) path)
+end

@@ -1,0 +1,125 @@
+(** Pipeline-wide tracing and metrics.
+
+    A global, single-threaded telemetry registry: hierarchical wall-clock
+    spans ([with_span]), monotonic counters and gauges, and pluggable
+    sinks — a Chrome trace-event JSON exporter (open the file in
+    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}), a
+    plain-text span-tree summary with self/total times, and a CSV metrics
+    dump.
+
+    Telemetry is disabled by default and near-zero-cost in that state:
+    every recording entry point checks one boolean and returns.  Enable
+    it around the region of interest (or use [capture] for an isolated
+    recording), then render a [snapshot] through a sink.
+
+    Diagnostic messages go through the [Logs] library under the
+    ["telemetry"] source. *)
+
+type span = {
+  id : int;  (** unique per recording, increasing in open order *)
+  parent : int option;  (** id of the enclosing span, if any *)
+  name : string;
+  start_us : float;  (** clock value when the span opened, microseconds *)
+  dur_us : float;  (** wall-clock duration, microseconds *)
+  args : (string * string) list;  (** free-form key/value annotations *)
+}
+
+type metric =
+  | Counter of int  (** monotonic: only ever incremented *)
+  | Gauge of float  (** last-write-wins *)
+
+type snapshot = {
+  spans : span list;  (** completed spans, in start order *)
+  metrics : (string * metric) list;  (** sorted by name *)
+}
+
+(** {1 Recording state} *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val is_enabled : unit -> bool
+
+(** Drop all recorded spans and metrics (open spans survive). *)
+val reset : unit -> unit
+
+(** Override the clock (microsecond readings) — for deterministic tests.
+    [set_clock None] restores the wall clock. *)
+val set_clock : (unit -> float) option -> unit
+
+(** {1 Recording} *)
+
+(** [with_span name f] runs [f] inside a span.  The span is recorded
+    (closed) even if [f] raises.  When telemetry is disabled this is
+    just [f ()]. *)
+val with_span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+(** Attach an annotation to the innermost open span (no-op when disabled
+    or when no span is open). *)
+val span_arg : string -> string -> unit
+
+(** Increment a monotonic counter.  Raises [Invalid_argument] on a
+    negative increment or if [name] is already a gauge. *)
+val incr : ?by:int -> string -> unit
+
+(** Set a gauge.  Raises [Invalid_argument] if [name] is already a
+    counter. *)
+val set_gauge : string -> float -> unit
+
+(** Current value of a counter (0 when unknown). *)
+val counter_value : string -> int
+
+(** [timed name f] measures [f] with the telemetry clock and returns the
+    elapsed seconds alongside the result.  When telemetry is enabled the
+    measurement is also recorded as a span, so externally reported times
+    and the trace come from the same clock. *)
+val timed : string -> (unit -> 'a) -> 'a * float
+
+(** {1 Snapshots} *)
+
+(** The completed spans and metrics recorded so far. *)
+val snapshot : unit -> snapshot
+
+(** [capture f] runs [f] with telemetry enabled on a fresh, private
+    recording and returns the resulting snapshot; the previous global
+    recording state (including enabledness) is restored afterwards, even
+    if [f] raises. *)
+val capture : (unit -> 'a) -> 'a * snapshot
+
+module Snapshot : sig
+  val spans_named : snapshot -> string -> span list
+
+  (** Sum of the durations of all spans with this name, in seconds. *)
+  val total_seconds : snapshot -> string -> float
+
+  val find_counter : snapshot -> string -> int option
+  val find_gauge : snapshot -> string -> float option
+
+  (** Direct children of a span, in start order. *)
+  val children : snapshot -> span -> span list
+end
+
+(** {1 Sinks} *)
+
+module Sink : sig
+  (** Chrome trace-event JSON (one complete ["X"] event per span, one
+      ["C"] counter sample per metric).  Load in [chrome://tracing] or
+      Perfetto. *)
+  val chrome_trace : Format.formatter -> snapshot -> unit
+
+  val write_chrome_trace : string -> snapshot -> unit
+
+  (** Plain-text span tree: spans aggregated by name under their parent,
+      with total time, self time (total minus direct children) and call
+      counts. *)
+  val span_tree : Format.formatter -> snapshot -> unit
+
+  val metrics_table : Format.formatter -> snapshot -> unit
+
+  (** [span_tree] followed by [metrics_table]. *)
+  val summary : Format.formatter -> snapshot -> unit
+
+  (** CSV dump of the metrics: [name,kind,value] with a header row. *)
+  val metrics_csv : Format.formatter -> snapshot -> unit
+
+  val write_metrics_csv : string -> snapshot -> unit
+end

@@ -13,4 +13,5 @@ let () =
       ("sched", Test_sched.suite);
       ("partition", Test_partition.suite);
       ("pipeline", Test_pipeline.suite);
+      ("telemetry", Test_telemetry.suite);
     ]

@@ -1,0 +1,472 @@
+(** Telemetry subsystem tests: span nesting/ordering invariants,
+    disabled-mode no-op behavior, counter monotonicity, and a property
+    test that the Chrome trace-event exporter always emits parseable
+    JSON whose events are complete (ph "X") — plus an integration check
+    that the instrumented pipeline records every stage span. *)
+
+(* ------------------------------------------------------------------ *)
+(* A minimal JSON parser — the repo deliberately has no JSON dependency,
+   so the exporter is validated against this independent reader.       *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected %c" c)
+    in
+    let literal word v =
+      String.iter expect word;
+      v
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' -> (
+            advance ();
+            match peek () with
+            | None -> fail "unterminated escape"
+            | Some c ->
+                advance ();
+                (match c with
+                | '"' -> Buffer.add_char buf '"'
+                | '\\' -> Buffer.add_char buf '\\'
+                | '/' -> Buffer.add_char buf '/'
+                | 'b' -> Buffer.add_char buf '\b'
+                | 'f' -> Buffer.add_char buf '\012'
+                | 'n' -> Buffer.add_char buf '\n'
+                | 'r' -> Buffer.add_char buf '\r'
+                | 't' -> Buffer.add_char buf '\t'
+                | 'u' ->
+                    if !pos + 4 > n then fail "truncated \\u escape";
+                    let hex = String.sub s !pos 4 in
+                    pos := !pos + 4;
+                    let code =
+                      try int_of_string ("0x" ^ hex)
+                      with Failure _ -> fail "bad \\u escape"
+                    in
+                    if code < 0x100 then Buffer.add_char buf (Char.chr code)
+                    else Buffer.add_char buf '?'
+                | _ -> fail "unknown escape");
+                go ())
+        | Some c ->
+            if Char.code c < 0x20 then fail "raw control char in string";
+            advance ();
+            Buffer.add_char buf c;
+            go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let numchar = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while (match peek () with Some c -> numchar c | None -> false) do
+        advance ()
+      done;
+      if !pos = start then fail "expected number";
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> f
+      | None -> fail "malformed number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then (
+            advance ();
+            Obj [])
+          else
+            let rec members acc =
+              skip_ws ();
+              let key = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  members ((key, v) :: acc)
+              | Some '}' ->
+                  advance ();
+                  Obj (List.rev ((key, v) :: acc))
+              | _ -> fail "expected , or }"
+            in
+            members []
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then (
+            advance ();
+            Arr [])
+          else
+            let rec elements acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  elements (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  Arr (List.rev (v :: acc))
+              | _ -> fail "expected , or ]"
+            in
+            elements []
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> Num (parse_number ())
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+
+(** Deterministic clock: every reading advances by 1us. *)
+let with_fake_clock f =
+  let t = ref 0. in
+  Telemetry.set_clock
+    (Some
+       (fun () ->
+         t := !t +. 1.;
+         !t));
+  Fun.protect ~finally:(fun () -> Telemetry.set_clock None) f
+
+let render_chrome snap =
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  Telemetry.Sink.chrome_trace ppf snap;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let span_names (snap : Telemetry.snapshot) =
+  List.map (fun (sp : Telemetry.span) -> sp.Telemetry.name) snap.Telemetry.spans
+
+(* ------------------------------------------------------------------ *)
+(* Span invariants                                                     *)
+
+let test_nesting_and_ordering () =
+  with_fake_clock @@ fun () ->
+  let (), snap =
+    Telemetry.capture (fun () ->
+        Telemetry.with_span "a" (fun () ->
+            Telemetry.with_span "b" (fun () -> ());
+            Telemetry.with_span "c" (fun () -> ())))
+  in
+  match snap.Telemetry.spans with
+  | [ a; b; c ] ->
+      Alcotest.(check (list string)) "start order" [ "a"; "b"; "c" ]
+        (span_names snap);
+      Alcotest.(check bool) "a is a root" true (a.Telemetry.parent = None);
+      Alcotest.(check bool) "b under a" true
+        (b.Telemetry.parent = Some a.Telemetry.id);
+      Alcotest.(check bool) "c under a" true
+        (c.Telemetry.parent = Some a.Telemetry.id);
+      let ends (sp : Telemetry.span) =
+        sp.Telemetry.start_us +. sp.Telemetry.dur_us
+      in
+      Alcotest.(check bool) "b contained in a" true
+        (a.Telemetry.start_us < b.Telemetry.start_us && ends b < ends a);
+      Alcotest.(check bool) "c contained in a" true
+        (a.Telemetry.start_us < c.Telemetry.start_us && ends c < ends a);
+      Alcotest.(check bool) "siblings do not overlap" true
+        (ends b < c.Telemetry.start_us);
+      Alcotest.(check bool) "children listed under a" true
+        (List.map
+           (fun (sp : Telemetry.span) -> sp.Telemetry.name)
+           (Telemetry.Snapshot.children snap a)
+        = [ "b"; "c" ])
+  | spans -> Alcotest.failf "expected 3 spans, got %d" (List.length spans)
+
+let test_span_closes_on_exception () =
+  let (), snap =
+    Telemetry.capture (fun () ->
+        try
+          Telemetry.with_span "outer" (fun () ->
+              Telemetry.with_span "inner" (fun () -> failwith "boom"))
+        with Failure _ -> ())
+  in
+  Alcotest.(check (list string))
+    "both spans recorded" [ "outer"; "inner" ] (span_names snap);
+  match snap.Telemetry.spans with
+  | [ outer; inner ] ->
+      Alcotest.(check bool) "inner still nested" true
+        (inner.Telemetry.parent = Some outer.Telemetry.id)
+  | _ -> Alcotest.fail "expected 2 spans"
+
+let test_timed_agrees_with_span () =
+  with_fake_clock @@ fun () ->
+  let (secs, snap) =
+    Telemetry.capture (fun () -> snd (Telemetry.timed "work" (fun () -> ())))
+  in
+  Alcotest.(check bool) "span recorded" true
+    (Telemetry.Snapshot.spans_named snap "work" <> []);
+  (* the timed window encloses the span: 4 clock readings total *)
+  Alcotest.(check (float 1e-9)) "elapsed from the same clock" 3e-6 secs
+
+(* ------------------------------------------------------------------ *)
+(* Disabled mode                                                       *)
+
+let test_disabled_is_noop () =
+  Telemetry.disable ();
+  Telemetry.reset ();
+  let ran = ref false in
+  let r = Telemetry.with_span "ghost" (fun () -> ran := true; 41 + 1) in
+  Telemetry.incr "ghost.counter";
+  Telemetry.set_gauge "ghost.gauge" 1.0;
+  Telemetry.span_arg "k" "v";
+  Alcotest.(check bool) "body ran" true !ran;
+  Alcotest.(check int) "result passed through" 42 r;
+  let snap = Telemetry.snapshot () in
+  Alcotest.(check int) "no spans" 0 (List.length snap.Telemetry.spans);
+  Alcotest.(check int) "no metrics" 0 (List.length snap.Telemetry.metrics);
+  Alcotest.(check int) "counter reads 0" 0
+    (Telemetry.counter_value "ghost.counter")
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+
+let test_counter_monotonicity () =
+  let (), snap =
+    Telemetry.capture (fun () ->
+        Telemetry.incr "c";
+        Telemetry.incr "c" ~by:4;
+        Telemetry.incr "c" ~by:0;
+        Alcotest.(check int) "accumulates" 5 (Telemetry.counter_value "c");
+        (match Telemetry.incr "c" ~by:(-1) with
+        | () -> Alcotest.fail "negative increment accepted"
+        | exception Invalid_argument _ -> ());
+        Alcotest.(check int) "unchanged after rejected decrement" 5
+          (Telemetry.counter_value "c");
+        Telemetry.set_gauge "g" 2.5;
+        Telemetry.set_gauge "g" 1.5;
+        (match Telemetry.set_gauge "c" 0. with
+        | () -> Alcotest.fail "gauge write to a counter accepted"
+        | exception Invalid_argument _ -> ());
+        match Telemetry.incr "g" with
+        | () -> Alcotest.fail "counter increment of a gauge accepted"
+        | exception Invalid_argument _ -> ())
+  in
+  Alcotest.(check (option int)) "counter in snapshot" (Some 5)
+    (Telemetry.Snapshot.find_counter snap "c");
+  Alcotest.(check (option (float 1e-9))) "gauge last-write-wins" (Some 1.5)
+    (Telemetry.Snapshot.find_gauge snap "g")
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace exporter property                                      *)
+
+(** Random span forests of bounded size. *)
+type tree = Node of string * tree list
+
+let tree_gen =
+  QCheck.Gen.(
+    let name_gen =
+      oneof
+        [
+          string_size ~gen:printable (int_range 0 12);
+          string_size ~gen:char (int_range 0 8);
+        ]
+    in
+    sized
+    @@ fix (fun self size ->
+           map2
+             (fun name children -> Node (name, children))
+             name_gen
+             (if size <= 0 then return []
+              else list_size (int_range 0 3) (self (size / 4)))))
+
+let forest_arb =
+  QCheck.make
+    ~print:(fun forest ->
+      let rec pp (Node (name, children)) =
+        Printf.sprintf "%S[%s]" name (String.concat ";" (List.map pp children))
+      in
+      String.concat ";" (List.map pp forest))
+    QCheck.Gen.(list_size (int_range 0 4) tree_gen)
+
+let rec replay (Node (name, children)) =
+  Telemetry.with_span name (fun () -> List.iter replay children)
+
+let rec count_nodes (Node (_, children)) =
+  1 + List.fold_left (fun a t -> a + count_nodes t) 0 children
+
+let chrome_trace_parses =
+  QCheck.Test.make ~name:"chrome trace is parseable JSON, all events complete"
+    ~count:100 forest_arb (fun forest ->
+      let (), snap =
+        with_fake_clock (fun () ->
+            Telemetry.capture (fun () ->
+                List.iter replay forest;
+                Telemetry.incr "events.total"
+                  ~by:(List.fold_left (fun a t -> a + count_nodes t) 0 forest);
+                Telemetry.set_gauge "a \"quoted\"\ngauge" 1.25))
+      in
+      let json = Json.parse (render_chrome snap) in
+      let events =
+        match Json.member "traceEvents" json with
+        | Some (Json.Arr evs) -> evs
+        | _ -> QCheck.Test.fail_report "no traceEvents array"
+      in
+      let expected_spans =
+        List.fold_left (fun a t -> a + count_nodes t) 0 forest
+      in
+      let phase e =
+        match Json.member "ph" e with
+        | Some (Json.Str p) -> p
+        | _ -> QCheck.Test.fail_report "event without ph"
+      in
+      let xs = List.filter (fun e -> phase e = "X") events in
+      let begins = List.filter (fun e -> phase e = "B") events in
+      let ends = List.filter (fun e -> phase e = "E") events in
+      (* every duration event is complete ("X"), or — if an exporter ever
+         switches to B/E pairs — they must match up *)
+      if List.length begins <> List.length ends then
+        QCheck.Test.fail_report "unmatched B/E events";
+      if List.length xs + List.length begins <> expected_spans then
+        QCheck.Test.fail_reportf "expected %d duration events, got %d"
+          expected_spans
+          (List.length xs + List.length begins);
+      List.for_all
+        (fun e ->
+          match
+            (Json.member "name" e, Json.member "ts" e, Json.member "dur" e)
+          with
+          | Some (Json.Str _), Some (Json.Num ts), Some (Json.Num dur) ->
+              ts >= 0. && dur >= 0.
+          | _ -> QCheck.Test.fail_report "X event missing name/ts/dur")
+        xs)
+
+let chrome_trace_roundtrips_names =
+  QCheck.Test.make ~name:"chrome trace preserves span names exactly"
+    ~count:100 forest_arb (fun forest ->
+      let (), snap =
+        with_fake_clock (fun () ->
+            Telemetry.capture (fun () -> List.iter replay forest))
+      in
+      let json = Json.parse (render_chrome snap) in
+      let events =
+        match Json.member "traceEvents" json with
+        | Some (Json.Arr evs) -> evs
+        | _ -> QCheck.Test.fail_report "no traceEvents array"
+      in
+      let exported =
+        List.filter_map
+          (fun e ->
+            match (Json.member "ph" e, Json.member "name" e) with
+            | Some (Json.Str "X"), Some (Json.Str n) -> Some n
+            | _ -> None)
+          events
+        |> List.sort compare
+      in
+      let recorded = List.sort compare (span_names snap) in
+      exported = recorded)
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline integration: every stage leaves a span                     *)
+
+let test_pipeline_records_stage_spans () =
+  let b = Benchsuite.Suite.find "fsed" in
+  let (), snap =
+    Telemetry.capture (fun () ->
+        let p = Gdp_core.Pipeline.prepare b in
+        let ctx = Gdp_core.Pipeline.context p in
+        let e = Gdp_core.Pipeline.evaluate ctx Partition.Methods.Gdp in
+        match Gdp_core.Pipeline.verify p ctx e with
+        | Ok () -> ()
+        | Error m -> Alcotest.fail m)
+  in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " span recorded") true
+        (Telemetry.Snapshot.spans_named snap name <> []))
+    [
+      "prepare";
+      "parse";
+      "optimize";
+      "profile";
+      "context";
+      "access-merge";
+      "evaluate";
+      "graph-partition";
+      "coarsen-level";
+      "initial-partition";
+      "rhop";
+      "rhop-region";
+      "move-insert";
+      "schedule";
+      "schedule-block";
+      "verify";
+      "simulate";
+    ];
+  Alcotest.(check bool) "rhop iterated" true
+    (match Telemetry.Snapshot.find_counter snap "rhop.iterations" with
+    | Some n -> n > 0
+    | None -> false);
+  Alcotest.(check bool) "partition quality gauges present" true
+    (Telemetry.Snapshot.find_gauge snap "gdp.cut_edges" <> None
+    && Telemetry.Snapshot.find_gauge snap "sched.total_cycles" <> None);
+  (* the trace of a real pipeline run is valid JSON too *)
+  match Json.parse (render_chrome snap) with
+  | Json.Obj _ -> ()
+  | _ -> Alcotest.fail "pipeline trace did not parse as a JSON object"
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    Alcotest.test_case "span nesting and ordering" `Quick
+      test_nesting_and_ordering;
+    Alcotest.test_case "spans close on exception" `Quick
+      test_span_closes_on_exception;
+    Alcotest.test_case "timed uses the telemetry clock" `Quick
+      test_timed_agrees_with_span;
+    Alcotest.test_case "disabled mode is a no-op" `Quick
+      test_disabled_is_noop;
+    Alcotest.test_case "counter monotonicity and gauge kinds" `Quick
+      test_counter_monotonicity;
+    QCheck_alcotest.to_alcotest chrome_trace_parses;
+    QCheck_alcotest.to_alcotest chrome_trace_roundtrips_names;
+    Alcotest.test_case "pipeline records every stage span" `Quick
+      test_pipeline_records_stage_spans;
+  ]
