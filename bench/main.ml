@@ -10,6 +10,8 @@
    Flags (before experiment names):
      --timings       print a per-experiment wall-time table at the end
      --trace FILE    record telemetry and write a Chrome trace
+     --json FILE     dump per-experiment wall times and bechamel ns/run
+                     estimates as machine-readable JSON
 
    Experiments: table1 fig2 fig7 fig8a fig8b fig9a fig9b fig10
    compile-time ablate-merge ablate-imbalance ablate-clusters *)
@@ -64,26 +66,58 @@ let ablate_hetero () =
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-timing of the partitioning passes (Section 4.5's
    claim is about compile time, so we measure the compiler, not the
-   simulated program).                                                 *)
+   simulated program).  Besides the full methods, the multilevel graph
+   partitioner is timed in isolation on the GDP program graphs of three
+   benchmarks, so partitioner speedups are visible independently of
+   RHOP and scheduling.                                                *)
 
-let bechamel () =
+let bechamel_benches = [ "rawcaudio"; "fir"; "mpeg2enc" ]
+
+(** Run the bechamel suite; returns [(test name, ns/run estimate)] rows,
+    sorted by name ([None] when OLS produced no estimate). *)
+let bechamel_results () : (string * float option) list =
   let open Bechamel in
   let machine = Vliw_machine.paper_machine ~move_latency:5 () in
   let prepared =
     List.map
       (fun name -> (name, Pipeline.prepare (Benchsuite.Suite.find name)))
-      [ "rawcaudio"; "fir"; "mpeg2enc" ]
+      bechamel_benches
   in
   let tests =
     List.concat_map
       (fun (name, p) ->
         let ctx = Pipeline.context ~machine p in
-        List.map
-          (fun m ->
+        let method_tests =
+          List.map
+            (fun m ->
+              Test.make
+                ~name:(Fmt.str "%s/%s" name (Partition.Methods.name m))
+                (Staged.stage (fun () -> ignore (Partition.Methods.run m ctx))))
+            Partition.Methods.all
+        in
+        (* the METIS stand-in alone, on the real program graph *)
+        let prob =
+          Partition.Gdp.build_problem ~machine
+            ~prog:ctx.Partition.Methods.prog ~merge:ctx.Partition.Methods.merge
+            ~dfg:ctx.Partition.Methods.dfg
+            ~profile:ctx.Partition.Methods.profile ()
+        in
+        let graph = prob.Partition.Gdp.graph
+        and pcfg = prob.Partition.Gdp.pconfig in
+        let partitioner_tests =
+          [
             Test.make
-              ~name:(Fmt.str "%s/%s" name (Partition.Methods.name m))
-              (Staged.stage (fun () -> ignore (Partition.Methods.run m ctx))))
-          Partition.Methods.all)
+              ~name:(Fmt.str "%s/partitioner-bisect" name)
+              (Staged.stage (fun () ->
+                   ignore (Graphpart.Partitioner.bisect ~config:pcfg graph)));
+            Test.make
+              ~name:(Fmt.str "%s/partitioner-kway4" name)
+              (Staged.stage (fun () ->
+                   ignore
+                     (Graphpart.Partitioner.kway ~config:pcfg graph ~nparts:4)));
+          ]
+        in
+        method_tests @ partitioner_tests)
       prepared
   in
   let test = Test.make_grouped ~name:"partitioning" ~fmt:"%s %s" tests in
@@ -95,22 +129,72 @@ let bechamel () =
   let raw = Benchmark.all cfg instances test in
   let results = List.map (fun i -> Analyze.all ols i raw) instances in
   let merged = Analyze.merge ols instances results in
-  Hashtbl.iter
-    (fun measure tbl ->
-      Fmt.pr "@.measure: %s@." measure;
-      let rows =
-        Hashtbl.fold (fun name v acc -> (name, v) :: acc) tbl []
-        |> List.sort compare
-      in
-      List.iter
-        (fun (name, ols_result) ->
-          match Bechamel.Analyze.OLS.estimates ols_result with
-          | Some (est :: _) -> Fmt.pr "  %-36s %12.0f ns/run@." name est
-          | Some [] | None -> Fmt.pr "  %-36s (no estimate)@." name)
-        rows)
-    merged
+  Hashtbl.fold
+    (fun _measure tbl acc ->
+      Hashtbl.fold
+        (fun name ols_result acc ->
+          let est =
+            match Bechamel.Analyze.OLS.estimates ols_result with
+            | Some (est :: _) -> Some est
+            | Some [] | None -> None
+          in
+          (name, est) :: acc)
+        tbl acc)
+    merged []
+  |> List.sort compare
+
+let render_bechamel rows =
+  Fmt.pr "@.measure: monotonic-clock (ns/run)@.";
+  List.iter
+    (fun (name, est) ->
+      match est with
+      | Some est -> Fmt.pr "  %-44s %12.0f ns/run@." name est
+      | None -> Fmt.pr "  %-44s (no estimate)@." name)
+    rows
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable dump (--json FILE): per-experiment wall times plus
+   bechamel ns/run estimates.  BENCH_partitioner.json at the repo root
+   is a committed snapshot of this output tracking the perf trajectory. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json path ~(timings : (string * float) list)
+    ~(bechamel : (string * float option) list) =
+  let oc = open_out path in
+  let pf fmt = Printf.fprintf oc fmt in
+  pf "{\n  \"schema\": \"gdp-bench/1\",\n";
+  pf "  \"experiments\": [";
+  List.iteri
+    (fun i (name, secs) ->
+      pf "%s\n    {\"name\": \"%s\", \"seconds\": %.6f}"
+        (if i = 0 then "" else ",")
+        (json_escape name) secs)
+    timings;
+  pf "\n  ],\n";
+  pf "  \"bechamel\": [";
+  List.iteri
+    (fun i (name, est) ->
+      pf "%s\n    {\"name\": \"%s\", \"ns_per_run\": %s}"
+        (if i = 0 then "" else ",")
+        (json_escape name)
+        (match est with Some e -> Printf.sprintf "%.1f" e | None -> "null"))
+    bechamel;
+  pf "\n  ]\n}\n";
+  close_out oc;
+  Fmt.pr "wrote %s@." path
 
 let experiments =
   [
@@ -145,21 +229,35 @@ let render_timings rows =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let rec parse_flags timings trace = function
-    | "--timings" :: rest -> parse_flags true trace rest
-    | "--trace" :: file :: rest -> parse_flags timings (Some file) rest
+  let rec parse_flags timings trace json = function
+    | "--timings" :: rest -> parse_flags true trace json rest
+    | "--trace" :: file :: rest -> parse_flags timings (Some file) json rest
     | [ "--trace" ] ->
         Fmt.epr "--trace needs a file argument@.";
         exit 1
-    | rest -> (timings, trace, rest)
+    | "--json" :: file :: rest -> parse_flags timings trace (Some file) rest
+    | [ "--json" ] ->
+        Fmt.epr "--json needs a file argument@.";
+        exit 1
+    | rest -> (timings, trace, json, rest)
   in
-  let timings, trace, args = parse_flags false None args in
-  if timings || trace <> None then Telemetry.enable ();
+  let timings, trace, json, args = parse_flags false None None args in
+  if timings || trace <> None || json <> None then Telemetry.enable ();
+  (* bechamel rows collected if the pseudo-experiment ran this invocation *)
+  let bech = ref [] in
+  let run_bechamel () =
+    let rows = bechamel_results () in
+    bech := rows;
+    render_bechamel rows
+  in
   let finish rows =
     if timings then render_timings rows;
-    match trace with
+    (match trace with
     | Some path ->
         Telemetry.Sink.write_chrome_trace path (Telemetry.snapshot ())
+    | None -> ());
+    match json with
+    | Some path -> write_json path ~timings:rows ~bechamel:!bech
     | None -> ()
   in
   match args with
@@ -176,12 +274,14 @@ let () =
   | [ "list" ] ->
       List.iter (fun (n, _) -> Fmt.pr "%s@." n) experiments;
       Fmt.pr "bechamel@."
-  | [ "bechamel" ] -> bechamel ()
   | names ->
       finish
         (List.map
            (fun n ->
-             match List.assoc_opt n experiments with
+             match
+               if n = "bechamel" then Some run_bechamel
+               else List.assoc_opt n experiments
+             with
              | Some f -> run_timed n f
              | None ->
                  Fmt.epr "unknown experiment %s (try: list)@." n;

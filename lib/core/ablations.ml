@@ -21,7 +21,7 @@ let merge_ablation ?(benches = Benchsuite.Suite.all) ?(move_latency = 5) () :
   let machine = Vliw_machine.paper_machine ~move_latency () in
   List.map
     (fun b ->
-      let p = Pipeline.prepare b in
+      let p = Pipeline.prepare_default b in
       let run merge_low_slack =
         let ctx = Pipeline.context ~machine ~merge_low_slack p in
         let e = Pipeline.evaluate ctx Methods.Gdp in
@@ -73,7 +73,7 @@ let imbalance_sweep ?(benches = Benchsuite.Suite.all) ?(move_latency = 5)
   let machine = Vliw_machine.paper_machine ~move_latency () in
   List.map
     (fun b ->
-      let p = Pipeline.prepare b in
+      let p = Pipeline.prepare_default b in
       let ctx = Pipeline.context ~machine p in
       let points =
         List.map
@@ -135,7 +135,7 @@ let heterogeneous ?(benches = Benchsuite.Suite.all) ?(move_latency = 5) () :
   let machine = heterogeneous_machine ~move_latency () in
   List.map
     (fun b ->
-      let p = Pipeline.prepare b in
+      let p = Pipeline.prepare_default b in
       let ctx = Pipeline.context ~machine p in
       let cycles =
         List.map
@@ -192,7 +192,7 @@ let bug_comparison ?(benches = Benchsuite.Suite.all) ?(move_latency = 5) () :
   let machine = Vliw_machine.paper_machine ~move_latency () in
   List.map
     (fun b ->
-      let p = Pipeline.prepare b in
+      let p = Pipeline.prepare_default b in
       let ctx = Pipeline.context ~machine p in
       let evaluate_with partition homes =
         let assign =
@@ -275,7 +275,7 @@ let four_clusters ?(benches = Benchsuite.Suite.all) ?(move_latency = 5) () :
   let machine = Vliw_machine.scaled_machine ~clusters:4 ~move_latency () in
   List.map
     (fun b ->
-      let p = Pipeline.prepare b in
+      let p = Pipeline.prepare_default b in
       let ctx = Pipeline.context ~machine p in
       let cycles =
         List.map

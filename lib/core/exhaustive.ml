@@ -57,7 +57,7 @@ let balance_of ~group_bytes mapping =
 
 let run ?(move_latency = 5) (bench : Benchsuite.Bench_intf.t) : result =
   let machine = Vliw_machine.paper_machine ~move_latency () in
-  let p = Pipeline.prepare bench in
+  let p = Pipeline.prepare_default bench in
   let ctx = Pipeline.context ~machine p in
   let groups = Merge.data_groups ctx.Methods.merge in
   let k = List.length groups in

@@ -20,6 +20,13 @@ val prepare :
   Benchsuite.Bench_intf.t ->
   prepared
 
+(** [prepare] with default flags, memoized by benchmark name — the
+    front end is deterministic, so latency sweeps that revisit the same
+    benchmark reuse one compile + profile.  The memo is a plain
+    [Hashtbl] with no locking: this library is single-threaded.  Callers
+    that vary the optional flags must use [prepare] directly. *)
+val prepare_default : Benchsuite.Bench_intf.t -> prepared
+
 (** Partitioning context on a machine (default: the paper's 2-cluster
     machine at 5-cycle move latency). *)
 val context :

@@ -1,0 +1,30 @@
+(** Max-priority queue over node ids [0 .. n-1] for FM-style refinement:
+    a classic gain-bucket array (O(1) updates) when the priority range
+    is small, a positioned binary max-heap (O(log n)) when edge weights
+    make the range too wide — both yielding candidates in exactly the
+    same order (decreasing priority, then increasing node id), so
+    results never depend on the backend. *)
+
+type t
+
+(** [create ~n ~max_prio] holds nodes [0 .. n-1] with priorities in
+    [-max_prio .. max_prio]. *)
+val create : n:int -> max_prio:int -> t
+
+val cardinal : t -> int
+val mem : t -> int -> bool
+
+(** Raises [Invalid_argument] if the node is already present. *)
+val insert : t -> int -> prio:int -> unit
+
+(** Removes the node if present; a no-op otherwise. *)
+val remove : t -> int -> unit
+
+(** Re-prioritize a present node.  Raises [Invalid_argument] if
+    absent. *)
+val update : t -> int -> prio:int -> unit
+
+(** Highest-priority member accepted by [accept] — ties broken toward
+    the smallest node id — removed from the queue and returned.
+    Rejected members stay queued.  [accept] must be pure. *)
+val pop_best : t -> accept:(int -> bool) -> int option

@@ -7,6 +7,12 @@
     the total.  K-way partitioning (for the cluster-count ablation) is
     recursive bisection, powers of two only.
 
+    The hot paths run on the CSR arrays of [Graph] directly: coarsening
+    contracts into CSR with no intermediate edge lists ([Graph.contract]),
+    FM keeps its candidates in a gain bucket / heap ([Gain_pq]) with
+    incremental gain and cut maintenance instead of whole-graph rescans,
+    and greedy growing keeps its frontier in the same structure.
+
     All randomness is seeded; results are deterministic for a given
     [seed]. *)
 
@@ -21,6 +27,18 @@ type config = {
   coarsen_until : int;  (** stop coarsening below this many nodes *)
   initial_tries : int;  (** greedy-growing attempts on the coarsest graph *)
   fm_max_bad_moves : int;  (** FM hill-climbing patience *)
+  starts : int;
+      (** independent multilevel starts; coarsening tie-breaks are
+          random, so each start explores a different level hierarchy and
+          the best finest-level result wins *)
+  refine_cycles : int;
+      (** extra restricted V-cycles after the first multilevel pass: the
+          graph is re-coarsened with matching restricted to same-part
+          node pairs and refined again from the coarsest level up.  Each
+          cycle is monotone under the (infeasibility, cut) order — FM's
+          best-prefix rollback never worsens it — and lets refinement
+          move whole clusters of nodes at once, escaping the local
+          minima single-node FM gets stuck in. *)
 }
 
 let default_config ~ncon =
@@ -31,6 +49,8 @@ let default_config ~ncon =
     coarsen_until = 24;
     initial_tries = 8;
     fm_max_bad_moves = 32;
+    starts = 5;
+    refine_cycles = 3;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -77,8 +97,11 @@ type level = {
 }
 
 (** One round of heavy-edge matching.  Returns the coarse graph and the
-    fine->coarse map, or [None] if matching cannot shrink the graph. *)
-let coarsen_once rng (g : Graph.t) : (Graph.t * int array) option =
+    fine->coarse map, or [None] if matching cannot shrink the graph.
+    When [part] is given, only same-part nodes may match (restricted
+    coarsening: every coarse node then lies entirely in one part). *)
+let coarsen_once ?(part : int array option) rng (g : Graph.t) :
+    (Graph.t * int array) option =
   let n = Graph.num_nodes g in
   let matched = Array.make n (-1) in
   let order = Array.init n Fun.id in
@@ -89,17 +112,25 @@ let coarsen_once rng (g : Graph.t) : (Graph.t * int array) option =
     order.(i) <- order.(j);
     order.(j) <- t
   done;
+  let xadj = Graph.adj_offsets g
+  and adjncy = Graph.adj_targets g
+  and adjwgt = Graph.adj_weights g in
+  let same_part =
+    match part with
+    | None -> fun _ _ -> true
+    | Some p -> fun u v -> p.(u) = p.(v)
+  in
   Array.iter
     (fun v ->
       if matched.(v) = -1 then begin
         let best = ref (-1) and best_w = ref (-1) in
-        List.iter
-          (fun (u, w) ->
-            if matched.(u) = -1 && u <> v && w > !best_w then begin
-              best := u;
-              best_w := w
-            end)
-          (Graph.neighbors g v);
+        for i = xadj.(v) to xadj.(v + 1) - 1 do
+          let u = adjncy.(i) and w = adjwgt.(i) in
+          if matched.(u) = -1 && w > !best_w && same_part u v then begin
+            best := u;
+            best_w := w
+          end
+        done;
         if !best >= 0 then begin
           matched.(v) <- !best;
           matched.(!best) <- v
@@ -120,34 +151,17 @@ let coarsen_once rng (g : Graph.t) : (Graph.t * int array) option =
   done;
   let cn = !next in
   if cn >= n then None
-  else begin
-    let ncon = Graph.num_constraints g in
-    let weights = Array.init cn (fun _ -> Array.make ncon 0) in
-    for v = 0 to n - 1 do
-      let cv = coarse_of.(v) in
-      for c = 0 to ncon - 1 do
-        weights.(cv).(c) <- weights.(cv).(c) + Graph.node_weight g v c
-      done
-    done;
-    let edges = ref [] in
-    for v = 0 to n - 1 do
-      List.iter
-        (fun (u, w) ->
-          if v < u then begin
-            let cv = coarse_of.(v) and cu = coarse_of.(u) in
-            if cv <> cu then edges := (cv, cu, w) :: !edges
-          end)
-        (Graph.neighbors g v)
-    done;
-    Some (Graph.create ~ncon ~weights ~edges:!edges, coarse_of)
-  end
+  else Some (Graph.contract g ~coarse_of ~num_coarse:cn, coarse_of)
 
 (** Coarsen down to [cfg.coarsen_until] nodes; returns the levels from
-    finest to coarsest (each with the map into the next) and the coarsest
-    graph. *)
-let coarsen rng cfg (g : Graph.t) : level list * Graph.t =
-  let rec go lvl acc g =
-    if Graph.num_nodes g <= cfg.coarsen_until then (List.rev acc, g)
+    finest to coarsest (each with the map into the next), the coarsest
+    graph, and — when [part] was given — [part] projected onto the
+    coarsest graph (restricted coarsening keeps each coarse node inside
+    one part, so the projection is well defined). *)
+let coarsen ?part rng cfg (g : Graph.t) :
+    level list * Graph.t * int array option =
+  let rec go lvl acc g part =
+    if Graph.num_nodes g <= cfg.coarsen_until then (List.rev acc, g, part)
     else
       match
         Telemetry.with_span "coarsen-level"
@@ -156,21 +170,31 @@ let coarsen rng cfg (g : Graph.t) : level list * Graph.t =
               ("level", string_of_int lvl);
               ("nodes", string_of_int (Graph.num_nodes g));
             ]
-          (fun () -> coarsen_once rng g)
+          (fun () -> coarsen_once ?part rng g)
       with
-      | None -> (List.rev acc, g)
-      | Some (cg, map) -> go (lvl + 1) ({ graph = g; coarse_of = map } :: acc) cg
+      | None -> (List.rev acc, g, part)
+      | Some (cg, map) ->
+          let cpart =
+            Option.map
+              (fun p ->
+                let cp = Array.make (Graph.num_nodes cg) 0 in
+                Array.iteri (fun v cv -> cp.(cv) <- p.(v)) map;
+                cp)
+              part
+          in
+          go (lvl + 1) ({ graph = g; coarse_of = map } :: acc) cg cpart
   in
-  go 0 [] g
+  go 0 [] g part
 
 (* ------------------------------------------------------------------ *)
 (* FM refinement                                                       *)
 
-(** Refine a bisection in place.  Classic FM with rollback: repeatedly
-    move the best-gain movable node, lock it, and finally keep the best
-    prefix of the move sequence (considering feasibility first, then cut).
-    Repeated for up to [passes] passes or until a pass yields no
-    improvement. *)
+(** Refine a bisection in place.  Classic gain-bucket FM with rollback:
+    repeatedly move the best-gain movable node out of the bucket
+    structure, lock it, update its neighbors' gains and the running cut
+    incrementally, and finally keep the best prefix of the move sequence
+    (considering feasibility first, then cut).  Repeated for up to
+    [passes] passes or until a pass yields no improvement. *)
 let fm_refine ?(passes = 4) (cfg : config) (g : Graph.t) (part : int array) :
     unit =
   let n = Graph.num_nodes g in
@@ -179,16 +203,27 @@ let fm_refine ?(passes = 4) (cfg : config) (g : Graph.t) (part : int array) :
   let pw =
     Array.init ncon (fun c -> Graph.part_weights g part ~nparts:2 c)
   in
+  let xadj = Graph.adj_offsets g
+  and adjncy = Graph.adj_targets g
+  and adjwgt = Graph.adj_weights g in
+  let max_gain = Graph.max_weighted_degree g in
   let gain = Array.make n 0 in
+  (* the cut is maintained incrementally through every move (and
+     rollback move) instead of being recomputed per pass *)
+  let cut = ref (Graph.edge_cut g part) in
   let compute_gain v =
     let s = part.(v) in
     let x = ref 0 in
-    List.iter
-      (fun (u, w) -> if part.(u) = s then x := !x - w else x := !x + w)
-      (Graph.neighbors g v);
+    for i = xadj.(v) to xadj.(v + 1) - 1 do
+      let w = adjwgt.(i) in
+      if part.(adjncy.(i)) = s then x := !x - w else x := !x + w
+    done;
     gain.(v) <- !x
   in
+  (* [pq]: the pass's bucket structure; moved/locked nodes are out of it *)
+  let active_pq = ref None in
   let move v =
+    cut := !cut - gain.(v);
     let s = part.(v) in
     part.(v) <- 1 - s;
     for c = 0 to ncon - 1 do
@@ -197,11 +232,17 @@ let fm_refine ?(passes = 4) (cfg : config) (g : Graph.t) (part : int array) :
       pw.(c).(1 - s) <- pw.(c).(1 - s) + w
     done;
     gain.(v) <- -gain.(v);
-    List.iter
-      (fun (u, w) ->
-        if part.(u) = part.(v) then gain.(u) <- gain.(u) - (2 * w)
-        else gain.(u) <- gain.(u) + (2 * w))
-      (Graph.neighbors g v)
+    let pv = part.(v) in
+    for i = xadj.(v) to xadj.(v + 1) - 1 do
+      let u = adjncy.(i) and w = adjwgt.(i) in
+      let gu =
+        if part.(u) = pv then gain.(u) - (2 * w) else gain.(u) + (2 * w)
+      in
+      gain.(u) <- gu;
+      match !active_pq with
+      | Some pq when Gain_pq.mem pq u -> Gain_pq.update pq u ~prio:gu
+      | _ -> ()
+    done
   in
   (* moving v to the other side keeps (or strictly improves) balance *)
   let move_ok v =
@@ -221,10 +262,13 @@ let fm_refine ?(passes = 4) (cfg : config) (g : Graph.t) (part : int array) :
     for v = 0 to n - 1 do
       compute_gain v
     done;
-    let locked = Array.make n false in
+    let pq = Gain_pq.create ~n ~max_prio:max_gain in
+    for v = 0 to n - 1 do
+      Gain_pq.insert pq v ~prio:gain.(v)
+    done;
+    active_pq := Some pq;
     let moves = ref [] in
-    let cur_cut = ref (Graph.edge_cut g part) in
-    let best_cut = ref !cur_cut in
+    let best_cut = ref !cut in
     let best_inf = ref (infeasibility ~caps pw) in
     let best_len = ref 0 in
     let len = ref 0 in
@@ -232,36 +276,26 @@ let fm_refine ?(passes = 4) (cfg : config) (g : Graph.t) (part : int array) :
     let improved = ref false in
     (try
        while !bad < cfg.fm_max_bad_moves do
-         (* pick the best-gain movable unlocked node *)
-         let best_v = ref (-1) in
-         for v = 0 to n - 1 do
-           if
-             (not locked.(v))
-             && move_ok v
-             && (!best_v = -1 || gain.(v) > gain.(!best_v))
-           then best_v := v
-         done;
-         if !best_v = -1 then raise Exit;
-         let v = !best_v in
-         cur_cut := !cur_cut - gain.(v);
-         move v;
-         locked.(v) <- true;
-         moves := v :: !moves;
-         incr len;
-         let inf = infeasibility ~caps pw in
-         if
-           inf < !best_inf
-           || (inf = !best_inf && !cur_cut < !best_cut)
-         then begin
-           best_inf := inf;
-           best_cut := !cur_cut;
-           best_len := !len;
-           bad := 0;
-           improved := true
-         end
-         else incr bad
+         (* best-gain movable node; moved nodes left the queue = locked *)
+         match Gain_pq.pop_best pq ~accept:move_ok with
+         | None -> raise Exit
+         | Some v ->
+             move v;
+             moves := v :: !moves;
+             incr len;
+             let inf = infeasibility ~caps pw in
+             if inf < !best_inf || (inf = !best_inf && !cut < !best_cut)
+             then begin
+               best_inf := inf;
+               best_cut := !cut;
+               best_len := !len;
+               bad := 0;
+               improved := true
+             end
+             else incr bad
        done
      with Exit -> ());
+    active_pq := None;
     (* roll back to the best prefix *)
     let rec rollback k ms =
       if k > 0 then
@@ -286,7 +320,10 @@ let fm_refine ?(passes = 4) (cfg : config) (g : Graph.t) (part : int array) :
 (* Initial partition                                                   *)
 
 (** Greedy graph growing: grow part 1 from a random seed node by best
-    gain until half of constraint-0's weight has been captured. *)
+    gain until half of constraint-0's weight has been captured.  The
+    frontier lives in a [Gain_pq] keyed by each node's connection weight
+    into part 1 (so picking the next node is O(1)-ish instead of a
+    whole-graph rescan). *)
 let grow_bisection rng cfg (g : Graph.t) : int array =
   let n = Graph.num_nodes g in
   let part = Array.make n 0 in
@@ -295,39 +332,39 @@ let grow_bisection rng cfg (g : Graph.t) : int array =
     let total0 = Graph.total_weight g 0 in
     let target = int_of_float (share cfg 0 1 *. float total0) in
     let seed = Random.State.int rng n in
-    let in1 = Array.make n false in
+    let conn = Array.make n 0 in
+    (* nodes with no connection get a penalty so connected growth is
+       preferred, but isolated nodes can still be taken *)
+    let score v = if conn.(v) = 0 then -1 else conn.(v) in
+    let pq =
+      Gain_pq.create ~n ~max_prio:(max 1 (Graph.max_weighted_degree g))
+    in
+    for v = 0 to n - 1 do
+      Gain_pq.insert pq v ~prio:(-1)
+    done;
     let grown = ref 0 in
     let add v =
       part.(v) <- 1;
-      in1.(v) <- true;
-      grown := !grown + Graph.node_weight g v 0
+      Gain_pq.remove pq v;
+      grown := !grown + Graph.node_weight g v 0;
+      Graph.iter_neighbors g v (fun u w ->
+          if part.(u) = 0 then begin
+            conn.(u) <- conn.(u) + w;
+            Gain_pq.update pq u ~prio:(score u)
+          end)
     in
     add seed;
-    (* frontier-driven growth: prefer the neighbor with the heaviest
-       connection into part 1 *)
     let continue_ = ref true in
     while !grown < target && !continue_ do
-      let best = ref (-1) and best_w = ref min_int in
-      for v = 0 to n - 1 do
-        if not in1.(v) then begin
-          let conn = ref 0 in
-          List.iter
-            (fun (u, w) -> if in1.(u) then conn := !conn + w)
-            (Graph.neighbors g v);
-          (* nodes with no connection get a penalty so connected growth
-             is preferred, but isolated nodes can still be taken *)
-          let score = if !conn = 0 then -1 else !conn in
-          if score > !best_w then begin
-            best := v;
-            best_w := score
-          end
-        end
-      done;
-      if !best = -1 then continue_ := false else add !best
+      match Gain_pq.pop_best pq ~accept:(fun _ -> true) with
+      | Some v -> add v
+      | None -> continue_ := false
     done;
     part
   end
 
+(** (infeasibility, cut) of a bisection under [cfg] — lexicographically
+    smaller is better; what [bisect] minimizes over its initial tries. *)
 let evaluate cfg g part =
   let ncon = Graph.num_constraints g in
   let pw = Array.init ncon (fun c -> Graph.part_weights g part ~nparts:2 c) in
@@ -347,23 +384,6 @@ let bisect ?(config : config option) (g : Graph.t) : int array =
   if Array.length cfg.imbalance <> Graph.num_constraints g then
     invalid_arg "Partitioner.bisect: imbalance arity mismatch";
   let rng = Random.State.make [| cfg.seed |] in
-  let levels, coarsest = coarsen rng cfg g in
-  (* initial: several greedy growings + FM, keep the best *)
-  let part =
-    Telemetry.with_span "initial-partition"
-      ~args:[ ("nodes", string_of_int (Graph.num_nodes coarsest)) ]
-      (fun () ->
-        let best = ref None in
-        for _try = 1 to cfg.initial_tries do
-          let part = grow_bisection rng cfg coarsest in
-          fm_refine cfg coarsest part;
-          let score = evaluate cfg coarsest part in
-          match !best with
-          | Some (bscore, _) when compare bscore score <= 0 -> ()
-          | _ -> best := Some (score, Array.copy part)
-        done;
-        match !best with Some (_, p) -> p | None -> assert false)
-  in
   (* uncoarsen: project through the levels (finest first in [levels]) *)
   let project (levels : level list) coarse_part =
     match levels with
@@ -393,7 +413,54 @@ let bisect ?(config : config option) (g : Graph.t) : int array =
           (0, coarse_part) rev
         |> snd
   in
-  project levels part
+  (* one full multilevel start: coarsen, several greedy growings + FM on
+     the coarsest graph, project the best back up *)
+  let one_start () =
+    let levels, coarsest, _ = coarsen rng cfg g in
+    let part =
+      Telemetry.with_span "initial-partition"
+        ~args:[ ("nodes", string_of_int (Graph.num_nodes coarsest)) ]
+        (fun () ->
+          let best = ref None in
+          for _try = 1 to cfg.initial_tries do
+            let part = grow_bisection rng cfg coarsest in
+            fm_refine cfg coarsest part;
+            let score = evaluate cfg coarsest part in
+            match !best with
+            | Some (bscore, _) when compare bscore score <= 0 -> ()
+            | _ -> best := Some (score, Array.copy part)
+          done;
+          match !best with Some (_, p) -> p | None -> assert false)
+    in
+    project levels part
+  in
+  (* restricted V-cycles: re-coarsen along the current partition and
+     refine again from the coarsest level up.  Monotone in the
+     (infeasibility, cut) order, so extra cycles can only help. *)
+  let vcycles part =
+    let part = ref part in
+    for _cycle = 1 to max 0 cfg.refine_cycles do
+      let levels, coarsest, cpart = coarsen ~part:!part rng cfg g in
+      let cpart = match cpart with Some p -> p | None -> !part in
+      fm_refine cfg coarsest cpart;
+      part := project levels cpart
+    done;
+    !part
+  in
+  (* coarsening ties are decided by the rng, so independent starts see
+     different level hierarchies; V-cycle each one and keep the best
+     finest-level result *)
+  let part = ref (vcycles (one_start ())) in
+  let score = ref (evaluate cfg g !part) in
+  for _start = 2 to max 1 cfg.starts do
+    let cand = vcycles (one_start ()) in
+    let cscore = evaluate cfg g cand in
+    if compare cscore !score < 0 then begin
+      part := cand;
+      score := cscore
+    end
+  done;
+  !part
 
 (** Recursive bisection into [nparts] (a power of two).  Imbalance is
     applied at every level, so the final tolerance compounds slightly. *)
@@ -405,35 +472,24 @@ let rec kway ?config (g : Graph.t) ~nparts : int array =
     let half = bisect ?config g in
     if nparts = 2 then half
     else begin
-      (* split each side into an induced subgraph and recurse *)
+      (* split each side into an induced CSR subgraph and recurse *)
       let n = Graph.num_nodes g in
-      let ncon = Graph.num_constraints g in
       let result = Array.make n 0 in
       List.iter
         (fun side ->
-          let ids = ref [] in
-          for v = n - 1 downto 0 do
-            if half.(v) = side then ids := v :: !ids
+          let count = ref 0 in
+          for v = 0 to n - 1 do
+            if half.(v) = side then incr count
           done;
-          let ids = Array.of_list !ids in
-          let index_of = Hashtbl.create (Array.length ids * 2) in
-          Array.iteri (fun i v -> Hashtbl.replace index_of v i) ids;
-          let weights =
-            Array.map
-              (fun v -> Array.init ncon (Graph.node_weight g v))
-              ids
-          in
-          let edges = ref [] in
-          Array.iteri
-            (fun i v ->
-              List.iter
-                (fun (u, w) ->
-                  match Hashtbl.find_opt index_of u with
-                  | Some j when i < j -> edges := (i, j, w) :: !edges
-                  | _ -> ())
-                (Graph.neighbors g v))
-            ids;
-          let sub = Graph.create ~ncon ~weights ~edges:!edges in
+          let ids = Array.make !count 0 in
+          let k = ref 0 in
+          for v = 0 to n - 1 do
+            if half.(v) = side then begin
+              ids.(!k) <- v;
+              incr k
+            end
+          done;
+          let sub = Graph.induce g ids in
           let sub_part = kway ?config sub ~nparts:(nparts / 2) in
           Array.iteri
             (fun i v ->

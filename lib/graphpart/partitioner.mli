@@ -1,7 +1,8 @@
 (** Multilevel multi-constraint graph bisection (METIS stand-in):
     heavy-edge-matching coarsening, greedy-growing initial bisection,
-    Fiduccia-Mattheyses refinement with rollback at every uncoarsening
-    level.  Deterministic for a given seed. *)
+    gain-bucket Fiduccia-Mattheyses refinement with rollback at every
+    uncoarsening level.  Deterministic for a given seed.  See
+    [docs/partitioner.md] for the pipeline and complexity. *)
 
 type config = {
   imbalance : float array;
@@ -13,6 +14,14 @@ type config = {
   coarsen_until : int;  (** stop coarsening below this many nodes *)
   initial_tries : int;  (** greedy-growing attempts on the coarsest graph *)
   fm_max_bad_moves : int;  (** FM hill-climbing patience *)
+  starts : int;
+      (** independent multilevel starts (different coarsening
+          tie-breaks); the best finest-level result wins *)
+  refine_cycles : int;
+      (** extra restricted V-cycles after the first multilevel pass;
+          each re-coarsens along the current partition and refines again
+          from the coarsest level up, and never worsens the
+          ([infeasibility], [cut]) order *)
 }
 
 val default_config : ncon:int -> config
@@ -24,3 +33,14 @@ val bisect : ?config:config -> Graph.t -> int array
 
 (** Recursive bisection into a power-of-two number of parts. *)
 val kway : ?config:config -> Graph.t -> nparts:int -> int array
+
+(** One FM refinement stage on an existing bisection, in place: up to
+    [passes] gain-bucket passes with best-prefix rollback.  Never makes
+    the partition worse under the ([infeasibility], [cut]) lexicographic
+    order.  Exposed for tests and benchmarks. *)
+val fm_refine : ?passes:int -> config -> Graph.t -> int array -> unit
+
+(** (infeasibility, cut) of a bisection under a configuration —
+    lexicographically smaller is better, (0, _) is feasible.  Exposed
+    for tests and benchmarks. *)
+val evaluate : config -> Graph.t -> int array -> int * int

@@ -13,61 +13,171 @@
       they are charged [xmove_weight] cycles each, additively.
 
     The final cost is lexicographic-ish: [100 * (bound + xmove term) +
-    in-block move count] so move count breaks ties. *)
+    in-block move count] so move count breaks ties.
+
+    [cost] is RHOP's innermost loop — it runs once per candidate move per
+    refinement pass — so everything iterable is precomputed into flat
+    arrays at [make] time (predecessor CSR with cut-flow flags, flow-edge
+    endpoint arrays, per-(cluster, kind) capacities) and the per-call
+    scratch lives in [t] and is reused.  A [t] is therefore
+    single-threaded, like the RHOP pass that owns it. *)
 
 module M = Vliw_machine
 module D = Vliw_sched.Deps
 
 type t = {
-  machine : M.t;
-  deps : D.t;
+  nclusters : int;
+  move_latency : int;
+  moves_per_cycle : int;
   n : int;
   fu_of : int array;  (** FU kind index per node *)
   lat : int array;
-  is_flow : (int * int, unit) Hashtbl.t;
-  pins : (int * int) list;  (** (node, home cluster of a live-in value) *)
-  couplings : (int * int) list;
-      (** (use node, def node) for loop-carried same-register pairs *)
+  caps : int array;  (** FU count per (cluster, kind), [c * nk + k] *)
+  (* predecessor lists in CSR form; entry [j] of node [i]'s row is
+     predecessor [pred_node.(j)] at latency [pred_lat.(j)], flagged in
+     [pred_flow] when the edge is a register flow edge (the only kind
+     stretched by cut-crossing) *)
+  pred_off : int array;
+  pred_node : int array;
+  pred_lat : int array;
+  pred_flow : bool array;
+  (* flow edges as parallel endpoint arrays, producer/consumer *)
+  fe_d : int array;
+  fe_u : int array;
+  pin_node : int array;  (** node with a live-in value pinned elsewhere *)
+  pin_home : int array;  (** home cluster of that value *)
+  coup_u : int array;  (** loop-carried same-register pairs: use, ... *)
+  coup_d : int array;  (** ... def *)
   drains : bool array;
       (** nodes defining a live-out value pay their full latency in the
           block's length (live-out drain, like [List_sched]) *)
   xmove_weight : int;
+  (* reusable scratch for [cost]/[count_moves] *)
+  usage : int array;  (** [c * nk + k] *)
+  level : int array;
+  seen : int array;  (** stamp per (producer, consumer cluster) pair *)
+  mutable seen_gen : int;
 }
 
 let make ~machine ~deps ~pins ~couplings ~live_out ~xmove_weight =
   let n = D.num_ops deps in
+  let nclusters = M.num_clusters machine in
+  let nk = M.fu_kind_count in
   let fu_of =
     Array.init n (fun i -> M.fu_kind_index (Vliw_ir.Op.fu_kind (D.op deps i)))
   in
   let lat = Array.init n (D.op_latency deps) in
+  let caps = Array.make (nclusters * nk) 0 in
+  for c = 0 to nclusters - 1 do
+    List.iter
+      (fun k ->
+        caps.((c * nk) + M.fu_kind_index k) <-
+          M.fu_count (M.cluster_of machine c) k)
+      M.all_fu_kinds
+  done;
+  let flow_edges = D.flow_edges deps in
   let is_flow = Hashtbl.create (2 * n) in
-  List.iter (fun (d, u, _) -> Hashtbl.replace is_flow (d, u) ()) (D.flow_edges deps);
+  List.iter (fun (d, u, _) -> Hashtbl.replace is_flow (d, u) ()) flow_edges;
+  let nfe = List.length flow_edges in
+  let fe_d = Array.make nfe 0 and fe_u = Array.make nfe 0 in
+  List.iteri
+    (fun i (d, u, _) ->
+      fe_d.(i) <- d;
+      fe_u.(i) <- u)
+    flow_edges;
+  let pred_off = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    pred_off.(i + 1) <- pred_off.(i) + List.length (D.preds deps i)
+  done;
+  let npred = pred_off.(n) in
+  let pred_node = Array.make npred 0
+  and pred_lat = Array.make npred 0
+  and pred_flow = Array.make npred false in
+  for i = 0 to n - 1 do
+    let j = ref pred_off.(i) in
+    List.iter
+      (fun (p, l) ->
+        pred_node.(!j) <- p;
+        pred_lat.(!j) <- l;
+        pred_flow.(!j) <- Hashtbl.mem is_flow (p, i);
+        incr j)
+      (D.preds deps i)
+  done;
+  let pin_node = Array.make (List.length pins) 0
+  and pin_home = Array.make (List.length pins) 0 in
+  List.iteri
+    (fun i (node, home) ->
+      pin_node.(i) <- node;
+      pin_home.(i) <- home)
+    pins;
+  let coup_u = Array.make (List.length couplings) 0
+  and coup_d = Array.make (List.length couplings) 0 in
+  List.iteri
+    (fun i (u, d) ->
+      coup_u.(i) <- u;
+      coup_d.(i) <- d)
+    couplings;
   let drains =
     Array.init n (fun i ->
         List.exists
           (fun r -> Vliw_ir.Reg.Set.mem r live_out)
           (Vliw_ir.Op.defs (D.op deps i)))
   in
-  { machine; deps; n; fu_of; lat; is_flow; pins; couplings; drains; xmove_weight }
+  {
+    nclusters;
+    move_latency = M.move_latency machine;
+    moves_per_cycle = M.moves_per_cycle machine;
+    n;
+    fu_of;
+    lat;
+    caps;
+    pred_off;
+    pred_node;
+    pred_lat;
+    pred_flow;
+    fe_d;
+    fe_u;
+    pin_node;
+    pin_home;
+    coup_u;
+    coup_d;
+    drains;
+    xmove_weight;
+    usage = Array.make (nclusters * nk) 0;
+    level = Array.make (max n 1) 0;
+    seen = Array.make (max (n * nclusters) 1) 0;
+    seen_gen = 0;
+  }
 
 (** In-block intercluster moves implied by [cluster]: one per unique
-    (producer, consumer cluster) pair over cut flow edges. *)
+    (producer, consumer cluster) pair over cut flow edges.  Uniqueness
+    via a stamped mark array instead of a hash table. *)
 let count_moves t (cluster : int array) =
-  let seen = Hashtbl.create 16 in
-  List.iter
-    (fun (d, u, _) ->
-      if cluster.(d) <> cluster.(u) then
-        Hashtbl.replace seen (d, cluster.(u)) ())
-    (D.flow_edges t.deps);
-  Hashtbl.length seen
+  t.seen_gen <- t.seen_gen + 1;
+  let gen = t.seen_gen and seen = t.seen in
+  let moves = ref 0 in
+  for e = 0 to Array.length t.fe_d - 1 do
+    let d = t.fe_d.(e) in
+    let cu = cluster.(t.fe_u.(e)) in
+    if cluster.(d) <> cu then begin
+      let idx = (d * t.nclusters) + cu in
+      if seen.(idx) <> gen then begin
+        seen.(idx) <- gen;
+        incr moves
+      end
+    end
+  done;
+  !moves
 
 let cost t (cluster : int array) : int =
-  let nclusters = M.num_clusters t.machine in
+  let nclusters = t.nclusters in
+  let nk = M.fu_kind_count in
   (* resource bound *)
-  let usage = Array.make_matrix nclusters M.fu_kind_count 0 in
+  let usage = t.usage in
+  Array.fill usage 0 (nclusters * nk) 0;
   for i = 0 to t.n - 1 do
-    let c = cluster.(i) in
-    usage.(c).(t.fu_of.(i)) <- usage.(c).(t.fu_of.(i)) + 1
+    let idx = (cluster.(i) * nk) + t.fu_of.(i) in
+    usage.(idx) <- usage.(idx) + 1
   done;
   let res = ref 0 in
   (* [graded]: per-FU-kind worst-cluster pressure, summed.  Unlike the
@@ -75,54 +185,50 @@ let cost t (cluster : int array) : int =
      cluster, giving hill-climbing refinement a gradient across the
      plateaus of the max. *)
   let graded = ref 0 in
-  for c = 0 to nclusters - 1 do
-    List.iter
-      (fun k ->
-        let cap = M.fu_count (M.cluster_of t.machine c) k in
-        let u = usage.(c).(M.fu_kind_index k) in
-        if u > 0 then
-          res := max !res (if cap = 0 then 1_000_000 else (u + cap - 1) / cap))
-      M.all_fu_kinds
+  for k = 0 to nk - 1 do
+    let worst = ref 0 in
+    for c = 0 to nclusters - 1 do
+      let u = usage.((c * nk) + k) in
+      if u > 0 then begin
+        let cap = t.caps.((c * nk) + k) in
+        let v = if cap = 0 then 1_000_000 else (u + cap - 1) / cap in
+        if v > !worst then worst := v
+      end
+    done;
+    if !worst > !res then res := !worst;
+    graded := !graded + !worst
   done;
-  List.iter
-    (fun k ->
-      let worst = ref 0 in
-      for c = 0 to nclusters - 1 do
-        let cap = M.fu_count (M.cluster_of t.machine c) k in
-        let u = usage.(c).(M.fu_kind_index k) in
-        if u > 0 then
-          worst :=
-            max !worst (if cap = 0 then 1_000_000 else (u + cap - 1) / cap)
-      done;
-      graded := !graded + !worst)
-    M.all_fu_kinds;
   let moves = count_moves t cluster in
-  let bus = (moves + M.moves_per_cycle t.machine - 1) / M.moves_per_cycle t.machine in
+  let bus = (moves + t.moves_per_cycle - 1) / t.moves_per_cycle in
   (* dependence bound with stretched cut edges *)
-  let ml = M.move_latency t.machine in
-  let level = Array.make t.n 0 in
+  let ml = t.move_latency in
+  let level = t.level in
+  Array.fill level 0 t.n 0;
   let dep = ref 0 in
   for i = 0 to t.n - 1 do
-    List.iter
-      (fun (p, lat) ->
-        let eff =
-          if Hashtbl.mem t.is_flow (p, i) && cluster.(p) <> cluster.(i) then
-            lat + ml
-          else lat
-        in
-        level.(i) <- max level.(i) (level.(p) + eff))
-      (D.preds t.deps i);
+    let ci = cluster.(i) in
+    let li = ref 0 in
+    for j = t.pred_off.(i) to t.pred_off.(i + 1) - 1 do
+      let p = t.pred_node.(j) in
+      let eff =
+        if t.pred_flow.(j) && cluster.(p) <> ci then t.pred_lat.(j) + ml
+        else t.pred_lat.(j)
+      in
+      if level.(p) + eff > !li then li := level.(p) + eff
+    done;
+    level.(i) <- !li;
     (* issue bound for everyone; full-latency drain for live-out defs *)
-    dep := max !dep (level.(i) + if t.drains.(i) then t.lat.(i) else 1)
+    let tail = if t.drains.(i) then t.lat.(i) else 1 in
+    if !li + tail > !dep then dep := !li + tail
   done;
   (* cross-block move pressure *)
   let xmoves = ref 0 in
-  List.iter
-    (fun (node, home) -> if cluster.(node) <> home then incr xmoves)
-    t.pins;
-  List.iter
-    (fun (u, d) -> if cluster.(u) <> cluster.(d) then incr xmoves)
-    t.couplings;
+  for i = 0 to Array.length t.pin_node - 1 do
+    if cluster.(t.pin_node.(i)) <> t.pin_home.(i) then incr xmoves
+  done;
+  for i = 0 to Array.length t.coup_u - 1 do
+    if cluster.(t.coup_u.(i)) <> cluster.(t.coup_d.(i)) then incr xmoves
+  done;
   let bound = max !res (max bus !dep) in
   (10_000 * (bound + (t.xmove_weight * !xmoves)))
   + (100 * (!graded + bus))

@@ -27,10 +27,16 @@ type result = {
   part_of_unit : int array;
 }
 
-let partition_objects ?(config = default_config)
+type problem = {
+  graph : Graphpart.Graph.t;
+  pconfig : Graphpart.Partitioner.config;
+  prob_unit_of_op : (int, int) Hashtbl.t;
+  prob_num_units : int;
+}
+
+let build_problem ?(config = default_config)
     ~(machine : Vliw_machine.t) ~(prog : Prog.t) ~(merge : Merge.t)
-    ~(dfg : An.Prog_dfg.t) ~(profile : Vliw_interp.Profile.t) () : result =
-  Telemetry.with_span "graph-partition" @@ fun () ->
+    ~(dfg : An.Prog_dfg.t) ~(profile : Vliw_interp.Profile.t) () : problem =
   let num_clusters = Vliw_machine.num_clusters machine in
   let ngroups = Merge.num_groups merge in
   (* units: one per merge group, then one per remaining operation *)
@@ -100,10 +106,42 @@ let partition_objects ?(config = default_config)
       seed = config.seed;
     }
   in
+  {
+    graph;
+    pconfig = pcfg;
+    prob_unit_of_op = unit_of_op;
+    prob_num_units = nunits;
+  }
+
+let partition_objects ?config ~(machine : Vliw_machine.t) ~(prog : Prog.t)
+    ~(merge : Merge.t) ~(dfg : An.Prog_dfg.t)
+    ~(profile : Vliw_interp.Profile.t) () : result =
+  Telemetry.with_span "graph-partition" @@ fun () ->
+  let num_clusters = Vliw_machine.num_clusters machine in
+  let { graph; pconfig = pcfg; prob_unit_of_op = unit_of_op; prob_num_units = nunits } =
+    build_problem ?config ~machine ~prog ~merge ~dfg ~profile ()
+  in
   let part =
     if num_clusters = 2 then Graphpart.Partitioner.bisect ~config:pcfg graph
     else Graphpart.Partitioner.kway ~config:pcfg graph ~nparts:num_clusters
   in
+  (* The bisection objective is mirror-symmetric, but the downstream
+     computation partitioner is not: RHOP starts every free operation on
+     cluster 0 and refines from there.  Homing the heavier data side
+     (with its locked memory operations) on cluster 1 hands refinement a
+     spread starting point instead of a congested one, so on symmetric
+     machines we fix that orientation.  Only when intercluster moves are
+     multi-cycle, though: at 1-cycle latency refinement un-congests a
+     packed start cheaply and the orientation is best left alone. *)
+  if
+    num_clusters = 2
+    && Vliw_machine.move_latency machine > 1
+    && pcfg.Graphpart.Partitioner.targets = None
+  then begin
+    let pw = Graphpart.Graph.part_weights graph part ~nparts:2 0 in
+    if pw.(0) > pw.(1) then
+      Array.iteri (fun i p -> part.(i) <- 1 - p) part
+  end;
   let obj_home =
     List.concat_map
       (fun (g : Merge.group) ->

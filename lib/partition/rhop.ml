@@ -169,6 +169,12 @@ let refine_level (est : Est.t) ~num_clusters ~max_passes
   Array.sort (fun a b -> compare groups.(b).size groups.(a).size) order;
   let changed = ref true in
   let pass = ref 0 in
+  (* [Est.cost] depends only on [cluster], so the cost of the standing
+     assignment can be carried from group to group: after a kept move it
+     is exactly the accepted candidate's cost, after a rejected one it is
+     unchanged.  This halves the cost calls per group on a 2-cluster
+     machine. *)
+  let current_cost = ref (Est.cost est cluster) in
   while !changed && !pass < max_passes do
     changed := false;
     incr pass;
@@ -177,9 +183,8 @@ let refine_level (est : Est.t) ~num_clusters ~max_passes
       (fun gi ->
         let g = groups.(gi) in
         if g.lock = None then begin
-          let current_cost = Est.cost est cluster in
           let cur = cluster.(List.hd g.members) in
-          let best_c = ref cur and best_cost = ref current_cost in
+          let best_c = ref cur and best_cost = ref !current_cost in
           for c = 0 to num_clusters - 1 do
             if c <> cur then begin
               List.iter (fun i -> cluster.(i) <- c) g.members;
@@ -191,6 +196,7 @@ let refine_level (est : Est.t) ~num_clusters ~max_passes
             end
           done;
           List.iter (fun i -> cluster.(i) <- !best_c) g.members;
+          current_cost := !best_cost;
           if !best_c <> cur then changed := true
         end)
       order
@@ -301,14 +307,18 @@ let partition ?(config = default_config) ~(machine : Vliw_machine.t)
             | Some c -> Some c
             | None -> None
           in
+          let op_by_id : (int, Op.t) Hashtbl.t =
+            Hashtbl.create (List.length (Block.ops b))
+          in
+          List.iter
+            (fun o -> Hashtbl.replace op_by_id (Op.id o) o)
+            (Block.ops b);
           let lock_with_reg op_id =
             match lock_of op_id with
             | Some c -> Some c
             | None -> (
                 (* find the op to inspect its defs *)
-                match
-                  List.find_opt (fun o -> Op.id o = op_id) (Block.ops b)
-                with
+                match Hashtbl.find_opt op_by_id op_id with
                 | None -> None
                 | Some o ->
                     List.fold_left

@@ -190,6 +190,77 @@ let prop_deterministic =
       P.bisect g = P.bisect g)
     arbitrary_graph
 
+(* An adjacency-list reference model of the CSR structure: merged
+   symmetric edges as a (min, max) -> weight table plus sorted per-node
+   neighbor lists, built with none of [Graph]'s machinery. *)
+let reference_model n edges =
+  let tbl : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (a, b, w) ->
+      let key = if a < b then (a, b) else (b, a) in
+      Hashtbl.replace tbl key
+        (w + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+    edges;
+  let adj = Array.make n [] in
+  Hashtbl.iter
+    (fun (a, b) w ->
+      adj.(a) <- (b, w) :: adj.(a);
+      adj.(b) <- (a, w) :: adj.(b))
+    tbl;
+  (Array.map (List.sort compare) adj, tbl)
+
+(* a partition of [n] nodes derived deterministically from the instance,
+   so every random graph also exercises a non-trivial assignment *)
+let model_part n edges =
+  let salt = List.fold_left (fun a (x, y, w) -> a + x + y + w) 0 edges in
+  Array.init n (fun i -> (i + salt) mod 2)
+
+let prop_csr_matches_reference =
+  Helpers.qcheck ~count:100
+    "CSR neighbors/edge_cut/part_weights agree with an adjacency-list \
+     reference"
+    (fun (n, ncon, weights, edges) ->
+      let g = G.create ~ncon ~weights ~edges in
+      let adj, tbl = reference_model n edges in
+      let part = model_part n edges in
+      let neighbors_ok =
+        Array.for_all Fun.id
+          (Array.init n (fun v ->
+               let via_iter = ref [] in
+               G.iter_neighbors g v (fun u w -> via_iter := (u, w) :: !via_iter);
+               G.neighbors g v = adj.(v) && List.rev !via_iter = adj.(v)))
+      in
+      let ref_cut =
+        Hashtbl.fold
+          (fun (a, b) w acc -> if part.(a) <> part.(b) then acc + w else acc)
+          tbl 0
+      in
+      let part_weights_ok =
+        List.for_all
+          (fun c ->
+            let expect = Array.make 2 0 in
+            Array.iteri
+              (fun v p -> expect.(p) <- expect.(p) + weights.(v).(c))
+              part;
+            G.part_weights g part ~nparts:2 c = expect)
+          (List.init ncon Fun.id)
+      in
+      neighbors_ok && G.edge_cut g part = ref_cut && part_weights_ok)
+    arbitrary_graph
+
+let prop_fm_never_worsens =
+  Helpers.qcheck ~count:100
+    "fm_refine never worsens the (infeasibility, cut) order"
+    (fun (n, ncon, weights, edges) ->
+      let g = G.create ~ncon ~weights ~edges in
+      let cfg = P.default_config ~ncon in
+      let part = model_part n edges in
+      let before = P.evaluate cfg g part in
+      P.fm_refine cfg g part;
+      let after = P.evaluate cfg g part in
+      Array.for_all (fun p -> p = 0 || p = 1) part && after <= before)
+    arbitrary_graph
+
 let suite =
   [
     Alcotest.test_case "graph basics" `Quick test_graph_basics;
@@ -207,4 +278,6 @@ let suite =
     prop_bisect_balanced;
     prop_cut_nonnegative_and_bounded;
     prop_deterministic;
+    prop_csr_matches_reference;
+    prop_fm_never_worsens;
   ]
