@@ -5,23 +5,24 @@
      gdpc run FILE            compile and interpret
      gdpc partition FILE      full pipeline: partition, schedule, report
      gdpc bench [NAME]        evaluate suite benchmarks (all methods)
+     gdpc fuzz                differential fuzzing over random programs
      gdpc list                list suite benchmarks *)
 
 open Cmdliner
 
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+(** A user-facing error already rendered to a clean message: no
+    backtrace, no exception constructor — just the message and a
+    non-zero exit. *)
+exception Cli_error of string
 
-let parse_input s =
-  if String.trim s = "" then [||]
-  else
-    String.split_on_char ',' s
-    |> List.map (fun x -> int_of_string (String.trim x))
-    |> Array.of_list
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with Sys_error m -> raise (Cli_error (Fmt.str "cannot read %s: %s" path m))
 
 (* ------------------------------------------------------------------ *)
 (* Common arguments                                                    *)
@@ -29,10 +30,35 @@ let parse_input s =
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniC source file.")
 
+(** Workload vector conv: comma-separated integers, rejected with a
+    proper usage error (not a raw [int_of_string] failure) on junk. *)
+let input_conv : int array Arg.conv =
+  let parse s =
+    if String.trim s = "" then Ok [||]
+    else
+      let words = String.split_on_char ',' s in
+      let rec go acc = function
+        | [] -> Ok (Array.of_list (List.rev acc))
+        | w :: rest -> (
+            match int_of_string_opt (String.trim w) with
+            | Some i -> go (i :: acc) rest
+            | None ->
+                Error
+                  (`Msg
+                    (Fmt.str
+                       "invalid input vector %S: %S is not an integer \
+                        (expected comma-separated integers, e.g. '1,2,3')"
+                       s (String.trim w))))
+      in
+      go [] words
+  in
+  let print ppf a = Fmt.pf ppf "%a" Fmt.(array ~sep:comma int) a in
+  Arg.conv ~docv:"WORDS" (parse, print)
+
 let input_arg =
   Arg.(
     value
-    & opt string ""
+    & opt input_conv [||]
     & info [ "i"; "input" ] ~docv:"WORDS"
         ~doc:"Workload input vector: comma-separated integers read by in(i).")
 
@@ -72,10 +98,39 @@ let clusters_arg =
     & info [ "c"; "clusters" ] ~docv:"N" ~doc:"Number of clusters (power of two).")
 
 (* ------------------------------------------------------------------ *)
-(* Observability: telemetry flags and log verbosity, shared by every
-   subcommand                                                          *)
+(* Observability: telemetry flags, log verbosity and fault injection,
+   shared by every subcommand                                          *)
 
-type obs = { trace : string option; stats : bool }
+type obs = { trace : string option; stats : bool; injecting : bool }
+
+let inject_conv : Fault.spec Arg.conv =
+  let parse s =
+    match Fault.parse_spec s with Ok sp -> Ok sp | Error m -> Error (`Msg m)
+  in
+  Arg.conv ~docv:"SPEC" (parse, Fault.pp_spec)
+
+let inject_arg =
+  let points =
+    String.concat ", " (List.map (fun p -> p.Fault.name) Fault.points)
+  in
+  Arg.(
+    value
+    & opt (some inject_conv) None
+    & info [ "inject" ] ~docv:"SPEC"
+        ~doc:
+          (Fmt.str
+             "Arm deterministic fault injection: comma-separated \
+              $(i,point)[@N|@*] entries, where @N fires once on the N-th \
+              opportunity (default @1) and @* fires every time.  Points: \
+              %s.  See docs/robustness.md."
+             points))
+
+let inject_seed_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "inject-seed" ] ~docv:"N"
+        ~doc:"Seed for the injection PRNG: same spec + seed => same faults.")
 
 let trace_arg =
   Arg.(
@@ -103,7 +158,7 @@ let verbose_arg =
 let quiet_arg =
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only log errors.")
 
-let setup_obs trace stats verbose quiet =
+let setup_obs trace stats verbose quiet inject inject_seed =
   let level =
     if quiet then Some Logs.Error
     else
@@ -115,12 +170,18 @@ let setup_obs trace stats verbose quiet =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level level;
   if trace <> None || stats then Telemetry.enable ();
-  { trace; stats }
+  (match inject with
+  | Some spec -> Fault.arm ~seed:inject_seed spec
+  | None -> Fault.disarm ());
+  { trace; stats; injecting = inject <> None }
 
 let obs_term =
-  Term.(const setup_obs $ trace_arg $ stats_arg $ verbose_arg $ quiet_arg)
+  Term.(
+    const setup_obs $ trace_arg $ stats_arg $ verbose_arg $ quiet_arg
+    $ inject_arg $ inject_seed_arg)
 
-(** Flush recorded telemetry to the requested sinks. *)
+(** Flush recorded telemetry to the requested sinks; report the fault
+    ledger when injection was armed. *)
 let finish_obs obs =
   if obs.trace <> None || obs.stats then begin
     let snap = Telemetry.snapshot () in
@@ -128,12 +189,28 @@ let finish_obs obs =
     | Some path -> Telemetry.Sink.write_chrome_trace path snap
     | None -> ());
     if obs.stats then Fmt.pr "@.%a" Telemetry.Sink.summary snap
-  end
+  end;
+  if obs.injecting then Fmt.pr "%a@." Fault.pp_counts (Fault.counts ())
+
+(** Rethrow a MiniC compile error as a [file:line:col] diagnostic with
+    the offending source line and a caret under the column. *)
+let with_compile_diagnostics ~path ~src f =
+  try f ()
+  with Minic.Compile_error { line; col; message } ->
+    let b = Buffer.create 256 in
+    Buffer.add_string b (Printf.sprintf "%s:%d:%d: %s" path line col message);
+    (match List.nth_opt (String.split_on_char '\n' src) (line - 1) with
+    | Some l when String.trim l <> "" ->
+        Buffer.add_string b
+          (Printf.sprintf "\n%s\n%s^" l (String.make (max 0 (col - 1)) ' '))
+    | _ -> ());
+    raise (Cli_error (Buffer.contents b))
 
 let build_prog ~unroll ~promote ~ifconvert path =
   let src = read_file path in
   let prog =
-    Telemetry.with_span "parse" (fun () -> Minic.compile ~unroll src)
+    with_compile_diagnostics ~path ~src (fun () ->
+        Telemetry.with_span "parse" (fun () -> Minic.compile ~unroll src))
   in
   Telemetry.with_span "optimize" (fun () ->
       let prog = if promote then Vliw_opt.Promote.run prog else prog in
@@ -141,11 +218,17 @@ let build_prog ~unroll ~promote ~ifconvert path =
 
 let handle_errors f =
   try f () with
+  | Cli_error m ->
+      Fmt.epr "error: %s@." m;
+      exit 1
   | Minic.Compile_error _ as e ->
       Fmt.epr "error: %a@." Minic.pp_error e;
       exit 1
   | Vliw_interp.Interp.Runtime_error m ->
       Fmt.epr "runtime error: %s@." m;
+      exit 1
+  | Vliw_sched.Vliw_sim.Sim_error m ->
+      Fmt.epr "simulation error: %s@." m;
       exit 1
   | Sys_error m | Invalid_argument m | Failure m ->
       Fmt.epr "error: %s@." m;
@@ -182,7 +265,7 @@ let run_cmd =
         in
         let res =
           Telemetry.with_span "interpret" (fun () ->
-              Vliw_interp.Interp.run prog ~input:(parse_input input))
+              Vliw_interp.Interp.run prog ~input)
         in
         List.iter
           (fun v -> Fmt.pr "%a@." Vliw_interp.Interp.pp_value v)
@@ -213,25 +296,56 @@ let verify_flag =
            simulation must reproduce the reference outputs and the static \
            cycle model.")
 
+let robust_flag =
+  Arg.(
+    value & flag
+    & info [ "robust" ]
+        ~doc:
+          "Evaluate with graceful degradation: when the requested method \
+           fails an invariant or verification, fall back along \
+           gdp -> profile-max -> naive -> unified instead of aborting.  \
+           Implied by --inject.")
+
 let partition_cmd =
-  let run obs file input method_ latency clusters show_sched verify =
+  let run obs file input method_ latency clusters show_sched verify robust =
     handle_errors (fun () ->
+        let source = read_file file in
         let bench =
           {
             Benchsuite.Bench_intf.name = Filename.basename file;
             description = "command-line program";
-            source = read_file file;
-            input = parse_input input;
+            source;
+            input;
             exhaustive_ok = false;
           }
         in
-        let prepared = Gdp_core.Pipeline.prepare bench in
+        let prepared =
+          with_compile_diagnostics ~path:file ~src:source (fun () ->
+              Gdp_core.Pipeline.prepare bench)
+        in
         let machine =
           if clusters = 2 then Vliw_machine.paper_machine ~move_latency:latency ()
           else Vliw_machine.scaled_machine ~clusters ~move_latency:latency ()
         in
         let ctx = Gdp_core.Pipeline.context ~machine prepared in
-        let e = Gdp_core.Pipeline.evaluate ctx method_ in
+        let e =
+          if robust || Fault.armed () then begin
+            match Gdp_core.Pipeline.evaluate_robust prepared ctx method_ with
+            | Error m -> raise (Cli_error m)
+            | Ok r ->
+                List.iter
+                  (fun fb ->
+                    Fmt.pr "fallback: %a@." Gdp_core.Pipeline.pp_fallback fb)
+                  r.Gdp_core.Pipeline.fallbacks;
+                if r.Gdp_core.Pipeline.used <> r.Gdp_core.Pipeline.requested
+                then
+                  Fmt.pr "degraded: %s -> %s@."
+                    (Partition.Methods.name r.Gdp_core.Pipeline.requested)
+                    (Partition.Methods.name r.Gdp_core.Pipeline.used);
+                r.Gdp_core.Pipeline.evaluation
+          end
+          else Gdp_core.Pipeline.evaluate ctx method_
+        in
         Fmt.pr "method: %s@."
           e.Gdp_core.Pipeline.outcome.Partition.Methods.method_name;
         Fmt.pr "%a@." Vliw_machine.pp machine;
@@ -297,7 +411,7 @@ let partition_cmd =
           cycles.")
     Term.(
       const run $ obs_term $ file_arg $ input_arg $ method_arg $ latency_arg
-      $ clusters_arg $ schedule_flag $ verify_flag)
+      $ clusters_arg $ schedule_flag $ verify_flag $ robust_flag)
 
 (* ------------------------------------------------------------------ *)
 (* bench                                                               *)
@@ -313,15 +427,26 @@ let bench_cmd =
         let rows =
           Gdp_core.Experiments.run_all ~benches ~move_latency:latency ()
         in
+        let cell r name =
+          match Gdp_core.Experiments.cycles_opt r name with
+          | Some c -> string_of_int c
+          | None -> "n/a"
+        in
         Fmt.pr "%-12s %10s %12s %10s %10s@." "benchmark" "gdp" "profile-max"
           "naive" "unified";
         List.iter
           (fun r ->
-            Fmt.pr "%-12s %10d %12d %10d %10d@." r.Gdp_core.Experiments.bench
-              (Gdp_core.Experiments.cycles_of r "gdp")
-              (Gdp_core.Experiments.cycles_of r "profile-max")
-              (Gdp_core.Experiments.cycles_of r "naive")
-              (Gdp_core.Experiments.cycles_of r "unified"))
+            Fmt.pr "%-12s %10s %12s %10s %10s@." r.Gdp_core.Experiments.bench
+              (cell r "gdp") (cell r "profile-max") (cell r "naive")
+              (cell r "unified"))
+          rows;
+        List.iter
+          (fun r ->
+            match r.Gdp_core.Experiments.error with
+            | Some m ->
+                Fmt.epr "warning: %s failed: %s@." r.Gdp_core.Experiments.bench
+                  m
+            | None -> ())
           rows;
         finish_obs obs)
   in
@@ -334,6 +459,88 @@ let bench_cmd =
   Cmd.v
     (Cmd.info "bench" ~doc:"Evaluate suite benchmarks under all methods.")
     Term.(const run $ obs_term $ name_arg $ latency_arg)
+
+(* ------------------------------------------------------------------ *)
+(* fuzz                                                                *)
+
+let fuzz_cmd =
+  let run obs count seed latencies corpus shrink_budget =
+    handle_errors (fun () ->
+        let on_progress done_ mismatches =
+          if done_ mod 25 = 0 || done_ = count then
+            Fmt.epr "fuzz: %d/%d programs, %d mismatch(es)@." done_ count
+              mismatches
+        in
+        let summary =
+          Telemetry.with_span "fuzz" (fun () ->
+              Gdp_fuzz.Fuzz.campaign ~latencies ?corpus
+                ~shrink_budget ~on_progress ~seed ~count ())
+        in
+        List.iter
+          (fun (m, paths) ->
+            Fmt.epr "mismatch: %a@." Gdp_fuzz.Fuzz.pp_mismatch m;
+            List.iter (fun p -> Fmt.epr "  saved %s@." p) paths)
+          summary.Gdp_fuzz.Fuzz.mismatches;
+        let n_mismatches = List.length summary.Gdp_fuzz.Fuzz.mismatches in
+        Fmt.pr "fuzz: %d programs (seeds %d..%d), %d mismatch(es)@."
+          summary.Gdp_fuzz.Fuzz.programs seed
+          (seed + count - 1)
+          n_mismatches;
+        finish_obs obs;
+        if n_mismatches > 0 then exit 1)
+  in
+  let count_arg =
+    Arg.(
+      value
+      & opt int 100
+      & info [ "n"; "count" ] ~docv:"N"
+          ~doc:"Number of random programs to generate and check.")
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "First generator seed; programs use seeds N..N+count-1, so a \
+             campaign is reproducible and shardable.")
+  in
+  let latencies_arg =
+    Arg.(
+      value
+      & opt (list int) Gdp_fuzz.Fuzz.default_latencies
+      & info [ "latencies" ] ~docv:"CYCLES"
+          ~doc:
+            "Comma-separated intercluster move latencies to check each \
+             program at.")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Directory for crash reproducers: the failing program, a \
+             shrunk variant and a mismatch report per finding.")
+  in
+  let shrink_arg =
+    Arg.(
+      value
+      & opt int 256
+      & info [ "max-shrink" ] ~docv:"N"
+          ~doc:
+            "Budget of pipeline re-evaluations the line-based shrinker may \
+             spend per finding (0 disables shrinking).")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differentially fuzz the pipeline: random MiniC programs, every \
+          partitioning method, interpreter vs cycle-level simulator vs \
+          reference run.  Exits non-zero when any mismatch is found.")
+    Term.(
+      const run $ obs_term $ count_arg $ seed_arg $ latencies_arg $ corpus_arg
+      $ shrink_arg)
 
 let list_cmd =
   let run obs =
@@ -359,4 +566,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "gdpc" ~version:"1.0.0" ~doc)
-          [ compile_cmd; run_cmd; partition_cmd; bench_cmd; list_cmd ]))
+          [ compile_cmd; run_cmd; partition_cmd; bench_cmd; fuzz_cmd; list_cmd ]))

@@ -8,28 +8,34 @@ type row = {
   bench : string;
   cycles : (string * int) list;  (** method name -> total cycles *)
   moves : (string * int) list;  (** method name -> dynamic moves *)
+  error : string option;
+      (** [Some] when the benchmark failed — [cycles]/[moves] are then
+          empty and figures render an explicit gap for it *)
 }
 
 let default_benches () = Benchsuite.Suite.all
 
 let cycles_of row name = List.assoc name row.cycles
 let moves_of row name = List.assoc name row.moves
+let cycles_opt row name = List.assoc_opt name row.cycles
+let moves_opt row name = List.assoc_opt name row.moves
 
-let run_all_uncached ~benches ~move_latency : row list =
-  let machine = Vliw_machine.paper_machine ~move_latency () in
-  List.map
-    (fun b ->
-      let p = Pipeline.prepare_default b in
-      let ctx = Pipeline.context ~machine p in
-      let evals =
-        List.map
-          (fun m ->
-            let e = Pipeline.evaluate ctx m in
-            (Methods.name m, e))
-          Methods.all
-      in
+(** One benchmark under all methods; crash-safe: any stage exception
+    becomes an error row instead of aborting the whole sweep. *)
+let run_bench ~machine (b : Benchsuite.Bench_intf.t) : row =
+  let name = b.Benchsuite.Bench_intf.name in
+  match
+    let p = Pipeline.prepare_default b in
+    let ctx = Pipeline.context ~machine p in
+    List.map
+      (fun m ->
+        let e = Pipeline.evaluate ctx m in
+        (Methods.name m, e))
+      Methods.all
+  with
+  | evals ->
       {
-        bench = b.Benchsuite.Bench_intf.name;
+        bench = name;
         cycles =
           List.map
             (fun (n, e) -> (n, e.Pipeline.report.Vliw_sched.Perf.total_cycles))
@@ -39,8 +45,26 @@ let run_all_uncached ~benches ~move_latency : row list =
             (fun (n, e) ->
               (n, e.Pipeline.report.Vliw_sched.Perf.dynamic_moves))
             evals;
-      })
-    benches
+        error = None;
+      }
+  | exception exn ->
+      let msg =
+        match exn with
+        | Minic.Compile_error _ -> Fmt.str "%a" Minic.pp_error exn
+        | Vliw_interp.Interp.Runtime_error m -> "runtime error: " ^ m
+        | Vliw_sched.Vliw_sim.Sim_error m -> "simulation error: " ^ m
+        | Vliw_sched.Assignment.Invalid m | Vliw_ir.Validate.Invalid m ->
+            "invariant violated: " ^ m
+        | Invalid_argument m | Failure m -> m
+        | exn -> raise exn (* Out_of_memory, Stack_overflow, ... *)
+      in
+      Fault.note_detected ();
+      Logs.err (fun l -> l "experiments: benchmark %s failed: %s" name msg);
+      { bench = name; cycles = []; moves = []; error = Some msg }
+
+let run_all_uncached ~benches ~move_latency : row list =
+  let machine = Vliw_machine.paper_machine ~move_latency () in
+  List.map (run_bench ~machine) benches
 
 (* Several figures share the same sweep; cache by (latency, benchmark
    set).  The name list in the key is sorted so callers that enumerate
@@ -67,6 +91,9 @@ let run_all ?(benches = default_benches ()) ~move_latency () : row list =
       Hashtbl.replace run_all_cache key rows;
       rows
 
+(** Drop the sweep memo (its companion is [Pipeline.clear_caches]). *)
+let clear_cache () = Hashtbl.reset run_all_cache
+
 (* ------------------------------------------------------------------ *)
 (* Figure 2: cycle increase of the Naive method vs unified memory.     *)
 
@@ -78,21 +105,23 @@ type figure2_result = {
 
 let figure2 ?benches () : figure2_result =
   let latencies = [ 1; 5; 10 ] in
+  let f2_benches = ref [] in
   let per_lat =
     List.map
       (fun lat ->
         let rows = run_all ?benches ~move_latency:lat () in
+        if !f2_benches = [] then f2_benches := List.map (fun r -> r.bench) rows;
         ( lat,
-          List.map
+          List.filter_map
             (fun r ->
-              ( r.bench,
-                Report.percent ~base:(cycles_of r "unified")
-                  (cycles_of r "naive") ))
+              match (cycles_opt r "unified", cycles_opt r "naive") with
+              | Some base, Some naive ->
+                  Some (r.bench, Report.percent ~base naive)
+              | _ -> None (* failed benchmark: explicit gap *))
             rows ))
       latencies
   in
-  let f2_benches = List.map fst (snd (List.hd per_lat)) in
-  { f2_benches; f2_increase = per_lat }
+  { f2_benches = !f2_benches; f2_increase = per_lat }
 
 let render_figure2 ppf (r : figure2_result) =
   Fmt.pf ppf
@@ -106,13 +135,18 @@ let render_figure2 ppf (r : figure2_result) =
       (fun b ->
         ( b,
           List.map
-            (fun (_, per_bench) -> Fmt.str "%.1f%%" (List.assoc b per_bench))
+            (fun (_, per_bench) ->
+              match List.assoc_opt b per_bench with
+              | Some v -> Fmt.str "%.1f%%" v
+              | None -> "n/a")
             r.f2_increase ))
       r.f2_benches
   in
   let avg per_bench =
-    List.fold_left (fun a (_, v) -> a +. v) 0. per_bench
-    /. float (List.length per_bench)
+    if per_bench = [] then 0.
+    else
+      List.fold_left (fun a (_, v) -> a +. v) 0. per_bench
+      /. float (List.length per_bench)
   in
   let rows =
     rows
@@ -137,42 +171,45 @@ let performance ?benches ~move_latency () : perf_result =
 let relative r method_name =
   Report.ratio ~base:(cycles_of r "unified") (cycles_of r method_name)
 
+let relative_opt r method_name =
+  match (cycles_opt r "unified", cycles_opt r method_name) with
+  | Some base, Some c -> Some (Report.ratio ~base c)
+  | _ -> None
+
 let render_performance ppf (p : perf_result) ~figure_name =
   Fmt.pf ppf
     "@.%s: performance relative to unified memory (1.0 = unified), %d-cycle \
      intercluster moves@."
     figure_name p.latency;
+  let cell r name =
+    match relative_opt r name with
+    | Some v -> Fmt.str "%.3f" v
+    | None -> "n/a"
+  in
   let header = [ "benchmark"; "GDP"; "ProfileMax"; "Naive" ] in
   let rows =
     List.map
       (fun r ->
-        ( r.bench,
-          [
-            Fmt.str "%.3f" (relative r "gdp");
-            Fmt.str "%.3f" (relative r "profile-max");
-            Fmt.str "%.3f" (relative r "naive");
-          ] ))
+        (r.bench, [ cell r "gdp"; cell r "profile-max"; cell r "naive" ]))
       p.rows
   in
-  let avg f =
-    List.fold_left (fun a r -> a +. f r) 0. p.rows /. float (List.length p.rows)
+  (* averages skip failed benchmarks (the gap is already visible) *)
+  let avg name =
+    let vs = List.filter_map (fun r -> relative_opt r name) p.rows in
+    if vs = [] then "n/a"
+    else
+      Fmt.str "%.3f" (List.fold_left ( +. ) 0. vs /. float (List.length vs))
   in
   let rows =
-    rows
-    @ [
-        ( "AVERAGE",
-          [
-            Fmt.str "%.3f" (avg (fun r -> relative r "gdp"));
-            Fmt.str "%.3f" (avg (fun r -> relative r "profile-max"));
-            Fmt.str "%.3f" (avg (fun r -> relative r "naive"));
-          ] );
-      ]
+    rows @ [ ("AVERAGE", [ avg "gdp"; avg "profile-max"; avg "naive" ]) ]
   in
   Report.table ppf ~header rows;
   Report.bar_chart ppf
     ~title:(figure_name ^ " (bars: GDP relative performance)")
     ~unit:""
-    (List.map (fun r -> (r.bench, relative r "gdp")) p.rows)
+    (List.filter_map
+       (fun r -> Option.map (fun v -> (r.bench, v)) (relative_opt r "gdp"))
+       p.rows)
 
 (* ------------------------------------------------------------------ *)
 (* Figure 10: increase in dynamic intercluster moves at 5-cycle latency *)
@@ -184,19 +221,20 @@ let render_figure10 ppf (p : perf_result) =
     p.latency;
   let header = [ "benchmark"; "unified moves"; "GDP"; "ProfileMax" ] in
   let pct r name =
-    let u = moves_of r "unified" in
-    if u = 0 then Fmt.str "+%d" (moves_of r name)
-    else Fmt.str "%.1f%%" (Report.percent ~base:u (moves_of r name))
+    match (moves_opt r "unified", moves_opt r name) with
+    | Some 0, Some m -> Fmt.str "+%d" m
+    | Some u, Some m -> Fmt.str "%.1f%%" (Report.percent ~base:u m)
+    | _ -> "n/a"
+  in
+  let unified_cell r =
+    match moves_opt r "unified" with
+    | Some u -> string_of_int u
+    | None -> "n/a"
   in
   let rows =
     List.map
       (fun r ->
-        ( r.bench,
-          [
-            string_of_int (moves_of r "unified");
-            pct r "gdp";
-            pct r "profile-max";
-          ] ))
+        (r.bench, [ unified_cell r; pct r "gdp"; pct r "profile-max" ]))
       p.rows
   in
   Report.table ppf ~header rows

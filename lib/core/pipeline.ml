@@ -53,8 +53,13 @@ let prepare ?(unroll = true) ?(promote = true) ?(simplify = true)
    once per move latency — without memoization every sweep recompiles,
    re-optimizes and re-profiles every benchmark.  Plain [Hashtbl] memo:
    the pipeline (and everything else in this library) is
-   single-threaded, so there is no locking. *)
+   single-threaded, so there is no locking.  The memo is bounded: long
+   fuzzing runs stream thousands of distinct programs through the
+   pipeline, and an unbounded memo would hold every compiled program
+   alive.  On overflow the whole table is dropped (the suite has ~19
+   benchmarks, far below the cap, so sweeps never evict). *)
 let prepare_cache : (string, prepared) Hashtbl.t = Hashtbl.create 16
+let prepare_cache_limit = 64
 
 let prepare_default (bench : Benchsuite.Bench_intf.t) : prepared =
   let name = bench.Benchsuite.Bench_intf.name in
@@ -62,8 +67,12 @@ let prepare_default (bench : Benchsuite.Bench_intf.t) : prepared =
   | Some p -> p
   | None ->
       let p = prepare bench in
+      if Hashtbl.length prepare_cache >= prepare_cache_limit then
+        Hashtbl.reset prepare_cache;
       Hashtbl.replace prepare_cache name p;
       p
+
+let clear_caches () = Hashtbl.reset prepare_cache
 
 let context ?machine ?merge_low_slack (p : prepared) : Methods.context =
   let machine =
@@ -145,3 +154,105 @@ let verify_body (p : prepared) (ctx : Methods.context) (e : evaluation) :
                   else Ok ())))
 
 let verify p ctx e = Telemetry.with_span "verify" (fun () -> verify_body p ctx e)
+
+(* ------------------------------------------------------------------ *)
+(* Graceful degradation                                                *)
+
+(** [evaluate], with the pipeline's internal invariants promoted from
+    exceptions to a checked result: any stage failure (partitioner
+    constraint violations, invalid move insertion, assignment-invariant
+    breaks, scheduler/simulator errors) comes back as [Error], and the
+    clustered assignment is structurally validated (every op clustered,
+    memory ops on their objects' home clusters, register webs on one
+    cluster).  With [?verify_against] the full differential check
+    (clustered interpretation + cycle simulation vs. the reference run)
+    is included. *)
+let evaluate_checked ?rhop_config ?gdp_config ?verify_against
+    (ctx : Methods.context) method_ : (evaluation, string) result =
+  match
+    Telemetry.with_span "evaluate-checked"
+      ~args:[ ("method", Methods.name method_) ]
+      (fun () ->
+        let outcome = Methods.run ?rhop_config ?gdp_config method_ ctx in
+        Vliw_sched.Assignment.validate
+          outcome.Methods.clustered.Vliw_sched.Move_insert.cassign
+          outcome.Methods.clustered.Vliw_sched.Move_insert.cprog
+          ~objects_of:(Methods.objects_of ctx);
+        let report = Methods.evaluate ctx outcome in
+        { outcome; report })
+  with
+  | e -> (
+      match verify_against with
+      | None -> Ok e
+      | Some p -> Result.map (fun () -> e) (verify p ctx e))
+  | exception Vliw_sched.Assignment.Invalid m ->
+      Error ("assignment invariant violated: " ^ m)
+  | exception Vliw_ir.Validate.Invalid m -> Error ("invalid IR: " ^ m)
+  | exception Vliw_sched.Vliw_sim.Sim_error m ->
+      Error ("cycle simulation failed: " ^ m)
+  | exception Vliw_interp.Interp.Runtime_error m ->
+      Error ("interpretation failed: " ^ m)
+  | exception Invalid_argument m -> Error m
+  | exception Failure m -> Error m
+
+type fallback = {
+  failed_method : string;
+  reason : string;  (** why verification or an invariant rejected it *)
+}
+
+type robust = {
+  requested : Methods.t;
+  used : Methods.t;  (** the first method in the chain that passed *)
+  evaluation : evaluation;
+  fallbacks : fallback list;  (** failed attempts before [used], in order *)
+}
+
+let pp_fallback ppf f =
+  Fmt.pf ppf "%s failed: %s" f.failed_method f.reason
+
+(** Evaluate [method_] with full verification against the reference
+    run, degrading along [Methods.fallback_chain] (GDP -> Profile Max
+    -> Naive -> Unified) when a method's partition or schedule fails an
+    invariant or the differential check.  Every failure is recorded in
+    the result (and counted as a detected fault); a successful fallback
+    counts as a recovery.  [Error] only when every method in the chain
+    fails. *)
+let evaluate_robust ?rhop_config ?gdp_config ?(verify = true) (p : prepared)
+    (ctx : Methods.context) method_ : (robust, string) result =
+  Telemetry.with_span "evaluate-robust"
+    ~args:[ ("method", Methods.name method_) ]
+  @@ fun () ->
+  let verify_against = if verify then Some p else None in
+  let rec go fallbacks = function
+    | [] ->
+        Error
+          (Fmt.str "all methods failed: %a"
+             Fmt.(list ~sep:(any "; ") pp_fallback)
+             (List.rev fallbacks))
+    | m :: rest -> (
+        match
+          evaluate_checked ?rhop_config ?gdp_config ?verify_against ctx m
+        with
+        | Ok e ->
+            if fallbacks <> [] then begin
+              Fault.note_recovered ();
+              Telemetry.incr "pipeline.fallbacks" ~by:(List.length fallbacks);
+              Logs.warn (fun l ->
+                  l "pipeline: %s degraded to %s after %d failure(s)"
+                    (Methods.name method_) (Methods.name m)
+                    (List.length fallbacks))
+            end;
+            Ok
+              {
+                requested = method_;
+                used = m;
+                evaluation = e;
+                fallbacks = List.rev fallbacks;
+              }
+        | Error reason ->
+            Fault.note_detected ();
+            Logs.warn (fun l ->
+                l "pipeline: method %s rejected: %s" (Methods.name m) reason);
+            go ({ failed_method = Methods.name m; reason } :: fallbacks) rest)
+  in
+  go [] (Methods.fallback_chain method_)

@@ -24,8 +24,15 @@ val prepare :
     front end is deterministic, so latency sweeps that revisit the same
     benchmark reuse one compile + profile.  The memo is a plain
     [Hashtbl] with no locking: this library is single-threaded.  Callers
-    that vary the optional flags must use [prepare] directly. *)
+    that vary the optional flags must use [prepare] directly.  The memo
+    is bounded (it resets when it outgrows the benchmark suite by a wide
+    margin), and [clear_caches] empties it on demand — fuzzing loops
+    call that between iterations so memory stays flat. *)
 val prepare_default : Benchsuite.Bench_intf.t -> prepared
+
+(** Drop the [prepare_default] memo ([Experiments.clear_cache] drops
+    the experiment sweep memo). *)
+val clear_caches : unit -> unit
 
 (** Partitioning context on a machine (default: the paper's 2-cluster
     machine at 5-cycle move latency). *)
@@ -55,3 +62,45 @@ val verify :
   Partition.Methods.context ->
   evaluation ->
   (unit, string) result
+
+(** [evaluate] with every internal invariant checked instead of raised:
+    stage exceptions become [Error], the clustered assignment is
+    structurally validated, and with [?verify_against] the full
+    differential check against the reference run is included. *)
+val evaluate_checked :
+  ?rhop_config:Partition.Rhop.config ->
+  ?gdp_config:Partition.Gdp.config ->
+  ?verify_against:prepared ->
+  Partition.Methods.context ->
+  Partition.Methods.t ->
+  (evaluation, string) result
+
+type fallback = {
+  failed_method : string;
+  reason : string;  (** why verification or an invariant rejected it *)
+}
+
+type robust = {
+  requested : Partition.Methods.t;
+  used : Partition.Methods.t;  (** first method in the chain that passed *)
+  evaluation : evaluation;
+  fallbacks : fallback list;  (** failed attempts before [used], in order *)
+}
+
+val pp_fallback : fallback Fmt.t
+
+(** Evaluate with graceful degradation along
+    [Partition.Methods.fallback_chain] (GDP -> Profile Max -> Naive ->
+    Unified): a method whose partition or schedule fails an invariant or
+    (with [verify], the default) the differential check is recorded as a
+    fallback and the next method is tried.  Failures count as detected
+    faults and a successful fallback as a recovery ([Fault.counts]).
+    [Error] only when every method in the chain fails. *)
+val evaluate_robust :
+  ?rhop_config:Partition.Rhop.config ->
+  ?gdp_config:Partition.Gdp.config ->
+  ?verify:bool ->
+  prepared ->
+  Partition.Methods.context ->
+  Partition.Methods.t ->
+  (robust, string) result

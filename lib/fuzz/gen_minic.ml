@@ -1,0 +1,196 @@
+(** QCheck generator of random MiniC programs.
+
+    Generated programs are closed (no inputs beyond a fixed 16-word
+    vector), terminate (loops have constant bounds), never divide by a
+    possibly-zero value, and keep every memory access in bounds (array
+    indices are masked with [& (size-1)] over power-of-two sizes).  They
+    exercise globals (scalars and arrays), the heap, conditionals, loops,
+    and observable output — the whole surface the partitioning pipeline
+    must preserve. *)
+
+let array_sizes = [ 4; 8; 16 ]
+
+type ctx = {
+  rng : Random.State.t;
+  int_arrays : (string * int) list;  (** name, power-of-two size *)
+  scalars : string list;
+  mutable locals : string list;  (** assignable locals *)
+  mutable loop_vars : string list;  (** readable but never assigned *)
+  mutable depth : int;
+  mutable uid : int;
+  buf : Buffer.t;
+  mutable indent : int;
+}
+
+let choose ctx l = List.nth l (Random.State.int ctx.rng (List.length l))
+let chance ctx p = Random.State.float ctx.rng 1.0 < p
+
+let line ctx fmt =
+  Buffer.add_string ctx.buf (String.make (ctx.indent * 2) ' ');
+  Printf.kbprintf (fun b -> Buffer.add_char b '\n') ctx.buf fmt
+
+(* ------------------------------------------------------------------ *)
+(* Expressions (as strings; always int-typed)                          *)
+
+let rec gen_expr ctx depth : string =
+  if depth <= 0 then gen_atom ctx
+  else
+    match Random.State.int ctx.rng 8 with
+    | 0 | 1 | 2 ->
+        let op = choose ctx [ "+"; "-"; "*"; "&"; "|"; "^" ] in
+        Printf.sprintf "(%s %s %s)" (gen_expr ctx (depth - 1)) op
+          (gen_expr ctx (depth - 1))
+    | 3 ->
+        (* division by a nonzero constant *)
+        Printf.sprintf "(%s / %d)" (gen_expr ctx (depth - 1))
+          (1 + Random.State.int ctx.rng 7)
+    | 4 ->
+        Printf.sprintf "(%s >> %d)" (gen_expr ctx (depth - 1))
+          (Random.State.int ctx.rng 4)
+    | 5 ->
+        let op = choose ctx [ "<"; "<="; ">"; ">="; "=="; "!=" ] in
+        Printf.sprintf "(%s %s %s)" (gen_expr ctx (depth - 1)) op
+          (gen_expr ctx (depth - 1))
+    | 6 -> gen_array_read ctx depth
+    | _ -> gen_atom ctx
+
+and gen_atom ctx : string =
+  match Random.State.int ctx.rng 6 with
+  | 0 -> string_of_int (Random.State.int ctx.rng 64 - 32)
+  | 1 when ctx.locals <> [] -> choose ctx ctx.locals
+  | 2 when ctx.scalars <> [] -> choose ctx ctx.scalars
+  | 3 -> Printf.sprintf "in(%d)" (Random.State.int ctx.rng 16)
+  | 4 when ctx.loop_vars <> [] -> choose ctx ctx.loop_vars
+  | _ -> string_of_int (Random.State.int ctx.rng 16)
+
+and gen_array_read ctx depth : string =
+  match ctx.int_arrays with
+  | [] -> gen_atom ctx
+  | arrays ->
+      let name, size = choose ctx arrays in
+      Printf.sprintf "%s[%s & %d]" name (gen_expr ctx (depth - 1)) (size - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+
+let gen_assign ctx =
+  match Random.State.int ctx.rng 3 with
+  | 0 when ctx.locals <> [] ->
+      line ctx "%s = %s;" (choose ctx ctx.locals) (gen_expr ctx 3)
+  | 1 when ctx.scalars <> [] ->
+      line ctx "%s = %s;" (choose ctx ctx.scalars) (gen_expr ctx 3)
+  | _ -> (
+      match ctx.int_arrays with
+      | [] when ctx.locals <> [] ->
+          line ctx "%s = %s;" (choose ctx ctx.locals) (gen_expr ctx 3)
+      | [] -> line ctx "out(%s);" (gen_expr ctx 2)
+      | arrays ->
+          let name, size = choose ctx arrays in
+          line ctx "%s[%s & %d] = %s;" name (gen_expr ctx 2) (size - 1)
+            (gen_expr ctx 3))
+
+let rec gen_stmt ctx =
+  ctx.depth <- ctx.depth + 1;
+  (match Random.State.int ctx.rng 10 with
+  | 0 | 1 | 2 | 3 -> gen_assign ctx
+  | 4 ->
+      let v = Printf.sprintf "t%d" (List.length ctx.locals) in
+      line ctx "int %s = %s;" v (gen_expr ctx 3);
+      ctx.locals <- v :: ctx.locals
+  | 5 -> line ctx "out(%s);" (gen_expr ctx 3)
+  | 6 | 7 when ctx.depth < 4 ->
+      line ctx "if (%s) {" (gen_expr ctx 2);
+      let saved = ctx.locals in
+      ctx.indent <- ctx.indent + 1;
+      gen_block ctx (1 + Random.State.int ctx.rng 3);
+      ctx.indent <- ctx.indent - 1;
+      ctx.locals <- saved;
+      if chance ctx 0.5 then begin
+        line ctx "} else {";
+        ctx.indent <- ctx.indent + 1;
+        gen_block ctx (1 + Random.State.int ctx.rng 3);
+        ctx.indent <- ctx.indent - 1;
+        ctx.locals <- saved
+      end;
+      line ctx "}"
+  | 8 when ctx.depth < 3 ->
+      ctx.uid <- ctx.uid + 1;
+      let v = Printf.sprintf "i%d" ctx.uid in
+      let n = 1 + Random.State.int ctx.rng 8 in
+      line ctx "for (int %s = 0; %s < %d; %s = %s + 1) {" v v n v v;
+      ctx.indent <- ctx.indent + 1;
+      let saved_locals = ctx.locals and saved_loop = ctx.loop_vars in
+      (* the induction variable is readable but never assignable, so
+         generated loops always terminate *)
+      ctx.loop_vars <- v :: ctx.loop_vars;
+      gen_block ctx (1 + Random.State.int ctx.rng 3);
+      ctx.locals <- saved_locals;
+      ctx.loop_vars <- saved_loop;
+      ctx.indent <- ctx.indent - 1;
+      line ctx "}"
+  | _ -> gen_assign ctx);
+  ctx.depth <- ctx.depth - 1
+
+and gen_block ctx n =
+  for _ = 1 to n do
+    gen_stmt ctx
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Whole programs                                                      *)
+
+let gen_program_with_seed seed : string =
+  let rng = Random.State.make [| seed |] in
+  let narrays = Random.State.int rng 3 in
+  let int_arrays =
+    List.init narrays (fun i ->
+        ( Printf.sprintf "g%d" i,
+          List.nth array_sizes (Random.State.int rng (List.length array_sizes))
+        ))
+  in
+  let nscalars = Random.State.int rng 3 in
+  let scalars = List.init nscalars (Printf.sprintf "s%d") in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, size) ->
+      let init =
+        String.concat ", "
+          (List.init size (fun i -> string_of_int ((i * 7) - size)))
+      in
+      Buffer.add_string buf (Printf.sprintf "int %s[%d] = {%s};\n" name size init))
+    int_arrays;
+  List.iter
+    (fun s -> Buffer.add_string buf (Printf.sprintf "int %s = %d;\n" s (Random.State.int rng 10)))
+    scalars;
+  Buffer.add_string buf "\nvoid main() {\n";
+  let ctx =
+    {
+      rng;
+      int_arrays;
+      scalars;
+      locals = [];
+      loop_vars = [];
+      depth = 0;
+      uid = 0;
+      buf;
+      indent = 1;
+    }
+  in
+  (* optional heap buffer *)
+  let ctx =
+    if chance ctx 0.6 then begin
+      line ctx "int *h = malloc(8);";
+      line ctx "for (int k = 0; k < 8; k = k + 1) { h[k] = in(k) * 3; }";
+      { ctx with int_arrays = ("h", 8) :: ctx.int_arrays }
+    end
+    else ctx
+  in
+  gen_block ctx (4 + Random.State.int ctx.rng 8);
+  (* observable summary so every run produces output *)
+  List.iter (fun (name, size) -> line ctx "out(%s[%d]);" name (size - 1)) ctx.int_arrays;
+  List.iter (fun s -> line ctx "out(%s);" s) ctx.scalars;
+  Buffer.add_string ctx.buf "}\n";
+  Buffer.contents ctx.buf
+
+(** Fixed workload for generated programs. *)
+let input = Array.init 16 (fun i -> (i * 13) mod 29)

@@ -374,6 +374,37 @@ let evaluate cfg g part =
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 
+(** Reject configurations whose balance constraints cannot be satisfied
+    by any bisection: negative or non-finite tolerances, and part-0
+    target shares outside (0, 1).  Checked up front so an infeasible
+    request fails loudly instead of silently returning a partition that
+    violates every cap. *)
+let validate_config (g : Graph.t) (cfg : config) =
+  if Array.length cfg.imbalance <> Graph.num_constraints g then
+    invalid_arg "Partitioner: imbalance arity mismatch";
+  Array.iteri
+    (fun i tol ->
+      if Float.is_nan tol || tol < 0. then
+        invalid_arg
+          (Fmt.str
+             "Partitioner: infeasible balance constraint %d (tolerance %g < 0)"
+             i tol))
+    cfg.imbalance;
+  match cfg.targets with
+  | None -> ()
+  | Some targets ->
+      if Array.length targets <> Graph.num_constraints g then
+        invalid_arg "Partitioner: targets arity mismatch";
+      Array.iteri
+        (fun i t ->
+          if Float.is_nan t || t <= 0. || t >= 1. then
+            invalid_arg
+              (Fmt.str
+                 "Partitioner: infeasible target share %g for constraint %d \
+                  (must lie in (0, 1))"
+                 t i))
+        targets
+
 (** Bisect [g]; returns a 0/1 assignment per node. *)
 let bisect ?(config : config option) (g : Graph.t) : int array =
   let cfg =
@@ -381,8 +412,7 @@ let bisect ?(config : config option) (g : Graph.t) : int array =
     | Some c -> c
     | None -> default_config ~ncon:(Graph.num_constraints g)
   in
-  if Array.length cfg.imbalance <> Graph.num_constraints g then
-    invalid_arg "Partitioner.bisect: imbalance arity mismatch";
+  validate_config g cfg;
   let rng = Random.State.make [| cfg.seed |] in
   (* uncoarsen: project through the levels (finest first in [levels]) *)
   let project (levels : level list) coarse_part =

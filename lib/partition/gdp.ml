@@ -121,6 +121,13 @@ let partition_objects ?config ~(machine : Vliw_machine.t) ~(prog : Prog.t)
   let { graph; pconfig = pcfg; prob_unit_of_op = unit_of_op; prob_num_units = nunits } =
     build_problem ?config ~machine ~prog ~merge ~dfg ~profile ()
   in
+  (* fault injection: hand the partitioner balance constraints no
+     bisection can satisfy; [Partitioner.validate_config] rejects them *)
+  let pcfg =
+    if Fault.fire "partition.infeasible" then
+      { pcfg with Graphpart.Partitioner.imbalance = [| -1.0; -1.0 |] }
+    else pcfg
+  in
   let part =
     if num_clusters = 2 then Graphpart.Partitioner.bisect ~config:pcfg graph
     else Graphpart.Partitioner.kway ~config:pcfg graph ~nparts:num_clusters
@@ -147,6 +154,34 @@ let partition_objects ?config ~(machine : Vliw_machine.t) ~(prog : Prog.t)
       (fun (g : Merge.group) ->
         List.map (fun o -> (o, part.(g.Merge.id))) g.Merge.objects)
       (Array.to_list merge.Merge.groups)
+  in
+  (* fault injection: split one multi-object merge group across
+     clusters.  The corrupt assignment violates home-cluster locking
+     and must be caught downstream ([Methods.lock_table]). *)
+  let obj_home =
+    let splittable =
+      Array.exists
+        (fun (g : Merge.group) -> List.length g.Merge.objects >= 2)
+        merge.Merge.groups
+    in
+    if splittable && Fault.fire "partition.split-group" then begin
+      let victim =
+        let candidates =
+          Array.to_list merge.Merge.groups
+          |> List.filter (fun (g : Merge.group) ->
+                 List.length g.Merge.objects >= 2)
+        in
+        List.nth candidates (Fault.rand "partition.split-group"
+                               (List.length candidates))
+      in
+      let moved = List.hd victim.Merge.objects in
+      List.map
+        (fun (o, c) ->
+          if Data.equal_obj o moved then (o, (c + 1) mod num_clusters)
+          else (o, c))
+        obj_home
+    end
+    else obj_home
   in
   let edgecut = Graphpart.Graph.edge_cut graph part in
   if Telemetry.is_enabled () then begin

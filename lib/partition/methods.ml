@@ -31,6 +31,17 @@ let of_name = function
   | "unified" -> Unified
   | s -> invalid_arg ("Methods.of_name: unknown method " ^ s)
 
+(** Graceful-degradation order: a method that fails verification falls
+    back to the next entry, ending at Unified (shared memory, no data
+    partition to get wrong).  The order follows the paper's method
+    hierarchy: GDP -> Profile Max -> Naive -> Unified. *)
+let fallback_chain m =
+  let rec from = function
+    | [] -> [ m ]
+    | x :: rest -> if x = m then x :: rest else from rest
+  in
+  from all
+
 (** Everything the methods need, computed once per (program, workload). *)
 type context = {
   prog : Prog.t;

@@ -12,6 +12,11 @@ val name : t -> string
 (** Raises [Invalid_argument] on unknown names. *)
 val of_name : string -> t
 
+(** Graceful-degradation order starting at the given method:
+    GDP -> Profile Max -> Naive -> Unified.  The first element is the
+    method itself; Unified is always last. *)
+val fallback_chain : t -> t list
+
 (** Everything the methods need, computed once per (program, workload,
     machine). *)
 type context = {

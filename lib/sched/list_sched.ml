@@ -104,6 +104,12 @@ let schedule_block ~(machine : Vliw_machine.t) ~(assign : Assignment.t)
               let k = Vliw_machine.fu_kind_index (Op.fu_kind o) in
               fu_slots.(c).(k) > 0
           in
+          (* fault injection: issue despite an exhausted slot — the
+             capacity violation must be caught by the simulator's
+             per-cycle resource check *)
+          let feasible =
+            feasible || ((not feasible) && Fault.fire "sched.overbook")
+          in
           if feasible then best := i
         end
       done;

@@ -142,12 +142,29 @@ let apply (prog : Prog.t) (assign : Assignment.t) : clustered =
     (* moves to insert after a definition of r on its home cluster *)
     let moves_for def_id r =
       let h = home_of r in
-      List.map
+      List.concat_map
         (fun c ->
-          let m = fresh_op (Op.Move { dst = shadow r c; src = r }) in
-          Assignment.set_cluster cassign ~op_id:(Op.id m) c;
-          Hashtbl.replace move_routes (Op.id m) (h, c);
-          m)
+          (* fault injection: silently drop a required intercluster
+             move — the consumer reads a stale shadow register *)
+          if Fault.fire "move.drop" then []
+          else begin
+            let m = fresh_op (Op.Move { dst = shadow r c; src = r }) in
+            Assignment.set_cluster cassign ~op_id:(Op.id m) c;
+            Hashtbl.replace move_routes (Op.id m) (h, c);
+            (* fault injection: duplicate the move onto the wrong
+               cluster, splitting the shadow register's defs across
+               clusters (violates the assignment invariant) *)
+            if Fault.fire "move.dup" then begin
+              let d =
+                fresh_op (Op.Move { dst = shadow r c; src = r })
+              in
+              let wrong = (c + 1) mod cassign.Assignment.num_clusters in
+              Assignment.set_cluster cassign ~op_id:(Op.id d) wrong;
+              Hashtbl.replace move_routes (Op.id d) (h, wrong);
+              [ m; d ]
+            end
+            else [ m ]
+          end)
         (clusters_needing def_id r)
     in
     let entry_label = Block.label (Func.entry f) in

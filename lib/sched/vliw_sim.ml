@@ -191,10 +191,27 @@ let rec exec_func st ~assign ~move_routes ~objects_of (f : Func.t)
       | Op.Fimm fl -> I.VFloat fl
     in
     let write t op reg v =
+      let is_icm = Hashtbl.mem move_routes (Op.id op) in
       let lat =
-        if Hashtbl.mem move_routes (Op.id op) then
-          Vliw_machine.move_latency st.machine
+        if is_icm then Vliw_machine.move_latency st.machine
         else Op.latency st.machine.Vliw_machine.latencies op
+      in
+      (* fault injection: timing fault — an intercluster transfer takes
+         longer than the machine model promises, so a consumer issued
+         against the nominal latency reads a stale value *)
+      let lat =
+        if is_icm && Fault.fire "sim.move-latency" then
+          lat + 1 + Fault.rand "sim.move-latency" 3
+        else lat
+      in
+      (* fault injection: data fault — the bus corrupts the transferred
+         value *)
+      let v =
+        if is_icm && Fault.fire "sim.move-value" then
+          match v with
+          | I.VInt i -> I.VInt (i + 1 + Fault.rand "sim.move-value" 7)
+          | I.VFloat f -> I.VFloat (f +. 1.0)
+        else v
       in
       pending := { reg; value = v; ready = t + lat; issued = t } :: !pending
     in

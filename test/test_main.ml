@@ -14,4 +14,5 @@ let () =
       ("partition", Test_partition.suite);
       ("pipeline", Test_pipeline.suite);
       ("telemetry", Test_telemetry.suite);
+      ("robust", Test_robust.suite);
     ]

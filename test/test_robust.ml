@@ -1,0 +1,490 @@
+(** Robustness layer: the fault-injection registry, [Pipeline.verify]
+    failure paths, graceful degradation along the method chain,
+    crash-safe experiment sweeps and the differential fuzzing harness. *)
+
+module Methods = Partition.Methods
+module Pipeline = Gdp_core.Pipeline
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(** Arm [spec], run [f], always disarm (the fault registry is global
+    state shared by every test in this binary). *)
+let with_injection ?seed spec f =
+  (match Fault.parse_spec spec with
+  | Ok sp -> Fault.arm ?seed sp
+  | Error m -> Alcotest.failf "bad spec %S: %s" spec m);
+  Fun.protect ~finally:Fault.disarm f
+
+let prepared_ctx ?(move_latency = 5) name =
+  let b = Benchsuite.Suite.find name in
+  let p = Pipeline.prepare b in
+  let machine = Vliw_machine.paper_machine ~move_latency () in
+  (p, Pipeline.context ~machine p)
+
+let expect_error ~substr = function
+  | Ok _ -> Alcotest.failf "expected a verification failure (%s)" substr
+  | Error m ->
+      if not (contains m substr) then
+        Alcotest.failf "expected %S in error %S" substr m
+
+(* ------------------------------------------------------------------ *)
+(* Fault registry and spec language                                    *)
+
+let test_parse_spec () =
+  (match Fault.parse_spec "move.drop" with
+  | Ok sp ->
+      Alcotest.(check bool)
+        "default trigger is @1" true
+        (Fault.spec_entries sp = [ ("move.drop", Fault.Nth 1) ])
+  | Error m -> Alcotest.failf "move.drop: %s" m);
+  (match Fault.parse_spec "sched.overbook@*" with
+  | Ok sp ->
+      Alcotest.(check bool)
+        "@* is Always" true
+        (Fault.spec_entries sp = [ ("sched.overbook", Fault.Always) ])
+  | Error m -> Alcotest.failf "sched.overbook@*: %s" m);
+  (match Fault.parse_spec "partition.infeasible, sim.move-latency@3" with
+  | Ok sp ->
+      Alcotest.(check int) "two entries" 2 (List.length (Fault.spec_entries sp))
+  | Error m -> Alcotest.failf "two-entry spec: %s" m);
+  (* every documented point parses under its own name *)
+  List.iter
+    (fun (p : Fault.point) ->
+      match Fault.parse_spec p.Fault.name with
+      | Ok _ -> ()
+      | Error m -> Alcotest.failf "point %s rejected: %s" p.Fault.name m)
+    Fault.points;
+  let expect_parse_error ~substr s =
+    match Fault.parse_spec s with
+    | Ok _ -> Alcotest.failf "spec %S should be rejected" s
+    | Error m ->
+        if not (contains m substr) then
+          Alcotest.failf "spec %S: expected %S in %S" s substr m
+  in
+  expect_parse_error ~substr:"unknown injection point" "nope";
+  expect_parse_error ~substr:"bad trigger" "move.drop@0";
+  expect_parse_error ~substr:"bad trigger" "move.drop@x";
+  expect_parse_error ~substr:"empty" ""
+
+let test_trigger_semantics () =
+  with_injection "move.drop@3" (fun () ->
+      let fires = List.init 5 (fun _ -> Fault.fire "move.drop") in
+      Alcotest.(check (list bool))
+        "Nth 3 fires exactly once, on the third opportunity"
+        [ false; false; true; false; false ]
+        fires;
+      Alcotest.(check int) "one injection" 1 (Fault.counts ()).Fault.injected;
+      Alcotest.(check bool)
+        "unmentioned point never fires" false (Fault.fire "move.dup"));
+  with_injection "sched.overbook@*" (fun () ->
+      Alcotest.(check (list bool))
+        "Always fires every time"
+        [ true; true; true ]
+        (List.init 3 (fun _ -> Fault.fire "sched.overbook"));
+      Alcotest.(check int) "three injections" 3
+        (Fault.counts ()).Fault.injected);
+  Alcotest.(check bool) "disarmed never fires" false (Fault.fire "move.drop")
+
+let test_rand_deterministic () =
+  let draws () =
+    with_injection ~seed:42 "sim.move-latency@*" (fun () ->
+        List.init 8 (fun _ -> Fault.rand "sim.move-latency" 100))
+  in
+  Alcotest.(check (list int)) "same (spec, seed) => same draws" (draws ())
+    (draws ());
+  List.iter
+    (fun v -> Alcotest.(check bool) "in range" true (v >= 0 && v < 100))
+    (draws ());
+  Alcotest.(check int) "disarmed rand is 0" 0 (Fault.rand "sim.move-latency" 100)
+
+let test_counts_ledger () =
+  with_injection "move.drop" (fun () ->
+      Alcotest.(check bool)
+        "arming resets counters" true
+        (Fault.counts () = { Fault.injected = 0; detected = 0; recovered = 0 });
+      Fault.note_detected ();
+      Fault.note_detected ();
+      Fault.note_recovered ();
+      let c = Fault.counts () in
+      Alcotest.(check int) "detected" 2 c.Fault.detected;
+      Alcotest.(check int) "recovered" 1 c.Fault.recovered;
+      Fault.reset_counts ();
+      Alcotest.(check int) "reset" 0 (Fault.counts ()).Fault.detected)
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline.verify failure paths (satellite: each distinct Error
+   branch must be reachable with its expected message)                 *)
+
+let test_verify_clustered_interp_failure () =
+  (* starve the clustered run of its input: in(i) must fail *)
+  let p, ctx = prepared_ctx "fir" in
+  let e = Pipeline.evaluate ctx Methods.Gdp in
+  let starved =
+    {
+      p with
+      Pipeline.bench =
+        { p.Pipeline.bench with Benchsuite.Bench_intf.input = [||] };
+    }
+  in
+  expect_error ~substr:"clustered interpretation failed"
+    (Pipeline.verify starved ctx e)
+
+let test_verify_clustered_output_mismatch () =
+  (* drop every intercluster move during evaluation: consumers read
+     stale shadow registers, so the clustered interpretation diverges *)
+  let p, ctx = prepared_ctx "fir" in
+  let e =
+    with_injection "move.drop@*" (fun () -> Pipeline.evaluate ctx Methods.Gdp)
+  in
+  expect_error ~substr:"clustered interpretation outputs differ"
+    (Pipeline.verify p ctx e)
+
+let test_verify_sim_capacity_violation () =
+  (* overbook the schedules the simulator builds internally: its
+     per-cycle resource check must reject them *)
+  let p, ctx = prepared_ctx "fir" in
+  let e = Pipeline.evaluate ctx Methods.Gdp in
+  with_injection "sched.overbook@*" (fun () ->
+      expect_error ~substr:"cycle simulation failed"
+        (Pipeline.verify p ctx e);
+      Alcotest.(check bool)
+        "capacity faults were injected" true
+        ((Fault.counts ()).Fault.injected > 0))
+
+let test_verify_sim_output_mismatch () =
+  (* corrupt every intercluster move's value inside the simulator *)
+  let p, ctx = prepared_ctx "fir" in
+  let e = Pipeline.evaluate ctx Methods.Gdp in
+  with_injection "sim.move-value@*" (fun () ->
+      expect_error ~substr:"cycle simulation outputs differ"
+        (Pipeline.verify p ctx e))
+
+let test_verify_cycle_model_disagreement () =
+  let p, ctx = prepared_ctx "fir" in
+  let e = Pipeline.evaluate ctx Methods.Gdp in
+  let bumped =
+    {
+      e with
+      Pipeline.report =
+        {
+          e.Pipeline.report with
+          Vliw_sched.Perf.total_cycles =
+            e.Pipeline.report.Vliw_sched.Perf.total_cycles + 1;
+        };
+    }
+  in
+  expect_error ~substr:"simulated cycles" (Pipeline.verify p ctx bumped);
+  expect_error ~substr:"disagree with the static model"
+    (Pipeline.verify p ctx bumped)
+
+let test_verify_move_model_disagreement () =
+  let p, ctx = prepared_ctx "fir" in
+  let e = Pipeline.evaluate ctx Methods.Gdp in
+  let bumped =
+    {
+      e with
+      Pipeline.report =
+        {
+          e.Pipeline.report with
+          Vliw_sched.Perf.dynamic_moves =
+            e.Pipeline.report.Vliw_sched.Perf.dynamic_moves + 1;
+        };
+    }
+  in
+  expect_error ~substr:"simulated moves" (Pipeline.verify p ctx bumped)
+
+let test_verify_corrupt_assignment_detected () =
+  (* hand-corrupt the cluster assignment of one compute op in a
+     finished evaluation: the structural validator (the detection layer
+     [evaluate_checked] runs) must reject it — a register web now spans
+     clusters, or a memory op left its objects' home cluster *)
+  let _, ctx = prepared_ctx "fir" in
+  let e = Pipeline.evaluate ctx Methods.Gdp in
+  let c = e.Pipeline.outcome.Methods.clustered in
+  let routes = c.Vliw_sched.Move_insert.move_routes in
+  let nclusters = Vliw_machine.num_clusters ctx.Methods.machine in
+  let caught = ref false in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun b ->
+          List.iter
+            (fun op ->
+              let op_id = Vliw_ir.Op.id op in
+              if (not !caught) && not (Hashtbl.mem routes op_id) then begin
+                let a = Vliw_sched.Assignment.copy
+                    c.Vliw_sched.Move_insert.cassign in
+                match Vliw_sched.Assignment.cluster_of_opt a ~op_id with
+                | None -> ()
+                | Some cur ->
+                    Vliw_sched.Assignment.set_cluster a ~op_id
+                      ((cur + 1) mod nclusters);
+                    (try
+                       Vliw_sched.Assignment.validate a
+                         c.Vliw_sched.Move_insert.cprog
+                         ~objects_of:(Methods.objects_of ctx)
+                     with Vliw_sched.Assignment.Invalid _ -> caught := true)
+              end)
+            (Vliw_ir.Block.ops b))
+        (Vliw_ir.Func.blocks f))
+    (Vliw_ir.Prog.funcs c.Vliw_sched.Move_insert.cprog);
+  Alcotest.(check bool)
+    "some single-op reassignment violates an invariant" true !caught
+
+(* ------------------------------------------------------------------ *)
+(* Graceful degradation                                                *)
+
+let test_robust_identity_without_faults () =
+  let p, ctx = prepared_ctx "fir" in
+  match Pipeline.evaluate_robust p ctx Methods.Gdp with
+  | Error m -> Alcotest.failf "clean run failed: %s" m
+  | Ok r ->
+      Alcotest.(check string)
+        "no degradation" "gdp"
+        (Methods.name r.Pipeline.used);
+      Alcotest.(check int) "no fallbacks" 0 (List.length r.Pipeline.fallbacks)
+
+let test_robust_degrades_on_infeasible_partition () =
+  let p, ctx = prepared_ctx "fir" in
+  with_injection "partition.infeasible@1" (fun () ->
+      match Pipeline.evaluate_robust p ctx Methods.Gdp with
+      | Error m -> Alcotest.failf "chain exhausted: %s" m
+      | Ok r ->
+          Alcotest.(check string)
+            "degraded to the next method" "profile-max"
+            (Methods.name r.Pipeline.used);
+          (match r.Pipeline.fallbacks with
+          | [ fb ] ->
+              Alcotest.(check string)
+                "gdp is the recorded failure" "gdp" fb.Pipeline.failed_method;
+              Alcotest.(check bool)
+                "reason names the infeasible constraint" true
+                (contains fb.Pipeline.reason "infeasible")
+          | fbs ->
+              Alcotest.failf "expected exactly one fallback, got %d"
+                (List.length fbs));
+          let c = Fault.counts () in
+          Alcotest.(check int) "injected" 1 c.Fault.injected;
+          Alcotest.(check int) "detected" 1 c.Fault.detected;
+          Alcotest.(check int) "recovered" 1 c.Fault.recovered)
+
+(** Every documented injection point, when armed on a real benchmark,
+    must never be silently accepted: either it finds no opportunity
+    (zero injections), or the fault is detected and the chain degrades
+    (recovery), or — when armed on *every* opportunity, so even the
+    fallback methods run in a corrupted environment — the chain is
+    exhausted as a clean [Error] rather than a crash.  A single
+    injected fault that is neither detected nor inert (it had enough
+    slack to never reach an output) is escalated to [@*], where
+    detection becomes mandatory. *)
+let test_every_point_detected_or_inert () =
+  let p, ctx = prepared_ctx "fir" in
+  let run spec =
+    with_injection spec (fun () ->
+        let r = Pipeline.evaluate_robust p ctx Methods.Gdp in
+        (r, Fault.counts ()))
+  in
+  List.iter
+    (fun (pt : Fault.point) ->
+      match run (pt.Fault.name ^ "@1") with
+      | Ok r, { Fault.injected = 0; _ } ->
+          (* no opportunity on this benchmark: nothing to detect *)
+          Alcotest.(check int)
+            (pt.Fault.name ^ ": inert run has no fallbacks")
+            0
+            (List.length r.Pipeline.fallbacks)
+      | Ok r, c when c.Fault.detected > 0 ->
+          Alcotest.(check bool)
+            (pt.Fault.name ^ ": pipeline recovered")
+            true
+            (c.Fault.recovered > 0 && r.Pipeline.fallbacks <> [])
+      | Error _, c ->
+          Alcotest.(check bool)
+            (pt.Fault.name ^ ": exhausted chain still detected the fault")
+            true (c.Fault.detected > 0)
+      | Ok _, _ -> (
+          (* injected but undetected: the single fault never propagated;
+             corrupt every opportunity instead *)
+          match run (pt.Fault.name ^ "@*") with
+          | Ok r, c ->
+              Alcotest.(check bool)
+                (pt.Fault.name ^ "@*: detected and recovered")
+                true
+                (c.Fault.detected > 0 && r.Pipeline.fallbacks <> []);
+          | Error _, c ->
+              Alcotest.(check bool)
+                (pt.Fault.name ^ "@*: exhausted chain still detected")
+                true (c.Fault.detected > 0)))
+    Fault.points
+
+let test_fallback_chain_order () =
+  Alcotest.(check (list string))
+    "gdp chain"
+    [ "gdp"; "profile-max"; "naive"; "unified" ]
+    (List.map Methods.name (Methods.fallback_chain Methods.Gdp));
+  Alcotest.(check (list string))
+    "naive chain" [ "naive"; "unified" ]
+    (List.map Methods.name (Methods.fallback_chain Methods.Naive));
+  Alcotest.(check (list string))
+    "unified is terminal" [ "unified" ]
+    (List.map Methods.name (Methods.fallback_chain Methods.Unified))
+
+(* ------------------------------------------------------------------ *)
+(* Crash-safe experiment sweeps                                        *)
+
+let test_experiments_error_row () =
+  Gdp_core.Experiments.clear_cache ();
+  Fun.protect ~finally:(fun () -> Gdp_core.Experiments.clear_cache ())
+  @@ fun () ->
+  with_injection "partition.infeasible@*" (fun () ->
+      let rows =
+        Gdp_core.Experiments.run_all
+          ~benches:[ Benchsuite.Suite.find "fir" ]
+          ~move_latency:5 ()
+      in
+      match rows with
+      | [ r ] ->
+          Alcotest.(check bool)
+            "failed benchmark becomes an error row" true
+            (r.Gdp_core.Experiments.error <> None);
+          Alcotest.(check bool)
+            "no cycles recorded" true
+            (Gdp_core.Experiments.cycles_opt r "gdp" = None);
+          Alcotest.(check string) "right benchmark" "fir"
+            r.Gdp_core.Experiments.bench
+      | rows -> Alcotest.failf "expected one row, got %d" (List.length rows))
+
+let test_figures_render_gaps () =
+  Gdp_core.Experiments.clear_cache ();
+  Fun.protect ~finally:(fun () -> Gdp_core.Experiments.clear_cache ())
+  @@ fun () ->
+  with_injection "partition.infeasible@*" (fun () ->
+      let p =
+        Gdp_core.Experiments.performance
+          ~benches:[ Benchsuite.Suite.find "fir" ]
+          ~move_latency:5 ()
+      in
+      let out =
+        Fmt.str "%a" (fun ppf p ->
+            Gdp_core.Experiments.render_performance ppf p
+              ~figure_name:"figure 7")
+          p
+      in
+      Alcotest.(check bool)
+        "failed benchmark renders as an explicit gap" true
+        (contains out "n/a"))
+
+(* ------------------------------------------------------------------ *)
+(* Cache bounding                                                      *)
+
+let test_clear_caches () =
+  let b = Benchsuite.Suite.find "fir" in
+  let p1 = Pipeline.prepare_default b in
+  let p2 = Pipeline.prepare_default b in
+  Alcotest.(check bool) "memoized" true (p1 == p2);
+  Pipeline.clear_caches ();
+  let p3 = Pipeline.prepare_default b in
+  Alcotest.(check bool) "fresh after clear" true (p3 != p1)
+
+(* ------------------------------------------------------------------ *)
+(* Differential fuzzing                                                *)
+
+let test_fuzz_smoke () =
+  let summary =
+    Gdp_fuzz.Fuzz.campaign ~latencies:[ 5 ] ~seed:0 ~count:5 ()
+  in
+  Alcotest.(check int) "five programs" 5 summary.Gdp_fuzz.Fuzz.programs;
+  (match summary.Gdp_fuzz.Fuzz.mismatches with
+  | [] -> ()
+  | (m, _) :: _ ->
+      Alcotest.failf "differential mismatch: %a" Gdp_fuzz.Fuzz.pp_mismatch m)
+
+let test_fuzz_generator_deterministic () =
+  Alcotest.(check string)
+    "same seed, same program"
+    (Gdp_fuzz.Gen_minic.gen_program_with_seed 7)
+    (Gdp_fuzz.Gen_minic.gen_program_with_seed 7);
+  Alcotest.(check bool)
+    "different seeds diverge" true
+    (Gdp_fuzz.Gen_minic.gen_program_with_seed 7
+    <> Gdp_fuzz.Gen_minic.gen_program_with_seed 8)
+
+let test_shrinker () =
+  let keep s = contains s "keep" in
+  Alcotest.(check string)
+    "greedy line dropping reaches the 1-line core" "keep"
+    (Gdp_fuzz.Fuzz.shrink ~budget:100 ~keep "a\nb\nkeep\nc");
+  (* a zero budget must return the input unchanged *)
+  Alcotest.(check string)
+    "no budget, no shrinking" "a\nkeep"
+    (Gdp_fuzz.Fuzz.shrink ~budget:0 ~keep "a\nkeep")
+
+let test_crash_corpus_layout () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "gdp-corpus-test"
+  in
+  let m =
+    {
+      Gdp_fuzz.Fuzz.seed = 3;
+      latency = 5;
+      method_name = "gdp";
+      reason = "synthetic";
+    }
+  in
+  let paths =
+    Gdp_fuzz.Fuzz.save_crash ~dir m ~source:"int x;\nvoid main() {}\n"
+      ~shrunk:(Some "void main() {}\n")
+  in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) (p ^ " exists") true (Sys.file_exists p))
+    paths;
+  Alcotest.(check int) "source, shrunk and report" 3 (List.length paths);
+  List.iter Sys.remove paths;
+  (try Sys.rmdir dir with Sys_error _ -> ())
+
+let suite =
+  [
+    Alcotest.test_case "fault: spec parsing" `Quick test_parse_spec;
+    Alcotest.test_case "fault: trigger semantics" `Quick
+      test_trigger_semantics;
+    Alcotest.test_case "fault: deterministic rand" `Quick
+      test_rand_deterministic;
+    Alcotest.test_case "fault: counters ledger" `Quick test_counts_ledger;
+    Alcotest.test_case "verify: clustered interp failure" `Quick
+      test_verify_clustered_interp_failure;
+    Alcotest.test_case "verify: clustered output mismatch" `Quick
+      test_verify_clustered_output_mismatch;
+    Alcotest.test_case "verify: sim capacity violation" `Quick
+      test_verify_sim_capacity_violation;
+    Alcotest.test_case "verify: sim output mismatch" `Quick
+      test_verify_sim_output_mismatch;
+    Alcotest.test_case "verify: cycle model disagreement" `Quick
+      test_verify_cycle_model_disagreement;
+    Alcotest.test_case "verify: move model disagreement" `Quick
+      test_verify_move_model_disagreement;
+    Alcotest.test_case "verify: corrupt assignment rejected" `Quick
+      test_verify_corrupt_assignment_detected;
+    Alcotest.test_case "robust: identity without faults" `Quick
+      test_robust_identity_without_faults;
+    Alcotest.test_case "robust: degrades on infeasible partition" `Quick
+      test_robust_degrades_on_infeasible_partition;
+    Alcotest.test_case "robust: every point detected or inert" `Slow
+      test_every_point_detected_or_inert;
+    Alcotest.test_case "robust: fallback chain order" `Quick
+      test_fallback_chain_order;
+    Alcotest.test_case "experiments: error row" `Quick
+      test_experiments_error_row;
+    Alcotest.test_case "experiments: figures render gaps" `Quick
+      test_figures_render_gaps;
+    Alcotest.test_case "pipeline: clear_caches" `Quick test_clear_caches;
+    Alcotest.test_case "fuzz: differential smoke" `Slow test_fuzz_smoke;
+    Alcotest.test_case "fuzz: generator determinism" `Quick
+      test_fuzz_generator_deterministic;
+    Alcotest.test_case "fuzz: shrinker" `Quick test_shrinker;
+    Alcotest.test_case "fuzz: crash corpus layout" `Quick
+      test_crash_corpus_layout;
+  ]
