@@ -12,6 +12,14 @@
      --trace FILE    record telemetry and write a Chrome trace
      --json FILE     dump per-experiment wall times and bechamel ns/run
                      estimates as machine-readable JSON
+     --report DIR    write per-benchmark attribution reports (MD/CSV/JSON)
+     --baseline FILE write the attribution baseline JSON (gdp-attrib/1)
+     --check FILE    regression gate: diff the current run against a
+                     committed baseline, exit non-zero on regressions
+     --tolerance PCT allowed relative growth for --check (default 2%)
+
+   When only report/baseline/check flags are given, the figure sweep is
+   skipped — the gate runs on its own.
 
    Experiments: table1 fig2 fig7 fig8a fig8b fig9a fig9b fig10
    compile-time ablate-merge ablate-imbalance ablate-clusters *)
@@ -227,21 +235,131 @@ let render_timings rows =
   Fmt.pr "%-18s %10.3f@." "TOTAL"
     (List.fold_left (fun a (_, s) -> a +. s) 0. rows)
 
+(* ------------------------------------------------------------------ *)
+(* Attribution reports and the metrics regression gate (--report,
+   --baseline, --check).  Reports and baselines are produced at the
+   paper's default 5-cycle latency; --check re-runs at whatever latency
+   the baseline was recorded at.                                       *)
+
+let attrib_latency = 5
+
+let explanations ~move_latency =
+  List.filter_map
+    (fun (b : Benchsuite.Bench_intf.t) ->
+      try Some (Gdp_report.Explain.explain_bench ~move_latency b)
+      with exn ->
+        Fmt.epr "warning: explain %s failed: %s@." b.Benchsuite.Bench_intf.name
+          (Printexc.to_string exn);
+        None)
+    (Experiments.default_benches ())
+
+let write_text_file path render =
+  let oc = open_out path in
+  let ppf = Format.formatter_of_out_channel oc in
+  render ppf;
+  Format.pp_print_flush ppf ();
+  close_out oc;
+  Fmt.pr "wrote %s@." path
+
+(** Returns [false] when the regression gate failed. *)
+let run_attrib ~report ~baseline ~check ~tolerance : bool =
+  (match report with
+  | Some dir ->
+      let files =
+        Gdp_report.Explain.write_reports ~dir
+          (explanations ~move_latency:attrib_latency)
+      in
+      List.iter (fun f -> Fmt.pr "wrote %s@." f) files
+  | None -> ());
+  (match baseline with
+  | Some path ->
+      let es = explanations ~move_latency:attrib_latency in
+      write_text_file path (fun ppf -> Gdp_report.Explain.to_json ppf es)
+  | None -> ());
+  match check with
+  | None -> true
+  | Some path -> (
+      match Gdp_report.Regress.load path with
+      | Error m ->
+          Fmt.epr "check: cannot load baseline: %s@." m;
+          false
+      | Ok base ->
+          let es =
+            explanations ~move_latency:base.Gdp_report.Regress.b_latency
+          in
+          let issues =
+            Gdp_report.Regress.check ~tolerance ~baseline:base
+              ~current:(Gdp_report.Regress.rows_of es)
+          in
+          if issues = [] then begin
+            Fmt.pr
+              "check: OK — %d baseline row(s) within %.1f%% (latency %d)@."
+              (List.length base.Gdp_report.Regress.b_rows)
+              tolerance base.Gdp_report.Regress.b_latency;
+            true
+          end
+          else begin
+            List.iter
+              (fun i ->
+                Fmt.epr "check: REGRESSION: %a@." Gdp_report.Regress.pp_issue i)
+              issues;
+            Fmt.epr "check: %d regression(s) beyond %.1f%%@."
+              (List.length issues) tolerance;
+            false
+          end)
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let rec parse_flags timings trace json = function
-    | "--timings" :: rest -> parse_flags true trace json rest
-    | "--trace" :: file :: rest -> parse_flags timings (Some file) json rest
+  let rec parse_flags timings trace json report baseline check tolerance =
+    function
+    | "--timings" :: rest ->
+        parse_flags true trace json report baseline check tolerance rest
+    | "--trace" :: file :: rest ->
+        parse_flags timings (Some file) json report baseline check tolerance
+          rest
     | [ "--trace" ] ->
         Fmt.epr "--trace needs a file argument@.";
         exit 1
-    | "--json" :: file :: rest -> parse_flags timings trace (Some file) rest
+    | "--json" :: file :: rest ->
+        parse_flags timings trace (Some file) report baseline check tolerance
+          rest
     | [ "--json" ] ->
         Fmt.epr "--json needs a file argument@.";
         exit 1
-    | rest -> (timings, trace, json, rest)
+    | "--report" :: dir :: rest ->
+        parse_flags timings trace json (Some dir) baseline check tolerance rest
+    | [ "--report" ] ->
+        Fmt.epr "--report needs a directory argument@.";
+        exit 1
+    | "--baseline" :: file :: rest ->
+        parse_flags timings trace json report (Some file) check tolerance rest
+    | [ "--baseline" ] ->
+        Fmt.epr "--baseline needs a file argument@.";
+        exit 1
+    | "--check" :: file :: rest ->
+        parse_flags timings trace json report baseline (Some file) tolerance
+          rest
+    | [ "--check" ] ->
+        Fmt.epr "--check needs a file argument@.";
+        exit 1
+    | "--tolerance" :: pct :: rest -> (
+        match float_of_string_opt pct with
+        | Some t when t >= 0. ->
+            parse_flags timings trace json report baseline check t rest
+        | _ ->
+            Fmt.epr "--tolerance needs a non-negative percentage@.";
+            exit 1)
+    | [ "--tolerance" ] ->
+        Fmt.epr "--tolerance needs a percentage argument@.";
+        exit 1
+    | rest -> (timings, trace, json, report, baseline, check, tolerance, rest)
   in
-  let timings, trace, json, args = parse_flags false None None args in
+  let timings, trace, json, report, baseline, check, tolerance, args =
+    parse_flags false None None None None None 2.0 args
+  in
+  let attrib_only =
+    args = [] && (report <> None || baseline <> None || check <> None)
+  in
   if timings || trace <> None || json <> None then Telemetry.enable ();
   (* bechamel rows collected if the pseudo-experiment ran this invocation *)
   let bech = ref [] in
@@ -256,11 +374,13 @@ let () =
     | Some path ->
         Telemetry.Sink.write_chrome_trace path (Telemetry.snapshot ())
     | None -> ());
-    match json with
+    (match json with
     | Some path -> write_json path ~timings:rows ~bechamel:!bech
-    | None -> ()
+    | None -> ());
+    if not (run_attrib ~report ~baseline ~check ~tolerance) then exit 1
   in
   match args with
+  | [] when attrib_only -> finish []
   | [] ->
       Fmt.pr
         "Reproducing: Chu & Mahlke, Compiler-directed Data Partitioning for \

@@ -4,6 +4,7 @@
      gdpc compile FILE        compile MiniC and print the IR
      gdpc run FILE            compile and interpret
      gdpc partition FILE      full pipeline: partition, schedule, report
+     gdpc explain FILE        cycle attribution + placement report
      gdpc bench [NAME]        evaluate suite benchmarks (all methods)
      gdpc fuzz                differential fuzzing over random programs
      gdpc list                list suite benchmarks *)
@@ -101,7 +102,12 @@ let clusters_arg =
 (* Observability: telemetry flags, log verbosity and fault injection,
    shared by every subcommand                                          *)
 
-type obs = { trace : string option; stats : bool; injecting : bool }
+type obs = {
+  trace : string option;
+  stats : bool;
+  stats_file : string option;
+  injecting : bool;
+}
 
 let inject_conv : Fault.spec Arg.conv =
   let parse s =
@@ -149,6 +155,16 @@ let stats_arg =
           "Record telemetry and print a span-tree summary (total/self \
            times) and the metric counters when the command finishes.")
 
+let stats_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats-file" ] ~docv:"FILE"
+        ~doc:
+          "Record telemetry and write the span-tree/metrics/histogram \
+           summary to $(docv) when the command finishes, so CI can \
+           archive stats without scraping stdout.")
+
 let verbose_arg =
   Arg.(
     value & flag_all
@@ -158,7 +174,7 @@ let verbose_arg =
 let quiet_arg =
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only log errors.")
 
-let setup_obs trace stats verbose quiet inject inject_seed =
+let setup_obs trace stats stats_file verbose quiet inject inject_seed =
   let level =
     if quiet then Some Logs.Error
     else
@@ -169,24 +185,27 @@ let setup_obs trace stats verbose quiet inject inject_seed =
   in
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level level;
-  if trace <> None || stats then Telemetry.enable ();
+  if trace <> None || stats || stats_file <> None then Telemetry.enable ();
   (match inject with
   | Some spec -> Fault.arm ~seed:inject_seed spec
   | None -> Fault.disarm ());
-  { trace; stats; injecting = inject <> None }
+  { trace; stats; stats_file; injecting = inject <> None }
 
 let obs_term =
   Term.(
-    const setup_obs $ trace_arg $ stats_arg $ verbose_arg $ quiet_arg
-    $ inject_arg $ inject_seed_arg)
+    const setup_obs $ trace_arg $ stats_arg $ stats_file_arg $ verbose_arg
+    $ quiet_arg $ inject_arg $ inject_seed_arg)
 
 (** Flush recorded telemetry to the requested sinks; report the fault
     ledger when injection was armed. *)
 let finish_obs obs =
-  if obs.trace <> None || obs.stats then begin
+  if obs.trace <> None || obs.stats || obs.stats_file <> None then begin
     let snap = Telemetry.snapshot () in
     (match obs.trace with
     | Some path -> Telemetry.Sink.write_chrome_trace path snap
+    | None -> ());
+    (match obs.stats_file with
+    | Some path -> Telemetry.Sink.write_summary path snap
     | None -> ());
     if obs.stats then Fmt.pr "@.%a" Telemetry.Sink.summary snap
   end;
@@ -414,6 +433,60 @@ let partition_cmd =
       $ clusters_arg $ schedule_flag $ verify_flag $ robust_flag)
 
 (* ------------------------------------------------------------------ *)
+(* explain                                                             *)
+
+let explain_cmd =
+  let run obs file input latency clusters out =
+    handle_errors (fun () ->
+        let source = read_file file in
+        let bench =
+          {
+            Benchsuite.Bench_intf.name =
+              Filename.remove_extension (Filename.basename file);
+            description = "command-line program";
+            source;
+            input;
+            exhaustive_ok = false;
+          }
+        in
+        let prepared =
+          with_compile_diagnostics ~path:file ~src:source (fun () ->
+              Gdp_core.Pipeline.prepare bench)
+        in
+        let machine =
+          if clusters = 2 then Vliw_machine.paper_machine ~move_latency:latency ()
+          else Vliw_machine.scaled_machine ~clusters ~move_latency:latency ()
+        in
+        let e = Gdp_report.Explain.explain ~machine prepared in
+        (match out with
+        | None -> Fmt.pr "%a" Gdp_report.Explain.to_markdown e
+        | Some dir ->
+            let files = Gdp_report.Explain.write_reports ~dir [ e ] in
+            List.iter (fun f -> Fmt.pr "wrote %s@." f) files);
+        finish_obs obs)
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"DIR"
+          ~doc:
+            "Write the Markdown/CSV/JSON report files into $(docv) instead \
+             of printing Markdown to stdout.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Explain where the cycles go: run every partitioning method, \
+          attribute each cycle to a category (useful, issue stall, \
+          transfer wait, memory serialization, empty), split per-object \
+          accesses into local vs remote, and render the most expensive \
+          data placements.")
+    Term.(
+      const run $ obs_term $ file_arg $ input_arg $ latency_arg $ clusters_arg
+      $ out_arg)
+
+(* ------------------------------------------------------------------ *)
 (* bench                                                               *)
 
 let bench_cmd =
@@ -566,4 +639,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "gdpc" ~version:"1.0.0" ~doc)
-          [ compile_cmd; run_cmd; partition_cmd; bench_cmd; fuzz_cmd; list_cmd ]))
+          [
+            compile_cmd;
+            run_cmd;
+            partition_cmd;
+            explain_cmd;
+            bench_cmd;
+            fuzz_cmd;
+            list_cmd;
+          ]))

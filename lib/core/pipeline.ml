@@ -72,7 +72,15 @@ let prepare_default (bench : Benchsuite.Bench_intf.t) : prepared =
       Hashtbl.replace prepare_cache name p;
       p
 
-let clear_caches () = Hashtbl.reset prepare_cache
+(* Downstream layers (e.g. the report explainer) keep their own bounded
+   memos; they register a clearer here so one [clear_caches] call covers
+   every cache in the process without this module depending on them. *)
+let extra_clearers : (unit -> unit) list ref = ref []
+let register_cache_clearer f = extra_clearers := f :: !extra_clearers
+
+let clear_caches () =
+  Hashtbl.reset prepare_cache;
+  List.iter (fun f -> f ()) !extra_clearers
 
 let context ?machine ?merge_low_slack (p : prepared) : Methods.context =
   let machine =

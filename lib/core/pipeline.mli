@@ -30,9 +30,15 @@ val prepare :
     call that between iterations so memory stays flat. *)
 val prepare_default : Benchsuite.Bench_intf.t -> prepared
 
-(** Drop the [prepare_default] memo ([Experiments.clear_cache] drops
-    the experiment sweep memo). *)
+(** Drop the [prepare_default] memo and run every registered clearer
+    ([Experiments.clear_cache] drops the experiment sweep memo). *)
 val clear_caches : unit -> unit
+
+(** Register an extra cache clearer to be run by [clear_caches].
+    Downstream layers with their own memos (e.g. the report explainer)
+    register here so fuzzing loops that call [clear_caches] between
+    iterations keep the whole process flat on memory. *)
+val register_cache_clearer : (unit -> unit) -> unit
 
 (** Partitioning context on a machine (default: the paper's 2-cluster
     machine at 5-cycle move latency). *)

@@ -58,6 +58,17 @@ let accesses_of t ~op_id : (Data.obj * int) list =
   | None -> []
   | Some tbl -> Hashtbl.fold (fun o n acc -> (o, n) :: acc) tbl []
 
+(** Dynamic accesses summed over all memory operations, per object —
+    the ground truth the attribution layer's local/remote split must
+    add back up to. *)
+let object_access_totals t : (Data.obj * int) list =
+  let totals = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _op_id per_obj -> Hashtbl.iter (fun o n -> bump totals o n) per_obj)
+    t.access_counts;
+  Hashtbl.fold (fun o n acc -> (o, n) :: acc) totals []
+  |> List.sort (fun (a, _) (b, _) -> Data.compare_obj a b)
+
 (** Total bytes allocated per malloc site, as an assoc list sorted by
     site id (the object-table input). *)
 let heap_sizes t =

@@ -21,6 +21,10 @@ val block_count : t -> func:string -> label:Label.t -> int
 val op_count : t -> op_id:int -> int
 val accesses_of : t -> op_id:int -> (Data.obj * int) list
 
+(** Dynamic accesses summed over all memory operations, per object,
+    sorted by object. *)
+val object_access_totals : t -> (Data.obj * int) list
+
 (** Total bytes per malloc site, sorted by site. *)
 val heap_sizes : t -> (int * int) list
 

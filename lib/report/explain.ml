@@ -1,0 +1,409 @@
+(** Per-benchmark, per-method explanation reports (see explain.mli). *)
+
+open Vliw_ir
+module Methods = Partition.Methods
+module Attrib = Vliw_sched.Attrib
+module Occupancy = Vliw_sched.Occupancy
+
+type method_row = {
+  mr_method : string;
+  mr_cycles : int;
+  mr_dynamic_moves : int;
+  mr_static_moves : int;
+  mr_cut_edges : float option;
+  mr_inserted_moves : int option;
+  mr_totals : Attrib.totals;
+  mr_occupancy : Occupancy.t option;
+  mr_obj_home : (Data.obj * int) list;
+}
+
+type t = {
+  ex_bench : string;
+  ex_latency : int;
+  ex_clusters : int;
+  ex_access_totals : (Data.obj * int) list;
+  ex_rows : method_row list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Building                                                            *)
+
+let occupancy ~machine ~objects_of (c : Vliw_sched.Move_insert.clustered)
+    ~profile : Occupancy.t option =
+  let acc = ref None in
+  List.iter
+    (fun f ->
+      let cfg = Vliw_analysis.Cfg.of_func f in
+      let liveness = Vliw_analysis.Liveness.compute cfg in
+      List.iter
+        (fun b ->
+          let live_out =
+            Vliw_analysis.Liveness.live_out liveness
+              (Vliw_analysis.Cfg.block_index cfg (Block.label b))
+          in
+          let sched =
+            Vliw_sched.List_sched.schedule_block ~machine
+              ~assign:c.Vliw_sched.Move_insert.cassign
+              ~move_routes:c.Vliw_sched.Move_insert.move_routes ~objects_of
+              ~live_out b
+          in
+          let weight =
+            Vliw_interp.Profile.block_count profile ~func:(Func.name f)
+              ~label:(Block.label b)
+          in
+          acc :=
+            Some
+              (Occupancy.accumulate
+                 (Occupancy.of_schedule ~machine sched)
+                 ~weight !acc))
+        (Func.blocks f))
+    (Prog.funcs c.Vliw_sched.Move_insert.cprog);
+  !acc
+
+let explain ~machine (p : Gdp_core.Pipeline.prepared) : t =
+  Telemetry.with_span "explain"
+    ~args:[ ("bench", p.Gdp_core.Pipeline.bench.Benchsuite.Bench_intf.name) ]
+  @@ fun () ->
+  let ctx = Gdp_core.Pipeline.context ~machine p in
+  let objects_of = Methods.objects_of ctx in
+  let profile =
+    p.Gdp_core.Pipeline.reference.Vliw_interp.Interp.profile
+  in
+  let rows =
+    List.map
+      (fun m ->
+        (* a private capture so the partitioner gauges are readable even
+           when the enclosing command records no telemetry *)
+        let e, snap =
+          Telemetry.capture (fun () -> Gdp_core.Pipeline.evaluate ctx m)
+        in
+        let clustered = e.Gdp_core.Pipeline.outcome.Methods.clustered in
+        let totals =
+          Attrib.of_clustered ~machine clustered ~profile ~objects_of ()
+        in
+        (match Attrib.check_identity totals with
+        | Some msg -> failwith (Methods.name m ^ ": " ^ msg)
+        | None -> ());
+        let model_cycles =
+          e.Gdp_core.Pipeline.report.Vliw_sched.Perf.total_cycles
+        in
+        if totals.Attrib.t_cycles <> model_cycles then
+          failwith
+            (Fmt.str "%s: attribution covers %d cycles but the model reports %d"
+               (Methods.name m) totals.Attrib.t_cycles model_cycles);
+        {
+          mr_method = Methods.name m;
+          mr_cycles = model_cycles;
+          mr_dynamic_moves =
+            e.Gdp_core.Pipeline.report.Vliw_sched.Perf.dynamic_moves;
+          mr_static_moves =
+            e.Gdp_core.Pipeline.report.Vliw_sched.Perf.static_moves;
+          mr_cut_edges = Telemetry.Snapshot.find_gauge snap "gdp.cut_edges";
+          mr_inserted_moves =
+            Telemetry.Snapshot.find_counter snap "moves.inserted";
+          mr_totals = totals;
+          mr_occupancy = occupancy ~machine ~objects_of clustered ~profile;
+          mr_obj_home = e.Gdp_core.Pipeline.outcome.Methods.obj_home;
+        })
+      Methods.all
+  in
+  {
+    ex_bench = p.Gdp_core.Pipeline.bench.Benchsuite.Bench_intf.name;
+    ex_latency = Vliw_machine.move_latency machine;
+    ex_clusters = Vliw_machine.num_clusters machine;
+    ex_access_totals = Vliw_interp.Profile.object_access_totals profile;
+    ex_rows = rows;
+  }
+
+(* Bounded memo, cleared through the pipeline's registry: [bench --check]
+   and [bench --report] revisit the same (benchmark, latency) pairs, and
+   fuzzing loops that call [Pipeline.clear_caches] must drop this too. *)
+let memo : (string * int, t) Hashtbl.t = Hashtbl.create 16
+let memo_limit = 256
+let () = Gdp_core.Pipeline.register_cache_clearer (fun () -> Hashtbl.reset memo)
+
+let explain_bench ~move_latency (b : Benchsuite.Bench_intf.t) : t =
+  let key = (b.Benchsuite.Bench_intf.name, move_latency) in
+  match Hashtbl.find_opt memo key with
+  | Some e -> e
+  | None ->
+      let machine = Vliw_machine.paper_machine ~move_latency () in
+      let e = explain ~machine (Gdp_core.Pipeline.prepare_default b) in
+      if Hashtbl.length memo >= memo_limit then Hashtbl.reset memo;
+      Hashtbl.replace memo key e;
+      e
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+
+let expensive_placements ~machine (row : method_row) ~k =
+  let lat = Vliw_machine.move_latency machine in
+  let totals = row.mr_totals in
+  let objs =
+    List.sort_uniq Data.compare_obj
+      (List.map fst totals.Attrib.t_obj_access
+      @ List.map fst totals.Attrib.t_obj_moves)
+  in
+  List.map
+    (fun o ->
+      let access =
+        Option.value
+          ~default:{ Attrib.acc_local = 0; acc_remote = 0 }
+          (List.assoc_opt o totals.Attrib.t_obj_access)
+      in
+      let moves =
+        Option.value ~default:0 (List.assoc_opt o totals.Attrib.t_obj_moves)
+      in
+      let home =
+        List.find_map
+          (fun (o', c) -> if Data.equal_obj o o' then Some c else None)
+          row.mr_obj_home
+      in
+      (o, home, access, moves, moves * lat))
+    objs
+  |> List.sort (fun (oa, _, aa, _, ta) (ob, _, ab, _, tb) ->
+         match compare tb ta with
+         | 0 -> (
+             match compare ab.Attrib.acc_remote aa.Attrib.acc_remote with
+             | 0 -> Data.compare_obj oa ob
+             | c -> c)
+         | c -> c)
+  |> List.filteri (fun i _ -> i < k)
+
+let pct ~total n =
+  if total = 0 then 0. else 100. *. float n /. float total
+
+let cat_cell totals c =
+  let n = totals.Attrib.t_categories.(Attrib.category_index c) in
+  Fmt.str "%d (%.1f%%)" n (pct ~total:totals.Attrib.t_cycles n)
+
+let home_cell = function Some c -> string_of_int c | None -> "-"
+
+let to_markdown ppf (e : t) =
+  let machine =
+    if e.ex_clusters = 2 then
+      Vliw_machine.paper_machine ~move_latency:e.ex_latency ()
+    else
+      Vliw_machine.scaled_machine ~clusters:e.ex_clusters
+        ~move_latency:e.ex_latency ()
+  in
+  Fmt.pf ppf "# %s — cycle attribution (latency %d, %d clusters)@.@."
+    e.ex_bench e.ex_latency e.ex_clusters;
+  (* method comparison *)
+  Fmt.pf ppf
+    "| method | cycles | useful | issue stall | transfer wait | mem \
+     serialize | empty | dyn moves | inserted | cut edges |@.";
+  Fmt.pf ppf "|---|---|---|---|---|---|---|---|---|---|@.";
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "| %s | %d | %s | %s | %s | %s | %s | %d | %s | %s |@."
+        r.mr_method r.mr_cycles
+        (cat_cell r.mr_totals Attrib.Useful)
+        (cat_cell r.mr_totals Attrib.Issue_stall)
+        (cat_cell r.mr_totals Attrib.Transfer_wait)
+        (cat_cell r.mr_totals Attrib.Mem_serialize)
+        (cat_cell r.mr_totals Attrib.Empty)
+        r.mr_dynamic_moves
+        (match r.mr_inserted_moves with Some n -> string_of_int n | None -> "-")
+        (match r.mr_cut_edges with Some v -> Fmt.str "%.0f" v | None -> "-"))
+    e.ex_rows;
+  (* per-object placement tables *)
+  List.iter
+    (fun r ->
+      let placements = expensive_placements ~machine r ~k:10 in
+      if placements <> [] then begin
+        Fmt.pf ppf "@.## Most expensive placements — %s@.@." r.mr_method;
+        Fmt.pf ppf
+          "| object | home | local accesses | remote accesses | moves | \
+           transfer cycles |@.";
+        Fmt.pf ppf "|---|---|---|---|---|---|@.";
+        List.iter
+          (fun (o, home, access, moves, transfer) ->
+            Fmt.pf ppf "| %s | %s | %d | %d | %d | %d |@."
+              (Data.obj_to_string o) (home_cell home) access.Attrib.acc_local
+              access.Attrib.acc_remote moves transfer)
+          placements
+      end)
+    e.ex_rows;
+  (* link utilization *)
+  let any_links = List.exists (fun r -> r.mr_totals.Attrib.t_link_moves <> []) e.ex_rows in
+  if any_links then begin
+    Fmt.pf ppf "@.## Link utilization@.@.";
+    Fmt.pf ppf "| method | link | moves | busy cycles | of total |@.";
+    Fmt.pf ppf "|---|---|---|---|---|@.";
+    List.iter
+      (fun r ->
+        List.iter
+          (fun ((src, dst), n) ->
+            let busy = n * e.ex_latency in
+            Fmt.pf ppf "| %s | %d->%d | %d | %d | %.1f%% |@." r.mr_method src
+              dst n busy
+              (pct ~total:r.mr_cycles busy))
+          r.mr_totals.Attrib.t_link_moves)
+      e.ex_rows
+  end;
+  (* occupancy *)
+  Fmt.pf ppf "@.## Function-unit occupancy@.@.";
+  List.iter
+    (fun r ->
+      match r.mr_occupancy with
+      | None -> ()
+      | Some occ -> Fmt.pf ppf "%s:@.@.```@.%a@.```@.@." r.mr_method Occupancy.pp occ)
+    e.ex_rows;
+  (* ground truth *)
+  if e.ex_access_totals <> [] then begin
+    Fmt.pf ppf "## Profiled accesses per object@.@.";
+    Fmt.pf ppf "| object | dynamic accesses |@.|---|---|@.";
+    List.iter
+      (fun (o, n) -> Fmt.pf ppf "| %s | %d |@." (Data.obj_to_string o) n)
+      e.ex_access_totals
+  end
+
+let csv_quote s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let methods_csv_header =
+  "bench,latency,method,cycles,dynamic_moves,static_moves,inserted_moves,cut_edges,"
+  ^ String.concat "," (List.map Attrib.category_name Attrib.categories)
+
+let methods_csv ppf (e : t) =
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "%s,%d,%s,%d,%d,%d,%s,%s,%s@." (csv_quote e.ex_bench)
+        e.ex_latency (csv_quote r.mr_method) r.mr_cycles r.mr_dynamic_moves
+        r.mr_static_moves
+        (match r.mr_inserted_moves with Some n -> string_of_int n | None -> "")
+        (match r.mr_cut_edges with Some v -> Fmt.str "%.0f" v | None -> "")
+        (String.concat ","
+           (List.map
+              (fun c ->
+                string_of_int
+                  r.mr_totals.Attrib.t_categories.(Attrib.category_index c))
+              Attrib.categories)))
+    e.ex_rows
+
+let objects_csv_header =
+  "bench,latency,method,object,home,local_accesses,remote_accesses,moves,transfer_cycles"
+
+let objects_csv ppf (e : t) =
+  let machine =
+    if e.ex_clusters = 2 then
+      Vliw_machine.paper_machine ~move_latency:e.ex_latency ()
+    else
+      Vliw_machine.scaled_machine ~clusters:e.ex_clusters
+        ~move_latency:e.ex_latency ()
+  in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (o, home, access, moves, transfer) ->
+          Fmt.pf ppf "%s,%d,%s,%s,%s,%d,%d,%d,%d@." (csv_quote e.ex_bench)
+            e.ex_latency (csv_quote r.mr_method)
+            (csv_quote (Data.obj_to_string o))
+            (home_cell home) access.Attrib.acc_local access.Attrib.acc_remote
+            moves transfer)
+        (expensive_placements ~machine r ~k:max_int))
+    e.ex_rows
+
+(* ------------------------------------------------------------------ *)
+(* JSON (the regression-gate baseline format)                          *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json ppf (es : t list) =
+  let latency = match es with e :: _ -> e.ex_latency | [] -> 0 in
+  let clusters = match es with e :: _ -> e.ex_clusters | [] -> 0 in
+  Fmt.pf ppf "{@.  \"schema\": \"gdp-attrib/1\",@.";
+  Fmt.pf ppf "  \"latency\": %d,@.  \"clusters\": %d,@.  \"rows\": [" latency
+    clusters;
+  let first = ref true in
+  List.iter
+    (fun e ->
+      let machine =
+        if e.ex_clusters = 2 then
+          Vliw_machine.paper_machine ~move_latency:e.ex_latency ()
+        else
+          Vliw_machine.scaled_machine ~clusters:e.ex_clusters
+            ~move_latency:e.ex_latency ()
+      in
+      List.iter
+        (fun r ->
+          Fmt.pf ppf "%s@.    {\"bench\": \"%s\", \"method\": \"%s\", "
+            (if !first then "" else ",")
+            (json_escape e.ex_bench) (json_escape r.mr_method);
+          first := false;
+          Fmt.pf ppf "\"cycles\": %d, \"dynamic_moves\": %d, " r.mr_cycles
+            r.mr_dynamic_moves;
+          Fmt.pf ppf "\"categories\": {%s},"
+            (String.concat ", "
+               (List.map
+                  (fun c ->
+                    Fmt.str "\"%s\": %d" (Attrib.category_name c)
+                      r.mr_totals.Attrib.t_categories.(Attrib.category_index c))
+                  Attrib.categories));
+          Fmt.pf ppf " \"objects\": [%s]}"
+            (String.concat ", "
+               (List.map
+                  (fun (o, home, access, moves, transfer) ->
+                    Fmt.str
+                      "{\"object\": \"%s\", \"home\": %s, \"local\": %d, \
+                       \"remote\": %d, \"moves\": %d, \"transfer_cycles\": %d}"
+                      (json_escape (Data.obj_to_string o))
+                      (match home with Some c -> string_of_int c | None -> "null")
+                      access.Attrib.acc_local access.Attrib.acc_remote moves
+                      transfer)
+                  (expensive_placements ~machine r ~k:max_int))))
+        e.ex_rows)
+    es;
+  Fmt.pf ppf "@.  ]@.}@."
+
+(* ------------------------------------------------------------------ *)
+(* File output                                                         *)
+
+let write_file path render =
+  let oc = open_out path in
+  let ppf = Format.formatter_of_out_channel oc in
+  render ppf;
+  Format.pp_print_flush ppf ();
+  close_out oc;
+  path
+
+let write_reports ~dir (es : t list) : string list =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let md =
+    List.map
+      (fun e ->
+        write_file
+          (Filename.concat dir (Fmt.str "%s-l%d.md" e.ex_bench e.ex_latency))
+          (fun ppf -> to_markdown ppf e))
+      es
+  in
+  let csv =
+    write_file (Filename.concat dir "attribution.csv") (fun ppf ->
+        Fmt.pf ppf "%s@." methods_csv_header;
+        List.iter (methods_csv ppf) es)
+  in
+  let objs =
+    write_file (Filename.concat dir "objects.csv") (fun ppf ->
+        Fmt.pf ppf "%s@." objects_csv_header;
+        List.iter (objects_csv ppf) es)
+  in
+  let json =
+    write_file (Filename.concat dir "attribution.json") (fun ppf ->
+        to_json ppf es)
+  in
+  md @ [ csv; objs; json ]

@@ -1,0 +1,29 @@
+(** A minimal JSON reader for the report layer's own emitters.
+
+    The repo deliberately has no JSON dependency: machine-readable
+    output is produced by hand-written emitters ([bench --json], the
+    Chrome trace sink, the attribution report).  The regression gate
+    must read those files back, so this module implements just enough
+    of RFC 8259 to round-trip them: objects, arrays, strings with the
+    common escapes, numbers, booleans and null. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Parse a complete JSON document.  [Error msg] carries a byte offset. *)
+val parse : string -> (t, string) result
+
+val parse_file : string -> (t, string) result
+
+(** {2 Accessors} — all total, [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+val to_list : t -> t list option
+val to_string : t -> string option
+val to_float : t -> float option
+val to_int : t -> int option

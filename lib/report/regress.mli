@@ -1,0 +1,47 @@
+(** Metrics regression gate.
+
+    Compares a fresh attribution run against a committed baseline JSON
+    (the ["gdp-attrib/1"] documents written by [Explain.to_json] /
+    [bench --report]) and reports every metric that regressed beyond a
+    tolerance — the CI contract behind [bench --check FILE].
+
+    Checked per (benchmark, method) row: [cycles], [dynamic_moves], and
+    the non-useful attribution categories (transfer wait, memory
+    serialization, issue stall) — the quantities the paper's argument
+    says GDP keeps low.  A metric regresses when
+
+      [current > baseline * (1 + tolerance/100)]
+
+    (for small baselines an absolute slack of one cycle/move is allowed
+    so integer jitter on tiny benchmarks does not trip the gate).
+    Disappearing rows are regressions; new rows are not (they have no
+    baseline yet). *)
+
+type row = {
+  rg_bench : string;
+  rg_method : string;
+  rg_cycles : int;
+  rg_moves : int;
+  rg_categories : (string * int) list;
+}
+
+type baseline = { b_latency : int; b_rows : row list }
+
+val load : string -> (baseline, string) result
+
+(** The comparable rows of a set of explanations. *)
+val rows_of : Explain.t list -> row list
+
+type issue = {
+  i_bench : string;
+  i_method : string;
+  i_metric : string;
+  i_baseline : int;
+  i_current : int;  (** [-1] when the row disappeared *)
+}
+
+val pp_issue : issue Fmt.t
+
+(** All regressions of [current] against [baseline] at [tolerance]
+    percent; empty means the gate passes. *)
+val check : tolerance:float -> baseline:baseline -> current:row list -> issue list

@@ -75,7 +75,10 @@ let evaluate ~(machine : Vliw_machine.t) (c : Move_insert.clustered)
     let len =
       List.fold_left (fun a br -> a + br.br_length) 0 !blocks
     in
-    Telemetry.set_gauge "sched.static_schedule_length" (float len)
+    Telemetry.set_gauge "sched.static_schedule_length" (float len);
+    List.iter
+      (fun br -> Telemetry.observe "sched.block_cycles" (float br.br_length))
+      !blocks
   end;
   {
     total_cycles = !total;

@@ -27,9 +27,22 @@ type result = {
   outputs : I.value list;
   cycles : int;  (** sum of block schedule lengths over the execution *)
   dynamic_moves : int;
+  account : Attrib.totals option;  (** when run with [~account:true] *)
 }
 
 type pending = { reg : Reg.t; value : I.value; ready : int; issued : int }
+
+(** Dynamic attribution accumulators.  Block accounts are memoized per
+    block alongside the schedules, so accounting adds O(1) work per
+    executed block plus O(1) per executed memory op and move. *)
+type acct = {
+  ac_categories : int array;
+  ac_links : (int * int, int) Hashtbl.t;
+  ac_obj_moves : (Data.obj, int) Hashtbl.t;
+  mutable ac_unattributed : int;
+  ac_access : (Data.obj, int ref * int ref) Hashtbl.t;
+  ac_accounts : (string * Label.t, Attrib.block_account) Hashtbl.t;
+}
 
 type state = {
   prog : Prog.t;
@@ -43,12 +56,13 @@ type state = {
   mutable cycles : int;
   mutable moves : int;
   schedules : (string * Label.t, List_sched.t) Hashtbl.t;
+  acct : acct option;
   mutable fuel : int;
 }
 
 let word = Data.word_bytes
 
-let init prog machine ~input ~fuel =
+let init prog machine ~input ~fuel ~account =
   let st =
     {
       prog;
@@ -62,6 +76,18 @@ let init prog machine ~input ~fuel =
       cycles = 0;
       moves = 0;
       schedules = Hashtbl.create 64;
+      acct =
+        (if account then
+           Some
+             {
+               ac_categories = Array.make Attrib.num_categories 0;
+               ac_links = Hashtbl.create 4;
+               ac_obj_moves = Hashtbl.create 16;
+               ac_unattributed = 0;
+               ac_access = Hashtbl.create 16;
+               ac_accounts = Hashtbl.create 64;
+             }
+         else None);
       fuel;
     }
   in
@@ -164,6 +190,64 @@ let rec exec_func st ~assign ~move_routes ~objects_of (f : Func.t)
     if st.fuel <= 0 then sim_error "out of fuel";
     let sched = schedule_for st ~assign ~move_routes ~objects_of f b in
     st.cycles <- st.cycles + List_sched.length sched;
+    let bacct =
+      match st.acct with
+      | None -> None
+      | Some a ->
+          let key = (Func.name f, Block.label b) in
+          let bk =
+            match Hashtbl.find_opt a.ac_accounts key with
+            | Some bk -> bk
+            | None ->
+                let bk =
+                  Attrib.account_block ~machine:st.machine ~move_routes
+                    ~objects_of b sched
+                in
+                Hashtbl.replace a.ac_accounts key bk;
+                bk
+          in
+          Array.iteri
+            (fun i n -> a.ac_categories.(i) <- a.ac_categories.(i) + n)
+            bk.Attrib.bk_categories;
+          Some (a, bk)
+    in
+    let acct_access op obj =
+      match bacct with
+      | None -> ()
+      | Some (a, bk) ->
+          let local_c, remote_c =
+            match Hashtbl.find_opt a.ac_access obj with
+            | Some cell -> cell
+            | None ->
+                let cell = (ref 0, ref 0) in
+                Hashtbl.replace a.ac_access obj cell;
+                cell
+          in
+          if Hashtbl.mem bk.Attrib.bk_remote_mem (Op.id op) then
+            incr remote_c
+          else incr local_c
+    in
+    let acct_move op =
+      match bacct with
+      | None -> ()
+      | Some (a, bk) -> (
+          match Hashtbl.find_opt move_routes (Op.id op) with
+          | None -> ()
+          | Some route ->
+              Hashtbl.replace a.ac_links route
+                (1
+                + Option.value ~default:0 (Hashtbl.find_opt a.ac_links route));
+              (match Hashtbl.find_opt bk.Attrib.bk_move_objs (Op.id op) with
+              | None | Some [] -> a.ac_unattributed <- a.ac_unattributed + 1
+              | Some objs ->
+                  List.iter
+                    (fun o ->
+                      Hashtbl.replace a.ac_obj_moves o
+                        (1
+                        + Option.value ~default:0
+                            (Hashtbl.find_opt a.ac_obj_moves o)))
+                    objs))
+    in
     let pending : pending list ref = ref [] in
     let commit_due t =
       let due, rest = List.partition (fun p -> p.ready <= t) !pending in
@@ -237,11 +321,12 @@ let rec exec_func st ~assign ~move_routes ~objects_of (f : Func.t)
            | Op.Un (o, d, a) -> write t op d (I.eval_un o (v a))
            | Op.Move { dst; src } ->
                st.moves <- st.moves + 1;
+               acct_move op;
                write t op dst (read t src)
            | Op.Load { dst; base; offset } ->
                let addr = I.to_int (v base) + I.to_int (v offset) in
                (match object_of_addr st addr with
-               | Some _ -> ()
+               | Some obj -> acct_access op obj
                | None -> sim_error "wild load at 0x%x" addr);
                write t op dst
                  (Option.value ~default:(I.VInt 0)
@@ -249,7 +334,7 @@ let rec exec_func st ~assign ~move_routes ~objects_of (f : Func.t)
            | Op.Store { src; base; offset } ->
                let addr = I.to_int (v base) + I.to_int (v offset) in
                (match object_of_addr st addr with
-               | Some _ -> ()
+               | Some obj -> acct_access op obj
                | None -> sim_error "wild store at 0x%x" addr);
                (* stores commit at t + 1; loads are ordered >= t+1 by deps,
                   so committing into memory immediately is equivalent *)
@@ -296,11 +381,11 @@ let rec exec_func st ~assign ~move_routes ~objects_of (f : Func.t)
   run_block (Func.entry f)
 
 (** Simulate a clustered program on [input]. *)
-let run ?(fuel = 5_000_000) (c : Move_insert.clustered)
+let run ?(fuel = 5_000_000) ?(account = false) (c : Move_insert.clustered)
     ~(machine : Vliw_machine.t) ?(objects_of = fun _ -> Data.Obj_set.empty)
     ~input () : result =
   Telemetry.with_span "simulate" @@ fun () ->
-  let st = init c.Move_insert.cprog machine ~input ~fuel in
+  let st = init c.Move_insert.cprog machine ~input ~fuel ~account in
   let main = Prog.main c.Move_insert.cprog in
   let (_ : I.value option) =
     exec_func st ~assign:c.Move_insert.cassign
@@ -311,8 +396,36 @@ let run ?(fuel = 5_000_000) (c : Move_insert.clustered)
     Telemetry.set_gauge "sim.cycles" (float st.cycles);
     Telemetry.set_gauge "sim.dynamic_moves" (float st.moves)
   end;
-  {
-    outputs = List.rev st.outputs_rev;
-    cycles = st.cycles;
-    dynamic_moves = st.moves;
-  }
+  let account =
+    match st.acct with
+    | None -> None
+    | Some a ->
+        let totals =
+          {
+            Attrib.t_cycles = st.cycles;
+            t_categories = Array.copy a.ac_categories;
+            t_moves = Hashtbl.fold (fun _ n acc -> acc + n) a.ac_links 0;
+            t_link_moves =
+              Hashtbl.fold (fun r n acc -> (r, n) :: acc) a.ac_links []
+              |> List.sort compare;
+            t_obj_moves =
+              Hashtbl.fold (fun o n acc -> (o, n) :: acc) a.ac_obj_moves []
+              |> List.sort (fun (oa, na) (ob, nb) ->
+                     match compare nb na with
+                     | 0 -> Data.compare_obj oa ob
+                     | c -> c);
+            t_unattributed_moves = a.ac_unattributed;
+            t_obj_access =
+              Hashtbl.fold
+                (fun o (l, r) acc ->
+                  (o, { Attrib.acc_local = !l; acc_remote = !r }) :: acc)
+                a.ac_access []
+              |> List.sort (fun (x, _) (y, _) -> Data.compare_obj x y);
+          }
+        in
+        (match Attrib.check_identity totals with
+        | Some msg -> sim_error "%s" msg
+        | None -> ());
+        Some totals
+  in
+  { outputs = List.rev st.outputs_rev; cycles = st.cycles; dynamic_moves = st.moves; account }

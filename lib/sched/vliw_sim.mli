@@ -15,10 +15,17 @@ type result = {
   outputs : Vliw_interp.Interp.value list;
   cycles : int;
   dynamic_moves : int;
+  account : Attrib.totals option;
+      (** dynamic cycle attribution, populated when run with
+          [~account:true]; the accounting identity
+          [cycles = sum of categories] is enforced (a violation raises
+          [Sim_error]).  [None] otherwise — the disabled path does no
+          attribution work. *)
 }
 
 val run :
   ?fuel:int ->
+  ?account:bool ->
   Move_insert.clustered ->
   machine:Vliw_machine.t ->
   ?objects_of:(int -> Data.Obj_set.t) ->

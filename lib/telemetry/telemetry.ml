@@ -17,9 +17,35 @@ type span = {
 
 type metric = Counter of int | Gauge of float
 
+type hist = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_buckets : int array;
+}
+
+(* Bucket 0 holds values below 1, bucket i holds [2^(i-1), 2^i), the
+   last bucket is open-ended: 40 buckets cover up to 2^38 (~4.5 days in
+   microseconds, ~10^11 cycles), plenty for span durations and block
+   cycle counts alike. *)
+let hist_buckets = 40
+
+let hist_bucket_bounds i =
+  if i < 0 || i >= hist_buckets then
+    invalid_arg (Printf.sprintf "Telemetry.hist_bucket_bounds: %d" i)
+  else if i = 0 then (0., 1.)
+  else if i = hist_buckets - 1 then (Float.of_int (1 lsl (i - 1)), infinity)
+  else (Float.of_int (1 lsl (i - 1)), Float.of_int (1 lsl i))
+
+let bucket_of v =
+  if not (v >= 1.) (* also catches NaN *) then 0
+  else min (hist_buckets - 1) (1 + int_of_float (Float.log2 v))
+
 type snapshot = {
   spans : span list;
   metrics : (string * metric) list;
+  hists : (string * hist) list;
 }
 
 type open_span = {
@@ -30,12 +56,21 @@ type open_span = {
   mutable o_args : (string * string) list;
 }
 
+type hist_acc = {
+  mutable ha_count : int;
+  mutable ha_sum : float;
+  mutable ha_min : float;
+  mutable ha_max : float;
+  ha_buckets : int array;
+}
+
 type state = {
   mutable enabled : bool;
   mutable completed : span list;  (** reverse completion order *)
   mutable stack : open_span list;  (** innermost first *)
   mutable next_id : int;
   table : (string, metric) Hashtbl.t;
+  hist_table : (string, hist_acc) Hashtbl.t;
 }
 
 let fresh_state () =
@@ -45,6 +80,7 @@ let fresh_state () =
     stack = [];
     next_id = 0;
     table = Hashtbl.create 32;
+    hist_table = Hashtbl.create 16;
   }
 
 let st = ref (fresh_state ())
@@ -67,19 +103,50 @@ let reset () =
   let s = !st in
   s.completed <- [];
   s.next_id <- 0;
-  Hashtbl.reset s.table
+  Hashtbl.reset s.table;
+  Hashtbl.reset s.hist_table
 
 (* ------------------------------------------------------------------ *)
 (* Spans                                                               *)
 
+let observe_in (s : state) name v =
+  let acc =
+    match Hashtbl.find_opt s.hist_table name with
+    | Some acc -> acc
+    | None ->
+        let acc =
+          {
+            ha_count = 0;
+            ha_sum = 0.;
+            ha_min = infinity;
+            ha_max = neg_infinity;
+            ha_buckets = Array.make hist_buckets 0;
+          }
+        in
+        Hashtbl.replace s.hist_table name acc;
+        acc
+  in
+  acc.ha_count <- acc.ha_count + 1;
+  acc.ha_sum <- acc.ha_sum +. v;
+  acc.ha_min <- Float.min acc.ha_min v;
+  acc.ha_max <- Float.max acc.ha_max v;
+  let b = bucket_of v in
+  acc.ha_buckets.(b) <- acc.ha_buckets.(b) + 1
+
+let observe name v =
+  let s = !st in
+  if s.enabled then observe_in s name v
+
 let close_span (s : state) (o : open_span) ~end_us =
+  let dur_us = Float.max 0. (end_us -. o.o_start) in
+  observe_in s ("span_us:" ^ o.o_name) dur_us;
   s.completed <-
     {
       id = o.o_id;
       parent = o.o_parent;
       name = o.o_name;
       start_us = o.o_start;
-      dur_us = Float.max 0. (end_us -. o.o_start);
+      dur_us;
       args = List.rev o.o_args;
     }
     :: s.completed
@@ -173,7 +240,22 @@ let snapshot () : snapshot =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) s.table []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
-  { spans; metrics }
+  let hists =
+    Hashtbl.fold
+      (fun k (a : hist_acc) acc ->
+        ( k,
+          {
+            h_count = a.ha_count;
+            h_sum = a.ha_sum;
+            h_min = a.ha_min;
+            h_max = a.ha_max;
+            h_buckets = Array.copy a.ha_buckets;
+          } )
+        :: acc)
+      s.hist_table []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  { spans; metrics; hists }
 
 let capture f =
   let saved = !st in
@@ -202,6 +284,8 @@ module Snapshot = struct
     match List.assoc_opt name snap.metrics with
     | Some (Gauge v) -> Some v
     | _ -> None
+
+  let find_hist snap name = List.assoc_opt name snap.hists
 
   let children snap sp =
     List.filter (fun c -> c.parent = Some sp.id) snap.spans
@@ -367,10 +451,38 @@ module Sink = struct
         snap.metrics
     end
 
+  (** One line per non-empty bucket, bar lengths proportional to the
+      bucket's share of the histogram's observations. *)
+  let histograms ppf (snap : snapshot) =
+    if snap.hists <> [] then begin
+      Fmt.pf ppf "%-42s %12s %12s %12s %12s@." "histogram" "count" "mean"
+        "min" "max";
+      List.iter
+        (fun (name, h) ->
+          let mean = if h.h_count = 0 then 0. else h.h_sum /. float h.h_count in
+          Fmt.pf ppf "%-42s %12d %12.2f %12.2f %12.2f@." name h.h_count mean
+            (if h.h_count = 0 then 0. else h.h_min)
+            (if h.h_count = 0 then 0. else h.h_max);
+          Array.iteri
+            (fun i n ->
+              if n > 0 then begin
+                let lo, hi = hist_bucket_bounds i in
+                let share = float n /. float (max 1 h.h_count) in
+                let bar = String.make (int_of_float (share *. 40.)) '#' in
+                if Float.is_integer hi && hi < 1e18 then
+                  Fmt.pf ppf "  [%12.0f, %12.0f) %8d |%s@." lo hi n bar
+                else Fmt.pf ppf "  [%12.0f,          inf) %8d |%s@." lo n bar
+              end)
+            h.h_buckets)
+        snap.hists
+    end
+
   let summary ppf snap =
     span_tree ppf snap;
     if snap.metrics <> [] then Fmt.pf ppf "@.";
-    metrics_table ppf snap
+    metrics_table ppf snap;
+    if snap.hists <> [] then Fmt.pf ppf "@.";
+    histograms ppf snap
 
   let metrics_csv ppf (snap : snapshot) =
     Fmt.pf ppf "name,kind,value@.";
@@ -392,4 +504,38 @@ module Sink = struct
     with_out_file path (fun ppf -> metrics_csv ppf snap);
     Log.info (fun m ->
         m "wrote %d metrics to %s" (List.length snap.metrics) path)
+
+  let csv_quote s =
+    if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+      "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+    else s
+
+  let histograms_csv ppf (snap : snapshot) =
+    Fmt.pf ppf "name,bucket_lo,bucket_hi,count@.";
+    List.iter
+      (fun (name, h) ->
+        Array.iteri
+          (fun i n ->
+            if n > 0 then begin
+              let lo, hi = hist_bucket_bounds i in
+              Fmt.pf ppf "%s,%.0f,%s,%d@." (csv_quote name) lo
+                (if hi = infinity then "inf" else Fmt.str "%.0f" hi)
+                n
+            end)
+          h.h_buckets)
+      snap.hists
+
+  let write_histograms_csv path snap =
+    with_out_file path (fun ppf -> histograms_csv ppf snap);
+    Log.info (fun m ->
+        m "wrote %d histograms to %s" (List.length snap.hists) path)
+
+  let write_summary path snap =
+    with_out_file path (fun ppf -> summary ppf snap);
+    Log.info (fun m ->
+        m "wrote summary (%d spans, %d metrics, %d histograms) to %s"
+          (List.length snap.spans)
+          (List.length snap.metrics)
+          (List.length snap.hists)
+          path)
 end

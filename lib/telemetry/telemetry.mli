@@ -28,9 +28,29 @@ type metric =
   | Counter of int  (** monotonic: only ever incremented *)
   | Gauge of float  (** last-write-wins *)
 
+type hist = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;  (** +inf when empty *)
+  h_max : float;  (** -inf when empty *)
+  h_buckets : int array;  (** fixed log2 buckets, [hist_buckets] long *)
+}
+(** A distribution over fixed log-scale buckets: bucket 0 holds values
+    below 1, bucket [i] holds values in [2^(i-1), 2^i), the last bucket
+    is open-ended.  Histograms live in their own namespace, separate
+    from counters and gauges. *)
+
+(** Number of buckets in every histogram. *)
+val hist_buckets : int
+
+(** Inclusive lower / exclusive upper value bound of a bucket (the last
+    bucket's upper bound is [infinity]). *)
+val hist_bucket_bounds : int -> float * float
+
 type snapshot = {
   spans : span list;  (** completed spans, in start order *)
   metrics : (string * metric) list;  (** sorted by name *)
+  hists : (string * hist) list;  (** sorted by name *)
 }
 
 (** {1 Recording state} *)
@@ -68,6 +88,12 @@ val set_gauge : string -> float -> unit
 (** Current value of a counter (0 when unknown). *)
 val counter_value : string -> int
 
+(** Record one observation into a log-scale histogram (no-op when
+    disabled).  Span durations are observed automatically under
+    ["span_us:<name>"] when a span closes; attribution code feeds
+    per-block cycle counts the same way. *)
+val observe : string -> float -> unit
+
 (** [timed name f] measures [f] with the telemetry clock and returns the
     elapsed seconds alongside the result.  When telemetry is enabled the
     measurement is also recorded as a span, so externally reported times
@@ -93,6 +119,7 @@ module Snapshot : sig
 
   val find_counter : snapshot -> string -> int option
   val find_gauge : snapshot -> string -> float option
+  val find_hist : snapshot -> string -> hist option
 
   (** Direct children of a span, in start order. *)
   val children : snapshot -> span -> span list
@@ -115,11 +142,25 @@ module Sink : sig
 
   val metrics_table : Format.formatter -> snapshot -> unit
 
-  (** [span_tree] followed by [metrics_table]. *)
+  (** Plain-text rendering of every histogram: count/mean/min/max and
+      the non-empty buckets with hash-bar proportions. *)
+  val histograms : Format.formatter -> snapshot -> unit
+
+  (** [span_tree] followed by [metrics_table] and [histograms]. *)
   val summary : Format.formatter -> snapshot -> unit
+
+  (** [summary] to a file, so CI can archive stats without scraping
+      stdout (the [gdpc --stats-file] backend). *)
+  val write_summary : string -> snapshot -> unit
 
   (** CSV dump of the metrics: [name,kind,value] with a header row. *)
   val metrics_csv : Format.formatter -> snapshot -> unit
 
   val write_metrics_csv : string -> snapshot -> unit
+
+  (** CSV dump of the histograms: one row per non-empty bucket,
+      [name,bucket_lo,bucket_hi,count] with a header row. *)
+  val histograms_csv : Format.formatter -> snapshot -> unit
+
+  val write_histograms_csv : string -> snapshot -> unit
 end

@@ -1,0 +1,277 @@
+(** Cycle-attribution tests: the accounting identity on random MiniC
+    programs and on the paper suite, the per-object access split against
+    the profiler's ground truth, and the metrics regression gate. *)
+
+module Attrib = Vliw_sched.Attrib
+module Sim = Vliw_sched.Vliw_sim
+module Perf = Vliw_sched.Perf
+module Methods = Partition.Methods
+module Pipeline = Gdp_core.Pipeline
+module Profile = Vliw_interp.Profile
+module Explain = Gdp_report.Explain
+module Regress = Gdp_report.Regress
+
+let bench_of_source ~name source input : Benchsuite.Bench_intf.t =
+  { name; description = ""; source; input; exhaustive_ok = false }
+
+let sum = Array.fold_left ( + ) 0
+
+(* ------------------------------------------------------------------ *)
+(* The identity on random programs (QCheck over lib/fuzz's generator)  *)
+
+(* For every method and latency: the dynamic account's categories sum
+   exactly to the simulator's cycle count, the static roll-up agrees
+   with the cycle model, and each object's local + remote accesses sum
+   to the profiler's count for it. *)
+let check_seed seed =
+  let source = Gen_minic.gen_program_with_seed seed in
+  let bench =
+    bench_of_source ~name:(Printf.sprintf "fuzz-%d" seed) source
+      Gen_minic.input
+  in
+  let prepared = Pipeline.prepare bench in
+  let profile = prepared.Pipeline.reference.Vliw_interp.Interp.profile in
+  let profiled = Profile.object_access_totals profile in
+  let check_access what (totals : Attrib.totals) =
+    (* every profiled object appears with a matching local/remote split,
+       and the split never invents objects the profiler did not see *)
+    List.iter
+      (fun (obj, n) ->
+        match List.assoc_opt obj totals.Attrib.t_obj_access with
+        | None ->
+            if n > 0 then
+              QCheck.Test.fail_reportf "%s: %s missing from access table"
+                what (Vliw_ir.Data.obj_to_string obj)
+        | Some a ->
+            let got = a.Attrib.acc_local + a.Attrib.acc_remote in
+            if got <> n then
+              QCheck.Test.fail_reportf "%s: %s local+remote %d <> profiled %d"
+                what
+                (Vliw_ir.Data.obj_to_string obj)
+                got n)
+      profiled;
+    List.iter
+      (fun (obj, _) ->
+        if not (List.mem_assoc obj profiled) then
+          QCheck.Test.fail_reportf "%s: %s not a profiled object" what
+            (Vliw_ir.Data.obj_to_string obj))
+      totals.Attrib.t_obj_access
+  in
+  List.iter
+    (fun move_latency ->
+      let machine = Vliw_machine.paper_machine ~move_latency () in
+      let ctx = Pipeline.context ~machine prepared in
+      let objects_of = Methods.objects_of ctx in
+      List.iter
+        (fun m ->
+          let what =
+            Printf.sprintf "seed %d, %s, latency %d" seed (Methods.name m)
+              move_latency
+          in
+          let e = Pipeline.evaluate ctx m in
+          let clustered = e.Pipeline.outcome.Methods.clustered in
+          let sim =
+            Sim.run ~account:true clustered ~machine ~objects_of
+              ~input:Gen_minic.input ()
+          in
+          let dyn =
+            match sim.Sim.account with
+            | Some t -> t
+            | None -> QCheck.Test.fail_reportf "%s: no account" what
+          in
+          if sum dyn.Attrib.t_categories <> sim.Sim.cycles then
+            QCheck.Test.fail_reportf "%s: dynamic sum %d <> sim cycles %d"
+              what
+              (sum dyn.Attrib.t_categories)
+              sim.Sim.cycles;
+          (match Attrib.check_identity dyn with
+          | None -> ()
+          | Some msg -> QCheck.Test.fail_reportf "%s: %s" what msg);
+          let st =
+            Attrib.of_clustered ~machine clustered ~profile ~objects_of ()
+          in
+          if st.Attrib.t_cycles <> e.Pipeline.report.Perf.total_cycles then
+            QCheck.Test.fail_reportf "%s: static cycles %d <> model %d" what
+              st.Attrib.t_cycles e.Pipeline.report.Perf.total_cycles;
+          (* static and dynamic accounts agree category by category: both
+             are per-block accounts weighted by execution counts *)
+          if st.Attrib.t_categories <> dyn.Attrib.t_categories then
+            QCheck.Test.fail_reportf "%s: static/dynamic categories differ"
+              what;
+          check_access what dyn;
+          check_access what st)
+        Methods.all)
+    [ 1; 5 ];
+  true
+
+let prop_identity =
+  Helpers.qcheck ~count:12 "attribution identity on random programs"
+    check_seed Gen_minic.arbitrary_program
+
+(* ------------------------------------------------------------------ *)
+(* The identity across the paper suite (fig7/fig8 configurations)      *)
+
+(* [Explain.explain] raises if any method's attribution breaks the
+   identity or disagrees with the cycle model, so walking the suite at
+   the figure latencies is the full acceptance check. *)
+let test_suite_identity () =
+  List.iter
+    (fun move_latency ->
+      List.iter
+        (fun (b : Benchsuite.Bench_intf.t) ->
+          let e = Explain.explain_bench ~move_latency b in
+          Alcotest.(check int)
+            (Printf.sprintf "%s l%d: one row per method" b.name move_latency)
+            (List.length Methods.all)
+            (List.length e.Explain.ex_rows);
+          List.iter
+            (fun (r : Explain.method_row) ->
+              Alcotest.(check int)
+                (Printf.sprintf "%s/%s l%d: categories sum to cycles" b.name
+                   r.Explain.mr_method move_latency)
+                r.Explain.mr_cycles
+                (sum r.Explain.mr_totals.Attrib.t_categories))
+            e.Explain.ex_rows)
+        Benchsuite.Suite.all)
+    [ 1; 5; 10 ]
+
+(* The explainer's placement tables are non-empty for real benchmarks:
+   every method row attributes at least one object access. *)
+let test_placements_non_empty () =
+  let e = Explain.explain_bench ~move_latency:5 (Benchsuite.Suite.find "fir") in
+  Alcotest.(check bool) "profiled accesses exist" true
+    (e.Explain.ex_access_totals <> []);
+  List.iter
+    (fun (r : Explain.method_row) ->
+      Alcotest.(check bool)
+        (r.Explain.mr_method ^ ": access table non-empty")
+        true
+        (r.Explain.mr_totals.Attrib.t_obj_access <> []))
+    e.Explain.ex_rows
+
+(* ------------------------------------------------------------------ *)
+(* Regression gate                                                     *)
+
+let with_temp_json es f =
+  let path = Filename.temp_file "gdp_attrib" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      let ppf = Format.formatter_of_out_channel oc in
+      Explain.to_json ppf es;
+      Format.pp_print_flush ppf ();
+      close_out oc;
+      f path)
+
+let test_gate_roundtrip_and_pass () =
+  let e = Explain.explain_bench ~move_latency:5 (Benchsuite.Suite.find "fir") in
+  with_temp_json [ e ] @@ fun path ->
+  match Regress.load path with
+  | Error m -> Alcotest.fail m
+  | Ok baseline ->
+      Alcotest.(check int) "latency round-trips" 5 baseline.Regress.b_latency;
+      Alcotest.(check int) "one row per method"
+        (List.length Methods.all)
+        (List.length baseline.Regress.b_rows);
+      let current = Regress.rows_of [ e ] in
+      Alcotest.(check int) "gate passes against itself" 0
+        (List.length (Regress.check ~tolerance:0.0 ~baseline ~current))
+
+let test_gate_detects_regression () =
+  let e = Explain.explain_bench ~move_latency:5 (Benchsuite.Suite.find "fir") in
+  with_temp_json [ e ] @@ fun path ->
+  match Regress.load path with
+  | Error m -> Alcotest.fail m
+  | Ok baseline ->
+      (* shrink the baseline cycles by 10%: the fresh run now reads as a
+         >= 10% regression, beyond the 2% default tolerance *)
+      let lowered =
+        {
+          baseline with
+          Regress.b_rows =
+            List.map
+              (fun (r : Regress.row) ->
+                { r with Regress.rg_cycles = r.Regress.rg_cycles * 9 / 10 })
+              baseline.Regress.b_rows;
+        }
+      in
+      let current = Regress.rows_of [ e ] in
+      let issues = Regress.check ~tolerance:2.0 ~baseline:lowered ~current in
+      Alcotest.(check bool) "regression detected" true (issues <> []);
+      List.iter
+        (fun (i : Regress.issue) ->
+          Alcotest.(check string) "cycles metric flagged" "cycles"
+            i.Regress.i_metric)
+        issues;
+      (* a generous tolerance swallows the same delta *)
+      Alcotest.(check int) "tolerance waives it" 0
+        (List.length
+           (Regress.check ~tolerance:1000.0 ~baseline:lowered ~current))
+
+let test_gate_missing_row () =
+  let e = Explain.explain_bench ~move_latency:5 (Benchsuite.Suite.find "fir") in
+  with_temp_json [ e ] @@ fun path ->
+  match Regress.load path with
+  | Error m -> Alcotest.fail m
+  | Ok baseline ->
+      let current =
+        List.filter
+          (fun (r : Regress.row) -> r.Regress.rg_method <> "gdp")
+          (Regress.rows_of [ e ])
+      in
+      let issues = Regress.check ~tolerance:2.0 ~baseline ~current in
+      Alcotest.(check int) "one disappearance" 1 (List.length issues);
+      (match issues with
+      | [ i ] ->
+          Alcotest.(check string) "method" "gdp" i.Regress.i_method;
+          Alcotest.(check int) "marked missing" (-1) i.Regress.i_current
+      | _ -> Alcotest.fail "expected exactly one issue");
+      (* extra rows in the current run are not regressions *)
+      Alcotest.(check int) "new rows are fine" 0
+        (List.length
+           (Regress.check ~tolerance:2.0 ~baseline
+              ~current:
+                (Regress.rows_of [ e ]
+                @ [
+                    {
+                      Regress.rg_bench = "brand-new";
+                      rg_method = "gdp";
+                      rg_cycles = 1;
+                      rg_moves = 0;
+                      rg_categories = [];
+                    };
+                  ])))
+
+let test_minijson_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Gdp_report.Minijson.parse s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" s)
+    [ ""; "{"; "[1,]"; "{\"a\" 1}"; "nul"; "\"unterminated"; "1 2" ];
+  match Gdp_report.Minijson.parse "{\"a\": [1, 2.5, \"x\\n\"], \"b\": null}" with
+  | Error m -> Alcotest.fail m
+  | Ok doc ->
+      let open Gdp_report.Minijson in
+      Alcotest.(check (option int)) "nested int" (Some 1)
+        (Option.bind (member "a" doc) (fun l ->
+             Option.bind (to_list l) (fun l ->
+                 Option.bind (List.nth_opt l 0) to_int)))
+
+let suite =
+  [
+    prop_identity;
+    Alcotest.test_case "identity across the suite (fig7/fig8)" `Slow
+      test_suite_identity;
+    Alcotest.test_case "placement tables are non-empty" `Quick
+      test_placements_non_empty;
+    Alcotest.test_case "gate round-trips and passes on itself" `Quick
+      test_gate_roundtrip_and_pass;
+    Alcotest.test_case "gate detects a cycle regression" `Quick
+      test_gate_detects_regression;
+    Alcotest.test_case "gate flags disappearing rows only" `Quick
+      test_gate_missing_row;
+    Alcotest.test_case "minijson accepts JSON and rejects garbage" `Quick
+      test_minijson_rejects_garbage;
+  ]

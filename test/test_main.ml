@@ -14,5 +14,6 @@ let () =
       ("partition", Test_partition.suite);
       ("pipeline", Test_pipeline.suite);
       ("telemetry", Test_telemetry.suite);
+      ("attrib", Test_attrib.suite);
       ("robust", Test_robust.suite);
     ]

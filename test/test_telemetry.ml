@@ -294,6 +294,112 @@ let test_counter_monotonicity () =
     (Telemetry.Snapshot.find_gauge snap "g")
 
 (* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+
+let test_histogram_buckets () =
+  let (), snap =
+    Telemetry.capture (fun () ->
+        List.iter (Telemetry.observe "lat") [ 0.5; 1.0; 3.0; 1000.0 ])
+  in
+  match Telemetry.Snapshot.find_hist snap "lat" with
+  | None -> Alcotest.fail "histogram not in snapshot"
+  | Some h ->
+      Alcotest.(check int) "count" 4 h.Telemetry.h_count;
+      Alcotest.(check (float 1e-9)) "sum" 1004.5 h.Telemetry.h_sum;
+      Alcotest.(check (float 1e-9)) "min" 0.5 h.Telemetry.h_min;
+      Alcotest.(check (float 1e-9)) "max" 1000.0 h.Telemetry.h_max;
+      Alcotest.(check int) "bucket total equals count" h.Telemetry.h_count
+        (Array.fold_left ( + ) 0 h.Telemetry.h_buckets);
+      (* every observation landed in the bucket whose bounds contain it *)
+      List.iter
+        (fun v ->
+          let hit = ref false in
+          Array.iteri
+            (fun i n ->
+              let lo, hi = Telemetry.hist_bucket_bounds i in
+              if n > 0 && v >= lo && v < hi then hit := true)
+            h.Telemetry.h_buckets;
+          Alcotest.(check bool)
+            (Printf.sprintf "%.1f in a covering bucket" v)
+            true !hit)
+        [ 0.5; 1.0; 3.0; 1000.0 ]
+
+let test_histogram_bounds_partition () =
+  (* buckets tile [0, inf): contiguous, increasing, first starts at 0 *)
+  let prev_hi = ref 0. in
+  for i = 0 to Telemetry.hist_buckets - 1 do
+    let lo, hi = Telemetry.hist_bucket_bounds i in
+    Alcotest.(check (float 1e-9))
+      (Printf.sprintf "bucket %d contiguous" i)
+      !prev_hi lo;
+    Alcotest.(check bool) "bounds ordered" true (lo < hi);
+    prev_hi := hi
+  done;
+  Alcotest.(check bool) "last bucket open-ended" true
+    (snd (Telemetry.hist_bucket_bounds (Telemetry.hist_buckets - 1))
+    = infinity)
+
+let test_observe_disabled_is_noop () =
+  Telemetry.disable ();
+  Telemetry.reset ();
+  Telemetry.observe "ghost.hist" 5.0;
+  let snap = Telemetry.snapshot () in
+  Alcotest.(check int) "no histograms" 0 (List.length snap.Telemetry.hists)
+
+let test_span_durations_observed () =
+  with_fake_clock @@ fun () ->
+  let (), snap =
+    Telemetry.capture (fun () ->
+        Telemetry.with_span "work" (fun () -> ());
+        Telemetry.with_span "work" (fun () -> ()))
+  in
+  match Telemetry.Snapshot.find_hist snap "span_us:work" with
+  | None -> Alcotest.fail "span duration histogram missing"
+  | Some h -> Alcotest.(check int) "one observation per span" 2 h.Telemetry.h_count
+
+let test_histograms_csv_and_summary_file () =
+  let (), snap =
+    Telemetry.capture (fun () ->
+        Telemetry.observe "prep.us" 2.0;
+        Telemetry.observe "prep.us" 2.5;
+        Telemetry.incr "boot.count")
+  in
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Telemetry.Sink.histograms_csv ppf snap;
+  Format.pp_print_flush ppf ();
+  let lines =
+    String.split_on_char '\n' (String.trim (Buffer.contents buf))
+  in
+  (match lines with
+  | header :: rows ->
+      Alcotest.(check string)
+        "csv header" "name,bucket_lo,bucket_hi,count" header;
+      Alcotest.(check bool) "one non-empty bucket row" true
+        (List.exists
+           (fun r ->
+             String.length r >= 8 && String.sub r 0 8 = "prep.us,")
+           rows)
+  | [] -> Alcotest.fail "empty csv");
+  let path = Filename.temp_file "gdp_stats" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Telemetry.Sink.write_summary path snap;
+      let ic = open_in path in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let contains needle =
+        let nl = String.length needle and tl = String.length text in
+        let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "summary lists the counter" true
+        (contains "boot.count");
+      Alcotest.(check bool) "summary lists the histogram" true
+        (contains "prep.us"))
+
+(* ------------------------------------------------------------------ *)
 (* Chrome trace exporter property                                      *)
 
 (** Random span forests of bounded size. *)
@@ -465,6 +571,15 @@ let suite =
       test_disabled_is_noop;
     Alcotest.test_case "counter monotonicity and gauge kinds" `Quick
       test_counter_monotonicity;
+    Alcotest.test_case "histogram bucketing" `Quick test_histogram_buckets;
+    Alcotest.test_case "histogram bounds tile [0, inf)" `Quick
+      test_histogram_bounds_partition;
+    Alcotest.test_case "observe is a no-op when disabled" `Quick
+      test_observe_disabled_is_noop;
+    Alcotest.test_case "span durations feed a histogram" `Quick
+      test_span_durations_observed;
+    Alcotest.test_case "histogram CSV and summary file" `Quick
+      test_histograms_csv_and_summary_file;
     QCheck_alcotest.to_alcotest chrome_trace_parses;
     QCheck_alcotest.to_alcotest chrome_trace_roundtrips_names;
     Alcotest.test_case "pipeline records every stage span" `Quick
