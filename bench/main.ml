@@ -17,6 +17,12 @@
      --check FILE    regression gate: diff the current run against a
                      committed baseline, exit non-zero on regressions
      --tolerance PCT allowed relative growth for --check (default 2%)
+     -j, --jobs N    fan the standard sweep and the --check gate over N
+                     worker processes (default 1 = sequential; results
+                     are identical, the pool only changes wall clock —
+                     with -j the sweep cost lands in the prefetch, so
+                     per-figure wall times in --timings/--json shrink to
+                     render time)
 
    When only report/baseline/check flags are given, the figure sweep is
    skipped — the gate runs on its own.
@@ -253,6 +259,57 @@ let explanations ~move_latency =
         None)
     (Experiments.default_benches ())
 
+(* The regression gate only needs the comparable rows, so with -j it
+   fans one attribution job per benchmark over the process pool: each
+   worker returns its benchmark's "gdp-attrib/1" document, which
+   [Regress.of_json] reads back — same parser as the committed baseline
+   file, so parallel gate rows are the sequential rows. *)
+let gate_worker (payload : Minijson.t) : Minijson.t =
+  match
+    ( Option.bind (Minijson.member "bench" payload) Minijson.to_string,
+      Option.bind (Minijson.member "move_latency" payload) Minijson.to_int )
+  with
+  | Some name, Some move_latency -> (
+      let b = Benchsuite.Suite.find name in
+      let e = Gdp_report.Explain.explain_bench ~move_latency b in
+      let doc = Format.asprintf "%a" Gdp_report.Explain.to_json [ e ] in
+      match Minijson.parse doc with
+      | Ok v -> v
+      | Error m -> failwith ("attribution document did not re-parse: " ^ m))
+  | _ -> failwith "malformed gate job payload"
+
+let gate_rows ~jobs ~move_latency : Gdp_report.Regress.row list =
+  if jobs <= 1 then
+    Gdp_report.Regress.rows_of (explanations ~move_latency)
+  else begin
+    let benches = Experiments.default_benches () in
+    let job_of (b : Benchsuite.Bench_intf.t) =
+      let name = b.Benchsuite.Bench_intf.name in
+      Exec.job ~batch:name
+        (Minijson.obj
+           [
+             ("bench", Minijson.str name);
+             ("move_latency", Minijson.int move_latency);
+           ])
+    in
+    let results = Exec.map ~jobs ~worker:gate_worker (List.map job_of benches) in
+    List.concat
+      (List.mapi
+         (fun i (b : Benchsuite.Bench_intf.t) ->
+           let name = b.Benchsuite.Bench_intf.name in
+           match results.(i) with
+           | Ok doc -> (
+               match Gdp_report.Regress.of_json ~where:name doc with
+               | Ok base -> base.Gdp_report.Regress.b_rows
+               | Error m ->
+                   Fmt.epr "warning: explain %s failed: %s@." name m;
+                   [])
+           | Error m ->
+               Fmt.epr "warning: explain %s failed: %s@." name m;
+               [])
+         benches)
+  end
+
 let write_text_file path render =
   let oc = open_out path in
   let ppf = Format.formatter_of_out_channel oc in
@@ -262,7 +319,7 @@ let write_text_file path render =
   Fmt.pr "wrote %s@." path
 
 (** Returns [false] when the regression gate failed. *)
-let run_attrib ~report ~baseline ~check ~tolerance : bool =
+let run_attrib ~jobs ~report ~baseline ~check ~tolerance : bool =
   (match report with
   | Some dir ->
       let files =
@@ -284,12 +341,11 @@ let run_attrib ~report ~baseline ~check ~tolerance : bool =
           Fmt.epr "check: cannot load baseline: %s@." m;
           false
       | Ok base ->
-          let es =
-            explanations ~move_latency:base.Gdp_report.Regress.b_latency
+          let current =
+            gate_rows ~jobs ~move_latency:base.Gdp_report.Regress.b_latency
           in
           let issues =
-            Gdp_report.Regress.check ~tolerance ~baseline:base
-              ~current:(Gdp_report.Regress.rows_of es)
+            Gdp_report.Regress.check ~tolerance ~baseline:base ~current
           in
           if issues = [] then begin
             Fmt.pr
@@ -310,6 +366,7 @@ let run_attrib ~report ~baseline ~check ~tolerance : bool =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let jobs = ref 1 in
   let rec parse_flags timings trace json report baseline check tolerance =
     function
     | "--timings" :: rest ->
@@ -352,11 +409,23 @@ let () =
     | [ "--tolerance" ] ->
         Fmt.epr "--tolerance needs a percentage argument@.";
         exit 1
+    | ("-j" | "--jobs") :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            jobs := Exec.clamp_jobs n;
+            parse_flags timings trace json report baseline check tolerance rest
+        | _ ->
+            Fmt.epr "-j needs a positive worker count@.";
+            exit 1)
+    | [ ("-j" | "--jobs") ] ->
+        Fmt.epr "-j needs a worker count argument@.";
+        exit 1
     | rest -> (timings, trace, json, report, baseline, check, tolerance, rest)
   in
   let timings, trace, json, report, baseline, check, tolerance, args =
     parse_flags false None None None None None 2.0 args
   in
+  let jobs = !jobs in
   let attrib_only =
     args = [] && (report <> None || baseline <> None || check <> None)
   in
@@ -377,7 +446,31 @@ let () =
     (match json with
     | Some path -> write_json path ~timings:rows ~bechamel:!bech
     | None -> ());
-    if not (run_attrib ~report ~baseline ~check ~tolerance) then exit 1
+    if not (run_attrib ~jobs ~report ~baseline ~check ~tolerance) then exit 1
+  in
+  (* which standard-sweep latencies the named experiments will need; with
+     -j the whole set is prefetched through the process pool up front,
+     and the figures then render from cache hits *)
+  let sweep_latencies names =
+    let needs =
+      [
+        ("fig2", [ 1; 5; 10 ]);
+        ("fig7", [ 1 ]);
+        ("fig8a", [ 5 ]);
+        ("fig8b", [ 10 ]);
+        ("fig10", [ 5 ]);
+      ]
+    in
+    List.sort_uniq compare
+      (List.concat_map
+         (fun n -> Option.value ~default:[] (List.assoc_opt n needs))
+         names)
+  in
+  let prefetch_for names =
+    if jobs > 1 then
+      match sweep_latencies names with
+      | [] -> ()
+      | latencies -> Experiments.prefetch ~jobs ~latencies ()
   in
   match args with
   | [] when attrib_only -> finish []
@@ -385,6 +478,7 @@ let () =
       Fmt.pr
         "Reproducing: Chu & Mahlke, Compiler-directed Data Partitioning for \
          Multicluster Processors (CGO 2006)@.";
+      prefetch_for (List.map fst experiments);
       finish
         (List.map
            (fun (name, f) ->
@@ -395,6 +489,7 @@ let () =
       List.iter (fun (n, _) -> Fmt.pr "%s@." n) experiments;
       Fmt.pr "bechamel@."
   | names ->
+      prefetch_for names;
       finish
         (List.map
            (fun n ->

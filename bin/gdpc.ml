@@ -489,8 +489,18 @@ let explain_cmd =
 (* ------------------------------------------------------------------ *)
 (* bench                                                               *)
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Number of worker processes to fan the work over (default 1 = \
+           in-process).  Results are identical whatever N; only the wall \
+           clock changes.")
+
 let bench_cmd =
-  let run obs name latency =
+  let run obs name latency jobs json =
     handle_errors (fun () ->
         let benches =
           match name with
@@ -498,20 +508,25 @@ let bench_cmd =
           | None -> Benchsuite.Suite.all
         in
         let rows =
-          Gdp_core.Experiments.run_all ~benches ~move_latency:latency ()
+          Gdp_core.Experiments.run_all ~jobs:(Exec.clamp_jobs jobs) ~benches
+            ~move_latency:latency ()
         in
         let cell r name =
           match Gdp_core.Experiments.cycles_opt r name with
           | Some c -> string_of_int c
           | None -> "n/a"
         in
-        Fmt.pr "%-12s %10s %12s %10s %10s@." "benchmark" "gdp" "profile-max"
-          "naive" "unified";
+        let methods =
+          List.map Partition.Methods.to_string Partition.Methods.all
+        in
+        Fmt.pr "%-12s" "benchmark";
+        List.iter (fun m -> Fmt.pr " %12s" m) methods;
+        Fmt.pr "@.";
         List.iter
           (fun r ->
-            Fmt.pr "%-12s %10s %12s %10s %10s@." r.Gdp_core.Experiments.bench
-              (cell r "gdp") (cell r "profile-max") (cell r "naive")
-              (cell r "unified"))
+            Fmt.pr "%-12s" r.Gdp_core.Experiments.bench;
+            List.iter (fun m -> Fmt.pr " %12s" (cell r m)) methods;
+            Fmt.pr "@.")
           rows;
         List.iter
           (fun r ->
@@ -521,6 +536,19 @@ let bench_cmd =
                   m
             | None -> ())
           rows;
+        (match json with
+        | Some path ->
+            Minijson.write_file path
+              (Minijson.obj
+                 [
+                   ("schema", Minijson.str "gdp-rows/1");
+                   ("latency", Minijson.int latency);
+                   ( "rows",
+                     Minijson.list
+                       (List.map Gdp_core.Experiments.row_to_json rows) );
+                 ]);
+            Fmt.pr "wrote %s@." path
+        | None -> ());
         finish_obs obs)
   in
   let name_arg =
@@ -529,24 +557,36 @@ let bench_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"NAME" ~doc:"Benchmark name (default: all).")
   in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Also write the result rows (cycles, moves, error per \
+             benchmark and method) as machine-readable JSON — the rows \
+             are independent of $(b,-j), so this file is what parallel \
+             and sequential runs are compared on.")
+  in
   Cmd.v
     (Cmd.info "bench" ~doc:"Evaluate suite benchmarks under all methods.")
-    Term.(const run $ obs_term $ name_arg $ latency_arg)
+    Term.(const run $ obs_term $ name_arg $ latency_arg $ jobs_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* fuzz                                                                *)
 
 let fuzz_cmd =
-  let run obs count seed latencies corpus shrink_budget =
+  let run obs count seed latencies corpus shrink_budget jobs =
     handle_errors (fun () ->
+        let jobs = Exec.clamp_jobs jobs in
         let on_progress done_ mismatches =
-          if done_ mod 25 = 0 || done_ = count then
+          if jobs > 1 || done_ mod 25 = 0 || done_ = count then
             Fmt.epr "fuzz: %d/%d programs, %d mismatch(es)@." done_ count
               mismatches
         in
         let summary =
           Telemetry.with_span "fuzz" (fun () ->
-              Gdp_fuzz.Fuzz.campaign ~latencies ?corpus
+              Gdp_fuzz.Fuzz.campaign ~jobs ~latencies ?corpus
                 ~shrink_budget ~on_progress ~seed ~count ())
         in
         List.iter
@@ -613,7 +653,7 @@ let fuzz_cmd =
           reference run.  Exits non-zero when any mismatch is found.")
     Term.(
       const run $ obs_term $ count_arg $ seed_arg $ latencies_arg $ corpus_arg
-      $ shrink_arg)
+      $ shrink_arg $ jobs_arg)
 
 let list_cmd =
   let run obs =

@@ -74,13 +74,38 @@ let prepare_default (bench : Benchsuite.Bench_intf.t) : prepared =
 
 (* Downstream layers (e.g. the report explainer) keep their own bounded
    memos; they register a clearer here so one [clear_caches] call covers
-   every cache in the process without this module depending on them. *)
-let extra_clearers : (unit -> unit) list ref = ref []
-let register_cache_clearer f = extra_clearers := f :: !extra_clearers
+   every cache in the process without this module depending on them.
+   Registration is keyed and last-write-wins: a forked worker (or a test
+   harness) that re-runs registration code must not end up with two
+   copies of the same clearer, because [clear_caches] runs every entry
+   and a stale duplicate could outlive the cache it clears. *)
+let extra_clearers : (string, unit -> unit) Hashtbl.t = Hashtbl.create 8
+let anon_clearers = ref 0
+
+let register_cache_clearer ?key f =
+  let key =
+    match key with
+    | Some k -> k
+    | None ->
+        incr anon_clearers;
+        Printf.sprintf "<anonymous-%d>" !anon_clearers
+  in
+  Hashtbl.replace extra_clearers key f
+
+(* Guard against a clearer calling [clear_caches] back (directly or via
+   a layer that "helpfully" clears everything): the inner call is a
+   no-op instead of an infinite recursion. *)
+let clearing = ref false
 
 let clear_caches () =
-  Hashtbl.reset prepare_cache;
-  List.iter (fun f -> f ()) !extra_clearers
+  if not !clearing then begin
+    clearing := true;
+    Fun.protect
+      ~finally:(fun () -> clearing := false)
+      (fun () ->
+        Hashtbl.reset prepare_cache;
+        Hashtbl.iter (fun _ f -> f ()) extra_clearers)
+  end
 
 let context ?machine ?merge_low_slack (p : prepared) : Methods.context =
   let machine =
@@ -95,8 +120,9 @@ type evaluation = {
   report : Vliw_sched.Perf.report;
 }
 
-(** Run one method and price it under the cycle model. *)
-let evaluate ?rhop_config ?gdp_config (ctx : Methods.context) method_ :
+(* Run one method and price it under the cycle model — the shared core
+   behind [run] and the [evaluate] wrapper. *)
+let evaluate_with ?rhop_config ?gdp_config (ctx : Methods.context) method_ :
     evaluation =
   Telemetry.with_span "evaluate" ~args:[ ("method", Methods.name method_) ]
     (fun () ->
@@ -166,16 +192,16 @@ let verify p ctx e = Telemetry.with_span "verify" (fun () -> verify_body p ctx e
 (* ------------------------------------------------------------------ *)
 (* Graceful degradation                                                *)
 
-(** [evaluate], with the pipeline's internal invariants promoted from
-    exceptions to a checked result: any stage failure (partitioner
-    constraint violations, invalid move insertion, assignment-invariant
-    breaks, scheduler/simulator errors) comes back as [Error], and the
-    clustered assignment is structurally validated (every op clustered,
-    memory ops on their objects' home clusters, register webs on one
-    cluster).  With [?verify_against] the full differential check
-    (clustered interpretation + cycle simulation vs. the reference run)
-    is included. *)
-let evaluate_checked ?rhop_config ?gdp_config ?verify_against
+(* [evaluate_with], with the pipeline's internal invariants promoted
+   from exceptions to a checked result: any stage failure (partitioner
+   constraint violations, invalid move insertion, assignment-invariant
+   breaks, scheduler/simulator errors) comes back as [Error], and the
+   clustered assignment is structurally validated (every op clustered,
+   memory ops on their objects' home clusters, register webs on one
+   cluster).  With [?verify_against] the full differential check
+   (clustered interpretation + cycle simulation vs. the reference run)
+   is included. *)
+let checked_with ?rhop_config ?gdp_config ?verify_against
     (ctx : Methods.context) method_ : (evaluation, string) result =
   match
     Telemetry.with_span "evaluate-checked"
@@ -218,14 +244,14 @@ type robust = {
 let pp_fallback ppf f =
   Fmt.pf ppf "%s failed: %s" f.failed_method f.reason
 
-(** Evaluate [method_] with full verification against the reference
-    run, degrading along [Methods.fallback_chain] (GDP -> Profile Max
-    -> Naive -> Unified) when a method's partition or schedule fails an
-    invariant or the differential check.  Every failure is recorded in
-    the result (and counted as a detected fault); a successful fallback
-    counts as a recovery.  [Error] only when every method in the chain
-    fails. *)
-let evaluate_robust ?rhop_config ?gdp_config ?(verify = true) (p : prepared)
+(* Evaluate [method_] with full verification against the reference
+   run, degrading along [Methods.fallback_chain] (GDP -> Profile Max
+   -> Naive -> Unified) when a method's partition or schedule fails an
+   invariant or the differential check.  Every failure is recorded in
+   the result (and counted as a detected fault); a successful fallback
+   counts as a recovery.  [Error] only when every method in the chain
+   fails. *)
+let robust_with ?rhop_config ?gdp_config ~verify (p : prepared)
     (ctx : Methods.context) method_ : (robust, string) result =
   Telemetry.with_span "evaluate-robust"
     ~args:[ ("method", Methods.name method_) ]
@@ -238,9 +264,7 @@ let evaluate_robust ?rhop_config ?gdp_config ?(verify = true) (p : prepared)
              Fmt.(list ~sep:(any "; ") pp_fallback)
              (List.rev fallbacks))
     | m :: rest -> (
-        match
-          evaluate_checked ?rhop_config ?gdp_config ?verify_against ctx m
-        with
+        match checked_with ?rhop_config ?gdp_config ?verify_against ctx m with
         | Ok e ->
             if fallbacks <> [] then begin
               Fault.note_recovered ();
@@ -264,3 +288,254 @@ let evaluate_robust ?rhop_config ?gdp_config ?(verify = true) (p : prepared)
             go ({ failed_method = Methods.name m; reason } :: fallbacks) rest)
   in
   go [] (Methods.fallback_chain method_)
+
+(* ------------------------------------------------------------------ *)
+(* Settings: one record for everything the optional arguments used to
+   plumb, serializable so jobs can cross a process boundary.           *)
+
+module Settings = struct
+  type t = {
+    clusters : int;
+    move_latency : int;
+    method_ : Methods.t;
+    unroll : bool;
+    promote : bool;
+    simplify : bool;
+    if_convert : bool;
+    merge_low_slack : bool option;
+    rhop : Partition.Rhop.config option;
+    gdp : Partition.Gdp.config option;
+  }
+
+  let schema = "gdp-settings/1"
+
+  let default method_ =
+    {
+      clusters = 2;
+      move_latency = 5;
+      method_;
+      unroll = true;
+      promote = true;
+      simplify = true;
+      if_convert = true;
+      merge_low_slack = None;
+      rhop = None;
+      gdp = None;
+    }
+
+  let machine (s : t) =
+    if s.clusters = 2 then
+      Vliw_machine.paper_machine ~move_latency:s.move_latency ()
+    else
+      Vliw_machine.scaled_machine ~move_latency:s.move_latency
+        ~clusters:s.clusters ()
+
+  let default_front_end (s : t) =
+    s.unroll && s.promote && s.simplify && s.if_convert
+
+  let to_json (s : t) : Minijson.t =
+    let rhop_json (c : Partition.Rhop.config) =
+      Minijson.obj
+        [
+          ( "xmove_weight",
+            Minijson.option Minijson.int c.Partition.Rhop.xmove_weight );
+          ("coarsen_until", Minijson.int c.Partition.Rhop.coarsen_until);
+          ("max_passes", Minijson.int c.Partition.Rhop.max_passes);
+        ]
+    in
+    let gdp_json (c : Partition.Gdp.config) =
+      Minijson.obj
+        [
+          ("data_imbalance", Minijson.float c.Partition.Gdp.data_imbalance);
+          ("op_imbalance", Minijson.float c.Partition.Gdp.op_imbalance);
+          ("seed", Minijson.int c.Partition.Gdp.seed);
+        ]
+    in
+    Minijson.obj
+      [
+        ("schema", Minijson.str schema);
+        ("clusters", Minijson.int s.clusters);
+        ("move_latency", Minijson.int s.move_latency);
+        ("method", Minijson.str (Methods.to_string s.method_));
+        ("unroll", Minijson.bool s.unroll);
+        ("promote", Minijson.bool s.promote);
+        ("simplify", Minijson.bool s.simplify);
+        ("if_convert", Minijson.bool s.if_convert);
+        ("merge_low_slack", Minijson.option Minijson.bool s.merge_low_slack);
+        ("rhop", Minijson.option rhop_json s.rhop);
+        ("gdp", Minijson.option gdp_json s.gdp);
+      ]
+
+  let ( let* ) = Result.bind
+
+  let field name doc =
+    match Minijson.member name doc with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "settings: missing field %S" name)
+
+  let as_int name v =
+    match Minijson.to_int v with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "settings: field %S is not an integer" name)
+
+  let as_float name v =
+    match Minijson.to_float v with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "settings: field %S is not a number" name)
+
+  let as_bool name v =
+    match v with
+    | Minijson.Bool b -> Ok b
+    | _ -> Error (Printf.sprintf "settings: field %S is not a boolean" name)
+
+  let int_field name doc = Result.bind (field name doc) (as_int name)
+  let bool_field name doc = Result.bind (field name doc) (as_bool name)
+
+  let nullable name parse doc =
+    match Minijson.member name doc with
+    | None | Some Minijson.Null -> Ok None
+    | Some v -> Result.map Option.some (parse name v)
+
+  let rhop_of_json doc =
+    let* xmove_weight = nullable "xmove_weight" as_int doc in
+    let* coarsen_until = int_field "coarsen_until" doc in
+    let* max_passes = int_field "max_passes" doc in
+    Ok { Partition.Rhop.xmove_weight; coarsen_until; max_passes }
+
+  let gdp_of_json doc =
+    let* data_imbalance = Result.bind (field "data_imbalance" doc) (as_float "data_imbalance") in
+    let* op_imbalance = Result.bind (field "op_imbalance" doc) (as_float "op_imbalance") in
+    let* seed = int_field "seed" doc in
+    Ok { Partition.Gdp.data_imbalance; op_imbalance; seed }
+
+  let of_json (doc : Minijson.t) : (t, string) result =
+    let* schema_v = field "schema" doc in
+    let* () =
+      match Minijson.to_string schema_v with
+      | Some s when s = schema -> Ok ()
+      | Some s -> Error (Printf.sprintf "settings: unknown schema %S" s)
+      | None -> Error "settings: schema is not a string"
+    in
+    let* clusters = int_field "clusters" doc in
+    let* move_latency = int_field "move_latency" doc in
+    let* method_v = field "method" doc in
+    let* method_ =
+      match Minijson.to_string method_v with
+      | Some s -> Methods.of_string s
+      | None -> Error "settings: method is not a string"
+    in
+    let* unroll = bool_field "unroll" doc in
+    let* promote = bool_field "promote" doc in
+    let* simplify = bool_field "simplify" doc in
+    let* if_convert = bool_field "if_convert" doc in
+    let* merge_low_slack = nullable "merge_low_slack" as_bool doc in
+    let* rhop =
+      match Minijson.member "rhop" doc with
+      | None | Some Minijson.Null -> Ok None
+      | Some v -> Result.map Option.some (rhop_of_json v)
+    in
+    let* gdp =
+      match Minijson.member "gdp" doc with
+      | None | Some Minijson.Null -> Ok None
+      | Some v -> Result.map Option.some (gdp_of_json v)
+    in
+    Ok
+      {
+        clusters;
+        move_latency;
+        method_;
+        unroll;
+        promote;
+        simplify;
+        if_convert;
+        merge_low_slack;
+        rhop;
+        gdp;
+      }
+end
+
+(* Prepare under the settings' front-end flags.  All-default flags take
+   the memoized path, which matters in pool workers: every job of a
+   batch shares one compile + profile. *)
+let prepare_with (s : Settings.t) bench =
+  if Settings.default_front_end s then prepare_default bench
+  else
+    prepare ~unroll:s.Settings.unroll ~promote:s.Settings.promote
+      ~simplify:s.Settings.simplify ~if_convert:s.Settings.if_convert bench
+
+(* ------------------------------------------------------------------ *)
+(* The settings-driven entry point.                                    *)
+
+type mode = Plain | Checked of { verify : bool } | Robust of { verify : bool }
+type run_result = Evaluated of evaluation | Degraded of robust
+
+let run ?prepared:p ?ctx ?(mode = Plain) (s : Settings.t) :
+    (run_result, string) result =
+  let rhop_config = s.Settings.rhop and gdp_config = s.Settings.gdp in
+  let method_ = s.Settings.method_ in
+  let ctx_result =
+    match (ctx, p) with
+    | Some c, _ -> Ok c
+    | None, Some p ->
+        Ok
+          (context ~machine:(Settings.machine s)
+             ?merge_low_slack:s.Settings.merge_low_slack p)
+    | None, None -> Error "Pipeline.run: needs ~prepared or ~ctx"
+  in
+  match ctx_result with
+  | Error _ as e -> e
+  | Ok ctx -> (
+      match mode with
+      | Plain ->
+          Ok (Evaluated (evaluate_with ?rhop_config ?gdp_config ctx method_))
+      | Checked { verify } -> (
+          match (verify, p) with
+          | true, None ->
+              Error "Pipeline.run: Checked verification needs ~prepared"
+          | verify, _ ->
+              let verify_against = if verify then p else None in
+              Result.map
+                (fun e -> Evaluated e)
+                (checked_with ?rhop_config ?gdp_config ?verify_against ctx
+                   method_))
+      | Robust { verify } -> (
+          match p with
+          | None -> Error "Pipeline.run: Robust mode needs ~prepared"
+          | Some p ->
+              Result.map
+                (fun r -> Degraded r)
+                (robust_with ?rhop_config ?gdp_config ~verify p ctx method_)))
+
+(* ------------------------------------------------------------------ *)
+(* Compatibility wrappers: the pre-[Settings] signatures, re-expressed
+   over [run].                                                         *)
+
+let settings_for ?rhop_config ?gdp_config method_ =
+  { (Settings.default method_) with rhop = rhop_config; gdp = gdp_config }
+
+let evaluate ?rhop_config ?gdp_config ctx method_ =
+  match
+    run ~ctx ~mode:Plain (settings_for ?rhop_config ?gdp_config method_)
+  with
+  | Ok (Evaluated e) -> e
+  | Ok (Degraded _) -> assert false
+  | Error m -> failwith m
+
+let evaluate_checked ?rhop_config ?gdp_config ?verify_against ctx method_ =
+  let mode = Checked { verify = verify_against <> None } in
+  match
+    run ?prepared:verify_against ~ctx ~mode
+      (settings_for ?rhop_config ?gdp_config method_)
+  with
+  | Ok (Evaluated e) -> Ok e
+  | Ok (Degraded _) -> assert false
+  | Error m -> Error m
+
+let evaluate_robust ?rhop_config ?gdp_config ?(verify = true) p ctx method_ =
+  match
+    run ~prepared:p ~ctx ~mode:(Robust { verify })
+      (settings_for ?rhop_config ?gdp_config method_)
+  with
+  | Ok (Degraded r) -> Ok r
+  | Ok (Evaluated _) -> assert false
+  | Error m -> Error m

@@ -31,14 +31,33 @@ val prepare :
 val prepare_default : Benchsuite.Bench_intf.t -> prepared
 
 (** Drop the [prepare_default] memo and run every registered clearer
-    ([Experiments.clear_cache] drops the experiment sweep memo). *)
+    ([Experiments.clear_cache] drops the experiment sweep memo).
+    Re-entrant: a clearer that calls [clear_caches] back gets a no-op,
+    not an infinite recursion.
+
+    {b Fork-safety contract.}  Every cache behind this call is a plain
+    in-process [Hashtbl]: a forked child (an [Exec] pool worker) gets a
+    copy-on-write copy and the parent and child diverge from there —
+    nothing is shared, nothing needs locking, and a child clearing (or
+    filling) its caches never affects the parent.  What a child must
+    {e not} do is re-register the clearers it already inherited:
+    registration is therefore keyed and idempotent (see
+    [register_cache_clearer]), so module-initialization code that runs
+    again in a worker replaces its entry instead of appending a
+    duplicate that [clear_caches] would run twice. *)
 val clear_caches : unit -> unit
 
 (** Register an extra cache clearer to be run by [clear_caches].
     Downstream layers with their own memos (e.g. the report explainer)
     register here so fuzzing loops that call [clear_caches] between
-    iterations keep the whole process flat on memory. *)
-val register_cache_clearer : (unit -> unit) -> unit
+    iterations keep the whole process flat on memory.
+
+    [key] makes the registration idempotent: registering under an
+    existing key replaces that entry (last write wins).  Pass a stable
+    key (e.g. ["report.explain"]) from module-initialization code —
+    anonymous registrations cannot be deduplicated if the registration
+    site runs more than once per process. *)
+val register_cache_clearer : ?key:string -> (unit -> unit) -> unit
 
 (** Partitioning context on a machine (default: the paper's 2-cluster
     machine at 5-cycle move latency). *)
@@ -53,6 +72,8 @@ type evaluation = {
   report : Vliw_sched.Perf.report;
 }
 
+(** Deprecated — thin wrapper over {!run} with [mode = Plain]; new code
+    should build a {!Settings.t} and call {!run}. *)
 val evaluate :
   ?rhop_config:Partition.Rhop.config ->
   ?gdp_config:Partition.Gdp.config ->
@@ -72,7 +93,8 @@ val verify :
 (** [evaluate] with every internal invariant checked instead of raised:
     stage exceptions become [Error], the clustered assignment is
     structurally validated, and with [?verify_against] the full
-    differential check against the reference run is included. *)
+    differential check against the reference run is included.
+    Deprecated — thin wrapper over {!run} with [mode = Checked _]. *)
 val evaluate_checked :
   ?rhop_config:Partition.Rhop.config ->
   ?gdp_config:Partition.Gdp.config ->
@@ -101,7 +123,8 @@ val pp_fallback : fallback Fmt.t
     (with [verify], the default) the differential check is recorded as a
     fallback and the next method is tried.  Failures count as detected
     faults and a successful fallback as a recovery ([Fault.counts]).
-    [Error] only when every method in the chain fails. *)
+    [Error] only when every method in the chain fails.
+    Deprecated — thin wrapper over {!run} with [mode = Robust _]. *)
 val evaluate_robust :
   ?rhop_config:Partition.Rhop.config ->
   ?gdp_config:Partition.Gdp.config ->
@@ -110,3 +133,73 @@ val evaluate_robust :
   Partition.Methods.context ->
   Partition.Methods.t ->
   (robust, string) result
+
+(** {1 Settings}
+
+    Everything the evaluation entry points used to take as scattered
+    optional arguments, as one first-class, serializable record.  The
+    JSON form ([schema "gdp-settings/1"]) is what crosses the pipe to
+    [Exec] pool workers. *)
+
+module Settings : sig
+  type t = {
+    clusters : int;  (** 2 selects the paper machine *)
+    move_latency : int;  (** intercluster bus latency in cycles *)
+    method_ : Partition.Methods.t;
+    unroll : bool;  (** front-end flags, as in [prepare] *)
+    promote : bool;
+    simplify : bool;
+    if_convert : bool;
+    merge_low_slack : bool option;  (** [None] = context default *)
+    rhop : Partition.Rhop.config option;  (** [None] = partitioner default *)
+    gdp : Partition.Gdp.config option;
+  }
+
+  (** Paper defaults: 2 clusters, 5-cycle moves, all front-end passes
+      on, default partitioner configs. *)
+  val default : Partition.Methods.t -> t
+
+  (** The machine the settings describe: the paper machine for
+      [clusters = 2], the scaled machine otherwise. *)
+  val machine : t -> Vliw_machine.t
+
+  (** True when every front-end flag has its default value — exactly
+      the settings under which [prepare_with] may take the memoized
+      [prepare_default] path. *)
+  val default_front_end : t -> bool
+
+  (** [of_json (to_json s) = Ok s] for every [s] (the numbers involved
+      are finite).  [of_json] rejects unknown schemas, unknown method
+      names and shape mismatches with a descriptive [Error]. *)
+  val to_json : t -> Minijson.t
+
+  val of_json : Minijson.t -> (t, string) result
+end
+
+(** Prepare a benchmark under the settings' front-end flags; with all
+    flags at their defaults this is [prepare_default] (memoized). *)
+val prepare_with : Settings.t -> Benchsuite.Bench_intf.t -> prepared
+
+(** How much checking {!run} performs: [Plain] is [evaluate] (internal
+    errors raise), [Checked] promotes invariant violations to [Error]
+    (with [verify], the full differential check — needs [~prepared]),
+    and [Robust] degrades along the fallback chain. *)
+type mode = Plain | Checked of { verify : bool } | Robust of { verify : bool }
+
+type run_result =
+  | Evaluated of evaluation  (** [Plain] and [Checked] modes *)
+  | Degraded of robust  (** [Robust] mode *)
+
+(** The settings-driven entry point behind [evaluate],
+    [evaluate_checked] and [evaluate_robust].  The context is built
+    from [~prepared] on the machine {!Settings.machine} describes, or
+    supplied ready-made with [~ctx] (whose machine then wins — the
+    settings' [clusters]/[move_latency] are ignored).  At least one of
+    the two is required, and modes that verify against the reference
+    run ([Checked {verify = true}], [Robust _]) need [~prepared]. *)
+val run :
+  ?prepared:prepared ->
+  ?ctx:Partition.Methods.context ->
+  ?mode:mode ->
+  Settings.t ->
+  (run_result, string) result

@@ -1,0 +1,392 @@
+(** Process-pool job executor (see exec.mli).
+
+    The parent and each worker speak a lockstep request/response
+    protocol over a pair of pipes: the parent writes one job frame
+    (newline-terminated compact JSON), the worker writes exactly one
+    result frame back.  One job is outstanding per worker at a time, so
+    buffered channel reads behind [Unix.select] are safe — a readable
+    descriptor always corresponds to (the start of) the one pending
+    response line. *)
+
+let src = Logs.Src.create "exec" ~doc:"process-pool executor"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type job = { payload : Minijson.t; batch : string }
+
+let job ?(batch = "") payload = { payload; batch }
+let clamp_jobs n = max 1 (min 64 n)
+
+(* ------------------------------------------------------------------ *)
+(* Wire protocol                                                       *)
+
+let job_schema = "gdp-job/1"
+let result_schema = "gdp-result/1"
+
+let encode_request idx (j : job) =
+  Minijson.(
+    encode
+      (obj
+         [ ("schema", str job_schema); ("id", int idx); ("payload", j.payload) ]))
+
+let encode_result idx (r : (Minijson.t, string) result) =
+  let fields =
+    match r with
+    | Ok v -> [ ("schema", Minijson.str result_schema); ("id", Minijson.int idx); ("ok", v) ]
+    | Error m ->
+        [ ("schema", Minijson.str result_schema);
+          ("id", Minijson.int idx);
+          ("error", Minijson.str m)
+        ]
+  in
+  match Minijson.encode (Minijson.obj fields) with
+  | s -> s
+  | exception Invalid_argument m ->
+      (* non-finite number in the worker's result: downgrade to a job
+         error rather than killing the worker *)
+      Minijson.(
+        encode
+          (obj
+             [ ("schema", str result_schema);
+               ("id", int idx);
+               ("error", str ("unencodable result: " ^ m))
+             ]))
+
+(* [Ok (id, per_job_result)] or [Error msg] when the frame itself is
+   broken (which the parent treats as a worker crash). *)
+let decode_result line =
+  match Minijson.parse line with
+  | Error msg -> Error ("unparseable result frame: " ^ msg)
+  | Ok doc -> (
+      let field name = Minijson.member name doc in
+      if Option.bind (field "schema") Minijson.to_string <> Some result_schema
+      then Error "result frame with wrong schema"
+      else
+        match Option.bind (field "id") Minijson.to_int with
+        | None -> Error "result frame without id"
+        | Some id -> (
+            match field "error" with
+            | Some e -> (
+                match Minijson.to_string e with
+                | Some msg -> Ok (id, Error msg)
+                | None -> Error "result frame with non-string error")
+            | None -> (
+                match field "ok" with
+                | Some v -> Ok (id, Ok v)
+                | None -> Error "result frame without ok or error")))
+
+(* ------------------------------------------------------------------ *)
+(* Worker (child) side                                                 *)
+
+let run_one worker idx payload =
+  match worker payload with
+  | v -> encode_result idx (Ok v)
+  | exception e -> encode_result idx (Error (Printexc.to_string e))
+
+(* Never returns: serves jobs until the parent closes the pipe. *)
+let child_loop ~worker ~setup in_ch out_ch =
+  (try
+     setup ();
+     while true do
+       let line = input_line in_ch in
+       let response =
+         match Minijson.parse line with
+         | Error msg -> encode_result (-1) (Error ("unparseable job frame: " ^ msg))
+         | Ok doc -> (
+             let idx =
+               Option.bind (Minijson.member "id" doc) Minijson.to_int
+             in
+             match (idx, Minijson.member "payload" doc) with
+             | Some idx, Some payload -> run_one worker idx payload
+             | _ -> encode_result (-1) (Error "malformed job frame"))
+       in
+       output_string out_ch response;
+       output_char out_ch '\n';
+       flush out_ch
+     done
+   with End_of_file | Sys_error _ -> ());
+  (* _exit, not exit: at-exit hooks and buffered output inherited from
+     the parent must not run/flush twice *)
+  Unix._exit 0
+
+(* ------------------------------------------------------------------ *)
+(* Parent side                                                         *)
+
+type pending = { idx : int; pjob : job; mutable attempts : int }
+
+type slot = {
+  slot_id : int;
+  mutable pid : int;
+  mutable to_child : out_channel;
+  mutable from_child : in_channel;
+  mutable from_fd : Unix.file_descr;
+  mutable to_fd : Unix.file_descr;
+  mutable current : (pending * float) option;  (* in-flight job, start_us *)
+  mutable queue : pending list;  (* rest of the batch this slot owns *)
+  mutable alive : bool;
+}
+
+let status_string = function
+  | Unix.WEXITED n -> Printf.sprintf "exit %d" n
+  | Unix.WSIGNALED n -> Printf.sprintf "signal %d" n
+  | Unix.WSTOPPED n -> Printf.sprintf "stop %d" n
+
+(* Fork one worker.  [parent_fds] are the parent-side descriptors of
+   every other live worker: the child must close them, or a dead
+   parent-side write end would be held open by siblings and workers
+   would never see EOF on shutdown. *)
+let spawn ~worker ~setup ~parent_fds =
+  let job_r, job_w = Unix.pipe () in
+  let res_r, res_w = Unix.pipe () in
+  (* anything buffered pre-fork would otherwise be flushed by both
+     processes *)
+  Format.pp_print_flush Format.std_formatter ();
+  Format.pp_print_flush Format.err_formatter ();
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      Unix.close job_w;
+      Unix.close res_r;
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        parent_fds;
+      child_loop ~worker ~setup
+        (Unix.in_channel_of_descr job_r)
+        (Unix.out_channel_of_descr res_w)
+  | pid ->
+      Unix.close job_r;
+      Unix.close res_w;
+      (pid, job_w, res_r)
+
+let pool_map ~jobs ~max_retries ~child_setup ~worker (js : job list) results =
+  (* group jobs into batches, first-appearance order, jobs in order *)
+  let order = ref [] in
+  let tbl : (string, pending list ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iteri
+    (fun i j ->
+      let p = { idx = i; pjob = j; attempts = 0 } in
+      match Hashtbl.find_opt tbl j.batch with
+      | Some cell -> cell := p :: !cell
+      | None ->
+          let cell = ref [ p ] in
+          Hashtbl.add tbl j.batch cell;
+          order := j.batch :: !order)
+    js;
+  let batch_queue : pending list Queue.t = Queue.create () in
+  List.iter
+    (fun key -> Queue.push (List.rev !(Hashtbl.find tbl key)) batch_queue)
+    (List.rev !order);
+  Telemetry.incr ~by:(Queue.length batch_queue) "exec.batches";
+
+  let nworkers = min jobs (Queue.length batch_queue) in
+  Telemetry.set_gauge "exec.workers" (float_of_int nworkers);
+  Log.debug (fun m ->
+      m "pool: %d worker(s), %d job(s) in %d batch(es)" nworkers
+        (List.length js) (Queue.length batch_queue));
+
+  let setup () =
+    (* the child's copies of the parent's recordings and counters are
+       private noise: drop them before user setup runs *)
+    Telemetry.disable ();
+    Telemetry.reset ();
+    Fault.reset_counts ();
+    child_setup ()
+  in
+  let slots = Array.make nworkers None in
+  let live_parent_fds () =
+    Array.to_list slots
+    |> List.concat_map (function
+         | Some s when s.alive -> [ s.to_fd; s.from_fd ]
+         | _ -> [])
+  in
+  let respawn slot_id =
+    let pid, to_fd, from_fd =
+      spawn ~worker ~setup ~parent_fds:(live_parent_fds ())
+    in
+    match slots.(slot_id) with
+    | None ->
+        slots.(slot_id) <-
+          Some
+            {
+              slot_id;
+              pid;
+              to_child = Unix.out_channel_of_descr to_fd;
+              from_child = Unix.in_channel_of_descr from_fd;
+              from_fd;
+              to_fd;
+              current = None;
+              queue = [];
+              alive = true;
+            }
+    | Some s ->
+        s.pid <- pid;
+        s.to_child <- Unix.out_channel_of_descr to_fd;
+        s.from_child <- Unix.in_channel_of_descr from_fd;
+        s.from_fd <- from_fd;
+        s.to_fd <- to_fd;
+        s.alive <- true
+  in
+  for i = 0 to nworkers - 1 do
+    respawn i
+  done;
+
+  let reap s =
+    s.alive <- false;
+    (try close_out_noerr s.to_child with _ -> ());
+    (try close_in_noerr s.from_child with _ -> ());
+    match Unix.waitpid [] s.pid with
+    | _, status -> status_string status
+    | exception Unix.Unix_error _ -> "unknown status"
+  in
+  let finish_job s (p : pending) result =
+    (match s.current with
+    | Some (_, start_us) ->
+        Telemetry.record_span "exec.job"
+          ~args:
+            [ ("job", string_of_int p.idx);
+              ("batch", p.pjob.batch);
+              ("worker", string_of_int s.slot_id)
+            ]
+          ~start_us
+          ~dur_us:(Telemetry.now_us () -. start_us)
+    | None -> ());
+    s.current <- None;
+    Telemetry.incr "exec.jobs";
+    (match result with Error _ -> Telemetry.incr "exec.errors" | Ok _ -> ());
+    if p.attempts > 0 then Fault.note_recovered ();
+    results.(p.idx) <- result
+  in
+  (* The worker died (or wrote garbage): account the fault, retry the
+     in-flight job within its bound, put the worker back up if it still
+     has (or can get) work. *)
+  let handle_crash s =
+    let status = reap s in
+    Fault.note_detected ();
+    Telemetry.incr "exec.crashes";
+    Log.warn (fun m -> m "worker %d crashed (%s)" s.slot_id status);
+    (match s.current with
+    | None -> ()
+    | Some (p, start_us) ->
+        Telemetry.record_span "exec.job"
+          ~args:
+            [ ("job", string_of_int p.idx);
+              ("batch", p.pjob.batch);
+              ("worker", string_of_int s.slot_id);
+              ("crashed", status)
+            ]
+          ~start_us
+          ~dur_us:(Telemetry.now_us () -. start_us);
+        s.current <- None;
+        p.attempts <- p.attempts + 1;
+        if p.attempts <= max_retries then begin
+          Telemetry.incr "exec.retries";
+          s.queue <- p :: s.queue
+        end
+        else begin
+          Telemetry.incr "exec.jobs";
+          Telemetry.incr "exec.errors";
+          results.(p.idx) <-
+            Error
+              (Printf.sprintf "worker crashed (%s) after %d attempt(s)" status
+                 p.attempts)
+        end);
+    if s.queue <> [] || not (Queue.is_empty batch_queue) then respawn s.slot_id
+  in
+  let rec dispatch s =
+    if s.alive && s.current = None then begin
+      if s.queue = [] && not (Queue.is_empty batch_queue) then
+        s.queue <- Queue.pop batch_queue;
+      match s.queue with
+      | [] -> ()
+      | p :: rest ->
+          s.queue <- rest;
+          s.current <- Some (p, Telemetry.now_us ());
+          (match
+             output_string s.to_child (encode_request p.idx p.pjob);
+             output_char s.to_child '\n';
+             flush s.to_child
+           with
+          | () -> ()
+          | exception (Sys_error _ | Unix.Unix_error _) ->
+              (* worker already gone — crash path, then try again *)
+              handle_crash s;
+              dispatch s)
+    end
+  in
+  let each_slot f =
+    Array.iter (function Some s -> f s | None -> ()) slots
+  in
+  let busy_slots () =
+    Array.to_list slots
+    |> List.filter_map (function
+         | Some s when s.alive && s.current <> None -> Some s
+         | _ -> None)
+  in
+  let rec loop () =
+    each_slot dispatch;
+    match busy_slots () with
+    | [] -> ()
+    | busy ->
+        let fds = List.map (fun s -> s.from_fd) busy in
+        let readable, _, _ =
+          match Unix.select fds [] [] (-1.0) with
+          | r -> r
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+        in
+        List.iter
+          (fun fd ->
+            match List.find_opt (fun s -> s.from_fd = fd) busy with
+            | None -> ()
+            | Some s -> (
+                match input_line s.from_child with
+                | exception (End_of_file | Sys_error _) -> handle_crash s
+                | line -> (
+                    match (decode_result line, s.current) with
+                    | Ok (id, res), Some (p, _) when id = p.idx ->
+                        finish_job s p res
+                    | Ok _, _ | Error _, _ ->
+                        (* wrong id or broken frame: the worker is
+                           confused — treat as a crash *)
+                        Log.warn (fun m ->
+                            m "worker %d: bad response frame" s.slot_id);
+                        handle_crash s)))
+          readable;
+        loop ()
+  in
+  let shutdown () =
+    each_slot (fun s -> if s.alive then ignore (reap s))
+  in
+  Fun.protect ~finally:shutdown loop
+
+let map ?(jobs = 1) ?(max_retries = 1) ?(child_setup = fun () -> ()) ~worker
+    (js : job list) : (Minijson.t, string) result array =
+  let n = List.length js in
+  let results = Array.make n (Error "job was never executed") in
+  if jobs <= 1 || n <= 1 then
+    (* inline: same accounting and error capture, no processes *)
+    List.iteri
+      (fun i (j : job) ->
+        let start_us = Telemetry.now_us () in
+        (results.(i) <-
+           (match worker j.payload with
+           | v -> Ok v
+           | exception e ->
+               Telemetry.incr "exec.errors";
+               Error (Printexc.to_string e)));
+        Telemetry.incr "exec.jobs";
+        Telemetry.record_span "exec.job"
+          ~args:[ ("job", string_of_int i); ("batch", j.batch) ]
+          ~start_us
+          ~dur_us:(Telemetry.now_us () -. start_us))
+      js
+  else begin
+    (* a crashed worker turns the parent's next write into SIGPIPE,
+       which would kill the whole run: convert it to EPIPE for the
+       crash handler *)
+    let prev = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+    Fun.protect
+      ~finally:(fun () -> Sys.set_signal Sys.sigpipe prev)
+      (fun () -> pool_map ~jobs ~max_retries ~child_setup ~worker js results)
+  end;
+  results

@@ -1,0 +1,78 @@
+(** A portable process-pool job executor.
+
+    [map] fans a list of jobs over a pool of forked worker processes
+    (plain [Unix.fork] + pipes — works identically on OCaml 4.14 and
+    5.x, no Thread or Domain dependency) and collects one result per
+    job, in job order.  Jobs and results cross the pipes as versioned,
+    newline-delimited {!Minijson} documents, so nothing that depends on
+    [Marshal]'s binary compatibility is on the wire.
+
+    {2 Batching}
+
+    Each job names a [batch] key.  Jobs sharing a key are dispatched,
+    in order, to the same worker, so per-key memoization in the worker
+    function (e.g. {!Gdp_core.Pipeline.prepare_default}'s per-benchmark
+    cache) is hit instead of recomputed by every process.  Batches are
+    started in first-appearance order and handed to workers as they
+    become free.
+
+    {2 Failure handling}
+
+    Two kinds of failure are distinguished:
+
+    - a {e job error}: the worker function raised.  The exception is
+      caught inside the worker, serialized, and returned as [Error msg]
+      for that job only.  Deterministic — never retried.
+    - a {e worker crash}: the worker process died (segfault, kill,
+      [exit]) or wrote garbage.  The pool notes the fault
+      ({!Fault.note_detected}), respawns a worker, and retries the
+      in-flight job up to [max_retries] times ({!Fault.note_recovered}
+      on a subsequent success); past the bound the job completes as
+      [Error "worker crashed ..."] and the run continues.
+
+    {2 Determinism}
+
+    Results are stored by job index, so for pure worker functions the
+    result array is identical whatever [jobs] is — parallel runs are
+    bit-identical to sequential ones.  With [jobs <= 1] no process is
+    forked at all: jobs run inline in the calling process, through the
+    same error-capturing path.
+
+    {2 Telemetry}
+
+    When telemetry is enabled the pool records one [exec.job] span per
+    job (annotated with the batch key and worker slot) via
+    {!Telemetry.record_span}, plus counters [exec.jobs], [exec.batches],
+    [exec.crashes], [exec.retries] and [exec.errors], and an
+    [exec.workers] gauge — so [--trace] shows the pool timeline. *)
+
+type job = {
+  payload : Minijson.t;  (** shipped to the worker verbatim *)
+  batch : string;  (** affinity key; jobs with equal keys share a worker *)
+}
+
+val job : ?batch:string -> Minijson.t -> job
+(** [batch] defaults to [""] (all jobs in one batch). *)
+
+(** Clamp a user-supplied [-j] value to [[1, 64]]. *)
+val clamp_jobs : int -> int
+
+val map :
+  ?jobs:int ->
+  ?max_retries:int ->
+  ?child_setup:(unit -> unit) ->
+  worker:(Minijson.t -> Minijson.t) ->
+  job list ->
+  (Minijson.t, string) result array
+(** [map ~worker jobs] applies [worker] to every job's payload and
+    returns the results in job order.
+
+    [jobs] (default [1]) is the number of worker processes; [<= 1]
+    runs everything inline without forking.  [max_retries] (default
+    [1]) bounds crash retries per job.  [child_setup] runs once in
+    each freshly forked worker, after the pool's own setup (telemetry
+    disabled, fault counters reset) and before any job.
+
+    The caller must ensure [worker] only touches process-local state:
+    workers are forked copies, and nothing they mutate is visible to
+    the parent except the returned document. *)

@@ -1,4 +1,5 @@
-(** Minimal recursive-descent JSON reader (see minijson.mli). *)
+(** Minimal recursive-descent JSON reader and compact writer (see
+    minijson.mli). *)
 
 type t =
   | Null
@@ -174,6 +175,82 @@ let parse_file path =
   with
   | s -> parse s
   | exception Sys_error m -> Error m
+
+(* ------------------------------------------------------------------ *)
+(* Writer: compact single-line output, the reader's exact inverse.     *)
+
+let add_escaped b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\b' -> Buffer.add_string b "\\b"
+      | '\012' -> Buffer.add_string b "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let add_number b f =
+  if Float.is_nan f || Float.abs f = Float.infinity then
+    invalid_arg "Minijson.encode: non-finite number"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string b (Printf.sprintf "%.0f" f)
+  else
+    (* %.17g round-trips every finite double through float_of_string *)
+    Buffer.add_string b (Printf.sprintf "%.17g" f)
+
+let encode (v : t) : string =
+  let b = Buffer.create 256 in
+  let rec go = function
+    | Null -> Buffer.add_string b "null"
+    | Bool true -> Buffer.add_string b "true"
+    | Bool false -> Buffer.add_string b "false"
+    | Num f -> add_number b f
+    | Str s -> add_escaped b s
+    | List items ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i v ->
+            if i > 0 then Buffer.add_char b ',';
+            go v)
+          items;
+        Buffer.add_char b ']'
+    | Obj fields ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char b ',';
+            add_escaped b k;
+            Buffer.add_char b ':';
+            go v)
+          fields;
+        Buffer.add_char b '}'
+  in
+  go v;
+  Buffer.contents b
+
+let pp ppf v = Format.pp_print_string ppf (encode v)
+
+let write_file path v =
+  let oc = open_out path in
+  output_string oc (encode v);
+  output_char oc '\n';
+  close_out oc
+
+let str s = Str s
+let int n = Num (float_of_int n)
+let float f = Num f
+let bool b = Bool b
+let obj fields = Obj fields
+let list items = List items
+let option f = function None -> Null | Some x -> f x
 
 let member key = function
   | Obj fields -> List.assoc_opt key fields

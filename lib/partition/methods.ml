@@ -18,18 +18,31 @@ type t = Gdp | Profile_max | Naive | Unified
 
 let all = [ Gdp; Profile_max; Naive; Unified ]
 
-let name = function
+let to_string = function
   | Gdp -> "gdp"
   | Profile_max -> "profile-max"
   | Naive -> "naive"
   | Unified -> "unified"
 
-let of_name = function
-  | "gdp" -> Gdp
-  | "profile-max" | "profilemax" | "pm" -> Profile_max
-  | "naive" -> Naive
-  | "unified" -> Unified
-  | s -> invalid_arg ("Methods.of_name: unknown method " ^ s)
+let name = to_string
+
+let of_string = function
+  | "gdp" -> Ok Gdp
+  | "profile-max" -> Ok Profile_max
+  | "naive" -> Ok Naive
+  | "unified" -> Ok Unified
+  | s ->
+      Error
+        (Fmt.str "unknown partitioning method %S (expected one of %s)" s
+           (String.concat ", " (List.map to_string all)))
+
+let of_name s =
+  match of_string s with
+  | Ok m -> m
+  | Error _ -> (
+      match s with
+      | "profilemax" | "pm" -> Profile_max
+      | s -> invalid_arg ("Methods.of_name: unknown method " ^ s))
 
 (** Graceful-degradation order: a method that fails verification falls
     back to the next entry, ending at Unified (shared memory, no data

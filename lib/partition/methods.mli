@@ -7,9 +7,23 @@ open Vliw_ir
 type t = Gdp | Profile_max | Naive | Unified
 
 val all : t list
+
+(** Canonical external name ("gdp", "profile-max", "naive",
+    "unified") — the spelling used by the CLI, reports, serialized
+    settings and result tables.  [of_string] is its exact inverse:
+    [of_string (to_string m) = Ok m] for every [m]. *)
+val to_string : t -> string
+
+(** Alias for [to_string], kept for existing callers. *)
 val name : t -> string
 
-(** Raises [Invalid_argument] on unknown names. *)
+(** Inverse of [to_string]; [Error] (with the accepted spellings) on
+    anything else. *)
+val of_string : string -> (t, string) result
+
+(** Deprecated — use [of_string].  Like [of_string] plus legacy
+    abbreviations ("pm", "profilemax"), but raises [Invalid_argument]
+    on unknown names. *)
 val of_name : string -> t
 
 (** Graceful-degradation order starting at the given method:

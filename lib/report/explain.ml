@@ -120,7 +120,9 @@ let explain ~machine (p : Gdp_core.Pipeline.prepared) : t =
    fuzzing loops that call [Pipeline.clear_caches] must drop this too. *)
 let memo : (string * int, t) Hashtbl.t = Hashtbl.create 16
 let memo_limit = 256
-let () = Gdp_core.Pipeline.register_cache_clearer (fun () -> Hashtbl.reset memo)
+let () =
+  Gdp_core.Pipeline.register_cache_clearer ~key:"report.explain" (fun () ->
+      Hashtbl.reset memo)
 
 let explain_bench ~move_latency (b : Benchsuite.Bench_intf.t) : t =
   let key = (b.Benchsuite.Bench_intf.name, move_latency) in

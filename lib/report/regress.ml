@@ -14,18 +14,17 @@ type baseline = { b_latency : int; b_rows : row list }
 
 let schema = "gdp-attrib/1"
 
-let load path : (baseline, string) result =
-  match Minijson.parse_file path with
-  | Error m -> Error (Fmt.str "%s: %s" path m)
-  | Ok doc -> (
-      let open Minijson in
-      match Option.bind (member "schema" doc) to_string with
-      | Some s when s = schema -> (
-          match
-            ( Option.bind (member "latency" doc) to_int,
-              Option.bind (member "rows" doc) to_list )
-          with
-          | Some lat, Some rows -> (
+let of_json ?(where = "attribution document") (doc : Minijson.t) :
+    (baseline, string) result =
+  let path = where in
+  let open Minijson in
+  match Option.bind (member "schema" doc) to_string with
+  | Some s when s = schema -> (
+      match
+        ( Option.bind (member "latency" doc) to_int,
+          Option.bind (member "rows" doc) to_list )
+      with
+      | Some lat, Some rows -> (
               let parse_row r =
                 let str k = Option.bind (member k r) to_string in
                 let int k = Option.bind (member k r) to_int in
@@ -60,9 +59,14 @@ let load path : (baseline, string) result =
               with
               | Some parsed -> Ok { b_latency = lat; b_rows = List.rev parsed }
               | None -> Error (Fmt.str "%s: malformed row" path))
-          | _ -> Error (Fmt.str "%s: missing latency or rows" path))
-      | Some s -> Error (Fmt.str "%s: unsupported schema %S" path s)
-      | None -> Error (Fmt.str "%s: not a %s document" path schema))
+      | _ -> Error (Fmt.str "%s: missing latency or rows" path))
+  | Some s -> Error (Fmt.str "%s: unsupported schema %S" path s)
+  | None -> Error (Fmt.str "%s: not a %s document" path schema)
+
+let load path : (baseline, string) result =
+  match Minijson.parse_file path with
+  | Error m -> Error (Fmt.str "%s: %s" path m)
+  | Ok doc -> of_json ~where:path doc
 
 let rows_of (es : Explain.t list) : row list =
   List.concat_map

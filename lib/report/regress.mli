@@ -27,6 +27,11 @@ type row = {
 
 type baseline = { b_latency : int; b_rows : row list }
 
+(** Read a baseline out of an already-parsed ["gdp-attrib/1"] document
+    (e.g. one a pool worker sent over a pipe); [where] names the source
+    in error messages. *)
+val of_json : ?where:string -> Minijson.t -> (baseline, string) result
+
 val load : string -> (baseline, string) result
 
 (** The comparable rows of a set of explanations. *)

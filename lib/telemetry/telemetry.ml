@@ -192,6 +192,19 @@ let span_arg key value =
     | [] -> ()
     | o :: _ -> o.o_args <- (key, value) :: o.o_args
 
+let now_us () = !clock ()
+
+let record_span ?(args = []) name ~start_us ~dur_us =
+  let s = !st in
+  if s.enabled then begin
+    let id = s.next_id in
+    s.next_id <- id + 1;
+    let parent = match s.stack with [] -> None | o :: _ -> Some o.o_id in
+    let dur_us = Float.max 0. dur_us in
+    observe_in s ("span_us:" ^ name) dur_us;
+    s.completed <- { id; parent; name; start_us; dur_us; args } :: s.completed
+  end
+
 let timed name f =
   let t0 = !clock () in
   let r = with_span name f in

@@ -94,6 +94,23 @@ val counter_value : string -> int
     per-block cycle counts the same way. *)
 val observe : string -> float -> unit
 
+(** Microsecond reading of the telemetry clock, for callers that
+    measure an interval themselves and record it with [record_span]. *)
+val now_us : unit -> float
+
+(** Record an already-measured interval as a completed span (no-op when
+    disabled).  [start_us] must come from [now_us] so the recorded
+    interval and [with_span] spans share one clock.  The span is
+    parented under the innermost open span — asynchronously completed
+    work (e.g. the process pool's jobs) lands in the timeline of the
+    phase that dispatched it. *)
+val record_span :
+  ?args:(string * string) list ->
+  string ->
+  start_us:float ->
+  dur_us:float ->
+  unit
+
 (** [timed name f] measures [f] with the telemetry clock and returns the
     elapsed seconds alongside the result.  When telemetry is enabled the
     measurement is also recorded as a span, so externally reported times

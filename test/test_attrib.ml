@@ -246,14 +246,14 @@ let test_gate_missing_row () =
 let test_minijson_rejects_garbage () =
   List.iter
     (fun s ->
-      match Gdp_report.Minijson.parse s with
+      match Minijson.parse s with
       | Error _ -> ()
       | Ok _ -> Alcotest.failf "accepted %S" s)
     [ ""; "{"; "[1,]"; "{\"a\" 1}"; "nul"; "\"unterminated"; "1 2" ];
-  match Gdp_report.Minijson.parse "{\"a\": [1, 2.5, \"x\\n\"], \"b\": null}" with
+  match Minijson.parse "{\"a\": [1, 2.5, \"x\\n\"], \"b\": null}" with
   | Error m -> Alcotest.fail m
   | Ok doc ->
-      let open Gdp_report.Minijson in
+      let open Minijson in
       Alcotest.(check (option int)) "nested int" (Some 1)
         (Option.bind (member "a" doc) (fun l ->
              Option.bind (to_list l) (fun l ->

@@ -1,0 +1,309 @@
+(** Process-pool executor and the [Pipeline.Settings] API: pooled runs
+    must be byte-identical to in-process runs (rows, gate rows, fuzz
+    summaries), worker crashes must surface as retries then error rows,
+    and settings must round-trip through their JSON form. *)
+
+module Methods = Partition.Methods
+module Pipeline = Gdp_core.Pipeline
+module Settings = Gdp_core.Pipeline.Settings
+module Experiments = Gdp_core.Experiments
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* a worker usable from both the inline and the forked path: doubles
+   integer payloads, raises on ["boom"], exits the process on ["crash"]
+   (pool mode only — tests using it must not take the inline path) *)
+let arith_worker p =
+  match Minijson.member "crash" p with
+  | Some (Minijson.Bool true) -> Unix._exit 3
+  | _ -> (
+      match Option.bind (Minijson.member "boom" p) Minijson.to_string with
+      | Some msg -> failwith msg
+      | None ->
+          let n =
+            match Option.bind (Minijson.member "n" p) Minijson.to_int with
+            | Some n -> n
+            | None -> invalid_arg "no n"
+          in
+          Minijson.obj [ ("n2", Minijson.int (2 * n)) ])
+
+let int_job ?(batch = "") n =
+  Exec.job ~batch (Minijson.obj [ ("n", Minijson.int n) ])
+
+let result_strings results =
+  Array.to_list results
+  |> List.map (function
+       | Ok v -> "ok:" ^ Minijson.encode v
+       | Error m -> "error:" ^ m)
+
+(* ------------------------------------------------------------------ *)
+(* Exec.map                                                            *)
+
+let test_map_pool_matches_inline () =
+  let js =
+    List.concat_map
+      (fun b -> List.init 4 (fun i -> int_job ~batch:b (Char.code b.[0] + i)))
+      [ "a"; "b"; "c" ]
+  in
+  let seq = Exec.map ~jobs:1 ~worker:arith_worker js in
+  let par = Exec.map ~jobs:4 ~worker:arith_worker js in
+  Alcotest.(check (list string))
+    "pooled results identical to inline" (result_strings seq)
+    (result_strings par)
+
+let test_map_job_error_identical () =
+  let js =
+    [
+      int_job 1;
+      Exec.job (Minijson.obj [ ("boom", Minijson.str "deliberate") ]);
+      int_job 3;
+    ]
+  in
+  let seq = Exec.map ~jobs:1 ~worker:arith_worker js in
+  let par = Exec.map ~jobs:2 ~worker:arith_worker js in
+  Alcotest.(check (list string))
+    "raised exceptions become identical error rows" (result_strings seq)
+    (result_strings par);
+  match seq.(1) with
+  | Error m ->
+      Alcotest.(check bool) "message survives" true (contains m "deliberate")
+  | Ok _ -> Alcotest.fail "expected an error row"
+
+let test_map_crash_retried_then_reported () =
+  Fault.reset_counts ();
+  let crash = Exec.job (Minijson.obj [ ("crash", Minijson.bool true) ]) in
+  let js = [ int_job 1; crash; int_job 3; int_job 4 ] in
+  let results = Exec.map ~jobs:2 ~worker:arith_worker js in
+  (match results.(1) with
+  | Error m ->
+      Alcotest.(check bool)
+        ("crash row mentions the exit status: " ^ m)
+        true
+        (contains m "worker crashed (exit 3)");
+      Alcotest.(check bool)
+        ("crash row counts both attempts: " ^ m)
+        true
+        (contains m "after 2 attempt(s)")
+  | Ok _ -> Alcotest.fail "crashing job must become an error row");
+  List.iter
+    (fun i ->
+      match results.(i) with
+      | Ok _ -> ()
+      | Error m -> Alcotest.failf "healthy job %d lost to the crash: %s" i m)
+    [ 0; 2; 3 ];
+  let c = Fault.counts () in
+  Alcotest.(check bool)
+    "each crash was noted as a detected fault" true
+    (c.Fault.detected >= 2)
+
+let test_map_telemetry_accounting () =
+  let js = List.init 3 (int_job ~batch:"t") in
+  let _, snap = Telemetry.capture (fun () ->
+      ignore (Exec.map ~jobs:1 ~worker:arith_worker js))
+  in
+  Alcotest.(check (option int))
+    "exec.jobs counts every job" (Some 3)
+    (Telemetry.Snapshot.find_counter snap "exec.jobs");
+  Alcotest.(check int)
+    "one exec.job span per job" 3
+    (List.length (Telemetry.Snapshot.spans_named snap "exec.job"))
+
+let test_clamp_jobs () =
+  Alcotest.(check int) "0 -> 1" 1 (Exec.clamp_jobs 0);
+  Alcotest.(check int) "negative -> 1" 1 (Exec.clamp_jobs (-4));
+  Alcotest.(check int) "identity in range" 7 (Exec.clamp_jobs 7);
+  Alcotest.(check int) "capped at 64" 64 (Exec.clamp_jobs 1000)
+
+(* ------------------------------------------------------------------ *)
+(* Settings round-trip                                                 *)
+
+let settings_gen =
+  QCheck.Gen.(
+    let* clusters = int_range 2 8 in
+    let* move_latency = int_range 1 20 in
+    let* method_ = oneofl Methods.all in
+    let* unroll = bool and* promote = bool in
+    let* simplify = bool and* if_convert = bool in
+    let* merge_low_slack = option bool in
+    let* rhop =
+      option
+        (let* xmove_weight = option (int_range 0 50) in
+         let* coarsen_until = int_range 1 100 in
+         let* max_passes = int_range 1 10 in
+         return { Partition.Rhop.xmove_weight; coarsen_until; max_passes })
+    in
+    let* gdp =
+      option
+        (let* data_imbalance = float_range 1.0 4.0 in
+         let* op_imbalance = float_range 1.0 4.0 in
+         let* seed = int_range 0 1000 in
+         return { Partition.Gdp.data_imbalance; op_imbalance; seed })
+    in
+    return
+      {
+        Settings.clusters;
+        move_latency;
+        method_;
+        unroll;
+        promote;
+        simplify;
+        if_convert;
+        merge_low_slack;
+        rhop;
+        gdp;
+      })
+
+let test_settings_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"of_json (to_json s) = Ok s"
+       (QCheck.make settings_gen) (fun s ->
+         match Settings.of_json (Settings.to_json s) with
+         | Ok s' -> s' = s
+         | Error m -> QCheck.Test.fail_reportf "rejected own encoding: %s" m))
+
+let test_settings_rejections () =
+  let expect_error ~substr doc =
+    match Settings.of_json doc with
+    | Ok _ -> Alcotest.failf "accepted a document missing %S" substr
+    | Error m ->
+        if not (contains m substr) then
+          Alcotest.failf "expected %S in error %S" substr m
+  in
+  expect_error ~substr:"schema" (Minijson.obj [ ("clusters", Minijson.int 2) ]);
+  let good = Settings.to_json (Settings.default Methods.Gdp) in
+  (match good with
+  | Minijson.Obj fields ->
+      expect_error ~substr:"method"
+        (Minijson.Obj
+           (List.map
+              (fun (k, v) ->
+                if k = "method" then (k, Minijson.str "frobnicate") else (k, v))
+              fields))
+  | _ -> Alcotest.fail "to_json did not produce an object");
+  Alcotest.(check bool)
+    "default front end detected" true
+    (Settings.default_front_end (Settings.default Methods.Gdp))
+
+(* ------------------------------------------------------------------ *)
+(* Parallel experiment rows / bench JSON                               *)
+
+let bench_json rows =
+  Minijson.encode
+    (Minijson.list (List.map Experiments.row_to_json rows))
+
+let test_run_all_parallel_identity () =
+  let benches = [ Benchsuite.Suite.find "fir"; Benchsuite.Suite.find "fsed" ] in
+  let with_fresh_cache f =
+    Experiments.clear_cache ();
+    Fun.protect ~finally:Experiments.clear_cache f
+  in
+  let seq =
+    with_fresh_cache (fun () ->
+        bench_json (Experiments.run_all ~jobs:1 ~benches ~move_latency:5 ()))
+  in
+  let par =
+    with_fresh_cache (fun () ->
+        bench_json (Experiments.run_all ~jobs:4 ~benches ~move_latency:5 ()))
+  in
+  Alcotest.(check string) "-j 4 rows byte-identical to -j 1" seq par
+
+let test_row_json_roundtrip () =
+  Experiments.clear_cache ();
+  Fun.protect ~finally:Experiments.clear_cache @@ fun () ->
+  let rows =
+    Experiments.run_all
+      ~benches:[ Benchsuite.Suite.find "fir" ]
+      ~move_latency:5 ()
+  in
+  List.iter
+    (fun r ->
+      match Experiments.row_of_json (Experiments.row_to_json r) with
+      | Ok r' ->
+          Alcotest.(check string)
+            "row round-trips" (bench_json [ r ]) (bench_json [ r' ])
+      | Error m -> Alcotest.failf "row_of_json rejected own encoding: %s" m)
+    rows
+
+let test_fuzz_parallel_identity () =
+  let run jobs =
+    let s = Gdp_fuzz.Fuzz.campaign ~jobs ~latencies:[ 5 ] ~seed:0 ~count:6 () in
+    ( s.Gdp_fuzz.Fuzz.programs,
+      List.map
+        (fun ((m : Gdp_fuzz.Fuzz.mismatch), _) ->
+          Fmt.str "%a" Gdp_fuzz.Fuzz.pp_mismatch m)
+        s.Gdp_fuzz.Fuzz.mismatches )
+  in
+  let programs_seq, mm_seq = run 1 in
+  let programs_par, mm_par = run 3 in
+  Alcotest.(check int) "same program count" programs_seq programs_par;
+  Alcotest.(check (list string)) "same mismatches" mm_seq mm_par
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline.run / wrapper equivalence and cache clearers               *)
+
+let test_run_wraps_evaluate () =
+  let b = Benchsuite.Suite.find "fir" in
+  let s = Settings.default Methods.Gdp in
+  let p = Pipeline.prepare_with s b in
+  let ctx = Pipeline.context ~machine:(Settings.machine s) p in
+  let e = Pipeline.evaluate ctx Methods.Gdp in
+  (match Pipeline.run ~prepared:p s with
+  | Ok (Pipeline.Evaluated e') ->
+      Alcotest.(check int)
+        "same cycles as evaluate" e.Pipeline.report.Vliw_sched.Perf.total_cycles
+        e'.Pipeline.report.Vliw_sched.Perf.total_cycles
+  | Ok (Pipeline.Degraded _) -> Alcotest.fail "Plain mode cannot degrade"
+  | Error m -> Alcotest.failf "run failed: %s" m);
+  (match Pipeline.run s with
+  | Error m ->
+      Alcotest.(check bool)
+        "missing input is a clean error" true
+        (contains m "prepared" || contains m "ctx")
+  | Ok _ -> Alcotest.fail "run without inputs must fail");
+  match Pipeline.run ~prepared:p ~mode:(Pipeline.Robust { verify = true }) s with
+  | Ok (Pipeline.Degraded r) ->
+      Alcotest.(check string)
+        "robust mode reaches the method" "gdp"
+        (Methods.name r.Pipeline.used)
+  | Ok (Pipeline.Evaluated _) -> Alcotest.fail "Robust mode must return Degraded"
+  | Error m -> Alcotest.failf "robust run failed: %s" m
+
+let test_keyed_clearer_idempotent () =
+  let calls = ref 0 in
+  Pipeline.register_cache_clearer ~key:"test.exec.count" (fun () -> incr calls);
+  (* re-registration under the same key replaces, it does not stack *)
+  Pipeline.register_cache_clearer ~key:"test.exec.count" (fun () -> incr calls);
+  Pipeline.clear_caches ();
+  Alcotest.(check int) "one call per clear, however often registered" 1 !calls;
+  Pipeline.clear_caches ();
+  Alcotest.(check int) "called once more on the next clear" 2 !calls;
+  (* leave a no-op behind: the registry is global to the test binary *)
+  Pipeline.register_cache_clearer ~key:"test.exec.count" (fun () -> ())
+
+let suite =
+  [
+    Alcotest.test_case "map: pool matches inline" `Quick
+      test_map_pool_matches_inline;
+    Alcotest.test_case "map: job errors identical" `Quick
+      test_map_job_error_identical;
+    Alcotest.test_case "map: crash retried then reported" `Quick
+      test_map_crash_retried_then_reported;
+    Alcotest.test_case "map: telemetry accounting" `Quick
+      test_map_telemetry_accounting;
+    Alcotest.test_case "clamp_jobs" `Quick test_clamp_jobs;
+    test_settings_roundtrip;
+    Alcotest.test_case "settings: rejections" `Quick test_settings_rejections;
+    Alcotest.test_case "experiments: -j 4 rows identical" `Slow
+      test_run_all_parallel_identity;
+    Alcotest.test_case "experiments: row JSON round-trip" `Quick
+      test_row_json_roundtrip;
+    Alcotest.test_case "fuzz: parallel campaign identical" `Slow
+      test_fuzz_parallel_identity;
+    Alcotest.test_case "pipeline: run wraps evaluate" `Quick
+      test_run_wraps_evaluate;
+    Alcotest.test_case "pipeline: keyed clearers idempotent" `Quick
+      test_keyed_clearer_idempotent;
+  ]

@@ -16,4 +16,5 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("attrib", Test_attrib.suite);
       ("robust", Test_robust.suite);
+      ("exec", Test_exec.suite);
     ]

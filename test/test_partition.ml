@@ -274,8 +274,22 @@ let test_method_names () =
   List.iter
     (fun m ->
       Alcotest.(check bool) "roundtrip" true
-        (Methods.of_name (Methods.name m) = m))
-    Methods.all
+        (Methods.of_name (Methods.name m) = m);
+      Alcotest.(check bool) "of_string inverts to_string" true
+        (Methods.of_string (Methods.to_string m) = Ok m))
+    Methods.all;
+  (match Methods.of_string "frobnicate" with
+  | Ok _ -> Alcotest.fail "unknown name must be rejected"
+  | Error msg ->
+      let contains s sub =
+        let n = String.length s and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "error names the bad input" true
+        (contains msg "frobnicate"));
+  (* legacy aliases stay routable through of_name *)
+  Alcotest.(check bool) "pm alias" true (Methods.of_name "pm" = Methods.Profile_max)
 
 let suite =
   [
