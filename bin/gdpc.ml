@@ -655,6 +655,352 @@ let fuzz_cmd =
       const run $ obs_term $ count_arg $ seed_arg $ latencies_arg $ corpus_arg
       $ shrink_arg $ jobs_arg)
 
+(* ------------------------------------------------------------------ *)
+(* serve / submit / loadgen: the gdpcd compile service                 *)
+
+let parse_hostport s =
+  match String.rindex_opt s ':' with
+  | Some i when i > 0 && i < String.length s - 1 -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p > 0 && p < 65536 -> (host, p)
+      | _ -> raise (Cli_error (Fmt.str "invalid TCP endpoint %S" s)))
+  | _ -> raise (Cli_error (Fmt.str "invalid TCP endpoint %S (want host:port)" s))
+
+let endpoint_arg =
+  Arg.(
+    value
+    & opt string "gdpcd.sock"
+    & info [ "s"; "server" ] ~docv:"ENDPOINT"
+        ~doc:"Daemon endpoint: a Unix socket path or host:port.")
+
+let serve_cmd =
+  let socket_arg =
+    Arg.(
+      value
+      & opt string "gdpcd.sock"
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket to listen on.")
+  in
+  let tcp_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tcp" ] ~docv:"HOST:PORT"
+          ~doc:"Also listen on TCP (e.g. 127.0.0.1:7070).")
+  in
+  let cache_arg =
+    Arg.(
+      value
+      & opt int 256
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:"Artifact cache bound (entries, LRU beyond it).")
+  in
+  let queue_arg =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Reject new submissions once this many jobs are pending \
+             (backpressure).")
+  in
+  let run obs socket tcp jobs cache_capacity max_queue =
+    handle_errors (fun () ->
+        let tcp = Option.map parse_hostport tcp in
+        Service.Server.run
+          {
+            Service.Server.socket_path = Some socket;
+            tcp;
+            jobs;
+            cache_capacity;
+            max_queue;
+            max_frame = Service.Frame.default_max_frame;
+            trace = obs.trace;
+          };
+        (* the server wrote its own trace on shutdown *)
+        finish_obs { obs with trace = None })
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the gdpcd compile daemon: accept settings-driven compile jobs \
+          over a Unix (or TCP) socket, fan them over a worker pool, answer \
+          repeats from a content-addressed artifact cache.  SIGTERM stops \
+          it cleanly.")
+    Term.(
+      const run $ obs_term $ socket_arg $ tcp_arg $ jobs_arg $ cache_arg
+      $ queue_arg)
+
+let pp_artifact ppf art =
+  let geti k = Option.bind (Minijson.member k art) Minijson.to_int in
+  let gets k = Option.bind (Minijson.member k art) Minijson.to_string in
+  Fmt.pf ppf "method=%s cycles=%d dynamic_moves=%d static_moves=%d"
+    (Option.value ~default:"?" (gets "method"))
+    (Option.value ~default:(-1) (geti "cycles"))
+    (Option.value ~default:(-1) (geti "dynamic_moves"))
+    (Option.value ~default:(-1) (geti "static_moves"))
+
+let submit_cmd =
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Fail the job if no result is ready within $(docv).")
+  in
+  let verify_arg =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:"Ask for the full differential check before the answer.")
+  in
+  let repeat_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:
+            "Submit the identical job N times and report the cache hits \
+             (the first compile misses, the rest must hit).")
+  in
+  let inline_arg =
+    Arg.(
+      value & flag
+      & info [ "inline" ]
+          ~doc:
+            "Evaluate locally through the exact code path the daemon's \
+             workers use, without connecting — for comparing served and \
+             local results.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the raw artifact JSON instead of a summary.")
+  in
+  let run obs file input method_ latency clusters server deadline verify repeat
+      inline json =
+    handle_errors (fun () ->
+        if repeat < 1 then raise (Cli_error "--repeat must be at least 1");
+        let source = read_file file in
+        let settings =
+          {
+            (Gdp_core.Pipeline.Settings.default method_) with
+            clusters;
+            move_latency = latency;
+          }
+        in
+        let job i =
+          {
+            Service.Protocol.id =
+              Fmt.str "%s#%d" (Filename.basename file) i;
+            source;
+            input = Array.to_list input;
+            settings;
+            deadline_ms = deadline;
+            verify;
+          }
+        in
+        let show art cached =
+          if json then Fmt.pr "%s@." (Minijson.encode art)
+          else
+            Fmt.pr "%s %a@."
+              (if cached then "[cache hit]" else "[computed]")
+              pp_artifact art
+        in
+        if inline then
+          match Service.Protocol.evaluate_job (job 0) with
+          | Error m -> raise (Cli_error m)
+          | Ok art -> show art false
+        else begin
+          let cl = Service.Client.connect ~attempts:10 server in
+          Fun.protect
+            ~finally:(fun () -> Service.Client.close cl)
+            (fun () ->
+              let hits = ref 0 in
+              for i = 0 to repeat - 1 do
+                match Service.Client.submit cl (job i) with
+                | Error m -> raise (Cli_error m)
+                | Ok (Service.Protocol.Result { cached; result; _ }) ->
+                    if cached then incr hits;
+                    if i = 0 || not json then show result cached
+                | Ok (Service.Protocol.Failed { reason; _ }) ->
+                    raise (Cli_error reason)
+                | Ok _ -> raise (Cli_error "unexpected response from server")
+              done;
+              if repeat > 1 then
+                Fmt.pr "submitted %d identical jobs: %d cache hits@." repeat
+                  !hits)
+        end;
+        finish_obs obs)
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit one MiniC compile job to a running gdpcd daemon and print \
+          the artifact.")
+    Term.(
+      const run $ obs_term $ file_arg $ input_arg $ method_arg $ latency_arg
+      $ clusters_arg $ endpoint_arg $ deadline_arg $ verify_arg $ repeat_arg
+      $ inline_arg $ json_arg)
+
+let loadgen_cmd =
+  let server_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "s"; "server" ] ~docv:"ENDPOINT"
+          ~doc:
+            "Target an already-running daemon; without it a private daemon \
+             is forked for the run and torn down after.")
+  in
+  let connections_arg =
+    Arg.(
+      value
+      & opt int 4
+      & info [ "connections" ] ~docv:"N" ~doc:"Concurrent client connections.")
+  in
+  let requests_arg =
+    Arg.(
+      value
+      & opt int 40
+      & info [ "n"; "requests" ] ~docv:"N" ~doc:"Total requests to issue.")
+  in
+  let dup_arg =
+    Arg.(
+      value
+      & opt float 0.5
+      & info [ "duplicate-ratio" ] ~docv:"R"
+          ~doc:
+            "Fraction of requests drawn from a small shared program set \
+             (cache-hit / coalescing candidates).")
+  in
+  let rate_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "rate" ] ~docv:"RPS"
+          ~doc:
+            "Open-loop arrival rate (requests/second); latency is measured \
+             from each request's scheduled time.  Without it the loop is \
+             closed: every connection fires as soon as its previous \
+             response lands.")
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt int 42
+      & info [ "seed" ] ~docv:"N" ~doc:"Request-plan seed (reproducible).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the gdp-service-bench/1 summary JSON to $(docv).")
+  in
+  let check_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "check" ] ~docv:"FILE"
+          ~doc:
+            "Compare against a committed baseline (BENCH_service.json) and \
+             fail on throughput/latency/hit-rate regressions beyond \
+             --tolerance.")
+  in
+  let tolerance_arg =
+    Arg.(
+      value
+      & opt float 200.
+      & info [ "tolerance" ] ~docv:"PCT"
+          ~doc:
+            "Gate tolerance in percent (wall-clock numbers are noisy — \
+             default is deliberately loose).")
+  in
+  let run obs server connections requests dup rate method_ seed jobs out check
+      tolerance =
+    handle_errors (fun () ->
+        let cfg endpoint =
+          {
+            Service.Loadgen.endpoint;
+            connections;
+            requests;
+            duplicate_ratio = dup;
+            mode =
+              (match rate with
+              | None -> Service.Loadgen.Closed
+              | Some r -> Service.Loadgen.Open r);
+            method_;
+            deadline_ms = None;
+            seed;
+          }
+        in
+        let summary =
+          match server with
+          | Some ep -> Service.Loadgen.run (cfg ep)
+          | None ->
+              Service.Loadgen.with_local_server ~jobs ?trace:obs.trace
+                (fun ep -> Service.Loadgen.run (cfg ep))
+        in
+        let s = summary in
+        Fmt.pr
+          "requests %d (%d duplicates) over %d connection(s): %d ok, %d \
+           failed, %d cache hits@."
+          s.Service.Loadgen.requests s.Service.Loadgen.duplicates_sent
+          s.Service.Loadgen.concurrency s.Service.Loadgen.succeeded
+          s.Service.Loadgen.failed s.Service.Loadgen.cache_hits;
+        Fmt.pr
+          "throughput %.1f compiles/s, latency p50 %.0f us, p99 %.0f us, \
+           mean %.0f us@."
+          s.Service.Loadgen.throughput_cps s.Service.Loadgen.p50_us
+          s.Service.Loadgen.p99_us s.Service.Loadgen.mean_us;
+        let json = Service.Loadgen.summary_to_json summary in
+        (match out with
+        | Some path ->
+            Minijson.write_file path json;
+            Fmt.pr "wrote %s@." path
+        | None -> ());
+        (match check with
+        | Some path -> (
+            match Gdp_report.Regress.load_service path with
+            | Error m -> raise (Cli_error m)
+            | Ok baseline -> (
+                match Gdp_report.Regress.service_of_json json with
+                | Error m -> raise (Cli_error m)
+                | Ok current ->
+                    let issues =
+                      Gdp_report.Regress.check_service ~tolerance ~baseline
+                        current
+                    in
+                    if issues = [] then
+                      Fmt.pr "service gate passed against %s (tolerance %g%%)@."
+                        path tolerance
+                    else begin
+                      List.iter
+                        (fun i ->
+                          Fmt.epr "regression: %a@." Gdp_report.Regress.pp_issue
+                            i)
+                        issues;
+                      raise
+                        (Cli_error
+                           (Fmt.str "service gate failed against %s" path))
+                    end))
+        | None -> ());
+        finish_obs { obs with trace = None })
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive concurrent compile load at a gdpcd daemon (forking a \
+          private one by default) and report throughput, latency \
+          percentiles and cache hit rate; optionally gate against a \
+          committed baseline.")
+    Term.(
+      const run $ obs_term $ server_arg $ connections_arg $ requests_arg
+      $ dup_arg $ rate_arg $ method_arg $ seed_arg $ jobs_arg $ out_arg
+      $ check_arg $ tolerance_arg)
+
 let list_cmd =
   let run obs =
     List.iter
@@ -686,5 +1032,8 @@ let () =
             explain_cmd;
             bench_cmd;
             fuzz_cmd;
+            serve_cmd;
+            submit_cmd;
+            loadgen_cmd;
             list_cmd;
           ]))

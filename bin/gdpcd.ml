@@ -1,0 +1,115 @@
+(* gdpcd: the standalone compile-as-a-service daemon.
+
+   A thin wrapper over Service.Server — the same engine `gdpc serve`
+   embeds, packaged as its own binary so deployments that only serve
+   (no local pipeline work) ship one small entry point.  SIGTERM and
+   SIGINT stop it cleanly: outstanding jobs are answered
+   "server shutting down", workers are reaped, the socket is
+   unlinked. *)
+
+open Cmdliner
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "gdpcd.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket to listen on.")
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tcp" ] ~docv:"HOST:PORT"
+        ~doc:"Also listen on TCP (e.g. 127.0.0.1:7070).")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 2
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker processes in the pool.")
+
+let cache_arg =
+  Arg.(
+    value
+    & opt int 256
+    & info [ "cache-capacity" ] ~docv:"N"
+        ~doc:"Artifact cache bound (entries, LRU beyond it).")
+
+let queue_arg =
+  Arg.(
+    value
+    & opt int 64
+    & info [ "max-queue" ] ~docv:"N"
+        ~doc:
+          "Reject new submissions once this many jobs are pending \
+           (backpressure).")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a Chrome trace-event JSON file on shutdown.")
+
+let verbose_arg =
+  Arg.(
+    value & flag_all
+    & info [ "v"; "verbose" ]
+        ~doc:"Increase log verbosity (repeat for debug output).")
+
+let parse_hostport s =
+  match String.rindex_opt s ':' with
+  | Some i when i > 0 && i < String.length s - 1 -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p > 0 && p < 65536 -> Ok (host, p)
+      | _ -> Error (Fmt.str "invalid TCP endpoint %S" s))
+  | _ -> Error (Fmt.str "invalid TCP endpoint %S (want host:port)" s)
+
+let main socket tcp jobs cache_capacity max_queue trace verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level
+    (Some
+       (match List.length verbose with
+       | 0 -> Logs.Info
+       | 1 -> Logs.Debug
+       | _ -> Logs.Debug));
+  let tcp =
+    match tcp with
+    | None -> None
+    | Some s -> (
+        match parse_hostport s with
+        | Ok hp -> Some hp
+        | Error m ->
+            Fmt.epr "error: %s@." m;
+            exit 1)
+  in
+  try
+    Service.Server.run
+      {
+        Service.Server.socket_path = Some socket;
+        tcp;
+        jobs;
+        cache_capacity;
+        max_queue;
+        max_frame = Service.Frame.default_max_frame;
+        trace;
+      }
+  with
+  | Unix.Unix_error (e, op, arg) ->
+      Fmt.epr "error: %s (%s %s)@." (Unix.error_message e) op arg;
+      exit 1
+  | Invalid_argument m | Failure m ->
+      Fmt.epr "error: %s@." m;
+      exit 1
+
+let () =
+  let doc = "compile-as-a-service daemon for the GDP pipeline" in
+  exit
+    (Cmd.eval
+       (Cmd.v
+          (Cmd.info "gdpcd" ~version:"1.0.0" ~doc)
+          Term.(
+            const main $ socket_arg $ tcp_arg $ jobs_arg $ cache_arg
+            $ queue_arg $ trace_arg $ verbose_arg)))

@@ -1,0 +1,30 @@
+/* dotprod: a small MiniC kernel used by the service smoke test and the
+   docs as a stand-alone submission target for `gdpc submit`.
+
+   Reads eight input words with in(i), forms a dot product against a
+   fixed coefficient table plus a running scaled sum, and emits both.
+   Small on purpose: a daemon round-trip should be dominated by the
+   service path, not the compile. */
+
+int coef[8] = { 3, -1, 4, -1, 5, -9, 2, 6 };
+
+void main() {
+  int n = 8;
+  int *x = malloc(8);
+  int *y = malloc(8);
+
+  for (int i = 0; i < n; i = i + 1) {
+    x[i] = in(i);
+  }
+
+  int dot = 0;
+  int scaled = 0;
+  for (int i = 0; i < n; i = i + 1) {
+    y[i] = x[i] * coef[i];
+    dot = dot + y[i];
+    scaled = scaled + (x[i] << 2) - i;
+  }
+
+  out(dot);
+  out(scaled);
+}

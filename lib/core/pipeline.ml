@@ -309,6 +309,13 @@ module Settings = struct
 
   let schema = "gdp-settings/1"
 
+  (* Bumped when the settings record grows a field with changed
+     semantics.  [of_json] accepts documents up to this version (a
+     missing field reads as 1) and rejects newer ones, so an old server
+     fails a too-new client with a clear message instead of
+     misinterpreting it. *)
+  let version = 1
+
   let default method_ =
     {
       clusters = 2;
@@ -354,6 +361,7 @@ module Settings = struct
     Minijson.obj
       [
         ("schema", Minijson.str schema);
+        ("version", Minijson.int version);
         ("clusters", Minijson.int s.clusters);
         ("move_latency", Minijson.int s.move_latency);
         ("method", Minijson.str (Methods.to_string s.method_));
@@ -396,17 +404,64 @@ module Settings = struct
     | None | Some Minijson.Null -> Ok None
     | Some v -> Result.map Option.some (parse name v)
 
+  (* Strict field checking: a key we do not know is rejected by name
+     instead of silently ignored — a typo'd option must fail loudly,
+     especially now that settings documents arrive over the [gdpcd]
+     wire.  Fields added in future versions belong behind a version
+     bump, which is rejected above with its own message. *)
+  let reject_unknown ~where ~known doc =
+    match doc with
+    | Minijson.Obj fields ->
+        let rec go = function
+          | [] -> Ok ()
+          | (k, _) :: rest ->
+              if List.mem k known then go rest
+              else
+                Error
+                  (Printf.sprintf
+                     "settings: unknown field %S%s (known fields: %s)" k where
+                     (String.concat ", " known))
+        in
+        go fields
+    | _ -> Error (Printf.sprintf "settings: expected an object%s" where)
+
   let rhop_of_json doc =
+    let* () =
+      reject_unknown ~where:" in \"rhop\""
+        ~known:[ "xmove_weight"; "coarsen_until"; "max_passes" ]
+        doc
+    in
     let* xmove_weight = nullable "xmove_weight" as_int doc in
     let* coarsen_until = int_field "coarsen_until" doc in
     let* max_passes = int_field "max_passes" doc in
     Ok { Partition.Rhop.xmove_weight; coarsen_until; max_passes }
 
   let gdp_of_json doc =
+    let* () =
+      reject_unknown ~where:" in \"gdp\""
+        ~known:[ "data_imbalance"; "op_imbalance"; "seed" ]
+        doc
+    in
     let* data_imbalance = Result.bind (field "data_imbalance" doc) (as_float "data_imbalance") in
     let* op_imbalance = Result.bind (field "op_imbalance" doc) (as_float "op_imbalance") in
     let* seed = int_field "seed" doc in
     Ok { Partition.Gdp.data_imbalance; op_imbalance; seed }
+
+  let known_fields =
+    [
+      "schema";
+      "version";
+      "clusters";
+      "move_latency";
+      "method";
+      "unroll";
+      "promote";
+      "simplify";
+      "if_convert";
+      "merge_low_slack";
+      "rhop";
+      "gdp";
+    ]
 
   let of_json (doc : Minijson.t) : (t, string) result =
     let* schema_v = field "schema" doc in
@@ -416,6 +471,22 @@ module Settings = struct
       | Some s -> Error (Printf.sprintf "settings: unknown schema %S" s)
       | None -> Error "settings: schema is not a string"
     in
+    let* v =
+      match Minijson.member "version" doc with
+      | None -> Ok 1  (* pre-version documents *)
+      | Some v -> as_int "version" v
+    in
+    let* () =
+      if v < 1 then Error (Printf.sprintf "settings: invalid version %d" v)
+      else if v > version then
+        Error
+          (Printf.sprintf
+             "settings: version %d is newer than this build supports (%d) — \
+              upgrade the server"
+             v version)
+      else Ok ()
+    in
+    let* () = reject_unknown ~where:"" ~known:known_fields doc in
     let* clusters = int_field "clusters" doc in
     let* move_latency = int_field "move_latency" doc in
     let* method_v = field "method" doc in

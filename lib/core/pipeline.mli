@@ -168,9 +168,20 @@ module Settings : sig
       [prepare_default] path. *)
   val default_front_end : t -> bool
 
+  (** Format version emitted by [to_json] (as a ["version"] field) and
+      the newest version [of_json] accepts; a document without the
+      field reads as version 1, a newer one is rejected with a message
+      telling the operator to upgrade. *)
+  val version : int
+
   (** [of_json (to_json s) = Ok s] for every [s] (the numbers involved
-      are finite).  [of_json] rejects unknown schemas, unknown method
-      names and shape mismatches with a descriptive [Error]. *)
+      are finite).  [of_json] is strict: unknown schemas, too-new
+      [version]s, unknown method names, shape mismatches {e and any
+      field it does not know} (top-level or inside ["rhop"]/["gdp"])
+      are rejected with a descriptive [Error] naming the offender — a
+      typo'd option must fail loudly rather than be silently ignored,
+      especially now that settings documents arrive over the [gdpcd]
+      wire. *)
   val to_json : t -> Minijson.t
 
   val of_json : Minijson.t -> (t, string) result

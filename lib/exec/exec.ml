@@ -4,9 +4,14 @@
     protocol over a pair of pipes: the parent writes one job frame
     (newline-terminated compact JSON), the worker writes exactly one
     result frame back.  One job is outstanding per worker at a time, so
-    buffered channel reads behind [Unix.select] are safe — a readable
-    descriptor always corresponds to (the start of) the one pending
-    response line. *)
+    a readable descriptor always corresponds to (the start of) the one
+    pending response line.
+
+    All pipe I/O goes through raw file descriptors with explicit
+    [EINTR] retry and partial-read/-write loops — the daemon built on
+    [Pool] installs signal handlers, so every read and write here must
+    survive interruption.  Buffered [in_channel]/[out_channel] pairs are
+    deliberately not used. *)
 
 let src = Logs.Src.create "exec" ~doc:"process-pool executor"
 
@@ -18,16 +23,60 @@ let job ?(batch = "") payload = { payload; batch }
 let clamp_jobs n = max 1 (min 64 n)
 
 (* ------------------------------------------------------------------ *)
+(* EINTR-hardened descriptor I/O                                       *)
+
+(* Write the whole substring, restarting on [EINTR] and resuming after
+   partial writes (a pipe accepts PIPE_BUF bytes atomically, but our
+   frames can be larger than that). *)
+let rec write_all fd s off len =
+  if len > 0 then
+    match Unix.write_substring fd s off len with
+    | n -> write_all fd s (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s off len
+
+(* One [read], restarted on [EINTR].  Returns 0 at end of file. *)
+let rec read_once fd buf =
+  match Unix.read fd buf 0 (Bytes.length buf) with
+  | n -> n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_once fd buf
+
+(* Take the first complete line out of [buf] (without its newline),
+   leaving any following bytes in place.  [None] when no newline has
+   arrived yet. *)
+let take_line (buf : Buffer.t) : string option =
+  let s = Buffer.contents buf in
+  match String.index_opt s '\n' with
+  | None -> None
+  | Some i ->
+      Buffer.clear buf;
+      Buffer.add_substring buf s (i + 1) (String.length s - i - 1);
+      Some (String.sub s 0 i)
+
+(* Blocking line read: accumulate chunks until a newline shows up.
+   [None] means the peer closed the descriptor mid-line or between
+   lines.  Unix errors other than [EINTR] propagate to the caller
+   (which treats them like a crash/EOF). *)
+let rec read_line_fd fd rdbuf chunk : string option =
+  match take_line rdbuf with
+  | Some line -> Some line
+  | None ->
+      let n = read_once fd chunk in
+      if n = 0 then None
+      else begin
+        Buffer.add_subbytes rdbuf chunk 0 n;
+        read_line_fd fd rdbuf chunk
+      end
+
+(* ------------------------------------------------------------------ *)
 (* Wire protocol                                                       *)
 
 let job_schema = "gdp-job/1"
 let result_schema = "gdp-result/1"
 
-let encode_request idx (j : job) =
+let encode_request idx payload =
   Minijson.(
     encode
-      (obj
-         [ ("schema", str job_schema); ("id", int idx); ("payload", j.payload) ]))
+      (obj [ ("schema", str job_schema); ("id", int idx); ("payload", payload) ]))
 
 let encode_result idx (r : (Minijson.t, string) result) =
   let fields =
@@ -84,52 +133,48 @@ let run_one worker idx payload =
   | exception e -> encode_result idx (Error (Printexc.to_string e))
 
 (* Never returns: serves jobs until the parent closes the pipe. *)
-let child_loop ~worker ~setup in_ch out_ch =
+let child_loop ~worker ~setup in_fd out_fd =
   (try
      setup ();
-     while true do
-       let line = input_line in_ch in
-       let response =
-         match Minijson.parse line with
-         | Error msg -> encode_result (-1) (Error ("unparseable job frame: " ^ msg))
-         | Ok doc -> (
-             let idx =
-               Option.bind (Minijson.member "id" doc) Minijson.to_int
-             in
-             match (idx, Minijson.member "payload" doc) with
-             | Some idx, Some payload -> run_one worker idx payload
-             | _ -> encode_result (-1) (Error "malformed job frame"))
-       in
-       output_string out_ch response;
-       output_char out_ch '\n';
-       flush out_ch
-     done
-   with End_of_file | Sys_error _ -> ());
+     let rdbuf = Buffer.create 4096 and chunk = Bytes.create 65536 in
+     let rec loop () =
+       match read_line_fd in_fd rdbuf chunk with
+       | None -> ()
+       | Some line ->
+           let response =
+             match Minijson.parse line with
+             | Error msg ->
+                 encode_result (-1) (Error ("unparseable job frame: " ^ msg))
+             | Ok doc -> (
+                 let idx =
+                   Option.bind (Minijson.member "id" doc) Minijson.to_int
+                 in
+                 match (idx, Minijson.member "payload" doc) with
+                 | Some idx, Some payload -> run_one worker idx payload
+                 | _ -> encode_result (-1) (Error "malformed job frame"))
+           in
+           let out = response ^ "\n" in
+           write_all out_fd out 0 (String.length out);
+           loop ()
+     in
+     loop ()
+   with _ -> ());
   (* _exit, not exit: at-exit hooks and buffered output inherited from
      the parent must not run/flush twice *)
   Unix._exit 0
 
 (* ------------------------------------------------------------------ *)
-(* Parent side                                                         *)
-
-type pending = { idx : int; pjob : job; mutable attempts : int }
-
-type slot = {
-  slot_id : int;
-  mutable pid : int;
-  mutable to_child : out_channel;
-  mutable from_child : in_channel;
-  mutable from_fd : Unix.file_descr;
-  mutable to_fd : Unix.file_descr;
-  mutable current : (pending * float) option;  (* in-flight job, start_us *)
-  mutable queue : pending list;  (* rest of the batch this slot owns *)
-  mutable alive : bool;
-}
+(* Parent side: the persistent pool                                    *)
 
 let status_string = function
   | Unix.WEXITED n -> Printf.sprintf "exit %d" n
   | Unix.WSIGNALED n -> Printf.sprintf "signal %d" n
   | Unix.WSTOPPED n -> Printf.sprintf "stop %d" n
+
+let rec waitpid_retry flags pid =
+  match Unix.waitpid flags pid with
+  | r -> r
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_retry flags pid
 
 (* Fork one worker.  [parent_fds] are the parent-side descriptors of
    every other live worker: the child must close them, or a dead
@@ -151,116 +196,152 @@ let spawn ~worker ~setup ~parent_fds =
       List.iter
         (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
         parent_fds;
-      child_loop ~worker ~setup
-        (Unix.in_channel_of_descr job_r)
-        (Unix.out_channel_of_descr res_w)
+      child_loop ~worker ~setup job_r res_w
   | pid ->
       Unix.close job_r;
       Unix.close res_w;
       (pid, job_w, res_r)
 
-let pool_map ~jobs ~max_retries ~child_setup ~worker (js : job list) results =
-  (* group jobs into batches, first-appearance order, jobs in order *)
-  let order = ref [] in
-  let tbl : (string, pending list ref) Hashtbl.t = Hashtbl.create 16 in
-  List.iteri
-    (fun i j ->
-      let p = { idx = i; pjob = j; attempts = 0 } in
-      match Hashtbl.find_opt tbl j.batch with
-      | Some cell -> cell := p :: !cell
-      | None ->
-          let cell = ref [ p ] in
-          Hashtbl.add tbl j.batch cell;
-          order := j.batch :: !order)
-    js;
-  let batch_queue : pending list Queue.t = Queue.create () in
-  List.iter
-    (fun key -> Queue.push (List.rev !(Hashtbl.find tbl key)) batch_queue)
-    (List.rev !order);
-  Telemetry.incr ~by:(Queue.length batch_queue) "exec.batches";
+module Pool = struct
+  type ticket = int
 
-  let nworkers = min jobs (Queue.length batch_queue) in
-  Telemetry.set_gauge "exec.workers" (float_of_int nworkers);
-  Log.debug (fun m ->
-      m "pool: %d worker(s), %d job(s) in %d batch(es)" nworkers
-        (List.length js) (Queue.length batch_queue));
+  type pending = {
+    ticket : ticket;
+    payload : Minijson.t;
+    batch : string;
+    mutable attempts : int;
+  }
 
-  let setup () =
-    (* the child's copies of the parent's recordings and counters are
-       private noise: drop them before user setup runs *)
-    Telemetry.disable ();
-    Telemetry.reset ();
-    Fault.reset_counts ();
-    child_setup ()
-  in
-  let slots = Array.make nworkers None in
-  let live_parent_fds () =
-    Array.to_list slots
+  type slot = {
+    slot_id : int;
+    mutable pid : int;
+    mutable to_fd : Unix.file_descr;
+    mutable from_fd : Unix.file_descr;
+    rdbuf : Buffer.t;
+    mutable current : (pending * float) option;  (* in-flight, start_us *)
+    mutable alive : bool;
+  }
+
+  type completion = {
+    c_ticket : ticket;
+    c_result : (Minijson.t, string) result;
+  }
+
+  type t = {
+    slots : slot option array;
+    mutable queue : pending list;  (* submission order *)
+    owners : (string, int) Hashtbl.t;  (* batch -> owning slot *)
+    batch_refs : (string, int) Hashtbl.t;  (* live jobs per batch *)
+    mutable completed : completion list;  (* newest first *)
+    mutable next_ticket : int;
+    worker : Minijson.t -> Minijson.t;
+    setup : unit -> unit;
+    max_retries : int;
+    chunk : Bytes.t;
+    prev_sigpipe : Sys.signal_behavior option;
+    mutable shut : bool;
+  }
+
+  (* -- batch ownership: jobs sharing a batch key run, in order, on one
+        slot, so worker-local memos are hit instead of recomputed ----- *)
+
+  let batch_ref t batch =
+    match Hashtbl.find_opt t.batch_refs batch with
+    | Some n -> Hashtbl.replace t.batch_refs batch (n + 1)
+    | None ->
+        Hashtbl.replace t.batch_refs batch 1;
+        Telemetry.incr "exec.batches"
+
+  let batch_unref t batch =
+    match Hashtbl.find_opt t.batch_refs batch with
+    | Some n when n > 1 -> Hashtbl.replace t.batch_refs batch (n - 1)
+    | Some _ ->
+        Hashtbl.remove t.batch_refs batch;
+        Hashtbl.remove t.owners batch
+    | None -> ()
+
+  let live_parent_fds t =
+    Array.to_list t.slots
     |> List.concat_map (function
          | Some s when s.alive -> [ s.to_fd; s.from_fd ]
          | _ -> [])
-  in
-  let respawn slot_id =
+
+  let respawn t slot_id =
     let pid, to_fd, from_fd =
-      spawn ~worker ~setup ~parent_fds:(live_parent_fds ())
+      spawn ~worker:t.worker ~setup:t.setup ~parent_fds:(live_parent_fds t)
     in
-    match slots.(slot_id) with
+    match t.slots.(slot_id) with
     | None ->
-        slots.(slot_id) <-
+        t.slots.(slot_id) <-
           Some
             {
               slot_id;
               pid;
-              to_child = Unix.out_channel_of_descr to_fd;
-              from_child = Unix.in_channel_of_descr from_fd;
-              from_fd;
               to_fd;
+              from_fd;
+              rdbuf = Buffer.create 4096;
               current = None;
-              queue = [];
               alive = true;
             }
     | Some s ->
         s.pid <- pid;
-        s.to_child <- Unix.out_channel_of_descr to_fd;
-        s.from_child <- Unix.in_channel_of_descr from_fd;
-        s.from_fd <- from_fd;
         s.to_fd <- to_fd;
+        s.from_fd <- from_fd;
+        Buffer.clear s.rdbuf;
         s.alive <- true
-  in
-  for i = 0 to nworkers - 1 do
-    respawn i
-  done;
 
-  let reap s =
+  (* Mark the slot dead, close its pipes and collect the child.  The
+     worker is already gone (or about to be): first try a non-blocking
+     wait, then escalate to SIGKILL so a wedged worker cannot leave a
+     zombie behind — [waitpid] always runs, so no defunct process
+     outlives the pool. *)
+  let reap ?(grace = 0.2) s =
     s.alive <- false;
-    (try close_out_noerr s.to_child with _ -> ());
-    (try close_in_noerr s.from_child with _ -> ());
-    match Unix.waitpid [] s.pid with
-    | _, status -> status_string status
-    | exception Unix.Unix_error _ -> "unknown status"
-  in
-  let finish_job s (p : pending) result =
+    (try Unix.close s.to_fd with Unix.Unix_error _ -> ());
+    (try Unix.close s.from_fd with Unix.Unix_error _ -> ());
+    Buffer.clear s.rdbuf;
+    let rec poll deadline =
+      match waitpid_retry [ Unix.WNOHANG ] s.pid with
+      | 0, _ ->
+          if Unix.gettimeofday () >= deadline then begin
+            (try Unix.kill s.pid Sys.sigkill with Unix.Unix_error _ -> ());
+            let _, st = waitpid_retry [] s.pid in
+            status_string st
+          end
+          else begin
+            (try Unix.sleepf 0.005 with Unix.Unix_error _ -> ());
+            poll deadline
+          end
+      | _, st -> status_string st
+      | exception Unix.Unix_error _ -> "unknown status"
+    in
+    poll (Unix.gettimeofday () +. grace)
+
+  let complete t (p : pending) result =
+    Telemetry.incr "exec.jobs";
+    (match result with Error _ -> Telemetry.incr "exec.errors" | Ok _ -> ());
+    if p.attempts > 0 then Fault.note_recovered ();
+    batch_unref t p.batch;
+    t.completed <- { c_ticket = p.ticket; c_result = result } :: t.completed
+
+  let finish_job t s (p : pending) result =
     (match s.current with
     | Some (_, start_us) ->
         Telemetry.record_span "exec.job"
           ~args:
-            [ ("job", string_of_int p.idx);
-              ("batch", p.pjob.batch);
+            [ ("job", string_of_int p.ticket);
+              ("batch", p.batch);
               ("worker", string_of_int s.slot_id)
             ]
           ~start_us
           ~dur_us:(Telemetry.now_us () -. start_us)
     | None -> ());
     s.current <- None;
-    Telemetry.incr "exec.jobs";
-    (match result with Error _ -> Telemetry.incr "exec.errors" | Ok _ -> ());
-    if p.attempts > 0 then Fault.note_recovered ();
-    results.(p.idx) <- result
-  in
+    complete t p result
+
   (* The worker died (or wrote garbage): account the fault, retry the
-     in-flight job within its bound, put the worker back up if it still
-     has (or can get) work. *)
-  let handle_crash s =
+     in-flight job within its bound, put the worker back up. *)
+  let handle_crash t s =
     let status = reap s in
     Fault.note_detected ();
     Telemetry.incr "exec.crashes";
@@ -270,8 +351,8 @@ let pool_map ~jobs ~max_retries ~child_setup ~worker (js : job list) results =
     | Some (p, start_us) ->
         Telemetry.record_span "exec.job"
           ~args:
-            [ ("job", string_of_int p.idx);
-              ("batch", p.pjob.batch);
+            [ ("job", string_of_int p.ticket);
+              ("batch", p.batch);
               ("worker", string_of_int s.slot_id);
               ("crashed", status)
             ]
@@ -279,85 +360,227 @@ let pool_map ~jobs ~max_retries ~child_setup ~worker (js : job list) results =
           ~dur_us:(Telemetry.now_us () -. start_us);
         s.current <- None;
         p.attempts <- p.attempts + 1;
-        if p.attempts <= max_retries then begin
+        if p.attempts <= t.max_retries then begin
           Telemetry.incr "exec.retries";
-          s.queue <- p :: s.queue
+          (* front of the queue: in-batch order is preserved *)
+          t.queue <- p :: t.queue
         end
-        else begin
-          Telemetry.incr "exec.jobs";
-          Telemetry.incr "exec.errors";
-          results.(p.idx) <-
-            Error
-              (Printf.sprintf "worker crashed (%s) after %d attempt(s)" status
-                 p.attempts)
-        end);
-    if s.queue <> [] || not (Queue.is_empty batch_queue) then respawn s.slot_id
-  in
-  let rec dispatch s =
-    if s.alive && s.current = None then begin
-      if s.queue = [] && not (Queue.is_empty batch_queue) then
-        s.queue <- Queue.pop batch_queue;
-      match s.queue with
-      | [] -> ()
-      | p :: rest ->
-          s.queue <- rest;
+        else
+          complete t p
+            (Error
+               (Printf.sprintf "worker crashed (%s) after %d attempt(s)" status
+                  p.attempts)));
+    if not t.shut then respawn t s.slot_id
+
+  (* Pick the first queued job this slot may run: its batch is either
+     unowned (the slot adopts it) or already owned by this slot. *)
+  let take_for t s =
+    let rec go acc = function
+      | [] -> None
+      | p :: rest -> (
+          match Hashtbl.find_opt t.owners p.batch with
+          | Some id when id <> s.slot_id -> go (p :: acc) rest
+          | _ ->
+              Hashtbl.replace t.owners p.batch s.slot_id;
+              t.queue <- List.rev_append acc rest;
+              Some p)
+    in
+    go [] t.queue
+
+  let rec dispatch t s =
+    if s.alive && s.current = None && not t.shut then
+      match take_for t s with
+      | None -> ()
+      | Some p -> (
           s.current <- Some (p, Telemetry.now_us ());
-          (match
-             output_string s.to_child (encode_request p.idx p.pjob);
-             output_char s.to_child '\n';
-             flush s.to_child
-           with
+          let frame = encode_request p.ticket p.payload ^ "\n" in
+          match write_all s.to_fd frame 0 (String.length frame) with
           | () -> ()
-          | exception (Sys_error _ | Unix.Unix_error _) ->
+          | exception Unix.Unix_error _ ->
               (* worker already gone — crash path, then try again *)
-              handle_crash s;
-              dispatch s)
-    end
-  in
-  let each_slot f =
-    Array.iter (function Some s -> f s | None -> ()) slots
-  in
-  let busy_slots () =
-    Array.to_list slots
+              handle_crash t s;
+              dispatch t s)
+
+  let each_slot t f =
+    Array.iter (function Some s -> f s | None -> ()) t.slots
+
+  let dispatch_all t = each_slot t (fun s -> dispatch t s)
+
+  let busy_slots t =
+    Array.to_list t.slots
     |> List.filter_map (function
          | Some s when s.alive && s.current <> None -> Some s
          | _ -> None)
-  in
-  let rec loop () =
-    each_slot dispatch;
-    match busy_slots () with
+
+  let create ?(jobs = 1) ?(max_retries = 1) ?(child_setup = fun () -> ())
+      ~worker () =
+    let jobs = clamp_jobs jobs in
+    let setup () =
+      (* the child's copies of the parent's recordings and counters are
+         private noise: drop them before user setup runs *)
+      Telemetry.disable ();
+      Telemetry.reset ();
+      Fault.reset_counts ();
+      child_setup ()
+    in
+    (* a crashed worker turns the parent's next write into SIGPIPE,
+       which would kill the whole process: convert it to EPIPE for the
+       crash handler.  Restored on [shutdown]. *)
+    let prev_sigpipe =
+      match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+      | prev -> Some prev
+      | exception (Invalid_argument _ | Sys_error _) -> None
+    in
+    let t =
+      {
+        slots = Array.make jobs None;
+        queue = [];
+        owners = Hashtbl.create 16;
+        batch_refs = Hashtbl.create 16;
+        completed = [];
+        next_ticket = 0;
+        worker;
+        setup;
+        max_retries;
+        chunk = Bytes.create 65536;
+        prev_sigpipe;
+        shut = false;
+      }
+    in
+    for i = 0 to jobs - 1 do
+      respawn t i
+    done;
+    Telemetry.set_gauge "exec.workers" (float_of_int jobs);
+    Log.debug (fun m -> m "pool: %d persistent worker(s)" jobs);
+    t
+
+  let submit t ?batch payload =
+    if t.shut then invalid_arg "Exec.Pool.submit: pool is shut down";
+    let ticket = t.next_ticket in
+    t.next_ticket <- ticket + 1;
+    let batch =
+      match batch with
+      | Some b -> b
+      | None -> Printf.sprintf "#%d" ticket  (* no affinity *)
+    in
+    let p = { ticket; payload; batch; attempts = 0 } in
+    batch_ref t batch;
+    t.queue <- t.queue @ [ p ];
+    dispatch_all t;
+    ticket
+
+  let queued t = List.length t.queue
+  let in_flight t = List.length (busy_slots t)
+  let pending t = queued t + in_flight t
+
+  let result_fds t = List.map (fun s -> s.from_fd) (busy_slots t)
+
+  let cancel t ticket =
+    if List.exists (fun p -> p.ticket = ticket) t.queue then begin
+      let p = List.find (fun p -> p.ticket = ticket) t.queue in
+      t.queue <- List.filter (fun q -> q.ticket <> ticket) t.queue;
+      batch_unref t p.batch;
+      Telemetry.incr "exec.cancelled";
+      `Cancelled_queued
+    end
+    else
+      let hit = ref `Not_found in
+      each_slot t (fun s ->
+          match s.current with
+          | Some (p, _) when p.ticket = ticket && s.alive ->
+              (* the job is already running: the only way to stop it is
+                 to kill the worker.  Not a fault — a deliberate kill. *)
+              s.current <- None;
+              (try Unix.kill s.pid Sys.sigkill with Unix.Unix_error _ -> ());
+              ignore (reap s);
+              batch_unref t p.batch;
+              Telemetry.incr "exec.cancelled";
+              if not t.shut then respawn t s.slot_id;
+              hit := `Cancelled_running
+          | _ -> ());
+      !hit
+
+  (* Read the one pending response line of [s].  The select said the
+     descriptor is readable, so the first read never blocks; subsequent
+     reads only happen when a line is split across pipe chunks, which
+     the worker completes promptly (it writes whole frames). *)
+  let read_response t s =
+    match read_line_fd s.from_fd s.rdbuf t.chunk with
+    | None -> handle_crash t s
+    | Some line -> (
+        match (decode_result line, s.current) with
+        | Ok (id, res), Some (p, _) when id = p.ticket -> finish_job t s p res
+        | Ok _, _ | Error _, _ ->
+            (* wrong id or broken frame: the worker is confused *)
+            Log.warn (fun m -> m "worker %d: bad response frame" s.slot_id);
+            handle_crash t s)
+    | exception Unix.Unix_error _ -> handle_crash t s
+
+  let drain t =
+    let cs = List.rev t.completed in
+    t.completed <- [];
+    cs
+
+  let poll ?(timeout = -1.0) t =
+    dispatch_all t;
+    (match busy_slots t with
     | [] -> ()
-    | busy ->
+    | busy -> (
         let fds = List.map (fun s -> s.from_fd) busy in
         let readable, _, _ =
-          match Unix.select fds [] [] (-1.0) with
+          match Unix.select fds [] [] timeout with
           | r -> r
           | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
         in
         List.iter
           (fun fd ->
             match List.find_opt (fun s -> s.from_fd = fd) busy with
-            | None -> ()
-            | Some s -> (
-                match input_line s.from_child with
-                | exception (End_of_file | Sys_error _) -> handle_crash s
-                | line -> (
-                    match (decode_result line, s.current) with
-                    | Ok (id, res), Some (p, _) when id = p.idx ->
-                        finish_job s p res
-                    | Ok _, _ | Error _, _ ->
-                        (* wrong id or broken frame: the worker is
-                           confused — treat as a crash *)
-                        Log.warn (fun m ->
-                            m "worker %d: bad response frame" s.slot_id);
-                        handle_crash s)))
+            | Some s when s.alive -> read_response t s
+            | _ -> ())
           readable;
-        loop ()
-  in
-  let shutdown () =
-    each_slot (fun s -> if s.alive then ignore (reap s))
-  in
-  Fun.protect ~finally:shutdown loop
+        dispatch_all t));
+    drain t
+
+  let shutdown t =
+    if not t.shut then begin
+      t.shut <- true;
+      t.queue <- [];
+      (* close every request pipe first: idle workers see EOF and exit
+         on their own, so the reap below is normally instantaneous *)
+      each_slot t (fun s ->
+          if s.alive then
+            try Unix.close s.to_fd with Unix.Unix_error _ -> ());
+      each_slot t (fun s ->
+          if s.alive then begin
+            (try Unix.close s.from_fd with Unix.Unix_error _ -> ());
+            (* reap with a kill fallback: no worker — wedged, crashed or
+               healthy — may survive the pool or linger as a zombie *)
+            s.alive <- false;
+            let rec collect deadline =
+              match waitpid_retry [ Unix.WNOHANG ] s.pid with
+              | 0, _ ->
+                  if Unix.gettimeofday () >= deadline then begin
+                    (try Unix.kill s.pid Sys.sigkill
+                     with Unix.Unix_error _ -> ());
+                    ignore (waitpid_retry [] s.pid)
+                  end
+                  else begin
+                    (try Unix.sleepf 0.005 with Unix.Unix_error _ -> ());
+                    collect deadline
+                  end
+              | _ -> ()
+              | exception Unix.Unix_error _ -> ()
+            in
+            collect (Unix.gettimeofday () +. 0.5)
+          end);
+      match t.prev_sigpipe with
+      | Some prev -> ( try Sys.set_signal Sys.sigpipe prev with _ -> ())
+      | None -> ()
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* One-shot map, expressed over the pool                               *)
 
 let map ?(jobs = 1) ?(max_retries = 1) ?(child_setup = fun () -> ()) ~worker
     (js : job list) : (Minijson.t, string) result array =
@@ -381,12 +604,35 @@ let map ?(jobs = 1) ?(max_retries = 1) ?(child_setup = fun () -> ()) ~worker
           ~dur_us:(Telemetry.now_us () -. start_us))
       js
   else begin
-    (* a crashed worker turns the parent's next write into SIGPIPE,
-       which would kill the whole run: convert it to EPIPE for the
-       crash handler *)
-    let prev = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+    (* never more workers than distinct batches: a batch runs whole on
+       one worker, so extra processes would only sit idle *)
+    let nbatches =
+      List.length (List.sort_uniq compare (List.map (fun j -> j.batch) js))
+    in
+    let nworkers = min (clamp_jobs jobs) nbatches in
+    Log.debug (fun m ->
+        m "pool: %d worker(s), %d job(s) in %d batch(es)" nworkers n nbatches);
+    let pool = Pool.create ~jobs:nworkers ~max_retries ~child_setup ~worker () in
     Fun.protect
-      ~finally:(fun () -> Sys.set_signal Sys.sigpipe prev)
-      (fun () -> pool_map ~jobs ~max_retries ~child_setup ~worker js results)
+      ~finally:(fun () -> Pool.shutdown pool)
+      (fun () ->
+        let index_of = Hashtbl.create n in
+        List.iteri
+          (fun i (j : job) ->
+            Hashtbl.replace index_of
+              (Pool.submit pool ~batch:j.batch j.payload)
+              i)
+          js;
+        let remaining = ref n in
+        while !remaining > 0 do
+          List.iter
+            (fun (c : Pool.completion) ->
+              match Hashtbl.find_opt index_of c.Pool.c_ticket with
+              | Some i ->
+                  results.(i) <- c.Pool.c_result;
+                  decr remaining
+              | None -> ())
+            (Pool.poll pool)
+        done)
   end;
   results

@@ -7,14 +7,25 @@
     newline-delimited {!Minijson} documents, so nothing that depends on
     [Marshal]'s binary compatibility is on the wire.
 
+    {!Pool} is the persistent flavour behind the [gdpcd] daemon: the
+    same protocol and workers, but jobs are submitted one at a time,
+    results are polled asynchronously, and in-flight jobs can be
+    cancelled.
+
+    All pipe I/O is hardened against signals: reads and writes restart
+    on [EINTR] and resume after partial transfers, so a process that
+    installs signal handlers (the daemon handles [SIGTERM]) can drive a
+    pool safely.  Worker processes are always collected — pool shutdown
+    reaps every child, escalating to [SIGKILL] for wedged workers, so
+    no zombie survives the pool.
+
     {2 Batching}
 
     Each job names a [batch] key.  Jobs sharing a key are dispatched,
     in order, to the same worker, so per-key memoization in the worker
     function (e.g. {!Gdp_core.Pipeline.prepare_default}'s per-benchmark
     cache) is hit instead of recomputed by every process.  Batches are
-    started in first-appearance order and handed to workers as they
-    become free.
+    adopted by workers as they become free, in submission order.
 
     {2 Failure handling}
 
@@ -43,8 +54,8 @@
     When telemetry is enabled the pool records one [exec.job] span per
     job (annotated with the batch key and worker slot) via
     {!Telemetry.record_span}, plus counters [exec.jobs], [exec.batches],
-    [exec.crashes], [exec.retries] and [exec.errors], and an
-    [exec.workers] gauge — so [--trace] shows the pool timeline. *)
+    [exec.crashes], [exec.retries], [exec.errors] and [exec.cancelled],
+    and an [exec.workers] gauge — so [--trace] shows the pool timeline. *)
 
 type job = {
   payload : Minijson.t;  (** shipped to the worker verbatim *)
@@ -76,3 +87,70 @@ val map :
     The caller must ensure [worker] only touches process-local state:
     workers are forked copies, and nothing they mutate is visible to
     the parent except the returned document. *)
+
+(** A persistent worker pool with incremental submission, asynchronous
+    completion and cancellation — the serving-layer counterpart of
+    {!map}.  Single-threaded: all operations must be called from the
+    process that created the pool. *)
+module Pool : sig
+  type t
+
+  type ticket = int
+  (** Identifies a submitted job until its completion is drained. *)
+
+  type completion = {
+    c_ticket : ticket;
+    c_result : (Minijson.t, string) result;
+  }
+
+  val create :
+    ?jobs:int ->
+    ?max_retries:int ->
+    ?child_setup:(unit -> unit) ->
+    worker:(Minijson.t -> Minijson.t) ->
+    unit ->
+    t
+  (** Fork [jobs] (clamped to [[1, 64]], default [1]) persistent
+      workers.  Unlike {!map} there is no inline path: a pool always
+      runs its jobs in child processes, so the creating process (an
+      event loop) is never blocked by a job.  [SIGPIPE] is set to
+      ignore while the pool lives (restored by {!shutdown}). *)
+
+  val submit : t -> ?batch:string -> Minijson.t -> ticket
+  (** Enqueue a job and dispatch it to an idle worker if one is free.
+      Jobs sharing a [batch] key run, in submission order, on the same
+      worker; without [batch] the job gets a private key (no affinity).
+      Raises [Invalid_argument] after {!shutdown}. *)
+
+  val cancel :
+    t -> ticket -> [ `Cancelled_queued | `Cancelled_running | `Not_found ]
+  (** Withdraw a job.  A queued job is removed outright; a running job
+      is stopped by killing its worker (which is respawned) — neither
+      will ever appear in {!poll} results.  [`Not_found] when the
+      ticket is unknown or its completion was already drained. *)
+
+  val queued : t -> int
+  (** Jobs waiting for a worker — the backpressure signal. *)
+
+  val in_flight : t -> int
+  (** Jobs currently executing in a worker. *)
+
+  val pending : t -> int
+  (** [queued + in_flight]. *)
+
+  val result_fds : t -> Unix.file_descr list
+  (** Parent-side descriptors that become readable when an in-flight
+      job completes — pass them to an external [select] loop, then call
+      [poll ~timeout:0.] to collect. *)
+
+  val poll : ?timeout:float -> t -> completion list
+  (** Dispatch queued jobs to idle workers, wait up to [timeout]
+      seconds (default: block until activity) for in-flight results,
+      and return every completion accumulated since the last call, in
+      completion order.  Returns immediately when nothing is pending. *)
+
+  val shutdown : t -> unit
+  (** Drop queued jobs, close the pipes and collect every worker
+      process (escalating to [SIGKILL] after a grace period).
+      Idempotent. *)
+end

@@ -166,3 +166,90 @@ let check ~tolerance ~baseline ~current : issue list =
             gated_categories)
     baseline.b_rows;
   List.rev !issues
+
+(* ------------------------------------------------------------------ *)
+(* Service benchmark gate                                              *)
+
+type service_baseline = {
+  sv_throughput_cps : float;
+  sv_p50_us : float;
+  sv_p99_us : float;
+  sv_hit_rate : float;
+}
+
+let service_schema = "gdp-service-bench/1"
+
+let service_of_json ?(where = "service benchmark document") doc :
+    (service_baseline, string) result =
+  let open Minijson in
+  match Option.bind (member "schema" doc) to_string with
+  | Some s when s = service_schema -> (
+      let num k = Option.bind (member k doc) to_float in
+      let int_ k = Option.bind (member k doc) to_int in
+      match
+        ( num "throughput_cps",
+          num "p50_us",
+          num "p99_us",
+          int_ "cache_hits",
+          int_ "requests" )
+      with
+      | Some tp, Some p50, Some p99, Some hits, Some reqs when reqs > 0 ->
+          Ok
+            {
+              sv_throughput_cps = tp;
+              sv_p50_us = p50;
+              sv_p99_us = p99;
+              sv_hit_rate = float_of_int hits /. float_of_int reqs;
+            }
+      | _ ->
+          Error
+            (Fmt.str
+               "%s: missing throughput_cps, p50_us, p99_us, cache_hits or \
+                requests"
+               where))
+  | Some s -> Error (Fmt.str "%s: unsupported schema %S" where s)
+  | None -> Error (Fmt.str "%s: not a %s document" where service_schema)
+
+let load_service path : (service_baseline, string) result =
+  match Minijson.parse_file path with
+  | Error m -> Error (Fmt.str "%s: %s" path m)
+  | Ok doc -> service_of_json ~where:path doc
+
+let check_service ?(hit_rate_slack = 10.) ~tolerance ~baseline current :
+    issue list =
+  let issues = ref [] in
+  let push metric base cur =
+    issues :=
+      {
+        i_bench = "service";
+        i_method = "loadgen";
+        i_metric = metric;
+        i_baseline = base;
+        i_current = cur;
+      }
+      :: !issues
+  in
+  (* throughput: lower is worse *)
+  let tp_floor = baseline.sv_throughput_cps *. (1. -. (tolerance /. 100.)) in
+  if current.sv_throughput_cps < tp_floor then
+    push "throughput_mcps"
+      (int_of_float (Float.round (baseline.sv_throughput_cps *. 1000.)))
+      (int_of_float (Float.round (current.sv_throughput_cps *. 1000.)));
+  (* latency percentiles: higher is worse, with absolute slack so a
+     fast-machine baseline does not gate on scheduler jitter *)
+  let lat metric base cur =
+    let ceiling = (base *. (1. +. (tolerance /. 100.))) +. 1000. in
+    if cur > ceiling then
+      push metric
+        (int_of_float (Float.round base))
+        (int_of_float (Float.round cur))
+  in
+  lat "p50_us" baseline.sv_p50_us current.sv_p50_us;
+  lat "p99_us" baseline.sv_p99_us current.sv_p99_us;
+  (* hit rate: absolute percentage-point slack *)
+  let hr_floor = (baseline.sv_hit_rate *. 100.) -. hit_rate_slack in
+  if current.sv_hit_rate *. 100. < hr_floor then
+    push "hit_rate_pct"
+      (int_of_float (Float.round (baseline.sv_hit_rate *. 100.)))
+      (int_of_float (Float.round (current.sv_hit_rate *. 100.)));
+  List.rev !issues

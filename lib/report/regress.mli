@@ -50,3 +50,37 @@ val pp_issue : issue Fmt.t
 (** All regressions of [current] against [baseline] at [tolerance]
     percent; empty means the gate passes. *)
 val check : tolerance:float -> baseline:baseline -> current:row list -> issue list
+
+(** {1 Service benchmark gate}
+
+    The same contract for the [gdpcd] loadgen baseline
+    ([BENCH_service.json], schema ["gdp-service-bench/1"], written by
+    [gdpc loadgen --out]): throughput must not drop, latency
+    percentiles must not grow, the cache hit rate must not collapse —
+    each beyond a tolerance.  Wall-clock quantities are far noisier
+    than cycle counts, so callers pass a generous [tolerance]. *)
+
+type service_baseline = {
+  sv_throughput_cps : float;  (** succeeded compiles per second *)
+  sv_p50_us : float;
+  sv_p99_us : float;
+  sv_hit_rate : float;  (** cache hits / requests, in [0..1] *)
+}
+
+val service_of_json :
+  ?where:string -> Minijson.t -> (service_baseline, string) result
+
+val load_service : string -> (service_baseline, string) result
+
+(** Issues use integer renderings of the float quantities:
+    ["throughput_mcps"] (compiles per second, scaled by 1000 — lower is
+    worse, gated at [tolerance] percent below baseline), ["p50_us"] /
+    ["p99_us"] (higher is worse, [tolerance] percent plus 1000 us of
+    absolute slack), and ["hit_rate_pct"] (percentage points, gated at
+    [hit_rate_slack] points — default 10 — below baseline). *)
+val check_service :
+  ?hit_rate_slack:float ->
+  tolerance:float ->
+  baseline:service_baseline ->
+  service_baseline ->
+  issue list

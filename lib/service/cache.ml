@@ -1,0 +1,133 @@
+(** Bounded LRU artifact cache (see cache.mli). *)
+
+(* Doubly-linked recency list; [head] is most recent, [tail] least. *)
+type node = {
+  key : string;
+  mutable value : Minijson.t;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  cap : int;
+  table : (string, node) Hashtbl.t;
+  mutable head : node option;
+  mutable tail : node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  cap : int;
+}
+
+let create ?(capacity = 256) () =
+  if capacity < 1 then
+    invalid_arg (Printf.sprintf "Cache.create: capacity %d < 1" capacity);
+  {
+    cap = capacity;
+    table = Hashtbl.create 64;
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let capacity (t : t) = t.cap
+let length t = Hashtbl.length t.table
+let set_entries_gauge t =
+  Telemetry.set_gauge "service.cache.entries" (float_of_int (length t))
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let touch t n =
+  if t.head != Some n then begin
+    unlink t n;
+    push_front t n
+  end
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | Some n ->
+      t.hits <- t.hits + 1;
+      Telemetry.incr "service.cache.hits";
+      touch t n;
+      Some n.value
+  | None ->
+      t.misses <- t.misses + 1;
+      Telemetry.incr "service.cache.misses";
+      None
+
+let mem t k = Hashtbl.mem t.table k
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.table n.key;
+      t.evictions <- t.evictions + 1;
+      Telemetry.incr "service.cache.evictions"
+
+let add t k v =
+  (match Hashtbl.find_opt t.table k with
+  | Some n ->
+      n.value <- v;
+      touch t n
+  | None ->
+      if length t >= t.cap then evict_lru t;
+      let n = { key = k; value = v; prev = None; next = None } in
+      Hashtbl.replace t.table k n;
+      push_front t n);
+  set_entries_gauge t
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None;
+  set_entries_gauge t
+
+let stats (c : t) =
+  {
+    hits = c.hits;
+    misses = c.misses;
+    evictions = c.evictions;
+    entries = length c;
+    cap = c.cap;
+  }
+
+let stats_to_json s =
+  Minijson.obj
+    [
+      ("hits", Minijson.int s.hits);
+      ("misses", Minijson.int s.misses);
+      ("evictions", Minijson.int s.evictions);
+      ("entries", Minijson.int s.entries);
+      ("capacity", Minijson.int s.cap);
+    ]
+
+let digest_key ~parts =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun p ->
+      Buffer.add_string b (string_of_int (String.length p));
+      Buffer.add_char b ':';
+      Buffer.add_string b p)
+    parts;
+  Digest.to_hex (Digest.string (Buffer.contents b))

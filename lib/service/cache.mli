@@ -1,0 +1,59 @@
+(** Content-addressed artifact cache for the [gdpcd] daemon.
+
+    Maps a content key — a digest of everything that determines a
+    compile's outcome (source text, canonical settings JSON, machine
+    description) — to the finished result document.  Bounded LRU: when
+    an insertion would exceed the capacity, the least-recently-used
+    entry is evicted.  [find] refreshes recency; [add] of an existing
+    key replaces the value and refreshes recency.
+
+    The cache keeps its own hit/miss/eviction tallies (always on) and
+    mirrors them into {!Telemetry} counters [service.cache.hits],
+    [service.cache.misses], [service.cache.evictions] and the gauge
+    [service.cache.entries] when telemetry is enabled.
+
+    Single-threaded, like the rest of the repo.  The server registers
+    each cache it owns with
+    [Gdp_core.Pipeline.register_cache_clearer ~key:"service.artifact-cache"]
+    so fuzzing loops and memory-flatness checks can empty it. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity: 256 entries.  Raises [Invalid_argument] when
+    [capacity < 1]. *)
+
+val capacity : t -> int
+
+val length : t -> int
+(** Entries currently resident. *)
+
+val find : t -> string -> Minijson.t option
+(** Lookup; a hit moves the entry to most-recently-used. *)
+
+val mem : t -> string -> bool
+(** Lookup without touching recency or the hit/miss tallies — for
+    introspection (e.g. coalescing decisions). *)
+
+val add : t -> string -> Minijson.t -> unit
+(** Insert or replace; may evict the LRU entry. *)
+
+val clear : t -> unit
+(** Drop every entry (tallies survive — they are monotonic). *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  cap : int;
+}
+
+val stats : t -> stats
+
+val stats_to_json : stats -> Minijson.t
+
+val digest_key : parts:string list -> string
+(** The content key: a hex digest over the given parts, each prefixed
+    with its length so concatenation ambiguity cannot alias two
+    different part lists to one key. *)

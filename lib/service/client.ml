@@ -1,0 +1,72 @@
+(** Blocking gdpcd client (see client.mli). *)
+
+type t = { fd : Unix.file_descr; max_frame : int }
+
+(* "host:port" with a numeric suffix is TCP; anything else is a Unix
+   socket path. *)
+let addr_of_endpoint ep =
+  match String.rindex_opt ep ':' with
+  | Some i when i > 0 && i < String.length ep - 1 -> (
+      let host = String.sub ep 0 i in
+      let port = String.sub ep (i + 1) (String.length ep - i - 1) in
+      match int_of_string_opt port with
+      | Some p ->
+          let addr =
+            try Unix.inet_addr_of_string host
+            with Failure _ -> (
+              try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+              with Not_found | Invalid_argument _ ->
+                raise (Unix.Unix_error (Unix.EADDRNOTAVAIL, "connect", host)))
+          in
+          (Unix.PF_INET, Unix.ADDR_INET (addr, p))
+      | None -> (Unix.PF_UNIX, Unix.ADDR_UNIX ep))
+  | _ -> (Unix.PF_UNIX, Unix.ADDR_UNIX ep)
+
+let connect ?(max_frame = Frame.default_max_frame) ?(attempts = 1) ep =
+  let domain, addr = addr_of_endpoint ep in
+  let rec go n delay =
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () -> { fd; max_frame }
+    | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        if n >= attempts then raise e
+        else begin
+          (try ignore (Unix.select [] [] [] delay)
+           with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          go (n + 1) (Float.min 0.5 (delay *. 2.))
+        end
+  in
+  go 1 0.02
+
+let fd t = t.fd
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+let send t req = Frame.write ~max_frame:t.max_frame t.fd (Protocol.request_to_json req)
+
+let recv t =
+  match Frame.read ~max_frame:t.max_frame t.fd with
+  | Error e -> Error (Frame.error_to_string e)
+  | Ok doc -> Protocol.response_of_json doc
+
+let rpc t req =
+  send t req;
+  recv t
+
+let submit t (job : Protocol.job) =
+  match rpc t (Protocol.Submit job) with
+  | Error _ as e -> e
+  | Ok resp -> (
+      let id_of = function
+        | Protocol.Result { id; _ }
+        | Protocol.Failed { id; _ }
+        | Protocol.Cancelled { id } ->
+            Some id
+        | _ -> None
+      in
+      match id_of resp with
+      | Some id when id = job.Protocol.id -> Ok resp
+      | Some other ->
+          Error
+            (Printf.sprintf "response for job %S while waiting for %S" other
+               job.Protocol.id)
+      | None -> Ok resp)

@@ -1,0 +1,31 @@
+(** Blocking client for the [gdpcd] daemon — the [gdpc submit] backend
+    and the building block of {!Loadgen}.
+
+    Connections are synchronous: {!send} writes one framed request,
+    {!recv} blocks for the next framed response.  A lockstep caller
+    ({!rpc}, {!submit}) never has more than one request outstanding, so
+    responses cannot interleave. *)
+
+type t
+
+val connect : ?max_frame:int -> ?attempts:int -> string -> t
+(** Connect to an endpoint: [host:port] (TCP, when the suffix parses as
+    a port) or a Unix-domain socket path.  Retries [attempts] times
+    (default 1) with a short growing backoff — lets a test or loadgen
+    connect while the freshly forked daemon is still binding.  Raises
+    [Unix.Unix_error] when every attempt fails. *)
+
+val fd : t -> Unix.file_descr
+val close : t -> unit
+
+val send : t -> Protocol.request -> unit
+val recv : t -> (Protocol.response, string) result
+(** Next framed response; [Error] on close or a malformed frame. *)
+
+val rpc : t -> Protocol.request -> (Protocol.response, string) result
+(** [send] then [recv]. *)
+
+val submit : t -> Protocol.job -> (Protocol.response, string) result
+(** Submit one job and wait for {e its} response (matching job id —
+    unrelated interleaved responses are an [Error], since a lockstep
+    client should never see any). *)

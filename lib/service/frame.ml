@@ -1,0 +1,146 @@
+(** Length-prefixed JSON framing (see frame.mli). *)
+
+let default_max_frame = 16 * 1024 * 1024
+let header_len = 4
+
+type error =
+  | Eof
+  | Truncated
+  | Oversized of { size : int; limit : int }
+  | Malformed of string
+
+let error_to_string = function
+  | Eof -> "connection closed"
+  | Truncated -> "connection closed mid-frame"
+  | Oversized { size; limit } ->
+      Printf.sprintf "frame of %d bytes exceeds the %d-byte limit" size limit
+  | Malformed m -> "malformed frame payload: " ^ m
+
+(* ------------------------------------------------------------------ *)
+(* EINTR-hardened descriptor I/O (same discipline as lib/exec)         *)
+
+let rec write_all fd s off len =
+  if len > 0 then
+    match Unix.write_substring fd s off len with
+    | n -> write_all fd s (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s off len
+
+(* Read exactly [len] bytes into [buf]; [`Eof n] reports how many bytes
+   arrived before the connection closed. *)
+let read_exactly fd buf len =
+  let rec go off =
+    if off >= len then `Ok
+    else
+      match Unix.read fd buf off (len - off) with
+      | 0 -> `Eof off
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+
+let put_header b len =
+  Bytes.set b 0 (Char.chr ((len lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((len lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((len lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (len land 0xff))
+
+let get_header b off =
+  (Char.code (Bytes.get b off) lsl 24)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 8)
+  lor Char.code (Bytes.get b (off + 3))
+
+let write ?(max_frame = default_max_frame) fd doc =
+  let payload = Minijson.encode doc in
+  let len = String.length payload in
+  if len > max_frame then
+    invalid_arg
+      (Printf.sprintf "Frame.write: %d-byte frame exceeds the %d-byte limit"
+         len max_frame);
+  let header = Bytes.create header_len in
+  put_header header len;
+  write_all fd (Bytes.to_string header) 0 header_len;
+  write_all fd payload 0 len
+
+let read ?(max_frame = default_max_frame) fd =
+  let header = Bytes.create header_len in
+  match read_exactly fd header header_len with
+  | `Eof 0 -> Error Eof
+  | `Eof _ -> Error Truncated
+  | `Ok -> (
+      let len = get_header header 0 in
+      if len > max_frame then Error (Oversized { size = len; limit = max_frame })
+      else
+        let payload = Bytes.create len in
+        match read_exactly fd payload len with
+        | `Eof _ -> Error Truncated
+        | `Ok -> (
+            match Minijson.parse (Bytes.to_string payload) with
+            | Ok doc -> Ok doc
+            | Error m -> Error (Malformed m)))
+
+(* ------------------------------------------------------------------ *)
+
+module Decoder = struct
+  type t = {
+    max_frame : int;
+    mutable buf : Bytes.t;  (* accumulated unconsumed bytes *)
+    mutable start : int;  (* first live byte *)
+    mutable stop : int;  (* one past the last live byte *)
+    mutable failed : error option;
+  }
+
+  let create ?(max_frame = default_max_frame) () =
+    { max_frame; buf = Bytes.create 4096; start = 0; stop = 0; failed = None }
+
+  let buffered t = t.stop - t.start
+
+  let feed t src off len =
+    if t.failed = None && len > 0 then begin
+      (* compact, then grow if the tail still cannot take [len] bytes *)
+      if Bytes.length t.buf - t.stop < len then begin
+        let live = buffered t in
+        if live > 0 then Bytes.blit t.buf t.start t.buf 0 live;
+        t.start <- 0;
+        t.stop <- live;
+        if Bytes.length t.buf - t.stop < len then begin
+          let cap = max (2 * Bytes.length t.buf) (live + len) in
+          let bigger = Bytes.create cap in
+          Bytes.blit t.buf 0 bigger 0 live;
+          t.buf <- bigger
+        end
+      end;
+      Bytes.blit src off t.buf t.stop len;
+      t.stop <- t.stop + len
+    end
+
+  let fail t e =
+    t.failed <- Some e;
+    `Error e
+
+  let next t =
+    match t.failed with
+    | Some e -> `Error e
+    | None ->
+        if buffered t < header_len then `Awaiting
+        else
+          let len = get_header t.buf t.start in
+          if len > t.max_frame then
+            fail t (Oversized { size = len; limit = t.max_frame })
+          else if buffered t < header_len + len then `Awaiting
+          else begin
+            let payload =
+              Bytes.sub_string t.buf (t.start + header_len) len
+            in
+            t.start <- t.start + header_len + len;
+            if t.start = t.stop then begin
+              t.start <- 0;
+              t.stop <- 0
+            end;
+            match Minijson.parse payload with
+            | Ok doc -> `Frame doc
+            | Error m -> fail t (Malformed m)
+          end
+end

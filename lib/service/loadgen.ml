@@ -1,0 +1,274 @@
+(** gdpcd load generator (see loadgen.mli). *)
+
+module Settings = Gdp_core.Pipeline.Settings
+
+type mode = Closed | Open of float
+
+type config = {
+  endpoint : string;
+  connections : int;
+  requests : int;
+  duplicate_ratio : float;
+  mode : mode;
+  method_ : Partition.Methods.t;
+  deadline_ms : int option;
+  seed : int;
+}
+
+let default_config =
+  {
+    endpoint = "gdpcd.sock";
+    connections = 4;
+    requests = 40;
+    duplicate_ratio = 0.5;
+    mode = Closed;
+    method_ = Partition.Methods.Gdp;
+    deadline_ms = None;
+    seed = 42;
+  }
+
+type summary = {
+  requests : int;
+  succeeded : int;
+  failed : int;
+  cache_hits : int;
+  duplicates_sent : int;
+  elapsed_s : float;
+  throughput_cps : float;
+  p50_us : float;
+  p99_us : float;
+  mean_us : float;
+  concurrency : int;
+}
+
+(* A small two-phase kernel whose object homes actually matter, with
+   one constant varied to make each program's content unique. *)
+let program k =
+  Printf.sprintf
+    {|
+int scale = %d;
+
+void main() {
+  int n = 24;
+  int *a = malloc(24);
+  int *b = malloc(24);
+  for (int i = 0; i < n; i = i + 1) { a[i] = in(i) + scale; }
+  for (int i = 0; i < n; i = i + 1) { b[i] = a[i] * 3 - scale; }
+  int s = 0;
+  for (int i = 0; i < n; i = i + 1) { s = s + a[i] * b[i]; }
+  out(s);
+}
+|}
+    k
+
+let workload = List.init 24 (fun i -> ((i * 37) + 11) mod 256)
+
+type conn = { cl : Client.t; mutable busy : (int * float) option }
+
+let run (cfg : config) =
+  if cfg.requests <= 0 then
+    invalid_arg "Loadgen.run: requests must be positive";
+  if cfg.connections <= 0 then
+    invalid_arg "Loadgen.run: connections must be positive";
+  (* reproducible request plan: duplicate requests draw their program
+     from a 4-entry shared set, the rest are unique *)
+  let state = ref (cfg.seed land 0x3FFFFFFF) in
+  let next () =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state
+  in
+  let pool_ks = [| 101; 202; 303; 404 |] in
+  let dup_threshold = int_of_float (cfg.duplicate_ratio *. 1000.) in
+  let plan =
+    Array.init cfg.requests (fun i ->
+        if next () mod 1000 < dup_threshold then
+          (true, pool_ks.(next () mod Array.length pool_ks))
+        else (false, 1009 + i))
+  in
+  let duplicates_sent =
+    Array.fold_left (fun a (d, _) -> if d then a + 1 else a) 0 plan
+  in
+  let settings = Settings.default cfg.method_ in
+  let job_of i k =
+    {
+      Protocol.id = Printf.sprintf "lg-%d" i;
+      source = program k;
+      input = workload;
+      settings;
+      deadline_ms = cfg.deadline_ms;
+      verify = false;
+    }
+  in
+  let nconn = min cfg.connections cfg.requests in
+  let conns =
+    Array.init nconn (fun _ ->
+        { cl = Client.connect ~attempts:20 cfg.endpoint; busy = None })
+  in
+  let t0 = Unix.gettimeofday () in
+  let due =
+    match cfg.mode with
+    | Closed -> None
+    | Open rate ->
+        if rate <= 0. then
+          invalid_arg "Loadgen.run: open-loop rate must be positive";
+        Some (Array.init cfg.requests (fun i -> t0 +. (float_of_int i /. rate)))
+  in
+  let latencies = Array.make cfg.requests 0. in
+  let succeeded = ref 0 and failed = ref 0 and hits = ref 0 in
+  let sent = ref 0 and completed = ref 0 in
+  let try_fire now =
+    Array.iter
+      (fun c ->
+        if c.busy = None && !sent < cfg.requests then begin
+          let i = !sent in
+          let fire, start =
+            match due with
+            | None -> (true, now)
+            | Some d -> if now >= d.(i) then (true, d.(i)) else (false, 0.)
+          in
+          if fire then begin
+            sent := i + 1;
+            let _, k = plan.(i) in
+            Client.send c.cl (Protocol.Submit (job_of i k));
+            c.busy <- Some (i, start)
+          end
+        end)
+      conns
+  in
+  while !completed < cfg.requests do
+    let now = Unix.gettimeofday () in
+    try_fire now;
+    let busy_fds =
+      Array.fold_left
+        (fun acc c ->
+          match c.busy with Some _ -> Client.fd c.cl :: acc | None -> acc)
+        [] conns
+    in
+    let timeout =
+      match due with
+      | Some d when !sent < cfg.requests ->
+          Float.max 0. (Float.min 5.0 (d.(!sent) -. now))
+      | _ -> 5.0
+    in
+    match Unix.select busy_fds [] [] timeout with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, _, _ ->
+        Array.iter
+          (fun c ->
+            match c.busy with
+            | Some (i, start) when List.mem (Client.fd c.cl) readable ->
+                let resp = Client.recv c.cl in
+                let fin = Unix.gettimeofday () in
+                latencies.(i) <- fin -. start;
+                (match resp with
+                | Ok (Protocol.Result { cached; _ }) ->
+                    incr succeeded;
+                    if cached then incr hits
+                | Ok (Protocol.Failed { reason; _ }) ->
+                    ignore reason;
+                    incr failed
+                | Ok _ -> incr failed
+                | Error m -> failwith ("loadgen: connection error: " ^ m));
+                c.busy <- None;
+                incr completed
+            | _ -> ())
+          conns
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Array.iter (fun c -> Client.close c.cl) conns;
+  let lat_us = Array.map (fun s -> s *. 1e6) latencies in
+  Array.sort compare lat_us;
+  let pct q =
+    let rank = int_of_float (ceil (q *. float_of_int cfg.requests)) - 1 in
+    lat_us.(max 0 (min (cfg.requests - 1) rank))
+  in
+  let mean =
+    Array.fold_left ( +. ) 0. lat_us /. float_of_int (max 1 cfg.requests)
+  in
+  {
+    requests = cfg.requests;
+    succeeded = !succeeded;
+    failed = !failed;
+    cache_hits = !hits;
+    duplicates_sent;
+    elapsed_s = elapsed;
+    throughput_cps = float_of_int !succeeded /. Float.max 1e-9 elapsed;
+    p50_us = pct 0.5;
+    p99_us = pct 0.99;
+    mean_us = mean;
+    concurrency = nconn;
+  }
+
+let summary_to_json s =
+  Minijson.obj
+    [
+      ("schema", Minijson.str "gdp-service-bench/1");
+      ("requests", Minijson.int s.requests);
+      ("succeeded", Minijson.int s.succeeded);
+      ("failed", Minijson.int s.failed);
+      ("cache_hits", Minijson.int s.cache_hits);
+      ("duplicates_sent", Minijson.int s.duplicates_sent);
+      ("elapsed_s", Minijson.float s.elapsed_s);
+      ("throughput_cps", Minijson.float s.throughput_cps);
+      ("p50_us", Minijson.float s.p50_us);
+      ("p99_us", Minijson.float s.p99_us);
+      ("mean_us", Minijson.float s.mean_us);
+      ("concurrency", Minijson.int s.concurrency);
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+let socket_counter = ref 0
+
+let with_local_server ?(jobs = 2) ?(cache_capacity = 256) ?(max_queue = 64)
+    ?trace f =
+  incr socket_counter;
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gdpcd-%d-%d.sock" (Unix.getpid ()) !socket_counter)
+  in
+  match Unix.fork () with
+  | 0 ->
+      let code =
+        try
+          Server.run
+            {
+              Server.default_config with
+              socket_path = Some path;
+              jobs;
+              cache_capacity;
+              max_queue;
+              trace;
+            };
+          0
+        with _ -> 1
+      in
+      Unix._exit code
+  | pid ->
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+          let rec reap tries =
+            match Unix.waitpid [ Unix.WNOHANG ] pid with
+            | 0, _ ->
+                if tries >= 100 then begin
+                  (try Unix.kill pid Sys.sigkill
+                   with Unix.Unix_error _ -> ());
+                  let rec wait () =
+                    try ignore (Unix.waitpid [] pid)
+                    with Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+                  in
+                  wait ()
+                end
+                else begin
+                  (try ignore (Unix.select [] [] [] 0.05)
+                   with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+                  reap (tries + 1)
+                end
+            | _ -> ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> reap tries
+            | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+          in
+          reap 0;
+          try Unix.unlink path with Unix.Unix_error _ -> ())
+        (fun () -> f path)

@@ -1,0 +1,70 @@
+(** Load generator for the [gdpcd] daemon — the [gdpc loadgen] backend
+    and the producer of the committed [BENCH_service.json] baseline.
+
+    Drives [connections] concurrent lockstep clients from one process
+    (a [select] loop, no threads).  Each request is a small synthetic
+    MiniC program; a [duplicate_ratio] fraction of requests is drawn
+    from a small shared set of programs (so they hit the artifact
+    cache or coalesce), the rest are unique (every constant in the
+    template differs).  The request stream is reproducible from
+    [seed].
+
+    Two arrival models:
+    - {e closed loop}: each connection fires its next request the
+      moment the previous response lands — measures peak capacity.
+    - {e open loop} (with [rate] requests/second): requests are due on
+      a fixed global schedule and latency is measured from the {e due}
+      time, so server-side queueing shows up in the percentiles
+      instead of being hidden by client back-off. *)
+
+type mode = Closed | Open of float  (** requests per second *)
+
+type config = {
+  endpoint : string;  (** [host:port] or Unix socket path *)
+  connections : int;
+  requests : int;  (** total requests to issue *)
+  duplicate_ratio : float;  (** [0..1] *)
+  mode : mode;
+  method_ : Partition.Methods.t;
+  deadline_ms : int option;  (** attached to every job *)
+  seed : int;
+}
+
+val default_config : config
+(** 4 connections, 40 requests, 0.5 duplicate ratio, closed loop, GDP,
+    no deadline, endpoint [gdpcd.sock]. *)
+
+type summary = {
+  requests : int;
+  succeeded : int;
+  failed : int;
+  cache_hits : int;  (** responses answered [cached:true] *)
+  duplicates_sent : int;
+  elapsed_s : float;
+  throughput_cps : float;  (** succeeded compiles per second *)
+  p50_us : float;
+  p99_us : float;
+  mean_us : float;
+  concurrency : int;
+}
+
+val run : config -> summary
+(** Issue the whole request stream and aggregate.  Raises
+    [Invalid_argument] on a non-positive request/connection count and
+    [Unix.Unix_error] when the endpoint refuses connections. *)
+
+val summary_to_json : summary -> Minijson.t
+(** Schema [gdp-service-bench/1] — what [BENCH_service.json] holds and
+    the regression gate reads. *)
+
+val with_local_server :
+  ?jobs:int ->
+  ?cache_capacity:int ->
+  ?max_queue:int ->
+  ?trace:string ->
+  (string -> 'a) ->
+  'a
+(** Fork a private daemon on a fresh temp-dir Unix socket, run the
+    continuation with its endpoint, then [SIGTERM] the daemon and reap
+    it (escalating to [SIGKILL] if it ignores the signal).  Lets
+    [gdpc loadgen] and the tests run self-contained. *)

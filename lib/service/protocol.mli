@@ -1,0 +1,106 @@
+(** The [gdpcd] application protocol: typed requests and responses over
+    the {!Frame} wire, the content-addressed cache key, and the one
+    evaluation function both the daemon's workers and the inline
+    [gdpc partition]-style path share — so a served result is
+    byte-identical to a local run of the same job.
+
+    {2 Wire shape}
+
+    Requests carry [schema "gdp-service/1"] and an ["op"]:
+
+    {v
+    {"schema":"gdp-service/1","op":"submit","id":"j1","source":"...",
+     "input":[1,2],"settings":{...},"deadline_ms":5000,"verify":false}
+    {"schema":"gdp-service/1","op":"cancel","id":"j1"}
+    {"schema":"gdp-service/1","op":"ping"}
+    {"schema":"gdp-service/1","op":"stats"}
+    {"schema":"gdp-service/1","op":"shutdown"}
+    v}
+
+    Responses carry [schema "gdp-service-result/1"]:
+
+    {v
+    {"schema":"gdp-service-result/1","op":"result","id":"j1",
+     "cached":true,"result":{...}}
+    {"schema":"gdp-service-result/1","op":"failed","id":"j1","reason":"..."}
+    {"schema":"gdp-service-result/1","op":"cancelled","id":"j1"}
+    {"schema":"gdp-service-result/1","op":"pong"}
+    {"schema":"gdp-service-result/1","op":"stats","stats":{...}}
+    {"schema":"gdp-service-result/1","op":"shutting-down"}
+    {"schema":"gdp-service-result/1","op":"error","reason":"..."}
+    v}
+
+    Responses to [submit] arrive asynchronously, identified by the
+    client-chosen job [id]; [ping]/[stats]/[shutdown] replies are
+    immediate.  One connection can interleave many jobs. *)
+
+val schema : string
+(** ["gdp-service/1"] — request envelope. *)
+
+val result_schema : string
+(** ["gdp-service-result/1"] — response envelope. *)
+
+type job = {
+  id : string;  (** client-chosen; echoed in the response *)
+  source : string;  (** MiniC program text *)
+  input : int list;  (** workload vector, read by the program via [in(i)] *)
+  settings : Gdp_core.Pipeline.Settings.t;
+  deadline_ms : int option;
+      (** total time budget; [Some d] with [d <= 0] fails immediately *)
+  verify : bool;
+      (** run the full differential check before answering (slower) *)
+}
+
+type request =
+  | Submit of job
+  | Cancel of { id : string }
+  | Ping
+  | Stats
+  | Shutdown
+
+type response =
+  | Result of { id : string; cached : bool; result : Minijson.t }
+  | Failed of { id : string; reason : string }
+  | Cancelled of { id : string }
+  | Pong
+  | Stats_reply of Minijson.t
+  | Shutting_down
+  | Error_reply of string
+      (** protocol-level failure (bad schema, unknown op, ...) *)
+
+val request_to_json : request -> Minijson.t
+
+val request_of_json : Minijson.t -> (request, string) result
+(** Strict: wrong schema, unknown op, missing or ill-typed fields and
+    invalid embedded settings are all [Error] with the offender named. *)
+
+val response_to_json : response -> Minijson.t
+val response_of_json : Minijson.t -> (response, string) result
+
+val job_to_json : job -> Minijson.t
+(** The worker-side payload (no envelope): what the server ships to its
+    {!Exec.Pool} workers. *)
+
+val job_of_json : Minijson.t -> (job, string) result
+
+val cache_key : job -> string
+(** Content address of a job's artifact: a digest over the source text,
+    the workload, the canonical settings JSON and the machine
+    description the settings select.  The job [id] and [deadline_ms]
+    do not participate — two submissions of the same compile share one
+    artifact whatever they are called. *)
+
+val bench_name : job -> string
+(** Deterministic per-content benchmark name ([svc-<digest prefix>]) —
+    keys the front-end memo ({!Gdp_core.Pipeline.prepare_default}) so
+    distinct sources never collide and repeated sources reuse one
+    compile within a worker. *)
+
+val evaluate_job : job -> (Minijson.t, string) result
+(** Compile, partition and price the job under its settings
+    ([Gdp_core.Pipeline.run], [Checked] mode) and render the result
+    artifact: method, total cycles, dynamic/static moves, rhop runs and
+    the object homes in a canonical (sorted) order.  Pure given the
+    job's content, so the same job always yields the same bytes —
+    the property the artifact cache and the duplicate-submission tests
+    rely on.  [Error] carries the stage or verification failure. *)

@@ -1,0 +1,504 @@
+(** The gdpcd daemon event loop (see server.mli). *)
+
+module Pipeline = Gdp_core.Pipeline
+
+let src = Logs.Src.create "service" ~doc:"gdpcd daemon"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type config = {
+  socket_path : string option;
+  tcp : (string * int) option;
+  jobs : int;
+  cache_capacity : int;
+  max_queue : int;
+  max_frame : int;
+  trace : string option;
+}
+
+let default_config =
+  {
+    socket_path = Some "gdpcd.sock";
+    tcp = None;
+    jobs = 2;
+    cache_capacity = 256;
+    max_queue = 64;
+    max_frame = Frame.default_max_frame;
+    trace = None;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Worker function: runs in forked pool workers.  Every failure is
+   folded into the returned document so job errors stay deterministic
+   (a raise would look like a worker crash and trigger a retry). *)
+
+let worker_fn payload =
+  match Protocol.job_of_json payload with
+  | Error m ->
+      Minijson.obj [ ("failed", Minijson.str ("bad job payload: " ^ m)) ]
+  | Ok job -> (
+      match Protocol.evaluate_job job with
+      | Ok artifact -> Minijson.obj [ ("artifact", artifact) ]
+      | Error m -> Minijson.obj [ ("failed", Minijson.str m) ])
+
+(* ------------------------------------------------------------------ *)
+(* Listeners                                                           *)
+
+let bind_unix path =
+  (match Unix.stat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | _ ->
+      (* Replace the file only if nothing answers on it. *)
+      let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let live =
+        try
+          Unix.connect probe (Unix.ADDR_UNIX path);
+          true
+        with Unix.Unix_error _ -> false
+      in
+      (try Unix.close probe with Unix.Unix_error _ -> ());
+      if live then raise (Unix.Unix_error (Unix.EADDRINUSE, "bind", path))
+      else Unix.unlink path);
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 64;
+  fd
+
+let bind_tcp (host, port) =
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } ->
+          raise (Unix.Unix_error (Unix.EADDRNOTAVAIL, "bind", host))
+      | h -> h.Unix.h_addr_list.(0)
+      | exception Not_found ->
+          raise (Unix.Unix_error (Unix.EADDRNOTAVAIL, "bind", host)))
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (addr, port));
+  Unix.listen fd 64;
+  fd
+
+(* ------------------------------------------------------------------ *)
+(* Server state                                                        *)
+
+type client = { c_fd : Unix.file_descr; c_decoder : Frame.Decoder.t }
+
+type waiter = {
+  w_fd : Unix.file_descr;  (** the client owed a response *)
+  w_job : string;  (** the client's job id *)
+  w_hit : bool;  (** coalesced onto an in-flight compile *)
+  w_deadline : float option;  (** absolute wall-clock deadline *)
+}
+
+type state = {
+  cfg : config;
+  pool : Exec.Pool.t;
+  cache : Cache.t;
+  clients : (Unix.file_descr, client) Hashtbl.t;
+  waiters : (Exec.Pool.ticket, waiter list ref) Hashtbl.t;
+  key_of : (Exec.Pool.ticket, string) Hashtbl.t;
+  inflight : (string, Exec.Pool.ticket) Hashtbl.t;  (** cache key -> ticket *)
+  mutable served : int;
+  mutable coalesced : int;
+  mutable rejected : int;
+  mutable deadline_misses : int;
+  mutable stop : string option;  (** [Some reason] ends the loop *)
+  started : float;
+}
+
+let count st name =
+  ignore st;
+  Telemetry.incr name
+
+let connections_gauge st =
+  Telemetry.set_gauge "service.connections"
+    (float_of_int (Hashtbl.length st.clients))
+
+(* Cancel pool jobs whose last waiter is gone and drop their bookkeeping. *)
+let reap_orphans st =
+  let orphans =
+    Hashtbl.fold (fun t ws acc -> if !ws = [] then t :: acc else acc) st.waiters []
+  in
+  List.iter
+    (fun t ->
+      Hashtbl.remove st.waiters t;
+      (match Hashtbl.find_opt st.key_of t with
+      | Some k ->
+          Hashtbl.remove st.inflight k;
+          Hashtbl.remove st.key_of t
+      | None -> ());
+      ignore (Exec.Pool.cancel st.pool t))
+    orphans
+
+let close_client st fd =
+  match Hashtbl.find_opt st.clients fd with
+  | None -> ()
+  | Some _ ->
+      Hashtbl.remove st.clients fd;
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Hashtbl.iter
+        (fun _ ws -> ws := List.filter (fun w -> w.w_fd <> fd) !ws)
+        st.waiters;
+      reap_orphans st;
+      connections_gauge st
+
+let rec send st fd resp =
+  match
+    Frame.write ~max_frame:st.cfg.max_frame fd (Protocol.response_to_json resp)
+  with
+  | () -> ()
+  | exception Unix.Unix_error _ ->
+      Log.debug (fun m -> m "dropping unreachable client");
+      close_client st fd
+  | exception Invalid_argument msg ->
+      (* Response exceeds the frame bound; tell the client what happened
+         if a small frame still fits, then give up on the job. *)
+      Log.warn (fun m -> m "oversized response: %s" msg);
+      send_error st fd msg
+
+and send_error st fd msg =
+  match
+    Frame.write ~max_frame:st.cfg.max_frame fd
+      (Protocol.response_to_json (Protocol.Error_reply msg))
+  with
+  | () -> ()
+  | exception _ -> close_client st fd
+
+(* Answer everyone waiting on a completed pool job. *)
+let deliver st (c : Exec.Pool.completion) =
+  let t = c.Exec.Pool.c_ticket in
+  let ws =
+    match Hashtbl.find_opt st.waiters t with Some ws -> !ws | None -> []
+  in
+  Hashtbl.remove st.waiters t;
+  let key = Hashtbl.find_opt st.key_of t in
+  (match key with Some k -> Hashtbl.remove st.inflight k | None -> ());
+  Hashtbl.remove st.key_of t;
+  let outcome =
+    match c.Exec.Pool.c_result with
+    | Error m -> Error m
+    | Ok doc -> (
+        match Minijson.member "artifact" doc with
+        | Some art -> Ok art
+        | None -> (
+            match Minijson.member "failed" doc with
+            | Some (Minijson.Str m) -> Error m
+            | _ -> Error "worker returned an unrecognized document"))
+  in
+  (match (outcome, key) with
+  | Ok art, Some k -> Cache.add st.cache k art
+  | _ -> ());
+  List.iter
+    (fun w ->
+      match outcome with
+      | Ok art ->
+          st.served <- st.served + 1;
+          count st "service.served";
+          send st w.w_fd
+            (Protocol.Result { id = w.w_job; cached = w.w_hit; result = art })
+      | Error m ->
+          send st w.w_fd (Protocol.Failed { id = w.w_job; reason = m }))
+    ws
+
+let next_deadline st =
+  Hashtbl.fold
+    (fun _ ws acc ->
+      List.fold_left
+        (fun acc w ->
+          match (w.w_deadline, acc) with
+          | None, acc -> acc
+          | Some d, None -> Some d
+          | Some d, Some a -> Some (min d a))
+        acc !ws)
+    st.waiters None
+
+let expire_deadlines st now =
+  let expired = ref [] in
+  Hashtbl.iter
+    (fun _ ws ->
+      let gone, alive =
+        List.partition
+          (fun w ->
+            match w.w_deadline with Some d -> d <= now | None -> false)
+          !ws
+      in
+      ws := alive;
+      expired := gone @ !expired)
+    st.waiters;
+  List.iter
+    (fun w ->
+      st.deadline_misses <- st.deadline_misses + 1;
+      count st "service.deadline_misses";
+      send st w.w_fd
+        (Protocol.Failed { id = w.w_job; reason = "deadline exceeded" }))
+    !expired;
+  if !expired <> [] then reap_orphans st
+
+let fail_all st reason =
+  let all = Hashtbl.fold (fun _ ws acc -> !ws @ acc) st.waiters [] in
+  Hashtbl.reset st.waiters;
+  Hashtbl.reset st.inflight;
+  Hashtbl.reset st.key_of;
+  List.iter
+    (fun w -> send st w.w_fd (Protocol.Failed { id = w.w_job; reason }))
+    all
+
+let stats_json st =
+  Minijson.obj
+    [
+      ("schema", Minijson.str "gdp-service-stats/1");
+      ("uptime_s", Minijson.float (Unix.gettimeofday () -. st.started));
+      ("served", Minijson.int st.served);
+      ("coalesced", Minijson.int st.coalesced);
+      ("rejected", Minijson.int st.rejected);
+      ("deadline_misses", Minijson.int st.deadline_misses);
+      ( "pool",
+        Minijson.obj
+          [
+            ("workers", Minijson.int (Exec.clamp_jobs st.cfg.jobs));
+            ("queued", Minijson.int (Exec.Pool.queued st.pool));
+            ("in_flight", Minijson.int (Exec.Pool.in_flight st.pool));
+          ] );
+      ("cache", Cache.stats_to_json (Cache.stats st.cache));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                    *)
+
+let handle_submit st (cl : client) (job : Protocol.job) =
+  count st "service.jobs";
+  let id = job.Protocol.id in
+  match job.Protocol.deadline_ms with
+  | Some d when d <= 0 ->
+      st.deadline_misses <- st.deadline_misses + 1;
+      count st "service.deadline_misses";
+      send st cl.c_fd
+        (Protocol.Failed
+           {
+             id;
+             reason = Printf.sprintf "deadline exceeded (deadline_ms = %d)" d;
+           })
+  | deadline_ms -> (
+      let key = Protocol.cache_key job in
+      match Cache.find st.cache key with
+      | Some artifact ->
+          st.served <- st.served + 1;
+          count st "service.served";
+          send st cl.c_fd
+            (Protocol.Result { id; cached = true; result = artifact })
+      | None -> (
+          let deadline =
+            Option.map
+              (fun d -> Unix.gettimeofday () +. (float_of_int d /. 1000.))
+              deadline_ms
+          in
+          match Hashtbl.find_opt st.inflight key with
+          | Some t ->
+              (* identical job already compiling: coalesce onto it *)
+              st.coalesced <- st.coalesced + 1;
+              count st "service.coalesced";
+              let ws = Hashtbl.find st.waiters t in
+              ws :=
+                !ws
+                @ [
+                    {
+                      w_fd = cl.c_fd;
+                      w_job = id;
+                      w_hit = true;
+                      w_deadline = deadline;
+                    };
+                  ]
+          | None ->
+              if Exec.Pool.pending st.pool >= st.cfg.max_queue then begin
+                st.rejected <- st.rejected + 1;
+                count st "service.rejected";
+                send st cl.c_fd
+                  (Protocol.Failed
+                     {
+                       id;
+                       reason =
+                         Printf.sprintf "server overloaded (%d jobs pending)"
+                           (Exec.Pool.pending st.pool);
+                     })
+              end
+              else begin
+                let t =
+                  Exec.Pool.submit st.pool ~batch:key (Protocol.job_to_json job)
+                in
+                Hashtbl.replace st.inflight key t;
+                Hashtbl.replace st.key_of t key;
+                Hashtbl.replace st.waiters t
+                  (ref
+                     [
+                       {
+                         w_fd = cl.c_fd;
+                         w_job = id;
+                         w_hit = false;
+                         w_deadline = deadline;
+                       };
+                     ])
+              end))
+
+let handle_cancel st (cl : client) id =
+  let found = ref false in
+  Hashtbl.iter
+    (fun _ ws ->
+      let mine, rest =
+        List.partition (fun w -> w.w_fd = cl.c_fd && w.w_job = id) !ws
+      in
+      if mine <> [] then begin
+        found := true;
+        ws := rest
+      end)
+    st.waiters;
+  if !found then begin
+    reap_orphans st;
+    send st cl.c_fd (Protocol.Cancelled { id })
+  end
+  else send st cl.c_fd (Protocol.Failed { id; reason = "unknown job id" })
+
+let handle_request st (cl : client) req =
+  count st "service.requests";
+  match req with
+  | Protocol.Submit job -> handle_submit st cl job
+  | Protocol.Cancel { id } -> handle_cancel st cl id
+  | Protocol.Ping -> send st cl.c_fd Protocol.Pong
+  | Protocol.Stats -> send st cl.c_fd (Protocol.Stats_reply (stats_json st))
+  | Protocol.Shutdown ->
+      send st cl.c_fd Protocol.Shutting_down;
+      st.stop <- Some "shutdown request"
+
+let rec drain_frames st (cl : client) =
+  if Hashtbl.mem st.clients cl.c_fd then
+    match Frame.Decoder.next cl.c_decoder with
+    | `Awaiting -> ()
+    | `Error e ->
+        send_error st cl.c_fd (Frame.error_to_string e);
+        close_client st cl.c_fd
+    | `Frame doc ->
+        (match Protocol.request_of_json doc with
+        | Error m -> send_error st cl.c_fd m
+        | Ok req -> handle_request st cl req);
+        drain_frames st cl
+
+let read_buf = Bytes.create 65536
+
+let handle_readable st (cl : client) =
+  match Unix.read cl.c_fd read_buf 0 (Bytes.length read_buf) with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      close_client st cl.c_fd
+  | 0 -> close_client st cl.c_fd
+  | n ->
+      Frame.Decoder.feed cl.c_decoder read_buf 0 n;
+      drain_frames st cl
+
+let accept_client st lfd =
+  match Unix.accept lfd with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | fd, _addr ->
+      let cl = { c_fd = fd; c_decoder = Frame.Decoder.create ~max_frame:st.cfg.max_frame () } in
+      Hashtbl.replace st.clients fd cl;
+      count st "service.connections_total";
+      connections_gauge st
+
+(* ------------------------------------------------------------------ *)
+(* Event loop                                                          *)
+
+let stop_flag = ref false
+
+let loop st listeners =
+  while st.stop = None && not !stop_flag do
+    (* dispatch queued jobs / collect finished ones without blocking *)
+    List.iter (deliver st) (Exec.Pool.poll ~timeout:0. st.pool);
+    let now = Unix.gettimeofday () in
+    expire_deadlines st now;
+    let timeout =
+      match next_deadline st with
+      | Some d -> Float.max 0. (Float.min 0.5 (d -. now))
+      | None -> 0.5
+    in
+    let client_fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) st.clients [] in
+    let watch = listeners @ client_fds @ Exec.Pool.result_fds st.pool in
+    match Unix.select watch [] [] timeout with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, _, _ ->
+        List.iter
+          (fun fd ->
+            if List.mem fd listeners then accept_client st fd
+            else
+              match Hashtbl.find_opt st.clients fd with
+              | Some cl -> handle_readable st cl
+              | None -> () (* a pool fd: collected at the top of the loop *))
+          readable
+  done;
+  let reason =
+    match st.stop with Some r -> r | None -> "signal" in
+  Log.info (fun m -> m "shutting down (%s)" reason);
+  fail_all st "server shutting down"
+
+let run cfg =
+  if cfg.socket_path = None && cfg.tcp = None then
+    invalid_arg "Server.run: no listener configured (socket_path or tcp)";
+  if cfg.trace <> None then Telemetry.enable ();
+  stop_flag := false;
+  let listeners =
+    (match cfg.socket_path with Some p -> [ bind_unix p ] | None -> [])
+    @ match cfg.tcp with Some hp -> [ bind_tcp hp ] | None -> []
+  in
+  let pool = Exec.Pool.create ~jobs:cfg.jobs ~worker:worker_fn () in
+  let cache = Cache.create ~capacity:cfg.cache_capacity () in
+  Pipeline.register_cache_clearer ~key:"service.artifact-cache" (fun () ->
+      Cache.clear cache);
+  let st =
+    {
+      cfg;
+      pool;
+      cache;
+      clients = Hashtbl.create 16;
+      waiters = Hashtbl.create 16;
+      key_of = Hashtbl.create 16;
+      inflight = Hashtbl.create 16;
+      served = 0;
+      coalesced = 0;
+      rejected = 0;
+      deadline_misses = 0;
+      stop = None;
+      started = Unix.gettimeofday ();
+    }
+  in
+  let on_signal = Sys.Signal_handle (fun _ -> stop_flag := true) in
+  let old_term = Sys.signal Sys.sigterm on_signal in
+  let old_int = Sys.signal Sys.sigint on_signal in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.set_signal Sys.sigterm old_term;
+      Sys.set_signal Sys.sigint old_int;
+      Exec.Pool.shutdown pool;
+      Hashtbl.iter
+        (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ())
+        st.clients;
+      Hashtbl.reset st.clients;
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        listeners;
+      (match cfg.socket_path with
+      | Some p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+      | None -> ());
+      match cfg.trace with
+      | Some path ->
+          Telemetry.Sink.write_chrome_trace path (Telemetry.snapshot ())
+      | None -> ())
+    (fun () ->
+      Log.info (fun m ->
+          m "gdpcd listening%s%s"
+            (match cfg.socket_path with
+            | Some p -> " on " ^ p
+            | None -> "")
+            (match cfg.tcp with
+            | Some (h, p) -> Printf.sprintf " and %s:%d" h p
+            | None -> ""));
+      loop st listeners)

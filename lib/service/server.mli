@@ -1,0 +1,60 @@
+(** The [gdpcd] daemon: a single-threaded [select] event loop serving
+    {!Protocol} requests over {!Frame}-framed Unix-domain (and
+    optionally TCP) connections, dispatching compiles onto an
+    {!Exec.Pool} and answering repeats from the content-addressed
+    {!Cache}.
+
+    {2 Job lifecycle}
+
+    A [submit] is answered from the artifact cache when its
+    {!Protocol.cache_key} is resident ([cached:true], no compile).
+    Otherwise the job goes to the pool — unless an identical job is
+    already in flight, in which case the new request {e coalesces} onto
+    it: one compile runs, every waiter gets the artifact (the extra
+    waiters as cache hits).  Jobs carry deadlines ([deadline_ms]); a
+    job whose deadline passes before its result is ready is answered
+    [failed "deadline exceeded"] and, when it was the last waiter, the
+    underlying pool job is cancelled.  When [pending] jobs reach
+    [max_queue] new submissions are rejected ([failed "overloaded"])
+    instead of queued — backpressure, not collapse.
+
+    A client that disconnects mid-job drops its waiters the same way a
+    cancel does; orphaned pool jobs are cancelled.
+
+    {2 Shutdown}
+
+    [SIGTERM], [SIGINT] and the [shutdown] op all stop the loop
+    gracefully: every outstanding waiter is answered
+    [failed "server shutting down"], the pool is shut down (workers
+    reaped), sockets are closed, the Unix socket path is unlinked, and
+    — when [trace] is set — the telemetry snapshot is written as a
+    Chrome trace.
+
+    {2 Telemetry}
+
+    Counters [service.requests], [service.jobs], [service.served],
+    [service.coalesced], [service.rejected], [service.deadline_misses],
+    [service.connections] and the cache's [service.cache.*] family,
+    plus the pool's own [exec.*] metrics. *)
+
+type config = {
+  socket_path : string option;  (** Unix-domain listening socket *)
+  tcp : (string * int) option;  (** optional TCP (host, port) listener *)
+  jobs : int;  (** pool worker processes, clamped like [-j] *)
+  cache_capacity : int;  (** artifact cache bound (entries) *)
+  max_queue : int;  (** reject submissions beyond this many pending *)
+  max_frame : int;  (** per-connection frame size limit *)
+  trace : string option;  (** write a Chrome trace here on shutdown *)
+}
+
+val default_config : config
+(** Socket [gdpcd.sock] in the working directory, no TCP, 2 workers,
+    256-entry cache, 64-job queue bound, {!Frame.default_max_frame},
+    no trace. *)
+
+val run : config -> unit
+(** Bind, serve until a shutdown trigger, clean up.  Raises
+    [Invalid_argument] when the config names no listener at all, and
+    [Unix.Unix_error] when binding fails (stale live socket, privileged
+    port, ...).  A leftover socket {e file} that nothing is listening
+    on is replaced silently. *)

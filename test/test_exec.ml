@@ -187,6 +187,153 @@ let test_settings_rejections () =
     "default front end detected" true
     (Settings.default_front_end (Settings.default Methods.Gdp))
 
+let test_settings_unknown_fields () =
+  let expect_error ~substr doc =
+    match Settings.of_json doc with
+    | Ok _ -> Alcotest.failf "accepted a document with %S" substr
+    | Error m ->
+        if not (contains m substr) then
+          Alcotest.failf "expected %S in error %S" substr m
+  in
+  (* a typo'd top-level option must fail loudly, naming the field *)
+  (match Settings.to_json (Settings.default Methods.Gdp) with
+  | Minijson.Obj fields ->
+      expect_error ~substr:"colour"
+        (Minijson.Obj (fields @ [ ("colour", Minijson.int 3) ]))
+  | _ -> Alcotest.fail "to_json did not produce an object");
+  (* ... and so must one buried in the rhop/gdp sub-objects *)
+  let with_rhop =
+    {
+      (Settings.default Methods.Gdp) with
+      rhop = Some Partition.Rhop.default_config;
+    }
+  in
+  (match Settings.to_json with_rhop with
+  | Minijson.Obj fields ->
+      expect_error ~substr:"wiggle"
+        (Minijson.Obj
+           (List.map
+              (fun (k, v) ->
+                match (k, v) with
+                | "rhop", Minijson.Obj fs ->
+                    (k, Minijson.Obj (fs @ [ ("wiggle", Minijson.int 1) ]))
+                | _ -> (k, v))
+              fields))
+  | _ -> Alcotest.fail "to_json did not produce an object")
+
+let test_settings_version () =
+  let doc_with_version v =
+    match Settings.to_json (Settings.default Methods.Gdp) with
+    | Minijson.Obj fields ->
+        Minijson.Obj
+          (List.map
+             (fun (k, x) -> if k = "version" then (k, v) else (k, x))
+             fields)
+    | _ -> Alcotest.fail "to_json did not produce an object"
+  in
+  (* the emitted document carries the current version and round-trips *)
+  (match
+     Minijson.member "version" (Settings.to_json (Settings.default Methods.Gdp))
+   with
+  | Some v ->
+      Alcotest.(check (option int))
+        "version emitted" (Some Settings.version) (Minijson.to_int v)
+  | None -> Alcotest.fail "no version field emitted");
+  (* a document from before the field existed still parses (= v1) *)
+  (match
+     Settings.of_json
+       (match Settings.to_json (Settings.default Methods.Gdp) with
+       | Minijson.Obj fields ->
+           Minijson.Obj (List.filter (fun (k, _) -> k <> "version") fields)
+       | d -> d)
+   with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "rejected a version-less document: %s" m);
+  (* a newer document is rejected with an upgrade hint *)
+  (match Settings.of_json (doc_with_version (Minijson.int (Settings.version + 1))) with
+  | Ok _ -> Alcotest.fail "accepted a too-new version"
+  | Error m ->
+      if not (contains m "newer") then
+        Alcotest.failf "expected an upgrade hint in %S" m);
+  match Settings.of_json (doc_with_version (Minijson.int 0)) with
+  | Ok _ -> Alcotest.fail "accepted version 0"
+  | Error m ->
+      if not (contains m "invalid version") then
+        Alcotest.failf "expected an invalid-version error in %S" m
+
+(* ------------------------------------------------------------------ *)
+(* The persistent pool                                                 *)
+
+let drain_pool pool n =
+  let rec go acc =
+    if List.length acc >= n then acc
+    else go (acc @ Exec.Pool.poll pool)
+  in
+  go []
+
+let test_pool_submit_poll () =
+  let pool =
+    Exec.Pool.create ~jobs:2
+      ~worker:(fun p ->
+        match Minijson.to_int p with
+        | Some n -> Minijson.int (n * n)
+        | None -> failwith "bad payload")
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Exec.Pool.shutdown pool)
+    (fun () ->
+      let tickets =
+        List.init 5 (fun i -> (Exec.Pool.submit pool (Minijson.int i), i))
+      in
+      let completions = drain_pool pool 5 in
+      Alcotest.(check int) "all jobs complete" 5 (List.length completions);
+      Alcotest.(check int) "nothing pending" 0 (Exec.Pool.pending pool);
+      List.iter
+        (fun (c : Exec.Pool.completion) ->
+          let i = List.assoc c.Exec.Pool.c_ticket tickets in
+          match c.Exec.Pool.c_result with
+          | Ok v ->
+              Alcotest.(check (option int))
+                "squared" (Some (i * i)) (Minijson.to_int v)
+          | Error m -> Alcotest.failf "job %d failed: %s" i m)
+        completions)
+
+let test_pool_cancel () =
+  (* one worker, slow jobs: the second stays queued long enough to cancel *)
+  let pool =
+    Exec.Pool.create ~jobs:1
+      ~worker:(fun p ->
+        ignore (Unix.select [] [] [] 0.2);
+        p)
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Exec.Pool.shutdown pool)
+    (fun () ->
+      let t1 = Exec.Pool.submit pool (Minijson.int 1) in
+      let t2 = Exec.Pool.submit pool (Minijson.int 2) in
+      (* t1 was dispatched immediately; t2 is waiting for the worker *)
+      Alcotest.(check int) "one queued" 1 (Exec.Pool.queued pool);
+      (match Exec.Pool.cancel pool t2 with
+      | `Cancelled_queued -> ()
+      | `Cancelled_running -> Alcotest.fail "t2 should still be queued"
+      | `Not_found -> Alcotest.fail "t2 unknown");
+      (match Exec.Pool.cancel pool t1 with
+      | `Cancelled_running -> ()
+      | `Cancelled_queued -> Alcotest.fail "t1 should be running"
+      | `Not_found -> Alcotest.fail "t1 unknown");
+      Alcotest.(check int) "nothing pending after cancels" 0
+        (Exec.Pool.pending pool);
+      (* a cancelled pool still runs new jobs (worker was respawned) *)
+      let t3 = Exec.Pool.submit pool (Minijson.int 3) in
+      let cs = drain_pool pool 1 in
+      match cs with
+      | [ { Exec.Pool.c_ticket; c_result = Ok v } ] ->
+          Alcotest.(check int) "ticket" t3 c_ticket;
+          Alcotest.(check (option int)) "value" (Some 3) (Minijson.to_int v)
+      | _ -> Alcotest.fail "expected exactly the third job's completion")
+
 (* ------------------------------------------------------------------ *)
 (* Parallel experiment rows / bench JSON                               *)
 
@@ -296,6 +443,13 @@ let suite =
     Alcotest.test_case "clamp_jobs" `Quick test_clamp_jobs;
     test_settings_roundtrip;
     Alcotest.test_case "settings: rejections" `Quick test_settings_rejections;
+    Alcotest.test_case "settings: unknown fields rejected" `Quick
+      test_settings_unknown_fields;
+    Alcotest.test_case "settings: version handling" `Quick
+      test_settings_version;
+    Alcotest.test_case "pool: submit/poll" `Quick test_pool_submit_poll;
+    Alcotest.test_case "pool: cancel queued and running" `Quick
+      test_pool_cancel;
     Alcotest.test_case "experiments: -j 4 rows identical" `Slow
       test_run_all_parallel_identity;
     Alcotest.test_case "experiments: row JSON round-trip" `Quick

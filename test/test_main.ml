@@ -17,4 +17,5 @@ let () =
       ("attrib", Test_attrib.suite);
       ("robust", Test_robust.suite);
       ("exec", Test_exec.suite);
+      ("service", Test_service.suite);
     ]

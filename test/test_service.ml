@@ -1,0 +1,563 @@
+(** The gdpcd service stack: adversarial Minijson round-trips, the
+    length-prefixed frame codec, the LRU artifact cache, the wire
+    protocol, and a forked end-to-end daemon (duplicate submissions hit
+    the cache, served results are byte-identical to inline runs,
+    deadlines and shutdown behave). *)
+
+module Frame = Service.Frame
+module Cache = Service.Cache
+module Protocol = Service.Protocol
+module Client = Service.Client
+module Loadgen = Service.Loadgen
+module Settings = Gdp_core.Pipeline.Settings
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Minijson: adversarial round-trips                                   *)
+
+let roundtrip doc =
+  match Minijson.parse (Minijson.encode doc) with
+  | Ok doc' -> doc'
+  | Error m -> Alcotest.failf "reparse failed: %s" m
+
+let test_minijson_control_chars () =
+  let nasty =
+    [
+      "\x00\x01\x02\x1f";
+      "line\nbreak\ttab\rcr";
+      "quote\"backslash\\slash/";
+      "\x7f high bit stays out of escapes";
+      String.init 32 Char.chr;
+    ]
+  in
+  List.iter
+    (fun s ->
+      let doc = Minijson.Str s in
+      Alcotest.(check bool)
+        (Printf.sprintf "round-trip %S" s)
+        true
+        (roundtrip doc = doc))
+    nasty
+
+let test_minijson_unicode_escapes () =
+  (* \\u below 0x80 decodes to the character itself *)
+  (match Minijson.parse "\"\\u0041\\u000a\\u0009\"" with
+  | Ok (Minijson.Str str) -> Alcotest.(check string) "decoded" "A\n\t" str
+  | Ok _ -> Alcotest.fail "not a string"
+  | Error m -> Alcotest.failf "parse failed: %s" m);
+  (* non-ASCII escapes degrade to '?' rather than corrupting the buffer *)
+  (match Minijson.parse "\"\\u00e9\\uffff\"" with
+  | Ok (Minijson.Str str) -> Alcotest.(check string) "degraded" "??" str
+  | Ok _ -> Alcotest.fail "not a string"
+  | Error m -> Alcotest.failf "parse failed: %s" m);
+  (* malformed escapes are errors, not silent junk *)
+  List.iter
+    (fun bad ->
+      match Minijson.parse bad with
+      | Ok _ -> Alcotest.failf "accepted %S" bad
+      | Error _ -> ())
+    [ "\"\\u00\""; "\"\\uzzzz\""; "\"\\q\""; "\"unterminated" ]
+
+let test_minijson_deep_nesting () =
+  let depth = 200 in
+  let rec build n = if n = 0 then Minijson.int 7 else Minijson.list [ build (n - 1) ] in
+  let doc = build depth in
+  Alcotest.(check bool) "deep list round-trips" true (roundtrip doc = doc);
+  let rec build_obj n =
+    if n = 0 then Minijson.bool true else Minijson.obj [ ("k", build_obj (n - 1)) ]
+  in
+  let doc = build_obj depth in
+  Alcotest.(check bool) "deep object round-trips" true (roundtrip doc = doc)
+
+(* ------------------------------------------------------------------ *)
+(* Frame codec                                                         *)
+
+let with_pipe f =
+  let r, w = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      try Unix.close w with Unix.Unix_error _ -> ())
+    (fun () -> f r w)
+
+let test_frame_roundtrip () =
+  with_pipe (fun r w ->
+      let docs =
+        [
+          Minijson.obj [ ("op", Minijson.str "ping") ];
+          Minijson.Str (String.init 32 Char.chr);
+          Minijson.list (List.init 100 Minijson.int);
+        ]
+      in
+      List.iter (Frame.write w) docs;
+      List.iter
+        (fun doc ->
+          match Frame.read r with
+          | Ok got -> Alcotest.(check bool) "frame equal" true (got = doc)
+          | Error e -> Alcotest.failf "read failed: %s" (Frame.error_to_string e))
+        docs)
+
+let test_frame_truncation () =
+  (* close mid-header *)
+  with_pipe (fun r w ->
+      ignore (Unix.write_substring w "\x00\x00" 0 2);
+      Unix.close w;
+      match Frame.read r with
+      | Error Frame.Truncated -> ()
+      | Error e -> Alcotest.failf "wanted Truncated, got %s" (Frame.error_to_string e)
+      | Ok _ -> Alcotest.fail "read a frame from a truncated header");
+  (* close mid-payload *)
+  with_pipe (fun r w ->
+      let partial = "\x00\x00\x00\x0a{\"x\"" in
+      ignore (Unix.write_substring w partial 0 (String.length partial));
+      Unix.close w;
+      match Frame.read r with
+      | Error Frame.Truncated -> ()
+      | Error e -> Alcotest.failf "wanted Truncated, got %s" (Frame.error_to_string e)
+      | Ok _ -> Alcotest.fail "read a frame from a truncated payload");
+  (* clean close between frames is Eof, not an error *)
+  with_pipe (fun r w ->
+      Frame.write w (Minijson.int 1);
+      Unix.close w;
+      (match Frame.read r with
+      | Ok v -> Alcotest.(check (option int)) "first" (Some 1) (Minijson.to_int v)
+      | Error e -> Alcotest.failf "read failed: %s" (Frame.error_to_string e));
+      match Frame.read r with
+      | Error Frame.Eof -> ()
+      | Error e -> Alcotest.failf "wanted Eof, got %s" (Frame.error_to_string e)
+      | Ok _ -> Alcotest.fail "read a frame after close")
+
+let test_frame_oversize () =
+  (* the reader rejects from the header, before buffering a payload *)
+  with_pipe (fun r w ->
+      ignore (Unix.write_substring w "\x7f\xff\xff\xff" 0 4);
+      match Frame.read ~max_frame:1024 r with
+      | Error (Frame.Oversized { size; limit }) ->
+          Alcotest.(check int) "declared size" 0x7fffffff size;
+          Alcotest.(check int) "limit" 1024 limit
+      | Error e -> Alcotest.failf "wanted Oversized, got %s" (Frame.error_to_string e)
+      | Ok _ -> Alcotest.fail "accepted an oversized frame");
+  (* the writer refuses to emit a frame the peer would reject *)
+  with_pipe (fun _r w ->
+      match Frame.write ~max_frame:8 w (Minijson.str (String.make 64 'x')) with
+      | () -> Alcotest.fail "wrote an oversized frame"
+      | exception Invalid_argument _ -> ())
+
+let test_frame_decoder_incremental () =
+  let doc1 = Minijson.obj [ ("a", Minijson.int 1) ] in
+  let doc2 = Minijson.list [ Minijson.str "two" ] in
+  let bytes = Buffer.create 64 in
+  with_pipe (fun r w ->
+      Frame.write w doc1;
+      Frame.write w doc2;
+      Unix.close w;
+      let chunk = Bytes.create 256 in
+      let rec slurp () =
+        match Unix.read r chunk 0 256 with
+        | 0 -> ()
+        | n ->
+            Buffer.add_subbytes bytes chunk 0 n;
+            slurp ()
+      in
+      slurp ());
+  let all = Buffer.to_bytes bytes in
+  (* feed byte by byte: frames must pop exactly when complete *)
+  let d = Frame.Decoder.create () in
+  let got = ref [] in
+  Bytes.iteri
+    (fun i _ ->
+      Frame.Decoder.feed d all i 1;
+      match Frame.Decoder.next d with
+      | `Frame f -> got := f :: !got
+      | `Awaiting -> ()
+      | `Error e -> Alcotest.failf "decoder error: %s" (Frame.error_to_string e))
+    all;
+  Alcotest.(check bool) "both frames" true (List.rev !got = [ doc1; doc2 ]);
+  Alcotest.(check int) "nothing buffered" 0 (Frame.Decoder.buffered d);
+  (* one big feed: next pops them one at a time *)
+  let d = Frame.Decoder.create () in
+  Frame.Decoder.feed d all 0 (Bytes.length all);
+  (match Frame.Decoder.next d with
+  | `Frame f -> Alcotest.(check bool) "first" true (f = doc1)
+  | _ -> Alcotest.fail "expected first frame");
+  (match Frame.Decoder.next d with
+  | `Frame f -> Alcotest.(check bool) "second" true (f = doc2)
+  | _ -> Alcotest.fail "expected second frame");
+  match Frame.Decoder.next d with
+  | `Awaiting -> ()
+  | _ -> Alcotest.fail "expected Awaiting after draining"
+
+let test_frame_decoder_oversize_sticky () =
+  let d = Frame.Decoder.create ~max_frame:16 () in
+  let header = Bytes.of_string "\x00\x00\x10\x00" in
+  Frame.Decoder.feed d header 0 4;
+  (match Frame.Decoder.next d with
+  | `Error (Frame.Oversized _) -> ()
+  | _ -> Alcotest.fail "expected Oversized from the header alone");
+  (* the error is sticky: more bytes don't resurrect the stream *)
+  Frame.Decoder.feed d (Bytes.make 8 'j') 0 8;
+  match Frame.Decoder.next d with
+  | `Error (Frame.Oversized _) -> ()
+  | _ -> Alcotest.fail "expected the decoder to stay failed"
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+
+let test_cache_lru () =
+  let c = Cache.create ~capacity:3 () in
+  Cache.add c "a" (Minijson.int 1);
+  Cache.add c "b" (Minijson.int 2);
+  Cache.add c "c" (Minijson.int 3);
+  (* touch "a" so "b" is now least recently used *)
+  Alcotest.(check bool) "a hit" true (Cache.find c "a" <> None);
+  Cache.add c "d" (Minijson.int 4);
+  Alcotest.(check int) "bounded" 3 (Cache.length c);
+  Alcotest.(check bool) "b evicted" false (Cache.mem c "b");
+  Alcotest.(check bool) "a survived" true (Cache.mem c "a");
+  Alcotest.(check bool) "c survived" true (Cache.mem c "c");
+  Alcotest.(check bool) "d resident" true (Cache.mem c "d");
+  (* replacing refreshes, never grows *)
+  Cache.add c "c" (Minijson.int 33);
+  Alcotest.(check int) "still bounded" 3 (Cache.length c);
+  (match Cache.find c "c" with
+  | Some v -> Alcotest.(check (option int)) "replaced" (Some 33) (Minijson.to_int v)
+  | None -> Alcotest.fail "c vanished");
+  let s = Cache.stats c in
+  Alcotest.(check int) "hits" 2 s.Cache.hits;
+  Alcotest.(check int) "evictions" 1 s.Cache.evictions;
+  Cache.clear c;
+  Alcotest.(check int) "cleared" 0 (Cache.length c);
+  Alcotest.(check int) "tallies survive clear" 2 (Cache.stats c).Cache.hits
+
+let test_cache_misses_counted () =
+  let c = Cache.create ~capacity:2 () in
+  Alcotest.(check bool) "miss" true (Cache.find c "nope" = None);
+  let s = Cache.stats c in
+  Alcotest.(check int) "one miss" 1 s.Cache.misses;
+  Alcotest.(check int) "no hits" 0 s.Cache.hits
+
+let test_cache_digest_no_aliasing () =
+  (* length-prefixed parts: ["ab";"c"] and ["a";"bc"] must differ *)
+  let k1 = Cache.digest_key ~parts:[ "ab"; "c" ] in
+  let k2 = Cache.digest_key ~parts:[ "a"; "bc" ] in
+  Alcotest.(check bool) "no concatenation aliasing" false (k1 = k2);
+  Alcotest.(check string)
+    "deterministic" k1
+    (Cache.digest_key ~parts:[ "ab"; "c" ])
+
+(* ------------------------------------------------------------------ *)
+(* Protocol                                                            *)
+
+let sample_source =
+  {|
+void main() {
+  int n = 8;
+  int *a = malloc(8);
+  for (int i = 0; i < n; i = i + 1) { a[i] = in(i) * 2; }
+  int s = 0;
+  for (int i = 0; i < n; i = i + 1) { s = s + a[i]; }
+  out(s);
+}
+|}
+
+let sample_job ?(id = "t1") ?(deadline_ms = None) ?(verify = false) () =
+  {
+    Protocol.id;
+    source = sample_source;
+    input = [ 1; 2; 3; 4; 5; 6; 7; 8 ];
+    settings = Settings.default Partition.Methods.Gdp;
+    deadline_ms;
+    verify;
+  }
+
+let test_protocol_roundtrip () =
+  let reqs =
+    [
+      Protocol.Submit (sample_job ~deadline_ms:(Some 5000) ~verify:true ());
+      Protocol.Cancel { id = "t1" };
+      Protocol.Ping;
+      Protocol.Stats;
+      Protocol.Shutdown;
+    ]
+  in
+  List.iter
+    (fun req ->
+      match Protocol.request_of_json (Protocol.request_to_json req) with
+      | Ok req' -> Alcotest.(check bool) "request round-trip" true (req = req')
+      | Error m -> Alcotest.failf "rejected own encoding: %s" m)
+    reqs;
+  let resps =
+    [
+      Protocol.Result { id = "t1"; cached = true; result = Minijson.int 5 };
+      Protocol.Failed { id = "t1"; reason = "nope" };
+      Protocol.Cancelled { id = "t1" };
+      Protocol.Pong;
+      Protocol.Stats_reply (Minijson.obj [ ("served", Minijson.int 3) ]);
+      Protocol.Shutting_down;
+      Protocol.Error_reply "bad frame";
+    ]
+  in
+  List.iter
+    (fun resp ->
+      match Protocol.response_of_json (Protocol.response_to_json resp) with
+      | Ok resp' -> Alcotest.(check bool) "response round-trip" true (resp = resp')
+      | Error m -> Alcotest.failf "rejected own encoding: %s" m)
+    resps
+
+let test_protocol_rejections () =
+  (match Protocol.request_of_json (Minijson.obj [ ("op", Minijson.str "ping") ]) with
+  | Ok _ -> Alcotest.fail "accepted a schema-less request"
+  | Error m ->
+      Alcotest.(check bool) "names schema" true (contains m "schema"));
+  (match
+     Protocol.request_of_json
+       (Minijson.obj
+          [
+            ("schema", Minijson.str Protocol.schema);
+            ("op", Minijson.str "frobnicate");
+          ])
+   with
+  | Ok _ -> Alcotest.fail "accepted an unknown op"
+  | Error m -> Alcotest.(check bool) "names op" true (contains m "frobnicate"));
+  (* an unknown settings field inside a submit is rejected by name *)
+  let doc = Protocol.request_to_json (Protocol.Submit (sample_job ())) in
+  let doc =
+    match doc with
+    | Minijson.Obj fields ->
+        Minijson.Obj
+          (List.map
+             (fun (k, v) ->
+               match (k, v) with
+               | "settings", Minijson.Obj fs ->
+                   (k, Minijson.Obj (fs @ [ ("colour", Minijson.int 1) ]))
+               | _ -> (k, v))
+             fields)
+    | d -> d
+  in
+  match Protocol.request_of_json doc with
+  | Ok _ -> Alcotest.fail "accepted a typo'd settings field"
+  | Error m -> Alcotest.(check bool) "names the field" true (contains m "colour")
+
+let test_protocol_cache_key () =
+  let j = sample_job () in
+  (* id and deadline do not participate in the content address *)
+  Alcotest.(check string)
+    "id irrelevant" (Protocol.cache_key j)
+    (Protocol.cache_key { j with Protocol.id = "other" });
+  Alcotest.(check string)
+    "deadline irrelevant" (Protocol.cache_key j)
+    (Protocol.cache_key { j with Protocol.deadline_ms = Some 9 });
+  (* source, input and settings all do *)
+  Alcotest.(check bool)
+    "source matters" false
+    (Protocol.cache_key j
+    = Protocol.cache_key { j with Protocol.source = j.Protocol.source ^ " " });
+  Alcotest.(check bool)
+    "input matters" false
+    (Protocol.cache_key j
+    = Protocol.cache_key { j with Protocol.input = [ 9 ] });
+  Alcotest.(check bool)
+    "settings matter" false
+    (Protocol.cache_key j
+    = Protocol.cache_key
+        {
+          j with
+          Protocol.settings =
+            { j.Protocol.settings with Settings.move_latency = 10 };
+        })
+
+let test_protocol_evaluate_deterministic () =
+  match (Protocol.evaluate_job (sample_job ()), Protocol.evaluate_job (sample_job ())) with
+  | Ok a, Ok b ->
+      Alcotest.(check string)
+        "same bytes" (Minijson.encode a) (Minijson.encode b);
+      Alcotest.(check (option string))
+        "gdp artifact" (Some "gdp-artifact/1")
+        (Option.bind (Minijson.member "schema" a) Minijson.to_string)
+  | Error m, _ | _, Error m -> Alcotest.failf "evaluate_job failed: %s" m
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end daemon                                                   *)
+
+let test_server_end_to_end () =
+  Loadgen.with_local_server ~jobs:2 (fun endpoint ->
+      let cl = Client.connect ~attempts:20 endpoint in
+      Fun.protect
+        ~finally:(fun () -> Client.close cl)
+        (fun () ->
+          (* ping *)
+          (match Client.rpc cl Protocol.Ping with
+          | Ok Protocol.Pong -> ()
+          | Ok _ -> Alcotest.fail "expected Pong"
+          | Error m -> Alcotest.failf "ping failed: %s" m);
+          (* first submission computes, the identical resubmit hits *)
+          let first =
+            match Client.submit cl (sample_job ~id:"e2e-1" ()) with
+            | Ok (Protocol.Result { cached; result; _ }) ->
+                Alcotest.(check bool) "first is a miss" false cached;
+                result
+            | Ok (Protocol.Failed { reason; _ }) ->
+                Alcotest.failf "job failed: %s" reason
+            | Ok _ -> Alcotest.fail "unexpected response"
+            | Error m -> Alcotest.failf "submit failed: %s" m
+          in
+          let second =
+            match Client.submit cl (sample_job ~id:"e2e-2" ()) with
+            | Ok (Protocol.Result { cached; result; _ }) ->
+                Alcotest.(check bool) "resubmit is a hit" true cached;
+                result
+            | Ok _ -> Alcotest.fail "unexpected response"
+            | Error m -> Alcotest.failf "resubmit failed: %s" m
+          in
+          Alcotest.(check string)
+            "hit returns identical bytes" (Minijson.encode first)
+            (Minijson.encode second);
+          (* ... and both match the inline evaluation byte for byte *)
+          (match Protocol.evaluate_job (sample_job ()) with
+          | Ok inline_result ->
+              Alcotest.(check string)
+                "served = inline" (Minijson.encode inline_result)
+                (Minijson.encode first)
+          | Error m -> Alcotest.failf "inline evaluation failed: %s" m);
+          (* an already-expired deadline fails deterministically *)
+          (match
+             Client.submit cl (sample_job ~id:"e2e-3" ~deadline_ms:(Some 0) ())
+           with
+          | Ok (Protocol.Failed { reason; _ }) ->
+              Alcotest.(check bool)
+                "deadline reason" true
+                (contains reason "deadline")
+          | Ok _ -> Alcotest.fail "expected a deadline failure"
+          | Error m -> Alcotest.failf "deadline submit failed: %s" m);
+          (* a broken program fails cleanly, not fatally *)
+          (match
+             Client.submit cl
+               { (sample_job ~id:"e2e-4" ()) with Protocol.source = "int x = ;" }
+           with
+          | Ok (Protocol.Failed _) -> ()
+          | Ok _ -> Alcotest.fail "expected a compile failure"
+          | Error m -> Alcotest.failf "bad-source submit failed: %s" m);
+          (* cancelling an unknown job is a per-job failure *)
+          (match Client.rpc cl (Protocol.Cancel { id = "ghost" }) with
+          | Ok (Protocol.Failed { reason; _ }) ->
+              Alcotest.(check bool) "unknown id" true (contains reason "unknown")
+          | Ok _ -> Alcotest.fail "expected Failed for an unknown cancel"
+          | Error m -> Alcotest.failf "cancel failed: %s" m);
+          (* stats reflect the traffic above *)
+          match Client.rpc cl Protocol.Stats with
+          | Ok (Protocol.Stats_reply stats) ->
+              let geti k = Option.bind (Minijson.member k stats) Minijson.to_int in
+              Alcotest.(check bool)
+                "served at least 2"
+                true
+                (match geti "served" with Some n -> n >= 2 | None -> false);
+              let cache_hits =
+                Option.bind (Minijson.member "cache" stats) (fun c ->
+                    Option.bind (Minijson.member "hits" c) Minijson.to_int)
+              in
+              Alcotest.(check bool)
+                "at least one cache hit" true
+                (match cache_hits with Some n -> n >= 1 | None -> false)
+          | Ok _ -> Alcotest.fail "expected Stats_reply"
+          | Error m -> Alcotest.failf "stats failed: %s" m))
+
+let test_server_rejects_garbage () =
+  Loadgen.with_local_server ~jobs:1 (fun endpoint ->
+      let cl = Client.connect ~attempts:20 endpoint in
+      Fun.protect
+        ~finally:(fun () -> Client.close cl)
+        (fun () ->
+          (* valid frame, wrong schema: per-request error, connection lives *)
+          Frame.write (Client.fd cl)
+            (Minijson.obj [ ("schema", Minijson.str "nope/1") ]);
+          (match Client.recv cl with
+          | Ok (Protocol.Error_reply m) ->
+              Alcotest.(check bool) "names schema" true (contains m "schema")
+          | Ok _ -> Alcotest.fail "expected Error_reply"
+          | Error m -> Alcotest.failf "recv failed: %s" m);
+          (* the connection survived: ping still answers *)
+          match Client.rpc cl Protocol.Ping with
+          | Ok Protocol.Pong -> ()
+          | Ok _ -> Alcotest.fail "expected Pong after protocol error"
+          | Error m -> Alcotest.failf "ping after error failed: %s" m))
+
+let test_loadgen_closed_loop () =
+  Loadgen.with_local_server ~jobs:2 (fun endpoint ->
+      let summary =
+        Loadgen.run
+          {
+            Loadgen.default_config with
+            Loadgen.endpoint;
+            connections = 2;
+            requests = 8;
+            duplicate_ratio = 1.0;
+            seed = 7;
+          }
+      in
+      Alcotest.(check int) "all issued" 8 summary.Loadgen.requests;
+      Alcotest.(check int) "all succeeded" 8 summary.Loadgen.succeeded;
+      Alcotest.(check int) "none failed" 0 summary.Loadgen.failed;
+      (* ratio 1.0 draws all 8 from a 4-program set: at least half must
+         land in the cache (or coalesce onto an in-flight twin) *)
+      Alcotest.(check bool)
+        "cache hits happen" true
+        (summary.Loadgen.cache_hits >= 4);
+      Alcotest.(check bool)
+        "throughput positive" true
+        (summary.Loadgen.throughput_cps > 0.);
+      (* the summary is gate-compatible with itself *)
+      let json = Loadgen.summary_to_json summary in
+      match Gdp_report.Regress.service_of_json json with
+      | Error m -> Alcotest.failf "summary not gate-readable: %s" m
+      | Ok b ->
+          Alcotest.(check (list string))
+            "self-check passes" []
+            (List.map
+               (fun i -> Fmt.str "%a" Gdp_report.Regress.pp_issue i)
+               (Gdp_report.Regress.check_service ~tolerance:10. ~baseline:b b));
+          (* a collapsed current run trips every gate *)
+          let worse =
+            {
+              b with
+              Gdp_report.Regress.sv_throughput_cps = b.Gdp_report.Regress.sv_throughput_cps /. 10.;
+              sv_p99_us = (b.Gdp_report.Regress.sv_p99_us *. 10.) +. 10000.;
+              sv_hit_rate = 0.;
+            }
+          in
+          Alcotest.(check bool)
+            "regressions detected" true
+            (List.length
+               (Gdp_report.Regress.check_service ~tolerance:10. ~baseline:b worse)
+            >= 2))
+
+let suite =
+  [
+    Alcotest.test_case "minijson: control chars" `Quick test_minijson_control_chars;
+    Alcotest.test_case "minijson: unicode escapes" `Quick
+      test_minijson_unicode_escapes;
+    Alcotest.test_case "minijson: deep nesting" `Quick test_minijson_deep_nesting;
+    Alcotest.test_case "frame: round-trip" `Quick test_frame_roundtrip;
+    Alcotest.test_case "frame: truncation" `Quick test_frame_truncation;
+    Alcotest.test_case "frame: oversize rejection" `Quick test_frame_oversize;
+    Alcotest.test_case "frame: incremental decoder" `Quick
+      test_frame_decoder_incremental;
+    Alcotest.test_case "frame: decoder errors sticky" `Quick
+      test_frame_decoder_oversize_sticky;
+    Alcotest.test_case "cache: LRU bound and recency" `Quick test_cache_lru;
+    Alcotest.test_case "cache: misses counted" `Quick test_cache_misses_counted;
+    Alcotest.test_case "cache: digest aliasing" `Quick
+      test_cache_digest_no_aliasing;
+    Alcotest.test_case "protocol: round-trip" `Quick test_protocol_roundtrip;
+    Alcotest.test_case "protocol: rejections" `Quick test_protocol_rejections;
+    Alcotest.test_case "protocol: cache key" `Quick test_protocol_cache_key;
+    Alcotest.test_case "protocol: evaluate deterministic" `Quick
+      test_protocol_evaluate_deterministic;
+    Alcotest.test_case "server: end to end" `Slow test_server_end_to_end;
+    Alcotest.test_case "server: garbage handling" `Slow
+      test_server_rejects_garbage;
+    Alcotest.test_case "loadgen: closed loop" `Slow test_loadgen_closed_loop;
+  ]
