@@ -23,9 +23,21 @@
                      with -j the sweep cost lands in the prefetch, so
                      per-figure wall times in --timings/--json shrink to
                      render time)
+     --par-domains N intra-compile shared-memory parallelism for the
+                     bechamel pseudo-experiment: one Par pool of N
+                     domains is opened around the whole bechamel run
+                     and extra "<bench>/<test>-parN" rows time the
+                     parallel partitioning paths next to the
+                     sequential ones (default 1 = no par rows)
+     --check-partitioner FILE
+                     regression gate on the bechamel ns/run rows of a
+                     committed gdp-bench/1 snapshot (runs bechamel
+                     first if it did not run this invocation; pass the
+                     same --par-domains the baseline was recorded with
+                     or its par rows count as disappeared)
 
-   When only report/baseline/check flags are given, the figure sweep is
-   skipped — the gate runs on its own.
+   When only report/baseline/check/check-partitioner flags are given,
+   the figure sweep is skipped — the gates run on their own.
 
    Experiments: table1 fig2 fig7 fig8a fig8b fig9a fig9b fig10
    compile-time ablate-merge ablate-imbalance ablate-clusters *)
@@ -88,8 +100,11 @@ let ablate_hetero () =
 let bechamel_benches = [ "rawcaudio"; "fir"; "mpeg2enc" ]
 
 (** Run the bechamel suite; returns [(test name, ns/run estimate)] rows,
-    sorted by name ([None] when OLS produced no estimate). *)
-let bechamel_results () : (string * float option) list =
+    sorted by name ([None] when OLS produced no estimate).  With [pool]
+    (opened once by the caller so staged closures never pay a domain
+    spawn), every test gets a parallel twin suffixed [-parN] driving
+    the same work through the pool. *)
+let bechamel_results ?pool () : (string * float option) list =
   let open Bechamel in
   let machine = Vliw_machine.paper_machine ~move_latency:5 () in
   let prepared =
@@ -131,7 +146,35 @@ let bechamel_results () : (string * float option) list =
                      (Graphpart.Partitioner.kway ~config:pcfg graph ~nparts:4)));
           ]
         in
-        method_tests @ partitioner_tests)
+        let par_tests =
+          match pool with
+          | None -> []
+          | Some pool ->
+              let d = Par.parallelism pool in
+              List.map
+                (fun m ->
+                  Test.make
+                    ~name:
+                      (Fmt.str "%s/%s-par%d" name (Partition.Methods.name m) d)
+                    (Staged.stage (fun () ->
+                         ignore (Partition.Methods.run ~pool m ctx))))
+                Partition.Methods.all
+              @ [
+                  Test.make
+                    ~name:(Fmt.str "%s/partitioner-bisect-par%d" name d)
+                    (Staged.stage (fun () ->
+                         ignore
+                           (Graphpart.Partitioner.bisect ~config:pcfg ~pool
+                              graph)));
+                  Test.make
+                    ~name:(Fmt.str "%s/partitioner-kway4-par%d" name d)
+                    (Staged.stage (fun () ->
+                         ignore
+                           (Graphpart.Partitioner.kway ~config:pcfg ~pool graph
+                              ~nparts:4)));
+                ]
+        in
+        method_tests @ partitioner_tests @ par_tests)
       prepared
   in
   let test = Test.make_grouped ~name:"partitioning" ~fmt:"%s %s" tests in
@@ -310,6 +353,40 @@ let gate_rows ~jobs ~move_latency : Gdp_report.Regress.row list =
          benches)
   end
 
+(* Bechamel ns/run rows are wall-clock micro-benchmarks; the gate's job
+   is catching order-of-magnitude collapses (a parallel path silently
+   serializing, an accidental quadratic), not 2% jitter.  Hence a very
+   generous fixed tolerance. *)
+let partitioner_tolerance = 400.0
+
+(** Returns [false] when the partitioner gate failed. *)
+let run_check_partitioner ~(rows : (string * float option) list) path : bool =
+  match Gdp_report.Regress.load_partitioner path with
+  | Error m ->
+      Fmt.epr "check-partitioner: cannot load baseline: %s@." m;
+      false
+  | Ok base ->
+      let issues =
+        Gdp_report.Regress.check_partitioner ~tolerance:partitioner_tolerance
+          ~baseline:base rows
+      in
+      if issues = [] then begin
+        Fmt.pr "check-partitioner: OK — %d baseline row(s) within %.0f%%@."
+          (List.length base.Gdp_report.Regress.pb_rows)
+          partitioner_tolerance;
+        true
+      end
+      else begin
+        List.iter
+          (fun i ->
+            Fmt.epr "check-partitioner: REGRESSION: %a@."
+              Gdp_report.Regress.pp_issue i)
+          issues;
+        Fmt.epr "check-partitioner: %d regression(s) beyond %.0f%%@."
+          (List.length issues) partitioner_tolerance;
+        false
+      end
+
 let write_text_file path render =
   let oc = open_out path in
   let ppf = Format.formatter_of_out_channel oc in
@@ -367,6 +444,8 @@ let run_attrib ~jobs ~report ~baseline ~check ~tolerance : bool =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let jobs = ref 1 in
+  let par_domains = ref 1 in
+  let check_part = ref None in
   let rec parse_flags timings trace json report baseline check tolerance =
     function
     | "--timings" :: rest ->
@@ -399,6 +478,12 @@ let () =
     | [ "--check" ] ->
         Fmt.epr "--check needs a file argument@.";
         exit 1
+    | "--check-partitioner" :: file :: rest ->
+        check_part := Some file;
+        parse_flags timings trace json report baseline check tolerance rest
+    | [ "--check-partitioner" ] ->
+        Fmt.epr "--check-partitioner needs a file argument@.";
+        exit 1
     | "--tolerance" :: pct :: rest -> (
         match float_of_string_opt pct with
         | Some t when t >= 0. ->
@@ -420,20 +505,42 @@ let () =
     | [ ("-j" | "--jobs") ] ->
         Fmt.epr "-j needs a worker count argument@.";
         exit 1
+    | "--par-domains" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            par_domains := n;
+            parse_flags timings trace json report baseline check tolerance rest
+        | _ ->
+            Fmt.epr "--par-domains needs a positive domain count@.";
+            exit 1)
+    | [ "--par-domains" ] ->
+        Fmt.epr "--par-domains needs a domain count argument@.";
+        exit 1
     | rest -> (timings, trace, json, report, baseline, check, tolerance, rest)
   in
   let timings, trace, json, report, baseline, check, tolerance, args =
     parse_flags false None None None None None 2.0 args
   in
   let jobs = !jobs in
+  let par_domains = !par_domains in
+  let check_part = !check_part in
   let attrib_only =
-    args = [] && (report <> None || baseline <> None || check <> None)
+    args = []
+    && (report <> None || baseline <> None || check <> None
+       || check_part <> None)
   in
   if timings || trace <> None || json <> None then Telemetry.enable ();
   (* bechamel rows collected if the pseudo-experiment ran this invocation *)
   let bech = ref [] in
   let run_bechamel () =
-    let rows = bechamel_results () in
+    let rows =
+      if par_domains >= 2 then
+        (* one pool for the whole suite: domain spawn/teardown happens
+           here, never inside a staged closure *)
+        Par.with_pool ~domains:par_domains (fun pool ->
+            bechamel_results ~pool ())
+      else bechamel_results ()
+    in
     bech := rows;
     render_bechamel rows
   in
@@ -446,7 +553,18 @@ let () =
     (match json with
     | Some path -> write_json path ~timings:rows ~bechamel:!bech
     | None -> ());
-    if not (run_attrib ~jobs ~report ~baseline ~check ~tolerance) then exit 1
+    (* the attribution gate forks worker processes (-j) and must run
+       before the partitioner gate can spawn any domain: once a process
+       has created a domain, OCaml 5 forbids Unix.fork for good *)
+    let attrib_ok = run_attrib ~jobs ~report ~baseline ~check ~tolerance in
+    let part_ok =
+      match check_part with
+      | None -> true
+      | Some path ->
+          if !bech = [] then run_bechamel ();
+          run_check_partitioner ~rows:!bech path
+    in
+    if not (part_ok && attrib_ok) then exit 1
   in
   (* which standard-sweep latencies the named experiments will need; with
      -j the whole set is prefetched through the process pool up front,

@@ -325,8 +325,22 @@ let robust_flag =
            gdp -> profile-max -> naive -> unified instead of aborting.  \
            Implied by --inject.")
 
+let par_domains_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "par-domains" ] ~docv:"N"
+        ~doc:
+          "Domains for intra-compile parallelism inside the partitioning \
+           passes.  1 (the default) is the sequential pipeline with \
+           byte-identical output to previous releases; N >= 2 switches to \
+           the deterministic parallel drivers, whose output is identical \
+           for every N >= 2 (on any machine) but may differ from the \
+           sequential one for the gdp method.")
+
 let partition_cmd =
-  let run obs file input method_ latency clusters show_sched verify robust =
+  let run obs file input method_ latency clusters par_domains show_sched verify
+      robust =
     handle_errors (fun () ->
         let source = read_file file in
         let bench =
@@ -347,11 +361,24 @@ let partition_cmd =
           else Vliw_machine.scaled_machine ~clusters ~move_latency:latency ()
         in
         let ctx = Gdp_core.Pipeline.context ~machine prepared in
+        let settings =
+          {
+            (Gdp_core.Pipeline.Settings.default method_) with
+            clusters;
+            move_latency = latency;
+            par_domains;
+          }
+        in
         let e =
           if robust || Fault.armed () then begin
-            match Gdp_core.Pipeline.evaluate_robust prepared ctx method_ with
+            match
+              Gdp_core.Pipeline.run ~prepared ~ctx
+                ~mode:(Gdp_core.Pipeline.Robust { verify = true })
+                settings
+            with
             | Error m -> raise (Cli_error m)
-            | Ok r ->
+            | Ok (Gdp_core.Pipeline.Evaluated _) -> assert false
+            | Ok (Gdp_core.Pipeline.Degraded r) ->
                 List.iter
                   (fun fb ->
                     Fmt.pr "fallback: %a@." Gdp_core.Pipeline.pp_fallback fb)
@@ -363,7 +390,13 @@ let partition_cmd =
                     (Partition.Methods.name r.Gdp_core.Pipeline.used);
                 r.Gdp_core.Pipeline.evaluation
           end
-          else Gdp_core.Pipeline.evaluate ctx method_
+          else
+            match
+              Gdp_core.Pipeline.run ~ctx ~mode:Gdp_core.Pipeline.Plain settings
+            with
+            | Ok (Gdp_core.Pipeline.Evaluated e) -> e
+            | Ok (Gdp_core.Pipeline.Degraded _) -> assert false
+            | Error m -> raise (Cli_error m)
         in
         Fmt.pr "method: %s@."
           e.Gdp_core.Pipeline.outcome.Partition.Methods.method_name;
@@ -430,7 +463,8 @@ let partition_cmd =
           cycles.")
     Term.(
       const run $ obs_term $ file_arg $ input_arg $ method_arg $ latency_arg
-      $ clusters_arg $ schedule_flag $ verify_flag $ robust_flag)
+      $ clusters_arg $ par_domains_arg $ schedule_flag $ verify_flag
+      $ robust_flag)
 
 (* ------------------------------------------------------------------ *)
 (* explain                                                             *)
@@ -705,7 +739,18 @@ let serve_cmd =
             "Reject new submissions once this many jobs are pending \
              (backpressure).")
   in
-  let run obs socket tcp jobs cache_capacity max_queue =
+  let par_workers_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "par-domains" ] ~docv:"N"
+          ~doc:
+            "Cap the domains any single job's intra-compile parallelism \
+             (settings field par_domains) may actually use.  An \
+             execution-width limit for loaded hosts; artifacts never \
+             depend on it.")
+  in
+  let run obs socket tcp jobs cache_capacity max_queue par_workers =
     handle_errors (fun () ->
         let tcp = Option.map parse_hostport tcp in
         Service.Server.run
@@ -717,6 +762,7 @@ let serve_cmd =
             max_queue;
             max_frame = Service.Frame.default_max_frame;
             trace = obs.trace;
+            par_workers;
           };
         (* the server wrote its own trace on shutdown *)
         finish_obs { obs with trace = None })
@@ -730,7 +776,7 @@ let serve_cmd =
           it cleanly.")
     Term.(
       const run $ obs_term $ socket_arg $ tcp_arg $ jobs_arg $ cache_arg
-      $ queue_arg)
+      $ queue_arg $ par_workers_arg)
 
 let pp_artifact ppf art =
   let geti k = Option.bind (Minijson.member k art) Minijson.to_int in
@@ -778,8 +824,8 @@ let submit_cmd =
       value & flag
       & info [ "json" ] ~doc:"Print the raw artifact JSON instead of a summary.")
   in
-  let run obs file input method_ latency clusters server deadline verify repeat
-      inline json =
+  let run obs file input method_ latency clusters par_domains server deadline
+      verify repeat inline json =
     handle_errors (fun () ->
         if repeat < 1 then raise (Cli_error "--repeat must be at least 1");
         let source = read_file file in
@@ -788,6 +834,7 @@ let submit_cmd =
             (Gdp_core.Pipeline.Settings.default method_) with
             clusters;
             move_latency = latency;
+            par_domains;
           }
         in
         let job i =
@@ -841,8 +888,8 @@ let submit_cmd =
           the artifact.")
     Term.(
       const run $ obs_term $ file_arg $ input_arg $ method_arg $ latency_arg
-      $ clusters_arg $ endpoint_arg $ deadline_arg $ verify_arg $ repeat_arg
-      $ inline_arg $ json_arg)
+      $ clusters_arg $ par_domains_arg $ endpoint_arg $ deadline_arg
+      $ verify_arg $ repeat_arg $ inline_arg $ json_arg)
 
 let loadgen_cmd =
   let server_arg =

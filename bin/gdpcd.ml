@@ -28,6 +28,17 @@ let jobs_arg =
     & opt int 2
     & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker processes in the pool.")
 
+let par_workers_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "par-domains" ] ~docv:"N"
+        ~doc:
+          "Cap the domains any single job's intra-compile parallelism \
+           (settings field par_domains) may actually use.  An \
+           execution-width limit for loaded hosts; artifacts never depend \
+           on it.")
+
 let cache_arg =
   Arg.(
     value
@@ -67,7 +78,7 @@ let parse_hostport s =
       | _ -> Error (Fmt.str "invalid TCP endpoint %S" s))
   | _ -> Error (Fmt.str "invalid TCP endpoint %S (want host:port)" s)
 
-let main socket tcp jobs cache_capacity max_queue trace verbose =
+let main socket tcp jobs par_workers cache_capacity max_queue trace verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level
     (Some
@@ -95,6 +106,7 @@ let main socket tcp jobs cache_capacity max_queue trace verbose =
         max_queue;
         max_frame = Service.Frame.default_max_frame;
         trace;
+        par_workers;
       }
   with
   | Unix.Unix_error (e, op, arg) ->
@@ -111,5 +123,5 @@ let () =
        (Cmd.v
           (Cmd.info "gdpcd" ~version:"1.0.0" ~doc)
           Term.(
-            const main $ socket_arg $ tcp_arg $ jobs_arg $ cache_arg
-            $ queue_arg $ trace_arg $ verbose_arg)))
+            const main $ socket_arg $ tcp_arg $ jobs_arg $ par_workers_arg
+            $ cache_arg $ queue_arg $ trace_arg $ verbose_arg)))

@@ -51,9 +51,10 @@ let prepare ?(unroll = true) ?(promote = true) ?(simplify = true)
 (* With default front-end flags [prepare] is a pure function of the
    benchmark, and the experiment drivers sweep the same benchmark set
    once per move latency — without memoization every sweep recompiles,
-   re-optimizes and re-profiles every benchmark.  Plain [Hashtbl] memo:
-   the pipeline (and everything else in this library) is
-   single-threaded, so there is no locking.  The memo is bounded: long
+   re-optimizes and re-profiles every benchmark.  Plain [Hashtbl] memo
+   behind [cache_lock]: compiles happen outside the lock (a racing pair
+   of workers may both compile, last write wins — the entries are
+   equal), table accesses inside it.  The memo is bounded: long
    fuzzing runs stream thousands of distinct programs through the
    pipeline, and an unbounded memo would hold every compiled program
    alive.  On overflow the whole table is dropped (the suite has ~19
@@ -61,15 +62,25 @@ let prepare ?(unroll = true) ?(promote = true) ?(simplify = true)
 let prepare_cache : (string, prepared) Hashtbl.t = Hashtbl.create 16
 let prepare_cache_limit = 64
 
+(* One lock for every process-wide cache this module owns or clears:
+   the prepare memo, the clearer registry, and the [clearing] reentrancy
+   flag.  Indispensable once [Par] pools exist — [clear_caches] (or a
+   worker warming the memo) must not race a mutating registration. *)
+let cache_lock = Par.Lock.create ()
+
 let prepare_default (bench : Benchsuite.Bench_intf.t) : prepared =
   let name = bench.Benchsuite.Bench_intf.name in
-  match Hashtbl.find_opt prepare_cache name with
+  match
+    Par.Lock.with_lock cache_lock (fun () ->
+        Hashtbl.find_opt prepare_cache name)
+  with
   | Some p -> p
   | None ->
       let p = prepare bench in
-      if Hashtbl.length prepare_cache >= prepare_cache_limit then
-        Hashtbl.reset prepare_cache;
-      Hashtbl.replace prepare_cache name p;
+      Par.Lock.with_lock cache_lock (fun () ->
+          if Hashtbl.length prepare_cache >= prepare_cache_limit then
+            Hashtbl.reset prepare_cache;
+          Hashtbl.replace prepare_cache name p);
       p
 
 (* Downstream layers (e.g. the report explainer) keep their own bounded
@@ -83,29 +94,42 @@ let extra_clearers : (string, unit -> unit) Hashtbl.t = Hashtbl.create 8
 let anon_clearers = ref 0
 
 let register_cache_clearer ?key f =
-  let key =
-    match key with
-    | Some k -> k
-    | None ->
-        incr anon_clearers;
-        Printf.sprintf "<anonymous-%d>" !anon_clearers
-  in
-  Hashtbl.replace extra_clearers key f
+  Par.Lock.with_lock cache_lock (fun () ->
+      let key =
+        match key with
+        | Some k -> k
+        | None ->
+            incr anon_clearers;
+            Printf.sprintf "<anonymous-%d>" !anon_clearers
+      in
+      Hashtbl.replace extra_clearers key f)
 
 (* Guard against a clearer calling [clear_caches] back (directly or via
    a layer that "helpfully" clears everything): the inner call is a
-   no-op instead of an infinite recursion. *)
+   no-op instead of an infinite recursion.  The flag is checked-and-set
+   under [cache_lock]; the clearers themselves run OUTSIDE the lock (on
+   a snapshot of the registry) so a clearer that re-registers itself —
+   the keyed-registration pattern — cannot deadlock on the
+   non-reentrant mutex. *)
 let clearing = ref false
 
 let clear_caches () =
-  if not !clearing then begin
-    clearing := true;
-    Fun.protect
-      ~finally:(fun () -> clearing := false)
-      (fun () ->
-        Hashtbl.reset prepare_cache;
-        Hashtbl.iter (fun _ f -> f ()) extra_clearers)
-  end
+  let to_run =
+    Par.Lock.with_lock cache_lock (fun () ->
+        if !clearing then None
+        else begin
+          clearing := true;
+          Hashtbl.reset prepare_cache;
+          Some (Hashtbl.fold (fun _ f acc -> f :: acc) extra_clearers [])
+        end)
+  in
+  match to_run with
+  | None -> ()
+  | Some fs ->
+      Fun.protect
+        ~finally:(fun () ->
+          Par.Lock.with_lock cache_lock (fun () -> clearing := false))
+        (fun () -> List.iter (fun f -> f ()) fs)
 
 let context ?machine ?merge_low_slack (p : prepared) : Methods.context =
   let machine =
@@ -120,13 +144,31 @@ type evaluation = {
   report : Vliw_sched.Perf.report;
 }
 
+(* Scope a [Par] pool around one method run when [par_domains >= 2];
+   [par_domains = 1] (the default everywhere) never touches [Par] and
+   stays byte-identical to the historical sequential pipeline.  The pool
+   lives exactly as long as the partitioning work: it is torn down
+   before control returns to callers that may fork ([Exec] pools),
+   because worker domains do not survive [fork]. *)
+(* [workers] caps the execution width only (how many domains actually
+   run); the semantic request [par_domains] — the only thing artifacts
+   may depend on — is untouched, so a capped run produces the same
+   output, just slower.  See the [Par] interface notes. *)
+let with_opt_pool ?workers par_domains f =
+  if par_domains >= 2 then
+    Par.with_pool ?workers ~domains:par_domains (fun pool -> f (Some pool))
+  else f None
+
 (* Run one method and price it under the cycle model — the shared core
    behind [run] and the [evaluate] wrapper. *)
-let evaluate_with ?rhop_config ?gdp_config (ctx : Methods.context) method_ :
-    evaluation =
+let evaluate_with ?rhop_config ?gdp_config ?(par_domains = 1) ?par_workers
+    (ctx : Methods.context) method_ : evaluation =
   Telemetry.with_span "evaluate" ~args:[ ("method", Methods.name method_) ]
     (fun () ->
-      let outcome = Methods.run ?rhop_config ?gdp_config method_ ctx in
+      let outcome =
+        with_opt_pool ?workers:par_workers par_domains (fun pool ->
+            Methods.run ?rhop_config ?gdp_config ?pool method_ ctx)
+      in
       let report = Methods.evaluate ctx outcome in
       { outcome; report })
 
@@ -201,13 +243,17 @@ let verify p ctx e = Telemetry.with_span "verify" (fun () -> verify_body p ctx e
    cluster).  With [?verify_against] the full differential check
    (clustered interpretation + cycle simulation vs. the reference run)
    is included. *)
-let checked_with ?rhop_config ?gdp_config ?verify_against
-    (ctx : Methods.context) method_ : (evaluation, string) result =
+let checked_with ?rhop_config ?gdp_config ?(par_domains = 1) ?par_workers
+    ?verify_against (ctx : Methods.context) method_ :
+    (evaluation, string) result =
   match
     Telemetry.with_span "evaluate-checked"
       ~args:[ ("method", Methods.name method_) ]
       (fun () ->
-        let outcome = Methods.run ?rhop_config ?gdp_config method_ ctx in
+        let outcome =
+          with_opt_pool ?workers:par_workers par_domains (fun pool ->
+              Methods.run ?rhop_config ?gdp_config ?pool method_ ctx)
+        in
         Vliw_sched.Assignment.validate
           outcome.Methods.clustered.Vliw_sched.Move_insert.cassign
           outcome.Methods.clustered.Vliw_sched.Move_insert.cprog
@@ -251,8 +297,8 @@ let pp_fallback ppf f =
    the result (and counted as a detected fault); a successful fallback
    counts as a recovery.  [Error] only when every method in the chain
    fails. *)
-let robust_with ?rhop_config ?gdp_config ~verify (p : prepared)
-    (ctx : Methods.context) method_ : (robust, string) result =
+let robust_with ?rhop_config ?gdp_config ?par_domains ?par_workers ~verify
+    (p : prepared) (ctx : Methods.context) method_ : (robust, string) result =
   Telemetry.with_span "evaluate-robust"
     ~args:[ ("method", Methods.name method_) ]
   @@ fun () ->
@@ -264,7 +310,10 @@ let robust_with ?rhop_config ?gdp_config ~verify (p : prepared)
              Fmt.(list ~sep:(any "; ") pp_fallback)
              (List.rev fallbacks))
     | m :: rest -> (
-        match checked_with ?rhop_config ?gdp_config ?verify_against ctx m with
+        match
+          checked_with ?rhop_config ?gdp_config ?par_domains ?par_workers
+            ?verify_against ctx m
+        with
         | Ok e ->
             if fallbacks <> [] then begin
               Fault.note_recovered ();
@@ -305,6 +354,12 @@ module Settings = struct
     merge_low_slack : bool option;
     rhop : Partition.Rhop.config option;
     gdp : Partition.Gdp.config option;
+    par_domains : int;
+        (** intra-compile parallelism: domains used by the partitioning
+            passes.  1 (the default) is the historical sequential
+            pipeline, byte-identical artifacts included; >= 2 selects
+            the deterministic parallel drivers (same artifacts for any
+            value >= 2).  See [docs/parallelism.md]. *)
   }
 
   let schema = "gdp-settings/1"
@@ -313,8 +368,10 @@ module Settings = struct
      semantics.  [of_json] accepts documents up to this version (a
      missing field reads as 1) and rejects newer ones, so an old server
      fails a too-new client with a clear message instead of
-     misinterpreting it. *)
-  let version = 1
+     misinterpreting it.  Version history:
+     - 1: the original record.
+     - 2: adds [par_domains] (missing field reads as 1 = sequential). *)
+  let version = 2
 
   let default method_ =
     {
@@ -328,6 +385,7 @@ module Settings = struct
       merge_low_slack = None;
       rhop = None;
       gdp = None;
+      par_domains = 1;
     }
 
   let machine (s : t) =
@@ -372,6 +430,7 @@ module Settings = struct
         ("merge_low_slack", Minijson.option Minijson.bool s.merge_low_slack);
         ("rhop", Minijson.option rhop_json s.rhop);
         ("gdp", Minijson.option gdp_json s.gdp);
+        ("par_domains", Minijson.int s.par_domains);
       ]
 
   let ( let* ) = Result.bind
@@ -461,6 +520,7 @@ module Settings = struct
       "merge_low_slack";
       "rhop";
       "gdp";
+      "par_domains";
     ]
 
   let of_json (doc : Minijson.t) : (t, string) result =
@@ -510,6 +570,19 @@ module Settings = struct
       | None | Some Minijson.Null -> Ok None
       | Some v -> Result.map Option.some (gdp_of_json v)
     in
+    (* added in version 2; absent in v1 documents = sequential *)
+    let* par_domains =
+      match Minijson.member "par_domains" doc with
+      | None -> Ok 1
+      | Some v -> as_int "par_domains" v
+    in
+    let* () =
+      if par_domains < 1 then
+        Error
+          (Printf.sprintf "settings: par_domains must be >= 1 (got %d)"
+             par_domains)
+      else Ok ()
+    in
     Ok
       {
         clusters;
@@ -522,6 +595,7 @@ module Settings = struct
         merge_low_slack;
         rhop;
         gdp;
+        par_domains;
       }
 end
 
@@ -540,7 +614,7 @@ let prepare_with (s : Settings.t) bench =
 type mode = Plain | Checked of { verify : bool } | Robust of { verify : bool }
 type run_result = Evaluated of evaluation | Degraded of robust
 
-let run ?prepared:p ?ctx ?(mode = Plain) (s : Settings.t) :
+let run ?prepared:p ?ctx ?(mode = Plain) ?par_workers (s : Settings.t) :
     (run_result, string) result =
   let rhop_config = s.Settings.rhop and gdp_config = s.Settings.gdp in
   let method_ = s.Settings.method_ in
@@ -558,7 +632,10 @@ let run ?prepared:p ?ctx ?(mode = Plain) (s : Settings.t) :
   | Ok ctx -> (
       match mode with
       | Plain ->
-          Ok (Evaluated (evaluate_with ?rhop_config ?gdp_config ctx method_))
+          Ok
+            (Evaluated
+               (evaluate_with ?rhop_config ?gdp_config
+                  ~par_domains:s.Settings.par_domains ?par_workers ctx method_))
       | Checked { verify } -> (
           match (verify, p) with
           | true, None ->
@@ -567,15 +644,18 @@ let run ?prepared:p ?ctx ?(mode = Plain) (s : Settings.t) :
               let verify_against = if verify then p else None in
               Result.map
                 (fun e -> Evaluated e)
-                (checked_with ?rhop_config ?gdp_config ?verify_against ctx
-                   method_))
+                (checked_with ?rhop_config ?gdp_config
+                   ~par_domains:s.Settings.par_domains ?par_workers
+                   ?verify_against ctx method_))
       | Robust { verify } -> (
           match p with
           | None -> Error "Pipeline.run: Robust mode needs ~prepared"
           | Some p ->
               Result.map
                 (fun r -> Degraded r)
-                (robust_with ?rhop_config ?gdp_config ~verify p ctx method_)))
+                (robust_with ?rhop_config ?gdp_config
+                   ~par_domains:s.Settings.par_domains ?par_workers ~verify p
+                   ctx method_)))
 
 (* ------------------------------------------------------------------ *)
 (* Compatibility wrappers: the pre-[Settings] signatures, re-expressed

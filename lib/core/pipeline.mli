@@ -22,8 +22,10 @@ val prepare :
 
 (** [prepare] with default flags, memoized by benchmark name — the
     front end is deterministic, so latency sweeps that revisit the same
-    benchmark reuse one compile + profile.  The memo is a plain
-    [Hashtbl] with no locking: this library is single-threaded.  Callers
+    benchmark reuse one compile + profile.  The memo is guarded by an
+    internal lock, so [Par] pool workers may warm it concurrently (the
+    compile itself runs outside the lock; duplicate compiles of the
+    same benchmark are equal and last write wins).  Callers
     that vary the optional flags must use [prepare] directly.  The memo
     is bounded (it resets when it outgrows the benchmark suite by a wide
     margin), and [clear_caches] empties it on demand — fuzzing loops
@@ -33,7 +35,12 @@ val prepare_default : Benchsuite.Bench_intf.t -> prepared
 (** Drop the [prepare_default] memo and run every registered clearer
     ([Experiments.clear_cache] drops the experiment sweep memo).
     Re-entrant: a clearer that calls [clear_caches] back gets a no-op,
-    not an infinite recursion.
+    not an infinite recursion.  Domain-safe: the registry and the memo
+    are mutated under the cache lock, so clearing while [Par] worker
+    domains are live (or while another domain registers a clearer)
+    cannot corrupt the tables; the clearers themselves run outside the
+    lock on a snapshot of the registry, so one that re-registers itself
+    cannot deadlock.
 
     {b Fork-safety contract.}  Every cache behind this call is a plain
     in-process [Hashtbl]: a forked child (an [Exec] pool worker) gets a
@@ -153,6 +160,14 @@ module Settings : sig
     merge_low_slack : bool option;  (** [None] = context default *)
     rhop : Partition.Rhop.config option;  (** [None] = partitioner default *)
     gdp : Partition.Gdp.config option;
+    par_domains : int;
+        (** intra-compile parallelism (version 2): domains used by the
+            partitioning passes.  1 (the default, and what a version-1
+            document reads as) is the historical sequential pipeline
+            with byte-identical artifacts; >= 2 selects the
+            deterministic parallel drivers, whose artifacts are the
+            same for every value >= 2 and on either [Par] backend.  See
+            [docs/parallelism.md]. *)
   }
 
   (** Paper defaults: 2 clusters, 5-cycle moves, all front-end passes
@@ -207,10 +222,18 @@ type run_result =
     supplied ready-made with [~ctx] (whose machine then wins — the
     settings' [clusters]/[move_latency] are ignored).  At least one of
     the two is required, and modes that verify against the reference
-    run ([Checked {verify = true}], [Robust _]) need [~prepared]. *)
+    run ([Checked {verify = true}], [Robust _]) need [~prepared].
+
+    [?par_workers] caps how many domains actually run when
+    [Settings.par_domains >= 2] — an execution-width limit for
+    resource-constrained hosts (e.g. a loaded [gdpcd] server).  It
+    never affects artifacts: the parallel drivers' results depend only
+    on the semantic [par_domains] request, so a capped run returns the
+    same answer, just on fewer cores. *)
 val run :
   ?prepared:prepared ->
   ?ctx:Partition.Methods.context ->
   ?mode:mode ->
+  ?par_workers:int ->
   Settings.t ->
   (run_result, string) result

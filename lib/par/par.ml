@@ -1,0 +1,5 @@
+(* See par.mli.  The whole implementation lives in the build-selected
+   backend module (par_backend_domains.ml on OCaml 5,
+   par_backend_seq.ml on 4.x — the dune rules copy one to backend.ml). *)
+
+include Backend

@@ -65,6 +65,7 @@ type outcome = {
     and the whole story for the Figure 9 exhaustive search. *)
 val clustered_with_homes :
   ?rhop_config:Rhop.config ->
+  ?pool:Par.pool ->
   context ->
   method_name:string ->
   rhop_runs:int ->
@@ -72,18 +73,35 @@ val clustered_with_homes :
   outcome
 
 val run_gdp :
-  ?rhop_config:Rhop.config -> ?gdp_config:Gdp.config -> context -> outcome
+  ?rhop_config:Rhop.config ->
+  ?gdp_config:Gdp.config ->
+  ?pool:Par.pool ->
+  context ->
+  outcome
 
 val run_profile_max :
-  ?rhop_config:Rhop.config -> ?balance_tol:float -> context -> outcome
+  ?rhop_config:Rhop.config ->
+  ?balance_tol:float ->
+  ?pool:Par.pool ->
+  context ->
+  outcome
 
-val run_naive : ?rhop_config:Rhop.config -> context -> outcome
-val run_unified : ?rhop_config:Rhop.config -> context -> outcome
+val run_naive : ?rhop_config:Rhop.config -> ?pool:Par.pool -> context -> outcome
 
+val run_unified :
+  ?rhop_config:Rhop.config -> ?pool:Par.pool -> context -> outcome
+
+(** [?pool] (parallelism >= 2) enables intra-compile parallelism: GDP's
+    graph partitioner switches to its deterministic parallel driver
+    (result depends only on the configuration, not the domain count —
+    but differs from the sequential one), and RHOP partitions
+    independent blocks in dependency waves (bit-identical output).  See
+    [docs/parallelism.md]. *)
 val run :
   ?rhop_config:Rhop.config ->
   ?gdp_config:Gdp.config ->
   ?balance_tol:float ->
+  ?pool:Par.pool ->
   t ->
   context ->
   outcome

@@ -287,78 +287,153 @@ let partition_block ~(machine : Vliw_machine.t) ~config ~objects_of
 (* ------------------------------------------------------------------ *)
 (* Whole-program driver                                                *)
 
+(** Partition one block against the current [reg_home] state: build the
+    lock function (memory homes plus registers homed by earlier blocks),
+    the block's live-out set, and run [partition_block].  Reads
+    [reg_home] but never writes it — the caller applies results — so
+    independent blocks can run concurrently against a quiescent
+    table. *)
+let block_result ~machine ~config ~objects_of ~lock_of
+    ~(reg_home : (Reg.t, int) Hashtbl.t) ~cfg ~liveness f (b : Block.t) :
+    (int * int) list =
+  (* locks: memory homes plus registers homed by earlier blocks *)
+  let lock_of op_id =
+    match lock_of op_id with Some c -> Some c | None -> None
+  in
+  let op_by_id : (int, Op.t) Hashtbl.t =
+    Hashtbl.create (List.length (Block.ops b))
+  in
+  List.iter (fun o -> Hashtbl.replace op_by_id (Op.id o) o) (Block.ops b);
+  let lock_with_reg op_id =
+    match lock_of op_id with
+    | Some c -> Some c
+    | None -> (
+        (* find the op to inspect its defs *)
+        match Hashtbl.find_opt op_by_id op_id with
+        | None -> None
+        | Some o ->
+            List.fold_left
+              (fun acc r ->
+                match (acc, Hashtbl.find_opt reg_home r) with
+                | Some c, Some c' when c <> c' ->
+                    invalid_arg
+                      "Rhop.partition: register re-homed across blocks"
+                | Some c, _ -> Some c
+                | None, h -> h)
+              None (Op.defs o))
+  in
+  let live_out =
+    Vliw_analysis.Liveness.live_out liveness
+      (Vliw_analysis.Cfg.block_index cfg (Block.label b))
+  in
+  Telemetry.incr "rhop.regions";
+  let args =
+    if Telemetry.is_enabled () then
+      [ ("func", Func.name f); ("label", Label.to_string (Block.label b)) ]
+    else []
+  in
+  Telemetry.with_span "rhop-region" ~args (fun () ->
+      partition_block ~machine ~config ~objects_of ~lock_of:lock_with_reg
+        ~reg_home ~live_out b)
+
+(** Commit one block's result: write its op clusters into [assign] and
+    record the homes of the registers it defines.  Must run in layout
+    order — [reg_home] is last-write-wins across blocks. *)
+let apply_result ~(reg_home : (Reg.t, int) Hashtbl.t) (assign : A.t)
+    (b : Block.t) (result : (int * int) list) : unit =
+  List.iter (fun (op_id, c) -> A.set_cluster assign ~op_id c) result;
+  (* record register homes for later blocks *)
+  List.iter
+    (fun o ->
+      match A.cluster_of_opt assign ~op_id:(Op.id o) with
+      | None -> ()
+      | Some c ->
+          List.iter (fun r -> Hashtbl.replace reg_home r c) (Op.defs o))
+    (Block.ops b)
+
+(** Parallel per-function driver: blocks are scheduled in dependency
+    waves.  Block [j] depends on an earlier block [i] iff [i] defines a
+    register that [j] defines or uses — exactly the [reg_home] entries
+    [block_result] can observe for [j] (its pins read homes of used
+    registers, its locks read homes of defined ones).  Each wave
+    partitions its blocks concurrently against the quiescent [reg_home]
+    table, then results are committed in layout order on the calling
+    domain, reproducing the sequential [reg_home] evolution (including
+    last-write-wins and the re-homing check).  The assignment is
+    therefore bit-identical to the sequential driver's for any pool
+    width. *)
+let partition_func_waves pool ~machine ~config ~objects_of ~lock_of
+    (assign : A.t) f : unit =
+  let cfg = Vliw_analysis.Cfg.of_func f in
+  let liveness = Vliw_analysis.Liveness.compute cfg in
+  let reg_home : (Reg.t, int) Hashtbl.t = Hashtbl.create 64 in
+  let blocks = Array.of_list (Func.blocks f) in
+  let nb = Array.length blocks in
+  let regs_of take b =
+    List.fold_left
+      (fun acc o ->
+        List.fold_left (fun acc r -> Reg.Set.add r acc) acc (take o))
+      Reg.Set.empty (Block.ops b)
+  in
+  let defs = Array.map (regs_of Op.defs) blocks in
+  let touched =
+    Array.mapi (fun j b -> Reg.Set.union defs.(j) (regs_of Op.uses b)) blocks
+  in
+  let depth = Array.make nb 0 in
+  for j = 0 to nb - 1 do
+    for i = 0 to j - 1 do
+      if
+        depth.(i) >= depth.(j)
+        && not (Reg.Set.is_empty (Reg.Set.inter defs.(i) touched.(j)))
+      then depth.(j) <- depth.(i) + 1
+    done
+  done;
+  let max_depth = Array.fold_left max 0 depth in
+  for d = 0 to max_depth do
+    let wave = ref [] in
+    for j = nb - 1 downto 0 do
+      if depth.(j) = d then wave := j :: !wave
+    done;
+    let wave = Array.of_list !wave in
+    let results =
+      Par.map pool ~n:(Array.length wave) (fun k ->
+          block_result ~machine ~config ~objects_of ~lock_of ~reg_home ~cfg
+            ~liveness f blocks.(wave.(k)))
+    in
+    (* commit in layout order: wave indices are ascending by block *)
+    Array.iteri
+      (fun k result -> apply_result ~reg_home assign blocks.(wave.(k)) result)
+      results
+  done
+
 (** Partition all computation of [prog], filling [assign]'s op clusters.
     [lock_of] gives mandatory clusters (memory operations under a data
-    partition); object homes in [assign] are the caller's business. *)
-let partition ?(config = default_config) ~(machine : Vliw_machine.t)
+    partition); object homes in [assign] are the caller's business.
+    With a [pool] of parallelism >= 2, blocks are partitioned in
+    dependency waves ([partition_func_waves]) — bit-identical output,
+    concurrent block evaluation. *)
+let partition ?(config = default_config) ?pool ~(machine : Vliw_machine.t)
     ~(objects_of : int -> Data.Obj_set.t) ~(lock_of : int -> int option)
     (prog : Prog.t) (assign : A.t) : unit =
   Telemetry.with_span "rhop" @@ fun () ->
-  List.iter
-    (fun f ->
-      let cfg = Vliw_analysis.Cfg.of_func f in
-      let liveness = Vliw_analysis.Liveness.compute cfg in
-      let reg_home : (Reg.t, int) Hashtbl.t = Hashtbl.create 64 in
+  match pool with
+  | Some pool when Par.parallelism pool >= 2 ->
       List.iter
-        (fun b ->
-          (* locks: memory homes plus registers homed by earlier blocks *)
-          let lock_of op_id =
-            match lock_of op_id with
-            | Some c -> Some c
-            | None -> None
-          in
-          let op_by_id : (int, Op.t) Hashtbl.t =
-            Hashtbl.create (List.length (Block.ops b))
-          in
+        (partition_func_waves pool ~machine ~config ~objects_of ~lock_of
+           assign)
+        (Prog.funcs prog)
+  | _ ->
+      List.iter
+        (fun f ->
+          let cfg = Vliw_analysis.Cfg.of_func f in
+          let liveness = Vliw_analysis.Liveness.compute cfg in
+          let reg_home : (Reg.t, int) Hashtbl.t = Hashtbl.create 64 in
           List.iter
-            (fun o -> Hashtbl.replace op_by_id (Op.id o) o)
-            (Block.ops b);
-          let lock_with_reg op_id =
-            match lock_of op_id with
-            | Some c -> Some c
-            | None -> (
-                (* find the op to inspect its defs *)
-                match Hashtbl.find_opt op_by_id op_id with
-                | None -> None
-                | Some o ->
-                    List.fold_left
-                      (fun acc r ->
-                        match (acc, Hashtbl.find_opt reg_home r) with
-                        | Some c, Some c' when c <> c' ->
-                            invalid_arg
-                              "Rhop.partition: register re-homed across blocks"
-                        | Some c, _ -> Some c
-                        | None, h -> h)
-                      None (Op.defs o))
-          in
-          let live_out =
-            Vliw_analysis.Liveness.live_out liveness
-              (Vliw_analysis.Cfg.block_index cfg (Block.label b))
-          in
-          let result =
-            Telemetry.incr "rhop.regions";
-            let args =
-              if Telemetry.is_enabled () then
-                [
-                  ("func", Func.name f);
-                  ("label", Label.to_string (Block.label b));
-                ]
-              else []
-            in
-            Telemetry.with_span "rhop-region" ~args (fun () ->
-                partition_block ~machine ~config ~objects_of
-                  ~lock_of:lock_with_reg ~reg_home ~live_out b)
-          in
-          List.iter
-            (fun (op_id, c) -> A.set_cluster assign ~op_id c)
-            result;
-          (* record register homes for later blocks *)
-          List.iter
-            (fun o ->
-              match A.cluster_of_opt assign ~op_id:(Op.id o) with
-              | None -> ()
-              | Some c ->
-                  List.iter (fun r -> Hashtbl.replace reg_home r c) (Op.defs o))
-            (Block.ops b))
-        (Func.blocks f))
-    (Prog.funcs prog)
+            (fun b ->
+              let result =
+                block_result ~machine ~config ~objects_of ~lock_of ~reg_home
+                  ~cfg ~liveness f b
+              in
+              apply_result ~reg_home assign b result)
+            (Func.blocks f))
+        (Prog.funcs prog)

@@ -18,9 +18,17 @@ val default_config : config
 
 (** Fill in the operation clusters of [assign] for the whole program.
     [lock_of] gives mandatory clusters (memory operations under a data
-    partition); object homes in [assign] are the caller's business. *)
+    partition); object homes in [assign] are the caller's business.
+
+    With a [pool] of parallelism >= 2, each function's blocks are
+    partitioned in dependency waves: block [j] waits only for earlier
+    blocks defining a register [j] defines or uses, and independent
+    blocks evaluate concurrently.  Results are committed in layout
+    order, so the output is bit-identical to the sequential driver's
+    for any pool width. *)
 val partition :
   ?config:config ->
+  ?pool:Par.pool ->
   machine:Vliw_machine.t ->
   objects_of:(int -> Data.Obj_set.t) ->
   lock_of:(int -> int option) ->

@@ -215,6 +215,73 @@ let load_service path : (service_baseline, string) result =
   | Error m -> Error (Fmt.str "%s: %s" path m)
   | Ok doc -> service_of_json ~where:path doc
 
+(* ------------------------------------------------------------------ *)
+(* Partitioner benchmark gate                                          *)
+
+type partitioner_baseline = { pb_rows : (string * float) list }
+
+let partitioner_schema = "gdp-bench/1"
+
+let partitioner_of_json ?(where = "partitioner benchmark document") doc :
+    (partitioner_baseline, string) result =
+  let open Minijson in
+  match Option.bind (member "schema" doc) to_string with
+  | Some s when s = partitioner_schema -> (
+      match Option.bind (member "bechamel" doc) to_list with
+      | Some rows ->
+          (* rows with a null ns_per_run (no OLS estimate when the
+             baseline was recorded) are skipped, not errors *)
+          let parsed =
+            List.filter_map
+              (fun r ->
+                match
+                  ( Option.bind (member "name" r) to_string,
+                    Option.bind (member "ns_per_run" r) to_float )
+                with
+                | Some name, Some ns -> Some (name, ns)
+                | _ -> None)
+              rows
+          in
+          if parsed = [] then
+            Error (Fmt.str "%s: no usable bechamel rows" where)
+          else Ok { pb_rows = List.sort compare parsed }
+      | None -> Error (Fmt.str "%s: missing bechamel rows" where))
+  | Some s -> Error (Fmt.str "%s: unsupported schema %S" where s)
+  | None -> Error (Fmt.str "%s: not a %s document" where partitioner_schema)
+
+let load_partitioner path : (partitioner_baseline, string) result =
+  match Minijson.parse_file path with
+  | Error m -> Error (Fmt.str "%s: %s" path m)
+  | Ok doc -> partitioner_of_json ~where:path doc
+
+let check_partitioner ~tolerance ~baseline (current : (string * float option) list)
+    : issue list =
+  let issues = ref [] in
+  let push name base cur =
+    issues :=
+      {
+        i_bench = "bechamel";
+        i_method = name;
+        i_metric = "ns_per_run";
+        i_baseline = int_of_float (Float.round base);
+        i_current = cur;
+      }
+      :: !issues
+  in
+  List.iter
+    (fun (name, base) ->
+      match List.assoc_opt name current with
+      | None | Some None ->
+          (* the test vanished from the suite, or bechamel produced no
+             estimate for it this run: either way the baseline row is no
+             longer being tracked *)
+          push name base (-1)
+      | Some (Some cur) ->
+          if cur > base *. (1. +. (tolerance /. 100.)) then
+            push name base (int_of_float (Float.round cur)))
+    baseline.pb_rows;
+  List.rev !issues
+
 let check_service ?(hit_rate_slack = 10.) ~tolerance ~baseline current :
     issue list =
   let issues = ref [] in

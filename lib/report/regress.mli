@@ -84,3 +84,39 @@ val check_service :
   baseline:service_baseline ->
   service_baseline ->
   issue list
+
+(** {1 Partitioner benchmark gate}
+
+    The same contract for the bechamel compile-time rows of
+    [BENCH_partitioner.json] (schema ["gdp-bench/1"], written by
+    [bench bechamel --json]): each baseline [ns_per_run] estimate must
+    not grow beyond a tolerance, and no baseline row may disappear —
+    the gate behind [bench --check-partitioner FILE].  These are
+    wall-clock micro-benchmarks, far noisier than cycle counts; the
+    gate exists to catch order-of-magnitude collapses (a parallel path
+    silently serializing, an accidental quadratic blowup), so callers
+    pass a very generous tolerance (hundreds of percent). *)
+
+type partitioner_baseline = {
+  pb_rows : (string * float) list;
+      (** bechamel test name -> baseline ns/run, sorted by name *)
+}
+
+(** Rows whose [ns_per_run] is [null] in the document (no OLS estimate
+    when the baseline was recorded) are skipped rather than rejected. *)
+val partitioner_of_json :
+  ?where:string -> Minijson.t -> (partitioner_baseline, string) result
+
+val load_partitioner : string -> (partitioner_baseline, string) result
+
+(** Gate a fresh [bechamel_results]-shaped run (test name -> ns/run
+    estimate, [None] when OLS produced none) against the baseline.
+    Issues use [i_bench = "bechamel"], [i_method] = the test name and
+    [i_metric = "ns_per_run"]; a baseline row that is missing from
+    [current] — or present with no estimate — reports [i_current = -1]
+    (disappeared). *)
+val check_partitioner :
+  tolerance:float ->
+  baseline:partitioner_baseline ->
+  (string * float option) list ->
+  issue list

@@ -261,7 +261,7 @@ let artifact (e : Pipeline.evaluation) =
              homes) );
     ]
 
-let evaluate_job (j : job) =
+let evaluate_job ?par_workers (j : job) =
   let bench =
     {
       Benchsuite.Bench_intf.name = bench_name j;
@@ -276,7 +276,7 @@ let evaluate_job (j : job) =
       let prepared = Pipeline.prepare_with j.settings bench in
       Pipeline.run ~prepared
         ~mode:(Pipeline.Checked { verify = j.verify })
-        j.settings
+        ?par_workers j.settings
     with e -> Error (Printexc.to_string e)
   with
   | Error m -> Error m

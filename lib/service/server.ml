@@ -14,6 +14,7 @@ type config = {
   max_queue : int;
   max_frame : int;
   trace : string option;
+  par_workers : int option;
 }
 
 let default_config =
@@ -25,6 +26,7 @@ let default_config =
     max_queue = 64;
     max_frame = Frame.default_max_frame;
     trace = None;
+    par_workers = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -32,12 +34,12 @@ let default_config =
    folded into the returned document so job errors stay deterministic
    (a raise would look like a worker crash and trigger a retry). *)
 
-let worker_fn payload =
+let worker_fn ?par_workers payload =
   match Protocol.job_of_json payload with
   | Error m ->
       Minijson.obj [ ("failed", Minijson.str ("bad job payload: " ^ m)) ]
   | Ok job -> (
-      match Protocol.evaluate_job job with
+      match Protocol.evaluate_job ?par_workers job with
       | Ok artifact -> Minijson.obj [ ("artifact", artifact) ]
       | Error m -> Minijson.obj [ ("failed", Minijson.str m) ])
 
@@ -449,7 +451,11 @@ let run cfg =
     (match cfg.socket_path with Some p -> [ bind_unix p ] | None -> [])
     @ match cfg.tcp with Some hp -> [ bind_tcp hp ] | None -> []
   in
-  let pool = Exec.Pool.create ~jobs:cfg.jobs ~worker:worker_fn () in
+  let pool =
+    Exec.Pool.create ~jobs:cfg.jobs
+      ~worker:(worker_fn ?par_workers:cfg.par_workers)
+      ()
+  in
   let cache = Cache.create ~capacity:cfg.cache_capacity () in
   Pipeline.register_cache_clearer ~key:"service.artifact-cache" (fun () ->
       Cache.clear cache);

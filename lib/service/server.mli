@@ -45,12 +45,18 @@ type config = {
   max_queue : int;  (** reject submissions beyond this many pending *)
   max_frame : int;  (** per-connection frame size limit *)
   trace : string option;  (** write a Chrome trace here on shutdown *)
+  par_workers : int option;
+      (** cap on the domains one job's intra-compile parallelism may
+          actually use ([None] = the job's own [par_domains] request).
+          An execution-width limit only — artifacts never depend on it
+          (see {!Protocol.evaluate_job}), so servers with different
+          caps stay cache-compatible. *)
 }
 
 val default_config : config
 (** Socket [gdpcd.sock] in the working directory, no TCP, 2 workers,
     256-entry cache, 64-job queue bound, {!Frame.default_max_frame},
-    no trace. *)
+    no trace, no intra-compile domain cap. *)
 
 val run : config -> unit
 (** Bind, serve until a shutdown trigger, clean up.  Raises

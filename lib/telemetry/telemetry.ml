@@ -1,6 +1,16 @@
-(** See telemetry.mli.  Single-threaded by design: the whole pipeline is
-    sequential, so the registry is a plain mutable record and the open
-    spans a plain stack. *)
+(** See telemetry.mli.
+
+    Domain-safety model: the span stack and completed-span list are
+    owned by the main domain — [with_span]/[span_arg]/[record_span]
+    called from a [Par] worker domain run their body without recording
+    (a worker's spans would otherwise interleave into a foreign stack).
+    Counters, gauges and histograms ARE recorded from workers: the two
+    metric tables are guarded by [metrics_lock], so concurrent
+    [incr]/[observe] merge instead of racing.  On OCaml 4.x the lock
+    compiles to a no-op and every call site behaves exactly as before.
+
+    [enable]/[disable]/[reset]/[capture]/[snapshot] are main-domain
+    operations; call them outside parallel regions. *)
 
 let log_src = Logs.Src.create "telemetry" ~doc:"GDP telemetry subsystem"
 
@@ -85,6 +95,11 @@ let fresh_state () =
 
 let st = ref (fresh_state ())
 
+(* Guards [table] and [hist_table] (the only state worker domains may
+   touch).  The enabled flag is read unlocked: it only flips outside
+   parallel regions, and a stale read merely skips/records one sample. *)
+let metrics_lock = Par.Lock.create ()
+
 let default_clock () = Unix.gettimeofday () *. 1e6
 let clock = ref default_clock
 let set_clock = function
@@ -103,8 +118,9 @@ let reset () =
   let s = !st in
   s.completed <- [];
   s.next_id <- 0;
-  Hashtbl.reset s.table;
-  Hashtbl.reset s.hist_table
+  Par.Lock.with_lock metrics_lock (fun () ->
+      Hashtbl.reset s.table;
+      Hashtbl.reset s.hist_table)
 
 (* ------------------------------------------------------------------ *)
 (* Spans                                                               *)
@@ -135,11 +151,13 @@ let observe_in (s : state) name v =
 
 let observe name v =
   let s = !st in
-  if s.enabled then observe_in s name v
+  if s.enabled then
+    Par.Lock.with_lock metrics_lock (fun () -> observe_in s name v)
 
 let close_span (s : state) (o : open_span) ~end_us =
   let dur_us = Float.max 0. (end_us -. o.o_start) in
-  observe_in s ("span_us:" ^ o.o_name) dur_us;
+  Par.Lock.with_lock metrics_lock (fun () ->
+      observe_in s ("span_us:" ^ o.o_name) dur_us);
   s.completed <-
     {
       id = o.o_id;
@@ -153,7 +171,7 @@ let close_span (s : state) (o : open_span) ~end_us =
 
 let with_span ?(args = []) name f =
   let s = !st in
-  if not s.enabled then f ()
+  if (not s.enabled) || not (Par.is_main_domain ()) then f ()
   else begin
     let id = s.next_id in
     s.next_id <- id + 1;
@@ -187,7 +205,7 @@ let with_span ?(args = []) name f =
 
 let span_arg key value =
   let s = !st in
-  if s.enabled then
+  if s.enabled && Par.is_main_domain () then
     match s.stack with
     | [] -> ()
     | o :: _ -> o.o_args <- (key, value) :: o.o_args
@@ -196,12 +214,13 @@ let now_us () = !clock ()
 
 let record_span ?(args = []) name ~start_us ~dur_us =
   let s = !st in
-  if s.enabled then begin
+  if s.enabled && Par.is_main_domain () then begin
     let id = s.next_id in
     s.next_id <- id + 1;
     let parent = match s.stack with [] -> None | o :: _ -> Some o.o_id in
     let dur_us = Float.max 0. dur_us in
-    observe_in s ("span_us:" ^ name) dur_us;
+    Par.Lock.with_lock metrics_lock (fun () ->
+        observe_in s ("span_us:" ^ name) dur_us);
     s.completed <- { id; parent; name; start_us; dur_us; args } :: s.completed
   end
 
@@ -219,24 +238,27 @@ let incr ?(by = 1) name =
       (Printf.sprintf "Telemetry.incr: negative increment %d of %s" by name);
   let s = !st in
   if s.enabled then
-    match Hashtbl.find_opt s.table name with
-    | None -> Hashtbl.replace s.table name (Counter by)
-    | Some (Counter v) -> Hashtbl.replace s.table name (Counter (v + by))
-    | Some (Gauge _) ->
-        invalid_arg ("Telemetry.incr: " ^ name ^ " is a gauge")
+    Par.Lock.with_lock metrics_lock (fun () ->
+        match Hashtbl.find_opt s.table name with
+        | None -> Hashtbl.replace s.table name (Counter by)
+        | Some (Counter v) -> Hashtbl.replace s.table name (Counter (v + by))
+        | Some (Gauge _) ->
+            invalid_arg ("Telemetry.incr: " ^ name ^ " is a gauge"))
 
 let set_gauge name v =
   let s = !st in
   if s.enabled then
-    match Hashtbl.find_opt s.table name with
-    | None | Some (Gauge _) -> Hashtbl.replace s.table name (Gauge v)
-    | Some (Counter _) ->
-        invalid_arg ("Telemetry.set_gauge: " ^ name ^ " is a counter")
+    Par.Lock.with_lock metrics_lock (fun () ->
+        match Hashtbl.find_opt s.table name with
+        | None | Some (Gauge _) -> Hashtbl.replace s.table name (Gauge v)
+        | Some (Counter _) ->
+            invalid_arg ("Telemetry.set_gauge: " ^ name ^ " is a counter"))
 
 let counter_value name =
-  match Hashtbl.find_opt !st.table name with
-  | Some (Counter v) -> v
-  | Some (Gauge _) | None -> 0
+  Par.Lock.with_lock metrics_lock (fun () ->
+      match Hashtbl.find_opt !st.table name with
+      | Some (Counter v) -> v
+      | Some (Gauge _) | None -> 0)
 
 (* ------------------------------------------------------------------ *)
 (* Snapshots                                                           *)
@@ -249,24 +271,23 @@ let snapshot () : snapshot =
         match compare a.start_us b.start_us with 0 -> compare a.id b.id | c -> c)
       s.completed
   in
-  let metrics =
-    Hashtbl.fold (fun k v acc -> (k, v) :: acc) s.table []
-    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-  in
-  let hists =
-    Hashtbl.fold
-      (fun k (a : hist_acc) acc ->
-        ( k,
-          {
-            h_count = a.ha_count;
-            h_sum = a.ha_sum;
-            h_min = a.ha_min;
-            h_max = a.ha_max;
-            h_buckets = Array.copy a.ha_buckets;
-          } )
-        :: acc)
-      s.hist_table []
-    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  let metrics, hists =
+    Par.Lock.with_lock metrics_lock (fun () ->
+        ( Hashtbl.fold (fun k v acc -> (k, v) :: acc) s.table []
+          |> List.sort (fun (a, _) (b, _) -> String.compare a b),
+          Hashtbl.fold
+            (fun k (a : hist_acc) acc ->
+              ( k,
+                {
+                  h_count = a.ha_count;
+                  h_sum = a.ha_sum;
+                  h_min = a.ha_min;
+                  h_max = a.ha_max;
+                  h_buckets = Array.copy a.ha_buckets;
+                } )
+              :: acc)
+            s.hist_table []
+          |> List.sort (fun (a, _) (b, _) -> String.compare a b) ))
   in
   { spans; metrics; hists }
 

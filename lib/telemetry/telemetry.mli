@@ -1,8 +1,7 @@
 (** Pipeline-wide tracing and metrics.
 
-    A global, single-threaded telemetry registry: hierarchical wall-clock
-    spans ([with_span]), monotonic counters and gauges, and pluggable
-    sinks — a Chrome trace-event JSON exporter (open the file in
+    A global telemetry registry: hierarchical wall-clock spans
+    ([with_span]), monotonic counters and gauges, and pluggable sinks — a Chrome trace-event JSON exporter (open the file in
     [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}), a
     plain-text span-tree summary with self/total times, and a CSV metrics
     dump.
@@ -11,6 +10,14 @@
     every recording entry point checks one boolean and returns.  Enable
     it around the region of interest (or use [capture] for an isolated
     recording), then render a [snapshot] through a sink.
+
+    Domain safety (see [Par]): counters, gauges and histograms may be
+    recorded from worker domains — the metric tables are lock-guarded,
+    so concurrent [incr]/[observe] merge exactly.  Span recording stays
+    on the main domain: [with_span] called from a worker just runs its
+    body (workers' spans are dropped rather than interleaved into the
+    main stack).  [enable]/[disable]/[reset]/[snapshot]/[capture] are
+    main-domain operations; call them outside parallel regions.
 
     Diagnostic messages go through the [Logs] library under the
     ["telemetry"] source. *)

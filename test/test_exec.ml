@@ -142,6 +142,7 @@ let settings_gen =
          let* seed = int_range 0 1000 in
          return { Partition.Gdp.data_imbalance; op_imbalance; seed })
     in
+    let* par_domains = int_range 1 8 in
     return
       {
         Settings.clusters;
@@ -154,6 +155,7 @@ let settings_gen =
         merge_low_slack;
         rhop;
         gdp;
+        par_domains;
       })
 
 let test_settings_roundtrip =
