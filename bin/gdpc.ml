@@ -107,6 +107,8 @@ type obs = {
   stats : bool;
   stats_file : string option;
   injecting : bool;
+  inject : Fault.spec option;
+  inject_seed : int;
 }
 
 let inject_conv : Fault.spec Arg.conv =
@@ -189,7 +191,7 @@ let setup_obs trace stats stats_file verbose quiet inject inject_seed =
   (match inject with
   | Some spec -> Fault.arm ~seed:inject_seed spec
   | None -> Fault.disarm ());
-  { trace; stats; stats_file; injecting = inject <> None }
+  { trace; stats; stats_file; injecting = inject <> None; inject; inject_seed }
 
 let obs_term =
   Term.(
@@ -730,14 +732,36 @@ let serve_cmd =
       & info [ "cache-capacity" ] ~docv:"N"
           ~doc:"Artifact cache bound (entries, LRU beyond it).")
   in
-  let queue_arg =
+  let max_pending_arg =
     Arg.(
       value
       & opt int 64
-      & info [ "max-queue" ] ~docv:"N"
+      & info
+          [ "max-pending"; "max-queue" ]
+          ~docv:"N"
           ~doc:
             "Reject new submissions once this many jobs are pending \
-             (backpressure).")
+             (backpressure; rejections carry a retry_after_ms hint).  \
+             --max-queue is the deprecated spelling.")
+  in
+  let brownout_arg =
+    Arg.(
+      value
+      & opt float 1.0
+      & info [ "brownout" ] ~docv:"FRAC"
+          ~doc:
+            "Fraction of --max-pending at which brown-out begins (shed \
+             verification, then degrade the method down the fallback \
+             ladder).  1.0 disables brown-out.")
+  in
+  let store_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Durable artifact store directory: artifacts survive restarts \
+             (even kill -9) and are scrubbed for corruption at startup.")
   in
   let par_workers_arg =
     Arg.(
@@ -750,19 +774,29 @@ let serve_cmd =
              execution-width limit for loaded hosts; artifacts never \
              depend on it.")
   in
-  let run obs socket tcp jobs cache_capacity max_queue par_workers =
+  let run obs socket tcp jobs cache_capacity max_pending brownout store_dir
+      par_workers =
     handle_errors (fun () ->
         let tcp = Option.map parse_hostport tcp in
+        (* the global --inject/--inject-seed double as the server-side
+           chaos spec: Server.run re-arms it so the store and the event
+           loop see the same deterministic schedule *)
         Service.Server.run
           {
             Service.Server.socket_path = Some socket;
             tcp;
             jobs;
             cache_capacity;
-            max_queue;
+            max_pending;
             max_frame = Service.Frame.default_max_frame;
             trace = obs.trace;
             par_workers;
+            store_dir;
+            brownout;
+            inject =
+              Option.map
+                (fun sp -> (Fmt.str "%a" Fault.pp_spec sp, obs.inject_seed))
+                obs.inject;
           };
         (* the server wrote its own trace on shutdown *)
         finish_obs { obs with trace = None })
@@ -776,7 +810,7 @@ let serve_cmd =
           it cleanly.")
     Term.(
       const run $ obs_term $ socket_arg $ tcp_arg $ jobs_arg $ cache_arg
-      $ queue_arg $ par_workers_arg)
+      $ max_pending_arg $ brownout_arg $ store_arg $ par_workers_arg)
 
 let pp_artifact ppf art =
   let geti k = Option.bind (Minijson.member k art) Minijson.to_int in
@@ -824,8 +858,36 @@ let submit_cmd =
       value & flag
       & info [ "json" ] ~doc:"Print the raw artifact JSON instead of a summary.")
   in
+  let connect_timeout_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "connect-timeout" ] ~docv:"MS"
+          ~doc:
+            "Bound each connection attempt to $(docv) milliseconds (a dead \
+             TCP endpoint fails fast instead of hanging).")
+  in
+  let io_timeout_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "io-timeout" ] ~docv:"MS"
+          ~doc:
+            "Bound every read/write on the connection to $(docv) \
+             milliseconds; a hung server surfaces as 'i/o timeout'.")
+  in
+  let retries_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Resubmit up to N times when the server rejects with a \
+             retry_after_ms backpressure hint, sleeping the hinted \
+             interval between attempts.")
+  in
   let run obs file input method_ latency clusters par_domains server deadline
-      verify repeat inline json =
+      verify repeat inline json connect_timeout io_timeout retries =
     handle_errors (fun () ->
         if repeat < 1 then raise (Cli_error "--repeat must be at least 1");
         let source = read_file file in
@@ -860,13 +922,18 @@ let submit_cmd =
           | Error m -> raise (Cli_error m)
           | Ok art -> show art false
         else begin
-          let cl = Service.Client.connect ~attempts:10 server in
+          let ms_to_s = Option.map (fun ms -> float_of_int ms /. 1000.) in
+          let cl =
+            Service.Client.connect ~attempts:10
+              ?connect_timeout:(ms_to_s connect_timeout)
+              ?io_timeout:(ms_to_s io_timeout) server
+          in
           Fun.protect
             ~finally:(fun () -> Service.Client.close cl)
             (fun () ->
               let hits = ref 0 in
               for i = 0 to repeat - 1 do
-                match Service.Client.submit cl (job i) with
+                match Service.Client.submit ~retries cl (job i) with
                 | Error m -> raise (Cli_error m)
                 | Ok (Service.Protocol.Result { cached; result; _ }) ->
                     if cached then incr hits;
@@ -889,7 +956,8 @@ let submit_cmd =
     Term.(
       const run $ obs_term $ file_arg $ input_arg $ method_arg $ latency_arg
       $ clusters_arg $ par_domains_arg $ endpoint_arg $ deadline_arg
-      $ verify_arg $ repeat_arg $ inline_arg $ json_arg)
+      $ verify_arg $ repeat_arg $ inline_arg $ json_arg $ connect_timeout_arg
+      $ io_timeout_arg $ retries_arg)
 
 let loadgen_cmd =
   let server_arg =
@@ -965,9 +1033,59 @@ let loadgen_cmd =
             "Gate tolerance in percent (wall-clock numbers are noisy — \
              default is deliberately loose).")
   in
+  let chaos_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chaos" ] ~docv:"SPEC"
+          ~doc:
+            "Become a hostile client: a fault spec over the service points \
+             (e.g. 'service.frame.torn@3*,service.client.disconnect@7*') \
+             selects torn frames, corrupt frames, slow-loris sends and \
+             mid-job disconnects, deterministically in (--chaos, \
+             --inject-seed).")
+  in
+  let server_inject_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "server-inject" ] ~docv:"SPEC"
+          ~doc:
+            "Arm server-side chaos in the private daemon (worker kills, \
+             store corruption).  Ignored with --server.")
+  in
+  let lg_max_pending_arg =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "max-pending" ] ~docv:"N"
+          ~doc:"Pending bound for the private daemon.  Ignored with --server.")
+  in
+  let lg_brownout_arg =
+    Arg.(
+      value
+      & opt float 1.0
+      & info [ "brownout" ] ~docv:"FRAC"
+          ~doc:
+            "Brown-out threshold for the private daemon.  Ignored with \
+             --server.")
+  in
+  let lg_store_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Durable artifact store for the private daemon.  Ignored with \
+             --server.")
+  in
   let run obs server connections requests dup rate method_ seed jobs out check
-      tolerance =
+      tolerance chaos server_inject max_pending brownout store_dir =
     handle_errors (fun () ->
+        (* the global --inject-seed seeds both --chaos and
+           --server-inject, keeping a whole chaos run reproducible from
+           one number *)
+        let inject_seed = obs.inject_seed in
         let cfg endpoint =
           {
             Service.Loadgen.endpoint;
@@ -981,13 +1099,19 @@ let loadgen_cmd =
             method_;
             deadline_ms = None;
             seed;
+            chaos;
+            inject_seed;
+            max_attempts = Service.Loadgen.default_config.max_attempts;
           }
         in
         let summary =
           match server with
           | Some ep -> Service.Loadgen.run (cfg ep)
           | None ->
-              Service.Loadgen.with_local_server ~jobs ?trace:obs.trace
+              Service.Loadgen.with_local_server ~jobs ~max_pending ~brownout
+                ?store_dir
+                ?inject:(Option.map (fun s -> (s, inject_seed)) server_inject)
+                ?trace:obs.trace
                 (fun ep -> Service.Loadgen.run (cfg ep))
         in
         let s = summary in
@@ -998,10 +1122,29 @@ let loadgen_cmd =
           s.Service.Loadgen.concurrency s.Service.Loadgen.succeeded
           s.Service.Loadgen.failed s.Service.Loadgen.cache_hits;
         Fmt.pr
-          "throughput %.1f compiles/s, latency p50 %.0f us, p99 %.0f us, \
-           mean %.0f us@."
+          "throughput %.1f compiles/s, latency p50 %.0f us, p95 %.0f us, \
+           p99 %.0f us, mean %.0f us@."
           s.Service.Loadgen.throughput_cps s.Service.Loadgen.p50_us
-          s.Service.Loadgen.p99_us s.Service.Loadgen.mean_us;
+          s.Service.Loadgen.p95_us s.Service.Loadgen.p99_us
+          s.Service.Loadgen.mean_us;
+        if
+          s.Service.Loadgen.shed > 0
+          || s.Service.Loadgen.retries > 0
+          || s.Service.Loadgen.injected > 0
+          || s.Service.Loadgen.gave_up > 0
+          || s.Service.Loadgen.artifact_mismatches > 0
+        then
+          Fmt.pr
+            "shed %d, retries %d, injected %d, gave up %d, artifact \
+             mismatches %d@."
+            s.Service.Loadgen.shed s.Service.Loadgen.retries
+            s.Service.Loadgen.injected s.Service.Loadgen.gave_up
+            s.Service.Loadgen.artifact_mismatches;
+        if s.Service.Loadgen.artifact_mismatches > 0 then
+          raise
+            (Cli_error
+               (Fmt.str "%d artifact mismatch(es): served bytes diverged"
+                  s.Service.Loadgen.artifact_mismatches));
         let json = Service.Loadgen.summary_to_json summary in
         (match out with
         | Some path ->
@@ -1046,7 +1189,8 @@ let loadgen_cmd =
     Term.(
       const run $ obs_term $ server_arg $ connections_arg $ requests_arg
       $ dup_arg $ rate_arg $ method_arg $ seed_arg $ jobs_arg $ out_arg
-      $ check_arg $ tolerance_arg)
+      $ check_arg $ tolerance_arg $ chaos_arg $ server_inject_arg
+      $ lg_max_pending_arg $ lg_brownout_arg $ lg_store_arg)
 
 let list_cmd =
   let run obs =

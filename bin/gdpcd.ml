@@ -46,14 +46,54 @@ let cache_arg =
     & info [ "cache-capacity" ] ~docv:"N"
         ~doc:"Artifact cache bound (entries, LRU beyond it).")
 
-let queue_arg =
+let max_pending_arg =
   Arg.(
     value
     & opt int 64
-    & info [ "max-queue" ] ~docv:"N"
+    & info
+        [ "max-pending"; "max-queue" ]
+        ~docv:"N"
         ~doc:
           "Reject new submissions once this many jobs are pending \
-           (backpressure).")
+           (backpressure; rejections carry a retry_after_ms hint).  \
+           --max-queue is the deprecated spelling.")
+
+let brownout_arg =
+  Arg.(
+    value
+    & opt float 1.0
+    & info [ "brownout" ] ~docv:"FRAC"
+        ~doc:
+          "Fraction of --max-pending at which brown-out begins: the server \
+           first sheds verification, then degrades the partitioning method \
+           down the fallback ladder (GDP, then Profile Max, then Naive) as \
+           pressure approaches the cap.  1.0 (the default) disables \
+           brown-out.")
+
+let store_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Durable artifact store directory: artifacts survive restarts \
+           (even kill -9) and are scrubbed for corruption at startup.")
+
+let inject_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "inject" ] ~docv:"SPEC"
+        ~doc:
+          "Arm server-side chaos (fault spec, e.g. \
+           'service.worker.kill@5*,service.cache.corrupt@3*').")
+
+let inject_seed_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "inject-seed" ] ~docv:"N"
+        ~doc:"Seed for the --inject spec (deterministic chaos).")
 
 let trace_arg =
   Arg.(
@@ -78,7 +118,8 @@ let parse_hostport s =
       | _ -> Error (Fmt.str "invalid TCP endpoint %S" s))
   | _ -> Error (Fmt.str "invalid TCP endpoint %S (want host:port)" s)
 
-let main socket tcp jobs par_workers cache_capacity max_queue trace verbose =
+let main socket tcp jobs par_workers cache_capacity max_pending brownout
+    store_dir inject inject_seed trace verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level
     (Some
@@ -103,10 +144,13 @@ let main socket tcp jobs par_workers cache_capacity max_queue trace verbose =
         tcp;
         jobs;
         cache_capacity;
-        max_queue;
+        max_pending;
         max_frame = Service.Frame.default_max_frame;
         trace;
         par_workers;
+        store_dir;
+        brownout;
+        inject = Option.map (fun s -> (s, inject_seed)) inject;
       }
   with
   | Unix.Unix_error (e, op, arg) ->
@@ -124,4 +168,5 @@ let () =
           (Cmd.info "gdpcd" ~version:"1.0.0" ~doc)
           Term.(
             const main $ socket_arg $ tcp_arg $ jobs_arg $ par_workers_arg
-            $ cache_arg $ queue_arg $ trace_arg $ verbose_arg)))
+            $ cache_arg $ max_pending_arg $ brownout_arg $ store_arg
+            $ inject_arg $ inject_seed_arg $ trace_arg $ verbose_arg)))

@@ -210,6 +210,7 @@ module Pool = struct
     payload : Minijson.t;
     batch : string;
     mutable attempts : int;
+    mutable not_before : float;  (* epoch s; 0. = dispatchable now *)
   }
 
   type slot = {
@@ -220,6 +221,8 @@ module Pool = struct
     rdbuf : Buffer.t;
     mutable current : (pending * float) option;  (* in-flight, start_us *)
     mutable alive : bool;
+    mutable consec_crashes : int;  (* since the slot's last success *)
+    mutable down_until : float;  (* respawn-backoff deadline; 0. = none *)
   }
 
   type completion = {
@@ -237,10 +240,30 @@ module Pool = struct
     worker : Minijson.t -> Minijson.t;
     setup : unit -> unit;
     max_retries : int;
+    retry_backoff : float;  (* base delay before a crash retry; 0. = none *)
+    respawn_backoff : float;  (* base delay before reviving a slot *)
+    poison_threshold : int;  (* worker kills per batch before giving up *)
+    crash_ledger : (string, int) Hashtbl.t;  (* batch -> workers it killed *)
+    poisoned : (string, string) Hashtbl.t;  (* batch -> diagnostic *)
+    mutable rng : int;  (* deterministic jitter state *)
+    mutable crashes : int;
+    mutable respawns : int;
     chunk : Bytes.t;
     prev_sigpipe : Sys.signal_behavior option;
     mutable shut : bool;
   }
+
+  (* Deterministic jitter: a private LCG, so a given (seed, crash
+     sequence) produces the same backoff schedule every run — chaos
+     tests replay exactly. *)
+  let jitter_frac t =
+    t.rng <- (t.rng * 1103515245 + 12345) land 0x3FFFFFFF;
+    float_of_int t.rng /. float_of_int 0x40000000
+
+  (* Exponential backoff with jitter: base * 2^(n-1) * [0.5, 1.5). *)
+  let backoff_delay t base n =
+    if base <= 0. || n < 1 then 0.
+    else base *. (2. ** float_of_int (min 16 (n - 1))) *. (0.5 +. jitter_frac t)
 
   (* -- batch ownership: jobs sharing a batch key run, in order, on one
         slot, so worker-local memos are hit instead of recomputed ----- *)
@@ -282,13 +305,16 @@ module Pool = struct
               rdbuf = Buffer.create 4096;
               current = None;
               alive = true;
+              consec_crashes = 0;
+              down_until = 0.;
             }
     | Some s ->
         s.pid <- pid;
         s.to_fd <- to_fd;
         s.from_fd <- from_fd;
         Buffer.clear s.rdbuf;
-        s.alive <- true
+        s.alive <- true;
+        s.down_until <- 0.
 
   (* Mark the slot dead, close its pipes and collect the child.  The
      worker is already gone (or about to be): first try a non-blocking
@@ -337,13 +363,20 @@ module Pool = struct
           ~dur_us:(Telemetry.now_us () -. start_us)
     | None -> ());
     s.current <- None;
+    s.consec_crashes <- 0;
     complete t p result
 
   (* The worker died (or wrote garbage): account the fault, retry the
-     in-flight job within its bound, put the worker back up. *)
+     in-flight job within its bound (after an exponential backoff when
+     one is configured), put the worker back up — immediately, or after
+     a respawn backoff when the slot keeps dying.  A batch whose jobs
+     have now killed [poison_threshold] workers is poisoned: its job
+     fails with a diagnostic instead of crash-looping the pool, and so
+     does everything queued under the same batch key. *)
   let handle_crash t s =
     let status = reap s in
     Fault.note_detected ();
+    t.crashes <- t.crashes + 1;
     Telemetry.incr "exec.crashes";
     Log.warn (fun m -> m "worker %d crashed (%s)" s.slot_id status);
     (match s.current with
@@ -360,8 +393,30 @@ module Pool = struct
           ~dur_us:(Telemetry.now_us () -. start_us);
         s.current <- None;
         p.attempts <- p.attempts + 1;
-        if p.attempts <= t.max_retries then begin
+        let kills =
+          let n =
+            1 + Option.value ~default:0 (Hashtbl.find_opt t.crash_ledger p.batch)
+          in
+          Hashtbl.replace t.crash_ledger p.batch n;
+          n
+        in
+        if t.poison_threshold > 0 && kills >= t.poison_threshold then begin
+          let diag =
+            Printf.sprintf
+              "poison-pill job: batch %S killed %d worker(s), last %s; refusing \
+               further retries"
+              p.batch kills status
+          in
+          Hashtbl.replace t.poisoned p.batch diag;
+          Telemetry.incr "exec.poisoned";
+          Log.err (fun m -> m "%s" diag);
+          complete t p (Error diag)
+        end
+        else if p.attempts <= t.max_retries then begin
           Telemetry.incr "exec.retries";
+          p.not_before <-
+            (let d = backoff_delay t t.retry_backoff p.attempts in
+             if d > 0. then Unix.gettimeofday () +. d else 0.);
           (* front of the queue: in-batch order is preserved *)
           t.queue <- p :: t.queue
         end
@@ -370,20 +425,72 @@ module Pool = struct
             (Error
                (Printf.sprintf "worker crashed (%s) after %d attempt(s)" status
                   p.attempts)));
-    if not t.shut then respawn t s.slot_id
+    if not t.shut then begin
+      s.consec_crashes <- s.consec_crashes + 1;
+      let delay = backoff_delay t t.respawn_backoff s.consec_crashes in
+      if delay > 0. then begin
+        s.down_until <- Unix.gettimeofday () +. delay;
+        Log.warn (fun m ->
+            m "worker %d: %d consecutive crash(es), respawn in %.3fs" s.slot_id
+              s.consec_crashes delay)
+      end
+      else begin
+        respawn t s.slot_id;
+        t.respawns <- t.respawns + 1;
+        Telemetry.incr "exec.respawns"
+      end
+    end
+
+  (* Revive slots whose respawn backoff has expired. *)
+  let revive t =
+    if not t.shut then begin
+      let now = Unix.gettimeofday () in
+      Array.iter
+        (function
+          | Some s when (not s.alive) && s.down_until > 0. && s.down_until <= now
+            ->
+              respawn t s.slot_id;
+              t.respawns <- t.respawns + 1;
+              Telemetry.incr "exec.respawns"
+          | _ -> ())
+        t.slots
+    end
+
+  (* Fail every queued job whose batch has been poisoned. *)
+  let sweep_poisoned t =
+    if Hashtbl.length t.poisoned > 0 then begin
+      let dead, live =
+        List.partition (fun p -> Hashtbl.mem t.poisoned p.batch) t.queue
+      in
+      t.queue <- live;
+      List.iter
+        (fun p -> complete t p (Error (Hashtbl.find t.poisoned p.batch)))
+        dead
+    end
 
   (* Pick the first queued job this slot may run: its batch is either
-     unowned (the slot adopts it) or already owned by this slot. *)
+     unowned (the slot adopts it) or already owned by this slot.  A job
+     still in retry backoff is skipped — and so is everything queued
+     behind it under the same batch key, or in-batch order would be
+     violated. *)
   let take_for t s =
+    let now = Unix.gettimeofday () in
+    let held = Hashtbl.create 4 in
     let rec go acc = function
       | [] -> None
-      | p :: rest -> (
-          match Hashtbl.find_opt t.owners p.batch with
-          | Some id when id <> s.slot_id -> go (p :: acc) rest
-          | _ ->
-              Hashtbl.replace t.owners p.batch s.slot_id;
-              t.queue <- List.rev_append acc rest;
-              Some p)
+      | p :: rest ->
+          if Hashtbl.mem held p.batch then go (p :: acc) rest
+          else if p.not_before > now then begin
+            Hashtbl.replace held p.batch ();
+            go (p :: acc) rest
+          end
+          else (
+            match Hashtbl.find_opt t.owners p.batch with
+            | Some id when id <> s.slot_id -> go (p :: acc) rest
+            | _ ->
+                Hashtbl.replace t.owners p.batch s.slot_id;
+                t.queue <- List.rev_append acc rest;
+                Some p)
     in
     go [] t.queue
 
@@ -412,8 +519,9 @@ module Pool = struct
          | Some s when s.alive && s.current <> None -> Some s
          | _ -> None)
 
-  let create ?(jobs = 1) ?(max_retries = 1) ?(child_setup = fun () -> ())
-      ~worker () =
+  let create ?(jobs = 1) ?(max_retries = 1) ?(retry_backoff = 0.)
+      ?(respawn_backoff = 0.) ?(poison_threshold = 0) ?(backoff_seed = 0)
+      ?(child_setup = fun () -> ()) ~worker () =
     let jobs = clamp_jobs jobs in
     let setup () =
       (* the child's copies of the parent's recordings and counters are
@@ -442,6 +550,14 @@ module Pool = struct
         worker;
         setup;
         max_retries;
+        retry_backoff;
+        respawn_backoff;
+        poison_threshold;
+        crash_ledger = Hashtbl.create 16;
+        poisoned = Hashtbl.create 4;
+        rng = (backoff_seed lxor 0x5DEECE6) land 0x3FFFFFFF;
+        crashes = 0;
+        respawns = 0;
         chunk = Bytes.create 65536;
         prev_sigpipe;
         shut = false;
@@ -463,15 +579,57 @@ module Pool = struct
       | Some b -> b
       | None -> Printf.sprintf "#%d" ticket  (* no affinity *)
     in
-    let p = { ticket; payload; batch; attempts = 0 } in
+    let p = { ticket; payload; batch; attempts = 0; not_before = 0. } in
     batch_ref t batch;
-    t.queue <- t.queue @ [ p ];
-    dispatch_all t;
+    (match Hashtbl.find_opt t.poisoned batch with
+    | Some diag ->
+        (* the batch already killed its quota of workers: fail fast *)
+        complete t p (Error diag)
+    | None ->
+        t.queue <- t.queue @ [ p ];
+        dispatch_all t);
     ticket
 
   let queued t = List.length t.queue
   let in_flight t = List.length (busy_slots t)
   let pending t = queued t + in_flight t
+
+  type health = {
+    h_workers : int;  (** configured slots *)
+    h_alive : int;  (** slots with a live worker right now *)
+    h_crashes : int;
+    h_respawns : int;
+    h_poisoned : int;  (** batches on the poison ledger *)
+  }
+
+  let health t =
+    let alive =
+      Array.fold_left
+        (fun n -> function Some s when s.alive -> n + 1 | _ -> n)
+        0 t.slots
+    in
+    {
+      h_workers = Array.length t.slots;
+      h_alive = alive;
+      h_crashes = t.crashes;
+      h_respawns = t.respawns;
+      h_poisoned = Hashtbl.length t.poisoned;
+    }
+
+  let poisoned_batches t =
+    Hashtbl.fold (fun b _ acc -> b :: acc) t.poisoned []
+
+  (* Chaos hook: SIGKILL the worker behind the [idx]-th busy slot (mod
+     the busy count).  Detection and recovery then run through the
+     ordinary crash machinery — which is the point. *)
+  let chaos_kill t idx =
+    match busy_slots t with
+    | [] -> false
+    | busy -> (
+        let s = List.nth busy (abs idx mod List.length busy) in
+        match Unix.kill s.pid Sys.sigkill with
+        | () -> true
+        | exception Unix.Unix_error _ -> false)
 
   let result_fds t = List.map (fun s -> s.from_fd) (busy_slots t)
 
@@ -521,12 +679,50 @@ module Pool = struct
     t.completed <- [];
     cs
 
+  (* Next wall-clock instant at which supervision state changes on its
+     own: a deferred retry becomes due, or a downed slot may revive.
+     [infinity] when nothing is scheduled. *)
+  let earliest_event t =
+    let ev = ref infinity in
+    List.iter (fun p -> if p.not_before > 0. then ev := min !ev p.not_before)
+      t.queue;
+    Array.iter
+      (function
+        | Some s when (not s.alive) && s.down_until > 0. ->
+            ev := min !ev s.down_until
+        | _ -> ())
+      t.slots;
+    !ev
+
   let poll ?(timeout = -1.0) t =
+    revive t;
+    sweep_poisoned t;
     dispatch_all t;
     (match busy_slots t with
-    | [] -> ()
+    | [] ->
+        (* nothing in flight, but a deferred retry or a downed worker
+           may still owe us a completion: wait for the earliest one
+           (bounded by [timeout]) instead of spinning *)
+        let ev = earliest_event t in
+        if ev < infinity then begin
+          let wait = max 0. (ev -. Unix.gettimeofday ()) in
+          let wait = if timeout >= 0. then min wait timeout else wait in
+          if wait > 0. then
+            (try Unix.sleepf wait with Unix.Unix_error _ -> ());
+          revive t;
+          dispatch_all t
+        end
     | busy -> (
         let fds = List.map (fun s -> s.from_fd) busy in
+        (* a pending supervision event caps the select: a retry must not
+           sit in the queue while we block on unrelated descriptors *)
+        let timeout =
+          match earliest_event t with
+          | ev when ev = infinity -> timeout
+          | ev ->
+              let d = max 0.001 (ev -. Unix.gettimeofday ()) in
+              if timeout < 0. then d else min timeout d
+        in
         let readable, _, _ =
           match Unix.select fds [] [] timeout with
           | r -> r
@@ -538,6 +734,8 @@ module Pool = struct
             | Some s when s.alive -> read_response t s
             | _ -> ())
           readable;
+        revive t;
+        sweep_poisoned t;
         dispatch_all t));
     drain t
 

@@ -106,6 +106,10 @@ module Pool : sig
   val create :
     ?jobs:int ->
     ?max_retries:int ->
+    ?retry_backoff:float ->
+    ?respawn_backoff:float ->
+    ?poison_threshold:int ->
+    ?backoff_seed:int ->
     ?child_setup:(unit -> unit) ->
     worker:(Minijson.t -> Minijson.t) ->
     unit ->
@@ -114,7 +118,26 @@ module Pool : sig
       workers.  Unlike {!map} there is no inline path: a pool always
       runs its jobs in child processes, so the creating process (an
       event loop) is never blocked by a job.  [SIGPIPE] is set to
-      ignore while the pool lives (restored by {!shutdown}). *)
+      ignore while the pool lives (restored by {!shutdown}).
+
+      Supervision knobs (all default to the pre-hardening behavior of
+      immediate, unbounded-rate action):
+
+      - [retry_backoff] (seconds, default [0.]): base delay before a
+        crash-retried job is redispatched.  Attempt [n] waits
+        [retry_backoff * 2^(n-1)] scaled by a deterministic jitter in
+        [[0.5, 1.5)], so a crashing job cannot hot-loop a worker.
+      - [respawn_backoff] (seconds, default [0.]): base delay before a
+        crashed slot is re-forked, doubling per consecutive crash (the
+        counter resets on the slot's next successful job).  With [0.]
+        slots respawn immediately, as before.
+      - [poison_threshold] (default [0] = disabled): a batch whose jobs
+        have killed this many workers is {e poisoned} — its in-flight
+        job fails with a [poison-pill] diagnostic, every queued and
+        future job of the same batch fails immediately, and the pool
+        stops burning workers on it.
+      - [backoff_seed]: seeds the jitter PRNG, so backoff schedules are
+        replayable. *)
 
   val submit : t -> ?batch:string -> Minijson.t -> ticket
   (** Enqueue a job and dispatch it to an idle worker if one is free.
@@ -137,6 +160,27 @@ module Pool : sig
 
   val pending : t -> int
   (** [queued + in_flight]. *)
+
+  type health = {
+    h_workers : int;  (** configured slots *)
+    h_alive : int;  (** slots with a live worker right now *)
+    h_crashes : int;  (** worker crashes since [create] *)
+    h_respawns : int;  (** crash-driven respawns (initial forks excluded) *)
+    h_poisoned : int;  (** batches on the poison ledger *)
+  }
+
+  val health : t -> health
+  (** Supervision snapshot — the daemon surfaces this in [stats]. *)
+
+  val poisoned_batches : t -> string list
+  (** Batch keys currently on the poison ledger (unordered). *)
+
+  val chaos_kill : t -> int -> bool
+  (** [chaos_kill t i] SIGKILLs the worker behind the [i]-th busy slot
+      (modulo the busy count) — the service chaos harness's
+      [service.worker.kill] injection.  Detection, retry, poisoning and
+      respawn then exercise the ordinary crash machinery.  [false] when
+      no worker is busy. *)
 
   val result_fds : t -> Unix.file_descr list
   (** Parent-side descriptors that become readable when an in-flight

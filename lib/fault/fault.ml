@@ -52,11 +52,51 @@ let points =
         "corrupt the value carried by an intercluster move in the \
          cycle-level simulator (data fault)";
     };
+    {
+      name = "service.frame.torn";
+      stage = "service";
+      doc =
+        "close the client connection mid-frame, leaving the daemon a \
+         truncated length-prefixed frame";
+    };
+    {
+      name = "service.frame.corrupt";
+      stage = "service";
+      doc =
+        "flip one byte inside an outgoing request frame's JSON payload \
+         (well-formed header, garbage body)";
+    };
+    {
+      name = "service.client.slow-loris";
+      stage = "service";
+      doc =
+        "dribble a request frame onto the socket a few bytes at a time \
+         instead of writing it whole";
+    };
+    {
+      name = "service.client.disconnect";
+      stage = "service";
+      doc =
+        "disconnect immediately after submitting a job, orphaning its \
+         server-side waiter mid-compile";
+    };
+    {
+      name = "service.worker.kill";
+      stage = "service";
+      doc = "SIGKILL a busy pool worker process mid-compile";
+    };
+    {
+      name = "service.cache.corrupt";
+      stage = "service";
+      doc =
+        "flip one byte in a just-written on-disk artifact store entry \
+         (detected as a checksum mismatch on the next read)";
+    };
   ]
 
 let find_point name = List.find_opt (fun p -> String.equal p.name name) points
 
-type trigger = Nth of int | Always
+type trigger = Nth of int | Always | Every of int
 
 type spec = (string * trigger) list
 
@@ -66,6 +106,7 @@ let pp_trigger ppf = function
   | Nth 1 -> ()
   | Nth k -> Fmt.pf ppf "@%d" k
   | Always -> Fmt.pf ppf "@*"
+  | Every k -> Fmt.pf ppf "@%d*" k
 
 let pp_spec ppf s =
   Fmt.(list ~sep:comma (fun ppf (n, t) -> Fmt.pf ppf "%s%a" n pp_trigger t))
@@ -81,14 +122,23 @@ let parse_entry e =
         ( name,
           if String.equal t "*" then Ok Always
           else
-            match int_of_string_opt t with
-            | Some k when k >= 1 -> Ok (Nth k)
-            | _ ->
-                Error
-                  (Fmt.str
-                     "bad trigger %S in %S (expected a positive integer or \
-                      '*')"
-                     t e) )
+            let bad () =
+              Error
+                (Fmt.str
+                   "bad trigger %S in %S (expected a positive integer, 'N*' \
+                    or '*')"
+                   t e)
+            in
+            let n = String.length t in
+            if n >= 2 && t.[n - 1] = '*' then
+              (* periodic: "@N*" fires on every N-th opportunity *)
+              match int_of_string_opt (String.sub t 0 (n - 1)) with
+              | Some k when k >= 1 -> Ok (Every k)
+              | _ -> bad ()
+            else
+              match int_of_string_opt t with
+              | Some k when k >= 1 -> Ok (Nth k)
+              | _ -> bad () )
   in
   match find_point name with
   | None ->
@@ -163,7 +213,10 @@ let fire name =
           in
           Hashtbl.replace st.occurrences name seen;
           let inject =
-            match trigger with Nth k -> seen = k | Always -> true
+            match trigger with
+            | Nth k -> seen = k
+            | Always -> true
+            | Every k -> seen mod k = 0
           in
           if inject then begin
             incr n_injected;

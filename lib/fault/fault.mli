@@ -1,7 +1,10 @@
 (** Deterministic fault injection for the GDP pipeline.
 
     A small registry of named injection points wired into the
-    partitioner, move insertion, the scheduler and the simulator.  A
+    partitioner, move insertion, the scheduler, the simulator and —
+    since the service hardening pass — the [gdpcd] serving layer
+    (frame codec, client behavior, worker pool, on-disk artifact
+    store).  A
     seed-driven spec ([parse_spec] / [arm]) selects which points fire
     and on which occurrence, so every injected fault is reproducible
     from the command line ([gdpc --inject SPEC --inject-seed N]).
@@ -27,14 +30,16 @@ val points : point list
 val find_point : string -> point option
 
 (** When a point fires.  [Nth k] fires exactly once, on the k-th
-    opportunity (1-based); [Always] fires on every opportunity. *)
-type trigger = Nth of int | Always
+    opportunity (1-based); [Always] fires on every opportunity;
+    [Every k] fires periodically, on every k-th opportunity — the
+    workhorse of sustained chaos runs ([gdpc loadgen --chaos]). *)
+type trigger = Nth of int | Always | Every of int
 
 type spec
 (** A parsed injection spec: one or more (point, trigger) entries. *)
 
-(** [parse_spec s] parses ["point[@N|@*][,point...]"], e.g.
-    ["move.drop"], ["sched.overbook@*"], or
+(** [parse_spec s] parses ["point[@N|@N*|@*][,point...]"], e.g.
+    ["move.drop"], ["sched.overbook@*"], ["service.worker.kill@5*"], or
     ["partition.infeasible,sim.move-latency@3"].  Unknown points and
     malformed triggers are reported as [Error]. *)
 val parse_spec : string -> (spec, string) result

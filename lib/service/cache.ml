@@ -11,33 +11,40 @@ type node = {
 type t = {
   cap : int;
   table : (string, node) Hashtbl.t;
+  store : Store.t option;  (** durable backing layer, read/write-through *)
   mutable head : node option;
   mutable tail : node option;
   mutable hits : int;
   mutable misses : int;
+  mutable warm_hits : int;
   mutable evictions : int;
 }
 
 type stats = {
   hits : int;
   misses : int;
+  warm_hits : int;
   evictions : int;
   entries : int;
   cap : int;
 }
 
-let create ?(capacity = 256) () =
+let create ?(capacity = 256) ?store () =
   if capacity < 1 then
     invalid_arg (Printf.sprintf "Cache.create: capacity %d < 1" capacity);
   {
     cap = capacity;
     table = Hashtbl.create 64;
+    store;
     head = None;
     tail = None;
     hits = 0;
     misses = 0;
+    warm_hits = 0;
     evictions = 0;
   }
+
+let store t = t.store
 
 let capacity (t : t) = t.cap
 let length t = Hashtbl.length t.table
@@ -62,20 +69,6 @@ let touch t n =
     push_front t n
   end
 
-let find t k =
-  match Hashtbl.find_opt t.table k with
-  | Some n ->
-      t.hits <- t.hits + 1;
-      Telemetry.incr "service.cache.hits";
-      touch t n;
-      Some n.value
-  | None ->
-      t.misses <- t.misses + 1;
-      Telemetry.incr "service.cache.misses";
-      None
-
-let mem t k = Hashtbl.mem t.table k
-
 let evict_lru t =
   match t.tail with
   | None -> ()
@@ -85,7 +78,10 @@ let evict_lru t =
       t.evictions <- t.evictions + 1;
       Telemetry.incr "service.cache.evictions"
 
-let add t k v =
+(* Insert into the recency structure only — no store write-through.
+   Shared by [add] (which also persists) and the store-promotion path
+   of [find] (whose value is already durable). *)
+let add_resident t k v =
   (match Hashtbl.find_opt t.table k with
   | Some n ->
       n.value <- v;
@@ -97,6 +93,35 @@ let add t k v =
       push_front t n);
   set_entries_gauge t
 
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | Some n ->
+      t.hits <- t.hits + 1;
+      Telemetry.incr "service.cache.hits";
+      touch t n;
+      Some n.value
+  | None -> (
+      match Option.bind t.store (fun s -> Store.find s k) with
+      | Some v ->
+          (* warm hit: durable entry survives restarts and LRU
+             eviction; promote it back into memory *)
+          t.warm_hits <- t.warm_hits + 1;
+          Telemetry.incr "service.cache.warm_hits";
+          add_resident t k v;
+          Some v
+      | None ->
+          t.misses <- t.misses + 1;
+          Telemetry.incr "service.cache.misses";
+          None)
+
+let mem t k =
+  Hashtbl.mem t.table k
+  || match t.store with Some s -> Store.mem s k | None -> false
+
+let add t k v =
+  add_resident t k v;
+  match t.store with Some s -> Store.add s k v | None -> ()
+
 let clear t =
   Hashtbl.reset t.table;
   t.head <- None;
@@ -107,6 +132,7 @@ let stats (c : t) =
   {
     hits = c.hits;
     misses = c.misses;
+    warm_hits = c.warm_hits;
     evictions = c.evictions;
     entries = length c;
     cap = c.cap;
@@ -117,6 +143,7 @@ let stats_to_json s =
     [
       ("hits", Minijson.int s.hits);
       ("misses", Minijson.int s.misses);
+      ("warm_hits", Minijson.int s.warm_hits);
       ("evictions", Minijson.int s.evictions);
       ("entries", Minijson.int s.entries);
       ("capacity", Minijson.int s.cap);

@@ -7,9 +7,18 @@
     entry is evicted.  [find] refreshes recency; [add] of an existing
     key replaces the value and refreshes recency.
 
-    The cache keeps its own hit/miss/eviction tallies (always on) and
-    mirrors them into {!Telemetry} counters [service.cache.hits],
-    [service.cache.misses], [service.cache.evictions] and the gauge
+    Optionally layered over a durable {!Store}: [find] falls through a
+    memory miss to the on-disk store (a verified disk read is a
+    {e warm hit} — the entry survives daemon restarts and LRU
+    eviction — and is promoted back into memory), and [add] writes
+    through, so every computed artifact becomes durable the moment it
+    is cached.  [clear] empties memory only; the store keeps its
+    entries.
+
+    The cache keeps its own hit/miss/warm-hit/eviction tallies (always
+    on) and mirrors them into {!Telemetry} counters
+    [service.cache.hits], [service.cache.misses],
+    [service.cache.warm_hits], [service.cache.evictions] and the gauge
     [service.cache.entries] when telemetry is enabled.
 
     Single-threaded, like the rest of the repo.  The server registers
@@ -19,9 +28,11 @@
 
 type t
 
-val create : ?capacity:int -> unit -> t
-(** Default capacity: 256 entries.  Raises [Invalid_argument] when
-    [capacity < 1]. *)
+val create : ?capacity:int -> ?store:Store.t -> unit -> t
+(** Default capacity: 256 entries, no durable layer.  Raises
+    [Invalid_argument] when [capacity < 1]. *)
+
+val store : t -> Store.t option
 
 val capacity : t -> int
 
@@ -44,6 +55,7 @@ val clear : t -> unit
 type stats = {
   hits : int;
   misses : int;
+  warm_hits : int;  (** memory misses served from the durable store *)
   evictions : int;
   entries : int;
   cap : int;

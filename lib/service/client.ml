@@ -22,14 +22,55 @@ let addr_of_endpoint ep =
       | None -> (Unix.PF_UNIX, Unix.ADDR_UNIX ep))
   | _ -> (Unix.PF_UNIX, Unix.ADDR_UNIX ep)
 
-let connect ?(max_frame = Frame.default_max_frame) ?(attempts = 1) ep =
+(* Connect with an optional wall-clock bound: non-blocking connect,
+   then select for writability, then read back [SO_ERROR] (a refused
+   connection reports there, not from [connect] itself). *)
+let connect_once ?connect_timeout domain addr =
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  match connect_timeout with
+  | None -> (
+      match Unix.connect fd addr with
+      | () -> fd
+      | exception e ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          raise e)
+  | Some tmo -> (
+      try
+        Unix.set_nonblock fd;
+        (match Unix.connect fd addr with
+        | () -> ()
+        | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _)
+          -> (
+            match Unix.select [] [ fd ] [] tmo with
+            | _, [], _ ->
+                raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""))
+            | _ -> (
+                match Unix.getsockopt_error fd with
+                | None -> ()
+                | Some err -> raise (Unix.Unix_error (err, "connect", "")))));
+        Unix.clear_nonblock fd;
+        fd
+      with e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e)
+
+let connect ?(max_frame = Frame.default_max_frame) ?(attempts = 1)
+    ?connect_timeout ?io_timeout ep =
   let domain, addr = addr_of_endpoint ep in
   let rec go n delay =
-    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
-    match Unix.connect fd addr with
-    | () -> { fd; max_frame }
+    match connect_once ?connect_timeout domain addr with
+    | fd ->
+        (match io_timeout with
+        | None -> ()
+        | Some tmo ->
+            (* best effort: a platform refusing the option still works,
+               just without the read/write bound *)
+            (try
+               Unix.setsockopt_float fd Unix.SO_RCVTIMEO tmo;
+               Unix.setsockopt_float fd Unix.SO_SNDTIMEO tmo
+             with Unix.Unix_error _ | Invalid_argument _ -> ()));
+        { fd; max_frame }
     | exception e ->
-        (try Unix.close fd with Unix.Unix_error _ -> ());
         if n >= attempts then raise e
         else begin
           (try ignore (Unix.select [] [] [] delay)
@@ -47,12 +88,16 @@ let recv t =
   match Frame.read ~max_frame:t.max_frame t.fd with
   | Error e -> Error (Frame.error_to_string e)
   | Ok doc -> Protocol.response_of_json doc
+  | exception
+      Unix.Unix_error
+        ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _) ->
+      Error "i/o timeout"
 
 let rpc t req =
   send t req;
   recv t
 
-let submit t (job : Protocol.job) =
+let submit_once t (job : Protocol.job) =
   match rpc t (Protocol.Submit job) with
   | Error _ as e -> e
   | Ok resp -> (
@@ -70,3 +115,15 @@ let submit t (job : Protocol.job) =
             (Printf.sprintf "response for job %S while waiting for %S" other
                job.Protocol.id)
       | None -> Ok resp)
+
+let submit ?(retries = 0) t (job : Protocol.job) =
+  let rec go left =
+    match submit_once t job with
+    | Ok (Protocol.Failed { retry_after_ms = Some ms; _ }) when left > 0 ->
+        (* the server told us when the backlog should have moved *)
+        (try Unix.sleepf (float_of_int (max 1 ms) /. 1000.)
+         with Unix.Unix_error _ -> ());
+        go (left - 1)
+    | r -> r
+  in
+  go (max 0 retries)

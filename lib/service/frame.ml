@@ -52,6 +52,12 @@ let get_header b off =
   lor (Char.code (Bytes.get b (off + 2)) lsl 8)
   lor Char.code (Bytes.get b (off + 3))
 
+let to_string doc =
+  let payload = Minijson.encode doc in
+  let header = Bytes.create header_len in
+  put_header header (String.length payload);
+  Bytes.to_string header ^ payload
+
 let write ?(max_frame = default_max_frame) fd doc =
   let payload = Minijson.encode doc in
   let len = String.length payload in

@@ -23,6 +23,11 @@ type error =
 
 val error_to_string : error -> string
 
+val to_string : Minijson.t -> string
+(** The exact bytes {!write} would send (header + payload), without
+    sending them — the chaos harness slices, truncates and corrupts
+    this to fabricate hostile wire traffic. *)
+
 val write : ?max_frame:int -> Unix.file_descr -> Minijson.t -> unit
 (** Encode and send one frame.  Raises [Invalid_argument] when the
     encoded payload exceeds [max_frame] (the peer would reject it

@@ -2,6 +2,10 @@
 
 module Settings = Gdp_core.Pipeline.Settings
 
+let src = Logs.Src.create "loadgen" ~doc:"gdpcd load generator"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
 type mode = Closed | Open of float
 
 type config = {
@@ -13,6 +17,9 @@ type config = {
   method_ : Partition.Methods.t;
   deadline_ms : int option;
   seed : int;
+  chaos : string option;
+  inject_seed : int;
+  max_attempts : int;
 }
 
 let default_config =
@@ -25,6 +32,9 @@ let default_config =
     method_ = Partition.Methods.Gdp;
     deadline_ms = None;
     seed = 42;
+    chaos = None;
+    inject_seed = 0;
+    max_attempts = 5;
   }
 
 type summary = {
@@ -36,9 +46,15 @@ type summary = {
   elapsed_s : float;
   throughput_cps : float;
   p50_us : float;
+  p95_us : float;
   p99_us : float;
   mean_us : float;
   concurrency : int;
+  shed : int;
+  retries : int;
+  injected : int;
+  gave_up : int;
+  artifact_mismatches : int;
 }
 
 (* A small two-phase kernel whose object homes actually matter, with
@@ -63,13 +79,52 @@ void main() {
 
 let workload = List.init 24 (fun i -> ((i * 37) + 11) mod 256)
 
-type conn = { cl : Client.t; mutable busy : (int * float) option }
+type conn = { mutable cl : Client.t; mutable busy : (int * int) option }
+(* busy: (request index, attempt number) *)
+
+(* ------------------------------------------------------------------ *)
+(* Client-side chaos: hostile wire behaviors, selected per send by the
+   armed {!Fault} spec.  Each is the attack a hardened daemon must
+   shrug off: a half-written frame, a bit-flipped frame, a byte-drip
+   sender, a client that vanishes right after submitting. *)
+
+type behavior = Normal | Torn | Corrupt | Slow_loris | Disconnect
+
+let pick_behavior () =
+  if not (Fault.armed ()) then Normal
+  else if Fault.fire "service.frame.torn" then Torn
+  else if Fault.fire "service.frame.corrupt" then Corrupt
+  else if Fault.fire "service.client.slow-loris" then Slow_loris
+  else if Fault.fire "service.client.disconnect" then Disconnect
+  else Normal
+
+let rec write_all fd s off len =
+  if len > 0 then
+    match Unix.write_substring fd s off len with
+    | n -> write_all fd s (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s off len
+
+let ignore_unix f = try f () with Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
 
 let run (cfg : config) =
   if cfg.requests <= 0 then
     invalid_arg "Loadgen.run: requests must be positive";
   if cfg.connections <= 0 then
     invalid_arg "Loadgen.run: connections must be positive";
+  let chaos_armed =
+    match cfg.chaos with
+    | None -> false
+    | Some spec -> (
+        match Fault.parse_spec spec with
+        | Error m -> invalid_arg ("Loadgen.run: bad chaos spec: " ^ m)
+        | Ok s ->
+            Fault.arm ~seed:cfg.inject_seed s;
+            true)
+  in
+  Fun.protect ~finally:(fun () -> if chaos_armed then Fault.disarm ())
+  @@ fun () ->
   (* reproducible request plan: duplicate requests draw their program
      from a 4-entry shared set, the rest are unique *)
   let state = ref (cfg.seed land 0x3FFFFFFF) in
@@ -100,9 +155,11 @@ let run (cfg : config) =
     }
   in
   let nconn = min cfg.connections cfg.requests in
-  let conns =
-    Array.init nconn (fun _ ->
-        { cl = Client.connect ~attempts:20 cfg.endpoint; busy = None })
+  let fresh_conn () = Client.connect ~attempts:20 cfg.endpoint in
+  let conns = Array.init nconn (fun _ -> { cl = fresh_conn (); busy = None }) in
+  let reconnect c =
+    Client.close c.cl;
+    c.cl <- fresh_conn ()
   in
   let t0 = Unix.gettimeofday () in
   let due =
@@ -113,26 +170,140 @@ let run (cfg : config) =
           invalid_arg "Loadgen.run: open-loop rate must be positive";
         Some (Array.init cfg.requests (fun i -> t0 +. (float_of_int i /. rate)))
   in
+  let start_of = Array.make cfg.requests 0. in
   let latencies = Array.make cfg.requests 0. in
   let succeeded = ref 0 and failed = ref 0 and hits = ref 0 in
+  let shed = ref 0
+  and retries = ref 0
+  and injected = ref 0
+  and gave_up = ref 0
+  and mismatches = ref 0 in
   let sent = ref 0 and completed = ref 0 in
+  (* requests bounced by admission control (or chaos) waiting to go
+     again: (index, attempt, not-before) *)
+  let retry_q : (int * int * float) list ref = ref [] in
+  (* the compile is content-addressed, so every response for program
+     [k] under one settings document must carry identical bytes — the
+     "zero wrong artifacts" check chaos runs gate on *)
+  let artifact_of : (int, string) Hashtbl.t = Hashtbl.create 16 in
+  let check_artifact i art =
+    let _, k = plan.(i) in
+    let bytes = Minijson.encode art in
+    match Hashtbl.find_opt artifact_of k with
+    | None -> Hashtbl.replace artifact_of k bytes
+    | Some prev ->
+        if prev <> bytes then begin
+          incr mismatches;
+          Log.err (fun m -> m "artifact mismatch for program %d" k)
+        end
+  in
+  (* Send request [i] on [c] through the selected chaos behavior.
+     Returns [true] when a response is now owed on the connection. *)
+  let send_request c i _attempt =
+    let _, k = plan.(i) in
+    let j = job_of i k in
+    match pick_behavior () with
+    | Normal ->
+        Client.send c.cl (Protocol.Submit j);
+        true
+    | Torn ->
+        (* half a frame, then vanish: the decoder must never deliver it *)
+        incr injected;
+        let raw = Frame.to_string (Protocol.request_to_json (Protocol.Submit j)) in
+        let half = max 1 (String.length raw / 2) in
+        ignore_unix (fun () -> write_all (Client.fd c.cl) raw 0 half);
+        reconnect c;
+        Client.send c.cl (Protocol.Submit j);
+        true
+    | Corrupt ->
+        (* one flipped payload byte: the server must reject the frame,
+           not act on it *)
+        incr injected;
+        let raw = Frame.to_string (Protocol.request_to_json (Protocol.Submit j)) in
+        let b = Bytes.of_string raw in
+        let off = 4 + Fault.rand "service.frame.corrupt" (Bytes.length b - 4) in
+        Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x01));
+        ignore_unix (fun () ->
+            write_all (Client.fd c.cl) (Bytes.to_string b) 0 (Bytes.length b));
+        reconnect c;
+        Client.send c.cl (Protocol.Submit j);
+        true
+    | Slow_loris ->
+        (* drip the (valid) frame a few bytes at a time *)
+        incr injected;
+        let raw = Frame.to_string (Protocol.request_to_json (Protocol.Submit j)) in
+        let n = String.length raw in
+        let chunk = 7 in
+        let off = ref 0 in
+        (try
+           while !off < n do
+             let len = min chunk (n - !off) in
+             write_all (Client.fd c.cl) raw !off len;
+             off := !off + len;
+             if !off < n then Unix.sleepf 0.001
+           done
+         with Unix.Unix_error _ ->
+           (* server gave up on us: start over on a fresh connection *)
+           reconnect c;
+           Client.send c.cl (Protocol.Submit j));
+        true
+    | Disconnect ->
+        (* a complete submit, then the client evaporates mid-job: the
+           server must drop the result, not crash or misdeliver it *)
+        incr injected;
+        (try Client.send c.cl (Protocol.Submit j)
+         with Unix.Unix_error _ -> ());
+        reconnect c;
+        Client.send c.cl (Protocol.Submit j);
+        true
+  in
+  let requeue i attempt now delay =
+    if attempt >= cfg.max_attempts then begin
+      incr gave_up;
+      incr failed;
+      latencies.(i) <- Unix.gettimeofday () -. start_of.(i);
+      incr completed
+    end
+    else begin
+      incr retries;
+      retry_q := !retry_q @ [ (i, attempt + 1, now +. delay) ]
+    end
+  in
   let try_fire now =
     Array.iter
       (fun c ->
-        if c.busy = None && !sent < cfg.requests then begin
-          let i = !sent in
-          let fire, start =
-            match due with
-            | None -> (true, now)
-            | Some d -> if now >= d.(i) then (true, d.(i)) else (false, 0.)
+        if c.busy = None then begin
+          (* a due retry takes priority over fresh work *)
+          let retry =
+            let rec pick acc = function
+              | [] -> None
+              | ((i, a, nb) as r) :: rest ->
+                  if nb <= now then begin
+                    retry_q := List.rev_append acc rest;
+                    Some (i, a)
+                  end
+                  else pick (r :: acc) rest
+            in
+            pick [] !retry_q
           in
-          if fire then begin
-            sent := i + 1;
-            let _, k = plan.(i) in
-            Client.send c.cl (Protocol.Submit (job_of i k));
-            c.busy <- Some (i, start)
-          end
-        end)
+          match retry with
+          | Some (i, attempt) ->
+              if send_request c i attempt then c.busy <- Some (i, attempt)
+          | None ->
+              if !sent < cfg.requests then begin
+                let i = !sent in
+                let fire, start =
+                  match due with
+                  | None -> (true, now)
+                  | Some d -> if now >= d.(i) then (true, d.(i)) else (false, 0.)
+                in
+                if fire then begin
+                  sent := i + 1;
+                  start_of.(i) <- start;
+                  if send_request c i 1 then c.busy <- Some (i, 1)
+                end
+              end
+          end)
       conns
   in
   while !completed < cfg.requests do
@@ -145,34 +316,64 @@ let run (cfg : config) =
         [] conns
     in
     let timeout =
-      match due with
-      | Some d when !sent < cfg.requests ->
-          Float.max 0. (Float.min 5.0 (d.(!sent) -. now))
-      | _ -> 5.0
+      let next_due =
+        match due with
+        | Some d when !sent < cfg.requests -> Some d.(!sent)
+        | _ -> None
+      in
+      let next_retry =
+        List.fold_left
+          (fun acc (_, _, nb) ->
+            match acc with None -> Some nb | Some a -> Some (Float.min a nb))
+          None !retry_q
+      in
+      match (next_due, next_retry) with
+      | None, None -> 5.0
+      | Some d, None | None, Some d -> Float.max 0. (Float.min 5.0 (d -. now))
+      | Some a, Some b ->
+          Float.max 0. (Float.min 5.0 (Float.min a b -. now))
     in
-    match Unix.select busy_fds [] [] timeout with
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | readable, _, _ ->
-        Array.iter
-          (fun c ->
-            match c.busy with
-            | Some (i, start) when List.mem (Client.fd c.cl) readable ->
-                let resp = Client.recv c.cl in
-                let fin = Unix.gettimeofday () in
-                latencies.(i) <- fin -. start;
-                (match resp with
-                | Ok (Protocol.Result { cached; _ }) ->
-                    incr succeeded;
-                    if cached then incr hits
-                | Ok (Protocol.Failed { reason; _ }) ->
-                    ignore reason;
-                    incr failed
-                | Ok _ -> incr failed
-                | Error m -> failwith ("loadgen: connection error: " ^ m));
-                c.busy <- None;
-                incr completed
-            | _ -> ())
-          conns
+    if busy_fds = [] then (
+      (* everything idle but work remains: wait for the next due time *)
+      try ignore (Unix.select [] [] [] (Float.min timeout 0.05))
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ())
+    else
+      match Unix.select busy_fds [] [] timeout with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | readable, _, _ ->
+          Array.iter
+            (fun c ->
+              match c.busy with
+              | Some (i, attempt) when List.mem (Client.fd c.cl) readable -> (
+                  let resp = Client.recv c.cl in
+                  let fin = Unix.gettimeofday () in
+                  c.busy <- None;
+                  match resp with
+                  | Ok (Protocol.Result { cached; result; _ }) ->
+                      latencies.(i) <- fin -. start_of.(i);
+                      incr succeeded;
+                      if cached then incr hits;
+                      check_artifact i result;
+                      incr completed
+                  | Ok (Protocol.Failed { retry_after_ms = Some ms; _ }) ->
+                      (* admission control pushed back: honor the hint *)
+                      incr shed;
+                      requeue i attempt fin (float_of_int (max 1 ms) /. 1000.)
+                  | Ok (Protocol.Failed _) | Ok _ ->
+                      latencies.(i) <- fin -. start_of.(i);
+                      incr failed;
+                      incr completed
+                  | Error m ->
+                      if chaos_armed then begin
+                        (* the connection was a casualty (server dropped
+                           us after a hostile frame, worker churn, ...):
+                           recover and try again *)
+                        reconnect c;
+                        requeue i attempt fin 0.01
+                      end
+                      else failwith ("loadgen: connection error: " ^ m))
+              | _ -> ())
+            conns
   done;
   let elapsed = Unix.gettimeofday () -. t0 in
   Array.iter (fun c -> Client.close c.cl) conns;
@@ -194,9 +395,15 @@ let run (cfg : config) =
     elapsed_s = elapsed;
     throughput_cps = float_of_int !succeeded /. Float.max 1e-9 elapsed;
     p50_us = pct 0.5;
+    p95_us = pct 0.95;
     p99_us = pct 0.99;
     mean_us = mean;
     concurrency = nconn;
+    shed = !shed;
+    retries = !retries;
+    injected = !injected;
+    gave_up = !gave_up;
+    artifact_mismatches = !mismatches;
   }
 
 let summary_to_json s =
@@ -211,17 +418,25 @@ let summary_to_json s =
       ("elapsed_s", Minijson.float s.elapsed_s);
       ("throughput_cps", Minijson.float s.throughput_cps);
       ("p50_us", Minijson.float s.p50_us);
+      ("p95_us", Minijson.float s.p95_us);
       ("p99_us", Minijson.float s.p99_us);
       ("mean_us", Minijson.float s.mean_us);
       ("concurrency", Minijson.int s.concurrency);
+      ("shed", Minijson.int s.shed);
+      ("retries", Minijson.int s.retries);
+      ("injected", Minijson.int s.injected);
+      ("gave_up", Minijson.int s.gave_up);
+      ("artifact_mismatches", Minijson.int s.artifact_mismatches);
     ]
 
 (* ------------------------------------------------------------------ *)
 
+type server_handle = { sh_pid : int; sh_socket : string }
+
 let socket_counter = ref 0
 
-let with_local_server ?(jobs = 2) ?(cache_capacity = 256) ?(max_queue = 64)
-    ?trace f =
+let spawn_server ?(jobs = 2) ?(cache_capacity = 256) ?(max_pending = 64)
+    ?(brownout = 1.0) ?store_dir ?inject ?trace () =
   incr socket_counter;
   let path =
     Filename.concat (Filename.get_temp_dir_name ())
@@ -237,38 +452,47 @@ let with_local_server ?(jobs = 2) ?(cache_capacity = 256) ?(max_queue = 64)
               socket_path = Some path;
               jobs;
               cache_capacity;
-              max_queue;
+              max_pending;
+              brownout;
+              store_dir;
+              inject;
               trace;
             };
           0
         with _ -> 1
       in
       Unix._exit code
-  | pid ->
-      Fun.protect
-        ~finally:(fun () ->
-          (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
-          let rec reap tries =
-            match Unix.waitpid [ Unix.WNOHANG ] pid with
-            | 0, _ ->
-                if tries >= 100 then begin
-                  (try Unix.kill pid Sys.sigkill
-                   with Unix.Unix_error _ -> ());
-                  let rec wait () =
-                    try ignore (Unix.waitpid [] pid)
-                    with Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
-                  in
-                  wait ()
-                end
-                else begin
-                  (try ignore (Unix.select [] [] [] 0.05)
-                   with Unix.Unix_error (Unix.EINTR, _, _) -> ());
-                  reap (tries + 1)
-                end
-            | _ -> ()
-            | exception Unix.Unix_error (Unix.EINTR, _, _) -> reap tries
-            | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+  | pid -> { sh_pid = pid; sh_socket = path }
+
+let stop_server ?(signal = Sys.sigterm) { sh_pid = pid; sh_socket = path } =
+  (try Unix.kill pid signal with Unix.Unix_error _ -> ());
+  let rec reap tries =
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ ->
+        if tries >= 100 then begin
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          let rec wait () =
+            try ignore (Unix.waitpid [] pid)
+            with Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
           in
-          reap 0;
-          try Unix.unlink path with Unix.Unix_error _ -> ())
-        (fun () -> f path)
+          wait ()
+        end
+        else begin
+          (try ignore (Unix.select [] [] [] 0.05)
+           with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          reap (tries + 1)
+        end
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> reap tries
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+  in
+  reap 0;
+  try Unix.unlink path with Unix.Unix_error _ -> ()
+
+let with_local_server ?jobs ?cache_capacity ?max_pending ?brownout ?store_dir
+    ?inject ?trace f =
+  let h =
+    spawn_server ?jobs ?cache_capacity ?max_pending ?brownout ?store_dir
+      ?inject ?trace ()
+  in
+  Fun.protect ~finally:(fun () -> stop_server h) (fun () -> f h.sh_socket)

@@ -15,7 +15,30 @@
     - {e open loop} (with [rate] requests/second): requests are due on
       a fixed global schedule and latency is measured from the {e due}
       time, so server-side queueing shows up in the percentiles
-      instead of being hidden by client back-off. *)
+      instead of being hidden by client back-off.
+
+    {2 Chaos mode}
+
+    With [chaos] set to a {!Fault} spec (e.g.
+    ["service.frame.torn@3*,service.client.disconnect@7*"]) the
+    generator becomes a hostile client: armed sends are replaced by
+    torn frames (half a frame, then a hangup), bit-flipped frames,
+    slow-loris byte-drip, or a full submit followed by an immediate
+    disconnect.  Every injection is deterministic in
+    ([chaos], [inject_seed]) and counted in the summary ([injected]).
+    Chaos requests are retried on fresh connections (bounded by
+    [max_attempts]); a request that exhausts its attempts counts as
+    [gave_up].
+
+    The generator also cross-checks every successful response: all
+    artifacts for one program under one settings document must be
+    byte-identical ([artifact_mismatches] must stay 0 — a corrupt
+    cache entry or a half-written store file that leaks to a client
+    shows up here).
+
+    Admission-control rejections carrying [retry_after_ms] are honored:
+    the request is re-queued for the hinted time ([shed] and [retries]
+    count the events) rather than counted as a failure. *)
 
 type mode = Closed | Open of float  (** requests per second *)
 
@@ -28,11 +51,14 @@ type config = {
   method_ : Partition.Methods.t;
   deadline_ms : int option;  (** attached to every job *)
   seed : int;
+  chaos : string option;  (** {!Fault} spec for client-side injection *)
+  inject_seed : int;  (** seeds the chaos spec (and its [rand]) *)
+  max_attempts : int;  (** per-request bound across retries *)
 }
 
 val default_config : config
 (** 4 connections, 40 requests, 0.5 duplicate ratio, closed loop, GDP,
-    no deadline, endpoint [gdpcd.sock]. *)
+    no deadline, endpoint [gdpcd.sock], no chaos, 5 attempts. *)
 
 type summary = {
   requests : int;
@@ -43,28 +69,60 @@ type summary = {
   elapsed_s : float;
   throughput_cps : float;  (** succeeded compiles per second *)
   p50_us : float;
+  p95_us : float;
   p99_us : float;
   mean_us : float;
   concurrency : int;
+  shed : int;  (** admission rejections carrying [retry_after_ms] *)
+  retries : int;  (** re-submissions (after shedding or chaos) *)
+  injected : int;  (** chaos behaviors performed *)
+  gave_up : int;  (** requests that exhausted [max_attempts] *)
+  artifact_mismatches : int;  (** MUST be 0: artifact bytes diverged *)
 }
 
 val run : config -> summary
 (** Issue the whole request stream and aggregate.  Raises
-    [Invalid_argument] on a non-positive request/connection count and
-    [Unix.Unix_error] when the endpoint refuses connections. *)
+    [Invalid_argument] on a non-positive request/connection count or a
+    malformed [chaos] spec, and [Unix.Unix_error] when the endpoint
+    refuses connections. *)
 
 val summary_to_json : summary -> Minijson.t
 (** Schema [gdp-service-bench/1] — what [BENCH_service.json] holds and
     the regression gate reads. *)
 
+type server_handle = { sh_pid : int; sh_socket : string }
+
+val spawn_server :
+  ?jobs:int ->
+  ?cache_capacity:int ->
+  ?max_pending:int ->
+  ?brownout:float ->
+  ?store_dir:string ->
+  ?inject:string * int ->
+  ?trace:string ->
+  unit ->
+  server_handle
+(** Fork a private daemon on a fresh temp-dir Unix socket and return
+    its pid and endpoint.  The caller owns the process — pair with
+    {!stop_server}.  [store_dir]/[brownout]/[inject] map onto the
+    corresponding {!Server.config} fields, so durability tests can
+    [kill -9] the daemon ({!stop_server} with [~signal:Sys.sigkill])
+    and restart it on the same store directory. *)
+
+val stop_server : ?signal:int -> server_handle -> unit
+(** Signal the daemon ([SIGTERM] by default), reap it (escalating to
+    [SIGKILL] if it ignores the signal) and unlink its socket. *)
+
 val with_local_server :
   ?jobs:int ->
   ?cache_capacity:int ->
-  ?max_queue:int ->
+  ?max_pending:int ->
+  ?brownout:float ->
+  ?store_dir:string ->
+  ?inject:string * int ->
   ?trace:string ->
   (string -> 'a) ->
   'a
-(** Fork a private daemon on a fresh temp-dir Unix socket, run the
-    continuation with its endpoint, then [SIGTERM] the daemon and reap
-    it (escalating to [SIGKILL] if it ignores the signal).  Lets
-    [gdpc loadgen] and the tests run self-contained. *)
+(** [spawn_server], run the continuation with the endpoint, then
+    [stop_server] — the self-contained harness behind [gdpc loadgen]
+    and the tests. *)

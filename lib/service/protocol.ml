@@ -24,7 +24,7 @@ type request =
 
 type response =
   | Result of { id : string; cached : bool; result : Minijson.t }
-  | Failed of { id : string; reason : string }
+  | Failed of { id : string; reason : string; retry_after_ms : int option }
   | Cancelled of { id : string }
   | Pong
   | Stats_reply of Minijson.t
@@ -88,9 +88,13 @@ let response_to_json r =
           ("cached", Minijson.bool cached);
           ("result", result);
         ]
-  | Failed { id; reason } ->
+  | Failed { id; reason; retry_after_ms } ->
       base "failed"
-        [ ("id", Minijson.str id); ("reason", Minijson.str reason) ]
+        ([ ("id", Minijson.str id); ("reason", Minijson.str reason) ]
+        @
+        match retry_after_ms with
+        | None -> []
+        | Some ms -> [ ("retry_after_ms", Minijson.int ms) ])
   | Cancelled { id } -> base "cancelled" [ ("id", Minijson.str id) ]
   | Pong -> base "pong" []
   | Stats_reply stats -> base "stats" [ ("stats", stats) ]
@@ -199,7 +203,16 @@ let response_of_json doc =
   | "failed" ->
       let* id = string_field "id" doc in
       let* reason = string_field "reason" doc in
-      Ok (Failed { id; reason })
+      let* retry_after_ms =
+        match Minijson.member "retry_after_ms" doc with
+        | None -> Ok None
+        | Some v -> (
+            match Minijson.to_int v with
+            | Some ms -> Ok (Some ms)
+            | None ->
+                Error "field \"retry_after_ms\" has the wrong type (want int)")
+      in
+      Ok (Failed { id; reason; retry_after_ms })
   | "cancelled" ->
       let* id = string_field "id" doc in
       Ok (Cancelled { id })

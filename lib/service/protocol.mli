@@ -22,7 +22,8 @@
     {v
     {"schema":"gdp-service-result/1","op":"result","id":"j1",
      "cached":true,"result":{...}}
-    {"schema":"gdp-service-result/1","op":"failed","id":"j1","reason":"..."}
+    {"schema":"gdp-service-result/1","op":"failed","id":"j1","reason":"..."
+     [,"retry_after_ms":250]}
     {"schema":"gdp-service-result/1","op":"cancelled","id":"j1"}
     {"schema":"gdp-service-result/1","op":"pong"}
     {"schema":"gdp-service-result/1","op":"stats","stats":{...}}
@@ -60,7 +61,10 @@ type request =
 
 type response =
   | Result of { id : string; cached : bool; result : Minijson.t }
-  | Failed of { id : string; reason : string }
+  | Failed of { id : string; reason : string; retry_after_ms : int option }
+      (** [retry_after_ms] is the server's backpressure hint: [Some ms]
+          on admission rejections means "same job may succeed after
+          [ms]" — {!Client.submit} and [gdpc loadgen] honor it *)
   | Cancelled of { id : string }
   | Pong
   | Stats_reply of Minijson.t

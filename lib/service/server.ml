@@ -11,10 +11,13 @@ type config = {
   tcp : (string * int) option;
   jobs : int;
   cache_capacity : int;
-  max_queue : int;
+  max_pending : int;
   max_frame : int;
   trace : string option;
   par_workers : int option;
+  store_dir : string option;
+  brownout : float;
+  inject : (string * int) option;
 }
 
 let default_config =
@@ -23,10 +26,13 @@ let default_config =
     tcp = None;
     jobs = 2;
     cache_capacity = 256;
-    max_queue = 64;
+    max_pending = 64;
     max_frame = Frame.default_max_frame;
     trace = None;
     par_workers = None;
+    store_dir = None;
+    brownout = 1.0;
+    inject = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -107,6 +113,10 @@ type state = {
   mutable coalesced : int;
   mutable rejected : int;
   mutable deadline_misses : int;
+  mutable shed_verify : int;  (** verify requests dropped by brown-out *)
+  mutable degraded : int;  (** methods stepped down by brown-out *)
+  scrub_intact : int;  (** startup store scrub results *)
+  scrub_quarantined : int;
   mutable stop : string option;  (** [Some reason] ends the loop *)
   started : float;
 }
@@ -202,7 +212,8 @@ let deliver st (c : Exec.Pool.completion) =
           send st w.w_fd
             (Protocol.Result { id = w.w_job; cached = w.w_hit; result = art })
       | Error m ->
-          send st w.w_fd (Protocol.Failed { id = w.w_job; reason = m }))
+          send st w.w_fd
+            (Protocol.Failed { id = w.w_job; reason = m; retry_after_ms = None }))
     ws
 
 let next_deadline st =
@@ -235,7 +246,8 @@ let expire_deadlines st now =
       st.deadline_misses <- st.deadline_misses + 1;
       count st "service.deadline_misses";
       send st w.w_fd
-        (Protocol.Failed { id = w.w_job; reason = "deadline exceeded" }))
+        (Protocol.Failed
+           { id = w.w_job; reason = "deadline exceeded"; retry_after_ms = None }))
     !expired;
   if !expired <> [] then reap_orphans st
 
@@ -245,30 +257,148 @@ let fail_all st reason =
   Hashtbl.reset st.inflight;
   Hashtbl.reset st.key_of;
   List.iter
-    (fun w -> send st w.w_fd (Protocol.Failed { id = w.w_job; reason }))
+    (fun w ->
+      send st w.w_fd
+        (Protocol.Failed { id = w.w_job; reason; retry_after_ms = None }))
     all
 
+(* Brown-out admission.  The pressure signal is pool pending over
+   [max_pending]; [brownout] (a fraction of that capacity) opens three
+   evenly spaced degradation levels between itself and the hard cap:
+
+     level 1  shed verification      (the differential check is load)
+     level 2  + method one step down the fallback chain
+     level 3  + two steps down
+
+   [brownout >= 1.0] disables brown-out: only the hard cap remains. *)
+let admission_level st =
+  if st.cfg.max_pending <= 0 || st.cfg.brownout >= 1.0 then 0
+  else
+    let frac =
+      float_of_int (Exec.Pool.pending st.pool)
+      /. float_of_int st.cfg.max_pending
+    in
+    let b = st.cfg.brownout in
+    if frac < b then 0
+    else
+      let step = (1. -. b) /. 3. in
+      if frac >= b +. (2. *. step) then 3
+      else if frac >= b +. step then 2
+      else 1
+
+(* Step the requested method down the graceful-degradation ladder,
+   never past Naive: Unified drops data partitioning entirely, which is
+   a result-quality cliff brown-out must not jump off. *)
+let degrade_method m steps =
+  let chain =
+    List.filter
+      (fun x -> x <> Partition.Methods.Unified)
+      (Partition.Methods.fallback_chain m)
+  in
+  let rec nth_or_last l n =
+    match l with
+    | [] -> m
+    | [ x ] -> x
+    | x :: rest -> if n <= 0 then x else nth_or_last rest (n - 1)
+  in
+  nth_or_last chain steps
+
+(* Backpressure hint on a hard reject: roughly how long the backlog
+   needs to move one slot, bounded to [50, 2000] ms. *)
+let retry_after_hint st =
+  let per_job_ms = 100 in
+  let jobs = max 1 (Exec.clamp_jobs st.cfg.jobs) in
+  let ms = Exec.Pool.pending st.pool * per_job_ms / jobs in
+  Some (max 50 (min 2000 ms))
+
 let stats_json st =
+  let h = Exec.Pool.health st.pool in
   Minijson.obj
-    [
-      ("schema", Minijson.str "gdp-service-stats/1");
-      ("uptime_s", Minijson.float (Unix.gettimeofday () -. st.started));
-      ("served", Minijson.int st.served);
-      ("coalesced", Minijson.int st.coalesced);
-      ("rejected", Minijson.int st.rejected);
-      ("deadline_misses", Minijson.int st.deadline_misses);
-      ( "pool",
-        Minijson.obj
-          [
-            ("workers", Minijson.int (Exec.clamp_jobs st.cfg.jobs));
-            ("queued", Minijson.int (Exec.Pool.queued st.pool));
-            ("in_flight", Minijson.int (Exec.Pool.in_flight st.pool));
-          ] );
-      ("cache", Cache.stats_to_json (Cache.stats st.cache));
-    ]
+    ([
+       ("schema", Minijson.str "gdp-service-stats/1");
+       ("uptime_s", Minijson.float (Unix.gettimeofday () -. st.started));
+       ("served", Minijson.int st.served);
+       ("coalesced", Minijson.int st.coalesced);
+       ("rejected", Minijson.int st.rejected);
+       ("deadline_misses", Minijson.int st.deadline_misses);
+       ( "admission",
+         Minijson.obj
+           [
+             ("max_pending", Minijson.int st.cfg.max_pending);
+             ("brownout", Minijson.float st.cfg.brownout);
+             ("level", Minijson.int (admission_level st));
+             ("shed_verify", Minijson.int st.shed_verify);
+             ("degraded", Minijson.int st.degraded);
+           ] );
+       ( "pool",
+         Minijson.obj
+           [
+             ("workers", Minijson.int h.Exec.Pool.h_workers);
+             ("alive", Minijson.int h.Exec.Pool.h_alive);
+             ("queued", Minijson.int (Exec.Pool.queued st.pool));
+             ("in_flight", Minijson.int (Exec.Pool.in_flight st.pool));
+             ("crashes", Minijson.int h.Exec.Pool.h_crashes);
+             ("respawns", Minijson.int h.Exec.Pool.h_respawns);
+             ("poisoned", Minijson.int h.Exec.Pool.h_poisoned);
+           ] );
+       ("cache", Cache.stats_to_json (Cache.stats st.cache));
+     ]
+    @
+    match Cache.store st.cache with
+    | None -> []
+    | Some s ->
+        [
+          ( "store",
+            match Store.stats_to_json (Store.stats s) with
+            | Minijson.Obj fields ->
+                Minijson.Obj
+                  (fields
+                  @ [
+                      ("scrub_intact", Minijson.int st.scrub_intact);
+                      ( "scrub_quarantined",
+                        Minijson.int st.scrub_quarantined );
+                    ])
+            | other -> other );
+        ])
 
 (* ------------------------------------------------------------------ *)
 (* Request handling                                                    *)
+
+(* Apply the current brown-out level to an incoming job.  The degraded
+   job has its own settings, hence its own cache key — a degraded
+   artifact can never be served to a full-quality request later. *)
+let apply_brownout st (job : Protocol.job) =
+  match admission_level st with
+  | 0 -> job
+  | level ->
+      let job =
+        if job.Protocol.verify then begin
+          st.shed_verify <- st.shed_verify + 1;
+          count st "service.shed_verify";
+          { job with Protocol.verify = false }
+        end
+        else job
+      in
+      let steps = level - 1 in
+      if steps = 0 then job
+      else
+        let settings = job.Protocol.settings in
+        let m = settings.Pipeline.Settings.method_ in
+        let m' = degrade_method m steps in
+        if m' = m then job
+        else begin
+          st.degraded <- st.degraded + 1;
+          count st "service.degraded";
+          Log.info (fun m_ ->
+              m_ "brown-out level %d: degrading %s from %s to %s" level
+                job.Protocol.id
+                (Partition.Methods.to_string m)
+                (Partition.Methods.to_string m'));
+          {
+            job with
+            Protocol.settings = { settings with Pipeline.Settings.method_ = m' };
+          }
+        end
 
 let handle_submit st (cl : client) (job : Protocol.job) =
   count st "service.jobs";
@@ -282,8 +412,10 @@ let handle_submit st (cl : client) (job : Protocol.job) =
            {
              id;
              reason = Printf.sprintf "deadline exceeded (deadline_ms = %d)" d;
+             retry_after_ms = None;
            })
   | deadline_ms -> (
+      let job = apply_brownout st job in
       let key = Protocol.cache_key job in
       match Cache.find st.cache key with
       | Some artifact ->
@@ -314,7 +446,7 @@ let handle_submit st (cl : client) (job : Protocol.job) =
                     };
                   ]
           | None ->
-              if Exec.Pool.pending st.pool >= st.cfg.max_queue then begin
+              if Exec.Pool.pending st.pool >= st.cfg.max_pending then begin
                 st.rejected <- st.rejected + 1;
                 count st "service.rejected";
                 send st cl.c_fd
@@ -324,6 +456,7 @@ let handle_submit st (cl : client) (job : Protocol.job) =
                        reason =
                          Printf.sprintf "server overloaded (%d jobs pending)"
                            (Exec.Pool.pending st.pool);
+                       retry_after_ms = retry_after_hint st;
                      })
               end
               else begin
@@ -360,7 +493,9 @@ let handle_cancel st (cl : client) id =
     reap_orphans st;
     send st cl.c_fd (Protocol.Cancelled { id })
   end
-  else send st cl.c_fd (Protocol.Failed { id; reason = "unknown job id" })
+  else
+    send st cl.c_fd
+      (Protocol.Failed { id; reason = "unknown job id"; retry_after_ms = None })
 
 let handle_request st (cl : client) req =
   count st "service.requests";
@@ -416,6 +551,14 @@ let loop st listeners =
   while st.stop = None && not !stop_flag do
     (* dispatch queued jobs / collect finished ones without blocking *)
     List.iter (deliver st) (Exec.Pool.poll ~timeout:0. st.pool);
+    (* chaos: SIGKILL a busy worker mid-compile.  Occurrences are
+       counted only while work is in flight, so "@3*" means "every
+       third busy tick", not "every third idle wakeup". *)
+    if
+      Exec.Pool.in_flight st.pool > 0
+      && Fault.fire "service.worker.kill"
+      && Exec.Pool.chaos_kill st.pool (Fault.rand "service.worker.kill" 64)
+    then Log.warn (fun m -> m "chaos: killed a busy worker");
     let now = Unix.gettimeofday () in
     expire_deadlines st now;
     let timeout =
@@ -447,16 +590,42 @@ let run cfg =
     invalid_arg "Server.run: no listener configured (socket_path or tcp)";
   if cfg.trace <> None then Telemetry.enable ();
   stop_flag := false;
+  (* Arm server-side chaos before anything that hosts an injection
+     point (the store's corrupt hook, the loop's worker killer). *)
+  let inject_seed =
+    match cfg.inject with
+    | None ->
+        Fault.disarm ();
+        0
+    | Some (spec, seed) -> (
+        match Fault.parse_spec spec with
+        | Error m -> invalid_arg ("Server.run: bad inject spec: " ^ m)
+        | Ok s ->
+            Fault.arm ~seed s;
+            Log.info (fun f -> f "chaos armed: %a (seed %d)" Fault.pp_spec s seed);
+            seed)
+  in
   let listeners =
     (match cfg.socket_path with Some p -> [ bind_unix p ] | None -> [])
     @ match cfg.tcp with Some hp -> [ bind_tcp hp ] | None -> []
   in
   let pool =
-    Exec.Pool.create ~jobs:cfg.jobs
+    Exec.Pool.create ~jobs:cfg.jobs ~max_retries:2 ~retry_backoff:0.02
+      ~respawn_backoff:0.02 ~poison_threshold:4 ~backoff_seed:inject_seed
       ~worker:(worker_fn ?par_workers:cfg.par_workers)
       ()
   in
-  let cache = Cache.create ~capacity:cfg.cache_capacity () in
+  let store, scrub_intact, scrub_quarantined =
+    match cfg.store_dir with
+    | None -> (None, 0, 0)
+    | Some d ->
+        let s = Store.open_ d in
+        let intact, bad = Store.scrub s in
+        Log.info (fun m ->
+            m "store scrub: %d intact, %d quarantined (%s)" intact bad d);
+        (Some s, intact, bad)
+  in
+  let cache = Cache.create ~capacity:cfg.cache_capacity ?store () in
   Pipeline.register_cache_clearer ~key:"service.artifact-cache" (fun () ->
       Cache.clear cache);
   let st =
@@ -472,6 +641,10 @@ let run cfg =
       coalesced = 0;
       rejected = 0;
       deadline_misses = 0;
+      shed_verify = 0;
+      degraded = 0;
+      scrub_intact;
+      scrub_quarantined;
       stop = None;
       started = Unix.gettimeofday ();
     }

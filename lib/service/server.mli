@@ -15,11 +15,41 @@
     job whose deadline passes before its result is ready is answered
     [failed "deadline exceeded"] and, when it was the last waiter, the
     underlying pool job is cancelled.  When [pending] jobs reach
-    [max_queue] new submissions are rejected ([failed "overloaded"])
-    instead of queued — backpressure, not collapse.
+    [max_pending] new submissions are rejected ([failed "overloaded"],
+    with a [retry_after_ms] backpressure hint) instead of queued —
+    backpressure, not collapse.
 
     A client that disconnects mid-job drops its waiters the same way a
     cancel does; orphaned pool jobs are cancelled.
+
+    {2 Brown-out}
+
+    Between [brownout * max_pending] pending jobs and the hard cap the
+    server degrades gracefully instead of falling over: level 1 sheds
+    verification ([verify:true] runs unverified), levels 2 and 3
+    additionally step the requested method down the
+    [Partition.Methods.fallback_chain] ladder (GDP -> Profile Max ->
+    Naive; never to Unified).  A degraded job is keyed by its degraded
+    settings, so its artifact can never satisfy a later full-quality
+    request from the cache.  [brownout >= 1.0] (the default) disables
+    brown-out.
+
+    {2 Durability}
+
+    With [store_dir] set, the artifact cache is layered over a durable
+    {!Store}: artifacts survive [kill -9] and restart (served as warm
+    hits), the store is scrubbed at startup (corrupt entries
+    quarantined and logged), and a corrupt or torn entry discovered at
+    read time is quarantined and recompiled rather than served.
+
+    {2 Chaos}
+
+    [inject = Some (spec, seed)] arms {!Fault} for the serving layer:
+    [service.worker.kill] SIGKILLs a busy pool worker on armed loop
+    ticks and [service.cache.corrupt] flips a byte of freshly written
+    store entries — both deterministic in (spec, seed).  The pool's own
+    supervision (bounded retries with exponential backoff, poison-pill
+    ledger, respawn backoff) turns these into recoveries, not outages.
 
     {2 Shutdown}
 
@@ -42,7 +72,7 @@ type config = {
   tcp : (string * int) option;  (** optional TCP (host, port) listener *)
   jobs : int;  (** pool worker processes, clamped like [-j] *)
   cache_capacity : int;  (** artifact cache bound (entries) *)
-  max_queue : int;  (** reject submissions beyond this many pending *)
+  max_pending : int;  (** reject submissions beyond this many pending *)
   max_frame : int;  (** per-connection frame size limit *)
   trace : string option;  (** write a Chrome trace here on shutdown *)
   par_workers : int option;
@@ -51,12 +81,22 @@ type config = {
           An execution-width limit only — artifacts never depend on it
           (see {!Protocol.evaluate_job}), so servers with different
           caps stay cache-compatible. *)
+  store_dir : string option;
+      (** durable artifact store directory; [None] = memory-only cache *)
+  brownout : float;
+      (** fraction of [max_pending] at which brown-out begins;
+          [>= 1.0] disables it *)
+  inject : (string * int) option;
+      (** server-side chaos: a {!Fault} spec and seed, armed at startup
+          ([None] disarms, so a forked server never inherits the
+          parent's spec) *)
 }
 
 val default_config : config
 (** Socket [gdpcd.sock] in the working directory, no TCP, 2 workers,
-    256-entry cache, 64-job queue bound, {!Frame.default_max_frame},
-    no trace, no intra-compile domain cap. *)
+    256-entry cache, 64-job pending bound, {!Frame.default_max_frame},
+    no trace, no intra-compile domain cap, no durable store, brown-out
+    disabled, no chaos. *)
 
 val run : config -> unit
 (** Bind, serve until a shutdown trigger, clean up.  Raises

@@ -336,6 +336,123 @@ let test_pool_cancel () =
           Alcotest.(check (option int)) "value" (Some 3) (Minijson.to_int v)
       | _ -> Alcotest.fail "expected exactly the third job's completion")
 
+let test_pool_poison_pill () =
+  let pool =
+    Exec.Pool.create ~jobs:2 ~max_retries:10 ~poison_threshold:3
+      ~retry_backoff:0.005 ~respawn_backoff:0.005 ~backoff_seed:3
+      ~worker:arith_worker ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Exec.Pool.shutdown pool)
+    (fun () ->
+      let crash = Minijson.obj [ ("crash", Minijson.bool true) ] in
+      (* a job that kills every worker it touches must be failed with a
+         diagnostic after [poison_threshold] crashes, not crash-loop *)
+      ignore (Exec.Pool.submit pool ~batch:"pp" crash);
+      (match drain_pool pool 1 with
+      | [ { Exec.Pool.c_result = Error m; _ } ] ->
+          Alcotest.(check bool)
+            ("diagnostic names the poison pill: " ^ m)
+            true
+            (contains m "poison-pill")
+      | _ -> Alcotest.fail "expected exactly one poisoned completion");
+      let h = Exec.Pool.health pool in
+      Alcotest.(check int) "one poisoned batch" 1 h.Exec.Pool.h_poisoned;
+      Alcotest.(check bool)
+        "ledger crossed the threshold" true
+        (h.Exec.Pool.h_crashes >= 3);
+      Alcotest.(check (list string))
+        "batch named" [ "pp" ]
+        (Exec.Pool.poisoned_batches pool);
+      (* the same batch now fails fast, without touching a worker *)
+      ignore (Exec.Pool.submit pool ~batch:"pp" (Minijson.int 1));
+      (match drain_pool pool 1 with
+      | [ { Exec.Pool.c_result = Error m; _ } ] ->
+          Alcotest.(check bool)
+            "resubmission fails fast" true
+            (contains m "poison-pill")
+      | _ -> Alcotest.fail "expected a fast failure");
+      (* the pool healed: other batches still compute *)
+      ignore (Exec.Pool.submit pool ~batch:"ok" (Minijson.obj [ ("n", Minijson.int 21) ]));
+      match drain_pool pool 1 with
+      | [ { Exec.Pool.c_result = Ok v; _ } ] ->
+          Alcotest.(check (option int))
+            "healthy batch unharmed" (Some 42)
+            (Option.bind (Minijson.member "n2" v) Minijson.to_int)
+      | _ -> Alcotest.fail "expected a healthy completion")
+
+let test_pool_backoff_and_health () =
+  let pool =
+    Exec.Pool.create ~jobs:1 ~max_retries:3 ~retry_backoff:0.005
+      ~respawn_backoff:0.005 ~backoff_seed:42 ~worker:arith_worker ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Exec.Pool.shutdown pool)
+    (fun () ->
+      let t0 = Unix.gettimeofday () in
+      ignore
+        (Exec.Pool.submit pool ~batch:"bk"
+           (Minijson.obj [ ("crash", Minijson.bool true) ]));
+      (match drain_pool pool 1 with
+      | [ { Exec.Pool.c_result = Error m; _ } ] ->
+          Alcotest.(check bool)
+            ("crash row counts all attempts: " ^ m)
+            true
+            (contains m "after 4 attempt(s)")
+      | _ -> Alcotest.fail "expected one failed completion");
+      (* three retries with exponential backoff (jitter is [0.5,1.5)):
+         the delays sum to at least ~base/2 + base + 2*base, so the
+         whole run cannot be instantaneous *)
+      Alcotest.(check bool)
+        "retries were delayed, not hot-looped" true
+        (Unix.gettimeofday () -. t0 >= 0.012);
+      let h = Exec.Pool.health pool in
+      Alcotest.(check int) "one worker configured" 1 h.Exec.Pool.h_workers;
+      Alcotest.(check int) "four crashes" 4 h.Exec.Pool.h_crashes;
+      (* the final crash's respawn may still be deferred behind its
+         backoff here, so only the first three are guaranteed *)
+      Alcotest.(check bool) "respawns counted" true (h.Exec.Pool.h_respawns >= 3);
+      (* the slot respawned: the pool still works *)
+      ignore (Exec.Pool.submit pool (Minijson.obj [ ("n", Minijson.int 4) ]));
+      (match drain_pool pool 1 with
+      | [ { Exec.Pool.c_result = Ok _; _ } ] -> ()
+      | _ -> Alcotest.fail "pool did not heal");
+      Alcotest.(check int)
+        "slot alive again" 1 (Exec.Pool.health pool).Exec.Pool.h_alive)
+
+let test_pool_chaos_kill () =
+  let pool =
+    Exec.Pool.create ~jobs:1 ~max_retries:2 ~retry_backoff:0.005
+      ~respawn_backoff:0.005
+      ~worker:(fun p ->
+        ignore (Unix.select [] [] [] 0.2);
+        p)
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Exec.Pool.shutdown pool)
+    (fun () ->
+      Alcotest.(check bool)
+        "nothing to kill on an idle pool" false
+        (Exec.Pool.chaos_kill pool 0);
+      ignore (Exec.Pool.submit pool (Minijson.int 9));
+      ignore (Exec.Pool.poll ~timeout:0.02 pool);
+      Alcotest.(check bool)
+        "killed the busy worker" true
+        (Exec.Pool.chaos_kill pool 0);
+      (* the SIGKILL flows through the ordinary crash machinery: the
+         job is retried on a respawned worker and still completes *)
+      match drain_pool pool 1 with
+      | [ { Exec.Pool.c_result = Ok v; _ } ] ->
+          Alcotest.(check (option int))
+            "retried to completion" (Some 9) (Minijson.to_int v);
+          let h = Exec.Pool.health pool in
+          Alcotest.(check bool) "crash detected" true (h.Exec.Pool.h_crashes >= 1);
+          Alcotest.(check bool) "respawned" true (h.Exec.Pool.h_respawns >= 1)
+      | [ { Exec.Pool.c_result = Error m; _ } ] ->
+          Alcotest.failf "job lost to the kill: %s" m
+      | _ -> Alcotest.fail "expected exactly one completion")
+
 (* ------------------------------------------------------------------ *)
 (* Parallel experiment rows / bench JSON                               *)
 
@@ -452,6 +569,10 @@ let suite =
     Alcotest.test_case "pool: submit/poll" `Quick test_pool_submit_poll;
     Alcotest.test_case "pool: cancel queued and running" `Quick
       test_pool_cancel;
+    Alcotest.test_case "pool: poison-pill ledger" `Quick test_pool_poison_pill;
+    Alcotest.test_case "pool: backoff and health" `Quick
+      test_pool_backoff_and_health;
+    Alcotest.test_case "pool: chaos kill" `Quick test_pool_chaos_kill;
     Alcotest.test_case "experiments: -j 4 rows identical" `Slow
       test_run_all_parallel_identity;
     Alcotest.test_case "experiments: row JSON round-trip" `Quick

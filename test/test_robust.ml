@@ -46,6 +46,12 @@ let test_parse_spec () =
         "@* is Always" true
         (Fault.spec_entries sp = [ ("sched.overbook", Fault.Always) ])
   | Error m -> Alcotest.failf "sched.overbook@*: %s" m);
+  (match Fault.parse_spec "service.worker.kill@4*" with
+  | Ok sp ->
+      Alcotest.(check bool)
+        "@4* is Every 4" true
+        (Fault.spec_entries sp = [ ("service.worker.kill", Fault.Every 4) ])
+  | Error m -> Alcotest.failf "service.worker.kill@4*: %s" m);
   (match Fault.parse_spec "partition.infeasible, sim.move-latency@3" with
   | Ok sp ->
       Alcotest.(check int) "two entries" 2 (List.length (Fault.spec_entries sp))
@@ -66,6 +72,7 @@ let test_parse_spec () =
   in
   expect_parse_error ~substr:"unknown injection point" "nope";
   expect_parse_error ~substr:"bad trigger" "move.drop@0";
+  expect_parse_error ~substr:"bad trigger" "move.drop@0*";
   expect_parse_error ~substr:"bad trigger" "move.drop@x";
   expect_parse_error ~substr:"empty" ""
 
@@ -85,6 +92,13 @@ let test_trigger_semantics () =
         [ true; true; true ]
         (List.init 3 (fun _ -> Fault.fire "sched.overbook"));
       Alcotest.(check int) "three injections" 3
+        (Fault.counts ()).Fault.injected);
+  with_injection "move.drop@2*" (fun () ->
+      Alcotest.(check (list bool))
+        "Every 2 fires on each even opportunity"
+        [ false; true; false; true; false; true ]
+        (List.init 6 (fun _ -> Fault.fire "move.drop"));
+      Alcotest.(check int) "three periodic injections" 3
         (Fault.counts ()).Fault.injected);
   Alcotest.(check bool) "disarmed never fires" false (Fault.fire "move.drop")
 
