@@ -774,8 +774,17 @@ let serve_cmd =
              execution-width limit for loaded hosts; artifacts never \
              depend on it.")
   in
+  let events_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "events" ] ~docv:"FILE"
+          ~doc:
+            "Append one JSON line per request-lifecycle event to $(docv), \
+             each carrying its trace_id.")
+  in
   let run obs socket tcp jobs cache_capacity max_pending brownout store_dir
-      par_workers =
+      par_workers events =
     handle_errors (fun () ->
         let tcp = Option.map parse_hostport tcp in
         (* the global --inject/--inject-seed double as the server-side
@@ -790,6 +799,7 @@ let serve_cmd =
             max_pending;
             max_frame = Service.Frame.default_max_frame;
             trace = obs.trace;
+            events;
             par_workers;
             store_dir;
             brownout;
@@ -810,7 +820,8 @@ let serve_cmd =
           it cleanly.")
     Term.(
       const run $ obs_term $ socket_arg $ tcp_arg $ jobs_arg $ cache_arg
-      $ max_pending_arg $ brownout_arg $ store_arg $ par_workers_arg)
+      $ max_pending_arg $ brownout_arg $ store_arg $ par_workers_arg
+      $ events_arg)
 
 let pp_artifact ppf art =
   let geti k = Option.bind (Minijson.member k art) Minijson.to_int in
@@ -908,14 +919,23 @@ let submit_cmd =
             settings;
             deadline_ms = deadline;
             verify;
+            trace_id = None (* the server assigns and reports one *);
           }
         in
-        let show art cached =
+        let show ?trace art cached =
           if json then Fmt.pr "%s@." (Minijson.encode art)
           else
-            Fmt.pr "%s %a@."
+            let tid =
+              Option.bind trace (fun t ->
+                  Option.bind (Minijson.member "trace_id" t) Minijson.to_string)
+            in
+            Fmt.pr "%s %a%a@."
               (if cached then "[cache hit]" else "[computed]")
               pp_artifact art
+              (fun ppf -> function
+                | None -> ()
+                | Some id -> Fmt.pf ppf " trace=%s" id)
+              tid
         in
         if inline then
           match Service.Protocol.evaluate_job (job 0) with
@@ -935,9 +955,9 @@ let submit_cmd =
               for i = 0 to repeat - 1 do
                 match Service.Client.submit ~retries cl (job i) with
                 | Error m -> raise (Cli_error m)
-                | Ok (Service.Protocol.Result { cached; result; _ }) ->
+                | Ok (Service.Protocol.Result { cached; result; trace; _ }) ->
                     if cached then incr hits;
-                    if i = 0 || not json then show result cached
+                    if i = 0 || not json then show ?trace result cached
                 | Ok (Service.Protocol.Failed { reason; _ }) ->
                     raise (Cli_error reason)
                 | Ok _ -> raise (Cli_error "unexpected response from server")
@@ -1127,6 +1147,15 @@ let loadgen_cmd =
           s.Service.Loadgen.throughput_cps s.Service.Loadgen.p50_us
           s.Service.Loadgen.p95_us s.Service.Loadgen.p99_us
           s.Service.Loadgen.mean_us;
+        if s.Service.Loadgen.traced > 0 then
+          Fmt.pr
+            "server side (%d traced): p50 %.0f us, p95 %.0f us, p99 %.0f us, \
+             mean %.0f us (client-side overhead mean %.0f us)@."
+            s.Service.Loadgen.traced s.Service.Loadgen.server_p50_us
+            s.Service.Loadgen.server_p95_us s.Service.Loadgen.server_p99_us
+            s.Service.Loadgen.server_mean_us
+            (Float.max 0.
+               (s.Service.Loadgen.mean_us -. s.Service.Loadgen.server_mean_us));
         if
           s.Service.Loadgen.shed > 0
           || s.Service.Loadgen.retries > 0
@@ -1192,6 +1221,220 @@ let loadgen_cmd =
       $ check_arg $ tolerance_arg $ chaos_arg $ server_inject_arg
       $ lg_max_pending_arg $ lg_brownout_arg $ lg_store_arg)
 
+(* ------------------------------------------------------------------ *)
+(* top / trace: observability consumers for a running daemon           *)
+
+let admin_rpc cl req =
+  match Service.Client.rpc cl req with
+  | Ok resp -> resp
+  | Error m -> raise (Cli_error m)
+
+let with_admin_conn server f =
+  let cl = Service.Client.connect ~attempts:5 server in
+  Fun.protect ~finally:(fun () -> Service.Client.close cl) (fun () -> f cl)
+
+let render_top endpoint metrics stats =
+  let geti d n = Option.bind (Minijson.member n d) Minijson.to_int in
+  let getf d n = Option.bind (Minijson.member n d) Minijson.to_float in
+  let counters =
+    Option.value ~default:(Minijson.obj []) (Minijson.member "counters" metrics)
+  in
+  let gauges =
+    Option.value ~default:(Minijson.obj []) (Minijson.member "gauges" metrics)
+  in
+  let c n = Option.value ~default:0 (geti counters n) in
+  let g n = Option.value ~default:0. (getf gauges n) in
+  let pool =
+    Option.value ~default:(Minijson.obj []) (Minijson.member "pool" stats)
+  in
+  Fmt.pr "gdpcd @ %s — up %.0f s, %.0f/%d workers alive, admission level %.0f@."
+    endpoint (g "uptime_s") (g "workers_alive")
+    (Option.value ~default:0 (geti pool "workers"))
+    (g "admission_level");
+  Fmt.pr
+    "served %d  coalesced %d  rejected %d  deadline misses %d  shed verify %d  \
+     degraded %d@."
+    (c "served_total") (c "coalesced_total") (c "rejected_total")
+    (c "deadline_misses_total") (c "shed_verify_total") (c "degraded_total");
+  Fmt.pr
+    "cache: %d hits, %d warm, %d misses, %d evictions, %.0f entries; %d \
+     traces recorded@."
+    (c "cache_hits_total") (c "cache_warm_hits_total") (c "cache_misses_total")
+    (c "cache_evictions_total") (g "cache_entries") (c "traces_recorded_total");
+  (match Minijson.member "latency_us" metrics with
+  | Some (Minijson.Obj methods) when methods <> [] ->
+      Fmt.pr "latency over the last %.0f s (us):@."
+        (Option.value ~default:0. (getf metrics "window_s"));
+      Fmt.pr "  %-14s %8s %9s %9s %9s@." "method" "count" "p50" "p95" "p99";
+      List.iter
+        (fun (m, h) ->
+          Fmt.pr "  %-14s %8d %9.0f %9.0f %9.0f@." m
+            (Option.value ~default:0 (geti h "count"))
+            (Option.value ~default:0. (getf h "p50"))
+            (Option.value ~default:0. (getf h "p95"))
+            (Option.value ~default:0. (getf h "p99")))
+        methods
+  | _ -> Fmt.pr "no requests in the current window@.");
+  match Minijson.member "queue_depth" metrics with
+  | Some q when Option.value ~default:0 (geti q "count") > 0 ->
+      Fmt.pr "queue depth: p50 %.0f, p95 %.0f, p99 %.0f (%d samples)@."
+        (Option.value ~default:0. (getf q "p50"))
+        (Option.value ~default:0. (getf q "p95"))
+        (Option.value ~default:0. (getf q "p99"))
+        (Option.value ~default:0 (geti q "count"))
+  | _ -> ()
+
+let top_cmd =
+  let interval_arg =
+    Arg.(
+      value
+      & opt float 2.0
+      & info [ "interval" ] ~docv:"S" ~doc:"Refresh interval in seconds.")
+  in
+  let once_arg =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:"Print one snapshot and exit instead of refreshing.")
+  in
+  let prometheus_arg =
+    Arg.(
+      value & flag
+      & info [ "prometheus" ]
+          ~doc:
+            "Print the raw Prometheus text exposition instead of the \
+             dashboard (implies --once) — what a scrape job would see.")
+  in
+  let run obs server interval once prometheus =
+    handle_errors (fun () ->
+        if interval <= 0. then raise (Cli_error "--interval must be positive");
+        let snapshot () =
+          with_admin_conn server (fun cl ->
+              if prometheus then
+                match
+                  admin_rpc cl
+                    (Service.Protocol.Metrics Service.Protocol.Prometheus)
+                with
+                | Service.Protocol.Metrics_text_reply text ->
+                    Fmt.pr "%s@?" text
+                | _ ->
+                    raise (Cli_error "unexpected response to metrics request")
+              else
+                let metrics =
+                  match
+                    admin_rpc cl
+                      (Service.Protocol.Metrics Service.Protocol.Json)
+                  with
+                  | Service.Protocol.Metrics_reply doc -> doc
+                  | _ ->
+                      raise
+                        (Cli_error "unexpected response to metrics request")
+                in
+                let stats =
+                  match admin_rpc cl Service.Protocol.Stats with
+                  | Service.Protocol.Stats_reply doc -> doc
+                  | _ ->
+                      raise (Cli_error "unexpected response to stats request")
+                in
+                render_top server metrics stats)
+        in
+        if once || prometheus then snapshot ()
+        else begin
+          let stop = ref false in
+          let old =
+            Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true))
+          in
+          Fun.protect
+            ~finally:(fun () -> Sys.set_signal Sys.sigint old)
+            (fun () ->
+              while not !stop do
+                Fmt.pr "\027[2J\027[H@?";
+                snapshot ();
+                if not !stop then
+                  try ignore (Unix.select [] [] [] interval)
+                  with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+              done)
+        end;
+        finish_obs obs)
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live dashboard for a running gdpcd daemon: sliding-window latency \
+          percentiles per method, queue depth, worker health and cache \
+          counters, refreshed in place (Ctrl-C to quit).")
+    Term.(
+      const run $ obs_term $ endpoint_arg $ interval_arg $ once_arg
+      $ prometheus_arg)
+
+let render_trace doc =
+  let gets n = Option.bind (Minijson.member n doc) Minijson.to_string in
+  let getf n = Option.bind (Minijson.member n doc) Minijson.to_float in
+  Fmt.pr "trace %s: job %s, %s via %s, total %.0f us (queue %.0f, exec %.0f)@."
+    (Option.value ~default:"?" (gets "trace_id"))
+    (Option.value ~default:"?" (gets "id"))
+    (Option.value ~default:"?" (gets "outcome"))
+    (Option.value ~default:"?" (gets "cache_tier"))
+    (Option.value ~default:0. (getf "total_us"))
+    (Option.value ~default:0. (getf "queue_us"))
+    (Option.value ~default:0. (getf "exec_us"));
+  let spans =
+    match Option.bind (Minijson.member "spans" doc) Minijson.to_list with
+    | Some l -> l
+    | None -> []
+  in
+  let base = Option.value ~default:0. (getf "start_us") in
+  let span_id s = Option.bind (Minijson.member "id" s) Minijson.to_int in
+  let span_parent s = Option.bind (Minijson.member "parent" s) Minijson.to_int in
+  let children p = List.filter (fun s -> span_parent s = p) spans in
+  let rec render indent s =
+    let field n = Minijson.member n s in
+    let name =
+      Option.value ~default:"?" (Option.bind (field "name") Minijson.to_string)
+    in
+    let start =
+      Option.value ~default:base (Option.bind (field "start_us") Minijson.to_float)
+    in
+    let dur =
+      Option.value ~default:0. (Option.bind (field "dur_us") Minijson.to_float)
+    in
+    Fmt.pr "  %s%-*s %10.0f us  at +%.0f us@." indent
+      (max 1 (30 - String.length indent))
+      name dur
+      (Float.max 0. (start -. base));
+    match span_id s with
+    | None -> ()
+    | Some id -> List.iter (render (indent ^ "  ")) (children (Some id))
+  in
+  List.iter (render "") (children None)
+
+let trace_cmd =
+  let id_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE_ID"
+          ~doc:
+            "The trace id to look up — submit prints it (trace=...), and \
+             every result/failed response carries it in its trace record.")
+  in
+  let run obs server id =
+    handle_errors (fun () ->
+        with_admin_conn server (fun cl ->
+            match admin_rpc cl (Service.Protocol.Trace { trace_id = id }) with
+            | Service.Protocol.Trace_reply doc -> render_trace doc
+            | Service.Protocol.Error_reply m -> raise (Cli_error m)
+            | _ -> raise (Cli_error "unexpected response to trace request"));
+        finish_obs obs)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Render the recorded span tree of one recent request on a running \
+          gdpcd daemon: queue wait, worker pick-up, pipeline stages and \
+          delivery, with durations and offsets.")
+    Term.(const run $ obs_term $ endpoint_arg $ id_arg)
+
 let list_cmd =
   let run obs =
     List.iter
@@ -1226,5 +1469,7 @@ let () =
             serve_cmd;
             submit_cmd;
             loadgen_cmd;
+            top_cmd;
+            trace_cmd;
             list_cmd;
           ]))

@@ -102,6 +102,17 @@ let trace_arg =
     & info [ "trace" ] ~docv:"FILE"
         ~doc:"Write a Chrome trace-event JSON file on shutdown.")
 
+let events_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "events" ] ~docv:"FILE"
+        ~doc:
+          "Append one JSON line per request-lifecycle event (submit, \
+           dispatch, cache_hit, coalesce, reject, deliver, deadline_miss) \
+           to this file, each carrying its trace_id — the structured log \
+           that correlates with 'gdpc trace'.")
+
 let verbose_arg =
   Arg.(
     value & flag_all
@@ -119,7 +130,7 @@ let parse_hostport s =
   | _ -> Error (Fmt.str "invalid TCP endpoint %S (want host:port)" s)
 
 let main socket tcp jobs par_workers cache_capacity max_pending brownout
-    store_dir inject inject_seed trace verbose =
+    store_dir inject inject_seed trace events verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level
     (Some
@@ -147,6 +158,7 @@ let main socket tcp jobs par_workers cache_capacity max_pending brownout
         max_pending;
         max_frame = Service.Frame.default_max_frame;
         trace;
+        events;
         par_workers;
         store_dir;
         brownout;
@@ -169,4 +181,5 @@ let () =
           Term.(
             const main $ socket_arg $ tcp_arg $ jobs_arg $ par_workers_arg
             $ cache_arg $ max_pending_arg $ brownout_arg $ store_arg
-            $ inject_arg $ inject_seed_arg $ trace_arg $ verbose_arg)))
+            $ inject_arg $ inject_seed_arg $ trace_arg $ events_arg
+            $ verbose_arg)))

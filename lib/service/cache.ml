@@ -93,13 +93,13 @@ let add_resident t k v =
       push_front t n);
   set_entries_gauge t
 
-let find t k =
+let find_tier t k =
   match Hashtbl.find_opt t.table k with
   | Some n ->
       t.hits <- t.hits + 1;
       Telemetry.incr "service.cache.hits";
       touch t n;
-      Some n.value
+      Some (n.value, `Memory)
   | None -> (
       match Option.bind t.store (fun s -> Store.find s k) with
       | Some v ->
@@ -108,11 +108,13 @@ let find t k =
           t.warm_hits <- t.warm_hits + 1;
           Telemetry.incr "service.cache.warm_hits";
           add_resident t k v;
-          Some v
+          Some (v, `Store)
       | None ->
           t.misses <- t.misses + 1;
           Telemetry.incr "service.cache.misses";
           None)
+
+let find t k = Option.map fst (find_tier t k)
 
 let mem t k =
   Hashtbl.mem t.table k

@@ -42,6 +42,11 @@ val length : t -> int
 val find : t -> string -> Minijson.t option
 (** Lookup; a hit moves the entry to most-recently-used. *)
 
+val find_tier : t -> string -> (Minijson.t * [ `Memory | `Store ]) option
+(** [find] that also reports which tier answered: [`Memory] for a
+    resident entry, [`Store] for a warm hit promoted from the durable
+    layer — the cache-tier label request traces and metrics carry. *)
+
 val mem : t -> string -> bool
 (** Lookup without touching recency or the hit/miss tallies — for
     introspection (e.g. coalescing decisions). *)

@@ -4,6 +4,13 @@ type t = { fd : Unix.file_descr; max_frame : int }
 
 (* "host:port" with a numeric suffix is TCP; anything else is a Unix
    socket path. *)
+let is_tcp ep =
+  match String.rindex_opt ep ':' with
+  | Some i when i > 0 && i < String.length ep - 1 ->
+      int_of_string_opt (String.sub ep (i + 1) (String.length ep - i - 1))
+      <> None
+  | _ -> false
+
 let addr_of_endpoint ep =
   match String.rindex_opt ep ':' with
   | Some i when i > 0 && i < String.length ep - 1 -> (

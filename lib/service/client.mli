@@ -8,6 +8,11 @@
 
 type t
 
+val is_tcp : string -> bool
+(** Whether an endpoint string names a TCP address ([host:port] with a
+    numeric suffix) rather than a Unix-domain socket path — the same
+    rule {!connect} applies.  Pure syntax; no resolution. *)
+
 val connect :
   ?max_frame:int ->
   ?attempts:int ->

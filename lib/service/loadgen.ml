@@ -55,6 +55,12 @@ type summary = {
   injected : int;
   gave_up : int;
   artifact_mismatches : int;
+  traced : int;
+  server_p50_us : float;
+  server_p95_us : float;
+  server_p99_us : float;
+  server_mean_us : float;
+  scrape : Minijson.t option;
 }
 
 (* A small two-phase kernel whose object homes actually matter, with
@@ -152,8 +158,19 @@ let run (cfg : config) =
       settings;
       deadline_ms = cfg.deadline_ms;
       verify = false;
+      trace_id = None (* server-assigned; read back from the response *);
     }
   in
+  (* Fail fast and clearly when nothing can be listening: a missing
+     Unix socket file means no daemon, not a daemon worth retrying
+     against for 20 backoff rounds. *)
+  if (not (Client.is_tcp cfg.endpoint)) && not (Sys.file_exists cfg.endpoint)
+  then
+    failwith
+      (Printf.sprintf
+         "loadgen: no daemon socket at %s (is gdpcd running? start one with \
+          `gdpcd --socket %s`)"
+         cfg.endpoint cfg.endpoint);
   let nconn = min cfg.connections cfg.requests in
   let fresh_conn () = Client.connect ~attempts:20 cfg.endpoint in
   let conns = Array.init nconn (fun _ -> { cl = fresh_conn (); busy = None }) in
@@ -172,6 +189,17 @@ let run (cfg : config) =
   in
   let start_of = Array.make cfg.requests 0. in
   let latencies = Array.make cfg.requests 0. in
+  (* server-side total_us per request, from the response's trace member:
+     the server-vs-client latency breakdown *)
+  let server_us = ref [] in
+  let note_trace trace =
+    match
+      Option.bind trace (fun t ->
+          Option.bind (Minijson.member "total_us" t) Minijson.to_float)
+    with
+    | Some us -> server_us := us :: !server_us
+    | None -> ()
+  in
   let succeeded = ref 0 and failed = ref 0 and hits = ref 0 in
   let shed = ref 0
   and retries = ref 0
@@ -349,10 +377,11 @@ let run (cfg : config) =
                   let fin = Unix.gettimeofday () in
                   c.busy <- None;
                   match resp with
-                  | Ok (Protocol.Result { cached; result; _ }) ->
+                  | Ok (Protocol.Result { cached; result; trace; _ }) ->
                       latencies.(i) <- fin -. start_of.(i);
                       incr succeeded;
                       if cached then incr hits;
+                      note_trace trace;
                       check_artifact i result;
                       incr completed
                   | Ok (Protocol.Failed { retry_after_ms = Some ms; _ }) ->
@@ -377,6 +406,30 @@ let run (cfg : config) =
   done;
   let elapsed = Unix.gettimeofday () -. t0 in
   Array.iter (fun c -> Client.close c.cl) conns;
+  (* end-of-run admin scrape, on a fresh connection so it cannot race a
+     straggling response; best-effort (a daemon that just died still
+     yields a usable client-side summary) *)
+  let scrape =
+    try
+      let cl = Client.connect cfg.endpoint in
+      Fun.protect
+        ~finally:(fun () -> Client.close cl)
+        (fun () ->
+          let stats =
+            match Client.rpc cl Protocol.Stats with
+            | Ok (Protocol.Stats_reply doc) -> Some ("stats", doc)
+            | _ -> None
+          in
+          let metrics =
+            match Client.rpc cl (Protocol.Metrics Protocol.Json) with
+            | Ok (Protocol.Metrics_reply doc) -> Some ("metrics", doc)
+            | _ -> None
+          in
+          match List.filter_map Fun.id [ stats; metrics ] with
+          | [] -> None
+          | fields -> Some (Minijson.obj fields))
+    with Unix.Unix_error _ | Failure _ -> None
+  in
   let lat_us = Array.map (fun s -> s *. 1e6) latencies in
   Array.sort compare lat_us;
   let pct q =
@@ -385,6 +438,19 @@ let run (cfg : config) =
   in
   let mean =
     Array.fold_left ( +. ) 0. lat_us /. float_of_int (max 1 cfg.requests)
+  in
+  let srv = Array.of_list !server_us in
+  Array.sort compare srv;
+  let traced = Array.length srv in
+  let spct q =
+    if traced = 0 then 0.
+    else
+      let rank = int_of_float (ceil (q *. float_of_int traced)) - 1 in
+      srv.(max 0 (min (traced - 1) rank))
+  in
+  let smean =
+    if traced = 0 then 0.
+    else Array.fold_left ( +. ) 0. srv /. float_of_int traced
   in
   {
     requests = cfg.requests;
@@ -404,11 +470,17 @@ let run (cfg : config) =
     injected = !injected;
     gave_up = !gave_up;
     artifact_mismatches = !mismatches;
+    traced;
+    server_p50_us = spct 0.5;
+    server_p95_us = spct 0.95;
+    server_p99_us = spct 0.99;
+    server_mean_us = smean;
+    scrape;
   }
 
 let summary_to_json s =
   Minijson.obj
-    [
+    ([
       ("schema", Minijson.str "gdp-service-bench/1");
       ("requests", Minijson.int s.requests);
       ("succeeded", Minijson.int s.succeeded);
@@ -427,7 +499,13 @@ let summary_to_json s =
       ("injected", Minijson.int s.injected);
       ("gave_up", Minijson.int s.gave_up);
       ("artifact_mismatches", Minijson.int s.artifact_mismatches);
+      ("traced", Minijson.int s.traced);
+      ("server_p50_us", Minijson.float s.server_p50_us);
+      ("server_p95_us", Minijson.float s.server_p95_us);
+      ("server_p99_us", Minijson.float s.server_p99_us);
+      ("server_mean_us", Minijson.float s.server_mean_us);
     ]
+    @ match s.scrape with None -> [] | Some doc -> [ ("scrape", doc) ])
 
 (* ------------------------------------------------------------------ *)
 
@@ -436,7 +514,7 @@ type server_handle = { sh_pid : int; sh_socket : string }
 let socket_counter = ref 0
 
 let spawn_server ?(jobs = 2) ?(cache_capacity = 256) ?(max_pending = 64)
-    ?(brownout = 1.0) ?store_dir ?inject ?trace () =
+    ?(brownout = 1.0) ?store_dir ?inject ?trace ?events () =
   incr socket_counter;
   let path =
     Filename.concat (Filename.get_temp_dir_name ())
@@ -457,12 +535,41 @@ let spawn_server ?(jobs = 2) ?(cache_capacity = 256) ?(max_pending = 64)
               store_dir;
               inject;
               trace;
+              events;
             };
           0
         with _ -> 1
       in
       Unix._exit code
-  | pid -> { sh_pid = pid; sh_socket = path }
+  | pid ->
+      (* Wait for the bind before handing the socket out: callers (and
+         [run]'s missing-socket preflight) may touch it immediately.  A
+         child that dies before binding is surfaced right away instead
+         of as a downstream connect failure. *)
+      let rec await tries =
+        if Sys.file_exists path then ()
+        else if tries >= 100 then
+          failwith
+            (Printf.sprintf "spawn_server: %s did not appear within 5 s" path)
+        else begin
+          (match Unix.waitpid [ Unix.WNOHANG ] pid with
+          | 0, _ -> ()
+          | _, status ->
+              let what =
+                match status with
+                | Unix.WEXITED c -> Printf.sprintf "exited %d" c
+                | Unix.WSIGNALED s -> Printf.sprintf "killed by signal %d" s
+                | Unix.WSTOPPED s -> Printf.sprintf "stopped by signal %d" s
+              in
+              failwith ("spawn_server: daemon died before binding: " ^ what)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          (try ignore (Unix.select [] [] [] 0.05)
+           with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          await (tries + 1)
+        end
+      in
+      await 0;
+      { sh_pid = pid; sh_socket = path }
 
 let stop_server ?(signal = Sys.sigterm) { sh_pid = pid; sh_socket = path } =
   (try Unix.kill pid signal with Unix.Unix_error _ -> ());
@@ -490,9 +597,9 @@ let stop_server ?(signal = Sys.sigterm) { sh_pid = pid; sh_socket = path } =
   try Unix.unlink path with Unix.Unix_error _ -> ()
 
 let with_local_server ?jobs ?cache_capacity ?max_pending ?brownout ?store_dir
-    ?inject ?trace f =
+    ?inject ?trace ?events f =
   let h =
     spawn_server ?jobs ?cache_capacity ?max_pending ?brownout ?store_dir
-      ?inject ?trace ()
+      ?inject ?trace ?events ()
   in
   Fun.protect ~finally:(fun () -> stop_server h) (fun () -> f h.sh_socket)

@@ -78,13 +78,28 @@ type summary = {
   injected : int;  (** chaos behaviors performed *)
   gave_up : int;  (** requests that exhausted [max_attempts] *)
   artifact_mismatches : int;  (** MUST be 0: artifact bytes diverged *)
+  traced : int;  (** successful responses that carried a trace record *)
+  server_p50_us : float;
+      (** percentiles of the {e server-side} total ([total_us] from
+          each response's trace record) — against [p50_us] and friends
+          this splits client-observed latency into server time vs
+          wire/client overhead; [0.] when nothing was traced *)
+  server_p95_us : float;
+  server_p99_us : float;
+  server_mean_us : float;
+  scrape : Minijson.t option;
+      (** end-of-run admin scrape over a fresh connection:
+          [{"stats": <gdp-service-stats/1>, "metrics": <gdp-metrics/1>}];
+          [None] when the daemon was already gone *)
 }
 
 val run : config -> summary
 (** Issue the whole request stream and aggregate.  Raises
     [Invalid_argument] on a non-positive request/connection count or a
-    malformed [chaos] spec, and [Unix.Unix_error] when the endpoint
-    refuses connections. *)
+    malformed [chaos] spec, [Failure] when a Unix-socket endpoint does
+    not exist at all (fail fast, not 20 connect retries against
+    nothing), and [Unix.Unix_error] when the endpoint refuses
+    connections. *)
 
 val summary_to_json : summary -> Minijson.t
 (** Schema [gdp-service-bench/1] — what [BENCH_service.json] holds and
@@ -100,14 +115,17 @@ val spawn_server :
   ?store_dir:string ->
   ?inject:string * int ->
   ?trace:string ->
+  ?events:string ->
   unit ->
   server_handle
-(** Fork a private daemon on a fresh temp-dir Unix socket and return
-    its pid and endpoint.  The caller owns the process — pair with
-    {!stop_server}.  [store_dir]/[brownout]/[inject] map onto the
-    corresponding {!Server.config} fields, so durability tests can
-    [kill -9] the daemon ({!stop_server} with [~signal:Sys.sigkill])
-    and restart it on the same store directory. *)
+(** Fork a private daemon on a fresh temp-dir Unix socket, wait for the
+    socket to appear (raising [Failure] if the child dies before
+    binding or takes over 5 s), and return its pid and endpoint.  The
+    caller owns the process — pair with {!stop_server}.
+    [store_dir]/[brownout]/[inject]/[events] map onto the corresponding
+    {!Server.config} fields, so durability tests can [kill -9] the
+    daemon ({!stop_server} with [~signal:Sys.sigkill]) and restart it
+    on the same store directory. *)
 
 val stop_server : ?signal:int -> server_handle -> unit
 (** Signal the daemon ([SIGTERM] by default), reap it (escalating to
@@ -121,6 +139,7 @@ val with_local_server :
   ?store_dir:string ->
   ?inject:string * int ->
   ?trace:string ->
+  ?events:string ->
   (string -> 'a) ->
   'a
 (** [spawn_server], run the continuation with the endpoint, then

@@ -3,7 +3,8 @@
 module Pipeline = Gdp_core.Pipeline
 module Settings = Gdp_core.Pipeline.Settings
 
-let schema = "gdp-service/1"
+let schema = "gdp-service/2"
+let legacy_schema = "gdp-service/1"
 let result_schema = "gdp-service-result/1"
 
 type job = {
@@ -13,21 +14,41 @@ type job = {
   settings : Settings.t;
   deadline_ms : int option;
   verify : bool;
+  trace_id : string option;
 }
+
+type metrics_format = Json | Prometheus
 
 type request =
   | Submit of job
   | Cancel of { id : string }
   | Ping
   | Stats
+  | Health
+  | Trace of { trace_id : string }
+  | Metrics of metrics_format
   | Shutdown
 
 type response =
-  | Result of { id : string; cached : bool; result : Minijson.t }
-  | Failed of { id : string; reason : string; retry_after_ms : int option }
+  | Result of {
+      id : string;
+      cached : bool;
+      result : Minijson.t;
+      trace : Minijson.t option;
+    }
+  | Failed of {
+      id : string;
+      reason : string;
+      retry_after_ms : int option;
+      trace : Minijson.t option;
+    }
   | Cancelled of { id : string }
   | Pong
   | Stats_reply of Minijson.t
+  | Health_reply of Minijson.t
+  | Trace_reply of Minijson.t
+  | Metrics_reply of Minijson.t
+  | Metrics_text_reply of string
   | Shutting_down
   | Error_reply of string
 
@@ -45,7 +66,11 @@ let job_to_json (j : job) =
     @ (match j.deadline_ms with
       | None -> []
       | Some d -> [ ("deadline_ms", Minijson.int d) ])
-    @ if j.verify then [ ("verify", Minijson.bool true) ] else [])
+    @ (if j.verify then [ ("verify", Minijson.bool true) ] else [])
+    @
+    match j.trace_id with
+    | None -> []
+    | Some t -> [ ("trace_id", Minijson.str t) ])
 
 let request_to_json = function
   | Submit j -> (
@@ -69,6 +94,25 @@ let request_to_json = function
   | Stats ->
       Minijson.obj
         [ ("schema", Minijson.str schema); ("op", Minijson.str "stats") ]
+  | Health ->
+      Minijson.obj
+        [ ("schema", Minijson.str schema); ("op", Minijson.str "health") ]
+  | Trace { trace_id } ->
+      Minijson.obj
+        [
+          ("schema", Minijson.str schema);
+          ("op", Minijson.str "trace");
+          ("trace_id", Minijson.str trace_id);
+        ]
+  | Metrics fmt ->
+      Minijson.obj
+        [
+          ("schema", Minijson.str schema);
+          ("op", Minijson.str "metrics");
+          ( "format",
+            Minijson.str
+              (match fmt with Json -> "json" | Prometheus -> "prometheus") );
+        ]
   | Shutdown ->
       Minijson.obj
         [ ("schema", Minijson.str schema); ("op", Minijson.str "shutdown") ]
@@ -80,24 +124,34 @@ let response_to_json r =
       :: ("op", Minijson.str op)
       :: rest)
   in
+  let trace_field = function
+    | None -> []
+    | Some t -> [ ("trace", t) ]
+  in
   match r with
-  | Result { id; cached; result } ->
+  | Result { id; cached; result; trace } ->
       base "result"
-        [
-          ("id", Minijson.str id);
-          ("cached", Minijson.bool cached);
-          ("result", result);
-        ]
-  | Failed { id; reason; retry_after_ms } ->
+        ([
+           ("id", Minijson.str id);
+           ("cached", Minijson.bool cached);
+           ("result", result);
+         ]
+        @ trace_field trace)
+  | Failed { id; reason; retry_after_ms; trace } ->
       base "failed"
         ([ ("id", Minijson.str id); ("reason", Minijson.str reason) ]
-        @
-        match retry_after_ms with
-        | None -> []
-        | Some ms -> [ ("retry_after_ms", Minijson.int ms) ])
+        @ (match retry_after_ms with
+          | None -> []
+          | Some ms -> [ ("retry_after_ms", Minijson.int ms) ])
+        @ trace_field trace)
   | Cancelled { id } -> base "cancelled" [ ("id", Minijson.str id) ]
   | Pong -> base "pong" []
   | Stats_reply stats -> base "stats" [ ("stats", stats) ]
+  | Health_reply health -> base "health" [ ("health", health) ]
+  | Trace_reply trace -> base "trace" [ ("trace", trace) ]
+  | Metrics_reply metrics -> base "metrics" [ ("metrics", metrics) ]
+  | Metrics_text_reply text ->
+      base "metrics-text" [ ("text", Minijson.str text) ]
   | Shutting_down -> base "shutting-down" []
   | Error_reply reason -> base "error" [ ("reason", Minijson.str reason) ]
 
@@ -119,6 +173,17 @@ let check_schema expected doc =
   | Error _ -> Error (Printf.sprintf "missing schema (expected %S)" expected)
   | Ok s when s <> expected ->
       Error (Printf.sprintf "schema %S is not %S" s expected)
+  | Ok _ -> Ok ()
+
+(* Version negotiation: the request envelope accepts both the current
+   schema and the previous one, so a v1 client (no trace_id, no admin
+   verbs) keeps working against a v2 server unchanged. *)
+let check_request_schema doc =
+  match string_field "schema" doc with
+  | Error _ -> Error (Printf.sprintf "missing schema (expected %S)" schema)
+  | Ok s when s <> schema && s <> legacy_schema ->
+      Error
+        (Printf.sprintf "schema %S is neither %S nor %S" s schema legacy_schema)
   | Ok _ -> Ok ()
 
 let ( let* ) = Result.bind
@@ -162,10 +227,16 @@ let job_of_json doc =
     | Some (Minijson.Bool b) -> Ok b
     | Some _ -> Error "field \"verify\" has the wrong type (want bool)"
   in
-  Ok { id; source; input; settings; deadline_ms; verify }
+  let* trace_id =
+    match Minijson.member "trace_id" doc with
+    | None -> Ok None
+    | Some (Minijson.Str t) -> Ok (Some t)
+    | Some _ -> Error "field \"trace_id\" has the wrong type (want string)"
+  in
+  Ok { id; source; input; settings; deadline_ms; verify; trace_id }
 
 let request_of_json doc =
-  let* () = check_schema schema doc in
+  let* () = check_request_schema doc in
   let* op = string_field "op" doc in
   match op with
   | "submit" ->
@@ -176,16 +247,30 @@ let request_of_json doc =
       Ok (Cancel { id })
   | "ping" -> Ok Ping
   | "stats" -> Ok Stats
+  | "health" -> Ok Health
+  | "trace" ->
+      let* trace_id = string_field "trace_id" doc in
+      Ok (Trace { trace_id })
+  | "metrics" -> (
+      match Minijson.member "format" doc with
+      | None -> Ok (Metrics Json)
+      | Some (Minijson.Str "json") -> Ok (Metrics Json)
+      | Some (Minijson.Str "prometheus") -> Ok (Metrics Prometheus)
+      | Some _ ->
+          Error "field \"format\" must be \"json\" or \"prometheus\"")
   | "shutdown" -> Ok Shutdown
   | other ->
       Error
         (Printf.sprintf
-           "unknown op %S (known: submit, cancel, ping, stats, shutdown)"
+           "unknown op %S (known: submit, cancel, ping, stats, health, \
+            trace, metrics, shutdown)"
            other)
 
 let response_of_json doc =
   let* () = check_schema result_schema doc in
   let* op = string_field "op" doc in
+  (* optional on both result and failed; absent from v1 servers *)
+  let trace = Minijson.member "trace" doc in
   match op with
   | "result" ->
       let* id = string_field "id" doc in
@@ -199,7 +284,7 @@ let response_of_json doc =
         | Some r -> Ok r
         | None -> Error "missing field \"result\""
       in
-      Ok (Result { id; cached; result })
+      Ok (Result { id; cached; result; trace })
   | "failed" ->
       let* id = string_field "id" doc in
       let* reason = string_field "reason" doc in
@@ -212,7 +297,7 @@ let response_of_json doc =
             | None ->
                 Error "field \"retry_after_ms\" has the wrong type (want int)")
       in
-      Ok (Failed { id; reason; retry_after_ms })
+      Ok (Failed { id; reason; retry_after_ms; trace })
   | "cancelled" ->
       let* id = string_field "id" doc in
       Ok (Cancelled { id })
@@ -221,6 +306,21 @@ let response_of_json doc =
       match Minijson.member "stats" doc with
       | Some s -> Ok (Stats_reply s)
       | None -> Error "missing field \"stats\"")
+  | "health" -> (
+      match Minijson.member "health" doc with
+      | Some h -> Ok (Health_reply h)
+      | None -> Error "missing field \"health\"")
+  | "trace" -> (
+      match trace with
+      | Some t -> Ok (Trace_reply t)
+      | None -> Error "missing field \"trace\"")
+  | "metrics" -> (
+      match Minijson.member "metrics" doc with
+      | Some m -> Ok (Metrics_reply m)
+      | None -> Error "missing field \"metrics\"")
+  | "metrics-text" ->
+      let* text = string_field "text" doc in
+      Ok (Metrics_text_reply text)
   | "shutting-down" -> Ok Shutting_down
   | "error" ->
       let* reason = string_field "reason" doc in

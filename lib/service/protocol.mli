@@ -6,37 +6,53 @@
 
     {2 Wire shape}
 
-    Requests carry [schema "gdp-service/1"] and an ["op"]:
+    Requests carry [schema "gdp-service/2"] and an ["op"] (the previous
+    envelope ["gdp-service/1"] — no [trace_id], no admin verbs — is
+    still accepted, so old clients keep working):
 
     {v
-    {"schema":"gdp-service/1","op":"submit","id":"j1","source":"...",
-     "input":[1,2],"settings":{...},"deadline_ms":5000,"verify":false}
-    {"schema":"gdp-service/1","op":"cancel","id":"j1"}
-    {"schema":"gdp-service/1","op":"ping"}
-    {"schema":"gdp-service/1","op":"stats"}
-    {"schema":"gdp-service/1","op":"shutdown"}
+    {"schema":"gdp-service/2","op":"submit","id":"j1","source":"...",
+     "input":[1,2],"settings":{...},"deadline_ms":5000,"verify":false
+     [,"trace_id":"t-..."]}
+    {"schema":"gdp-service/2","op":"cancel","id":"j1"}
+    {"schema":"gdp-service/2","op":"ping"}
+    {"schema":"gdp-service/2","op":"stats"}
+    {"schema":"gdp-service/2","op":"health"}
+    {"schema":"gdp-service/2","op":"trace","trace_id":"t-..."}
+    {"schema":"gdp-service/2","op":"metrics","format":"json"|"prometheus"}
+    {"schema":"gdp-service/2","op":"shutdown"}
     v}
 
-    Responses carry [schema "gdp-service-result/1"]:
+    Responses carry [schema "gdp-service-result/1"] (unchanged — new
+    fields are optional, so v1 clients that ignore unknown members keep
+    decoding):
 
     {v
     {"schema":"gdp-service-result/1","op":"result","id":"j1",
-     "cached":true,"result":{...}}
+     "cached":true,"result":{...}[,"trace":{...}]}
     {"schema":"gdp-service-result/1","op":"failed","id":"j1","reason":"..."
-     [,"retry_after_ms":250]}
+     [,"retry_after_ms":250][,"trace":{...}]}
     {"schema":"gdp-service-result/1","op":"cancelled","id":"j1"}
     {"schema":"gdp-service-result/1","op":"pong"}
     {"schema":"gdp-service-result/1","op":"stats","stats":{...}}
+    {"schema":"gdp-service-result/1","op":"health","health":{...}}
+    {"schema":"gdp-service-result/1","op":"trace","trace":{...}}
+    {"schema":"gdp-service-result/1","op":"metrics","metrics":{...}}
+    {"schema":"gdp-service-result/1","op":"metrics-text","text":"..."}
     {"schema":"gdp-service-result/1","op":"shutting-down"}
     {"schema":"gdp-service-result/1","op":"error","reason":"..."}
     v}
 
     Responses to [submit] arrive asynchronously, identified by the
-    client-chosen job [id]; [ping]/[stats]/[shutdown] replies are
-    immediate.  One connection can interleave many jobs. *)
+    client-chosen job [id]; [ping]/[stats]/[health]/[trace]/[metrics]/
+    [shutdown] replies are immediate.  One connection can interleave
+    many jobs. *)
 
 val schema : string
-(** ["gdp-service/1"] — request envelope. *)
+(** ["gdp-service/2"] — current request envelope. *)
+
+val legacy_schema : string
+(** ["gdp-service/1"] — still accepted by {!request_of_json}. *)
 
 val result_schema : string
 (** ["gdp-service-result/1"] — response envelope. *)
@@ -50,33 +66,65 @@ type job = {
       (** total time budget; [Some d] with [d <= 0] fails immediately *)
   verify : bool;
       (** run the full differential check before answering (slower) *)
+  trace_id : string option;
+      (** request trace context: [None] lets the server assign one (it
+          always answers with the id it used); a client-supplied id is
+          propagated as-is.  Never part of the {!cache_key}. *)
 }
+
+type metrics_format = Json | Prometheus
 
 type request =
   | Submit of job
   | Cancel of { id : string }
   | Ping
   | Stats
+  | Health  (** read-only: worker/pool health + uptime *)
+  | Trace of { trace_id : string }
+      (** read-only: the recorded span tree of one recent request *)
+  | Metrics of metrics_format
+      (** read-only: the live metrics plane, as [gdp-metrics/1] JSON or
+          Prometheus text exposition *)
   | Shutdown
 
 type response =
-  | Result of { id : string; cached : bool; result : Minijson.t }
-  | Failed of { id : string; reason : string; retry_after_ms : int option }
+  | Result of {
+      id : string;
+      cached : bool;
+      result : Minijson.t;
+      trace : Minijson.t option;
+          (** per-request span record ([gdp-span/1]): trace id, cache
+              tier and queue/exec/deliver timings — [None] only from a
+              v1 server *)
+    }
+  | Failed of {
+      id : string;
+      reason : string;
+      retry_after_ms : int option;
+      trace : Minijson.t option;
+    }
       (** [retry_after_ms] is the server's backpressure hint: [Some ms]
           on admission rejections means "same job may succeed after
           [ms]" — {!Client.submit} and [gdpc loadgen] honor it *)
   | Cancelled of { id : string }
   | Pong
   | Stats_reply of Minijson.t
+  | Health_reply of Minijson.t  (** [gdp-health/1] *)
+  | Trace_reply of Minijson.t  (** [gdp-trace/1] (see {!Metrics.Traces}) *)
+  | Metrics_reply of Minijson.t  (** [gdp-metrics/1] *)
+  | Metrics_text_reply of string  (** Prometheus text exposition *)
   | Shutting_down
   | Error_reply of string
-      (** protocol-level failure (bad schema, unknown op, ...) *)
+      (** protocol-level failure (bad schema, unknown op, unknown trace
+          id, ...) *)
 
 val request_to_json : request -> Minijson.t
 
 val request_of_json : Minijson.t -> (request, string) result
 (** Strict: wrong schema, unknown op, missing or ill-typed fields and
-    invalid embedded settings are all [Error] with the offender named. *)
+    invalid embedded settings are all [Error] with the offender named.
+    Both {!schema} and {!legacy_schema} envelopes are accepted (a v1
+    request simply decodes with [trace_id = None]). *)
 
 val response_to_json : response -> Minijson.t
 val response_of_json : Minijson.t -> (response, string) result
@@ -90,9 +138,9 @@ val job_of_json : Minijson.t -> (job, string) result
 val cache_key : job -> string
 (** Content address of a job's artifact: a digest over the source text,
     the workload, the canonical settings JSON and the machine
-    description the settings select.  The job [id] and [deadline_ms]
-    do not participate — two submissions of the same compile share one
-    artifact whatever they are called. *)
+    description the settings select.  The job [id], [deadline_ms] and
+    [trace_id] do not participate — two submissions of the same compile
+    share one artifact whatever they are called or traced as. *)
 
 val bench_name : job -> string
 (** Deterministic per-content benchmark name ([svc-<digest prefix>]) —

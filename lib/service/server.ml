@@ -14,6 +14,7 @@ type config = {
   max_pending : int;
   max_frame : int;
   trace : string option;
+  events : string option;
   par_workers : int option;
   store_dir : string option;
   brownout : float;
@@ -29,6 +30,7 @@ let default_config =
     max_pending = 64;
     max_frame = Frame.default_max_frame;
     trace = None;
+    events = None;
     par_workers = None;
     store_dir = None;
     brownout = 1.0;
@@ -40,14 +42,75 @@ let default_config =
    folded into the returned document so job errors stay deterministic
    (a raise would look like a worker crash and trigger a retry). *)
 
+(* Pipeline spans recorded inside the worker, flattened for the wire.
+   Bounded in both depth and count — a pathological compile must not
+   balloon the result frame past the artifact it carries. *)
+let worker_spans_json (snap : Telemetry.snapshot) =
+  let max_spans = 96 and max_depth = 2 in
+  let depth = Hashtbl.create 32 in
+  let kept = ref 0 in
+  Minijson.list
+    (List.filter_map
+       (fun (s : Telemetry.span) ->
+         let d =
+           match s.Telemetry.parent with
+           | None -> 0
+           | Some p -> (
+               match Hashtbl.find_opt depth p with
+               | Some d -> d + 1
+               | None -> max_depth + 1)
+         in
+         Hashtbl.replace depth s.Telemetry.id d;
+         if d > max_depth || !kept >= max_spans then None
+         else begin
+           incr kept;
+           Some
+             (Minijson.obj
+                [
+                  ("id", Minijson.int s.Telemetry.id);
+                  ( "parent",
+                    match s.Telemetry.parent with
+                    | None -> Minijson.Null
+                    | Some p -> Minijson.int p );
+                  ("name", Minijson.str s.Telemetry.name);
+                  ("start_us", Minijson.float s.Telemetry.start_us);
+                  ("dur_us", Minijson.float s.Telemetry.dur_us);
+                ])
+         end)
+       snap.Telemetry.spans)
+
 let worker_fn ?par_workers payload =
   match Protocol.job_of_json payload with
   | Error m ->
       Minijson.obj [ ("failed", Minijson.str ("bad job payload: " ^ m)) ]
   | Ok job -> (
-      match Protocol.evaluate_job ?par_workers job with
-      | Ok artifact -> Minijson.obj [ ("artifact", artifact) ]
-      | Error m -> Minijson.obj [ ("failed", Minijson.str m) ])
+      let evaluate () =
+        match Protocol.evaluate_job ?par_workers job with
+        | Ok artifact -> Minijson.obj [ ("artifact", artifact) ]
+        | Error m -> Minijson.obj [ ("failed", Minijson.str m) ]
+      in
+      match job.Protocol.trace_id with
+      | None -> evaluate ()
+      | Some _ -> (
+          (* Traced: record the pipeline's own spans and this worker's
+             wall-clock start/end (same machine as the server, so the
+             server can derive queue and exec segments).  The artifact
+             member is untouched — tracing never changes served bytes. *)
+          let start_us = Unix.gettimeofday () *. 1e6 in
+          let doc, snap = Telemetry.capture evaluate in
+          let end_us = Unix.gettimeofday () *. 1e6 in
+          let info =
+            ( "worker",
+              Minijson.obj
+                [
+                  ("start_us", Minijson.float start_us);
+                  ("end_us", Minijson.float end_us);
+                  ("spans", worker_spans_json snap);
+                ] )
+          in
+          match doc with
+          | Minijson.Obj fields -> Minijson.Obj (fields @ [ info ])
+          | other -> other))
 
 (* ------------------------------------------------------------------ *)
 (* Listeners                                                           *)
@@ -99,6 +162,8 @@ type waiter = {
   w_job : string;  (** the client's job id *)
   w_hit : bool;  (** coalesced onto an in-flight compile *)
   w_deadline : float option;  (** absolute wall-clock deadline *)
+  w_trace : string;  (** effective trace id (client-supplied or assigned) *)
+  w_submit_us : float;  (** server receive time, microseconds *)
 }
 
 type state = {
@@ -109,6 +174,10 @@ type state = {
   waiters : (Exec.Pool.ticket, waiter list ref) Hashtbl.t;
   key_of : (Exec.Pool.ticket, string) Hashtbl.t;
   inflight : (string, Exec.Pool.ticket) Hashtbl.t;  (** cache key -> ticket *)
+  metrics : Metrics.t;  (** windowed latency / queue-depth histograms *)
+  traces : Metrics.Traces.t;  (** recent request traces, for [TRACE <id>] *)
+  events_oc : out_channel option;  (** structured JSONL event log *)
+  mutable trace_seq : int;  (** server-assigned trace-id counter *)
   mutable served : int;
   mutable coalesced : int;
   mutable rejected : int;
@@ -124,6 +193,149 @@ type state = {
 let count st name =
   ignore st;
   Telemetry.incr name
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+let fresh_trace_id st =
+  st.trace_seq <- st.trace_seq + 1;
+  Printf.sprintf "t-%06x-%x" (Unix.getpid () land 0xFFFFFF) st.trace_seq
+
+(* One JSONL line per request-lifecycle event; [trace_id] makes the log
+   greppable against daemon log lines and [TRACE <id>] lookups. *)
+let emit_event st fields =
+  match st.events_oc with
+  | None -> ()
+  | Some oc ->
+      output_string oc
+        (Minijson.encode
+           (Minijson.obj (("ts_us", Minijson.float (now_us ())) :: fields)));
+      output_char oc '\n';
+      flush oc
+
+let event_base ~event ~trace_id ~job_id =
+  [
+    ("event", Minijson.str event);
+    ("trace_id", Minijson.str trace_id);
+    ("id", Minijson.str job_id);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Trace assembly                                                      *)
+
+let span_json ~id ~parent ~name ~start_us ~dur_us =
+  Minijson.obj
+    [
+      ("id", Minijson.int id);
+      ( "parent",
+        match parent with None -> Minijson.Null | Some p -> Minijson.int p );
+      ("name", Minijson.str name);
+      ("start_us", Minijson.float start_us);
+      ("dur_us", Minijson.float dur_us);
+    ]
+
+(* Re-root the worker's recorded pipeline spans under the exec span
+   (id 2): ids are renumbered from 4, parents remapped, orphans
+   (trimmed ancestors) adopted by exec directly. *)
+let remap_worker_spans spans =
+  let map = Hashtbl.create 16 in
+  List.iteri
+    (fun i s ->
+      match Option.bind (Minijson.member "id" s) Minijson.to_int with
+      | Some orig -> Hashtbl.replace map orig (4 + i)
+      | None -> ())
+    spans;
+  List.mapi
+    (fun i s ->
+      let get name fallback =
+        match Minijson.member name s with Some v -> v | None -> fallback
+      in
+      let parent =
+        match Option.bind (Minijson.member "parent" s) Minijson.to_int with
+        | Some p -> (
+            match Hashtbl.find_opt map p with Some m -> m | None -> 2)
+        | None -> 2
+      in
+      Minijson.obj
+        [
+          ("id", Minijson.int (4 + i));
+          ("parent", Minijson.int parent);
+          ("name", get "name" (Minijson.str "?"));
+          ("start_us", get "start_us" (Minijson.float 0.));
+          ("dur_us", get "dur_us" (Minijson.float 0.));
+        ])
+    spans
+
+(* The worker-side timing block [deliver] reads back out of a traced
+   completion document. *)
+let worker_info_of doc =
+  match Minijson.member "worker" doc with
+  | None -> None
+  | Some w -> (
+      let f name = Option.bind (Minijson.member name w) Minijson.to_float in
+      match (f "start_us", f "end_us") with
+      | Some s, Some e ->
+          let spans =
+            match Option.bind (Minijson.member "spans" w) Minijson.to_list with
+            | Some l -> l
+            | None -> []
+          in
+          Some (s, e, spans)
+      | _ -> None)
+
+(* Build one request's [gdp-trace/1] document, register it for
+   [TRACE <id>], and return it for the inline response.  [worker] is
+   the traced completion block for computed jobs; immediate outcomes
+   (cache hits, rejections) pass [None] and get a request span plus an
+   optional cache-tier child. *)
+let finish_trace st ~trace_id ~job_id ~tier ~outcome ~submit_us ?worker () =
+  let now = now_us () in
+  let total = Float.max 0. (now -. submit_us) in
+  let base = span_json ~id:0 ~parent:None ~name:"request" ~start_us:submit_us ~dur_us:total in
+  let spans, queue_us, exec_us =
+    match worker with
+    | Some (wstart, wend, wspans) ->
+        let queue = Float.max 0. (wstart -. submit_us) in
+        let exec = Float.max 0. (wend -. wstart) in
+        let deliver = Float.max 0. (now -. wend) in
+        ( base
+          :: span_json ~id:1 ~parent:(Some 0) ~name:"queue" ~start_us:submit_us
+               ~dur_us:queue
+          :: span_json ~id:2 ~parent:(Some 0) ~name:"exec" ~start_us:wstart
+               ~dur_us:exec
+          :: span_json ~id:3 ~parent:(Some 0) ~name:"deliver" ~start_us:wend
+               ~dur_us:deliver
+          :: remap_worker_spans wspans,
+          queue,
+          exec )
+    | None ->
+        let tier_span =
+          match tier with
+          | "memory" | "store" ->
+              [
+                span_json ~id:1 ~parent:(Some 0) ~name:("cache." ^ tier)
+                  ~start_us:submit_us ~dur_us:total;
+              ]
+          | _ -> []
+        in
+        (base :: tier_span, 0., 0.)
+  in
+  let doc =
+    Minijson.obj
+      [
+        ("schema", Minijson.str "gdp-trace/1");
+        ("trace_id", Minijson.str trace_id);
+        ("id", Minijson.str job_id);
+        ("cache_tier", Minijson.str tier);
+        ("outcome", Minijson.str outcome);
+        ("start_us", Minijson.float submit_us);
+        ("total_us", Minijson.float total);
+        ("queue_us", Minijson.float queue_us);
+        ("exec_us", Minijson.float exec_us);
+        ("spans", Minijson.list spans);
+      ]
+  in
+  Metrics.Traces.add st.traces ~trace_id doc;
+  doc
 
 let connections_gauge st =
   Telemetry.set_gauge "service.connections"
@@ -203,17 +415,45 @@ let deliver st (c : Exec.Pool.completion) =
   (match (outcome, key) with
   | Ok art, Some k -> Cache.add st.cache k art
   | _ -> ());
+  let worker =
+    match c.Exec.Pool.c_result with
+    | Ok doc -> worker_info_of doc
+    | Error _ -> None
+  in
   List.iter
     (fun w ->
+      let tier = if w.w_hit then "coalesced" else "compute" in
+      let result_outcome =
+        match outcome with Ok _ -> "ok" | Error _ -> "failed"
+      in
+      let trace =
+        Some
+          (finish_trace st ~trace_id:w.w_trace ~job_id:w.w_job ~tier
+             ~outcome:result_outcome ~submit_us:w.w_submit_us ?worker ())
+      in
+      let total_us = now_us () -. w.w_submit_us in
+      Metrics.observe_latency st.metrics ~method_:"submit" total_us;
+      emit_event st
+        (event_base ~event:"deliver" ~trace_id:w.w_trace ~job_id:w.w_job
+        @ [
+            ("outcome", Minijson.str result_outcome);
+            ("tier", Minijson.str tier);
+            ("total_us", Minijson.float total_us);
+          ]);
+      Log.debug (fun m ->
+          m "[%s] deliver %s (%s, %.0f us)" w.w_trace w.w_job result_outcome
+            total_us);
       match outcome with
       | Ok art ->
           st.served <- st.served + 1;
           count st "service.served";
           send st w.w_fd
-            (Protocol.Result { id = w.w_job; cached = w.w_hit; result = art })
+            (Protocol.Result
+               { id = w.w_job; cached = w.w_hit; result = art; trace })
       | Error m ->
           send st w.w_fd
-            (Protocol.Failed { id = w.w_job; reason = m; retry_after_ms = None }))
+            (Protocol.Failed
+               { id = w.w_job; reason = m; retry_after_ms = None; trace }))
     ws
 
 let next_deadline st =
@@ -245,9 +485,21 @@ let expire_deadlines st now =
     (fun w ->
       st.deadline_misses <- st.deadline_misses + 1;
       count st "service.deadline_misses";
+      let trace =
+        Some
+          (finish_trace st ~trace_id:w.w_trace ~job_id:w.w_job ~tier:"none"
+             ~outcome:"deadline_miss" ~submit_us:w.w_submit_us ())
+      in
+      emit_event st
+        (event_base ~event:"deadline_miss" ~trace_id:w.w_trace ~job_id:w.w_job);
       send st w.w_fd
         (Protocol.Failed
-           { id = w.w_job; reason = "deadline exceeded"; retry_after_ms = None }))
+           {
+             id = w.w_job;
+             reason = "deadline exceeded";
+             retry_after_ms = None;
+             trace;
+           }))
     !expired;
   if !expired <> [] then reap_orphans st
 
@@ -259,7 +511,8 @@ let fail_all st reason =
   List.iter
     (fun w ->
       send st w.w_fd
-        (Protocol.Failed { id = w.w_job; reason; retry_after_ms = None }))
+        (Protocol.Failed
+           { id = w.w_job; reason; retry_after_ms = None; trace = None }))
     all
 
 (* Brown-out admission.  The pressure signal is pool pending over
@@ -361,6 +614,58 @@ let stats_json st =
             | other -> other );
         ])
 
+let health_json st =
+  let h = Exec.Pool.health st.pool in
+  Minijson.obj
+    [
+      ("schema", Minijson.str "gdp-health/1");
+      ( "status",
+        Minijson.str (if h.Exec.Pool.h_alive > 0 then "ok" else "degraded") );
+      ("uptime_s", Minijson.float (Unix.gettimeofday () -. st.started));
+      ( "workers",
+        Minijson.obj
+          [
+            ("configured", Minijson.int h.Exec.Pool.h_workers);
+            ("alive", Minijson.int h.Exec.Pool.h_alive);
+            ("poisoned", Minijson.int h.Exec.Pool.h_poisoned);
+            ("crashes", Minijson.int h.Exec.Pool.h_crashes);
+            ("respawns", Minijson.int h.Exec.Pool.h_respawns);
+          ] );
+      ("pending", Minijson.int (Exec.Pool.pending st.pool));
+      ("admission_level", Minijson.int (admission_level st));
+      ("connections", Minijson.int (Hashtbl.length st.clients));
+      ("traces_retained", Minijson.int (Metrics.Traces.length st.traces));
+    ]
+
+(* The point-in-time scalars the metrics plane renders next to its
+   windowed histograms — the daemon's lifetime counters and current
+   gauges, sampled at request time. *)
+let metric_points st =
+  let cs = Cache.stats st.cache in
+  let h = Exec.Pool.health st.pool in
+  [
+    Metrics.Counter ("served_total", st.served);
+    Metrics.Counter ("coalesced_total", st.coalesced);
+    Metrics.Counter ("rejected_total", st.rejected);
+    Metrics.Counter ("deadline_misses_total", st.deadline_misses);
+    Metrics.Counter ("shed_verify_total", st.shed_verify);
+    Metrics.Counter ("degraded_total", st.degraded);
+    Metrics.Counter ("cache_hits_total", cs.Cache.hits);
+    Metrics.Counter ("cache_warm_hits_total", cs.Cache.warm_hits);
+    Metrics.Counter ("cache_misses_total", cs.Cache.misses);
+    Metrics.Counter ("cache_evictions_total", cs.Cache.evictions);
+    Metrics.Counter ("worker_crashes_total", h.Exec.Pool.h_crashes);
+    Metrics.Counter ("worker_respawns_total", h.Exec.Pool.h_respawns);
+    Metrics.Counter ("workers_poisoned_total", h.Exec.Pool.h_poisoned);
+    Metrics.Counter ("traces_recorded_total", Metrics.Traces.total st.traces);
+    Metrics.Gauge ("workers_alive", float_of_int h.Exec.Pool.h_alive);
+    Metrics.Gauge ("pool_pending", float_of_int (Exec.Pool.pending st.pool));
+    Metrics.Gauge ("connections", float_of_int (Hashtbl.length st.clients));
+    Metrics.Gauge ("cache_entries", float_of_int cs.Cache.entries);
+    Metrics.Gauge ("admission_level", float_of_int (admission_level st));
+    Metrics.Gauge ("uptime_s", Unix.gettimeofday () -. st.started);
+  ]
+
 (* ------------------------------------------------------------------ *)
 (* Request handling                                                    *)
 
@@ -402,53 +707,93 @@ let apply_brownout st (job : Protocol.job) =
 
 let handle_submit st (cl : client) (job : Protocol.job) =
   count st "service.jobs";
+  let submit_us = now_us () in
   let id = job.Protocol.id in
+  let trace_id =
+    match job.Protocol.trace_id with Some t -> t | None -> fresh_trace_id st
+  in
+  (* The worker payload always carries the effective id, so the worker
+     knows to record its pipeline spans; the cache key never sees it. *)
+  let job = { job with Protocol.trace_id = Some trace_id } in
+  emit_event st (event_base ~event:"submit" ~trace_id ~job_id:id);
+  Log.debug (fun m -> m "[%s] submit %s" trace_id id);
   match job.Protocol.deadline_ms with
   | Some d when d <= 0 ->
       st.deadline_misses <- st.deadline_misses + 1;
       count st "service.deadline_misses";
+      let trace =
+        Some
+          (finish_trace st ~trace_id ~job_id:id ~tier:"none"
+             ~outcome:"deadline_miss" ~submit_us ())
+      in
+      emit_event st (event_base ~event:"deadline_miss" ~trace_id ~job_id:id);
       send st cl.c_fd
         (Protocol.Failed
            {
              id;
              reason = Printf.sprintf "deadline exceeded (deadline_ms = %d)" d;
              retry_after_ms = None;
+             trace;
            })
   | deadline_ms -> (
       let job = apply_brownout st job in
       let key = Protocol.cache_key job in
-      match Cache.find st.cache key with
-      | Some artifact ->
+      match Cache.find_tier st.cache key with
+      | Some (artifact, tier) ->
+          let tier = match tier with `Memory -> "memory" | `Store -> "store" in
           st.served <- st.served + 1;
           count st "service.served";
+          let trace =
+            Some
+              (finish_trace st ~trace_id ~job_id:id ~tier ~outcome:"ok"
+                 ~submit_us ())
+          in
+          Metrics.observe_latency st.metrics ~method_:"submit_hit"
+            (now_us () -. submit_us);
+          emit_event st
+            (event_base ~event:"cache_hit" ~trace_id ~job_id:id
+            @ [ ("tier", Minijson.str tier) ]);
           send st cl.c_fd
-            (Protocol.Result { id; cached = true; result = artifact })
+            (Protocol.Result { id; cached = true; result = artifact; trace })
       | None -> (
           let deadline =
             Option.map
               (fun d -> Unix.gettimeofday () +. (float_of_int d /. 1000.))
               deadline_ms
           in
+          let waiter hit =
+            {
+              w_fd = cl.c_fd;
+              w_job = id;
+              w_hit = hit;
+              w_deadline = deadline;
+              w_trace = trace_id;
+              w_submit_us = submit_us;
+            }
+          in
           match Hashtbl.find_opt st.inflight key with
           | Some t ->
               (* identical job already compiling: coalesce onto it *)
               st.coalesced <- st.coalesced + 1;
               count st "service.coalesced";
+              emit_event st (event_base ~event:"coalesce" ~trace_id ~job_id:id);
               let ws = Hashtbl.find st.waiters t in
-              ws :=
-                !ws
-                @ [
-                    {
-                      w_fd = cl.c_fd;
-                      w_job = id;
-                      w_hit = true;
-                      w_deadline = deadline;
-                    };
-                  ]
+              ws := !ws @ [ waiter true ]
           | None ->
               if Exec.Pool.pending st.pool >= st.cfg.max_pending then begin
                 st.rejected <- st.rejected + 1;
                 count st "service.rejected";
+                let trace =
+                  Some
+                    (finish_trace st ~trace_id ~job_id:id ~tier:"none"
+                       ~outcome:"rejected" ~submit_us ())
+                in
+                emit_event st
+                  (event_base ~event:"reject" ~trace_id ~job_id:id
+                  @ [
+                      ( "pending",
+                        Minijson.int (Exec.Pool.pending st.pool) );
+                    ]);
                 send st cl.c_fd
                   (Protocol.Failed
                      {
@@ -457,24 +802,20 @@ let handle_submit st (cl : client) (job : Protocol.job) =
                          Printf.sprintf "server overloaded (%d jobs pending)"
                            (Exec.Pool.pending st.pool);
                        retry_after_ms = retry_after_hint st;
+                       trace;
                      })
               end
               else begin
+                Metrics.observe_queue_depth st.metrics
+                  (Exec.Pool.pending st.pool);
                 let t =
                   Exec.Pool.submit st.pool ~batch:key (Protocol.job_to_json job)
                 in
+                emit_event st
+                  (event_base ~event:"dispatch" ~trace_id ~job_id:id);
                 Hashtbl.replace st.inflight key t;
                 Hashtbl.replace st.key_of t key;
-                Hashtbl.replace st.waiters t
-                  (ref
-                     [
-                       {
-                         w_fd = cl.c_fd;
-                         w_job = id;
-                         w_hit = false;
-                         w_deadline = deadline;
-                       };
-                     ])
+                Hashtbl.replace st.waiters t (ref [ waiter false ])
               end))
 
 let handle_cancel st (cl : client) id =
@@ -495,15 +836,45 @@ let handle_cancel st (cl : client) id =
   end
   else
     send st cl.c_fd
-      (Protocol.Failed { id; reason = "unknown job id"; retry_after_ms = None })
+      (Protocol.Failed
+         { id; reason = "unknown job id"; retry_after_ms = None; trace = None })
 
 let handle_request st (cl : client) req =
   count st "service.requests";
+  let t0 = now_us () in
+  let observe m = Metrics.observe_latency st.metrics ~method_:m (now_us () -. t0) in
   match req with
-  | Protocol.Submit job -> handle_submit st cl job
-  | Protocol.Cancel { id } -> handle_cancel st cl id
-  | Protocol.Ping -> send st cl.c_fd Protocol.Pong
-  | Protocol.Stats -> send st cl.c_fd (Protocol.Stats_reply (stats_json st))
+  | Protocol.Submit job ->
+      (* submit latency is observed when the response goes out (cache
+         hit / rejection here, compute at [deliver]) *)
+      handle_submit st cl job
+  | Protocol.Cancel { id } ->
+      handle_cancel st cl id;
+      observe "cancel"
+  | Protocol.Ping ->
+      send st cl.c_fd Protocol.Pong;
+      observe "ping"
+  | Protocol.Stats ->
+      send st cl.c_fd (Protocol.Stats_reply (stats_json st));
+      observe "stats"
+  | Protocol.Health ->
+      send st cl.c_fd (Protocol.Health_reply (health_json st));
+      observe "health"
+  | Protocol.Trace { trace_id } ->
+      (match Metrics.Traces.find st.traces trace_id with
+      | Some doc -> send st cl.c_fd (Protocol.Trace_reply doc)
+      | None -> send_error st cl.c_fd ("unknown trace id: " ^ trace_id));
+      observe "trace"
+  | Protocol.Metrics fmt ->
+      (match fmt with
+      | Protocol.Json ->
+          send st cl.c_fd
+            (Protocol.Metrics_reply (Metrics.to_json st.metrics (metric_points st)))
+      | Protocol.Prometheus ->
+          send st cl.c_fd
+            (Protocol.Metrics_text_reply
+               (Metrics.to_prometheus st.metrics (metric_points st))));
+      observe "metrics"
   | Protocol.Shutdown ->
       send st cl.c_fd Protocol.Shutting_down;
       st.stop <- Some "shutdown request"
@@ -628,6 +999,11 @@ let run cfg =
   let cache = Cache.create ~capacity:cfg.cache_capacity ?store () in
   Pipeline.register_cache_clearer ~key:"service.artifact-cache" (fun () ->
       Cache.clear cache);
+  let events_oc =
+    Option.map
+      (fun p -> open_out_gen [ Open_creat; Open_trunc; Open_wronly ] 0o644 p)
+      cfg.events
+  in
   let st =
     {
       cfg;
@@ -637,6 +1013,10 @@ let run cfg =
       waiters = Hashtbl.create 16;
       key_of = Hashtbl.create 16;
       inflight = Hashtbl.create 16;
+      metrics = Metrics.create ();
+      traces = Metrics.Traces.create ();
+      events_oc;
+      trace_seq = 0;
       served = 0;
       coalesced = 0;
       rejected = 0;
@@ -666,6 +1046,9 @@ let run cfg =
         listeners;
       (match cfg.socket_path with
       | Some p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+      | None -> ());
+      (match events_oc with
+      | Some oc -> ( try close_out oc with Sys_error _ -> ())
       | None -> ());
       match cfg.trace with
       | Some path ->

@@ -65,7 +65,30 @@
     Counters [service.requests], [service.jobs], [service.served],
     [service.coalesced], [service.rejected], [service.deadline_misses],
     [service.connections] and the cache's [service.cache.*] family,
-    plus the pool's own [exec.*] metrics. *)
+    plus the pool's own [exec.*] metrics.
+
+    {2 Tracing and the metrics plane}
+
+    Every submission gets a trace id (client-supplied [trace_id] or
+    server-assigned).  The id rides the worker payload, so the forked
+    worker records its pipeline spans under it; on completion the
+    server assembles a [gdp-trace/1] span record — request, queue,
+    exec, deliver segments plus the worker's own pipeline spans —
+    returns it inline in the [result]/[failed] response, and retains it
+    in a bounded registry served by the [trace] op.  Cache hits get a
+    [cache.memory]/[cache.store] span instead of queue/exec.  Tracing
+    never touches the [result] artifact bytes or the cache key.
+
+    The [metrics] op renders sliding-window (60 s) per-method latency
+    and queue-depth histograms with p50/p95/p99 ({!Metrics}) plus the
+    daemon's lifetime counters, as [gdp-metrics/1] JSON or Prometheus
+    text exposition; [health] answers a small [gdp-health/1] liveness
+    document.  All three are read-only and answered inline.
+
+    With [events] set, every request-lifecycle event (submit, dispatch,
+    cache_hit, coalesce, reject, deliver, deadline_miss) appends one
+    JSON line — [ts_us], [event], [trace_id], [id], ... — to that
+    file, correlating the log with traces. *)
 
 type config = {
   socket_path : string option;  (** Unix-domain listening socket *)
@@ -75,6 +98,9 @@ type config = {
   max_pending : int;  (** reject submissions beyond this many pending *)
   max_frame : int;  (** per-connection frame size limit *)
   trace : string option;  (** write a Chrome trace here on shutdown *)
+  events : string option;
+      (** append one JSON line per request-lifecycle event here
+          (truncated at startup); [None] disables the event log *)
   par_workers : int option;
       (** cap on the domains one job's intra-compile parallelism may
           actually use ([None] = the job's own [par_domains] request).
@@ -95,8 +121,8 @@ type config = {
 val default_config : config
 (** Socket [gdpcd.sock] in the working directory, no TCP, 2 workers,
     256-entry cache, 64-job pending bound, {!Frame.default_max_frame},
-    no trace, no intra-compile domain cap, no durable store, brown-out
-    disabled, no chaos. *)
+    no trace, no event log, no intra-compile domain cap, no durable
+    store, brown-out disabled, no chaos. *)
 
 val run : config -> unit
 (** Bind, serve until a shutdown trigger, clean up.  Raises

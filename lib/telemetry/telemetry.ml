@@ -573,3 +573,165 @@ module Sink = struct
           (List.length snap.hists)
           path)
 end
+
+(* ------------------------------------------------------------------ *)
+(* Sliding-window histograms                                           *)
+
+module Winhist = struct
+  (* Sub-octave log-scale value buckets: bucket 0 holds values below 1,
+     bucket i (i >= 1) holds [2^((i-1)/R), 2^(i/R)) with R = 4
+     sub-buckets per octave.  A quantile estimate returns the geometric
+     midpoint of its bucket, so the bucketing error is bounded by a
+     factor of 2^(1/(2R)) relative to any value in the bucket. *)
+  let resolution = 4
+  let octaves = 38
+  let value_buckets = 1 + (resolution * octaves)
+  let max_rel_error = Float.pow 2. (1. /. float_of_int (2 * resolution)) -. 1.
+
+  let vbucket_of v =
+    if not (v >= 1.) (* also catches NaN *) then 0
+    else
+      min (value_buckets - 1)
+        (1 + int_of_float (float_of_int resolution *. Float.log2 v))
+
+  (* Geometric midpoint of a bucket — the quantile estimate. *)
+  let vbucket_mid i =
+    if i = 0 then 0.5
+    else Float.pow 2. ((float_of_int i -. 0.5) /. float_of_int resolution)
+
+  type slot = {
+    mutable s_epoch : int;  (** slot-width periods since the epoch; -1 = empty *)
+    mutable s_count : int;
+    mutable s_sum : float;
+    mutable s_min : float;
+    mutable s_max : float;
+    s_counts : int array;
+  }
+
+  type t = {
+    slot_us : float;
+    n_slots : int;
+    w_clock : unit -> float;
+    w_slots : slot array;
+    lock : Par.Lock.t;
+  }
+
+  let create ?clock ?(slot_s = 10.) ?(slots = 6) () =
+    if slot_s <= 0. then invalid_arg "Winhist.create: slot_s must be positive";
+    if slots < 1 then invalid_arg "Winhist.create: slots must be at least 1";
+    {
+      slot_us = slot_s *. 1e6;
+      n_slots = slots;
+      w_clock = (match clock with Some f -> f | None -> default_clock);
+      w_slots =
+        Array.init slots (fun _ ->
+            {
+              s_epoch = -1;
+              s_count = 0;
+              s_sum = 0.;
+              s_min = infinity;
+              s_max = neg_infinity;
+              s_counts = Array.make value_buckets 0;
+            });
+      lock = Par.Lock.create ();
+    }
+
+  let window_s t = t.slot_us *. float_of_int t.n_slots /. 1e6
+
+  let clear_slot s =
+    s.s_epoch <- -1;
+    s.s_count <- 0;
+    s.s_sum <- 0.;
+    s.s_min <- infinity;
+    s.s_max <- neg_infinity;
+    Array.fill s.s_counts 0 value_buckets 0
+
+  let current_epoch t = int_of_float (t.w_clock () /. t.slot_us)
+
+  let observe t v =
+    Par.Lock.with_lock t.lock (fun () ->
+        let e = current_epoch t in
+        let s = t.w_slots.(e mod t.n_slots) in
+        if s.s_epoch <> e then begin
+          clear_slot s;
+          s.s_epoch <- e
+        end;
+        s.s_count <- s.s_count + 1;
+        s.s_sum <- s.s_sum +. v;
+        s.s_min <- Float.min s.s_min v;
+        s.s_max <- Float.max s.s_max v;
+        let b = vbucket_of v in
+        s.s_counts.(b) <- s.s_counts.(b) + 1)
+
+  (* Fold the live (non-stale) slots under the lock. *)
+  let fold_live t f init =
+    Par.Lock.with_lock t.lock (fun () ->
+        let e = current_epoch t in
+        Array.fold_left
+          (fun acc s ->
+            if s.s_epoch >= 0 && s.s_epoch > e - t.n_slots then f acc s
+            else acc)
+          init t.w_slots)
+
+  let count t = fold_live t (fun a s -> a + s.s_count) 0
+  let sum t = fold_live t (fun a s -> a +. s.s_sum) 0.
+
+  let min_max t =
+    let mn, mx =
+      fold_live t
+        (fun (mn, mx) s -> (Float.min mn s.s_min, Float.max mx s.s_max))
+        (infinity, neg_infinity)
+    in
+    if mn > mx then None else Some (mn, mx)
+
+  (* Merged bucket counts over the window plus the total, in one locked
+     pass, so a quantile never mixes two different window states. *)
+  let merged t =
+    let counts = Array.make value_buckets 0 in
+    let total =
+      fold_live t
+        (fun a s ->
+          Array.iteri (fun i n -> counts.(i) <- counts.(i) + n) s.s_counts;
+          a + s.s_count)
+        0
+    in
+    (counts, total)
+
+  let quantile_of ~counts ~total q =
+    if total = 0 then 0.
+    else begin
+      let q = Float.max 0. (Float.min 1. q) in
+      let rank = max 1 (int_of_float (ceil (q *. float_of_int total))) in
+      let rec walk i seen =
+        if i >= value_buckets then vbucket_mid (value_buckets - 1)
+        else
+          let seen = seen + counts.(i) in
+          if seen >= rank then vbucket_mid i else walk (i + 1) seen
+      in
+      walk 0 0
+    end
+
+  let quantile t q =
+    let counts, total = merged t in
+    quantile_of ~counts ~total q
+
+  let quantiles t qs =
+    let counts, total = merged t in
+    List.map (fun q -> quantile_of ~counts ~total q) qs
+
+  let to_json t =
+    let counts, total = merged t in
+    let qv q = quantile_of ~counts ~total q in
+    let s = sum t in
+    let mean = if total = 0 then 0. else s /. float_of_int total in
+    Minijson.obj
+      [
+        ("count", Minijson.int total);
+        ("sum", Minijson.float s);
+        ("mean", Minijson.float mean);
+        ("p50", Minijson.float (qv 0.5));
+        ("p95", Minijson.float (qv 0.95));
+        ("p99", Minijson.float (qv 0.99));
+        ("window_s", Minijson.float (window_s t));
+      ]
+end

@@ -188,3 +188,58 @@ module Sink : sig
 
   val write_histograms_csv : string -> snapshot -> unit
 end
+
+(** {1 Sliding-window histograms}
+
+    The live-metrics counterpart of the cumulative histograms above: a
+    ring of time slots (default 6 slots of 10 s — a one-minute sliding
+    window) whose stale slots expire as the clock advances, so
+    [quantile] always answers over recent observations only.  Values go
+    into sub-octave log-scale buckets (4 per octave); a quantile
+    estimate is the geometric midpoint of its bucket, so for values
+    [>= 1] the estimate is within a factor of [2^(1/8)] (about 9%,
+    {!Winhist.max_rel_error}) of the exact rank-based quantile.  Values
+    below 1 share one bucket and estimate as 0.5.
+
+    Mutation and reads are guarded by a per-instance [Par.Lock], so
+    worker domains may observe concurrently (same contract as the
+    global metric tables).  Instances are independent of the global
+    telemetry state: they record even when telemetry is disabled. *)
+module Winhist : sig
+  type t
+
+  val create : ?clock:(unit -> float) -> ?slot_s:float -> ?slots:int -> unit -> t
+  (** [clock] returns microseconds (defaults to the wall clock; inject
+      a fake for deterministic tests — this clock is deliberately
+      independent of {!set_clock}).  [slot_s] is the width of one slot
+      in seconds (default 10), [slots] the ring size (default 6).
+      Raises [Invalid_argument] when [slot_s <= 0] or [slots < 1]. *)
+
+  val observe : t -> float -> unit
+
+  val count : t -> int
+  (** Observations currently inside the window. *)
+
+  val sum : t -> float
+
+  val min_max : t -> (float * float) option
+  (** Exact extremes of the windowed observations; [None] when empty. *)
+
+  val quantile : t -> float -> float
+  (** [quantile t q] for [q] in [0, 1] ([q] is clamped).  0 when the
+      window is empty. *)
+
+  val quantiles : t -> float list -> float list
+  (** All quantiles from one consistent merge of the window (a
+      concurrent [observe] cannot skew p50 against p99). *)
+
+  val window_s : t -> float
+  (** Total window span in seconds ([slot_s * slots]). *)
+
+  val max_rel_error : float
+  (** Documented bucketing error bound: [2^(1/8) - 1] (~0.09) relative
+      to the exact quantile, for values [>= 1]. *)
+
+  val to_json : t -> Minijson.t
+  (** [{count, sum, mean, p50, p95, p99, window_s}]. *)
+end

@@ -119,6 +119,24 @@ let test_telemetry_stress () =
       Alcotest.(check int) "buckets sum to the count" 4_000
         (Array.fold_left ( + ) 0 h.Telemetry.h_buckets)
 
+let test_winhist_stress () =
+  (* the metrics plane mutates Winhist from whichever context handles a
+     request; every mutation is guarded by the instance's Par.Lock, so
+     concurrent observers must lose nothing *)
+  let clock () = 0. in
+  let h = Telemetry.Winhist.create ~clock () in
+  Par.with_pool ~workers:4 ~domains:4 (fun pool ->
+      Par.parallel_for pool ~n:8_000 (fun i ->
+          Telemetry.Winhist.observe h (float_of_int (1 + (i mod 500)))));
+  Alcotest.(check int) "no lost observations" 8_000
+    (Telemetry.Winhist.count h);
+  (* a consistent merged read under no contention afterwards *)
+  match Telemetry.Winhist.quantiles h [ 0.5; 0.99 ] with
+  | [ p50; p99 ] ->
+      Alcotest.(check bool) "p50 sane" true (p50 > 0. && p50 <= 500. *. 1.1);
+      Alcotest.(check bool) "p99 >= p50" true (p99 >= p50)
+  | _ -> Alcotest.fail "quantiles arity"
+
 let test_clear_caches_concurrent () =
   let hits = Atomic.make 0 in
   Pipeline.register_cache_clearer ~key:"test-par-clearer" (fun () ->
@@ -198,6 +216,7 @@ let artifact ?par_workers ~par_domains ~move_latency method_ source =
       settings;
       deadline_ms = None;
       verify = false;
+      trace_id = None;
     }
   in
   match Service.Protocol.evaluate_job ?par_workers job with
@@ -251,6 +270,8 @@ let suite =
     Alcotest.test_case "lock stress" `Quick test_lock_stress;
     Alcotest.test_case "telemetry stress under domains" `Quick
       test_telemetry_stress;
+    Alcotest.test_case "winhist stress under domains" `Quick
+      test_winhist_stress;
     Alcotest.test_case "clear_caches under domains" `Quick
       test_clear_caches_concurrent;
     prop_par_bisect_domain_invariant;

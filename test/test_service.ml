@@ -370,7 +370,8 @@ void main() {
 }
 |}
 
-let sample_job ?(id = "t1") ?(deadline_ms = None) ?(verify = false) () =
+let sample_job ?(id = "t1") ?(deadline_ms = None) ?(verify = false)
+    ?(trace_id = None) () =
   {
     Protocol.id;
     source = sample_source;
@@ -378,15 +379,21 @@ let sample_job ?(id = "t1") ?(deadline_ms = None) ?(verify = false) () =
     settings = Settings.default Partition.Methods.Gdp;
     deadline_ms;
     verify;
+    trace_id;
   }
 
 let test_protocol_roundtrip () =
   let reqs =
     [
       Protocol.Submit (sample_job ~deadline_ms:(Some 5000) ~verify:true ());
+      Protocol.Submit (sample_job ~trace_id:(Some "t-client-1") ());
       Protocol.Cancel { id = "t1" };
       Protocol.Ping;
       Protocol.Stats;
+      Protocol.Health;
+      Protocol.Trace { trace_id = "t-abc" };
+      Protocol.Metrics Protocol.Json;
+      Protocol.Metrics Protocol.Prometheus;
       Protocol.Shutdown;
     ]
   in
@@ -398,13 +405,31 @@ let test_protocol_roundtrip () =
     reqs;
   let resps =
     [
-      Protocol.Result { id = "t1"; cached = true; result = Minijson.int 5 };
-      Protocol.Failed { id = "t1"; reason = "nope"; retry_after_ms = None };
+      Protocol.Result
+        { id = "t1"; cached = true; result = Minijson.int 5; trace = None };
+      Protocol.Result
+        {
+          id = "t3";
+          cached = false;
+          result = Minijson.int 6;
+          trace = Some (Minijson.obj [ ("trace_id", Minijson.str "t-abc") ]);
+        };
       Protocol.Failed
-        { id = "t2"; reason = "server overloaded"; retry_after_ms = Some 120 };
+        { id = "t1"; reason = "nope"; retry_after_ms = None; trace = None };
+      Protocol.Failed
+        {
+          id = "t2";
+          reason = "server overloaded";
+          retry_after_ms = Some 120;
+          trace = None;
+        };
       Protocol.Cancelled { id = "t1" };
       Protocol.Pong;
       Protocol.Stats_reply (Minijson.obj [ ("served", Minijson.int 3) ]);
+      Protocol.Health_reply (Minijson.obj [ ("status", Minijson.str "ok") ]);
+      Protocol.Trace_reply (Minijson.obj [ ("trace_id", Minijson.str "t-1") ]);
+      Protocol.Metrics_reply (Minijson.obj [ ("window_s", Minijson.float 60.) ]);
+      Protocol.Metrics_text_reply "# TYPE gdpcd_served_total counter\n";
       Protocol.Shutting_down;
       Protocol.Error_reply "bad frame";
     ]
@@ -919,7 +944,7 @@ let test_server_overload_reject_and_retry () =
           (* b hits the cap while a holds the only pending slot: the
              rejection is synchronous, so it arrives before a's result *)
           (match Client.recv cl with
-          | Ok (Protocol.Failed { id; reason; retry_after_ms }) ->
+          | Ok (Protocol.Failed { id; reason; retry_after_ms; _ }) ->
               Alcotest.(check string) "rejected job" "ov-b" id;
               Alcotest.(check bool)
                 "names overload" true
@@ -1045,6 +1070,231 @@ let test_loadgen_chaos_consistency () =
         "chaos does not sink the stream" true
         (summary.Loadgen.succeeded >= 16))
 
+(* ------------------------------------------------------------------ *)
+(* Tracing and the metrics plane                                       *)
+
+(* A v1 client knows nothing of [trace_id] or the admin verbs; its
+   envelopes must still decode.  And a v2 client that leaves
+   [trace_id] unset must put bytes on the wire that a strict v1
+   server — which rejects unknown fields by name — would accept. *)
+let test_protocol_version_negotiation () =
+  let j = sample_job () in
+  (* old client -> new server: the same submit under the v1 schema *)
+  let v1 =
+    match Protocol.request_to_json (Protocol.Submit j) with
+    | Minijson.Obj fields ->
+        Minijson.Obj
+          (List.map
+             (fun (k, v) ->
+               if k = "schema" then (k, Minijson.str "gdp-service/1")
+               else (k, v))
+             fields)
+    | d -> d
+  in
+  (match Protocol.request_of_json v1 with
+  | Ok (Protocol.Submit j') ->
+      Alcotest.(check bool) "v1 submit accepted" true (j' = j);
+      Alcotest.(check bool) "no trace id" true (j'.Protocol.trace_id = None)
+  | Ok _ -> Alcotest.fail "v1 submit decoded to the wrong request"
+  | Error m -> Alcotest.failf "v1 submit rejected: %s" m);
+  (* new client -> old strict server: an unset trace_id must not
+     appear on the wire at all *)
+  (match Protocol.request_to_json (Protocol.Submit j) with
+  | Minijson.Obj fields ->
+      Alcotest.(check bool)
+        "trace_id absent when unset" true
+        (not (List.mem_assoc "trace_id" fields))
+  | _ -> Alcotest.fail "submit did not encode to an object");
+  (* ... while a set trace_id survives the v2 round-trip *)
+  let j2 = sample_job ~trace_id:(Some "t-negotiate") () in
+  (match
+     Protocol.request_of_json (Protocol.request_to_json (Protocol.Submit j2))
+   with
+  | Ok (Protocol.Submit j') ->
+      Alcotest.(check (option string))
+        "trace id round-trips" (Some "t-negotiate") j'.Protocol.trace_id
+  | Ok _ -> Alcotest.fail "v2 submit decoded to the wrong request"
+  | Error m -> Alcotest.failf "v2 submit rejected: %s" m);
+  (* a future schema is still refused, naming what we do speak *)
+  match
+    Protocol.request_of_json
+      (Minijson.obj
+         [
+           ("schema", Minijson.str "gdp-service/3"); ("op", Minijson.str "ping");
+         ])
+  with
+  | Ok _ -> Alcotest.fail "accepted an unknown schema version"
+  | Error m ->
+      Alcotest.(check bool)
+        "names the current version" true
+        (contains m "gdp-service/2")
+
+let gets k doc = Option.bind (Minijson.member k doc) Minijson.to_string
+let getf k doc = Option.bind (Minijson.member k doc) Minijson.to_float
+
+let test_server_trace_and_admin () =
+  Loadgen.with_local_server ~jobs:1 (fun endpoint ->
+      let cl = Client.connect ~attempts:20 endpoint in
+      Fun.protect
+        ~finally:(fun () -> Client.close cl)
+        (fun () ->
+          let t0 = Unix.gettimeofday () in
+          let trace =
+            match Client.submit cl (sample_job ~id:"tr-1" ()) with
+            | Ok (Protocol.Result { trace = Some t; _ }) -> t
+            | Ok (Protocol.Result { trace = None; _ }) ->
+                Alcotest.fail "response carried no trace"
+            | Ok (Protocol.Failed { reason; _ }) ->
+                Alcotest.failf "job failed: %s" reason
+            | Ok _ -> Alcotest.fail "unexpected response"
+            | Error m -> Alcotest.failf "submit failed: %s" m
+          in
+          let client_us = (Unix.gettimeofday () -. t0) *. 1e6 in
+          let trace_id =
+            match gets "trace_id" trace with
+            | Some id -> id
+            | None -> Alcotest.fail "trace doc has no trace_id"
+          in
+          Alcotest.(check (option string))
+            "trace schema" (Some "gdp-trace/1") (gets "schema" trace);
+          Alcotest.(check (option string))
+            "computed off-cache" (Some "compute") (gets "cache_tier" trace);
+          (* the accounted segments sit inside the server total, and the
+             server total inside the client-observed wire latency (1 ms
+             slack covers clock granularity either side) *)
+          let seg k = Option.value ~default:Float.nan (getf k trace) in
+          let total = seg "total_us" in
+          Alcotest.(check bool)
+            "segments within total" true
+            (seg "queue_us" +. seg "exec_us" <= total +. 1000.);
+          Alcotest.(check bool)
+            "total within client latency" true (total <= client_us +. 1000.);
+          (* TRACE <id> resolves to the registered document *)
+          (match Client.rpc cl (Protocol.Trace { trace_id }) with
+          | Ok (Protocol.Trace_reply doc) ->
+              Alcotest.(check string)
+                "TRACE returns the registered doc" (Minijson.encode trace)
+                (Minijson.encode doc)
+          | Ok _ -> Alcotest.fail "expected Trace_reply"
+          | Error m -> Alcotest.failf "trace rpc failed: %s" m);
+          (* an unknown id is a clean per-request error *)
+          (match Client.rpc cl (Protocol.Trace { trace_id = "t-nope" }) with
+          | Ok (Protocol.Error_reply m) ->
+              Alcotest.(check bool) "names the id" true (contains m "t-nope")
+          | Ok _ -> Alcotest.fail "expected Error_reply for unknown trace"
+          | Error m -> Alcotest.failf "unknown-trace rpc failed: %s" m);
+          (* a client-supplied trace id is honoured end to end *)
+          (match
+             Client.submit cl
+               (sample_job ~id:"tr-2" ~trace_id:(Some "t-mine") ())
+           with
+          | Ok (Protocol.Result { trace = Some t; _ }) ->
+              Alcotest.(check (option string))
+                "client trace id kept" (Some "t-mine") (gets "trace_id" t);
+              Alcotest.(check (option string))
+                "resubmit hit the cache" (Some "memory") (gets "cache_tier" t)
+          | Ok _ -> Alcotest.fail "expected a traced Result"
+          | Error m -> Alcotest.failf "traced submit failed: %s" m);
+          (* HEALTH *)
+          (match Client.rpc cl Protocol.Health with
+          | Ok (Protocol.Health_reply h) ->
+              Alcotest.(check (option string))
+                "health schema" (Some "gdp-health/1") (gets "schema" h);
+              Alcotest.(check (option string))
+                "healthy" (Some "ok") (gets "status" h)
+          | Ok _ -> Alcotest.fail "expected Health_reply"
+          | Error m -> Alcotest.failf "health failed: %s" m);
+          (* METRICS json: the submits above are visible in the window *)
+          (match Client.rpc cl (Protocol.Metrics Protocol.Json) with
+          | Ok (Protocol.Metrics_reply m) ->
+              Alcotest.(check (option string))
+                "metrics schema" (Some "gdp-metrics/1") (gets "schema" m);
+              let count_of method_ =
+                Option.bind (Minijson.member "latency_us" m) (fun l ->
+                    Option.bind (Minijson.member method_ l) (fun h ->
+                        Option.bind (Minijson.member "count" h) Minijson.to_int))
+              in
+              Alcotest.(check bool)
+                "computed submit recorded" true
+                (match count_of "submit" with Some n -> n >= 1 | None -> false);
+              Alcotest.(check bool)
+                "cache hit recorded" true
+                (match count_of "submit_hit" with
+                | Some n -> n >= 1
+                | None -> false)
+          | Ok _ -> Alcotest.fail "expected Metrics_reply"
+          | Error m -> Alcotest.failf "metrics failed: %s" m);
+          (* METRICS prometheus: well-formed text exposition *)
+          match Client.rpc cl (Protocol.Metrics Protocol.Prometheus) with
+          | Ok (Protocol.Metrics_text_reply text) ->
+              Alcotest.(check bool)
+                "has TYPE lines" true
+                (contains text "# TYPE gdpcd_");
+              Alcotest.(check bool)
+                "serves the request counter" true
+                (contains text "gdpcd_served_total");
+              Alcotest.(check bool)
+                "serves quantiles" true
+                (contains text "quantile=\"0.99\"")
+          | Ok _ -> Alcotest.fail "expected Metrics_text_reply"
+          | Error m -> Alcotest.failf "prometheus failed: %s" m))
+
+let test_server_events_log () =
+  let events = Filename.temp_file "gdp-events" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove events with Sys_error _ -> ())
+    (fun () ->
+      Loadgen.with_local_server ~jobs:1 ~events (fun endpoint ->
+          let cl = Client.connect ~attempts:20 endpoint in
+          Fun.protect
+            ~finally:(fun () -> Client.close cl)
+            (fun () ->
+              (* one computed request, one cache hit *)
+              (match Client.submit cl (sample_job ~id:"ev-1" ()) with
+              | Ok (Protocol.Result _) -> ()
+              | _ -> Alcotest.fail "first submit failed");
+              (match Client.submit cl (sample_job ~id:"ev-2" ()) with
+              | Ok (Protocol.Result { cached; _ }) ->
+                  Alcotest.(check bool) "resubmit hit" true cached
+              | _ -> Alcotest.fail "resubmit failed");
+              (* emit_event flushes per line, so once our responses are
+                 back the log is complete up to here *)
+              let ic = open_in events in
+              let lines = ref [] in
+              (try
+                 while true do
+                   lines := input_line ic :: !lines
+                 done
+               with End_of_file -> close_in ic);
+              let docs =
+                List.rev_map
+                  (fun line ->
+                    match Minijson.parse line with
+                    | Ok doc -> doc
+                    | Error m ->
+                        Alcotest.failf "unparseable event line %S: %s" line m)
+                  !lines
+              in
+              Alcotest.(check bool)
+                "events were logged" true
+                (List.length docs >= 4);
+              List.iter
+                (fun doc ->
+                  Alcotest.(check bool)
+                    "every event is typed" true
+                    (gets "event" doc <> None);
+                  Alcotest.(check bool)
+                    "every event is correlatable" true
+                    (gets "trace_id" doc <> None))
+                docs;
+              let kinds = List.filter_map (gets "event") docs in
+              List.iter
+                (fun k ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "saw a %S event" k)
+                    true (List.mem k kinds))
+                [ "submit"; "dispatch"; "deliver"; "cache_hit" ])))
+
 let suite =
   [
     Alcotest.test_case "minijson: control chars" `Quick test_minijson_control_chars;
@@ -1091,4 +1341,9 @@ let suite =
       test_server_worker_kill_chaos;
     Alcotest.test_case "loadgen: chaos consistency" `Slow
       test_loadgen_chaos_consistency;
+    Alcotest.test_case "protocol: version negotiation" `Quick
+      test_protocol_version_negotiation;
+    Alcotest.test_case "server: trace and admin plane" `Slow
+      test_server_trace_and_admin;
+    Alcotest.test_case "server: events log" `Slow test_server_events_log;
   ]

@@ -558,6 +558,150 @@ let test_pipeline_records_stage_spans () =
   | _ -> Alcotest.fail "pipeline trace did not parse as a JSON object"
 
 (* ------------------------------------------------------------------ *)
+(* Winhist: sliding-window histograms                                  *)
+
+module Winhist = Telemetry.Winhist
+
+(* Exact quantile with Winhist's rank convention: rank = max 1 (ceil
+   (q*n)) over the sorted sample. *)
+let exact_quantile values q =
+  let a = Array.of_list values in
+  Array.sort compare a;
+  let n = Array.length a in
+  let rank = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+  a.(min (n - 1) (rank - 1))
+
+(* The documented bound, plus a little float slack. *)
+let tolerance = Winhist.max_rel_error +. 1e-9
+
+let check_quantile name h values q =
+  let est = Winhist.quantile h q in
+  let exact = exact_quantile values q in
+  let rel = Float.abs (est -. exact) /. Float.max 1. exact in
+  if rel > tolerance then
+    Alcotest.failf "%s: q=%.2f estimate %.2f vs exact %.2f (rel %.4f > %.4f)"
+      name q est exact rel tolerance
+
+let fake_clock () =
+  let now = ref 0. in
+  ((fun () -> !now), fun s -> now := s *. 1e6)
+
+let test_winhist_quantiles_within_bound () =
+  let clock, _set = fake_clock () in
+  (* uniform, geometric and constant shapes, all in one live window *)
+  let shapes =
+    [
+      ("uniform", List.init 1000 (fun i -> float_of_int (i + 1)));
+      ("geometric", List.init 200 (fun i -> 1.5 ** float_of_int (i mod 40)));
+      ("constant", List.init 50 (fun _ -> 1234.5));
+    ]
+  in
+  List.iter
+    (fun (name, values) ->
+      let h = Winhist.create ~clock ~slot_s:10. ~slots:6 () in
+      List.iter (Winhist.observe h) values;
+      Alcotest.(check int) (name ^ " count") (List.length values) (Winhist.count h);
+      List.iter
+        (fun q -> check_quantile name h values q)
+        [ 0.01; 0.25; 0.5; 0.75; 0.95; 0.99; 1.0 ];
+      (* quantiles (plural) agrees with quantile one at a time *)
+      match Winhist.quantiles h [ 0.5; 0.95; 0.99 ] with
+      | [ a; b; c ] ->
+          Alcotest.(check (float 1e-9)) "p50 agree" (Winhist.quantile h 0.5) a;
+          Alcotest.(check (float 1e-9)) "p95 agree" (Winhist.quantile h 0.95) b;
+          Alcotest.(check (float 1e-9)) "p99 agree" (Winhist.quantile h 0.99) c
+      | _ -> Alcotest.fail "quantiles arity")
+    shapes
+
+let test_winhist_empty_and_single () =
+  let clock, _set = fake_clock () in
+  let h = Winhist.create ~clock () in
+  Alcotest.(check int) "empty count" 0 (Winhist.count h);
+  Alcotest.(check (float 0.)) "empty sum" 0. (Winhist.sum h);
+  Alcotest.(check (float 0.)) "empty quantile" 0. (Winhist.quantile h 0.5);
+  Alcotest.(check bool) "empty min/max" true (Winhist.min_max h = None);
+  Winhist.observe h 42.;
+  Alcotest.(check int) "single count" 1 (Winhist.count h);
+  let est = Winhist.quantile h 0.5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "single p50 %.2f within bound of 42" est)
+    true
+    (Float.abs (est -. 42.) /. 42. <= tolerance);
+  (* every quantile of a single observation is that observation *)
+  Alcotest.(check (float 1e-9)) "single p99 = p1" (Winhist.quantile h 0.01) (Winhist.quantile h 0.99);
+  Alcotest.(check bool) "single min/max" true (Winhist.min_max h = Some (42., 42.));
+  (* sub-1 values share the underflow bucket and estimate as 0.5 *)
+  let u = Winhist.create ~clock () in
+  Winhist.observe u 0.25;
+  Alcotest.(check (float 1e-9)) "underflow estimate" 0.5 (Winhist.quantile u 0.5)
+
+let test_winhist_rotation () =
+  let clock, set = fake_clock () in
+  let h = Winhist.create ~clock ~slot_s:10. ~slots:6 () in
+  set 0.;
+  Winhist.observe h 100.;
+  set 30.;
+  Winhist.observe h 200.;
+  Alcotest.(check int) "both slots live at 30 s" 2 (Winhist.count h);
+  (* 59.9 s: the t=0 slot (epoch 0) is still inside the 60 s window *)
+  set 59.9;
+  Alcotest.(check int) "still live just before expiry" 2 (Winhist.count h);
+  (* 60 s: epoch 0 ages out, the t=30 observation survives *)
+  set 60.;
+  Alcotest.(check int) "first slot expired at 60 s" 1 (Winhist.count h);
+  Alcotest.(check bool) "survivor is the 200" true
+    (Winhist.min_max h = Some (200., 200.));
+  (* 90 s: everything gone *)
+  set 90.;
+  Alcotest.(check int) "window drained" 0 (Winhist.count h);
+  (* a new observation reuses the stale ring slot without resurrecting
+     its old contents *)
+  set 120.;
+  Winhist.observe h 300.;
+  Alcotest.(check int) "fresh slot after reuse" 1 (Winhist.count h);
+  Alcotest.(check bool) "fresh contents only" true
+    (Winhist.min_max h = Some (300., 300.))
+
+let test_winhist_single_slot () =
+  let clock, set = fake_clock () in
+  let h = Winhist.create ~clock ~slot_s:10. ~slots:1 () in
+  Alcotest.(check (float 1e-9)) "window is one slot" 10. (Winhist.window_s h);
+  set 0.;
+  Winhist.observe h 5.;
+  Winhist.observe h 7.;
+  Alcotest.(check int) "one slot holds the epoch" 2 (Winhist.count h);
+  set 9.9;
+  Alcotest.(check int) "same epoch still live" 2 (Winhist.count h);
+  set 10.;
+  Alcotest.(check int) "next epoch empties a 1-slot window" 0 (Winhist.count h);
+  Winhist.observe h 9.;
+  Alcotest.(check int) "new epoch records" 1 (Winhist.count h);
+  (* bad configurations are rejected *)
+  (match Winhist.create ~slot_s:0. () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted slot_s = 0");
+  match Winhist.create ~slots:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted slots = 0"
+
+let test_winhist_to_json () =
+  let clock, _set = fake_clock () in
+  let h = Winhist.create ~clock ~slot_s:10. ~slots:6 () in
+  List.iter (Winhist.observe h) [ 10.; 20.; 30.; 40. ];
+  match Winhist.to_json h with
+  | Minijson.Obj fields ->
+      List.iter
+        (fun k ->
+          if not (List.mem_assoc k fields) then
+            Alcotest.failf "to_json missing %s" k)
+        [ "count"; "sum"; "mean"; "p50"; "p95"; "p99"; "window_s" ];
+      Alcotest.(check bool) "count is 4" true
+        (List.assoc "count" fields = Minijson.Num 4.);
+      Alcotest.(check bool) "sum is 100" true
+        (List.assoc "sum" fields = Minijson.Num 100.)
+  | _ -> Alcotest.fail "to_json did not yield an object"
+
+(* ------------------------------------------------------------------ *)
 
 let suite =
   [
@@ -584,4 +728,13 @@ let suite =
     QCheck_alcotest.to_alcotest chrome_trace_roundtrips_names;
     Alcotest.test_case "pipeline records every stage span" `Quick
       test_pipeline_records_stage_spans;
+    Alcotest.test_case "winhist quantiles within documented bound" `Quick
+      test_winhist_quantiles_within_bound;
+    Alcotest.test_case "winhist empty window and single value" `Quick
+      test_winhist_empty_and_single;
+    Alcotest.test_case "winhist rotation expires old slots" `Quick
+      test_winhist_rotation;
+    Alcotest.test_case "winhist single-slot window" `Quick
+      test_winhist_single_slot;
+    Alcotest.test_case "winhist to_json shape" `Quick test_winhist_to_json;
   ]
