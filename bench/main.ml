@@ -40,7 +40,8 @@
    the figure sweep is skipped — the gates run on their own.
 
    Experiments: table1 fig2 fig7 fig8a fig8b fig9a fig9b fig10
-   compile-time ablate-merge ablate-imbalance ablate-clusters *)
+   compile-time ablate-merge ablate-imbalance ablate-clusters
+   ablate-bug ablate-hetero scenario-matrix *)
 
 open Gdp_core
 
@@ -71,6 +72,15 @@ let fig10 () =
   Experiments.render_figure10 ppf (Experiments.performance ~move_latency:5 ())
 
 let table1 () = Experiments.render_table1 ppf ()
+
+(* set from -j before any experiment runs, so the scenario matrix (a
+   6-machine sweep, much wider than any single figure) can fan its
+   cells over the same worker pool as the standard-sweep prefetch *)
+let sweep_jobs = ref 1
+
+let scenario_matrix () =
+  Experiments.render_scenario_matrix ppf
+    (Experiments.scenario_sweep ~jobs:!sweep_jobs ())
 
 let compile_time () =
   Experiments.render_compile_time ppf (Experiments.compile_time ())
@@ -106,7 +116,9 @@ let bechamel_benches = [ "rawcaudio"; "fir"; "mpeg2enc" ]
     the same work through the pool. *)
 let bechamel_results ?pool () : (string * float option) list =
   let open Bechamel in
-  let machine = Vliw_machine.paper_machine ~move_latency:5 () in
+  let machine =
+    Machine_spec.resolve (Machine_spec.of_legacy ~clusters:2 ~move_latency:5)
+  in
   let prepared =
     List.map
       (fun name -> (name, Pipeline.prepare (Benchsuite.Suite.find name)))
@@ -269,6 +281,7 @@ let experiments =
     ("ablate-clusters", ablate_clusters);
     ("ablate-bug", ablate_bug);
     ("ablate-hetero", ablate_hetero);
+    ("scenario-matrix", scenario_matrix);
   ]
 
 (* each experiment runs under a telemetry span so the timing table, the
@@ -522,6 +535,7 @@ let () =
     parse_flags false None None None None None 2.0 args
   in
   let jobs = !jobs in
+  sweep_jobs := jobs;
   let par_domains = !par_domains in
   let check_part = !check_part in
   let attrib_only =

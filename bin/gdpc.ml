@@ -98,6 +98,45 @@ let clusters_arg =
     & opt int 2
     & info [ "c"; "clusters" ] ~docv:"N" ~doc:"Number of clusters (power of two).")
 
+let machine_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "machine" ] ~docv:"NAME|FILE"
+        ~doc:
+          (Fmt.str
+             "Machine description: a preset name (%s) or a path to a \
+              gdp-machine/1 JSON spec file (see docs/machine.md).  \
+              Overrides $(b,--clusters); $(b,--latency) rescales presets \
+              but is ignored for spec files, which carry their own \
+              link_latency."
+             (String.concat ", " Machine_spec.preset_names)))
+
+(* Resolve --machine/--clusters/--latency into one declarative spec: a
+   preset (rescaled by --latency), a spec file, or the legacy
+   clusters/latency pair.  A --machine argument that is neither a known
+   preset nor an existing file reports the preset error (the likelier
+   intent). *)
+let machine_spec_of_args ~machine ~clusters ~latency : Machine_spec.t =
+  match machine with
+  | None ->
+      if clusters < 1 then
+        raise (Cli_error (Fmt.str "--clusters must be >= 1 (got %d)" clusters));
+      Machine_spec.of_legacy ~clusters ~move_latency:latency
+  | Some arg -> (
+      match Machine_spec.preset ~link_latency:latency arg with
+      | Ok spec -> spec
+      | Error preset_err ->
+          if Sys.file_exists arg then
+            match Minijson.parse (read_file arg) with
+            | Error m ->
+                raise (Cli_error (Fmt.str "%s: invalid JSON: %s" arg m))
+            | Ok doc -> (
+                match Machine_spec.of_json doc with
+                | Ok spec -> spec
+                | Error m -> raise (Cli_error (Fmt.str "%s: %s" arg m)))
+          else raise (Cli_error preset_err))
+
 (* ------------------------------------------------------------------ *)
 (* Observability: telemetry flags, log verbosity and fault injection,
    shared by every subcommand                                          *)
@@ -341,8 +380,8 @@ let par_domains_arg =
            sequential one for the gdp method.")
 
 let partition_cmd =
-  let run obs file input method_ latency clusters par_domains show_sched verify
-      robust =
+  let run obs file input method_ latency clusters machine_name par_domains
+      show_sched verify robust =
     handle_errors (fun () ->
         let source = read_file file in
         let bench =
@@ -358,16 +397,15 @@ let partition_cmd =
           with_compile_diagnostics ~path:file ~src:source (fun () ->
               Gdp_core.Pipeline.prepare bench)
         in
-        let machine =
-          if clusters = 2 then Vliw_machine.paper_machine ~move_latency:latency ()
-          else Vliw_machine.scaled_machine ~clusters ~move_latency:latency ()
+        let spec =
+          machine_spec_of_args ~machine:machine_name ~clusters ~latency
         in
+        let machine = Machine_spec.resolve spec in
         let ctx = Gdp_core.Pipeline.context ~machine prepared in
         let settings =
           {
             (Gdp_core.Pipeline.Settings.default method_) with
-            clusters;
-            move_latency = latency;
+            machine = spec;
             par_domains;
           }
         in
@@ -431,7 +469,11 @@ let partition_cmd =
                       ~func:(Vliw_ir.Func.name f)
                       ~label:(Vliw_ir.Block.label b)
                   in
-                  let occ = Vliw_sched.Occupancy.of_schedule ~machine s in
+                  let occ =
+                    Vliw_sched.Occupancy.of_schedule
+                      ~move_routes:c.Vliw_sched.Move_insert.move_routes ~machine
+                      s
+                  in
                   total_occ :=
                     Some (Vliw_sched.Occupancy.accumulate occ ~weight !total_occ);
                   Fmt.pr "@.%s/%s (executed %d time(s)):@.%a@."
@@ -465,14 +507,14 @@ let partition_cmd =
           cycles.")
     Term.(
       const run $ obs_term $ file_arg $ input_arg $ method_arg $ latency_arg
-      $ clusters_arg $ par_domains_arg $ schedule_flag $ verify_flag
-      $ robust_flag)
+      $ clusters_arg $ machine_arg $ par_domains_arg $ schedule_flag
+      $ verify_flag $ robust_flag)
 
 (* ------------------------------------------------------------------ *)
 (* explain                                                             *)
 
 let explain_cmd =
-  let run obs file input latency clusters out =
+  let run obs file input latency clusters machine_name out =
     handle_errors (fun () ->
         let source = read_file file in
         let bench =
@@ -490,8 +532,8 @@ let explain_cmd =
               Gdp_core.Pipeline.prepare bench)
         in
         let machine =
-          if clusters = 2 then Vliw_machine.paper_machine ~move_latency:latency ()
-          else Vliw_machine.scaled_machine ~clusters ~move_latency:latency ()
+          Machine_spec.resolve
+            (machine_spec_of_args ~machine:machine_name ~clusters ~latency)
         in
         let e = Gdp_report.Explain.explain ~machine prepared in
         (match out with
@@ -520,7 +562,7 @@ let explain_cmd =
           data placements.")
     Term.(
       const run $ obs_term $ file_arg $ input_arg $ latency_arg $ clusters_arg
-      $ out_arg)
+      $ machine_arg $ out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* bench                                                               *)
@@ -536,16 +578,17 @@ let jobs_arg =
            clock changes.")
 
 let bench_cmd =
-  let run obs name latency jobs json =
+  let run obs name latency clusters machine_name jobs json =
     handle_errors (fun () ->
         let benches =
           match name with
           | Some n -> [ Benchsuite.Suite.find n ]
           | None -> Benchsuite.Suite.all
         in
+        let spec = machine_spec_of_args ~machine:machine_name ~clusters ~latency in
         let rows =
-          Gdp_core.Experiments.run_all ~jobs:(Exec.clamp_jobs jobs) ~benches
-            ~move_latency:latency ()
+          Gdp_core.Experiments.run_all_machine ~jobs:(Exec.clamp_jobs jobs)
+            ~benches ~spec ()
         in
         let cell r name =
           match Gdp_core.Experiments.cycles_opt r name with
@@ -579,6 +622,7 @@ let bench_cmd =
                  [
                    ("schema", Minijson.str "gdp-rows/1");
                    ("latency", Minijson.int latency);
+                   ("machine", Machine_spec.to_json spec);
                    ( "rows",
                      Minijson.list
                        (List.map Gdp_core.Experiments.row_to_json rows) );
@@ -606,7 +650,9 @@ let bench_cmd =
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Evaluate suite benchmarks under all methods.")
-    Term.(const run $ obs_term $ name_arg $ latency_arg $ jobs_arg $ json_arg)
+    Term.(
+      const run $ obs_term $ name_arg $ latency_arg $ clusters_arg
+      $ machine_arg $ jobs_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* fuzz                                                                *)
@@ -897,16 +943,16 @@ let submit_cmd =
              retry_after_ms backpressure hint, sleeping the hinted \
              interval between attempts.")
   in
-  let run obs file input method_ latency clusters par_domains server deadline
-      verify repeat inline json connect_timeout io_timeout retries =
+  let run obs file input method_ latency clusters machine_name par_domains
+      server deadline verify repeat inline json connect_timeout io_timeout
+      retries =
     handle_errors (fun () ->
         if repeat < 1 then raise (Cli_error "--repeat must be at least 1");
         let source = read_file file in
         let settings =
           {
             (Gdp_core.Pipeline.Settings.default method_) with
-            clusters;
-            move_latency = latency;
+            machine = machine_spec_of_args ~machine:machine_name ~clusters ~latency;
             par_domains;
           }
         in
@@ -975,9 +1021,9 @@ let submit_cmd =
           the artifact.")
     Term.(
       const run $ obs_term $ file_arg $ input_arg $ method_arg $ latency_arg
-      $ clusters_arg $ par_domains_arg $ endpoint_arg $ deadline_arg
-      $ verify_arg $ repeat_arg $ inline_arg $ json_arg $ connect_timeout_arg
-      $ io_timeout_arg $ retries_arg)
+      $ clusters_arg $ machine_arg $ par_domains_arg $ endpoint_arg
+      $ deadline_arg $ verify_arg $ repeat_arg $ inline_arg $ json_arg
+      $ connect_timeout_arg $ io_timeout_arg $ retries_arg)
 
 let loadgen_cmd =
   let server_arg =

@@ -14,7 +14,7 @@ let heterogeneous =
         M.cluster ~ints:3 ~floats:1 ~mems:2 ~branches:1 ~memory_bytes:65536 ();
         M.cluster ~ints:1 ~floats:1 ~mems:1 ~branches:1 ~memory_bytes:16384 ();
       |]
-    ~network:{ M.move_latency = 5; moves_per_cycle = 1 }
+    ~network:{ M.topology = Bus; move_latency = 5; moves_per_cycle = 1 }
     ~latencies:M.itanium_latencies
 
 let evaluate_on machine bench_name =

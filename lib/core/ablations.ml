@@ -16,9 +16,14 @@ type merge_ablation_row = {
   ma_slack_groups : int;
 }
 
+(* every ablation builds its machine through [Machine_spec], like the
+   experiments sweep — the paper shapes via [of_legacy] resolve
+   byte-identically to the old [Vliw_machine.paper_machine] calls *)
+let paper_spec ~move_latency = Machine_spec.of_legacy ~clusters:2 ~move_latency
+
 let merge_ablation ?(benches = Benchsuite.Suite.all) ?(move_latency = 5) () :
     merge_ablation_row list =
-  let machine = Vliw_machine.paper_machine ~move_latency () in
+  let machine = Machine_spec.resolve (paper_spec ~move_latency) in
   List.map
     (fun b ->
       let p = Pipeline.prepare_default b in
@@ -70,7 +75,7 @@ type imbalance_row = {
 
 let imbalance_sweep ?(benches = Benchsuite.Suite.all) ?(move_latency = 5)
     ?(tolerances = [ 0.05; 0.25; 0.5; 1.0; 2.0 ]) () : imbalance_row list =
-  let machine = Vliw_machine.paper_machine ~move_latency () in
+  let machine = Machine_spec.resolve (paper_spec ~move_latency) in
   List.map
     (fun b ->
       let p = Pipeline.prepare_default b in
@@ -112,17 +117,33 @@ let render_imbalance ppf rows =
    follow the asymmetry (paper Section 3.3.2 parameterizes the memory
    balance for this case).                                             *)
 
+let heterogeneous_spec ?(move_latency = 5) () =
+  {
+    Machine_spec.name = "hetero-3i2m+1i1m";
+    clusters =
+      [
+        {
+          Machine_spec.ints = 3;
+          floats = 1;
+          mems = 2;
+          branches = 1;
+          memory_bytes = 65536;
+        };
+        {
+          Machine_spec.ints = 1;
+          floats = 1;
+          mems = 1;
+          branches = 1;
+          memory_bytes = 16384;
+        };
+      ];
+    topology = Vliw_machine.Bus;
+    link_latency = move_latency;
+    link_bandwidth = 1;
+  }
+
 let heterogeneous_machine ?(move_latency = 5) () =
-  Vliw_machine.v ~name:"hetero-3i2m+1i1m"
-    ~clusters:
-      [|
-        Vliw_machine.cluster ~ints:3 ~floats:1 ~mems:2 ~branches:1
-          ~memory_bytes:65536 ();
-        Vliw_machine.cluster ~ints:1 ~floats:1 ~mems:1 ~branches:1
-          ~memory_bytes:16384 ();
-      |]
-    ~network:{ Vliw_machine.move_latency; moves_per_cycle = 1 }
-    ~latencies:Vliw_machine.itanium_latencies
+  Machine_spec.resolve (heterogeneous_spec ~move_latency ())
 
 type hetero_row = {
   ht_bench : string;
@@ -189,7 +210,7 @@ type bug_row = {
 
 let bug_comparison ?(benches = Benchsuite.Suite.all) ?(move_latency = 5) () :
     bug_row list =
-  let machine = Vliw_machine.paper_machine ~move_latency () in
+  let machine = Machine_spec.resolve (paper_spec ~move_latency) in
   List.map
     (fun b ->
       let p = Pipeline.prepare_default b in
@@ -272,7 +293,9 @@ type clusters_row = {
 
 let four_clusters ?(benches = Benchsuite.Suite.all) ?(move_latency = 5) () :
     clusters_row list =
-  let machine = Vliw_machine.scaled_machine ~clusters:4 ~move_latency () in
+  let machine =
+    Machine_spec.resolve (Machine_spec.of_legacy ~clusters:4 ~move_latency)
+  in
   List.map
     (fun b ->
       let p = Pipeline.prepare_default b in

@@ -56,7 +56,9 @@ let balance_of ~group_bytes mapping =
   if total = 0 then 1.0 else float smaller /. (float total /. 2.)
 
 let run ?(move_latency = 5) (bench : Benchsuite.Bench_intf.t) : result =
-  let machine = Vliw_machine.paper_machine ~move_latency () in
+  let machine =
+    Machine_spec.resolve (Machine_spec.of_legacy ~clusters:2 ~move_latency)
+  in
   let p = Pipeline.prepare_default bench in
   let ctx = Pipeline.context ~machine p in
   let groups = Merge.data_groups ctx.Methods.merge in

@@ -62,24 +62,30 @@ let run_bench ~machine (b : Benchsuite.Bench_intf.t) : row =
       Logs.err (fun l -> l "experiments: benchmark %s failed: %s" name msg);
       { bench = name; cycles = []; moves = []; error = Some msg }
 
-let run_all_uncached ~benches ~move_latency : row list =
-  let machine = Vliw_machine.paper_machine ~move_latency () in
+let run_all_uncached ~benches ~spec : row list =
+  let machine = Machine_spec.resolve spec in
   List.map (run_bench ~machine) benches
 
-(* Several figures share the same sweep; cache by (latency, benchmark
-   set).  The name list in the key is sorted so callers that enumerate
-   the same benchmarks in a different order hit the same entry.  Plain
-   single-threaded [Hashtbl] memo, like [Pipeline.prepare_default] —
-   parallelism happens in [Exec] worker processes, never in-process. *)
-let run_all_cache : (int * string list, row list) Hashtbl.t = Hashtbl.create 8
+(* Several figures share the same sweep; cache by (machine, benchmark
+   set).  The machine key is the spec's canonical JSON encoding (pure
+   data, deterministic field order), the name list is sorted so callers
+   that enumerate the same benchmarks in a different order hit the same
+   entry.  Plain single-threaded [Hashtbl] memo, like
+   [Pipeline.prepare_default] — parallelism happens in [Exec] worker
+   processes, never in-process. *)
+let run_all_cache : (string * string list, row list) Hashtbl.t =
+  Hashtbl.create 8
 
-let cache_key ~benches move_latency =
-  ( move_latency,
+let machine_key (spec : Machine_spec.t) =
+  Minijson.encode (Machine_spec.to_json spec)
+
+let cache_key ~benches spec =
+  ( machine_key spec,
     List.sort compare (List.map (fun b -> b.Benchsuite.Bench_intf.name) benches)
   )
 
 (* ------------------------------------------------------------------ *)
-(* Parallel sweep: one [Exec] job per (benchmark, latency) cell.  Rows
+(* Parallel sweep: one [Exec] job per (benchmark, machine) cell.  Rows
    cross the worker pipe as JSON; the encoding is exact for the integer
    payloads involved, so a parallel sweep fills the cache with rows
    byte-identical to a sequential one (deterministic failures included —
@@ -120,60 +126,75 @@ let row_of_json (doc : Minijson.t) : (row, string) result =
           Ok { bench; cycles; moves; error }
       | (Error _ as e), _ | _, (Error _ as e) -> e)
 
-(* Runs inside a pool worker: one benchmark at one latency, all four
-   methods.  The batch key is the benchmark name, so every latency of a
+(* Runs inside a pool worker: one benchmark on one machine, all four
+   methods.  The payload carries the machine as a "gdp-machine/1" spec
+   object.  The batch key is the benchmark name, so every machine of a
    benchmark lands on the worker that already compiled it
    ([Pipeline.prepare_default]'s memo). *)
 let sweep_worker (payload : Minijson.t) : Minijson.t =
   match
     ( Option.bind (Minijson.member "bench" payload) Minijson.to_string,
-      Option.bind (Minijson.member "move_latency" payload) Minijson.to_int )
+      Minijson.member "machine" payload )
   with
-  | Some name, Some move_latency ->
-      let b = Benchsuite.Suite.find name in
-      let machine = Vliw_machine.paper_machine ~move_latency () in
-      row_to_json (run_bench ~machine b)
+  | Some name, Some spec_json -> (
+      match Machine_spec.of_json spec_json with
+      | Error m -> failwith ("experiments: sweep job machine: " ^ m)
+      | Ok spec ->
+          let b = Benchsuite.Suite.find name in
+          let machine = Machine_spec.resolve spec in
+          row_to_json (run_bench ~machine b))
   | _ -> failwith "experiments: malformed sweep job payload"
 
 (* A hard worker crash has no row to report; it becomes an error row so
    the sweep completes and figures render an explicit gap. *)
 let crash_row ~bench msg = { bench; cycles = []; moves = []; error = Some msg }
 
-let fill_sequential ~benches move_latency =
-  let key = cache_key ~benches move_latency in
+let fill_sequential ~benches spec =
+  let key = cache_key ~benches spec in
   if not (Hashtbl.mem run_all_cache key) then
-    Hashtbl.replace run_all_cache key (run_all_uncached ~benches ~move_latency)
+    Hashtbl.replace run_all_cache key (run_all_uncached ~benches ~spec)
 
-(** Fill the sweep memo for several latencies at once.  With [jobs > 1]
-    the (benchmark, latency) cells are fanned over an [Exec] process
+(** Fill the sweep memo for several machines at once.  With [jobs > 1]
+    the (benchmark, machine) cells are fanned over an [Exec] process
     pool; with [jobs <= 1] this is exactly the sequential sweep.  Either
-    way, subsequent [run_all] calls (and every figure built on them) are
-    cache hits with identical rows. *)
-let prefetch ?(jobs = 1) ?(benches = default_benches ()) ~latencies () : unit =
-  let latencies = List.sort_uniq compare latencies in
+    way, subsequent [run_all_machine] calls (and every figure built on
+    them) are cache hits with identical rows. *)
+let prefetch_machines ?(jobs = 1) ?(benches = default_benches ()) ~specs () :
+    unit =
+  (* dedup by canonical encoding, preserving first-seen order *)
+  let seen = Hashtbl.create 8 in
+  let specs =
+    List.filter
+      (fun spec ->
+        let k = machine_key spec in
+        if Hashtbl.mem seen k then false
+        else begin
+          Hashtbl.add seen k ();
+          true
+        end)
+      specs
+  in
   let missing =
     List.filter
-      (fun lat -> not (Hashtbl.mem run_all_cache (cache_key ~benches lat)))
-      latencies
+      (fun spec -> not (Hashtbl.mem run_all_cache (cache_key ~benches spec)))
+      specs
   in
-  if jobs <= 1 then List.iter (fun lat -> fill_sequential ~benches lat) missing
+  if jobs <= 1 then List.iter (fun spec -> fill_sequential ~benches spec) missing
   else if missing <> [] then begin
     let cells =
       List.concat_map
         (fun (b : Benchsuite.Bench_intf.t) ->
-          List.map
-            (fun lat -> (b.Benchsuite.Bench_intf.name, lat))
-            missing)
+          List.map (fun spec -> (b.Benchsuite.Bench_intf.name, spec)) missing)
         benches
     in
     let jobs_list =
       List.map
-        (fun (name, lat) ->
+        (fun (name, spec) ->
           Exec.job ~batch:name
             (Minijson.obj
                [
                  ("bench", Minijson.str name);
-                 ("move_latency", Minijson.int lat);
+                 ("machine", Machine_spec.to_json spec);
                ]))
         cells
     in
@@ -184,7 +205,7 @@ let prefetch ?(jobs = 1) ?(benches = default_benches ()) ~latencies () : unit =
     in
     let by_cell = Hashtbl.create (List.length cells) in
     List.iteri
-      (fun i (name, lat) ->
+      (fun i (name, spec) ->
         let row =
           match results.(i) with
           | Ok doc -> (
@@ -193,38 +214,54 @@ let prefetch ?(jobs = 1) ?(benches = default_benches ()) ~latencies () : unit =
               | Error m -> crash_row ~bench:name ("malformed worker row: " ^ m))
           | Error m -> crash_row ~bench:name m
         in
-        Hashtbl.replace by_cell (name, lat) row)
+        Hashtbl.replace by_cell (name, machine_key spec) row)
       cells;
     List.iter
-      (fun lat ->
+      (fun spec ->
         let rows =
           List.map
             (fun (b : Benchsuite.Bench_intf.t) ->
-              Hashtbl.find by_cell (b.Benchsuite.Bench_intf.name, lat))
+              Hashtbl.find by_cell (b.Benchsuite.Bench_intf.name, machine_key spec))
             benches
         in
-        Hashtbl.replace run_all_cache (cache_key ~benches lat) rows)
+        Hashtbl.replace run_all_cache (cache_key ~benches spec) rows)
       missing
   end
 
-(** Run all four methods on every benchmark at one intercluster latency.
-    Results are memoized per (latency, benchmark set); the key is
-    insensitive to benchmark order.  Rows come back in the order of
-    [benches] on a miss — a reordered cache hit returns the first call's
-    row order.  [jobs > 1] computes a miss on an [Exec] process pool
-    (identical rows, see [prefetch]). *)
-let run_all ?(jobs = 1) ?(benches = default_benches ()) ~move_latency () :
+(** [prefetch_machines] over paper machines — one spec per latency. *)
+let prefetch ?jobs ?benches ~latencies () : unit =
+  let specs =
+    List.map
+      (fun move_latency -> Machine_spec.of_legacy ~clusters:2 ~move_latency)
+      (List.sort_uniq compare latencies)
+  in
+  prefetch_machines ?jobs ?benches ~specs ()
+
+(** Run all four methods on every benchmark on one machine.  Results are
+    memoized per (machine, benchmark set); the key is insensitive to
+    benchmark order.  Rows come back in the order of [benches] on a miss
+    — a reordered cache hit returns the first call's row order.
+    [jobs > 1] computes a miss on an [Exec] process pool (identical
+    rows, see [prefetch_machines]). *)
+let run_all_machine ?(jobs = 1) ?(benches = default_benches ()) ~spec () :
     row list =
-  let key = cache_key ~benches move_latency in
+  let key = cache_key ~benches spec in
   match Hashtbl.find_opt run_all_cache key with
   | Some rows -> rows
   | None when jobs > 1 ->
-      prefetch ~jobs ~benches ~latencies:[ move_latency ] ();
+      prefetch_machines ~jobs ~benches ~specs:[ spec ] ();
       Hashtbl.find run_all_cache key
   | None ->
-      let rows = run_all_uncached ~benches ~move_latency in
+      let rows = run_all_uncached ~benches ~spec in
       Hashtbl.replace run_all_cache key rows;
       rows
+
+(** [run_all_machine] on the paper machine at one intercluster latency —
+    the sweep behind the paper's own figure family. *)
+let run_all ?jobs ?benches ~move_latency () : row list =
+  run_all_machine ?jobs ?benches
+    ~spec:(Machine_spec.of_legacy ~clusters:2 ~move_latency)
+    ()
 
 (** Drop the sweep memo (its companion is [Pipeline.clear_caches]). *)
 let clear_cache () = Hashtbl.reset run_all_cache
@@ -408,7 +445,9 @@ type compile_time_result = {
     recording (e.g. [gdpc --trace]) is unaffected. *)
 let compile_time ?(benches = default_benches ()) ?(move_latency = 5) () :
     compile_time_result =
-  let machine = Vliw_machine.paper_machine ~move_latency () in
+  let machine =
+    Machine_spec.resolve (Machine_spec.of_legacy ~clusters:2 ~move_latency)
+  in
   let rows =
     List.map
       (fun b ->
@@ -437,6 +476,128 @@ let compile_time ?(benches = default_benches ()) ?(move_latency = 5) () :
     ct_rows = List.map (fun (b, totals, _) -> (b, totals)) rows;
     ct_stages = List.map (fun (b, _, stages) -> (b, stages)) rows;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Scenario matrix: the paper's sweep generalized past the 2-cluster
+   bus — cluster counts 2/4/8/16, an asymmetric FU mix, and all four
+   interconnect topologies.  Each scenario is a [Machine_spec], so the
+   whole matrix rides the machine-keyed sweep memo and fans over the
+   [Exec] pool under [-j N] exactly like the paper figures.            *)
+
+type scenario = { sc_name : string; sc_spec : Machine_spec.t }
+
+let preset_exn ~link_latency name =
+  match Machine_spec.preset ~link_latency name with
+  | Ok spec -> spec
+  | Error m -> invalid_arg ("experiments: scenario preset: " ^ m)
+
+(** The scenario list: 2/4 clusters on a bus (the paper machine and its
+    k-way scaling), 4 clusters on a contention-free crossbar, the
+    asymmetric [hetero4] mix, an 8-cluster ring and a 4x4 mesh — every
+    topology and every cluster count of the tentpole matrix. *)
+let scenario_matrix ?(link_latency = 5) () : scenario list =
+  let legacy clusters =
+    Machine_spec.of_legacy ~clusters ~move_latency:link_latency
+  in
+  let xbar4 =
+    {
+      Machine_spec.name = Fmt.str "xbar4-2i1f1m1b-lat%d" link_latency;
+      clusters = List.init 4 (fun _ -> Machine_spec.paper_cluster);
+      topology = Vliw_machine.Crossbar;
+      link_latency;
+      link_bandwidth = 1;
+    }
+  in
+  [
+    { sc_name = "bus2"; sc_spec = legacy 2 };
+    { sc_name = "bus4"; sc_spec = legacy 4 };
+    { sc_name = "xbar4"; sc_spec = xbar4 };
+    { sc_name = "hetero4"; sc_spec = preset_exn ~link_latency "hetero4" };
+    { sc_name = "ring8"; sc_spec = preset_exn ~link_latency "ring8" };
+    { sc_name = "mesh16"; sc_spec = preset_exn ~link_latency "mesh16" };
+  ]
+
+type scenario_result = { scn : scenario; scn_rows : row list }
+
+(** Run the whole matrix.  All (benchmark, scenario) cells are
+    prefetched through one [Exec] pool first, so [-j N] parallelism
+    covers the full matrix, not one scenario at a time. *)
+let scenario_sweep ?(jobs = 1) ?benches ?(link_latency = 5) () :
+    scenario_result list =
+  let scenarios = scenario_matrix ~link_latency () in
+  prefetch_machines ~jobs ?benches
+    ~specs:(List.map (fun s -> s.sc_spec) scenarios)
+    ();
+  List.map
+    (fun s ->
+      { scn = s; scn_rows = run_all_machine ~jobs ?benches ~spec:s.sc_spec () })
+    scenarios
+
+let render_scenario_matrix ppf (results : scenario_result list) =
+  Fmt.pf ppf
+    "@.Scenario matrix: performance relative to unified memory (1.0 = \
+     unified) across cluster counts, FU mixes and interconnects@.";
+  let avg_rel rows name =
+    let vs = List.filter_map (fun r -> relative_opt r name) rows in
+    if vs = [] then None
+    else Some (List.fold_left ( +. ) 0. vs /. float (List.length vs))
+  in
+  let avg_cell rows name =
+    match avg_rel rows name with Some v -> Fmt.str "%.3f" v | None -> "n/a"
+  in
+  let move_pct rows =
+    (* total dynamic-move increase of GDP over unified, matrix-wide *)
+    let sum name =
+      List.fold_left
+        (fun a r -> match moves_opt r name with Some m -> a + m | None -> a)
+        0 rows
+    in
+    let u = sum "unified" and g = sum "gdp" in
+    if u = 0 then Fmt.str "+%d" g else Fmt.str "%.1f%%" (Report.percent ~base:u g)
+  in
+  let header =
+    [ "scenario"; "clusters"; "topology"; "GDP"; "ProfileMax"; "Naive"; "GDP moves" ]
+  in
+  let rows =
+    List.map
+      (fun { scn; scn_rows } ->
+        let spec = scn.sc_spec in
+        ( scn.sc_name,
+          [
+            string_of_int (List.length spec.Machine_spec.clusters);
+            Vliw_machine.topology_name spec.Machine_spec.topology;
+            avg_cell scn_rows "gdp";
+            avg_cell scn_rows "profile-max";
+            avg_cell scn_rows "naive";
+            move_pct scn_rows;
+          ] ))
+      results
+  in
+  Report.table ppf ~header rows;
+  (* per-benchmark GDP detail: one column per scenario *)
+  Fmt.pf ppf "@.GDP relative performance per benchmark@.";
+  let header = "benchmark" :: List.map (fun r -> r.scn.sc_name) results in
+  let benches =
+    match results with
+    | [] -> []
+    | r :: _ -> List.map (fun row -> row.bench) r.scn_rows
+  in
+  let rows =
+    List.map
+      (fun b ->
+        ( b,
+          List.map
+            (fun { scn_rows; _ } ->
+              match List.find_opt (fun row -> row.bench = b) scn_rows with
+              | Some row -> (
+                  match relative_opt row "gdp" with
+                  | Some v -> Fmt.str "%.3f" v
+                  | None -> "n/a")
+              | None -> "n/a")
+            results ))
+      benches
+  in
+  Report.table ppf ~header rows
 
 let render_compile_time ppf (r : compile_time_result) =
   Fmt.pf ppf

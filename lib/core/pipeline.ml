@@ -344,8 +344,7 @@ let robust_with ?rhop_config ?gdp_config ?par_domains ?par_workers ~verify
 
 module Settings = struct
   type t = {
-    clusters : int;
-    move_latency : int;
+    machine : Machine_spec.t;
     method_ : Methods.t;
     unroll : bool;
     promote : bool;
@@ -370,13 +369,18 @@ module Settings = struct
      fails a too-new client with a clear message instead of
      misinterpreting it.  Version history:
      - 1: the original record.
-     - 2: adds [par_domains] (missing field reads as 1 = sequential). *)
-  let version = 2
+     - 2: adds [par_domains] (missing field reads as 1 = sequential).
+     - 3: replaces the bare [clusters]/[move_latency] ints with a
+       ["machine"] field (a [Machine_spec] document or preset name).
+       Legacy pairs are still accepted and canonicalized through
+       [Machine_spec.of_legacy]; [to_json] emits the legacy pair (as a
+       version-2 document) whenever the spec has that shape, so
+       paper-machine settings digest byte-identically to the seed. *)
+  let version = 3
 
   let default method_ =
     {
-      clusters = 2;
-      move_latency = 5;
+      machine = Machine_spec.of_legacy ~clusters:2 ~move_latency:5;
       method_;
       unroll = true;
       promote = true;
@@ -388,12 +392,7 @@ module Settings = struct
       par_domains = 1;
     }
 
-  let machine (s : t) =
-    if s.clusters = 2 then
-      Vliw_machine.paper_machine ~move_latency:s.move_latency ()
-    else
-      Vliw_machine.scaled_machine ~move_latency:s.move_latency
-        ~clusters:s.clusters ()
+  let machine (s : t) = Machine_spec.resolve s.machine
 
   let default_front_end (s : t) =
     s.unroll && s.promote && s.simplify && s.if_convert
@@ -416,13 +415,30 @@ module Settings = struct
           ("seed", Minijson.int c.Partition.Gdp.seed);
         ]
     in
+    (* Legacy-shaped machines round-trip through the version-2 wire
+       form (bare ints): documents — and therefore [gdpcd] cache keys —
+       for every machine a v2 client could name are byte-identical to
+       what a v2 build emits.  Anything else needs the v3 ["machine"]
+       field. *)
+    let machine_fields =
+      match Machine_spec.legacy_shape s.machine with
+      | Some (clusters, move_latency) ->
+          [
+            ("version", Minijson.int 2);
+            ("clusters", Minijson.int clusters);
+            ("move_latency", Minijson.int move_latency);
+          ]
+      | None ->
+          [
+            ("version", Minijson.int version);
+            ("machine", Machine_spec.to_json s.machine);
+          ]
+    in
     Minijson.obj
-      [
-        ("schema", Minijson.str schema);
-        ("version", Minijson.int version);
-        ("clusters", Minijson.int s.clusters);
-        ("move_latency", Minijson.int s.move_latency);
-        ("method", Minijson.str (Methods.to_string s.method_));
+      ([ ("schema", Minijson.str schema) ]
+      @ machine_fields
+      @ [ ("method", Minijson.str (Methods.to_string s.method_)) ]
+      @ [
         ("unroll", Minijson.bool s.unroll);
         ("promote", Minijson.bool s.promote);
         ("simplify", Minijson.bool s.simplify);
@@ -431,7 +447,7 @@ module Settings = struct
         ("rhop", Minijson.option rhop_json s.rhop);
         ("gdp", Minijson.option gdp_json s.gdp);
         ("par_domains", Minijson.int s.par_domains);
-      ]
+      ])
 
   let ( let* ) = Result.bind
 
@@ -510,6 +526,7 @@ module Settings = struct
     [
       "schema";
       "version";
+      "machine";
       "clusters";
       "move_latency";
       "method";
@@ -547,8 +564,38 @@ module Settings = struct
       else Ok ()
     in
     let* () = reject_unknown ~where:"" ~known:known_fields doc in
-    let* clusters = int_field "clusters" doc in
-    let* move_latency = int_field "move_latency" doc in
+    (* Machine description: the v3 ["machine"] field (a preset name or
+       a gdp-machine/1 spec object), or the legacy v1/v2
+       ["clusters"]/["move_latency"] pair canonicalized through
+       [Machine_spec.of_legacy].  Exactly one of the two forms. *)
+    let* machine =
+      match
+        ( Minijson.member "machine" doc,
+          Minijson.member "clusters" doc,
+          Minijson.member "move_latency" doc )
+      with
+      | Some _, Some _, _ | Some _, _, Some _ ->
+          Error
+            "settings: \"machine\" conflicts with the legacy \
+             \"clusters\"/\"move_latency\" fields"
+      | Some (Minijson.Str name), None, None ->
+          Result.map_error
+            (fun e -> "settings: " ^ e)
+            (Machine_spec.preset name)
+      | Some (Minijson.Obj _ as spec), None, None ->
+          Result.map_error (fun e -> "settings: " ^ e)
+            (Machine_spec.of_json spec)
+      | Some _, None, None ->
+          Error "settings: \"machine\" must be a preset name or a spec object"
+      | None, _, _ ->
+          let* clusters = int_field "clusters" doc in
+          let* move_latency = int_field "move_latency" doc in
+          if clusters < 1 then
+            Error
+              (Printf.sprintf "settings: clusters must be >= 1 (got %d)"
+                 clusters)
+          else Ok (Machine_spec.of_legacy ~clusters ~move_latency)
+    in
     let* method_v = field "method" doc in
     let* method_ =
       match Minijson.to_string method_v with
@@ -585,8 +632,7 @@ module Settings = struct
     in
     Ok
       {
-        clusters;
-        move_latency;
+        machine;
         method_;
         unroll;
         promote;

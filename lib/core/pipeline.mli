@@ -150,8 +150,10 @@ val evaluate_robust :
 
 module Settings : sig
   type t = {
-    clusters : int;  (** 2 selects the paper machine *)
-    move_latency : int;  (** intercluster bus latency in cycles *)
+    machine : Machine_spec.t;
+        (** declarative machine description (version 3); legacy
+            [clusters]/[move_latency] documents canonicalize to
+            [Machine_spec.of_legacy] *)
     method_ : Partition.Methods.t;
     unroll : bool;  (** front-end flags, as in [prepare] *)
     promote : bool;
@@ -170,12 +172,13 @@ module Settings : sig
             [docs/parallelism.md]. *)
   }
 
-  (** Paper defaults: 2 clusters, 5-cycle moves, all front-end passes
-      on, default partitioner configs. *)
+  (** Paper defaults: the 2-cluster bus machine with 5-cycle moves, all
+      front-end passes on, default partitioner configs. *)
   val default : Partition.Methods.t -> t
 
-  (** The machine the settings describe: the paper machine for
-      [clusters = 2], the scaled machine otherwise. *)
+  (** The concrete machine the settings describe:
+      [Machine_spec.resolve] of the spec.  Raises [Invalid_argument]
+      for unrealizable specs (never for specs [of_json] accepted). *)
   val machine : t -> Vliw_machine.t
 
   (** True when every front-end flag has its default value — exactly
@@ -192,11 +195,18 @@ module Settings : sig
   (** [of_json (to_json s) = Ok s] for every [s] (the numbers involved
       are finite).  [of_json] is strict: unknown schemas, too-new
       [version]s, unknown method names, shape mismatches {e and any
-      field it does not know} (top-level or inside ["rhop"]/["gdp"])
-      are rejected with a descriptive [Error] naming the offender — a
-      typo'd option must fail loudly rather than be silently ignored,
-      especially now that settings documents arrive over the [gdpcd]
-      wire. *)
+      field it does not know} (top-level or inside
+      ["rhop"]/["gdp"]/["machine"]) are rejected with a descriptive
+      [Error] naming the offender — a typo'd option must fail loudly
+      rather than be silently ignored, especially now that settings
+      documents arrive over the [gdpcd] wire.
+
+      The machine travels as the ["machine"] field — a preset name or a
+      gdp-machine/1 spec object — except that legacy-shaped specs are
+      emitted as the version-2 ["clusters"]/["move_latency"] pair, so
+      every document a v2 build could produce round-trips byte-for-byte
+      (and the [gdpcd] cache keys derived from it are stable).  A
+      document carrying both forms at once is rejected. *)
   val to_json : t -> Minijson.t
 
   val of_json : Minijson.t -> (t, string) result
@@ -220,7 +230,7 @@ type run_result =
     [evaluate_checked] and [evaluate_robust].  The context is built
     from [~prepared] on the machine {!Settings.machine} describes, or
     supplied ready-made with [~ctx] (whose machine then wins — the
-    settings' [clusters]/[move_latency] are ignored).  At least one of
+    settings' [machine] spec is ignored).  At least one of
     the two is required, and modes that verify against the reference
     run ([Checked {verify = true}], [Robust _]) need [~prepared].
 

@@ -51,10 +51,32 @@ let cluster ?(memory_bytes = 32768) ~ints ~floats ~mems ~branches () =
 
 let fu_count c k = c.fu_counts.(fu_kind_index k)
 
-(** Intercluster communication network: a shared bus that can initiate
-    [moves_per_cycle] transfers per cycle, each completing after
-    [move_latency] cycles. *)
+(** Interconnect shape.  [Bus] is the paper's machine: one shared
+    medium, every transfer occupies it for one issue slot regardless of
+    which clusters communicate.  The other topologies model a network of
+    point-to-point links: a transfer crosses one link per hop, reserving
+    an issue slot on every link of its route in its issue cycle, and
+    completes after [hops * move_latency] cycles. *)
+type topology =
+  | Bus
+  | Ring
+  | Crossbar
+  | Mesh of { rows : int; cols : int }
+
+let topology_name = function
+  | Bus -> "bus"
+  | Ring -> "ring"
+  | Crossbar -> "crossbar"
+  | Mesh { rows; cols } -> Fmt.str "mesh%dx%d" rows cols
+
+let pp_topology ppf t = Fmt.string ppf (topology_name t)
+
+(** Intercluster communication network.  On the [Bus] topology this is
+    the paper's shared bus: [moves_per_cycle] transfers may start per
+    cycle, each completing after [move_latency] cycles.  On the other
+    topologies the same two numbers apply per link and per hop. *)
 type network = {
+  topology : topology;
   move_latency : int;
   moves_per_cycle : int;
 }
@@ -102,12 +124,133 @@ let v ~name ~clusters ~network ~latencies =
     invalid_arg "Vliw_machine.v: machine needs at least one cluster";
   if network.move_latency < 0 || network.moves_per_cycle < 1 then
     invalid_arg "Vliw_machine.v: invalid network parameters";
+  Array.iteri
+    (fun i c ->
+      if Array.length c.fu_counts <> fu_kind_count then
+        invalid_arg
+          (Fmt.str
+             "Vliw_machine.v: cluster %d has %d FU counts (need %d, one per \
+              kind)"
+             i
+             (Array.length c.fu_counts)
+             fu_kind_count);
+      if Array.exists (fun n -> n < 0) c.fu_counts then
+        invalid_arg (Fmt.str "Vliw_machine.v: cluster %d: negative FU count" i);
+      if c.memory_bytes <= 0 then
+        invalid_arg
+          (Fmt.str "Vliw_machine.v: cluster %d has no local memory" i))
+    clusters;
+  (match network.topology with
+  | Bus | Ring | Crossbar -> ()
+  | Mesh { rows; cols } ->
+      if rows < 1 || cols < 1 || rows * cols <> Array.length clusters then
+        invalid_arg
+          (Fmt.str
+             "Vliw_machine.v: mesh %dx%d does not cover %d cluster(s)" rows
+             cols (Array.length clusters)));
   { name; clusters; network; latencies }
 
 let num_clusters m = Array.length m.clusters
 let cluster_of m i = m.clusters.(i)
+let topology m = m.network.topology
 let move_latency m = m.network.move_latency
 let moves_per_cycle m = m.network.moves_per_cycle
+
+(* ------------------------------------------------------------------ *)
+(* Links and routes.
+
+   Links are directed and identified by dense integers so schedulers
+   and simulators can keep per-link issue-slot counters in flat arrays:
+   the bus is the single link 0; on the point-to-point topologies the
+   (virtual) link from cluster [a] to cluster [b] is [a * n + b].  Only
+   topology-adjacent pairs are ever routed over, so most ids in the
+   [n * n] space stay unused — the arrays are tiny (n <= 16 in every
+   preset) and the addressing stays O(1). *)
+
+(** Size of the per-link slot table a scheduler must allocate. *)
+let num_link_slots m =
+  match m.network.topology with
+  | Bus -> 1
+  | Ring | Crossbar | Mesh _ ->
+      let n = num_clusters m in
+      n * n
+
+(** Number of physical links, for occupancy/capacity reporting.  The
+    bus counts as one link, preserving the seed's reported capacity. *)
+let num_links m =
+  let n = num_clusters m in
+  match m.network.topology with
+  | Bus -> 1
+  | Crossbar -> n * (n - 1)
+  | Ring -> if n <= 1 then 0 else if n = 2 then 2 else 2 * n
+  | Mesh { rows; cols } -> 2 * ((rows * (cols - 1)) + (cols * (rows - 1)))
+
+(** Directed links crossed by a transfer from [src] to [dst], in path
+    order.  Routing is deterministic: the ring takes the shortest
+    direction (ties go clockwise), the mesh routes X-then-Y over a
+    row-major grid.  [src = dst] needs no link. *)
+let route_links m ~src ~dst =
+  if src = dst then []
+  else
+    let n = num_clusters m in
+    let link a b = (a * n) + b in
+    match m.network.topology with
+    | Bus -> [ 0 ]
+    | Crossbar -> [ link src dst ]
+    | Ring ->
+        let fwd = (dst - src + n) mod n in
+        let step = if fwd <= n - fwd then 1 else n - 1 in
+        let rec walk c acc =
+          if c = dst then List.rev acc
+          else
+            let c' = (c + step) mod n in
+            walk c' (link c c' :: acc)
+        in
+        walk src []
+    | Mesh { rows = _; cols } ->
+        let cell r c = (r * cols) + c in
+        let sr = src / cols and sc = src mod cols in
+        let dr = dst / cols and dc = dst mod cols in
+        let rec walk_x c acc =
+          if c = dc then acc
+          else
+            let c' = if dc > c then c + 1 else c - 1 in
+            (walk_x [@tailcall]) c' (link (cell sr c) (cell sr c') :: acc)
+        in
+        let rec walk_y r acc =
+          if r = dr then acc
+          else
+            let r' = if dr > r then r + 1 else r - 1 in
+            (walk_y [@tailcall]) r' (link (cell r dc) (cell r' dc) :: acc)
+        in
+        List.rev (walk_y sr (walk_x sc []))
+
+(** Hop distance of the deterministic route; 0 when [src = dst], 1 for
+    any transfer on the bus. *)
+let route_hops m ~src ~dst =
+  if src = dst then 0
+  else
+    let n = num_clusters m in
+    match m.network.topology with
+    | Bus | Crossbar -> 1
+    | Ring ->
+        let fwd = (dst - src + n) mod n in
+        min fwd (n - fwd)
+    | Mesh { rows = _; cols } ->
+        abs ((dst / cols) - (src / cols)) + abs ((dst mod cols) - (src mod cols))
+
+(** End-to-end transfer latency: [move_latency] per hop, so exactly the
+    seed's [move_latency] on the bus. *)
+let route_latency m ~src ~dst = route_hops m ~src ~dst * m.network.move_latency
+
+(** The longest hop distance between any cluster pair — the factor by
+    which a worst-placed transfer is slower than a bus transfer. *)
+let max_hops m =
+  let n = num_clusters m in
+  match m.network.topology with
+  | Bus | Crossbar -> 1
+  | Ring -> max 1 (n / 2)
+  | Mesh { rows; cols } -> max 1 (rows - 1 + (cols - 1))
 
 (** Total units of a given kind across all clusters. *)
 let total_fu m k =
@@ -125,7 +268,7 @@ let paper_machine ?(move_latency = 5) () =
   v
     ~name:(Fmt.str "2cluster-2i1f1m1b-lat%d" move_latency)
     ~clusters:[| c; c |]
-    ~network:{ move_latency; moves_per_cycle = 1 }
+    ~network:{ topology = Bus; move_latency; moves_per_cycle = 1 }
     ~latencies:itanium_latencies
 
 (** A wider machine used by the cluster-count ablation: [n] homogeneous
@@ -136,7 +279,7 @@ let scaled_machine ?(move_latency = 5) ~clusters:n () =
   v
     ~name:(Fmt.str "%dcluster-2i1f1m1b-lat%d" n move_latency)
     ~clusters:(Array.make n c)
-    ~network:{ move_latency; moves_per_cycle = 1 }
+    ~network:{ topology = Bus; move_latency; moves_per_cycle = 1 }
     ~latencies:itanium_latencies
 
 (** A unified-memory twin of [m]: same datapath, but the performance model
@@ -154,5 +297,12 @@ let pp ppf m =
           Fmt.pf ppf "%d%s" (fu_count c k) (fu_kind_name k)))
         all_fu_kinds c.memory_bytes)
     m.clusters;
-  Fmt.pf ppf "  network: %d move(s)/cycle, latency %d@]"
-    m.network.moves_per_cycle m.network.move_latency
+  match m.network.topology with
+  | Bus ->
+      (* the seed's exact rendering: drivers and the service cache key
+         print machines, so bus machines must not change shape *)
+      Fmt.pf ppf "  network: %d move(s)/cycle, latency %d@]"
+        m.network.moves_per_cycle m.network.move_latency
+  | t ->
+      Fmt.pf ppf "  network: %s, %d move(s)/cycle per link, latency %d per hop@]"
+        (topology_name t) m.network.moves_per_cycle m.network.move_latency

@@ -31,9 +31,29 @@ val cluster :
 
 val fu_count : cluster -> fu_kind -> int
 
-(** Intercluster bus: [moves_per_cycle] transfers may start per cycle,
-    each completing after [move_latency] cycles (pipelined). *)
-type network = { move_latency : int; moves_per_cycle : int }
+(** Interconnect shape.  [Bus] is the paper's shared medium (any
+    transfer costs one issue slot on the one bus).  [Ring], [Crossbar]
+    and [Mesh] are networks of directed point-to-point links: a
+    transfer reserves an issue slot on every link of its deterministic
+    route in its issue cycle and completes after
+    [hops * move_latency] cycles. *)
+type topology =
+  | Bus
+  | Ring
+  | Crossbar
+  | Mesh of { rows : int; cols : int }
+
+val topology_name : topology -> string
+val pp_topology : topology Fmt.t
+
+(** Interconnect parameters: [moves_per_cycle] transfers may start per
+    cycle on the bus — or per link on the other topologies — each link
+    crossing completing after [move_latency] cycles (pipelined). *)
+type network = {
+  topology : topology;
+  move_latency : int;
+  moves_per_cycle : int;
+}
 
 (** Operation latencies in cycles from issue to result availability. *)
 type latencies = {
@@ -60,8 +80,10 @@ type t = {
   latencies : latencies;
 }
 
-(** Build a machine; raises [Invalid_argument] on empty cluster arrays
-    or nonsensical network parameters. *)
+(** Build a machine; raises [Invalid_argument] on empty cluster arrays,
+    nonsensical network parameters, FU-count arrays that do not cover
+    every kind exactly once, negative FU counts, clusters without local
+    memory, or mesh dimensions that do not tile the cluster count. *)
 val v :
   name:string ->
   clusters:cluster array ->
@@ -71,8 +93,33 @@ val v :
 
 val num_clusters : t -> int
 val cluster_of : t -> int -> cluster
+val topology : t -> topology
 val move_latency : t -> int
 val moves_per_cycle : t -> int
+
+(** Size of the flat per-link issue-slot table a scheduler needs: 1 on
+    the bus, [n * n] otherwise (link from [a] to [b] has id
+    [a * n + b]; only adjacent pairs are ever routed over). *)
+val num_link_slots : t -> int
+
+(** Number of physical links, for capacity reporting (bus = 1). *)
+val num_links : t -> int
+
+(** Directed links crossed by a transfer, in path order; [[]] when
+    [src = dst].  Deterministic: ring takes the shortest direction
+    (ties clockwise), mesh routes X-then-Y over a row-major grid. *)
+val route_links : t -> src:int -> dst:int -> int list
+
+(** Hop count of that route (0 when [src = dst]; always 1 on the bus
+    and crossbar). *)
+val route_hops : t -> src:int -> dst:int -> int
+
+(** [route_hops * move_latency] — the seed's [move_latency] on the
+    bus. *)
+val route_latency : t -> src:int -> dst:int -> int
+
+(** Largest hop distance between any two clusters (>= 1). *)
+val max_hops : t -> int
 val total_fu : t -> fu_kind -> int
 val is_homogeneous : t -> bool
 

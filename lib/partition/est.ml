@@ -5,9 +5,12 @@
     cluster assignment of one block the estimate combines:
 
     - a resource bound: per cluster, ops of each FU kind divided by the
-      unit count, and intercluster moves divided by bus bandwidth;
+      unit count, and intercluster moves charged per link of their
+      route against per-link bandwidth (on the bus: total moves over
+      bus bandwidth, the seed model);
     - a dependence bound: the critical path where every cut register-flow
-      edge is stretched by the move latency;
+      edge is stretched by the route latency between the two clusters
+      (hops times move latency — plain move latency on the bus);
     - a cross-block term: uses of values homed on another cluster (and
       loop-carried couplings) will force a move in the producer block;
       they are charged [xmove_weight] cycles each, additively.
@@ -29,6 +32,13 @@ type t = {
   nclusters : int;
   move_latency : int;
   moves_per_cycle : int;
+  (* interconnect geometry, precomputed per ordered cluster pair
+     [(a * nclusters) + b]: hop distance, and the route's link ids in
+     CSR form (the per-link resource bound walks them) *)
+  hops : int array;
+  route_off : int array;
+  route_link : int array;
+  nlink_slots : int;
   n : int;
   fu_of : int array;  (** FU kind index per node *)
   lat : int array;
@@ -54,6 +64,7 @@ type t = {
   xmove_weight : int;
   (* reusable scratch for [cost]/[count_moves] *)
   usage : int array;  (** [c * nk + k] *)
+  link_usage : int array;  (** per link id *)
   level : int array;
   seen : int array;  (** stamp per (producer, consumer cluster) pair *)
   mutable seen_gen : int;
@@ -123,10 +134,33 @@ let make ~machine ~deps ~pins ~couplings ~live_out ~xmove_weight =
           (fun r -> Vliw_ir.Reg.Set.mem r live_out)
           (Vliw_ir.Op.defs (D.op deps i)))
   in
+  let npairs = nclusters * nclusters in
+  let hops = Array.make npairs 0 in
+  let routes = Array.make npairs [] in
+  for src = 0 to nclusters - 1 do
+    for dst = 0 to nclusters - 1 do
+      let p = (src * nclusters) + dst in
+      hops.(p) <- M.route_hops machine ~src ~dst;
+      routes.(p) <- M.route_links machine ~src ~dst
+    done
+  done;
+  let route_off = Array.make (npairs + 1) 0 in
+  for p = 0 to npairs - 1 do
+    route_off.(p + 1) <- route_off.(p) + List.length routes.(p)
+  done;
+  let route_link = Array.make (max route_off.(npairs) 1) 0 in
+  for p = 0 to npairs - 1 do
+    List.iteri (fun i l -> route_link.(route_off.(p) + i) <- l) routes.(p)
+  done;
+  let nlink_slots = M.num_link_slots machine in
   {
     nclusters;
     move_latency = M.move_latency machine;
     moves_per_cycle = M.moves_per_cycle machine;
+    hops;
+    route_off;
+    route_link;
+    nlink_slots;
     n;
     fu_of;
     lat;
@@ -144,6 +178,7 @@ let make ~machine ~deps ~pins ~couplings ~live_out ~xmove_weight =
     drains;
     xmove_weight;
     usage = Array.make (nclusters * nk) 0;
+    link_usage = Array.make nlink_slots 0;
     level = Array.make (max n 1) 0;
     seen = Array.make (max (n * nclusters) 1) 0;
     seen_gen = 0;
@@ -151,19 +186,29 @@ let make ~machine ~deps ~pins ~couplings ~live_out ~xmove_weight =
 
 (** In-block intercluster moves implied by [cluster]: one per unique
     (producer, consumer cluster) pair over cut flow edges.  Uniqueness
-    via a stamped mark array instead of a hash table. *)
+    via a stamped mark array instead of a hash table.  As a side
+    effect, [t.link_usage] is left holding each link's issue count for
+    those moves (each move charges every link of its route), which
+    [cost] turns into the per-link bandwidth bound. *)
 let count_moves t (cluster : int array) =
   t.seen_gen <- t.seen_gen + 1;
   let gen = t.seen_gen and seen = t.seen in
+  Array.fill t.link_usage 0 t.nlink_slots 0;
   let moves = ref 0 in
   for e = 0 to Array.length t.fe_d - 1 do
     let d = t.fe_d.(e) in
     let cu = cluster.(t.fe_u.(e)) in
-    if cluster.(d) <> cu then begin
+    let cd = cluster.(d) in
+    if cd <> cu then begin
       let idx = (d * t.nclusters) + cu in
       if seen.(idx) <> gen then begin
         seen.(idx) <- gen;
-        incr moves
+        incr moves;
+        let p = (cd * t.nclusters) + cu in
+        for j = t.route_off.(p) to t.route_off.(p + 1) - 1 do
+          let l = t.route_link.(j) in
+          t.link_usage.(l) <- t.link_usage.(l) + 1
+        done
       end
     end
   done;
@@ -199,8 +244,18 @@ let cost t (cluster : int array) : int =
     graded := !graded + !worst
   done;
   let moves = count_moves t cluster in
-  let bus = (moves + t.moves_per_cycle - 1) / t.moves_per_cycle in
-  (* dependence bound with stretched cut edges *)
+  (* per-link bandwidth bound over the link usage [count_moves] left
+     behind — on the bus this is ceil(moves / moves_per_cycle) *)
+  let bus = ref 0 in
+  for l = 0 to t.nlink_slots - 1 do
+    let u = t.link_usage.(l) in
+    if u > 0 then begin
+      let v = (u + t.moves_per_cycle - 1) / t.moves_per_cycle in
+      if v > !bus then bus := v
+    end
+  done;
+  let bus = !bus in
+  (* dependence bound with cut edges stretched by the route latency *)
   let ml = t.move_latency in
   let level = t.level in
   Array.fill level 0 t.n 0;
@@ -210,8 +265,10 @@ let cost t (cluster : int array) : int =
     let li = ref 0 in
     for j = t.pred_off.(i) to t.pred_off.(i + 1) - 1 do
       let p = t.pred_node.(j) in
+      let cp = cluster.(p) in
       let eff =
-        if t.pred_flow.(j) && cluster.(p) <> ci then t.pred_lat.(j) + ml
+        if t.pred_flow.(j) && cp <> ci then
+          t.pred_lat.(j) + (ml * t.hops.((cp * t.nclusters) + ci))
         else t.pred_lat.(j)
       in
       if level.(p) + eff > !li then li := level.(p) + eff
@@ -221,13 +278,17 @@ let cost t (cluster : int array) : int =
     let tail = if t.drains.(i) then t.lat.(i) else 1 in
     if !li + tail > !dep then dep := !li + tail
   done;
-  (* cross-block move pressure *)
+  (* cross-block move pressure, distance-weighted: a use pinned (or
+     coupled) h hops away costs h times a neighbouring one *)
   let xmoves = ref 0 in
   for i = 0 to Array.length t.pin_node - 1 do
-    if cluster.(t.pin_node.(i)) <> t.pin_home.(i) then incr xmoves
+    let c = cluster.(t.pin_node.(i)) in
+    let h = t.pin_home.(i) in
+    if c <> h then xmoves := !xmoves + t.hops.((h * t.nclusters) + c)
   done;
   for i = 0 to Array.length t.coup_u - 1 do
-    if cluster.(t.coup_u.(i)) <> cluster.(t.coup_d.(i)) then incr xmoves
+    let cu = cluster.(t.coup_u.(i)) and cd = cluster.(t.coup_d.(i)) in
+    if cu <> cd then xmoves := !xmoves + t.hops.((cd * t.nclusters) + cu)
   done;
   let bound = max !res (max bus !dep) in
   (10_000 * (bound + (t.xmove_weight * !xmoves)))

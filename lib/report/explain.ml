@@ -19,6 +19,7 @@ type method_row = {
 
 type t = {
   ex_bench : string;
+  ex_machine : Vliw_machine.t;
   ex_latency : int;
   ex_clusters : int;
   ex_access_totals : (Data.obj * int) list;
@@ -54,7 +55,9 @@ let occupancy ~machine ~objects_of (c : Vliw_sched.Move_insert.clustered)
           acc :=
             Some
               (Occupancy.accumulate
-                 (Occupancy.of_schedule ~machine sched)
+                 (Occupancy.of_schedule
+                    ~move_routes:c.Vliw_sched.Move_insert.move_routes ~machine
+                    sched)
                  ~weight !acc))
         (Func.blocks f))
     (Prog.funcs c.Vliw_sched.Move_insert.cprog);
@@ -109,6 +112,7 @@ let explain ~machine (p : Gdp_core.Pipeline.prepared) : t =
   in
   {
     ex_bench = p.Gdp_core.Pipeline.bench.Benchsuite.Bench_intf.name;
+    ex_machine = machine;
     ex_latency = Vliw_machine.move_latency machine;
     ex_clusters = Vliw_machine.num_clusters machine;
     ex_access_totals = Vliw_interp.Profile.object_access_totals profile;
@@ -116,24 +120,29 @@ let explain ~machine (p : Gdp_core.Pipeline.prepared) : t =
   }
 
 (* Bounded memo, cleared through the pipeline's registry: [bench --check]
-   and [bench --report] revisit the same (benchmark, latency) pairs, and
-   fuzzing loops that call [Pipeline.clear_caches] must drop this too. *)
-let memo : (string * int, t) Hashtbl.t = Hashtbl.create 16
+   and [bench --report] revisit the same (benchmark, machine) pairs, and
+   fuzzing loops that call [Pipeline.clear_caches] must drop this too.
+   Keyed by the machine's name: every preset and legacy shape encodes
+   cluster count, topology and latency there, and ad-hoc spec files get
+   a shape-derived default name. *)
+let memo : (string * string, t) Hashtbl.t = Hashtbl.create 16
 let memo_limit = 256
 let () =
   Gdp_core.Pipeline.register_cache_clearer ~key:"report.explain" (fun () ->
       Hashtbl.reset memo)
 
-let explain_bench ~move_latency (b : Benchsuite.Bench_intf.t) : t =
-  let key = (b.Benchsuite.Bench_intf.name, move_latency) in
+let explain_machine ~machine (b : Benchsuite.Bench_intf.t) : t =
+  let key = (b.Benchsuite.Bench_intf.name, machine.Vliw_machine.name) in
   match Hashtbl.find_opt memo key with
   | Some e -> e
   | None ->
-      let machine = Vliw_machine.paper_machine ~move_latency () in
       let e = explain ~machine (Gdp_core.Pipeline.prepare_default b) in
       if Hashtbl.length memo >= memo_limit then Hashtbl.reset memo;
       Hashtbl.replace memo key e;
       e
+
+let explain_bench ~move_latency (b : Benchsuite.Bench_intf.t) : t =
+  explain_machine ~machine:(Vliw_machine.paper_machine ~move_latency ()) b
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)
@@ -182,13 +191,7 @@ let cat_cell totals c =
 let home_cell = function Some c -> string_of_int c | None -> "-"
 
 let to_markdown ppf (e : t) =
-  let machine =
-    if e.ex_clusters = 2 then
-      Vliw_machine.paper_machine ~move_latency:e.ex_latency ()
-    else
-      Vliw_machine.scaled_machine ~clusters:e.ex_clusters
-        ~move_latency:e.ex_latency ()
-  in
+  let machine = e.ex_machine in
   Fmt.pf ppf "# %s — cycle attribution (latency %d, %d clusters)@.@."
     e.ex_bench e.ex_latency e.ex_clusters;
   (* method comparison *)
@@ -290,13 +293,7 @@ let objects_csv_header =
   "bench,latency,method,object,home,local_accesses,remote_accesses,moves,transfer_cycles"
 
 let objects_csv ppf (e : t) =
-  let machine =
-    if e.ex_clusters = 2 then
-      Vliw_machine.paper_machine ~move_latency:e.ex_latency ()
-    else
-      Vliw_machine.scaled_machine ~clusters:e.ex_clusters
-        ~move_latency:e.ex_latency ()
-  in
+  let machine = e.ex_machine in
   List.iter
     (fun r ->
       List.iter
@@ -335,13 +332,7 @@ let to_json ppf (es : t list) =
   let first = ref true in
   List.iter
     (fun e ->
-      let machine =
-        if e.ex_clusters = 2 then
-          Vliw_machine.paper_machine ~move_latency:e.ex_latency ()
-        else
-          Vliw_machine.scaled_machine ~clusters:e.ex_clusters
-            ~move_latency:e.ex_latency ()
-      in
+      let machine = e.ex_machine in
       List.iter
         (fun r ->
           Fmt.pf ppf "%s@.    {\"bench\": \"%s\", \"method\": \"%s\", "

@@ -28,7 +28,11 @@ type method_row = {
 
 type t = {
   ex_bench : string;
-  ex_latency : int;
+  ex_machine : Vliw_machine.t;
+      (** the machine the rows were computed on; renderers use it for
+          distance-aware transfer costs instead of reconstructing a bus
+          machine from the summary ints below *)
+  ex_latency : int;  (** per-hop move latency, for headers and CSV *)
   ex_clusters : int;
   ex_access_totals : (Data.obj * int) list;
       (** the profiler's per-object access counts (ground truth the
@@ -41,10 +45,13 @@ type t = {
     the identity is an invariant, not a best-effort statistic. *)
 val explain : machine:Vliw_machine.t -> Gdp_core.Pipeline.prepared -> t
 
-(** [explain] on the paper machine at the given move latency, memoized
-    by (benchmark, latency).  The memo is bounded and registered with
+(** [explain] on [prepare_default], memoized by (benchmark, machine
+    name).  The memo is bounded and registered with
     [Gdp_core.Pipeline.register_cache_clearer], so fuzzing loops that
     call [Pipeline.clear_caches] keep memory flat. *)
+val explain_machine : machine:Vliw_machine.t -> Benchsuite.Bench_intf.t -> t
+
+(** [explain_machine] on the paper machine at the given move latency. *)
 val explain_bench : move_latency:int -> Benchsuite.Bench_intf.t -> t
 
 (** {2 Rendering} *)

@@ -152,10 +152,7 @@ let account_block ~(machine : Vliw_machine.t)
     ?(objects_of = fun _ -> Data.Obj_set.empty) (block : Block.t)
     (sched : List_sched.t) : block_account =
   let is_icm op_id = Hashtbl.mem move_routes op_id in
-  let lat_of op =
-    if is_icm (Op.id op) then Vliw_machine.move_latency machine
-    else Op.latency machine.Vliw_machine.latencies op
-  in
+  let lat_of = List_sched.latency_of ~machine ~move_routes in
   let deps = Deps.build ~objects_of ~latency_of:lat_of ~machine block in
   let n = Deps.num_ops deps in
   let len = List_sched.length sched in

@@ -6,9 +6,14 @@
     - each non-move operation needs one slot of its function-unit kind on
       its assigned cluster in its issue cycle (units are fully
       pipelined);
-    - each intercluster [Move] needs one bus slot in its issue cycle and
-      completes [move_latency] cycles later (the bus is pipelined with
-      [moves_per_cycle] issue bandwidth);
+    - each intercluster [Move] needs, in its issue cycle, one issue slot
+      on every link of its route through the interconnect
+      ([Vliw_machine.route_links]) and completes
+      [route_latency = hops * move_latency] cycles later (links are
+      pipelined with [moves_per_cycle] issue bandwidth each).  On the
+      paper's bus topology the route is the single shared bus and this
+      degenerates to the original model: one bus slot, [move_latency]
+      cycles;
     - dependences come from [Deps]; priorities are critical-path heights;
     - the terminator issues last (it has lat-0 edges from every op); the
       schedule length uses drain semantics: the block ends once the
@@ -31,10 +36,14 @@ type t = {
 let length s = s.length
 let entries s = s.entries
 
-(** Latency function accounting for intercluster moves. *)
-let latency_of ~(machine : Vliw_machine.t) ~is_intercluster_move op =
-  if is_intercluster_move (Op.id op) then Vliw_machine.move_latency machine
-  else Op.latency machine.Vliw_machine.latencies op
+(** Latency function accounting for intercluster moves: a move routed
+    from cluster [src] to [dst] takes [route_latency] (distance-aware;
+    the plain [move_latency] on the bus). *)
+let latency_of ~(machine : Vliw_machine.t)
+    ~(move_routes : (int, int * int) Hashtbl.t) op =
+  match Hashtbl.find_opt move_routes (Op.id op) with
+  | Some (src, dst) -> Vliw_machine.route_latency machine ~src ~dst
+  | None -> Op.latency machine.Vliw_machine.latencies op
 
 let schedule_block ~(machine : Vliw_machine.t) ~(assign : Assignment.t)
     ~(move_routes : (int, int * int) Hashtbl.t)
@@ -48,7 +57,12 @@ let schedule_block ~(machine : Vliw_machine.t) ~(assign : Assignment.t)
   Telemetry.with_span "schedule-block" ~args @@ fun () ->
   Telemetry.incr "sched.blocks_scheduled";
   let is_icm op_id = Hashtbl.mem move_routes op_id in
-  let lat_of = latency_of ~machine ~is_intercluster_move:is_icm in
+  let lat_of = latency_of ~machine ~move_routes in
+  let links_of op_id =
+    match Hashtbl.find_opt move_routes op_id with
+    | Some (src, dst) -> Vliw_machine.route_links machine ~src ~dst
+    | None -> []
+  in
   let deps = Deps.build ~objects_of ~latency_of:lat_of ~machine block in
   let n = Deps.num_ops deps in
   let heights = Deps.heights deps in
@@ -80,9 +94,13 @@ let schedule_block ~(machine : Vliw_machine.t) ~(assign : Assignment.t)
   let remaining = ref n in
   let cycle = ref 0 in
   let scheduled_order = ref [] in
+  (* per-cycle issue slots per interconnect link (the bus is the single
+     link 0, so this is exactly the old scalar bus counter there) *)
+  let nlinks = Vliw_machine.num_link_slots machine in
+  let link_slots = Array.make nlinks 0 in
   while !remaining > 0 do
     reset_slots fu_slots;
-    let bus_slots = ref (Vliw_machine.moves_per_cycle machine) in
+    Array.fill link_slots 0 nlinks (Vliw_machine.moves_per_cycle machine);
     (* candidates ready this cycle, highest priority first *)
     let progressed = ref true in
     while !progressed do
@@ -98,7 +116,12 @@ let schedule_block ~(machine : Vliw_machine.t) ~(assign : Assignment.t)
           (* check resources *)
           let o = Deps.op deps i in
           let feasible =
-            if is_icm (Op.id o) then !bus_slots > 0
+            if is_icm (Op.id o) then
+              (* the move must win a slot on every link of its route in
+                 its issue cycle; a busy link anywhere along the path
+                 makes it wait (the contention the queuing model and
+                 attribution's transfer_wait category surface) *)
+              List.for_all (fun l -> link_slots.(l) > 0) (links_of (Op.id o))
             else
               let c = Assignment.cluster_of assign ~op_id:(Op.id o) in
               let k = Vliw_machine.fu_kind_index (Op.fu_kind o) in
@@ -118,7 +141,9 @@ let schedule_block ~(machine : Vliw_machine.t) ~(assign : Assignment.t)
         let o = Deps.op deps i in
         let cluster =
           if is_icm (Op.id o) then begin
-            decr bus_slots;
+            List.iter
+              (fun l -> link_slots.(l) <- link_slots.(l) - 1)
+              (links_of (Op.id o));
             None
           end
           else begin
@@ -162,8 +187,7 @@ let lower_bound ~(machine : Vliw_machine.t) ~(assign : Assignment.t)
     ~(move_routes : (int, int * int) Hashtbl.t)
     ?(objects_of = fun _ -> Data.Obj_set.empty)
     ?(live_out = Reg.Set.empty) (block : Block.t) : int =
-  let is_icm op_id = Hashtbl.mem move_routes op_id in
-  let lat_of = latency_of ~machine ~is_intercluster_move:is_icm in
+  let lat_of = latency_of ~machine ~move_routes in
   let deps = Deps.build ~objects_of ~latency_of:lat_of ~machine block in
   (* earliest issue times; completion only counts for live-out defs,
      matching the scheduler's drain rule *)
@@ -187,15 +211,19 @@ let lower_bound ~(machine : Vliw_machine.t) ~(assign : Assignment.t)
   let usage =
     Array.init num_clusters (fun _ -> Array.make Vliw_machine.fu_kind_count 0)
   in
-  let moves = ref 0 in
+  let nlinks = Vliw_machine.num_link_slots machine in
+  let link_usage = Array.make nlinks 0 in
   List.iter
     (fun op ->
-      if is_icm (Op.id op) then incr moves
-      else begin
-        let c = Assignment.cluster_of assign ~op_id:(Op.id op) in
-        let k = Vliw_machine.fu_kind_index (Op.fu_kind op) in
-        usage.(c).(k) <- usage.(c).(k) + 1
-      end)
+      match Hashtbl.find_opt move_routes (Op.id op) with
+      | Some (src, dst) ->
+          List.iter
+            (fun l -> link_usage.(l) <- link_usage.(l) + 1)
+            (Vliw_machine.route_links machine ~src ~dst)
+      | None ->
+          let c = Assignment.cluster_of assign ~op_id:(Op.id op) in
+          let k = Vliw_machine.fu_kind_index (Op.fu_kind op) in
+          usage.(c).(k) <- usage.(c).(k) + 1)
     (Block.ops block);
   let res_bound = ref 0 in
   for c = 0 to num_clusters - 1 do
@@ -209,11 +237,12 @@ let lower_bound ~(machine : Vliw_machine.t) ~(assign : Assignment.t)
         res_bound := max !res_bound ((usage.(c).(k) + cap - 1) / cap)
     done
   done;
-  let bus_bound =
-    (!moves + Vliw_machine.moves_per_cycle machine - 1)
-    / Vliw_machine.moves_per_cycle machine
-  in
-  max cp (max !res_bound bus_bound)
+  let bus_bound = ref 0 in
+  let mpc = Vliw_machine.moves_per_cycle machine in
+  Array.iter
+    (fun u -> if u > 0 then bus_bound := max !bus_bound ((u + mpc - 1) / mpc))
+    link_usage;
+  max cp (max !res_bound !bus_bound)
 
 let pp ppf s =
   Fmt.pf ppf "@[<v>schedule (%d cycles):@," s.length;

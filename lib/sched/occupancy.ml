@@ -1,26 +1,44 @@
 (** Schedule occupancy statistics: how full each cluster's function
-    units and the intercluster bus are, per block and aggregated.  Used
-    by the CLI's schedule dump and by tests checking that the scheduler
-    actually exploits both clusters when the partition spreads work. *)
+    units and the intercluster interconnect are, per block and
+    aggregated.  Used by the CLI's schedule dump and by tests checking
+    that the scheduler actually exploits both clusters when the
+    partition spreads work.
+
+    Interconnect occupancy counts link crossings: every move charges
+    one issue slot per hop of its route, against a capacity of
+    [num_links * moves_per_cycle] slots per cycle.  On the bus (one
+    link, one hop per move) both numbers reduce to the seed's move
+    count and bus bandwidth. *)
 
 open Vliw_ir
 
 type t = {
   cycles : int;  (** schedule length *)
   fu_issues : int array array;  (** [cluster][fu kind] issue count *)
-  bus_issues : int;
+  bus_issues : int;  (** intercluster moves issued *)
+  link_issues : int;  (** link crossings: moves weighted by hop count *)
   fu_capacity : int array array;  (** per-cycle capacity *)
-  bus_capacity : int;
+  bus_capacity : int;  (** per-link issue bandwidth *)
+  num_links : int;
 }
 
-let of_schedule ~(machine : Vliw_machine.t) (s : List_sched.t) : t =
+let of_schedule ?(move_routes : (int, int * int) Hashtbl.t option)
+    ~(machine : Vliw_machine.t) (s : List_sched.t) : t =
   let nclusters = Vliw_machine.num_clusters machine in
   let fu_issues = Array.make_matrix nclusters Vliw_machine.fu_kind_count 0 in
   let bus_issues = ref 0 in
+  let link_issues = ref 0 in
+  let hops_of op =
+    match Option.bind move_routes (fun r -> Hashtbl.find_opt r (Op.id op)) with
+    | Some (src, dst) -> Vliw_machine.route_hops machine ~src ~dst
+    | None -> 1 (* no routing info: count the move as one crossing *)
+  in
   Array.iter
     (fun (e : List_sched.entry) ->
       match e.List_sched.cluster with
-      | None -> incr bus_issues
+      | None ->
+          incr bus_issues;
+          link_issues := !link_issues + hops_of e.List_sched.op
       | Some c ->
           let k = Vliw_machine.fu_kind_index (Op.fu_kind e.List_sched.op) in
           fu_issues.(c).(k) <- fu_issues.(c).(k) + 1)
@@ -36,8 +54,10 @@ let of_schedule ~(machine : Vliw_machine.t) (s : List_sched.t) : t =
     cycles = List_sched.length s;
     fu_issues;
     bus_issues = !bus_issues;
+    link_issues = !link_issues;
     fu_capacity;
     bus_capacity = Vliw_machine.moves_per_cycle machine;
+    num_links = Vliw_machine.num_links machine;
   }
 
 (** Merge weighted per-block occupancies (weight = execution count). *)
@@ -50,6 +70,7 @@ let accumulate (a : t) ~(weight : int) (acc : t option) : t =
         cycles = scale a.cycles;
         fu_issues = Array.map (Array.map scale) a.fu_issues;
         bus_issues = scale a.bus_issues;
+        link_issues = scale a.link_issues;
       }
   | Some acc ->
       {
@@ -60,6 +81,7 @@ let accumulate (a : t) ~(weight : int) (acc : t option) : t =
             (fun c per -> Array.mapi (fun k n -> n + scale a.fu_issues.(c).(k)) per)
             acc.fu_issues;
         bus_issues = acc.bus_issues + scale a.bus_issues;
+        link_issues = acc.link_issues + scale a.link_issues;
       }
 
 (** Fraction of available slots used by issues, per cluster/kind. *)
@@ -67,9 +89,11 @@ let fu_utilization (t : t) c k =
   let cap = t.fu_capacity.(c).(k) * t.cycles in
   if cap = 0 then 0. else float t.fu_issues.(c).(k) /. float cap
 
+(** Link-slot occupancy: crossings over [num_links * bandwidth *
+    cycles] — the seed's bus utilization on bus machines. *)
 let bus_utilization (t : t) =
-  let cap = t.bus_capacity * t.cycles in
-  if cap = 0 then 0. else float t.bus_issues /. float cap
+  let cap = t.num_links * t.bus_capacity * t.cycles in
+  if cap = 0 then 0. else float t.link_issues /. float cap
 
 (** Share of all issued (non-move) operations executed by each cluster:
     the workload-balance view of a partition. *)
@@ -94,5 +118,10 @@ let pp ppf (t : t) =
         Vliw_machine.all_fu_kinds;
       Fmt.pf ppf "@,")
     t.fu_issues;
-  Fmt.pf ppf "  bus: %d move(s) (%.0f%%)@]" t.bus_issues
-    (100. *. bus_utilization t)
+  if t.num_links <= 1 then
+    Fmt.pf ppf "  bus: %d move(s) (%.0f%%)@]" t.bus_issues
+      (100. *. bus_utilization t)
+  else
+    Fmt.pf ppf "  links: %d move(s), %d crossing(s) over %d links (%.0f%%)@]"
+      t.bus_issues t.link_issues t.num_links
+      (100. *. bus_utilization t)

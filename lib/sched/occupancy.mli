@@ -1,15 +1,28 @@
-(** Schedule occupancy statistics: function-unit and bus utilization per
-    cluster, per block or aggregated over a whole profiled run. *)
+(** Schedule occupancy statistics: function-unit and interconnect
+    utilization per cluster, per block or aggregated over a whole
+    profiled run.  Interconnect occupancy is counted in link crossings
+    (one slot per hop of each move's route) against
+    [num_links * bus_capacity] slots per cycle; on the bus both reduce
+    to the seed's move count and bus bandwidth. *)
 
 type t = {
   cycles : int;
   fu_issues : int array array;
-  bus_issues : int;
+  bus_issues : int;  (** moves issued *)
+  link_issues : int;  (** link crossings (moves weighted by hops) *)
   fu_capacity : int array array;
-  bus_capacity : int;
+  bus_capacity : int;  (** per-link issue bandwidth *)
+  num_links : int;
 }
 
-val of_schedule : machine:Vliw_machine.t -> List_sched.t -> t
+(** [move_routes] supplies each move's cluster route for hop-weighted
+    link accounting; without it every move counts as one crossing
+    (exact on the bus). *)
+val of_schedule :
+  ?move_routes:(int, int * int) Hashtbl.t ->
+  machine:Vliw_machine.t ->
+  List_sched.t ->
+  t
 
 (** Fold a block's occupancy, weighted by its execution count, into an
     accumulator. *)

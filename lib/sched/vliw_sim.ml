@@ -114,8 +114,13 @@ let init prog machine ~input ~fuel ~account =
     (Prog.globals prog);
   st
 
-(** Check a block schedule statically: per-cycle resource legality. *)
-let check_resources (machine : Vliw_machine.t) (s : List_sched.t) =
+(** Check a block schedule statically: per-cycle resource legality.
+    Moves are charged one issue slot on every link of their route, so
+    link contention the scheduler missed (or a fault injected past it)
+    is caught here — on the bus this is the seed's single shared
+    counter. *)
+let check_resources (machine : Vliw_machine.t)
+    ~(move_routes : (int, int * int) Hashtbl.t) (s : List_sched.t) =
   let by_cycle = Hashtbl.create 32 in
   Array.iter
     (fun (e : List_sched.entry) ->
@@ -124,21 +129,41 @@ let check_resources (machine : Vliw_machine.t) (s : List_sched.t) =
         :: Option.value ~default:[]
              (Hashtbl.find_opt by_cycle e.List_sched.cycle)))
     (List_sched.entries s);
+  let nlinks = Vliw_machine.num_link_slots machine in
   Hashtbl.iter
     (fun cycle entries ->
       let nclusters = Vliw_machine.num_clusters machine in
       let used = Array.make_matrix nclusters Vliw_machine.fu_kind_count 0 in
-      let bus = ref 0 in
+      let links = Array.make nlinks 0 in
       List.iter
         (fun (e : List_sched.entry) ->
           match e.List_sched.cluster with
-          | None -> incr bus
+          | None ->
+              let op_id = Op.id e.List_sched.op in
+              let src, dst =
+                match Hashtbl.find_opt move_routes op_id with
+                | Some r -> r
+                | None ->
+                    sim_error "cycle %d: scheduled bus move %d has no route"
+                      cycle op_id
+              in
+              List.iter
+                (fun l -> links.(l) <- links.(l) + 1)
+                (Vliw_machine.route_links machine ~src ~dst)
           | Some c ->
               let k = Vliw_machine.fu_kind_index (Op.fu_kind e.List_sched.op) in
               used.(c).(k) <- used.(c).(k) + 1)
         entries;
-      if !bus > Vliw_machine.moves_per_cycle machine then
-        sim_error "cycle %d: bus oversubscribed (%d moves)" cycle !bus;
+      Array.iteri
+        (fun l n ->
+          if n > Vliw_machine.moves_per_cycle machine then
+            match Vliw_machine.topology machine with
+            | Vliw_machine.Bus ->
+                sim_error "cycle %d: bus oversubscribed (%d moves)" cycle n
+            | _ ->
+                sim_error "cycle %d: link %d->%d oversubscribed (%d moves)"
+                  cycle (l / nclusters) (l mod nclusters) n)
+        links;
       for c = 0 to nclusters - 1 do
         List.iter
           (fun k ->
@@ -166,7 +191,7 @@ let schedule_for st ~assign ~move_routes ~objects_of (f : Func.t) (b : Block.t) 
         List_sched.schedule_block ~machine:st.machine ~assign ~move_routes
           ~objects_of ~live_out b
       in
-      check_resources st.machine s;
+      check_resources st.machine ~move_routes s;
       Hashtbl.replace st.schedules key s;
       s
 
@@ -275,10 +300,12 @@ let rec exec_func st ~assign ~move_routes ~objects_of (f : Func.t)
       | Op.Fimm fl -> I.VFloat fl
     in
     let write t op reg v =
-      let is_icm = Hashtbl.mem move_routes (Op.id op) in
+      let route = Hashtbl.find_opt move_routes (Op.id op) in
+      let is_icm = route <> None in
       let lat =
-        if is_icm then Vliw_machine.move_latency st.machine
-        else Op.latency st.machine.Vliw_machine.latencies op
+        match route with
+        | Some (src, dst) -> Vliw_machine.route_latency st.machine ~src ~dst
+        | None -> Op.latency st.machine.Vliw_machine.latencies op
       in
       (* fault injection: timing fault — an intercluster transfer takes
          longer than the machine model promises, so a consumer issued

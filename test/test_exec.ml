@@ -145,8 +145,7 @@ let settings_gen =
     let* par_domains = int_range 1 8 in
     return
       {
-        Settings.clusters;
-        move_latency;
+        Settings.machine = Machine_spec.of_legacy ~clusters ~move_latency;
         method_;
         unroll;
         promote;
@@ -233,14 +232,33 @@ let test_settings_version () =
              fields)
     | _ -> Alcotest.fail "to_json did not produce an object"
   in
-  (* the emitted document carries the current version and round-trips *)
+  (* legacy-shaped machines ship as version-2 documents (bare
+     clusters/move_latency ints, byte-compatible with old servers and
+     their cache keys)... *)
   (match
      Minijson.member "version" (Settings.to_json (Settings.default Methods.Gdp))
    with
   | Some v ->
       Alcotest.(check (option int))
-        "version emitted" (Some Settings.version) (Minijson.to_int v)
+        "legacy shape emits version 2" (Some 2) (Minijson.to_int v)
   | None -> Alcotest.fail "no version field emitted");
+  (* ...anything else needs the version-3 "machine" field *)
+  (let ring8 =
+     match Machine_spec.preset "ring8" with
+     | Ok m -> m
+     | Error e -> Alcotest.fail e
+   in
+   let s = { (Settings.default Methods.Gdp) with Settings.machine = ring8 } in
+   (match Minijson.member "version" (Settings.to_json s) with
+   | Some v ->
+       Alcotest.(check (option int))
+         "non-legacy machine emits the current version" (Some Settings.version)
+         (Minijson.to_int v)
+   | None -> Alcotest.fail "no version field emitted");
+   match Settings.of_json (Settings.to_json s) with
+   | Ok s' ->
+       Alcotest.(check bool) "ring8 settings round-trip" true (s' = s)
+   | Error m -> Alcotest.failf "rejected ring8 settings: %s" m);
   (* a document from before the field existed still parses (= v1) *)
   (match
      Settings.of_json

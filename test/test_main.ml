@@ -4,6 +4,7 @@ let () =
   Alcotest.run "gdp"
     [
       ("machine", Test_machine.suite);
+      ("topology", Test_topology.suite);
       ("ir", Test_ir.suite);
       ("minic", Test_minic.suite);
       ("interp", Test_interp.suite);

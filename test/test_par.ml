@@ -205,8 +205,12 @@ let prop_par_kway_domain_invariant =
 
 let artifact ?par_workers ~par_domains ~move_latency method_ source =
   let settings =
-    { (Pipeline.Settings.default method_) with Pipeline.Settings.move_latency;
-      par_domains }
+    {
+      (Pipeline.Settings.default method_) with
+      Pipeline.Settings.machine =
+        Machine_spec.of_legacy ~clusters:2 ~move_latency;
+      par_domains;
+    }
   in
   let job =
     {

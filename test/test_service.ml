@@ -500,7 +500,11 @@ let test_protocol_cache_key () =
         {
           j with
           Protocol.settings =
-            { j.Protocol.settings with Settings.move_latency = 10 };
+            {
+              j.Protocol.settings with
+              Settings.machine =
+                Machine_spec.of_legacy ~clusters:2 ~move_latency:10;
+            };
         })
 
 let test_protocol_evaluate_deterministic () =
